@@ -1,0 +1,25 @@
+//! Criterion bench for experiment T1: the §4 headline — text-only naive
+//! Bayes vs the text+link+folder relaxation-labelling classifier on
+//! bookmark-like front pages. `cargo bench -p memex-bench --bench
+//! bench_classify` times one full transductive solve; the printed
+//! accuracies come from the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memex_bench::t1_classify::run_once;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_classify");
+    group.sample_size(10);
+    group.bench_function("enhanced_solve_quick", |b| {
+        b.iter(|| {
+            let o = run_once(std::hint::black_box(0.05), true, 1);
+            assert!(o.enhanced_acc >= o.text_only_acc);
+            o
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for experiment T3: full HAC vs Buckshot vs
+//! Fractionation at a fixed collection size — the "constant interaction
+//! time" comparison of Scatter/Gather.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memex_bench::t3_cluster::workload;
+use memex_cluster::hac::hac_cut;
+use memex_cluster::scatter::{buckshot, fractionation};
+
+fn bench(c: &mut Criterion) {
+    let (docs, _truth) = workload(240, 66);
+    let k = 8;
+    let mut group = c.benchmark_group("t3_cluster_240_docs");
+    group.sample_size(10);
+    group.bench_function("full_hac", |b| b.iter(|| hac_cut(std::hint::black_box(&docs), k)));
+    group.bench_function("buckshot", |b| b.iter(|| buckshot(std::hint::black_box(&docs), k, 9)));
+    group.bench_function("fractionation", |b| {
+        b.iter(|| fractionation(std::hint::black_box(&docs), k, 60, 0.25, 9))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

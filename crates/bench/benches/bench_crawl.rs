@@ -1,0 +1,35 @@
+//! Criterion bench for experiment T4: one focused crawl and one unfocused
+//! crawl over the same seeds and budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memex_learn::nb::{NaiveBayes, NbOptions};
+use memex_web::corpus::{Corpus, CorpusConfig};
+use memex_web::crawler::{focused_crawl, unfocused_crawl};
+
+fn bench(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_topics: 6,
+        pages_per_topic: 200,
+        link_locality: 0.8,
+        ..CorpusConfig::default()
+    });
+    let analyzed = corpus.analyze();
+    let mut nb = NaiveBayes::new(6, NbOptions::default());
+    for p in corpus.pages.iter().filter(|p| p.id % 3 == 0) {
+        nb.add_document(p.topic, &analyzed.tf[p.id as usize]);
+    }
+    let seeds: Vec<u32> = corpus.front_pages_of_topic(2).into_iter().take(3).collect();
+    let mut group = c.benchmark_group("t4_crawl_180_fetches");
+    group.sample_size(10);
+    group.bench_function("focused", |b| {
+        b.iter(|| focused_crawl(&corpus, &analyzed.tf, &nb, 2, std::hint::black_box(&seeds), 180))
+    });
+    group.bench_function("unfocused_bfs", |b| {
+        b.iter(|| unfocused_crawl(&corpus, std::hint::black_box(&seeds), 2, 180))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

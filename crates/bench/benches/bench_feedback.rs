@@ -1,0 +1,22 @@
+//! Criterion bench for experiment F1: the Fig. 1 folder-tab feedback loop —
+//! one full classify/correct/retrain cycle over a user's history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memex_bench::f1_feedback::feedback_curve;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_feedback");
+    group.sample_size(10);
+    group.bench_function("six_feedback_rounds_quick", |b| {
+        b.iter(|| {
+            let curve = feedback_curve(true, 11, 6, 8);
+            assert_eq!(curve.len(), 7);
+            curve
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

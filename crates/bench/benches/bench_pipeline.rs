@@ -1,0 +1,52 @@
+//! Criterion bench for experiment F3: the Fig. 3 pipeline — threaded
+//! producer/demons over the loosely-consistent bus, and raw ingest cost on
+//! the real server.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memex_bench::worlds::standard_corpus;
+use memex_server::events::{ClientEvent, VisitEvent};
+use memex_server::fetcher::CorpusFetcher;
+use memex_server::pipeline::{MemexServer, ServerOptions};
+use memex_server::threaded::{run_threaded, ThreadedConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_pipeline");
+    group.sample_size(10);
+    group.bench_function("threaded_10k_events_3_demons", |b| {
+        b.iter(|| {
+            run_threaded(ThreadedConfig {
+                num_events: 10_000,
+                batch_size: 32,
+                consumers: 3,
+                work_per_event: 50,
+                crash_after_events: None,
+                producer_pace_us: 0,
+            })
+        })
+    });
+    group.bench_function("server_submit_1k_visits", |b| {
+        let corpus = standard_corpus(true, 3);
+        b.iter(|| {
+            let mut server =
+                MemexServer::new(CorpusFetcher::new(corpus.clone()), ServerOptions::default())
+                    .expect("server");
+            server.register_user(1, "bench").expect("user");
+            for i in 0..1_000u32 {
+                server.submit(ClientEvent::Visit(VisitEvent {
+                    user: 1,
+                    session: 0,
+                    page: i % corpus.num_pages() as u32,
+                    url: String::new(),
+                    time: u64::from(i),
+                    referrer: None,
+                }));
+            }
+            server.stats().events_submitted
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for experiment T6: the §1 motivating queries — a dated
+//! keyword recall and an ISP bill breakdown over a populated archive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memex_bench::worlds::standard_world;
+
+fn bench(c: &mut Criterion) {
+    let (corpus, community, mut memex) = standard_world(true, 99);
+    let user = community.users[0].user;
+    let topic = community.users[0].interests[0];
+    let query = corpus.topic_names[topic].clone();
+    let mut group = c.benchmark_group("t6_recall");
+    group.sample_size(20);
+    group.bench_function("dated_keyword_recall", |b| {
+        b.iter(|| {
+            memex
+                .recall(user, std::hint::black_box(&query), 0, u64::MAX, 10)
+                .expect("recall")
+        })
+    });
+    group.bench_function("isp_bill_breakdown", |b| {
+        b.iter(|| memex.bill(user, 0, u64::MAX))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for experiment T2: full-text search — index build rate
+//! and BM25 query latency over an archived corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use memex_index::index::{IndexOptions, InvertedIndex};
+use memex_index::search::{bm25_search, Bm25Params};
+use memex_web::corpus::{Corpus, CorpusConfig};
+
+fn bench(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_topics: 8,
+        pages_per_topic: 60,
+        ..CorpusConfig::default()
+    });
+    let analyzed = corpus.analyze();
+    let mut group = c.benchmark_group("t2_search");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(corpus.num_pages() as u64));
+    group.bench_function("index_build_480_docs", |b| {
+        b.iter(|| {
+            let mut index = InvertedIndex::open_memory(IndexOptions::default()).expect("index");
+            for p in &corpus.pages {
+                index.add_document(p.id, &analyzed.tf[p.id as usize]).expect("add");
+            }
+            index.commit().expect("commit");
+            index.num_docs()
+        })
+    });
+    group.throughput(Throughput::Elements(1));
+    // A prepared index for query benches.
+    let mut index = InvertedIndex::open_memory(IndexOptions::default()).expect("index");
+    for p in &corpus.pages {
+        index.add_document(p.id, &analyzed.tf[p.id as usize]).expect("add");
+    }
+    index.merge_segments().expect("merge");
+    let query: Vec<(u32, u32)> = analyzed.tf[1].iter().take(3).map(|&(t, _)| (t, 1)).collect();
+    group.bench_function("bm25_top10_query", |b| {
+        b.iter(|| {
+            bm25_search(&mut index, std::hint::black_box(&query), 10, Bm25Params::default())
+                .expect("search")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for experiment F4: Fig. 4 theme discovery — one full
+//! merge/refine/coarsen pass over a community's folders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memex_bench::worlds::standard_world;
+use memex_cluster::themes::{ThemeDiscovery, ThemeOptions, UserFolder};
+use memex_text::vector::SparseVec;
+
+fn bench(c: &mut Criterion) {
+    // Prepare the folder corpus once.
+    let (_corpus, _community, memex) = standard_world(true, 44);
+    let mut doc_pages: Vec<u32> = Vec::new();
+    let mut doc_of: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<(u32, String), Vec<usize>> =
+        std::collections::HashMap::new();
+    for b in &memex.server.bookmarks {
+        let d = *doc_of.entry(b.page).or_insert_with(|| {
+            doc_pages.push(b.page);
+            doc_pages.len() - 1
+        });
+        groups.entry((b.user, b.folder.clone())).or_default().push(d);
+    }
+    let docs: Vec<SparseVec> =
+        doc_pages.iter().map(|&p| memex.page_vector(p).unwrap_or_default()).collect();
+    let folders: Vec<UserFolder> = groups
+        .into_iter()
+        .map(|((user, name), mut docs)| {
+            docs.sort_unstable();
+            docs.dedup();
+            UserFolder { user, name, docs }
+        })
+        .collect();
+    let mut group = c.benchmark_group("f4_themes");
+    group.sample_size(20);
+    group.bench_function("theme_discovery_full_pass", |b| {
+        b.iter(|| {
+            let themes = ThemeDiscovery::new(ThemeOptions::default()).run(&docs, &folders);
+            assert!(!themes.themes.is_empty());
+            themes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

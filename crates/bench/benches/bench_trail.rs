@@ -1,0 +1,30 @@
+//! Criterion bench for experiment F2: the Fig. 2 trail tab — latency of one
+//! topical context replay over a populated archive (the interactive
+//! operation a user triggers by clicking a folder).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memex_bench::worlds::standard_world;
+
+fn bench(c: &mut Criterion) {
+    let (corpus, community, mut memex) = standard_world(true, 21);
+    let user = community.users[0].user;
+    let topic = community.users[0].interests[0];
+    let folder = {
+        let fs = memex.folder_space(user);
+        fs.add_folder(&format!("/{}", corpus.topic_names[topic]))
+    };
+    let mut group = c.benchmark_group("f2_trail");
+    group.sample_size(20);
+    group.bench_function("topic_context_replay", |b| {
+        b.iter(|| {
+            let ctx = memex.topic_context(user, folder, 0, 30);
+            assert!(!ctx.nodes.is_empty());
+            ctx
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! # memex-bench — experiment harness
+//!
+//! One module per table/figure of EXPERIMENTS.md. Every module exposes
+//! `run(quick) -> Table`; the `experiments` binary prints them all, and the
+//! criterion benches in `benches/` time the hot operation of each.
+//!
+//! `quick = true` shrinks workloads for CI/criterion; the committed
+//! EXPERIMENTS.md numbers come from `quick = false`.
+
+pub mod ablations;
+pub mod f1_feedback;
+pub mod f2_trail;
+pub mod f3_pipeline;
+pub mod f4_themes;
+pub mod t1_classify;
+pub mod t2_search;
+pub mod t3_cluster;
+pub mod t4_crawl;
+pub mod t5_recommend;
+pub mod t6_recall;
+pub mod table;
+pub mod worlds;
+
+pub use table::Table;
+
+/// Every experiment, in presentation order: `(id, title, runner)`.
+pub fn all_experiments() -> Vec<(&'static str, &'static str, fn(bool) -> Table)> {
+    vec![
+        ("T1", "Text-only vs text+link+folder classification (§4 headline)", t1_classify::run),
+        ("F1", "Folder-tab feedback loop (Fig. 1)", f1_feedback::run),
+        ("F2", "Trail-tab topical context replay (Fig. 2)", f2_trail::run),
+        ("F3", "Server pipeline: throughput, staleness, recovery (Fig. 3)", f3_pipeline::run),
+        ("F4", "Community theme discovery (Fig. 4)", f4_themes::run),
+        ("T2", "Full-text search over visited pages (§2)", t2_search::run),
+        ("T3", "HAC vs Scatter/Gather interaction time (§4, ref [6])", t3_cluster::run),
+        ("T4", "Focused vs unfocused crawl harvest rate (§4, ref [5])", t4_crawl::run),
+        ("T5", "Theme profiles vs URL overlap for recommendation (§4)", t5_recommend::run),
+        ("T6", "Months-old recall and ISP bill breakdown (§1)", t6_recall::run),
+        ("A1", "Ablation: enhanced-classifier evidence channels", ablations::run_channels),
+        ("A2", "Ablation: feature selection (Fisher/chi2/MI)", ablations::run_features),
+        ("A3", "Ablation: flat vs hierarchical (TAPER) classification", ablations::run_hierarchy),
+        ("A4", "Ablation: pipeline batch size", ablations::run_batching),
+        ("A5", "Ablation: semi-supervised EM vs enhanced", ablations::run_em),
+    ]
+}

@@ -1,0 +1,161 @@
+//! **T5 — §4:** "a user profile is a set of weights associated with each
+//! node of a theme hierarchy; this gives us a means of comparing profiles
+//! that is far superior to overlap in sets of URLs. We intend to use this
+//! for better collaborative recommendation."
+//!
+//! Two measurements over a simulated community with known interest
+//! groups:
+//! 1. **neighbour finding** — does the top-3 most-similar-surfer list
+//!    actually share ground-truth interests? (theme profiles vs URL
+//!    Jaccard);
+//! 2. **recommendation precision@10** — are recommended pages on the
+//!    user's true interests?
+
+use std::sync::Arc;
+
+use memex_core::recommend::{recommend_pages, similar_surfers, similar_surfers_by_url};
+use memex_web::corpus::{Corpus, CorpusConfig};
+use memex_web::surfer::{Community, SurferConfig};
+
+use crate::table::{pct, Table};
+use crate::worlds::populated_memex;
+
+/// Interest overlap of two users (|∩| / |∪| of ground-truth interests).
+fn interest_overlap(a: &[usize], b: &[usize]) -> f64 {
+    let sa: std::collections::HashSet<usize> = a.iter().copied().collect();
+    let sb: std::collections::HashSet<usize> = b.iter().copied().collect();
+    sa.intersection(&sb).count() as f64 / sa.union(&sb).count().max(1) as f64
+}
+
+/// The T5 table.
+pub fn run(quick: bool) -> Table {
+    // URL overlap is only a weak baseline when the web is much bigger than
+    // any one user's trail (as the real Web was): same-interest surfers
+    // then visit mostly *disjoint* URL sets while their themes coincide.
+    // A small world would hand the baseline an artificial advantage, so T5
+    // uses a large page pool relative to per-user visit counts.
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: if quick { 4 } else { 8 },
+        pages_per_topic: if quick { 150 } else { 400 },
+        seed: 88,
+        ..CorpusConfig::default()
+    }));
+    // Sparse trails: a handful of short sessions each, so two surfers who
+    // share an interest have almost no URLs in common (each covers ~5% of
+    // a 400-page topic) — the regime where overlap-of-URLs breaks down but
+    // theme profiles do not.
+    let community = Community::simulate(
+        &corpus,
+        &SurferConfig {
+            num_users: if quick { 8 } else { 16 },
+            sessions_per_user: 4,
+            session_length: (4, 9),
+            bookmark_prob: 0.25,
+            // Search-engine-style entry: sessions start anywhere on topic,
+            // so shared-interest surfers rarely co-visit a URL (as on the
+            // real Web).
+            start_anywhere_on_topic: true,
+            seed: 88 ^ 0x5157,
+            ..SurferConfig::default()
+        },
+    );
+    let mut memex = populated_memex(corpus.clone(), &community);
+    let truth_of: std::collections::HashMap<u32, Vec<usize>> = community
+        .users
+        .iter()
+        .map(|u| (u.user, u.interests.clone()))
+        .collect();
+    let k_neigh = 3;
+    let mut theme_share = 0.0;
+    let mut url_share = 0.0;
+    let mut theme_overlap = 0.0;
+    let mut url_overlap_score = 0.0;
+    let mut ideal_overlap = 0.0;
+    let mut theme_primary = 0.0;
+    let mut url_primary = 0.0;
+    let mut rec_precision = 0.0;
+    let mut users_counted = 0usize;
+    for truth in &community.users {
+        let user = truth.user;
+        let by_theme = similar_surfers(&mut memex, user, k_neigh);
+        let by_url = similar_surfers_by_url(&memex, user, k_neigh);
+        if by_theme.is_empty() || by_url.is_empty() {
+            continue;
+        }
+        let share = |list: &[(u32, f64)]| {
+            list.iter()
+                .filter(|(v, _)| {
+                    truth_of[v].iter().any(|t| truth.interests.contains(t))
+                })
+                .count() as f64
+                / list.len() as f64
+        };
+        let mean_overlap = |list: &[(u32, f64)]| {
+            list.iter().map(|(v, _)| interest_overlap(&truth.interests, &truth_of[v])).sum::<f64>()
+                / list.len() as f64
+        };
+        // Does the top-ranked neighbour share this user's *primary*
+        // interest? (A much stricter test than "any interest".)
+        let primary_hit = |list: &[(u32, f64)]| {
+            f64::from(u8::from(
+                list.first().is_some_and(|(v, _)| truth_of[v].contains(&truth.interests[0])),
+            ))
+        };
+        // The unachievable ceiling: the 3 truly most-overlapping users.
+        let mut best: Vec<f64> = community
+            .users
+            .iter()
+            .filter(|o| o.user != user)
+            .map(|o| interest_overlap(&truth.interests, &o.interests))
+            .collect();
+        best.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        ideal_overlap += best.iter().take(k_neigh).sum::<f64>() / k_neigh as f64;
+        theme_share += share(&by_theme);
+        url_share += share(&by_url);
+        theme_overlap += mean_overlap(&by_theme);
+        url_overlap_score += mean_overlap(&by_url);
+        theme_primary += primary_hit(&by_theme);
+        url_primary += primary_hit(&by_url);
+        // Recommendation precision: recommended pages on true interests.
+        let recs = recommend_pages(&mut memex, user, 10);
+        if !recs.is_empty() {
+            let good = recs
+                .iter()
+                .filter(|(p, _)| truth.interests.contains(&corpus.topic_of(*p)))
+                .count();
+            rec_precision += good as f64 / recs.len() as f64;
+        }
+        users_counted += 1;
+    }
+    let n = users_counted.max(1) as f64;
+    let mut table = Table::new(
+        "T5: comparing surfers — theme profiles vs URL overlap",
+        &["metric", "theme profiles", "URL overlap (baseline)"],
+    );
+    table.row(vec![
+        format!("top-{k_neigh} neighbours sharing an interest"),
+        pct(theme_share / n),
+        pct(url_share / n),
+    ]);
+    table.row(vec![
+        format!("mean interest-overlap of top-{k_neigh}"),
+        pct(theme_overlap / n),
+        pct(url_overlap_score / n),
+    ]);
+    table.row(vec![
+        "top-1 neighbour shares primary interest".to_string(),
+        pct(theme_primary / n),
+        pct(url_primary / n),
+    ]);
+    table.row(vec![
+        "recommendation precision@10".to_string(),
+        pct(rec_precision / n),
+        "-".to_string(),
+    ]);
+    table.note(&format!(
+        "ceiling: the 3 truly-closest users average {} interest-overlap",
+        pct(ideal_overlap / n)
+    ));
+    table.note("paper: theme-node weight profiles are 'far superior to overlap in sets of URLs'");
+    table
+}

@@ -1,0 +1,94 @@
+//! **T6 — the §1 motivating questions:** "What was the URL I visited about
+//! six months back regarding compiler optimization…?" and "How is my ISP
+//! bill divided into access for work, travel, news, hobby and
+//! entertainment?"
+//!
+//! 1. **Recall@k** — sample real visits from months back, query with a few
+//!    words of the visited page plus a time window, and check the page
+//!    comes back;
+//! 2. **Bill accuracy** — compare the per-folder byte split Memex reports
+//!    against the ground-truth per-topic split from the simulator.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::table::{pct, Table};
+use crate::worlds::standard_world;
+
+/// The T6 table.
+pub fn run(quick: bool) -> Table {
+    let (corpus, community, mut memex) = standard_world(quick, 99);
+    let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+    // --- Recall@10 over sampled dated queries.
+    let mut candidates: Vec<memex_graph::trail::Visit> = memex
+        .server
+        .trails
+        .visits()
+        .iter()
+        .filter(|v| !corpus.pages[v.page as usize].is_front)
+        .copied()
+        .collect();
+    candidates.shuffle(&mut rng);
+    let samples = if quick { 20 } else { 60 };
+    let month = 30 * 24 * 3_600_000u64;
+    let mut hits_at = vec![0usize; 3]; // @1, @5, @10
+    let mut asked = 0usize;
+    for v in candidates.into_iter().take(samples) {
+        let words: Vec<&str> =
+            corpus.pages[v.page as usize].text.split_whitespace().take(5).collect();
+        let query = words.join(" ");
+        let res = memex
+            .recall(v.user, &query, v.time.saturating_sub(month), v.time + month, 10)
+            .expect("recall");
+        asked += 1;
+        if let Some(rank) = res.iter().position(|h| h.page == v.page) {
+            if rank < 1 {
+                hits_at[0] += 1;
+            }
+            if rank < 5 {
+                hits_at[1] += 1;
+            }
+            hits_at[2] += 1;
+        }
+    }
+    // --- Bill accuracy: L1 distance between reported and true fractions.
+    let mut l1_total = 0.0;
+    let mut billed_users = 0usize;
+    for truth in community.users.iter().take(6) {
+        let lines = memex.bill(truth.user, 0, u64::MAX);
+        let true_bytes = community.bytes_by_topic(&corpus, truth.user);
+        let total: u64 = true_bytes.iter().sum();
+        if total == 0 || lines.is_empty() {
+            continue;
+        }
+        // Map each reported folder line to the ground-truth topic by name.
+        let mut l1 = 0.0;
+        for (t, name) in corpus.topic_names.iter().enumerate() {
+            let reported: f64 = lines
+                .iter()
+                .filter(|l| l.folder.contains(name.as_str()))
+                .map(|l| l.fraction)
+                .sum();
+            let actual = true_bytes[t] as f64 / total as f64;
+            l1 += (reported - actual).abs();
+        }
+        l1_total += l1 / 2.0; // total-variation distance in [0,1]
+        billed_users += 1;
+    }
+    let mut table = Table::new(
+        "T6: months-old recall and ISP bill breakdown",
+        &["measurement", "value"],
+    );
+    table.row(vec!["dated queries asked".into(), asked.to_string()]);
+    table.row(vec!["recall@1".into(), pct(hits_at[0] as f64 / asked.max(1) as f64)]);
+    table.row(vec!["recall@5".into(), pct(hits_at[1] as f64 / asked.max(1) as f64)]);
+    table.row(vec!["recall@10".into(), pct(hits_at[2] as f64 / asked.max(1) as f64)]);
+    table.row(vec![
+        "bill split error (total variation, 0=perfect)".into(),
+        format!("{:.3}", l1_total / billed_users.max(1) as f64),
+    ]);
+    table.note("recall query = 5 words of the page + a ±1 month window around the old visit");
+    table.note("bill compared to the simulator's ground-truth per-topic byte totals");
+    table
+}

@@ -1,0 +1,212 @@
+//! Netscape bookmark-file import/export (paper §2): "Existing bookmarks
+//! from Netscape or Explorer can be imported into Memex's editable
+//! tree-structured topic view; conversely Memex can export back to these
+//! browsers."
+//!
+//! The format is the venerable `NETSCAPE-Bookmark-file-1` HTML dialect:
+//! nested `<DL>` lists, `<H3>` folder headings, `<A HREF>` items.
+
+/// A parsed bookmark entry: folder path components + URL + title.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BookmarkEntry {
+    pub folder_path: Vec<String>,
+    pub url: String,
+    pub title: String,
+}
+
+/// Export entries to Netscape bookmark HTML. Entries are grouped by their
+/// folder paths; folder order follows first appearance.
+pub fn export_netscape(entries: &[BookmarkEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE NETSCAPE-Bookmark-file-1>\n");
+    out.push_str("<!-- This is an automatically generated file. -->\n");
+    out.push_str("<TITLE>Bookmarks</TITLE>\n<H1>Bookmarks</H1>\n<DL><p>\n");
+    // Build a folder tree.
+    #[derive(Default)]
+    struct Node {
+        children: Vec<(String, usize)>,
+        items: Vec<(String, String)>,
+    }
+    let mut nodes: Vec<Node> = vec![Node::default()];
+    for e in entries {
+        let mut cur = 0usize;
+        for comp in &e.folder_path {
+            cur = match nodes[cur].children.iter().find(|(n, _)| n == comp) {
+                Some(&(_, idx)) => idx,
+                None => {
+                    let idx = nodes.len();
+                    nodes.push(Node::default());
+                    nodes[cur].children.push((comp.clone(), idx));
+                    idx
+                }
+            };
+        }
+        nodes[cur].items.push((e.url.clone(), e.title.clone()));
+    }
+    fn render(nodes: &[Node], idx: usize, depth: usize, out: &mut String) {
+        let pad = "    ".repeat(depth);
+        for (url, title) in &nodes[idx].items {
+            out.push_str(&format!("{pad}<DT><A HREF=\"{}\">{}</A>\n", escape(url), escape(title)));
+        }
+        for (name, child) in &nodes[idx].children {
+            out.push_str(&format!("{pad}<DT><H3>{}</H3>\n{pad}<DL><p>\n", escape(name)));
+            render(nodes, *child, depth + 1, out);
+            out.push_str(&format!("{pad}</DL><p>\n"));
+        }
+    }
+    render(&nodes, 0, 1, &mut out);
+    out.push_str("</DL><p>\n");
+    out
+}
+
+/// Import a Netscape bookmark file. Tolerant of case, attribute noise and
+/// missing close tags (real 1999 exports were messy).
+pub fn import_netscape(html: &str) -> Vec<BookmarkEntry> {
+    let mut entries = Vec::new();
+    let mut path: Vec<String> = Vec::new();
+    // Pending folder name: an <H3> opens a folder that becomes active at
+    // the following <DL>.
+    let mut pending_folder: Option<String> = None;
+    let lower = html.to_ascii_lowercase();
+    let mut i = 0usize;
+    while let Some(rel) = lower[i..].find('<') {
+        let tag_start = i + rel;
+        let rest = &lower[tag_start..];
+        if rest.starts_with("<h3") {
+            // Folder heading: text up to </h3>.
+            if let Some(gt) = lower[tag_start..].find('>') {
+                let text_start = tag_start + gt + 1;
+                let end = lower[text_start..]
+                    .find("</h3")
+                    .map(|e| text_start + e)
+                    .unwrap_or(html.len());
+                pending_folder = Some(decode(html[text_start..end].trim()));
+                i = end;
+                continue;
+            }
+            break;
+        } else if rest.starts_with("<dl") {
+            path.push(pending_folder.take().unwrap_or_else(|| "Imported".to_string()));
+            i = tag_start + 3;
+        } else if rest.starts_with("</dl") {
+            path.pop();
+            i = tag_start + 4;
+        } else if rest.starts_with("<a") {
+            // href attribute.
+            let Some(gt) = lower[tag_start..].find('>') else { break };
+            let tag = &html[tag_start..tag_start + gt];
+            let url = attr_value(tag, "href").map(|u| decode(&u)).unwrap_or_default();
+            let text_start = tag_start + gt + 1;
+            let end = lower[text_start..].find("</a").map(|e| text_start + e).unwrap_or(html.len());
+            let title = decode(html[text_start..end].trim());
+            if !url.is_empty() {
+                // Drop the synthetic top-level "Bookmarks" list level.
+                let folder_path: Vec<String> =
+                    path.iter().skip(1).cloned().collect();
+                entries.push(BookmarkEntry { folder_path, url, title });
+            }
+            i = end;
+        } else {
+            i = tag_start + 1;
+        }
+    }
+    entries
+}
+
+fn attr_value(tag: &str, name: &str) -> Option<String> {
+    let lower = tag.to_ascii_lowercase();
+    let pos = lower.find(name)?;
+    let after = &tag[pos + name.len()..];
+    let eq = after.find('=')?;
+    let rest = after[eq + 1..].trim_start();
+    let quote = rest.chars().next()?;
+    if quote == '"' || quote == '\'' {
+        let inner = &rest[1..];
+        let end = inner.find(quote)?;
+        Some(inner[..end].to_string())
+    } else {
+        let end = rest.find(|c: char| c.is_whitespace() || c == '>').unwrap_or(rest.len());
+        Some(rest[..end].to_string())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn decode(s: &str) -> String {
+    s.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(path: &[&str], url: &str, title: &str) -> BookmarkEntry {
+        BookmarkEntry {
+            folder_path: path.iter().map(|s| s.to_string()).collect(),
+            url: url.to_string(),
+            title: title.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_entries() {
+        let entries = vec![
+            entry(&["Music", "Western Classical"], "http://bach.example/", "Bach archive"),
+            entry(&["Music", "Western Classical"], "http://handel.example/", "Handel"),
+            entry(&["Music"], "http://allmusic.example/", "All music"),
+            entry(&["Cycling"], "http://mtb.example/", "Mountain bikes"),
+            entry(&[], "http://root.example/", "Unfiled"),
+        ];
+        let html = export_netscape(&entries);
+        let back = import_netscape(&html);
+        assert_eq!(back.len(), entries.len());
+        for e in &entries {
+            assert!(back.contains(e), "missing {e:?}\n{html}");
+        }
+    }
+
+    #[test]
+    fn imports_a_real_netscape_fragment() {
+        let html = r#"<!DOCTYPE NETSCAPE-Bookmark-file-1>
+<TITLE>Bookmarks</TITLE>
+<H1>Bookmarks for Soumen</H1>
+<DL><p>
+    <DT><H3 ADD_DATE="946684800">Music</H3>
+    <DL><p>
+        <DT><A HREF="http://www.jsbach.org/" ADD_DATE="946684800">J.S. Bach Home Page</A>
+        <DT><H3>Western Classical</H3>
+        <DL><p>
+            <DT><A HREF="http://classical.example/">Classical Net</A>
+        </DL><p>
+    </DL><p>
+    <DT><A HREF="http://www.vldb.org/">VLDB</A>
+</DL><p>"#;
+        let entries = import_netscape(html);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(
+            entries[0],
+            entry(&["Music"], "http://www.jsbach.org/", "J.S. Bach Home Page")
+        );
+        assert_eq!(
+            entries[1],
+            entry(&["Music", "Western Classical"], "http://classical.example/", "Classical Net")
+        );
+        assert_eq!(entries[2], entry(&[], "http://www.vldb.org/", "VLDB"));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let entries = vec![entry(&["A & B"], "http://x.example/?a=1&b=2", "Q <&> \"quotes\"")];
+        let back = import_netscape(&export_netscape(&entries));
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn tolerates_garbage() {
+        assert!(import_netscape("").is_empty());
+        assert!(import_netscape("<a>no href</a>").is_empty());
+        let _ = import_netscape("<dl><dt><a href='http://x'>x"); // unterminated
+    }
+}

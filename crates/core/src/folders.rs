@@ -1,0 +1,319 @@
+//! Per-user folder/topic spaces (paper Fig. 1).
+//!
+//! "Each user has a personal folder/topic space… The classification demon
+//! then classifies all subsequent history elements, marking its guesses by
+//! '?'. The user can correct or reinforce the classifier using cut/paste,
+//! thus continually improving Memex's models for the user's topics of
+//! interest."
+
+use std::collections::HashMap;
+
+use memex_learn::nb::{NaiveBayes, NbOptions};
+use memex_learn::taxonomy::{Taxonomy, TopicId};
+use memex_text::features::FeatureScore;
+use memex_text::vocab::TermId;
+
+/// How a page ended up in a folder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageAssignment {
+    pub folder: TopicId,
+    /// False = a classifier guess, rendered with '?' in the folder tab.
+    pub confirmed: bool,
+}
+
+/// One user's editable folder tree plus the learned model over it.
+pub struct FolderSpace {
+    pub taxonomy: Taxonomy,
+    /// page -> assignment.
+    assignments: HashMap<u32, PageAssignment>,
+    /// Training cache: page -> tf (needed to unlearn on correction).
+    tf_of: HashMap<u32, Vec<(TermId, u32)>>,
+    classifier: Option<NaiveBayes>,
+    /// class index -> folder id (leaves of the taxonomy at train time).
+    classes: Vec<TopicId>,
+    nb_opts: NbOptions,
+    /// Fisher-selected vocabulary size (None = all terms).
+    pub feature_k: Option<usize>,
+}
+
+impl Default for FolderSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FolderSpace {
+    pub fn new() -> FolderSpace {
+        FolderSpace {
+            taxonomy: Taxonomy::new(),
+            assignments: HashMap::new(),
+            tf_of: HashMap::new(),
+            classifier: None,
+            classes: Vec::new(),
+            nb_opts: NbOptions::default(),
+            feature_k: Some(2_000),
+        }
+    }
+
+    /// Create (or find) a folder by path, e.g. `"/Music/Western Classical"`.
+    pub fn add_folder(&mut self, path: &str) -> TopicId {
+        let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+        let id = self.taxonomy.add_path(&parts);
+        self.rebuild_classifier();
+        id
+    }
+
+    /// All assignments (page, assignment), guesses included.
+    pub fn assignments(&self) -> impl Iterator<Item = (u32, PageAssignment)> + '_ {
+        self.assignments.iter().map(|(&p, &a)| (p, a))
+    }
+
+    /// Assignment of one page.
+    pub fn assignment(&self, page: u32) -> Option<PageAssignment> {
+        self.assignments.get(&page).copied()
+    }
+
+    /// Pages filed under `folder` or its subfolders.
+    pub fn pages_under(&self, folder: TopicId) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .assignments
+            .iter()
+            .filter(|(_, a)| self.taxonomy.is_ancestor_or_self(folder, a.folder))
+            .map(|(&p, _)| p)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// User deliberately bookmarks `page` into `folder` (confirmed).
+    /// Feeds the classifier immediately.
+    pub fn bookmark(&mut self, page: u32, folder: TopicId, tf: &[(TermId, u32)]) {
+        assert!(self.taxonomy.is_live(folder), "folder must exist");
+        // If the page was guessed elsewhere, unlearn that first.
+        self.unassign(page);
+        // A folder receiving its first confirmed page brings new vocabulary
+        // online; a full rebuild re-runs feature selection over it.
+        let folder_was_empty = !self
+            .assignments
+            .values()
+            .any(|a| a.confirmed && a.folder == folder);
+        self.assignments.insert(page, PageAssignment { folder, confirmed: true });
+        self.tf_of.insert(page, tf.to_vec());
+        if self.classifier.is_none() || folder_was_empty {
+            self.rebuild_classifier();
+            return;
+        }
+        if let Some(class) = self.class_of(folder) {
+            if let Some(nb) = &mut self.classifier {
+                nb.add_document(class, tf);
+            }
+        } else {
+            self.rebuild_classifier();
+        }
+    }
+
+    /// The classification demon's entry point: guess a folder for an
+    /// unfiled page. Returns the guess (marked '?') or `None` when the
+    /// model cannot classify yet (fewer than two trained folders).
+    pub fn classify(&mut self, page: u32, tf: &[(TermId, u32)]) -> Option<TopicId> {
+        if self.assignments.get(&page).is_some_and(|a| a.confirmed) {
+            return Some(self.assignments[&page].folder);
+        }
+        let nb = self.classifier.as_ref()?;
+        if nb.num_docs() < 2.0 {
+            return None;
+        }
+        let folder = self.classes[nb.predict(tf)];
+        self.assignments.insert(page, PageAssignment { folder, confirmed: false });
+        self.tf_of.insert(page, tf.to_vec());
+        Some(folder)
+    }
+
+    /// User reinforces a guess (keeps it where the demon put it). The page
+    /// becomes a confirmed training example.
+    pub fn confirm(&mut self, page: u32) {
+        let Some(a) = self.assignments.get_mut(&page) else { return };
+        if a.confirmed {
+            return;
+        }
+        a.confirmed = true;
+        let folder = a.folder;
+        if let (Some(class), Some(tf)) = (self.class_of(folder), self.tf_of.get(&page).cloned()) {
+            if let Some(nb) = &mut self.classifier {
+                nb.add_document(class, &tf);
+            }
+        }
+    }
+
+    /// User corrects a guess: cut from its current folder, paste into
+    /// `folder`. Equivalent to a confirmed bookmark.
+    pub fn correct(&mut self, page: u32, folder: TopicId) {
+        let tf = self.tf_of.get(&page).cloned().unwrap_or_default();
+        self.bookmark(page, folder, &tf);
+    }
+
+    /// Remove a page from the space entirely (unlearns if confirmed).
+    pub fn unassign(&mut self, page: u32) {
+        if let Some(a) = self.assignments.remove(&page) {
+            if a.confirmed {
+                if let (Some(class), Some(tf)) = (self.class_of(a.folder), self.tf_of.get(&page)) {
+                    let tf = tf.clone();
+                    if let Some(nb) = &mut self.classifier {
+                        nb.remove_document(class, &tf);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Leaf folders the classifier routes to.
+    pub fn classes(&self) -> &[TopicId] {
+        &self.classes
+    }
+
+    /// Number of confirmed examples.
+    pub fn confirmed_count(&self) -> usize {
+        self.assignments.values().filter(|a| a.confirmed).count()
+    }
+
+    fn class_of(&self, folder: TopicId) -> Option<usize> {
+        self.classes.iter().position(|&f| f == folder)
+    }
+
+    /// Rebuild the classifier over the current leaf set from confirmed
+    /// assignments (called when the folder tree changes shape).
+    pub fn rebuild_classifier(&mut self) {
+        let leaves: Vec<TopicId> =
+            self.taxonomy.leaves().into_iter().filter(|&l| l != Taxonomy::ROOT).collect();
+        if leaves.len() < 2 {
+            self.classifier = None;
+            self.classes = leaves;
+            return;
+        }
+        let mut nb = NaiveBayes::new(leaves.len(), self.nb_opts);
+        let mut trained = 0usize;
+        for (&page, a) in &self.assignments {
+            if !a.confirmed {
+                continue;
+            }
+            // Assignments to internal folders train the nearest leaf under
+            // them? No: only leaf assignments train (internal folders are
+            // structural). Find the leaf == folder.
+            if let Some(class) = leaves.iter().position(|&l| l == a.folder) {
+                if let Some(tf) = self.tf_of.get(&page) {
+                    nb.add_document(class, tf);
+                    trained += 1;
+                }
+            }
+        }
+        if let Some(k) = self.feature_k {
+            if trained >= 10 {
+                nb.select_features(FeatureScore::Fisher, k);
+            }
+        }
+        self.classes = leaves;
+        self.classifier = if trained > 0 { Some(nb) } else { None };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tf(pairs: &[(u32, u32)]) -> Vec<(TermId, u32)> {
+        pairs.to_vec()
+    }
+
+    fn space_with_two_folders() -> (FolderSpace, TopicId, TopicId) {
+        let mut fs = FolderSpace::new();
+        let music = fs.add_folder("/Music/Western Classical");
+        let cycling = fs.add_folder("/Cycling");
+        // Train both folders.
+        for i in 0..5u32 {
+            fs.bookmark(i, music, &tf(&[(1, 3), (2, 1)]));
+            fs.bookmark(100 + i, cycling, &tf(&[(10, 3), (11, 1)]));
+        }
+        (fs, music, cycling)
+    }
+
+    #[test]
+    fn folder_paths_create_nested_structure() {
+        let mut fs = FolderSpace::new();
+        let classical = fs.add_folder("/Music/Western Classical");
+        assert_eq!(fs.taxonomy.path(classical), "/Music/Western Classical");
+        let again = fs.add_folder("/Music/Western Classical");
+        assert_eq!(classical, again);
+    }
+
+    #[test]
+    fn demon_guesses_are_marked_unconfirmed() {
+        let (mut fs, music, _) = space_with_two_folders();
+        let guess = fs.classify(500, &tf(&[(1, 2)]));
+        assert_eq!(guess, Some(music));
+        let a = fs.assignment(500).unwrap();
+        assert!(!a.confirmed, "demon guesses carry the '?'");
+        assert_eq!(fs.confirmed_count(), 10);
+    }
+
+    #[test]
+    fn confirm_reinforces_the_model() {
+        let (mut fs, music, _) = space_with_two_folders();
+        fs.classify(500, &tf(&[(1, 2)]));
+        fs.confirm(500);
+        assert!(fs.assignment(500).unwrap().confirmed);
+        assert_eq!(fs.confirmed_count(), 11);
+        assert_eq!(fs.assignment(500).unwrap().folder, music);
+    }
+
+    #[test]
+    fn correction_moves_and_unlearns() {
+        let (mut fs, music, cycling) = space_with_two_folders();
+        // A cycling page the model initially mislearns as music.
+        let ambiguous = tf(&[(1, 1), (10, 1)]);
+        fs.bookmark(600, music, &ambiguous);
+        assert_eq!(fs.assignment(600).unwrap().folder, music);
+        fs.correct(600, cycling);
+        let a = fs.assignment(600).unwrap();
+        assert_eq!(a.folder, cycling);
+        assert!(a.confirmed);
+        assert_eq!(fs.confirmed_count(), 11, "moved, not duplicated");
+    }
+
+    #[test]
+    fn classifier_needs_two_folders() {
+        let mut fs = FolderSpace::new();
+        let only = fs.add_folder("/Everything");
+        fs.bookmark(1, only, &tf(&[(1, 1)]));
+        assert_eq!(fs.classify(2, &tf(&[(1, 1)])), None);
+    }
+
+    #[test]
+    fn pages_under_includes_subfolders() {
+        let mut fs = FolderSpace::new();
+        let music = fs.add_folder("/Music");
+        let classical = fs.add_folder("/Music/Western Classical");
+        let jazz = fs.add_folder("/Music/Jazz");
+        fs.bookmark(1, classical, &tf(&[(1, 1)]));
+        fs.bookmark(2, jazz, &tf(&[(2, 1)]));
+        assert_eq!(fs.pages_under(music), vec![1, 2]);
+        assert_eq!(fs.pages_under(classical), vec![1]);
+    }
+
+    #[test]
+    fn restructuring_rebuilds_the_classifier() {
+        let (mut fs, _, _) = space_with_two_folders();
+        // Adding a third folder changes the class set.
+        let travel = fs.add_folder("/Travel");
+        fs.bookmark(300, travel, &tf(&[(20, 3)]));
+        assert_eq!(fs.classes().len(), 3);
+        assert_eq!(fs.classify(700, &tf(&[(20, 2)])), Some(travel));
+    }
+
+    #[test]
+    fn confirmed_assignment_wins_over_reclassification() {
+        let (mut fs, music, cycling) = space_with_two_folders();
+        fs.bookmark(800, cycling, &tf(&[(1, 5)])); // user insists despite text
+        assert_eq!(fs.classify(800, &tf(&[(1, 5)])), Some(cycling));
+        let _ = music;
+    }
+}

@@ -1,0 +1,581 @@
+//! The [`Memex`] facade: everything the demo's client tabs call.
+//!
+//! Wires the server substrate (ingest, demons, storage) to the mining
+//! layers (folders + classifier, themes, trails, search, recommendation)
+//! and exposes the six §1 questions as methods:
+//!
+//! | §1 question | method |
+//! |---|---|
+//! | "URL I visited about six months back regarding X?" | [`Memex::recall`] |
+//! | "Web neighborhood I was surfing last time on topic T?" | [`Memex::topic_context`] |
+//! | "popular sites related to my experience, appeared recently?" | [`Memex::whats_new`] |
+//! | "How is my ISP bill divided by topic?" | [`Memex::bill`] |
+//! | "major topics of my workplace, where do I fit?" | [`Memex::community_themes`], [`Memex::my_place`] |
+//! | "who shares my interest most closely?" | [`Memex::similar_surfers`] |
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use memex_cluster::themes::{ThemeDiscovery, ThemeOptions, Themes, UserFolder};
+use memex_graph::hits::top_authorities;
+use memex_graph::neighborhood::{expand, Direction};
+use memex_graph::trail::TrailContext;
+use memex_index::search::{bm25_search, Bm25Params};
+use memex_learn::taxonomy::TopicId;
+use memex_server::events::ClientEvent;
+use memex_server::fetcher::CorpusFetcher;
+use memex_server::pipeline::{MemexServer, ServerOptions};
+use memex_store::error::StoreResult;
+use memex_text::analyze::Analyzer;
+use memex_text::vector::SparseVec;
+use memex_web::corpus::Corpus;
+
+use crate::folders::FolderSpace;
+
+/// Facade configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemexOptions {
+    pub server: ServerOptions,
+    pub themes: ThemeOptions,
+}
+
+/// A ranked recall result (Q1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecallHit {
+    pub page: u32,
+    pub url: String,
+    pub score: f32,
+    pub last_visit: u64,
+    /// Query-biased excerpt of the page text.
+    pub snippet: String,
+}
+
+/// One line of the ISP bill breakdown (Q4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BillLine {
+    pub folder: String,
+    pub bytes: u64,
+    pub visits: u32,
+    pub fraction: f64,
+}
+
+/// A rejection-capable per-user topic classifier: the user's leaf folders
+/// plus a background class ("none of my folders").
+pub struct TopicFilter {
+    nb: memex_learn::nb::NaiveBayes,
+    leaves: Vec<TopicId>,
+    usable: bool,
+}
+
+impl TopicFilter {
+    /// The folder this page belongs to, or `None` for "no folder"
+    /// (background wins or the filter has no training data).
+    pub fn classify(&self, tf: &[(memex_text::vocab::TermId, u32)]) -> Option<TopicId> {
+        if !self.usable {
+            return None;
+        }
+        let class = self.nb.predict(tf);
+        self.leaves.get(class).copied()
+    }
+}
+
+/// The assembled Memex system over a (simulated) web.
+pub struct Memex {
+    pub corpus: Arc<Corpus>,
+    pub server: MemexServer<CorpusFetcher>,
+    folder_spaces: HashMap<u32, FolderSpace>,
+    url_to_page: HashMap<String, u32>,
+    analyzer: Analyzer,
+    theme_opts: ThemeOptions,
+    /// Cached community themes + the page id of each theme doc.
+    themes_cache: Option<(Themes, Vec<u32>)>,
+    themes_built_at_bookmarks: usize,
+    /// Bookmarks already filed into folder spaces.
+    filed_bookmarks: usize,
+}
+
+impl Memex {
+    /// Stand up a Memex over a corpus.
+    pub fn new(corpus: Arc<Corpus>, opts: MemexOptions) -> StoreResult<Memex> {
+        let server = MemexServer::new(CorpusFetcher::new(corpus.clone()), opts.server)?;
+        let url_to_page = corpus.pages.iter().map(|p| (p.url.clone(), p.id)).collect();
+        Ok(Memex {
+            corpus,
+            server,
+            folder_spaces: HashMap::new(),
+            url_to_page,
+            analyzer: Analyzer::default(),
+            theme_opts: opts.themes,
+            themes_cache: None,
+            themes_built_at_bookmarks: 0,
+            filed_bookmarks: 0,
+        })
+    }
+
+    /// Register a user with the server and give them a folder space.
+    pub fn register_user(&mut self, user: u32, name: &str) -> StoreResult<()> {
+        self.server.register_user(user, name)?;
+        self.folder_spaces.entry(user).or_default();
+        Ok(())
+    }
+
+    /// Resolve a URL to the dense page id, if the (simulated) web has it.
+    pub fn resolve_url(&self, url: &str) -> Option<u32> {
+        self.url_to_page.get(url).copied()
+    }
+
+    /// Ingest one client event (guaranteed-immediate path).
+    pub fn submit(&mut self, event: ClientEvent) -> bool {
+        self.server.submit(event)
+    }
+
+    /// A user's folder space (created on first touch).
+    pub fn folder_space(&mut self, user: u32) -> &mut FolderSpace {
+        self.folder_spaces.entry(user).or_default()
+    }
+
+    /// Run every background demon to quiescence: server fetch/index/trail
+    /// demons, then bookmark filing and the per-user classification demon
+    /// (Fig. 1's '?' guesses).
+    pub fn run_demons(&mut self) -> StoreResult<()> {
+        self.server.drain_demons()?;
+        // File newly recorded bookmarks into folder spaces.
+        let new_bookmarks: Vec<_> =
+            self.server.bookmarks[self.filed_bookmarks..].to_vec();
+        self.filed_bookmarks = self.server.bookmarks.len();
+        for b in new_bookmarks {
+            let tf = self.server.tf(b.page).map(<[_]>::to_vec).unwrap_or_default();
+            let fs = self.folder_spaces.entry(b.user).or_default();
+            let folder = fs.add_folder(&b.folder);
+            fs.bookmark(b.page, folder, &tf);
+        }
+        // Classification demon: guess folders for each user's unfiled
+        // visited pages.
+        let users: Vec<u32> = self.folder_spaces.keys().copied().collect();
+        for user in users {
+            let pages = self.server.trails.user_pages(user, 0);
+            let fs = self.folder_spaces.get_mut(&user).expect("listed above");
+            for page in pages {
+                if fs.assignment(page).is_none() {
+                    if let Some(tf) = self.server.tf(page) {
+                        fs.classify(page, tf);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- Q1: recall ---------------------------------------------------------
+
+    /// "What was the URL I visited about six months back regarding X?" —
+    /// full-text search restricted to pages this user visited in
+    /// `[since, until]`.
+    pub fn recall(
+        &mut self,
+        user: u32,
+        query: &str,
+        since: u64,
+        until: u64,
+        k: usize,
+    ) -> StoreResult<Vec<RecallHit>> {
+        let q = self.analyzer.counts(query);
+        let query_terms: Vec<(u32, u32)> = q
+            .iter()
+            .filter_map(|(t, &c)| self.server.vocab.id(t).map(|id| (id, c)))
+            .collect();
+        let hits = bm25_search(&mut self.server.index, &query_terms, k * 20, Bm25Params::default())?;
+        // Visit-time filter per page for this user.
+        let mut last_visit: HashMap<u32, u64> = HashMap::new();
+        for v in self.server.trails.visits().iter().filter(|v| v.user == user) {
+            if v.time >= since && v.time <= until {
+                let e = last_visit.entry(v.page).or_insert(0);
+                *e = (*e).max(v.time);
+            }
+        }
+        let mut out: Vec<RecallHit> = hits
+            .into_iter()
+            .filter_map(|h| {
+                last_visit.get(&h.doc).map(|&t| {
+                    let page = &self.corpus.pages[h.doc as usize];
+                    RecallHit {
+                        page: h.doc,
+                        url: page.url.clone(),
+                        score: h.score,
+                        last_visit: t,
+                        snippet: memex_text::snippet::snippet(&page.text, query, 12),
+                    }
+                })
+            })
+            .take(k)
+            .collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(out)
+    }
+
+    /// Exact-phrase recall over the user's history: like [`Memex::recall`]
+    /// but the words must appear consecutively (stopwords removed, stems
+    /// applied — "compiler optimization" matches "compilers optimize").
+    /// Hits are ordered most-recent-first.
+    pub fn recall_phrase(
+        &mut self,
+        user: u32,
+        phrase: &str,
+        since: u64,
+        until: u64,
+        k: usize,
+    ) -> StoreResult<Vec<RecallHit>> {
+        let seq = self.analyzer.term_sequence(phrase);
+        let ids: Option<Vec<u32>> = seq.iter().map(|t| self.server.vocab.id(t)).collect();
+        let Some(ids) = ids else { return Ok(Vec::new()) }; // unseen term: no match
+        let docs = memex_index::search::phrase_search(&mut self.server.index, &ids)?;
+        let mut last_visit: HashMap<u32, u64> = HashMap::new();
+        for v in self.server.trails.visits().iter().filter(|v| v.user == user) {
+            if v.time >= since && v.time <= until {
+                let e = last_visit.entry(v.page).or_insert(0);
+                *e = (*e).max(v.time);
+            }
+        }
+        let mut out: Vec<RecallHit> = docs
+            .into_iter()
+            .filter_map(|doc| {
+                last_visit.get(&doc).map(|&t| {
+                    let page = &self.corpus.pages[doc as usize];
+                    RecallHit {
+                        page: doc,
+                        url: page.url.clone(),
+                        score: 1.0,
+                        last_visit: t,
+                        snippet: memex_text::snippet::snippet(&page.text, phrase, 12),
+                    }
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| b.last_visit.cmp(&a.last_visit));
+        out.truncate(k);
+        Ok(out)
+    }
+
+    // -- Q2 / F2: topical context replay -------------------------------------
+
+    /// Build a rejection-capable topic filter for one user: a naive Bayes
+    /// over their leaf folders **plus a background class** trained from a
+    /// sample of everything the community surfed. Community pages whose
+    /// best class is the background simply don't *belong* to any folder —
+    /// which is what "most likely to belong to the selected topic" needs
+    /// (a forced choice among the user's folders would claim every page).
+    pub fn topic_filter(&mut self, user: u32) -> TopicFilter {
+        let fs = self.folder_spaces.entry(user).or_default();
+        let leaves: Vec<TopicId> = fs.classes().to_vec();
+        let confirmed: Vec<(u32, TopicId)> = fs
+            .assignments()
+            .filter(|(_, a)| a.confirmed)
+            .map(|(p, a)| (p, a.folder))
+            .collect();
+        let mut nb =
+            memex_learn::nb::NaiveBayes::new(leaves.len() + 1, memex_learn::nb::NbOptions::default());
+        let background = leaves.len();
+        let mut trained = 0usize;
+        for (page, folder) in &confirmed {
+            if let (Some(class), Some(tf)) =
+                (leaves.iter().position(|l| l == folder), self.server.tf(*page))
+            {
+                nb.add_document(class, tf);
+                trained += 1;
+            }
+        }
+        // Background: an even sample of community-visited pages.
+        let mut sampled = 0usize;
+        let mut seen = HashSet::new();
+        for v in self.server.trails.visits() {
+            if seen.insert(v.page) && seen.len() % 2 == 0 {
+                if let Some(tf) = self.server.tf(v.page) {
+                    nb.add_document(background, tf);
+                    sampled += 1;
+                    if sampled >= 300 {
+                        break;
+                    }
+                }
+            }
+        }
+        TopicFilter { nb, leaves, usable: trained > 0 && sampled > 0 }
+    }
+
+    /// Pages on topic `folder` for `user`: their confirmed assignments
+    /// under the folder, plus every community-visited page the topic
+    /// filter routes to a leaf under the folder.
+    pub fn pages_on_topic(&mut self, user: u32, folder: TopicId) -> HashSet<u32> {
+        let filter = self.topic_filter(user);
+        let all_pages: Vec<u32> = self
+            .server
+            .trails
+            .visits()
+            .iter()
+            .map(|v| v.page)
+            .collect::<HashSet<u32>>()
+            .into_iter()
+            .collect();
+        let fs = self.folder_spaces.entry(user).or_default();
+        let mut on_topic = HashSet::new();
+        for page in all_pages {
+            // The user's own confirmed filing is authoritative.
+            if let Some(a) = fs.assignment(page) {
+                if a.confirmed {
+                    if fs.taxonomy.is_ancestor_or_self(folder, a.folder) {
+                        on_topic.insert(page);
+                    }
+                    continue;
+                }
+            }
+            if let Some(tf) = self.server.tf(page) {
+                if let Some(f) = filter.classify(tf) {
+                    if fs.taxonomy.is_ancestor_or_self(folder, f) {
+                        on_topic.insert(page);
+                    }
+                }
+            }
+        }
+        on_topic
+    }
+
+    /// The trail tab (Fig. 2): "Selecting a folder replays the hypertext
+    /// graph of recent pages publicly surfed by the community which are
+    /// most likely to belong to the selected topic."
+    pub fn topic_context(
+        &mut self,
+        user: u32,
+        folder: TopicId,
+        since: u64,
+        max_pages: usize,
+    ) -> TrailContext {
+        let on_topic = self.pages_on_topic(user, folder);
+        self.server
+            .trails
+            .replay_context(|p| on_topic.contains(&p), user, since, max_pages)
+    }
+
+    // -- Q3: what's new ------------------------------------------------------
+
+    /// "Are there any popular sites, related to my experience on topic T,
+    /// that have appeared \[recently\]?" — authoritative pages in/near the
+    /// community's recent on-topic trail graph that the user hasn't seen.
+    pub fn whats_new(
+        &mut self,
+        user: u32,
+        folder: TopicId,
+        since: u64,
+        k: usize,
+    ) -> Vec<(u32, f64)> {
+        let on_topic = self.pages_on_topic(user, folder);
+        // Community's recent on-topic pages...
+        let recent: Vec<u32> = self
+            .server
+            .trails
+            .visits()
+            .iter()
+            .filter(|v| v.public && v.time >= since && on_topic.contains(&v.page))
+            .map(|v| v.page)
+            .collect::<HashSet<u32>>()
+            .into_iter()
+            .collect();
+        // ...expanded one hop through the fetched web graph ("in or near").
+        let base: Vec<u32> = expand(&self.server.web, &recent, 1, Direction::Both, 4_000)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        let seen_before: HashSet<u32> = self
+            .server
+            .trails
+            .visits()
+            .iter()
+            .filter(|v| v.user == user && v.time < since)
+            .map(|v| v.page)
+            .collect();
+        top_authorities(&self.server.web, &base, k + seen_before.len())
+            .into_iter()
+            .filter(|(p, _)| !seen_before.contains(p))
+            .take(k)
+            .collect()
+    }
+
+    // -- Q4: ISP bill --------------------------------------------------------
+
+    /// "How is my ISP bill divided into access for work, travel, news,
+    /// hobby and entertainment?" — bytes per folder for the user's visits
+    /// in `[since, until]`.
+    pub fn bill(&mut self, user: u32, since: u64, until: u64) -> Vec<BillLine> {
+        let visits: Vec<(u32, u64)> = self
+            .server
+            .trails
+            .visits()
+            .iter()
+            .filter(|v| v.user == user && v.time >= since && v.time <= until)
+            .map(|v| (v.page, v.time))
+            .collect();
+        let filter = self.topic_filter(user);
+        let mut per_folder: HashMap<String, (u64, u32)> = HashMap::new();
+        let mut total_bytes = 0u64;
+        for (page, _) in visits {
+            let bytes = u64::from(self.server.page_bytes(page).unwrap_or(0));
+            let folder_name = {
+                let fs = self.folder_spaces.entry(user).or_default();
+                let assigned = match fs.assignment(page) {
+                    Some(a) if a.confirmed => Some(a.folder),
+                    _ => self.server.tf(page).and_then(|tf| filter.classify(tf)),
+                };
+                match assigned {
+                    Some(f) => fs.taxonomy.path(f),
+                    None => "(other)".to_string(),
+                }
+            };
+            let e = per_folder.entry(folder_name).or_insert((0, 0));
+            e.0 += bytes;
+            e.1 += 1;
+            total_bytes += bytes;
+        }
+        let mut lines: Vec<BillLine> = per_folder
+            .into_iter()
+            .map(|(folder, (bytes, visits))| BillLine {
+                folder,
+                bytes,
+                visits,
+                fraction: if total_bytes == 0 { 0.0 } else { bytes as f64 / total_bytes as f64 },
+            })
+            .collect();
+        lines.sort_by(|a, b| b.bytes.cmp(&a.bytes));
+        lines
+    }
+
+    // -- Q5: community themes -------------------------------------------------
+
+    /// Consolidate all users' public folders into the community theme
+    /// taxonomy (Fig. 4). Cached until new bookmarks arrive. Returns the
+    /// themes plus the page id behind each theme document index.
+    pub fn community_themes(&mut self) -> &(Themes, Vec<u32>) {
+        let n_bookmarks = self.server.bookmarks.len();
+        if self.themes_cache.is_none() || self.themes_built_at_bookmarks != n_bookmarks {
+            // Documents: distinct bookmarked pages.
+            let mut doc_pages: Vec<u32> = Vec::new();
+            let mut doc_of_page: HashMap<u32, usize> = HashMap::new();
+            let mut folders_by_key: HashMap<(u32, String), Vec<usize>> = HashMap::new();
+            for b in &self.server.bookmarks {
+                let doc = *doc_of_page.entry(b.page).or_insert_with(|| {
+                    doc_pages.push(b.page);
+                    doc_pages.len() - 1
+                });
+                folders_by_key.entry((b.user, b.folder.clone())).or_default().push(doc);
+            }
+            let docs: Vec<SparseVec> = doc_pages
+                .iter()
+                .map(|&p| match self.server.tf(p) {
+                    Some(tf) => self.analyzer.tfidf(&self.server.vocab, tf),
+                    None => SparseVec::new(),
+                })
+                .collect();
+            let mut folders: Vec<UserFolder> = folders_by_key
+                .into_iter()
+                .map(|((user, name), mut docs)| {
+                    docs.sort_unstable();
+                    docs.dedup();
+                    UserFolder { user, name, docs }
+                })
+                .collect();
+            folders.sort_by(|a, b| (a.user, &a.name).cmp(&(b.user, &b.name)));
+            let themes = ThemeDiscovery::new(self.theme_opts).run(&docs, &folders);
+            self.themes_cache = Some((themes, doc_pages));
+            self.themes_built_at_bookmarks = n_bookmarks;
+        }
+        self.themes_cache.as_ref().expect("just built")
+    }
+
+    /// TF-IDF vector of a fetched page.
+    pub fn page_vector(&self, page: u32) -> Option<SparseVec> {
+        self.server.tf(page).map(|tf| self.analyzer.tfidf(&self.server.vocab, tf))
+    }
+
+    /// "Where and how do I fit into that map?" — the user's weight on each
+    /// theme node, as `(theme path, weight)` sorted descending.
+    pub fn my_place(&mut self, user: u32) -> Vec<(String, f64)> {
+        let profile = crate::recommend::theme_profile(self, user);
+        let (themes, _) = self.community_themes();
+        let mut out: Vec<(String, f64)> = profile
+            .iter()
+            .filter(|(&node, _)| node != memex_learn::taxonomy::Taxonomy::ROOT)
+            .map(|(&node, &w)| (themes.taxonomy.path(node), w))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    // -- Q6: similar surfers ---------------------------------------------------
+
+    /// "Who are the people who share my interest most closely?" — theme
+    /// profile cosine, descending, excluding the user.
+    pub fn similar_surfers(&mut self, user: u32, k: usize) -> Vec<(u32, f64)> {
+        crate::recommend::similar_surfers(self, user, k)
+    }
+
+    /// Collaborative page recommendation for a user.
+    pub fn recommend_pages(&mut self, user: u32, k: usize) -> Vec<(u32, f64)> {
+        crate::recommend::recommend_pages(self, user, k)
+    }
+
+    /// All users with a folder space (registration order not guaranteed).
+    pub fn users(&self) -> Vec<u32> {
+        let mut u: Vec<u32> = self.folder_spaces.keys().copied().collect();
+        u.sort_unstable();
+        u
+    }
+
+    // -- folder proposal (§2: "Memex also uses unsupervised clustering to
+    // propose a topic hierarchy over a set of links that the user may want
+    // to reorganize") ---------------------------------------------------------
+
+    /// Cluster a user's *unfiled-or-guessed* visited pages into `k`
+    /// proposed folders. Each proposal carries a suggested name (top
+    /// centroid terms) and its member pages; accepting one is a plain
+    /// [`FolderSpace::add_folder`] + `bookmark` loop.
+    pub fn propose_folders(&mut self, user: u32, k: usize) -> Vec<FolderProposal> {
+        let pages: Vec<u32> = {
+            let fs = self.folder_spaces.entry(user).or_default();
+            self.server
+                .trails
+                .user_pages(user, 0)
+                .into_iter()
+                .filter(|&p| !fs.assignment(p).is_some_and(|a| a.confirmed))
+                .collect()
+        };
+        let docs: Vec<SparseVec> = pages
+            .iter()
+            .filter_map(|&p| {
+                self.server.tf(p).map(|tf| self.analyzer.tfidf(&self.server.vocab, tf))
+            })
+            .collect();
+        if docs.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let result = memex_cluster::scatter::buckshot(&docs, k.min(docs.len()), 0x50F7);
+        let mut proposals: Vec<FolderProposal> = (0..result.centroids.len())
+            .map(|c| FolderProposal {
+                name: memex_cluster::scatter::top_terms(&result.centroids[c], &self.server.vocab, 3)
+                    .join(" "),
+                pages: Vec::new(),
+            })
+            .collect();
+        for (i, &label) in result.labels.iter().enumerate() {
+            proposals[label].pages.push(pages[i]);
+        }
+        proposals.retain(|p| !p.pages.is_empty());
+        proposals.sort_by(|a, b| b.pages.len().cmp(&a.pages.len()));
+        proposals
+    }
+}
+
+/// A folder the clustering demon proposes for reorganising loose pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FolderProposal {
+    /// Suggested folder name: the cluster's top centroid terms.
+    pub name: String,
+    /// Member pages, in trail order.
+    pub pages: Vec<u32>,
+}

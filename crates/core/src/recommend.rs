@@ -1,0 +1,238 @@
+//! Theme-weight user profiles and collaborative recommendation (§4):
+//! "'Normalizing' all members of the community to themes also lets us
+//! represent surfers' interests in a canonical form: roughly speaking, a
+//! user profile is a set of weights associated with each node of a theme
+//! hierarchy; this gives us a means of comparing profiles that is far
+//! superior to overlap in sets of URLs."
+//!
+//! The URL-overlap (Jaccard) baseline lives here too — experiment T5
+//! measures exactly that "far superior" claim.
+
+use std::collections::{HashMap, HashSet};
+
+use memex_cluster::themes::profile_similarity;
+use memex_learn::taxonomy::TopicId;
+
+use crate::memex::Memex;
+
+/// Build a user's theme profile: for every page they visited, find its
+/// theme (bookmarked pages carry their discovered theme; other pages are
+/// routed to the nearest leaf theme by centroid similarity) and accumulate
+/// weight up the theme taxonomy.
+pub fn theme_profile(memex: &mut Memex, user: u32) -> HashMap<TopicId, f64> {
+    let pages = memex.server.trails.user_pages(user, 0);
+    // Snapshot what we need from the cache to keep borrows simple.
+    let (doc_theme, doc_pages, taxonomy) = {
+        let (themes, doc_pages) = memex.community_themes();
+        (themes.doc_theme.clone(), doc_pages.clone(), themes.taxonomy.clone())
+    };
+    let doc_of_page: HashMap<u32, usize> =
+        doc_pages.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let mut profile: HashMap<TopicId, f64> = HashMap::new();
+    let total = pages.len().max(1) as f64;
+    for page in pages {
+        let theme = match doc_of_page.get(&page) {
+            Some(&d) => doc_theme.get(d).copied().flatten(),
+            None => {
+                let v = memex.page_vector(page);
+                let (themes, _) = memex.community_themes();
+                v.and_then(|v| themes.assign(&v))
+            }
+        };
+        if let Some(node) = theme {
+            let mut cur = Some(node);
+            while let Some(c) = cur {
+                *profile.entry(c).or_insert(0.0) += 1.0 / total;
+                cur = taxonomy.parent(c);
+            }
+        }
+    }
+    profile
+}
+
+/// Theme profiles for every registered user.
+pub fn all_profiles(memex: &mut Memex) -> HashMap<u32, HashMap<TopicId, f64>> {
+    memex
+        .users()
+        .into_iter()
+        .map(|u| (u, theme_profile(memex, u)))
+        .collect()
+}
+
+/// Most similar surfers by theme-profile cosine (excludes `user`).
+pub fn similar_surfers(memex: &mut Memex, user: u32, k: usize) -> Vec<(u32, f64)> {
+    let profiles = all_profiles(memex);
+    let Some(mine) = profiles.get(&user) else { return Vec::new() };
+    let mut scored: Vec<(u32, f64)> = profiles
+        .iter()
+        .filter(|(&u, _)| u != user)
+        .map(|(&u, p)| (u, profile_similarity(mine, p)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// The baseline the paper dismisses: Jaccard overlap of visited URL sets.
+pub fn url_jaccard(memex: &Memex, a: u32, b: u32) -> f64 {
+    let pa: HashSet<u32> = memex.server.trails.user_pages(a, 0).into_iter().collect();
+    let pb: HashSet<u32> = memex.server.trails.user_pages(b, 0).into_iter().collect();
+    if pa.is_empty() && pb.is_empty() {
+        return 0.0;
+    }
+    let inter = pa.intersection(&pb).count() as f64;
+    let union = pa.union(&pb).count() as f64;
+    inter / union
+}
+
+/// Surfer ranking by the URL-overlap baseline.
+pub fn similar_surfers_by_url(memex: &Memex, user: u32, k: usize) -> Vec<(u32, f64)> {
+    let mut scored: Vec<(u32, f64)> = memex
+        .users()
+        .into_iter()
+        .filter(|&u| u != user)
+        .map(|u| (u, url_jaccard(memex, user, u)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Collaborative recommendation: pages that theme-similar users visited
+/// (publicly) which `user` has not, scored by Σ neighbour-similarity ×
+/// log(1 + neighbour's visit count).
+pub fn recommend_pages(memex: &mut Memex, user: u32, k: usize) -> Vec<(u32, f64)> {
+    let neighbours = similar_surfers(memex, user, 5);
+    let mine: HashSet<u32> = memex.server.trails.user_pages(user, 0).into_iter().collect();
+    let mut scores: HashMap<u32, f64> = HashMap::new();
+    for (v, sim) in neighbours {
+        if sim <= 0.0 {
+            continue;
+        }
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for visit in memex.server.trails.visits().iter().filter(|x| x.user == v && x.public) {
+            *counts.entry(visit.page).or_insert(0) += 1;
+        }
+        for (page, c) in counts {
+            if !mine.contains(&page) {
+                *scores.entry(page).or_insert(0.0) += sim * f64::from(c + 1).ln();
+            }
+        }
+    }
+    let mut out: Vec<(u32, f64)> = scores.into_iter().collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memex::MemexOptions;
+    use memex_server::events::{ClientEvent, VisitEvent};
+    use memex_web::corpus::{Corpus, CorpusConfig};
+    use std::sync::Arc;
+
+    /// Two pairs of users browsing two disjoint topics, with bookmarks so
+    /// themes exist; pair members visit *disjoint* page sets.
+    fn world() -> Memex {
+        let corpus = Arc::new(Corpus::generate(CorpusConfig {
+            num_topics: 2,
+            pages_per_topic: 40,
+            ..CorpusConfig::default()
+        }));
+        let mut memex = Memex::new(corpus.clone(), MemexOptions::default()).unwrap();
+        for u in 0..4 {
+            memex.register_user(u, &format!("u{u}")).unwrap();
+        }
+        let mut time = 0u64;
+        for user in 0..4u32 {
+            let topic = (user % 2) as usize;
+            let pages = corpus.pages_of_topic(topic);
+            // Disjoint halves per pair member.
+            let half: Vec<u32> = pages
+                .iter()
+                .copied()
+                .filter(|p| (p % 2) as u32 == user / 2)
+                .take(10)
+                .collect();
+            for &p in &half {
+                time += 1;
+                memex.submit(ClientEvent::Visit(VisitEvent {
+                    user,
+                    session: 0,
+                    page: p,
+                    url: corpus.pages[p as usize].url.clone(),
+                    time,
+                    referrer: None,
+                }));
+            }
+            for &p in half.iter().take(4) {
+                memex.submit(ClientEvent::Bookmark {
+                    user,
+                    page: p,
+                    url: corpus.pages[p as usize].url.clone(),
+                    folder: format!("/{}", corpus.topic_names[topic]),
+                    time,
+                });
+            }
+        }
+        memex.run_demons().unwrap();
+        memex
+    }
+
+    #[test]
+    fn theme_profiles_pair_users_with_zero_url_overlap() {
+        let mut memex = world();
+        // Users 0 and 2 share topic 0 but visited disjoint pages.
+        assert_eq!(url_jaccard(&memex, 0, 2), 0.0, "disjoint by construction");
+        let similar = similar_surfers(&mut memex, 0, 3);
+        assert_eq!(similar[0].0, 2, "theme profile still finds the soulmate: {similar:?}");
+        assert!(similar[0].1 > 0.5);
+        // The URL baseline is blind here.
+        let by_url = similar_surfers_by_url(&memex, 0, 3);
+        assert!(by_url.iter().all(|&(_, s)| s == 0.0));
+    }
+
+    #[test]
+    fn profiles_are_normalised_weights() {
+        let mut memex = world();
+        let p = theme_profile(&mut memex, 0);
+        assert!(!p.is_empty());
+        for &w in p.values() {
+            assert!(w > 0.0 && w <= 1.0 + 1e-9);
+        }
+        // Root accumulates everything assigned, so it carries max weight.
+        let max = p.values().cloned().fold(0.0f64, f64::max);
+        let root_weight = p
+            .get(&memex_learn::taxonomy::Taxonomy::ROOT)
+            .copied()
+            .unwrap_or(0.0);
+        assert!((root_weight - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recommendations_come_from_the_shared_topic() {
+        let mut memex = world();
+        let recs = recommend_pages(&mut memex, 0, 5);
+        assert!(!recs.is_empty());
+        let corpus = memex.corpus.clone();
+        for (page, _) in &recs {
+            assert_eq!(corpus.topic_of(*page), 0, "recommendation off-topic");
+        }
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded() {
+        let memex = world();
+        for a in 0..4 {
+            for b in 0..4 {
+                let ab = url_jaccard(&memex, a, b);
+                assert!((0.0..=1.0).contains(&ab));
+                assert_eq!(ab, url_jaccard(&memex, b, a));
+            }
+            assert_eq!(url_jaccard(&memex, a, a), 1.0);
+        }
+        assert_eq!(url_jaccard(&memex, 99, 98), 0.0, "unknown users have empty trails");
+    }
+}

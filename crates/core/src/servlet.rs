@@ -1,0 +1,130 @@
+//! The servlet surface (paper §3: "the server consists of servlets that
+//! perform various archiving and mining functions as triggered by client
+//! action"). The demo tunnelled these over HTTP; here the same
+//! request/response vocabulary dispatches in-process, which keeps the
+//! boundary (and its tests) without the wire.
+
+use memex_learn::taxonomy::TopicId;
+use memex_server::events::ClientEvent;
+
+use crate::bookmarks_io::{export_netscape, import_netscape, BookmarkEntry};
+use crate::memex::{BillLine, Memex, RecallHit};
+
+/// A client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Ingest a raw client event (visit/bookmark/mode).
+    Event(ClientEvent),
+    /// Full-text recall over the user's own history (Q1).
+    Recall { user: u32, query: String, since: u64, until: u64, k: usize },
+    /// Replay the topical browsing context (Fig. 2 trail tab).
+    TrailReplay { user: u32, folder: TopicId, since: u64, max_pages: usize },
+    /// Topic-organised discovery of new authoritative pages (Q3).
+    WhatsNew { user: u32, folder: TopicId, since: u64, k: usize },
+    /// ISP bill breakdown (Q4).
+    Bill { user: u32, since: u64, until: u64 },
+    /// Similar surfers by theme profile (Q6).
+    SimilarSurfers { user: u32, k: usize },
+    /// Collaborative page recommendations.
+    Recommend { user: u32, k: usize },
+    /// Import a Netscape bookmark file into the user's folder space.
+    ImportBookmarks { user: u32, html: String, time: u64 },
+    /// Export the user's folder space back to Netscape format.
+    ExportBookmarks { user: u32 },
+    /// Propose folders (clusters with names) for the user's loose pages.
+    ProposeFolders { user: u32, k: usize },
+}
+
+/// The matching responses.
+#[derive(Debug, Clone)]
+pub enum Response {
+    Ack { archived: bool },
+    Recall(Vec<RecallHit>),
+    TrailReplay(memex_graph::trail::TrailContext),
+    WhatsNew(Vec<(u32, f64)>),
+    Bill(Vec<BillLine>),
+    SimilarSurfers(Vec<(u32, f64)>),
+    Recommend(Vec<(u32, f64)>),
+    Imported { bookmarks: usize, unresolved: usize },
+    Exported(String),
+    Proposals(Vec<crate::memex::FolderProposal>),
+    Error(String),
+}
+
+/// Dispatch one request against the system.
+pub fn dispatch(memex: &mut Memex, request: Request) -> Response {
+    match request {
+        Request::Event(e) => Response::Ack { archived: memex.submit(e) },
+        Request::Recall { user, query, since, until, k } => {
+            match memex.recall(user, &query, since, until, k) {
+                Ok(hits) => Response::Recall(hits),
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        Request::TrailReplay { user, folder, since, max_pages } => {
+            Response::TrailReplay(memex.topic_context(user, folder, since, max_pages))
+        }
+        Request::WhatsNew { user, folder, since, k } => {
+            Response::WhatsNew(memex.whats_new(user, folder, since, k))
+        }
+        Request::Bill { user, since, until } => Response::Bill(memex.bill(user, since, until)),
+        Request::SimilarSurfers { user, k } => {
+            Response::SimilarSurfers(memex.similar_surfers(user, k))
+        }
+        Request::Recommend { user, k } => Response::Recommend(memex.recommend_pages(user, k)),
+        Request::ImportBookmarks { user, html, time } => {
+            let entries = import_netscape(&html);
+            let mut imported = 0usize;
+            let mut unresolved = 0usize;
+            for e in &entries {
+                match memex.resolve_url(&e.url) {
+                    Some(page) => {
+                        let folder = if e.folder_path.is_empty() {
+                            "/Imported".to_string()
+                        } else {
+                            format!("/{}", e.folder_path.join("/"))
+                        };
+                        memex.submit(ClientEvent::Bookmark {
+                            user,
+                            page,
+                            url: e.url.clone(),
+                            folder,
+                            time,
+                        });
+                        imported += 1;
+                    }
+                    None => unresolved += 1,
+                }
+            }
+            Response::Imported { bookmarks: imported, unresolved }
+        }
+        Request::ProposeFolders { user, k } => {
+            Response::Proposals(memex.propose_folders(user, k))
+        }
+        Request::ExportBookmarks { user } => {
+            let urls: Vec<(u32, String)> = {
+                let fs = memex.folder_space(user);
+                fs.assignments()
+                    .filter(|(_, a)| a.confirmed)
+                    .map(|(page, a)| (page, fs.taxonomy.path(a.folder)))
+                    .collect()
+            };
+            let entries: Vec<BookmarkEntry> = urls
+                .into_iter()
+                .map(|(page, path)| {
+                    let p = &memex.corpus.pages[page as usize];
+                    BookmarkEntry {
+                        folder_path: path
+                            .split('/')
+                            .filter(|c| !c.is_empty())
+                            .map(str::to_string)
+                            .collect(),
+                        url: p.url.clone(),
+                        title: p.title.clone(),
+                    }
+                })
+                .collect();
+            Response::Exported(export_netscape(&entries))
+        }
+    }
+}

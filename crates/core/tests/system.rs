@@ -1,0 +1,289 @@
+//! End-to-end system tests: a simulated community surfs the synthetic web
+//! through the full Memex stack, then every §1 query is asked.
+
+use std::sync::Arc;
+
+use memex_core::memex::{Memex, MemexOptions};
+use memex_core::servlet::{dispatch, Request, Response};
+use memex_server::events::{ClientEvent, VisitEvent};
+use memex_web::corpus::{Corpus, CorpusConfig};
+use memex_web::surfer::{Community, SurferConfig};
+
+/// Build a world, push every simulated event through the server, run the
+/// demons.
+fn world() -> (Arc<Corpus>, Community, Memex) {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 4,
+        pages_per_topic: 50,
+        ..CorpusConfig::default()
+    }));
+    let community = Community::simulate(
+        &corpus,
+        &SurferConfig { num_users: 8, sessions_per_user: 10, ..SurferConfig::default() },
+    );
+    let mut memex = Memex::new(corpus.clone(), MemexOptions::default()).unwrap();
+    for truth in &community.users {
+        memex.register_user(truth.user, &format!("user{}", truth.user)).unwrap();
+    }
+    // Interleave bookmarks with visits in time order.
+    let mut bi = 0usize;
+    for v in &community.visits {
+        while bi < community.bookmarks.len() && community.bookmarks[bi].time <= v.time {
+            let b = &community.bookmarks[bi];
+            memex.submit(ClientEvent::Bookmark {
+                user: b.user,
+                page: b.page,
+                url: corpus.pages[b.page as usize].url.clone(),
+                folder: format!("/{}", b.folder),
+                time: b.time,
+            });
+            bi += 1;
+        }
+        memex.submit(ClientEvent::Visit(VisitEvent {
+            user: v.user,
+            session: v.session,
+            page: v.page,
+            url: corpus.pages[v.page as usize].url.clone(),
+            time: v.time,
+            referrer: v.referrer,
+        }));
+    }
+    memex.run_demons().unwrap();
+    (corpus, community, memex)
+}
+
+#[test]
+fn full_pipeline_archives_everything() {
+    let (_, community, mut memex) = world();
+    let stats = memex.server.stats();
+    assert_eq!(stats.events_discarded_overload, 0);
+    assert!(stats.docs_indexed > 0);
+    assert!(stats.bookmarks_recorded > 0);
+    // Public visits made it to the trail graph.
+    assert!(memex.server.trails.len() as u64 >= stats.visits_trailed / 2);
+    // Folder spaces got populated by the bookmark filing + classify demon.
+    let user = community.users[0].user;
+    let fs = memex.folder_space(user);
+    assert!(fs.confirmed_count() > 0, "bookmarks must be confirmed assignments");
+    assert!(
+        fs.assignments().count() > fs.confirmed_count(),
+        "the demon should have guessed extra pages"
+    );
+}
+
+#[test]
+fn recall_finds_a_months_old_page() {
+    let (corpus, community, mut memex) = world();
+    // Pick a real early visit by user 0 on their primary interest.
+    let user = community.users[0].user;
+    let topic = community.users[0].interests[0];
+    let target = community
+        .visits
+        .iter()
+        .find(|v| v.user == user && corpus.topic_of(v.page) == topic && !corpus.pages[v.page as usize].is_front)
+        .expect("user visited an interior page of their interest");
+    // Query with that page's own top words plus the window around then.
+    let words: Vec<&str> = corpus.pages[target.page as usize].text.split_whitespace().take(6).collect();
+    let query = words.join(" ");
+    let window = 30 * 24 * 3_600_000u64; // one month
+    let hits = memex
+        .recall(user, &query, target.time.saturating_sub(window), target.time + window, 10)
+        .unwrap();
+    assert!(!hits.is_empty(), "recall must return something");
+    assert!(
+        hits.iter().any(|h| h.page == target.page),
+        "the visited page should be among the hits"
+    );
+    // Everything returned was actually visited by the user in the window.
+    for h in &hits {
+        assert!(h.last_visit >= target.time.saturating_sub(window));
+        assert!(h.last_visit <= target.time + window);
+    }
+}
+
+#[test]
+fn trail_replay_recreates_topical_context() {
+    let (corpus, community, mut memex) = world();
+    let user = community.users[0].user;
+    let topic = community.users[0].interests[0];
+    // The folder named after the user's primary interest exists from
+    // bookmark filing.
+    let folder = {
+        let fs = memex.folder_space(user);
+        let path = format!("/{}", corpus.topic_names[topic]);
+        fs.add_folder(&path)
+    };
+    let ctx = memex.topic_context(user, folder, 0, 25);
+    assert!(!ctx.nodes.is_empty(), "context should replay pages");
+    // Precision: replayed pages are mostly of the right ground-truth topic.
+    let on_topic = ctx.nodes.iter().filter(|n| corpus.topic_of(n.page) == topic).count();
+    let precision = on_topic as f64 / ctx.nodes.len() as f64;
+    assert!(precision > 0.6, "replay precision {precision}");
+    // Edges connect replayed nodes only.
+    let node_set: std::collections::HashSet<u32> = ctx.nodes.iter().map(|n| n.page).collect();
+    for &(a, b, c) in &ctx.edges {
+        assert!(node_set.contains(&a) && node_set.contains(&b));
+        assert!(c >= 1);
+    }
+}
+
+#[test]
+fn bill_breaks_down_by_folder() {
+    let (_, community, mut memex) = world();
+    let user = community.users[1].user;
+    let lines = memex.bill(user, 0, u64::MAX);
+    assert!(!lines.is_empty());
+    let total: f64 = lines.iter().map(|l| l.fraction).sum();
+    assert!((total - 1.0).abs() < 1e-6, "fractions sum to 1, got {total}");
+    assert!(lines.windows(2).all(|w| w[0].bytes >= w[1].bytes), "sorted by bytes");
+    let bytes: u64 = lines.iter().map(|l| l.bytes).sum();
+    assert!(bytes > 0);
+}
+
+#[test]
+fn community_themes_and_profiles() {
+    let (_, community, mut memex) = world();
+    let (themes, _) = memex.community_themes().clone();
+    assert!(!themes.themes.is_empty(), "community themes must exist");
+    themes.taxonomy.check_invariants().unwrap();
+    // Several users bookmark the same topics, so at least one theme should
+    // have multiple users.
+    assert!(
+        themes.themes.iter().any(|t| t.users.len() >= 2),
+        "shared interests should merge into shared themes"
+    );
+    let user = community.users[0].user;
+    let place = memex.my_place(user);
+    assert!(!place.is_empty(), "user must appear somewhere on the map");
+    let top_weight = place[0].1;
+    assert!(top_weight > 0.0 && top_weight <= 1.0 + 1e-9);
+}
+
+#[test]
+fn similar_surfers_respect_shared_interests() {
+    let (_, community, mut memex) = world();
+    // users 0 and 4 share primary interest (u % num_topics with 4 topics,
+    // 8 users).
+    let similar = memex.similar_surfers(0, 7);
+    assert_eq!(similar.len(), 7);
+    let rank_of = |u: u32| similar.iter().position(|&(v, _)| v == u).unwrap();
+    // The same-primary-interest user should rank above the median.
+    assert!(
+        rank_of(4) < 4,
+        "user 4 (same primary interest) ranked {} in {:?}",
+        rank_of(4),
+        similar
+    );
+    let _ = community;
+}
+
+#[test]
+fn recommendations_are_novel_pages() {
+    let (_, _, mut memex) = world();
+    let recs = memex.recommend_pages(0, 10);
+    assert!(!recs.is_empty());
+    let mine: std::collections::HashSet<u32> =
+        memex.server.trails.user_pages(0, 0).into_iter().collect();
+    for (page, score) in &recs {
+        assert!(!mine.contains(page), "recommended page {page} was already visited");
+        assert!(*score > 0.0);
+    }
+}
+
+#[test]
+fn servlet_dispatch_covers_the_api() {
+    let (corpus, community, mut memex) = world();
+    let user = community.users[0].user;
+    // Search through the servlet.
+    let resp = dispatch(
+        &mut memex,
+        Request::Recall { user, query: "classical music".into(), since: 0, until: u64::MAX, k: 5 },
+    );
+    assert!(matches!(resp, Response::Recall(_)));
+    // Bill.
+    let resp = dispatch(&mut memex, Request::Bill { user, since: 0, until: u64::MAX });
+    let Response::Bill(lines) = resp else { panic!("expected bill") };
+    assert!(!lines.is_empty());
+    // Export -> import round trip through the Netscape format.
+    let Response::Exported(html) = dispatch(&mut memex, Request::ExportBookmarks { user }) else {
+        panic!("expected export");
+    };
+    assert!(html.contains("NETSCAPE-Bookmark-file-1"));
+    let fresh_user = 999u32;
+    memex.register_user(fresh_user, "fresh").unwrap();
+    let Response::Imported { bookmarks, unresolved } = dispatch(
+        &mut memex,
+        Request::ImportBookmarks { user: fresh_user, html, time: 1 },
+    ) else {
+        panic!("expected import");
+    };
+    assert!(bookmarks > 0);
+    assert_eq!(unresolved, 0, "all exported urls resolve in the corpus");
+    memex.run_demons().unwrap();
+    let fs = memex.folder_space(fresh_user);
+    assert_eq!(fs.confirmed_count(), bookmarks);
+    let _ = corpus;
+}
+
+#[test]
+fn proposed_folders_cluster_loose_pages_by_topic() {
+    let (corpus, community, mut memex) = world();
+    let user = community.users[0].user;
+    let proposals = memex.propose_folders(user, 4);
+    assert!(!proposals.is_empty());
+    // Every proposed folder should be topically coherent: its majority
+    // ground-truth topic should own most members.
+    let mut total = 0usize;
+    let mut majority = 0usize;
+    for p in &proposals {
+        assert!(!p.name.is_empty(), "proposal must carry a suggested name");
+        let mut counts = std::collections::HashMap::new();
+        for &page in &p.pages {
+            *counts.entry(corpus.topic_of(page)).or_insert(0usize) += 1;
+        }
+        majority += counts.values().max().copied().unwrap_or(0);
+        total += p.pages.len();
+    }
+    let purity = majority as f64 / total.max(1) as f64;
+    assert!(purity > 0.6, "proposal purity {purity}");
+    // Confirmed bookmarks are not re-proposed.
+    let confirmed: Vec<u32> = {
+        let fs = memex.folder_space(user);
+        fs.assignments().filter(|(_, a)| a.confirmed).map(|(p, _)| p).collect()
+    };
+    let proposals = memex.propose_folders(user, 4);
+    for p in &proposals {
+        for page in &p.pages {
+            assert!(!confirmed.contains(page));
+        }
+    }
+}
+
+#[test]
+fn whats_new_excludes_seen_pages_and_ranks_authorities() {
+    let (corpus, community, mut memex) = world();
+    let user = community.users[2].user;
+    let topic = community.users[2].interests[0];
+    let folder = {
+        let fs = memex.folder_space(user);
+        fs.add_folder(&format!("/{}", corpus.topic_names[topic]))
+    };
+    // Ask for what's new in the second half of the history.
+    let horizon = {
+        let visits = memex.server.trails.visits();
+        visits[visits.len() / 2].time
+    };
+    let fresh = memex.whats_new(user, folder, horizon, 5);
+    let seen_before: std::collections::HashSet<u32> = memex
+        .server
+        .trails
+        .visits()
+        .iter()
+        .filter(|v| v.user == user && v.time < horizon)
+        .map(|v| v.page)
+        .collect();
+    for (page, score) in &fresh {
+        assert!(!seen_before.contains(page), "page {page} was already known to the user");
+        assert!(*score >= 0.0);
+    }
+}

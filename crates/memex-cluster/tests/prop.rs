@@ -1,0 +1,109 @@
+//! Property tests for the clustering substrate: HAC cuts are proper
+//! partitions, k-means output is well-formed and deterministic, quality
+//! metrics stay in range, and the MDL cost behaves monotonically in alpha.
+
+use proptest::prelude::*;
+
+use memex_cluster::hac::{hac_cut, Hac};
+use memex_cluster::kmeans::KMeans;
+use memex_cluster::quality::{nmi, partition_cost, purity};
+use memex_cluster::scatter::buckshot;
+use memex_text::vector::SparseVec;
+
+fn docs_strategy(max_docs: usize) -> impl Strategy<Value = Vec<SparseVec>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..24, 0.1f32..5.0), 1..6).prop_map(SparseVec::from_pairs),
+        1..max_docs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cutting a dendrogram at k yields a dense labelling with exactly
+    /// min(k, n) clusters, deterministic across runs.
+    #[test]
+    fn hac_cut_is_a_proper_partition(docs in docs_strategy(24), k in 1usize..10) {
+        let labels = hac_cut(&docs, k);
+        prop_assert_eq!(labels.len(), docs.len());
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), k.min(docs.len()));
+        // Labels are dense 0..m.
+        prop_assert!(distinct.iter().all(|&l| l < distinct.len()));
+        // Deterministic.
+        prop_assert_eq!(hac_cut(&docs, k), labels);
+    }
+
+    /// Coarser cuts refine: merging never splits an existing cluster —
+    /// if two docs share a label at k clusters they still do at k-1.
+    #[test]
+    fn hac_cuts_are_nested(docs in docs_strategy(20), k in 2usize..8) {
+        let d = Hac::new(&docs).run();
+        let fine = d.cut(k);
+        let coarse = d.cut(k - 1);
+        for i in 0..docs.len() {
+            for j in 0..docs.len() {
+                if fine[i] == fine[j] {
+                    prop_assert_eq!(coarse[i], coarse[j], "coarsening split {},{}", i, j);
+                }
+            }
+        }
+    }
+
+    /// k-means output shape and determinism.
+    #[test]
+    fn kmeans_wellformed(docs in docs_strategy(24), k in 1usize..8) {
+        let result = KMeans::new(k).run(&docs, None);
+        prop_assert_eq!(result.labels.len(), docs.len());
+        let kk = result.centroids.len();
+        prop_assert!(kk <= k.max(1));
+        prop_assert!(result.labels.iter().all(|&l| l < kk));
+        let again = KMeans::new(k).run(&docs, None);
+        prop_assert_eq!(result.labels, again.labels);
+        // Centroids are unit or empty.
+        for c in &result.centroids {
+            let n = c.norm();
+            prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Buckshot also yields a proper labelling.
+    #[test]
+    fn buckshot_wellformed(docs in docs_strategy(24), k in 1usize..6, seed in any::<u64>()) {
+        let result = buckshot(&docs, k, seed);
+        prop_assert_eq!(result.labels.len(), docs.len());
+        let kk = result.centroids.len().max(1);
+        prop_assert!(result.labels.iter().all(|&l| l < kk));
+    }
+
+    /// Purity and NMI live in [0, 1]; purity of the identity labelling is 1.
+    #[test]
+    fn quality_metrics_bounded(
+        labels in proptest::collection::vec(0usize..5, 1..40),
+        truth in proptest::collection::vec(0usize..5, 1..40),
+    ) {
+        let n = labels.len().min(truth.len());
+        let labels = &labels[..n];
+        let truth = &truth[..n];
+        let p = purity(labels, truth);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let m = nmi(labels, truth);
+        prop_assert!((0.0..=1.0).contains(&m));
+        prop_assert_eq!(purity(truth, truth), 1.0);
+        let self_nmi = nmi(truth, truth);
+        prop_assert!(self_nmi > 0.999 || truth.iter().all(|&t| t == truth[0]));
+    }
+
+    /// Description cost grows linearly in alpha with fixed partition.
+    #[test]
+    fn cost_monotone_in_alpha(docs in docs_strategy(16), labels_seed in any::<u64>()) {
+        let k = 3usize;
+        let labels: Vec<usize> =
+            (0..docs.len()).map(|i| ((i as u64).wrapping_mul(labels_seed | 1) % k as u64) as usize).collect();
+        let c1 = partition_cost(&docs, &labels, 0.5);
+        let c2 = partition_cost(&docs, &labels, 1.5);
+        prop_assert!(c2 >= c1);
+        let clusters = labels.iter().collect::<std::collections::HashSet<_>>().len() as f64;
+        prop_assert!((c2 - c1 - clusters).abs() < 1e-6, "slope must be #clusters");
+    }
+}

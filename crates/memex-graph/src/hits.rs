@@ -1,0 +1,144 @@
+//! Kleinberg's HITS on an induced subgraph — the link-analysis half of the
+//! paper's resource discovery: "automatic resource discovery is undertaken
+//! by demons to update users about recent and/or authoritative sources"
+//! (§4, following ref \[5\] which ranks with hubs/authorities).
+
+use std::collections::HashMap;
+
+use crate::graph::{NodeId, WebGraph};
+
+/// Hub and authority scores for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitsScore {
+    pub hub: f64,
+    pub authority: f64,
+}
+
+/// Run HITS restricted to `nodes` (the "base set"). Returns per-node
+/// scores, L2-normalised, after at most `max_iters` iterations or until the
+/// score change drops below `tol`.
+pub fn hits(
+    graph: &WebGraph,
+    nodes: &[NodeId],
+    max_iters: usize,
+    tol: f64,
+) -> HashMap<NodeId, HitsScore> {
+    let (nodes, edges) = graph.induced_subgraph(nodes);
+    let n = nodes.len();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // Edge list in dense indices.
+    let dense: Vec<(usize, usize)> = edges
+        .iter()
+        .map(|&(u, v)| (index[&u], index[&v]))
+        .collect();
+    let mut hub = vec![1.0f64; n];
+    let mut auth = vec![1.0f64; n];
+    for _ in 0..max_iters {
+        let mut new_auth = vec![0.0f64; n];
+        for &(u, v) in &dense {
+            new_auth[v] += hub[u];
+        }
+        normalize(&mut new_auth);
+        let mut new_hub = vec![0.0f64; n];
+        for &(u, v) in &dense {
+            new_hub[u] += new_auth[v];
+        }
+        normalize(&mut new_hub);
+        let delta: f64 = new_hub
+            .iter()
+            .zip(&hub)
+            .chain(new_auth.iter().zip(&auth))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        hub = new_hub;
+        auth = new_auth;
+        if delta < tol {
+            break;
+        }
+    }
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, HitsScore { hub: hub[i], authority: auth[i] }))
+        .collect()
+}
+
+/// Top-`k` authorities within `nodes`, descending.
+pub fn top_authorities(graph: &WebGraph, nodes: &[NodeId], k: usize) -> Vec<(NodeId, f64)> {
+    let scores = hits(graph, nodes, 50, 1e-9);
+    let mut v: Vec<(NodeId, f64)> = scores.into_iter().map(|(n, s)| (n, s.authority)).collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Star: hubs 1..=4 all point at node 0 -> node 0 is the authority.
+    #[test]
+    fn star_authority() {
+        let mut g = WebGraph::new();
+        for hub_node in 1..=4u32 {
+            g.add_edge(hub_node, 0);
+        }
+        let nodes: Vec<NodeId> = (0..5).collect();
+        let scores = hits(&g, &nodes, 50, 1e-12);
+        assert!(scores[&0].authority > 0.99);
+        for h in 1..=4u32 {
+            assert!(scores[&h].hub > 0.49, "hubs share hub mass");
+            assert!(scores[&h].authority < 1e-6);
+        }
+    }
+
+    /// A bipartite hub/authority community outranks a stray chain.
+    #[test]
+    fn community_beats_chain() {
+        let mut g = WebGraph::new();
+        // Dense community: hubs 10,11,12 each cite authorities 20,21.
+        for h in 10..=12u32 {
+            for a in 20..=21u32 {
+                g.add_edge(h, a);
+            }
+        }
+        // Stray chain.
+        g.add_edge(30, 31);
+        let nodes: Vec<NodeId> = vec![10, 11, 12, 20, 21, 30, 31];
+        let top = top_authorities(&g, &nodes, 2);
+        let top_ids: Vec<NodeId> = top.iter().map(|&(n, _)| n).collect();
+        assert!(top_ids.contains(&20) && top_ids.contains(&21));
+    }
+
+    #[test]
+    fn empty_and_edgeless_inputs() {
+        let g = WebGraph::new();
+        assert!(hits(&g, &[], 10, 1e-6).is_empty());
+        let mut g = WebGraph::new();
+        g.ensure_node(3);
+        let scores = hits(&g, &[0, 1], 10, 1e-6);
+        assert_eq!(scores.len(), 2, "nodes without edges still get scores");
+    }
+
+    #[test]
+    fn scores_only_use_induced_edges() {
+        let mut g = WebGraph::new();
+        g.add_edge(1, 0);
+        g.add_edge(2, 0); // 2 outside the base set
+        let scores = hits(&g, &[0, 1], 50, 1e-12);
+        assert!(scores[&0].authority > 0.99);
+        assert!(!scores.contains_key(&2));
+    }
+}

@@ -1,0 +1,165 @@
+//! Power-iteration PageRank with damping and dangling-mass redistribution —
+//! used to rank "popular pages in or near my community's recent trail
+//! graph" (§1's third motivating question).
+
+use crate::graph::WebGraph;
+
+/// PageRank options.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankOptions {
+    pub damping: f64,
+    pub max_iters: usize,
+    pub tol: f64,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions { damping: 0.85, max_iters: 100, tol: 1e-10 }
+    }
+}
+
+/// PageRank over the whole graph; returns one score per node id, summing
+/// to 1 (empty graph gives an empty vector).
+pub fn pagerank(graph: &WebGraph, opts: PageRankOptions) -> Vec<f64> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    for _ in 0..opts.max_iters {
+        let mut next = vec![(1.0 - opts.damping) * uniform; n];
+        let mut dangling = 0.0f64;
+        for u in 0..n {
+            let outs = graph.out_links(u as u32);
+            if outs.is_empty() {
+                dangling += rank[u];
+            } else {
+                let share = opts.damping * rank[u] / outs.len() as f64;
+                for &v in outs {
+                    next[v as usize] += share;
+                }
+            }
+        }
+        // Dangling nodes teleport uniformly.
+        let spread = opts.damping * dangling * uniform;
+        for x in &mut next {
+            *x += spread;
+        }
+        let delta: f64 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
+        rank = next;
+        if delta < opts.tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// Personalised PageRank: teleport only to `seeds` — ranks pages "near"
+/// a user's trail set.
+pub fn personalized_pagerank(graph: &WebGraph, seeds: &[u32], opts: PageRankOptions) -> Vec<f64> {
+    let n = graph.num_nodes();
+    if n == 0 || seeds.is_empty() {
+        return vec![0.0; n];
+    }
+    let seed_mass = 1.0 / seeds.len() as f64;
+    let mut teleport = vec![0.0f64; n];
+    for &s in seeds {
+        if (s as usize) < n {
+            teleport[s as usize] += seed_mass;
+        }
+    }
+    let mut rank = teleport.clone();
+    for _ in 0..opts.max_iters {
+        let mut next: Vec<f64> = teleport.iter().map(|&t| (1.0 - opts.damping) * t).collect();
+        let mut dangling = 0.0f64;
+        for u in 0..n {
+            let outs = graph.out_links(u as u32);
+            if outs.is_empty() {
+                dangling += rank[u];
+            } else {
+                let share = opts.damping * rank[u] / outs.len() as f64;
+                for &v in outs {
+                    next[v as usize] += share;
+                }
+            }
+        }
+        for (x, &t) in next.iter_mut().zip(&teleport) {
+            *x += opts.damping * dangling * t;
+        }
+        let delta: f64 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
+        rank = next;
+        if delta < opts.tol {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let mut g = WebGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 0); // 3 is dangling-free, 0 gains
+        let r = pagerank(&g, PageRankOptions::default());
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn popular_page_outranks_others() {
+        let mut g = WebGraph::new();
+        for u in 1..=9u32 {
+            g.add_edge(u, 0);
+        }
+        // give node 0 an outlink so it isn't purely dangling
+        g.add_edge(0, 1);
+        let r = pagerank(&g, PageRankOptions::default());
+        let best = r
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        let mut g = WebGraph::new();
+        g.add_edge(0, 1); // node 1 dangles
+        let r = pagerank(&g, PageRankOptions::default());
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(r[1] > r[0], "sink accumulates");
+    }
+
+    #[test]
+    fn personalized_concentrates_near_seeds() {
+        let mut g = WebGraph::new();
+        // Two disjoint triangles.
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(10, 11);
+        g.add_edge(11, 12);
+        g.add_edge(12, 10);
+        let r = personalized_pagerank(&g, &[0], PageRankOptions::default());
+        let near: f64 = r[0] + r[1] + r[2];
+        let far: f64 = r[10] + r[11] + r[12];
+        assert!(near > 0.99);
+        assert!(far < 1e-6);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = WebGraph::new();
+        assert!(pagerank(&g, PageRankOptions::default()).is_empty());
+        assert!(personalized_pagerank(&g, &[], PageRankOptions::default()).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Link-structure page similarity: **co-citation** (two pages are related
+//! when the same pages link to both — Small, 1973) and **bibliographic
+//! coupling** (two pages are related when they link to the same pages —
+//! Kessler, 1963). The classic link-only "related pages" primitives of the
+//! era (used by Dean & Henzinger's *What is this page related to?*), which
+//! complement Memex's text similarity for pages with little text.
+
+use std::collections::HashMap;
+
+use crate::graph::{NodeId, WebGraph};
+
+/// Co-citation count between `a` and `b`: |in(a) ∩ in(b)| (sorted-merge).
+pub fn cocitation(graph: &WebGraph, a: NodeId, b: NodeId) -> usize {
+    sorted_intersection_len(graph.in_links(a), graph.in_links(b))
+}
+
+/// Bibliographic coupling between `a` and `b`: |out(a) ∩ out(b)|.
+pub fn coupling(graph: &WebGraph, a: NodeId, b: NodeId) -> usize {
+    sorted_intersection_len(graph.out_links(a), graph.out_links(b))
+}
+
+/// Normalised link similarity in `[0, 1]`: the cosine-style combination
+/// `(cocitation + coupling) / sqrt(deg(a) * deg(b))` over total degrees.
+pub fn link_similarity(graph: &WebGraph, a: NodeId, b: NodeId) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let overlap = (cocitation(graph, a, b) + coupling(graph, a, b)) as f64;
+    let da = (graph.in_degree(a) + graph.out_degree(a)) as f64;
+    let db = (graph.in_degree(b) + graph.out_degree(b)) as f64;
+    if da == 0.0 || db == 0.0 {
+        0.0
+    } else {
+        (overlap / (da * db).sqrt()).min(1.0)
+    }
+}
+
+/// The `k` pages most related to `page` by link structure, descending.
+/// Only pages sharing at least one citing/cited page are candidates, so
+/// the scan touches a 2-hop neighbourhood rather than the whole graph.
+pub fn related_pages(graph: &WebGraph, page: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+    let mut candidate_overlap: HashMap<NodeId, usize> = HashMap::new();
+    // Co-citation candidates: other out-links of my in-linkers.
+    for &citer in graph.in_links(page) {
+        for &sibling in graph.out_links(citer) {
+            if sibling != page {
+                *candidate_overlap.entry(sibling).or_insert(0) += 1;
+            }
+        }
+    }
+    // Coupling candidates: other in-linkers of my out-links.
+    for &cited in graph.out_links(page) {
+        for &sibling in graph.in_links(cited) {
+            if sibling != page {
+                *candidate_overlap.entry(sibling).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut scored: Vec<(NodeId, f64)> = candidate_overlap
+        .into_keys()
+        .map(|c| (c, link_similarity(graph, page, c)))
+        .filter(|&(_, s)| s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+fn sorted_intersection_len(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hubs 10 and 11 both cite pages 0,1,2; page 3 is cited only by 10;
+    /// page 9 is isolated.
+    fn fixture() -> WebGraph {
+        let mut g = WebGraph::new();
+        for hub in [10u32, 11] {
+            for target in [0u32, 1, 2] {
+                g.add_edge(hub, target);
+            }
+        }
+        g.add_edge(10, 3);
+        g.ensure_node(9);
+        g
+    }
+
+    #[test]
+    fn cocitation_counts_shared_citers() {
+        let g = fixture();
+        assert_eq!(cocitation(&g, 0, 1), 2, "both hubs cite 0 and 1");
+        assert_eq!(cocitation(&g, 0, 3), 1, "only hub 10 cites both");
+        assert_eq!(cocitation(&g, 0, 9), 0);
+    }
+
+    #[test]
+    fn coupling_counts_shared_targets() {
+        let g = fixture();
+        assert_eq!(coupling(&g, 10, 11), 3);
+        assert_eq!(coupling(&g, 10, 0), 0);
+    }
+
+    #[test]
+    fn similarity_bounds_and_identity() {
+        let g = fixture();
+        assert_eq!(link_similarity(&g, 0, 0), 1.0);
+        let s = link_similarity(&g, 0, 1);
+        assert!(s > 0.0 && s <= 1.0);
+        assert_eq!(link_similarity(&g, 0, 9), 0.0, "isolated page relates to nothing");
+        // More shared citers => more similar.
+        assert!(link_similarity(&g, 0, 1) > link_similarity(&g, 0, 3));
+    }
+
+    #[test]
+    fn related_pages_ranks_siblings() {
+        let g = fixture();
+        let related = related_pages(&g, 0, 5);
+        assert!(!related.is_empty());
+        let ids: Vec<u32> = related.iter().map(|&(n, _)| n).collect();
+        assert!(ids.contains(&1) && ids.contains(&2));
+        // 1 and 2 (two shared citers) outrank 3 (one shared citer).
+        let pos = |id: u32| ids.iter().position(|&x| x == id).unwrap();
+        assert!(pos(1) < pos(3));
+        assert!(!ids.contains(&0), "a page is not related to itself");
+        assert!(!ids.contains(&9));
+        // Symmetry of the underlying measure.
+        assert!((link_similarity(&g, 0, 1) - link_similarity(&g, 1, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hubs_relate_by_coupling() {
+        let g = fixture();
+        let related = related_pages(&g, 10, 3);
+        assert_eq!(related[0].0, 11, "the co-citing hub is the closest page");
+    }
+}

@@ -1,0 +1,19 @@
+//! # memex-index — full-text indexing over the lightweight store
+//!
+//! "Apart from a standard full-text search over all pages visited…" (§2) —
+//! this crate is that search. Term-level postings live in the
+//! Berkeley-DB-style [`memex_store::KvStore`] (the paper's architectural
+//! point: term-granularity data would overwhelm the RDBMS), written in
+//! segments by the background indexer demon and merged lazily:
+//!
+//! * [`postings`] — delta+varint compressed posting lists;
+//! * [`index`] — the segmented inverted index (buffer → commit → merge);
+//! * [`search`] — BM25 ranked retrieval and boolean set queries.
+
+pub mod index;
+pub mod query;
+pub mod postings;
+pub mod search;
+
+pub use index::{IndexOptions, InvertedIndex};
+pub use search::{BoolExpr, SearchHit};

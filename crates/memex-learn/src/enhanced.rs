@@ -1,0 +1,319 @@
+//! The paper's new classifier (§4): "a new technique that combines
+//! features from text, hyperlink and folder placement to offer
+//! significantly boosted accuracy, increasing from a mere 40% accuracy for
+//! text-only learners to about 80% with our more elaborate model."
+//!
+//! Implemented, per the companion work (paper ref \[4\] and Chakrabarti's
+//! hypertext categorisation line), as **iterative relaxation labelling**:
+//!
+//! 1. a text naive Bayes gives every unlabelled document an initial class
+//!    belief;
+//! 2. each round, a document's belief is re-estimated from three evidence
+//!    channels in log space — its own text posterior, the (smoothed)
+//!    beliefs of its hyperlink neighbours, and the beliefs of documents a
+//!    user co-placed in the same folder;
+//! 3. labelled documents are clamped; updates are damped; the process
+//!    converges in a handful of rounds.
+//!
+//! On "front pages" with little text the first channel is weak (~40 %
+//! alone) and the latter two recover the signal — the T1 experiment.
+
+use memex_graph::graph::WebGraph;
+use memex_text::vocab::TermId;
+
+use crate::nb::{argmax, log_normalize, NaiveBayes, NbOptions};
+
+/// Weights and schedule for relaxation labelling.
+#[derive(Debug, Clone, Copy)]
+pub struct EnhancedOptions {
+    /// Weight of the document's own text posterior.
+    pub text_weight: f64,
+    /// Weight of the averaged neighbour-belief evidence.
+    pub link_weight: f64,
+    /// Weight of the averaged folder co-placement evidence.
+    pub folder_weight: f64,
+    /// Relaxation rounds.
+    pub iterations: usize,
+    /// Fraction of the old belief retained each round (0 = jump, 1 = frozen).
+    pub damping: f64,
+    /// Naive Bayes options for the text channel.
+    pub nb: NbOptions,
+}
+
+impl Default for EnhancedOptions {
+    fn default() -> Self {
+        EnhancedOptions {
+            text_weight: 1.0,
+            link_weight: 2.0,
+            folder_weight: 2.0,
+            iterations: 10,
+            damping: 0.3,
+            nb: NbOptions::default(),
+        }
+    }
+}
+
+/// A transductive classification problem: all documents up front, some
+/// labelled, linked by a hyperlink graph (node id = document index) and
+/// grouped by folder co-placement.
+pub struct EnhancedProblem<'a> {
+    pub num_classes: usize,
+    /// Term-frequency pairs per document.
+    pub docs: &'a [Vec<(TermId, u32)>],
+    /// Hyperlinks among the documents (node ids are document indices).
+    pub graph: &'a WebGraph,
+    /// Folder co-placement groups: documents one user filed together.
+    pub folders: &'a [Vec<usize>],
+    /// `Some(class)` for training documents, `None` for targets.
+    pub labels: &'a [Option<usize>],
+}
+
+/// Output of the enhanced classifier.
+#[derive(Debug, Clone)]
+pub struct EnhancedResult {
+    /// Per-document class beliefs (probability simplex).
+    pub beliefs: Vec<Vec<f64>>,
+    /// Argmax class per document (labels echoed for labelled docs).
+    pub predictions: Vec<usize>,
+    /// The text-only naive Bayes predictions, for baseline comparison.
+    pub text_only: Vec<usize>,
+}
+
+/// The relaxation-labelling classifier.
+pub struct EnhancedClassifier {
+    opts: EnhancedOptions,
+}
+
+impl EnhancedClassifier {
+    pub fn new(opts: EnhancedOptions) -> EnhancedClassifier {
+        EnhancedClassifier { opts }
+    }
+
+    /// Solve a transductive problem.
+    pub fn classify(&self, p: &EnhancedProblem<'_>) -> EnhancedResult {
+        let n = p.docs.len();
+        assert_eq!(p.labels.len(), n, "labels must cover all docs");
+        let k = p.num_classes;
+        // --- Channel 1: text naive Bayes over the labelled subset.
+        let mut nb = NaiveBayes::new(k, self.opts.nb);
+        for (d, label) in p.labels.iter().enumerate() {
+            if let Some(c) = label {
+                nb.add_document(*c, &p.docs[d]);
+            }
+        }
+        let text_log_post: Vec<Vec<f64>> =
+            (0..n).map(|d| nb.log_posteriors(&p.docs[d])).collect();
+        let text_only: Vec<usize> = text_log_post.iter().map(|lp| argmax(lp)).collect();
+
+        // --- Folder groups per document.
+        let mut groups_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (g, members) in p.folders.iter().enumerate() {
+            for &d in members {
+                if d < n {
+                    groups_of[d].push(g);
+                }
+            }
+        }
+
+        // --- Initial beliefs.
+        let mut beliefs: Vec<Vec<f64>> = (0..n)
+            .map(|d| match p.labels[d] {
+                Some(c) => one_hot(k, c),
+                None => text_log_post[d].iter().map(|&l| l.exp()).collect(),
+            })
+            .collect();
+
+        // --- Relaxation rounds.
+        let gamma = 1e-3; // belief smoothing inside logs
+        for _ in 0..self.opts.iterations {
+            let mut next = beliefs.clone();
+            for d in 0..n {
+                if p.labels[d].is_some() {
+                    continue; // clamped
+                }
+                let mut score = vec![0.0f64; k];
+                // Text channel.
+                for (c, s) in score.iter_mut().enumerate() {
+                    *s += self.opts.text_weight * text_log_post[d][c];
+                }
+                // Link channel: average over in+out neighbours.
+                let neighbours: Vec<u32> = p
+                    .graph
+                    .out_links(d as u32)
+                    .iter()
+                    .chain(p.graph.in_links(d as u32).iter())
+                    .copied()
+                    .collect();
+                if !neighbours.is_empty() {
+                    let inv = self.opts.link_weight / neighbours.len() as f64;
+                    for &nb_id in &neighbours {
+                        let b = &beliefs[nb_id as usize];
+                        for (c, s) in score.iter_mut().enumerate() {
+                            *s += inv * ((b[c] + gamma) / (1.0 + gamma * k as f64)).ln();
+                        }
+                    }
+                }
+                // Folder channel: average over co-placed documents.
+                let mut co: Vec<usize> = Vec::new();
+                for &g in &groups_of[d] {
+                    co.extend(p.folders[g].iter().copied().filter(|&m| m != d && m < n));
+                }
+                if !co.is_empty() {
+                    let inv = self.opts.folder_weight / co.len() as f64;
+                    for &m in &co {
+                        let b = &beliefs[m];
+                        for (c, s) in score.iter_mut().enumerate() {
+                            *s += inv * ((b[c] + gamma) / (1.0 + gamma * k as f64)).ln();
+                        }
+                    }
+                }
+                log_normalize(&mut score);
+                let lam = self.opts.damping;
+                for (c, slot) in next[d].iter_mut().enumerate() {
+                    *slot = lam * beliefs[d][c] + (1.0 - lam) * score[c].exp();
+                }
+                let total: f64 = next[d].iter().sum();
+                if total > 0.0 {
+                    next[d].iter_mut().for_each(|x| *x /= total);
+                }
+            }
+            beliefs = next;
+        }
+
+        let predictions: Vec<usize> = (0..n)
+            .map(|d| match p.labels[d] {
+                Some(c) => c,
+                None => argmax(&beliefs[d]),
+            })
+            .collect();
+        EnhancedResult { beliefs, predictions, text_only }
+    }
+}
+
+fn one_hot(k: usize, c: usize) -> Vec<f64> {
+    let mut v = vec![0.0; k];
+    v[c] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the canonical hard case: two topics whose *pages are nearly
+    /// textless* but whose links stay within topic. Labelled interior,
+    /// unlabelled front pages.
+    fn front_page_problem() -> (Vec<Vec<(TermId, u32)>>, WebGraph, Vec<Vec<usize>>, Vec<Option<usize>>, Vec<usize>) {
+        // Docs 0..10 topic 0, 10..20 topic 1.
+        let mut docs = Vec::new();
+        let mut labels = Vec::new();
+        let mut truth = Vec::new();
+        for d in 0..20usize {
+            let topic = usize::from(d >= 10);
+            truth.push(topic);
+            if d % 10 < 6 {
+                // Interior pages: rich text, labelled.
+                let base: u32 = if topic == 0 { 1 } else { 100 };
+                docs.push(vec![(base, 5), (base + 1, 3), (base + 2, 2)]);
+                labels.push(Some(topic));
+            } else {
+                // Front pages: a single ambiguous term, unlabelled.
+                docs.push(vec![(999u32, 1u32)]);
+                labels.push(None);
+            }
+        }
+        // Links: each front page links to 3 interior pages of its topic.
+        let mut g = WebGraph::new();
+        g.ensure_node(19);
+        for d in 0..20usize {
+            if d % 10 >= 6 {
+                let base = if d < 10 { 0 } else { 10 };
+                for t in 0..3usize {
+                    g.add_edge(d as u32, (base + t) as u32);
+                }
+            }
+        }
+        // Folders: one user filed front page d with two interior pages.
+        let mut folders = Vec::new();
+        for d in 0..20usize {
+            if d % 10 >= 6 {
+                let base = if d < 10 { 3 } else { 13 };
+                folders.push(vec![d, base, base + 1]);
+            }
+        }
+        (docs, g, folders, labels, truth)
+    }
+
+    #[test]
+    fn links_and_folders_rescue_textless_pages() {
+        let (docs, g, folders, labels, truth) = front_page_problem();
+        let p = EnhancedProblem {
+            num_classes: 2,
+            docs: &docs,
+            graph: &g,
+            folders: &folders,
+            labels: &labels,
+        };
+        let result = EnhancedClassifier::new(EnhancedOptions::default()).classify(&p);
+        let unlabelled: Vec<usize> = (0..docs.len()).filter(|&d| labels[d].is_none()).collect();
+        let enh_correct = unlabelled.iter().filter(|&&d| result.predictions[d] == truth[d]).count();
+        // Text alone cannot beat chance on identical front pages; the
+        // enhanced model should get them all.
+        assert_eq!(enh_correct, unlabelled.len(), "enhanced should classify every front page");
+        let text_correct = unlabelled.iter().filter(|&&d| result.text_only[d] == truth[d]).count();
+        assert!(
+            enh_correct > text_correct,
+            "enhanced ({enh_correct}) must beat text-only ({text_correct})"
+        );
+    }
+
+    #[test]
+    fn beliefs_stay_normalised() {
+        let (docs, g, folders, labels, _) = front_page_problem();
+        let p = EnhancedProblem { num_classes: 2, docs: &docs, graph: &g, folders: &folders, labels: &labels };
+        let result = EnhancedClassifier::new(EnhancedOptions::default()).classify(&p);
+        for b in &result.beliefs {
+            let total: f64 = b.iter().sum();
+            assert!((total - 1.0).abs() < 1e-6, "belief sums to {total}");
+            assert!(b.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn labelled_documents_are_clamped() {
+        let (docs, g, folders, labels, _) = front_page_problem();
+        let p = EnhancedProblem { num_classes: 2, docs: &docs, graph: &g, folders: &folders, labels: &labels };
+        let result = EnhancedClassifier::new(EnhancedOptions::default()).classify(&p);
+        for (d, l) in labels.iter().enumerate() {
+            if let Some(c) = l {
+                assert_eq!(result.predictions[d], *c);
+                assert!((result.beliefs[d][*c] - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_link_and_folder_weights_reduce_to_text_only() {
+        let (docs, g, folders, labels, _) = front_page_problem();
+        let p = EnhancedProblem { num_classes: 2, docs: &docs, graph: &g, folders: &folders, labels: &labels };
+        let opts = EnhancedOptions { link_weight: 0.0, folder_weight: 0.0, ..Default::default() };
+        let result = EnhancedClassifier::new(opts).classify(&p);
+        for d in 0..docs.len() {
+            if labels[d].is_none() {
+                assert_eq!(result.predictions[d], result.text_only[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_unlabelled_doc_is_harmless() {
+        // One unlabelled doc, no links, no folders: prediction = text NB.
+        let docs = vec![vec![(1u32, 2u32)], vec![(2, 2)], vec![(1, 1)]];
+        let labels = vec![Some(0), Some(1), None];
+        let g = WebGraph::with_nodes(3);
+        let folders: Vec<Vec<usize>> = Vec::new();
+        let p = EnhancedProblem { num_classes: 2, docs: &docs, graph: &g, folders: &folders, labels: &labels };
+        let result = EnhancedClassifier::new(EnhancedOptions::default()).classify(&p);
+        assert_eq!(result.predictions[2], 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # memex-learn — learning substrate
+//!
+//! Implements the paper's §4 classification stack:
+//!
+//! * [`taxonomy`] — the tree of topics/folders that users edit and the
+//!   server mines ("each user has a personal folder/topic space", Fig. 1);
+//! * [`nb`] — multinomial naive Bayes with Laplace smoothing and
+//!   Fisher-index feature selection, flat or hierarchical (greedy descent
+//!   down the taxonomy), after the TAPER system of paper ref \[3\];
+//! * [`enhanced`] — the paper's *new* classifier "that combines features
+//!   from text, hyperlink and folder placement to offer significantly
+//!   boosted accuracy, increasing from a mere 40% accuracy for text-only
+//!   learners to about 80%": an iterative relaxation-labelling scheme over
+//!   the link graph with folder co-placement evidence;
+//! * [`eval`] — accuracy/F1/confusion, seeded splits and k-fold.
+
+pub mod em;
+pub mod enhanced;
+pub mod eval;
+pub mod nb;
+pub mod taxonomy;
+
+pub use enhanced::{EnhancedClassifier, EnhancedOptions};
+pub use nb::{NaiveBayes, NbOptions};
+pub use taxonomy::{Taxonomy, TopicId};

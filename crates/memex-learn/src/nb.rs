@@ -1,0 +1,381 @@
+//! Multinomial naive Bayes with Laplace smoothing, Fisher-index feature
+//! selection, incremental updates (for the Fig. 1 feedback loop) and a
+//! hierarchical variant that classifies by greedy descent through a topic
+//! taxonomy — the TAPER recipe of paper ref \[3\].
+
+use std::collections::{HashMap, HashSet};
+
+use memex_text::features::{ClassTermStats, FeatureScore};
+use memex_text::vocab::TermId;
+
+use crate::taxonomy::{Taxonomy, TopicId};
+
+/// Naive Bayes configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NbOptions {
+    /// Laplace/Lidstone smoothing constant α.
+    pub smoothing: f64,
+}
+
+impl Default for NbOptions {
+    fn default() -> Self {
+        NbOptions { smoothing: 0.25 }
+    }
+}
+
+/// A flat multinomial naive Bayes classifier over `num_classes` classes.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    opts: NbOptions,
+    class_docs: Vec<f64>,
+    /// Per class: term -> token count.
+    term_counts: Vec<HashMap<TermId, f64>>,
+    /// Per class: total token count (over selected terms when selection is
+    /// active — recomputed on selection).
+    token_totals: Vec<f64>,
+    /// All terms ever seen (smoothing denominator).
+    all_terms: HashSet<TermId>,
+    /// Binary-presence stats for feature selection.
+    presence: ClassTermStats,
+    /// Active feature set (None = all terms).
+    selected: Option<HashSet<TermId>>,
+}
+
+impl NaiveBayes {
+    pub fn new(num_classes: usize, opts: NbOptions) -> NaiveBayes {
+        assert!(num_classes >= 2, "need at least two classes");
+        NaiveBayes {
+            opts,
+            class_docs: vec![0.0; num_classes],
+            term_counts: vec![HashMap::new(); num_classes],
+            token_totals: vec![0.0; num_classes],
+            all_terms: HashSet::new(),
+            presence: ClassTermStats::new(num_classes),
+            selected: None,
+        }
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.class_docs.len()
+    }
+
+    /// Total training documents seen.
+    pub fn num_docs(&self) -> f64 {
+        self.class_docs.iter().sum()
+    }
+
+    /// Add one training document (term-frequency pairs). Incremental: the
+    /// classifier is usable immediately after, which is exactly how the
+    /// folder-tab feedback loop retrains.
+    pub fn add_document(&mut self, class: usize, tf: &[(TermId, u32)]) {
+        assert!(class < self.num_classes());
+        self.class_docs[class] += 1.0;
+        for &(t, c) in tf {
+            let c = f64::from(c);
+            *self.term_counts[class].entry(t).or_insert(0.0) += c;
+            if self.selected.as_ref().is_none_or(|s| s.contains(&t)) {
+                self.token_totals[class] += c;
+            }
+            self.all_terms.insert(t);
+        }
+        self.presence.add_doc(class, tf.iter().map(|&(t, _)| t));
+    }
+
+    /// Remove a previously added document (folder-tab *correction*: the
+    /// user cut a page out of a folder). Counts clamp at zero.
+    pub fn remove_document(&mut self, class: usize, tf: &[(TermId, u32)]) {
+        assert!(class < self.num_classes());
+        self.class_docs[class] = (self.class_docs[class] - 1.0).max(0.0);
+        for &(t, c) in tf {
+            let c = f64::from(c);
+            if let Some(slot) = self.term_counts[class].get_mut(&t) {
+                let dec = slot.min(c);
+                *slot -= dec;
+                if self.selected.as_ref().is_none_or(|s| s.contains(&t)) {
+                    self.token_totals[class] = (self.token_totals[class] - dec).max(0.0);
+                }
+            }
+        }
+        // Presence stats are append-only; fine for selection purposes.
+    }
+
+    /// Restrict the model to the `k` most discriminative terms (Fisher by
+    /// default in TAPER). Pass `None` to deselect.
+    pub fn select_features(&mut self, score: FeatureScore, k: usize) {
+        let chosen: HashSet<TermId> = self.presence.select_top_k(score, k).into_iter().collect();
+        // Recompute token totals over the selected set.
+        for (class, counts) in self.term_counts.iter().enumerate() {
+            self.token_totals[class] = counts
+                .iter()
+                .filter(|(t, _)| chosen.contains(*t))
+                .map(|(_, &c)| c)
+                .sum();
+        }
+        self.selected = Some(chosen);
+    }
+
+    /// Effective vocabulary size for smoothing.
+    fn vocab_size(&self) -> f64 {
+        match &self.selected {
+            Some(s) => s.len().max(1) as f64,
+            None => self.all_terms.len().max(1) as f64,
+        }
+    }
+
+    fn term_active(&self, t: TermId) -> bool {
+        self.selected.as_ref().is_none_or(|s| s.contains(&t))
+    }
+
+    /// Log-posterior (natural log, normalised) over classes for a document.
+    pub fn log_posteriors(&self, tf: &[(TermId, u32)]) -> Vec<f64> {
+        let n = self.num_docs().max(1.0);
+        let k = self.num_classes() as f64;
+        let v = self.vocab_size();
+        let alpha = self.opts.smoothing;
+        let mut scores: Vec<f64> = (0..self.num_classes())
+            .map(|c| ((self.class_docs[c] + 1.0) / (n + k)).ln())
+            .collect();
+        for &(t, count) in tf {
+            if !self.term_active(t) {
+                continue;
+            }
+            for (c, score) in scores.iter_mut().enumerate() {
+                let tc = self.term_counts[c].get(&t).copied().unwrap_or(0.0);
+                let p = (tc + alpha) / (self.token_totals[c] + alpha * v);
+                *score += f64::from(count) * p.ln();
+            }
+        }
+        log_normalize(&mut scores);
+        scores
+    }
+
+    /// Posterior probabilities (exp of [`Self::log_posteriors`]).
+    pub fn posteriors(&self, tf: &[(TermId, u32)]) -> Vec<f64> {
+        self.log_posteriors(tf).into_iter().map(f64::exp).collect()
+    }
+
+    /// Most probable class.
+    pub fn predict(&self, tf: &[(TermId, u32)]) -> usize {
+        argmax(&self.log_posteriors(tf))
+    }
+}
+
+/// Normalise log scores in place so `exp` sums to 1 (log-sum-exp).
+pub(crate) fn log_normalize(scores: &mut [f64]) {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        let uniform = -( scores.len().max(1) as f64).ln();
+        scores.iter_mut().for_each(|s| *s = uniform);
+        return;
+    }
+    let lse = max + scores.iter().map(|&s| (s - max).exp()).sum::<f64>().ln();
+    for s in scores.iter_mut() {
+        *s -= lse;
+    }
+}
+
+pub(crate) fn argmax(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical variant
+// ---------------------------------------------------------------------------
+
+/// TAPER-style hierarchical classifier: one small naive Bayes per internal
+/// taxonomy node (over its children), classification by greedy descent.
+pub struct HierarchicalNB {
+    taxonomy: Taxonomy,
+    /// internal node -> (child list, classifier over those children).
+    routers: HashMap<TopicId, (Vec<TopicId>, NaiveBayes)>,
+    opts: NbOptions,
+    /// Features per router (Fisher-selected when `feature_k` is set).
+    feature_k: Option<usize>,
+}
+
+impl HierarchicalNB {
+    pub fn new(taxonomy: Taxonomy, opts: NbOptions, feature_k: Option<usize>) -> HierarchicalNB {
+        HierarchicalNB { taxonomy, routers: HashMap::new(), opts, feature_k }
+    }
+
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Train from `(leaf topic, tf pairs)` documents. A document labelled
+    /// with a leaf contributes to every router on the root→leaf path.
+    pub fn train<'a>(&mut self, docs: impl IntoIterator<Item = (TopicId, &'a [(TermId, u32)])> + Clone) {
+        self.routers.clear();
+        // Build router skeletons.
+        for node in self.taxonomy.all_topics() {
+            let children = self.taxonomy.children(node);
+            if children.len() >= 2 {
+                self.routers
+                    .insert(node, (children.clone(), NaiveBayes::new(children.len(), self.opts)));
+            }
+        }
+        for (leaf, tf) in docs {
+            // Walk up from the leaf, feeding each router the child index on
+            // the path.
+            let mut child = leaf;
+            let mut parent = self.taxonomy.parent(leaf);
+            while let Some(p) = parent {
+                if let Some((children, nb)) = self.routers.get_mut(&p) {
+                    if let Some(idx) = children.iter().position(|&c| c == child) {
+                        nb.add_document(idx, tf);
+                    }
+                }
+                child = p;
+                parent = self.taxonomy.parent(p);
+            }
+        }
+        if let Some(k) = self.feature_k {
+            for (_, nb) in self.routers.values_mut() {
+                if nb.num_docs() > 0.0 {
+                    nb.select_features(FeatureScore::Fisher, k);
+                }
+            }
+        }
+    }
+
+    /// Greedy root-to-leaf descent; returns the chosen leaf (or the deepest
+    /// node with a trained router).
+    pub fn classify(&self, tf: &[(TermId, u32)]) -> TopicId {
+        let mut node = Taxonomy::ROOT;
+        loop {
+            match self.routers.get(&node) {
+                Some((children, nb)) if nb.num_docs() > 0.0 => {
+                    node = children[nb.predict(tf)];
+                }
+                _ => {
+                    // Single-child chains descend unconditionally.
+                    let kids = self.taxonomy.children(node);
+                    if kids.len() == 1 {
+                        node = kids[0];
+                    } else {
+                        return node;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny two-topic corpus: music docs use terms {1,2,3}, cycling docs
+    /// {10,11,12}, with term 50 common to both.
+    fn toy_docs() -> Vec<(usize, Vec<(TermId, u32)>)> {
+        let mut docs = Vec::new();
+        for i in 0..20u32 {
+            if i % 2 == 0 {
+                docs.push((0, vec![(1, 2), (2, 1), (3, 1), (50, 1)]));
+            } else {
+                docs.push((1, vec![(10, 2), (11, 1), (12, 1), (50, 1)]));
+            }
+        }
+        docs
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        let mut nb = NaiveBayes::new(2, NbOptions::default());
+        for (c, tf) in toy_docs() {
+            nb.add_document(c, &tf);
+        }
+        assert_eq!(nb.predict(&[(1, 1), (2, 1)]), 0);
+        assert_eq!(nb.predict(&[(10, 1), (12, 3)]), 1);
+        let post = nb.posteriors(&[(1, 1), (2, 1)]);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(post[0] > 0.9);
+    }
+
+    #[test]
+    fn empty_document_falls_back_to_prior() {
+        let mut nb = NaiveBayes::new(2, NbOptions::default());
+        for _ in 0..9 {
+            nb.add_document(0, &[(1, 1)]);
+        }
+        nb.add_document(1, &[(2, 1)]);
+        assert_eq!(nb.predict(&[]), 0, "prior favours the bigger class");
+    }
+
+    #[test]
+    fn incremental_feedback_corrects_the_model() {
+        let mut nb = NaiveBayes::new(2, NbOptions::default());
+        // Mislabelled doc initially.
+        let tf = vec![(7u32, 3u32)];
+        nb.add_document(0, &tf);
+        nb.add_document(1, &[(8, 3)]);
+        assert_eq!(nb.predict(&tf), 0);
+        // User cuts it from folder 0 and pastes into folder 1.
+        nb.remove_document(0, &tf);
+        nb.add_document(1, &tf);
+        assert_eq!(nb.predict(&tf), 1);
+    }
+
+    #[test]
+    fn feature_selection_drops_noise_terms() {
+        let mut nb = NaiveBayes::new(2, NbOptions::default());
+        for (c, tf) in toy_docs() {
+            nb.add_document(c, &tf);
+        }
+        nb.select_features(FeatureScore::Fisher, 6);
+        // Term 50 is non-discriminative; a doc of only term 50 should give
+        // roughly the prior (equal classes here -> near 0.5).
+        let post = nb.posteriors(&[(50, 5)]);
+        assert!((post[0] - 0.5).abs() < 0.05, "noise term should not swing the posterior");
+        // Discriminative terms still work.
+        assert_eq!(nb.predict(&[(1, 1)]), 0);
+    }
+
+    #[test]
+    fn posteriors_are_proper_distributions() {
+        let mut nb = NaiveBayes::new(3, NbOptions::default());
+        nb.add_document(0, &[(1, 1)]);
+        nb.add_document(1, &[(2, 1)]);
+        nb.add_document(2, &[(3, 1)]);
+        for tf in [vec![], vec![(1u32, 1u32)], vec![(9, 4)]] {
+            let p = nb.posteriors(&tf);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn hierarchical_descends_to_the_right_leaf() {
+        let mut tax = Taxonomy::new();
+        let music = tax.add_child(Taxonomy::ROOT, "Music");
+        let classical = tax.add_child(music, "Classical");
+        let rock = tax.add_child(music, "Rock");
+        let sports = tax.add_child(Taxonomy::ROOT, "Sports");
+        let cycling = tax.add_child(sports, "Cycling");
+        let cricket = tax.add_child(sports, "Cricket");
+        // Term layout: shared music term 100, shared sports term 200,
+        // leaf-specific 1..4.
+        let docs: Vec<(TopicId, Vec<(TermId, u32)>)> = (0..40)
+            .map(|i| match i % 4 {
+                0 => (classical, vec![(100, 2), (1, 3)]),
+                1 => (rock, vec![(100, 2), (2, 3)]),
+                2 => (cycling, vec![(200, 2), (3, 3)]),
+                _ => (cricket, vec![(200, 2), (4, 3)]),
+            })
+            .collect();
+        let mut h = HierarchicalNB::new(tax, NbOptions::default(), None);
+        h.train(docs.iter().map(|(t, v)| (*t, v.as_slice())));
+        assert_eq!(h.classify(&[(100, 1), (1, 2)]), classical);
+        assert_eq!(h.classify(&[(100, 1), (2, 2)]), rock);
+        assert_eq!(h.classify(&[(200, 1), (3, 2)]), cycling);
+        assert_eq!(h.classify(&[(200, 1), (4, 2)]), cricket);
+        // A doc with only the shared music term still lands under Music.
+        let leaf = h.classify(&[(100, 3)]);
+        assert!(h.taxonomy().is_ancestor_or_self(music, leaf));
+    }
+}

@@ -1,0 +1,97 @@
+//! Client events and privacy modes.
+//!
+//! "At any time, the user can choose not to archive surfing actions,
+//! archive for private use, or archive for use by the community" (§2).
+
+/// The three archiving modes of the Memex client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArchiveMode {
+    /// Do not archive at all — events are dropped at ingest.
+    Off,
+    /// Archive for the user's own queries only.
+    Private,
+    /// Archive for community-level mining too.
+    #[default]
+    Community,
+}
+
+/// A page visit as reported by the browser tap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisitEvent {
+    pub user: u32,
+    pub session: u32,
+    /// Dense page id (the server's URL table resolves strings to ids).
+    pub page: u32,
+    pub url: String,
+    /// Logical milliseconds.
+    pub time: u64,
+    /// The page whose link was followed, when the tap knows it.
+    pub referrer: Option<u32>,
+}
+
+/// Everything a client can send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    Visit(VisitEvent),
+    /// Deliberate bookmark into a named folder (Fig. 1 — explicit topic
+    /// exemplification).
+    Bookmark { user: u32, page: u32, url: String, folder: String, time: u64 },
+    /// Privacy-mode switch.
+    SetMode { user: u32, mode: ArchiveMode, time: u64 },
+}
+
+impl ClientEvent {
+    /// The user who produced the event.
+    pub fn user(&self) -> u32 {
+        match self {
+            ClientEvent::Visit(v) => v.user,
+            ClientEvent::Bookmark { user, .. } => *user,
+            ClientEvent::SetMode { user, .. } => *user,
+        }
+    }
+
+    /// Event timestamp.
+    pub fn time(&self) -> u64 {
+        match self {
+            ClientEvent::Visit(v) => v.time,
+            ClientEvent::Bookmark { time, .. } => *time,
+            ClientEvent::SetMode { time, .. } => *time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let v = ClientEvent::Visit(VisitEvent {
+            user: 3,
+            session: 1,
+            page: 9,
+            url: "http://x".into(),
+            time: 77,
+            referrer: None,
+        });
+        assert_eq!(v.user(), 3);
+        assert_eq!(v.time(), 77);
+        let b = ClientEvent::Bookmark {
+            user: 4,
+            page: 1,
+            url: "http://y".into(),
+            folder: "Music".into(),
+            time: 88,
+        };
+        assert_eq!(b.user(), 4);
+        assert_eq!(b.time(), 88);
+        let m = ClientEvent::SetMode { user: 5, mode: ArchiveMode::Off, time: 99 };
+        assert_eq!(m.user(), 5);
+        assert_eq!(m.time(), 99);
+    }
+
+    #[test]
+    fn default_mode_is_community() {
+        assert_eq!(ArchiveMode::default(), ArchiveMode::Community);
+    }
+}

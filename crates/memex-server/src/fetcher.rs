@@ -1,0 +1,77 @@
+//! The fetch demon's page source. In 2000 this was an HTTP crawler; here
+//! it is a trait so the server runs identically against the simulated
+//! corpus (or any future real fetcher).
+
+use memex_web::corpus::Corpus;
+
+/// What a fetch returns: body text, out-links, transfer size.
+#[derive(Debug, Clone)]
+pub struct PageContent {
+    pub url: String,
+    pub title: String,
+    pub text: String,
+    pub links: Vec<u32>,
+    pub bytes: u32,
+}
+
+/// A source of page content addressed by dense page id.
+pub trait PageFetcher {
+    fn fetch(&self, page: u32) -> Option<PageContent>;
+    /// Number of addressable pages (ids are `0..num_pages`).
+    fn num_pages(&self) -> usize;
+}
+
+/// Fetcher over the synthetic corpus (shared, so a server and its
+/// surrounding harness can both hold the world).
+pub struct CorpusFetcher {
+    corpus: std::sync::Arc<Corpus>,
+}
+
+impl CorpusFetcher {
+    pub fn new(corpus: std::sync::Arc<Corpus>) -> CorpusFetcher {
+        CorpusFetcher { corpus }
+    }
+
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+}
+
+impl PageFetcher for CorpusFetcher {
+    fn fetch(&self, page: u32) -> Option<PageContent> {
+        let p = self.corpus.pages.get(page as usize)?;
+        Some(PageContent {
+            url: p.url.clone(),
+            title: p.title.clone(),
+            text: p.text.clone(),
+            links: self.corpus.graph.out_links(page).to_vec(),
+            bytes: p.bytes,
+        })
+    }
+
+    fn num_pages(&self) -> usize {
+        self.corpus.num_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memex_web::corpus::CorpusConfig;
+
+    #[test]
+    fn corpus_fetcher_round_trip() {
+        let corpus = Corpus::generate(CorpusConfig {
+            num_topics: 2,
+            pages_per_topic: 5,
+            ..CorpusConfig::default()
+        });
+        let corpus = std::sync::Arc::new(corpus);
+        let f = CorpusFetcher::new(corpus.clone());
+        assert_eq!(f.num_pages(), 10);
+        let c = f.fetch(3).expect("page 3 exists");
+        assert_eq!(c.url, corpus.pages[3].url);
+        assert_eq!(c.links, corpus.graph.out_links(3));
+        assert!(f.fetch(999).is_none());
+    }
+}

@@ -1,0 +1,27 @@
+//! # memex-server — the server substrate (paper §3, Fig. 3)
+//!
+//! "The server consists of servlets that perform various archiving and
+//! mining functions as triggered by client action, or continually as
+//! demons. … There are some user interface-related events that must be
+//! guaranteed immediate processing. … With many users concurrently using
+//! Memex, the server cannot analyze all visited pages, or update mined
+//! results, in real time."
+//!
+//! * [`events`] — the client event vocabulary and the three privacy modes
+//!   (don't archive / private / community, Fig. 1);
+//! * [`fetcher`] — the page-fetch demon's source abstraction (the live Web
+//!   in the paper; the simulated corpus here);
+//! * [`pipeline`] — [`pipeline::MemexServer`]: immediate ingest onto the
+//!   loosely-consistent bus, background demons (fetch→index, trail), the
+//!   RDBMS bookkeeping, and bounded-bus event discard;
+//! * [`threaded`] — the concurrent producer/consumer deployment used by
+//!   experiment F3 to measure throughput, staleness and crash recovery.
+
+pub mod events;
+pub mod fetcher;
+pub mod pipeline;
+pub mod threaded;
+
+pub use events::{ArchiveMode, ClientEvent, VisitEvent};
+pub use fetcher::{CorpusFetcher, PageContent, PageFetcher};
+pub use pipeline::{MemexServer, ServerOptions, ServerStats};

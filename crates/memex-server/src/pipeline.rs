@@ -1,0 +1,507 @@
+//! The Memex server core: guaranteed-immediate event ingest onto a
+//! loosely-consistent bus, plus the background demons (Fig. 3).
+//!
+//! The flow mirrors the paper's block diagram:
+//!
+//! ```text
+//! client events ──submit()──► bounded VersionedLog bus  ──┬─► trail demon   (TrailGraph)
+//!        (privacy filter,       (publish = watermark)     └─► index demon   (fetch page,
+//!         overload discard)                                    analyze, invert, RDBMS rows,
+//!                                                              web-graph edges)
+//! ```
+//!
+//! Ingest never blocks on mining: when the bus is saturated the server
+//! "recovers … even if it has to discard a few client events" — discards
+//! are counted, which experiment F3 reports against the offered load.
+
+use std::collections::{HashMap, HashSet};
+
+use memex_graph::graph::WebGraph;
+use memex_graph::trail::{TrailGraph, Visit};
+use memex_index::index::{IndexOptions, InvertedIndex};
+use memex_store::error::StoreResult;
+use memex_store::rel::{ColType, Column, Database, Predicate, Schema, TableHandle, Value};
+use memex_store::version::{Consumer, StalenessReport, VersionedLog};
+use memex_text::analyze::Analyzer;
+use memex_text::vocab::{TermId, Vocabulary};
+
+use crate::events::{ArchiveMode, ClientEvent};
+use crate::fetcher::PageFetcher;
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Maximum bus batches retained before ingest starts discarding.
+    pub max_retained_batches: usize,
+    pub index: IndexOptions,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions { max_retained_batches: 100_000, index: IndexOptions::default() }
+    }
+}
+
+/// Operational counters (F3 reports these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub events_submitted: u64,
+    /// Dropped because the user's mode was `Off`.
+    pub events_mode_filtered: u64,
+    /// Dropped because the bus was saturated.
+    pub events_discarded_overload: u64,
+    pub visits_trailed: u64,
+    pub pages_fetched: u64,
+    pub docs_indexed: u64,
+    pub bookmarks_recorded: u64,
+}
+
+/// An event as archived: the privacy decision is resolved at ingest time.
+#[derive(Debug, Clone)]
+pub struct ArchivedEvent {
+    pub event: ClientEvent,
+    /// Visible to the community (false = private archive).
+    pub public: bool,
+}
+
+/// A recorded bookmark (also mirrored into the RDBMS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BookmarkRecord {
+    pub user: u32,
+    pub page: u32,
+    pub folder: String,
+    pub time: u64,
+}
+
+/// The server.
+pub struct MemexServer<F: PageFetcher> {
+    fetcher: F,
+    opts: ServerOptions,
+    /// RDBMS metadata (paper: "pages, links, users, and topics").
+    pub db: Database,
+    users_t: TableHandle,
+    pages_t: TableHandle,
+    bookmarks_t: TableHandle,
+    bus: VersionedLog<ArchivedEvent>,
+    trail_consumer: Consumer<ArchivedEvent>,
+    index_consumer: Consumer<ArchivedEvent>,
+    /// Term store + postings (the Berkeley-DB side).
+    pub index: InvertedIndex,
+    pub vocab: Vocabulary,
+    analyzer: Analyzer,
+    /// The community trail graph.
+    pub trails: TrailGraph,
+    /// Hyperlink graph discovered by the fetch demon.
+    pub web: WebGraph,
+    modes: HashMap<u32, ArchiveMode>,
+    fetched: HashSet<u32>,
+    tf_cache: HashMap<u32, Vec<(TermId, u32)>>,
+    page_bytes: HashMap<u32, u32>,
+    pub bookmarks: Vec<BookmarkRecord>,
+    stats: ServerStats,
+}
+
+impl<F: PageFetcher> MemexServer<F> {
+    /// Stand up a server over `fetcher` with in-memory storage.
+    pub fn new(fetcher: F, opts: ServerOptions) -> StoreResult<MemexServer<F>> {
+        let mut db = Database::open_memory()?;
+        let users_t = db.create_table(Schema::new(
+            "users",
+            vec![Column::unique("name", ColType::Text), Column::unique("client_id", ColType::Int)],
+        )?)?;
+        let pages_t = db.create_table(Schema::new(
+            "pages",
+            vec![
+                Column::unique("url", ColType::Text),
+                Column::unique("page_id", ColType::Int),
+                Column::new("title", ColType::Text),
+                Column::new("bytes", ColType::Int),
+                Column::new("fetched_at", ColType::Int),
+            ],
+        )?)?;
+        let bookmarks_t = db.create_table(Schema::new(
+            "bookmarks",
+            vec![
+                Column::new("user", ColType::Int),
+                Column::new("page", ColType::Int),
+                Column::new("folder", ColType::Text),
+                Column::new("time", ColType::Int),
+            ],
+        )?)?;
+        db.create_index(&bookmarks_t, "user")?;
+        let bus = VersionedLog::new();
+        let trail_consumer = bus.register("trail-demon");
+        let index_consumer = bus.register("index-demon");
+        Ok(MemexServer {
+            fetcher,
+            opts,
+            db,
+            users_t,
+            pages_t,
+            bookmarks_t,
+            bus,
+            trail_consumer,
+            index_consumer,
+            index: InvertedIndex::open_memory(opts.index)?,
+            vocab: Vocabulary::new(),
+            analyzer: Analyzer::default(),
+            trails: TrailGraph::new(),
+            web: WebGraph::new(),
+            modes: HashMap::new(),
+            fetched: HashSet::new(),
+            tf_cache: HashMap::new(),
+            page_bytes: HashMap::new(),
+            bookmarks: Vec::new(),
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// Register a user (RDBMS row); idempotent per client id.
+    pub fn register_user(&mut self, client_id: u32, name: &str) -> StoreResult<()> {
+        if self
+            .db
+            .lookup_unique(&self.users_t, "client_id", &Value::Int(i64::from(client_id)))?
+            .is_some()
+        {
+            return Ok(());
+        }
+        self.db.insert(
+            &self.users_t,
+            vec![Value::Text(name.to_string()), Value::Int(i64::from(client_id))],
+        )?;
+        self.modes.insert(client_id, ArchiveMode::Community);
+        Ok(())
+    }
+
+    /// The user's current archive mode.
+    pub fn mode(&self, user: u32) -> ArchiveMode {
+        self.modes.get(&user).copied().unwrap_or_default()
+    }
+
+    /// Guaranteed-immediate ingest. Returns true if archived, false if
+    /// filtered or discarded.
+    pub fn submit(&mut self, event: ClientEvent) -> bool {
+        self.stats.events_submitted += 1;
+        if let ClientEvent::SetMode { user, mode, .. } = &event {
+            self.modes.insert(*user, *mode);
+            return true;
+        }
+        let mode = self.mode(event.user());
+        if mode == ArchiveMode::Off {
+            self.stats.events_mode_filtered += 1;
+            return false;
+        }
+        // Overload shedding: trim applied batches, then check saturation.
+        if self.bus.retained() >= self.opts.max_retained_batches {
+            self.bus.trim();
+            if self.bus.retained() >= self.opts.max_retained_batches {
+                self.stats.events_discarded_overload += 1;
+                return false;
+            }
+        }
+        let public = mode == ArchiveMode::Community;
+        self.bus.append(vec![ArchivedEvent { event, public }]);
+        self.bus.publish();
+        true
+    }
+
+    /// Run the trail demon: consumes events into the trail graph.
+    /// Returns events processed.
+    pub fn run_trail_demon(&mut self, max_batches: usize) -> usize {
+        let mut processed = 0usize;
+        for (_, batch) in self.trail_consumer.poll_up_to(max_batches) {
+            for ae in batch.iter() {
+                if let ClientEvent::Visit(v) = &ae.event {
+                    self.trails.record(Visit {
+                        user: v.user,
+                        session: v.session,
+                        page: v.page,
+                        time: v.time,
+                        referrer: v.referrer,
+                        public: ae.public,
+                    });
+                    self.stats.visits_trailed += 1;
+                }
+                processed += 1;
+            }
+        }
+        processed
+    }
+
+    /// Run the fetch+index demon: fetches unseen pages, analyzes them,
+    /// feeds the inverted index, the RDBMS page table, the web graph and
+    /// the bookmark table. Returns events processed.
+    pub fn run_index_demon(&mut self, max_batches: usize) -> StoreResult<usize> {
+        let mut processed = 0usize;
+        for (_, batch) in self.index_consumer.poll_up_to(max_batches) {
+            for ae in batch.iter() {
+                match &ae.event {
+                    ClientEvent::Visit(v) => {
+                        self.ensure_fetched(v.page)?;
+                    }
+                    ClientEvent::Bookmark { user, page, url: _, folder, time } => {
+                        self.ensure_fetched(*page)?;
+                        self.db.insert(
+                            &self.bookmarks_t,
+                            vec![
+                                Value::Int(i64::from(*user)),
+                                Value::Int(i64::from(*page)),
+                                Value::Text(folder.clone()),
+                                Value::Int(*time as i64),
+                            ],
+                        )?;
+                        self.bookmarks.push(BookmarkRecord {
+                            user: *user,
+                            page: *page,
+                            folder: folder.clone(),
+                            time: *time,
+                        });
+                        self.stats.bookmarks_recorded += 1;
+                    }
+                    ClientEvent::SetMode { .. } => {}
+                }
+                processed += 1;
+            }
+        }
+        Ok(processed)
+    }
+
+    /// Drive both demons to quiescence (test/bench convenience; a deployed
+    /// server calls the `run_*_demon` steps from its demon loops).
+    pub fn drain_demons(&mut self) -> StoreResult<()> {
+        loop {
+            let a = self.run_trail_demon(usize::MAX);
+            let b = self.run_index_demon(usize::MAX)?;
+            if a == 0 && b == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    fn ensure_fetched(&mut self, page: u32) -> StoreResult<()> {
+        if self.fetched.contains(&page) {
+            return Ok(());
+        }
+        let Some(content) = self.fetcher.fetch(page) else {
+            return Ok(()); // dead link; the demon shrugs
+        };
+        self.fetched.insert(page);
+        self.stats.pages_fetched += 1;
+        // Analyze with the shared vocabulary and index (positionally, so
+        // the search tab supports exact phrases).
+        let full = format!("{} {}", content.title, content.text);
+        let tf = self.analyzer.index_document(&mut self.vocab, &full);
+        let seq = self.analyzer.intern_sequence(&mut self.vocab, &full);
+        self.index.add_document_positional(page, &seq)?;
+        self.stats.docs_indexed += 1;
+        self.tf_cache.insert(page, tf);
+        self.page_bytes.insert(page, content.bytes);
+        // Web graph edges.
+        self.web.ensure_node(page);
+        for &l in &content.links {
+            self.web.add_edge(page, l);
+        }
+        // RDBMS page row.
+        self.db.insert(
+            &self.pages_t,
+            vec![
+                Value::Text(content.url),
+                Value::Int(i64::from(page)),
+                Value::Text(content.title),
+                Value::Int(i64::from(content.bytes)),
+                Value::Int(0),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Per-consumer staleness (published − applied epochs) — the coherence
+    /// lag of Fig. 3's "loosely synchronized data repositories".
+    pub fn staleness(&self) -> Vec<StalenessReport> {
+        self.bus.staleness()
+    }
+
+    /// Analyzed term vector of a fetched page.
+    pub fn tf(&self, page: u32) -> Option<&[(TermId, u32)]> {
+        self.tf_cache.get(&page).map(Vec::as_slice)
+    }
+
+    /// Transfer size of a fetched page.
+    pub fn page_bytes(&self, page: u32) -> Option<u32> {
+        self.page_bytes.get(&page).copied()
+    }
+
+    /// Bookmarks of one user (RDBMS query path, exercising the index).
+    pub fn bookmarks_of(&mut self, user: u32) -> StoreResult<Vec<BookmarkRecord>> {
+        let rows = self
+            .db
+            .scan(&self.bookmarks_t, &Predicate::eq("user", Value::Int(i64::from(user))))?;
+        Ok(rows
+            .into_iter()
+            .map(|(_, row)| BookmarkRecord {
+                user: row[0].as_int().unwrap_or(0) as u32,
+                page: row[1].as_int().unwrap_or(0) as u32,
+                folder: row[2].as_text().unwrap_or("").to_string(),
+                time: row[3].as_int().unwrap_or(0) as u64,
+            })
+            .collect())
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Flush durable state.
+    pub fn checkpoint(&mut self) -> StoreResult<()> {
+        self.index.checkpoint()?;
+        self.db.checkpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::VisitEvent;
+    use crate::fetcher::CorpusFetcher;
+    use memex_web::corpus::{Corpus, CorpusConfig};
+    use std::sync::Arc;
+
+    fn server() -> (Arc<Corpus>, MemexServer<CorpusFetcher>) {
+        let corpus = Arc::new(Corpus::generate(CorpusConfig {
+            num_topics: 3,
+            pages_per_topic: 20,
+            ..CorpusConfig::default()
+        }));
+        let s = MemexServer::new(CorpusFetcher::new(corpus.clone()), ServerOptions::default())
+            .unwrap();
+        (corpus, s)
+    }
+
+    fn visit(user: u32, page: u32, time: u64) -> ClientEvent {
+        ClientEvent::Visit(VisitEvent {
+            user,
+            session: 0,
+            page,
+            url: format!("http://p{page}"),
+            time,
+            referrer: None,
+        })
+    }
+
+    #[test]
+    fn ingest_then_demons_index_and_trail() {
+        let (corpus, mut s) = server();
+        s.register_user(1, "soumen").unwrap();
+        assert!(s.submit(visit(1, 0, 10)));
+        assert!(s.submit(visit(1, 1, 20)));
+        // Demons have not run: trail empty, staleness visible.
+        assert!(s.trails.is_empty());
+        assert!(s.staleness().iter().all(|r| r.staleness == 2));
+        s.drain_demons().unwrap();
+        assert_eq!(s.trails.len(), 2);
+        assert_eq!(s.stats().pages_fetched, 2);
+        assert_eq!(s.index.num_docs(), 2);
+        assert!(s.staleness().iter().all(|r| r.staleness == 0));
+        // The page made it into the RDBMS.
+        let pages_t = s.db.table("pages").unwrap();
+        let hit = s
+            .db
+            .lookup_unique(&pages_t, "url", &Value::Text(corpus.pages[0].url.clone()))
+            .unwrap();
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn privacy_modes_filter_and_mark() {
+        let (_, mut s) = server();
+        s.register_user(1, "u1").unwrap();
+        s.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Off, time: 1 });
+        assert!(!s.submit(visit(1, 0, 2)), "Off drops events");
+        s.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Private, time: 3 });
+        assert!(s.submit(visit(1, 1, 4)));
+        s.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Community, time: 5 });
+        assert!(s.submit(visit(1, 2, 6)));
+        s.drain_demons().unwrap();
+        assert_eq!(s.stats().events_mode_filtered, 1);
+        assert_eq!(s.trails.len(), 2);
+        let private = s.trails.visits().iter().find(|v| v.page == 1).unwrap();
+        assert!(!private.public);
+        let public = s.trails.visits().iter().find(|v| v.page == 2).unwrap();
+        assert!(public.public);
+    }
+
+    #[test]
+    fn overload_discards_but_keeps_serving() {
+        let (corpus, _) = server();
+        let mut s = MemexServer::new(
+            CorpusFetcher::new(corpus),
+            ServerOptions { max_retained_batches: 5, ..ServerOptions::default() },
+        )
+        .unwrap();
+        s.register_user(1, "u").unwrap();
+        for i in 0..20u32 {
+            s.submit(visit(1, i % 3, u64::from(i)));
+        }
+        assert!(s.stats().events_discarded_overload > 0);
+        s.drain_demons().unwrap();
+        // Everything that survived was processed consistently by BOTH demons.
+        assert_eq!(s.stats().visits_trailed, s.trails.len() as u64);
+        assert!(s.trails.len() <= 20 - s.stats().events_discarded_overload as usize);
+    }
+
+    #[test]
+    fn bookmarks_flow_to_rdbms_and_memory() {
+        let (corpus, mut s) = server();
+        s.register_user(2, "mits").unwrap();
+        s.submit(ClientEvent::Bookmark {
+            user: 2,
+            page: 5,
+            url: corpus.pages[5].url.clone(),
+            folder: "/Music/Western Classical".into(),
+            time: 42,
+        });
+        s.drain_demons().unwrap();
+        assert_eq!(s.bookmarks.len(), 1);
+        let via_db = s.bookmarks_of(2).unwrap();
+        assert_eq!(via_db, s.bookmarks);
+        assert_eq!(via_db[0].folder, "/Music/Western Classical");
+        // Bookmarking fetches the page too.
+        assert!(s.tf(5).is_some());
+        assert!(s.page_bytes(5).is_some());
+    }
+
+    #[test]
+    fn demons_can_lag_independently() {
+        let (_, mut s) = server();
+        s.register_user(1, "u").unwrap();
+        for i in 0..6u32 {
+            s.submit(visit(1, i, u64::from(i)));
+        }
+        s.run_trail_demon(3);
+        let reports = s.staleness();
+        let trail = reports.iter().find(|r| r.consumer == "trail-demon").unwrap();
+        let index = reports.iter().find(|r| r.consumer == "index-demon").unwrap();
+        assert_eq!(trail.staleness, 3);
+        assert_eq!(index.staleness, 6);
+        s.drain_demons().unwrap();
+        assert!(s.staleness().iter().all(|r| r.staleness == 0));
+    }
+
+    #[test]
+    fn duplicate_user_registration_is_idempotent() {
+        let (_, mut s) = server();
+        s.register_user(1, "x").unwrap();
+        s.register_user(1, "x").unwrap();
+        let users_t = s.db.table("users").unwrap();
+        assert_eq!(s.db.count(&users_t).unwrap(), 1);
+    }
+
+    #[test]
+    fn web_graph_grows_from_fetches() {
+        let (corpus, mut s) = server();
+        s.register_user(1, "u").unwrap();
+        s.submit(visit(1, 0, 1));
+        s.drain_demons().unwrap();
+        assert_eq!(s.web.out_links(0), corpus.graph.out_links(0));
+    }
+}

@@ -1,0 +1,644 @@
+//! A page-based B+Tree over the [`Pager`] — the ordered keyed heart of the
+//! Berkeley-DB-style store (paper §3) holding term-level statistics.
+//!
+//! Design notes:
+//!
+//! * Keys and values are arbitrary byte strings (bounded by
+//!   [`MAX_KEY_LEN`] / [`MAX_VALUE_LEN`] so any entry fits in a page even
+//!   after a split).
+//! * Nodes are materialised into an in-memory [`Node`] on read and
+//!   re-serialised on write; pages are immutable byte snapshots, which keeps
+//!   the on-disk format trivial to reason about and fuzz.
+//! * Leaves are chained through `next` pointers, so range scans are a single
+//!   descent plus a linked-list walk.
+//! * Deletes do not rebalance: emptied leaves are unlinked lazily and an
+//!   internal root with a single child collapses. This is the classic
+//!   "free-at-empty" simplification (also used by several production
+//!   engines); space is reclaimed through the pager's free list.
+
+use std::ops::Bound;
+
+use crate::codec::{get_bytes, get_u64, get_uvarint, put_bytes, put_u64, put_uvarint};
+use crate::error::{StoreError, StoreResult};
+use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
+use crate::pager::Pager;
+
+/// Maximum key length in bytes.
+pub const MAX_KEY_LEN: usize = 512;
+/// Maximum value length in bytes.
+pub const MAX_VALUE_LEN: usize = 2048;
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+
+/// In-memory form of a tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    Leaf {
+        /// Sorted `(key, value)` entries.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        /// Right sibling for range scans, or [`NO_PAGE`].
+        next: PageId,
+    },
+    Internal {
+        /// `children.len() == keys.len() + 1`; `keys[i]` is the smallest key
+        /// reachable under `children[i + 1]`.
+        keys: Vec<Vec<u8>>,
+        children: Vec<PageId>,
+    },
+}
+
+impl Node {
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        match self {
+            Node::Leaf { entries, next } => {
+                out.push(TAG_LEAF);
+                put_u64(&mut out, *next);
+                put_uvarint(&mut out, entries.len() as u64);
+                for (k, v) in entries {
+                    put_bytes(&mut out, k);
+                    put_bytes(&mut out, v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                out.push(TAG_INTERNAL);
+                put_uvarint(&mut out, children.len() as u64);
+                for c in children {
+                    put_u64(&mut out, *c);
+                }
+                for k in keys {
+                    put_bytes(&mut out, k);
+                }
+            }
+        }
+        out
+    }
+
+    fn deserialize(bytes: &[u8]) -> StoreResult<Node> {
+        let mut pos = 0usize;
+        let tag = *bytes
+            .get(pos)
+            .ok_or_else(|| StoreError::Corrupt("empty node page".into()))?;
+        pos += 1;
+        match tag {
+            TAG_LEAF => {
+                let next = get_u64(bytes, &mut pos)?;
+                let n = get_uvarint(bytes, &mut pos)? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = get_bytes(bytes, &mut pos)?.to_vec();
+                    let v = get_bytes(bytes, &mut pos)?.to_vec();
+                    entries.push((k, v));
+                }
+                Ok(Node::Leaf { entries, next })
+            }
+            TAG_INTERNAL => {
+                let n = get_uvarint(bytes, &mut pos)? as usize;
+                if n == 0 {
+                    return Err(StoreError::Corrupt("internal node with no children".into()));
+                }
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    children.push(get_u64(bytes, &mut pos)?);
+                }
+                let mut keys = Vec::with_capacity(n - 1);
+                for _ in 0..n - 1 {
+                    keys.push(get_bytes(bytes, &mut pos)?.to_vec());
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            t => Err(StoreError::Corrupt(format!("unknown node tag {t}"))),
+        }
+    }
+
+    fn serialized_len(&self) -> usize {
+        // A touch conservative (varints counted at full width) but cheap.
+        match self {
+            Node::Leaf { entries, .. } => {
+                1 + 8
+                    + 10
+                    + entries
+                        .iter()
+                        .map(|(k, v)| k.len() + v.len() + 10)
+                        .sum::<usize>()
+            }
+            Node::Internal { keys, children } => {
+                1 + 10 + children.len() * 8 + keys.iter().map(|k| k.len() + 5).sum::<usize>()
+            }
+        }
+    }
+
+    fn overflows(&self) -> bool {
+        self.serialized_len() > PAGE_SIZE
+    }
+}
+
+/// Result of inserting into a subtree: the child split, producing a new
+/// right sibling whose subtree starts at `sep_key`.
+struct Split {
+    sep_key: Vec<u8>,
+    right: PageId,
+}
+
+/// A B+Tree rooted in the pager's registered root page.
+pub struct BTree {
+    root: PageId,
+}
+
+impl BTree {
+    /// Open the tree registered in `pager`, creating an empty one if absent.
+    pub fn open(pager: &mut Pager) -> StoreResult<BTree> {
+        if let Some(root) = pager.root() {
+            return Ok(BTree { root });
+        }
+        let root = pager.allocate()?;
+        write_node(pager, root, &Node::Leaf { entries: Vec::new(), next: NO_PAGE })?;
+        pager.set_root(root);
+        Ok(BTree { root })
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, pager: &mut Pager, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        let mut page_id = self.root;
+        loop {
+            match read_node(pager, page_id)? {
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1.clone()));
+                }
+                Node::Internal { keys, children } => {
+                    page_id = children[child_index(&keys, key)];
+                }
+            }
+        }
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn insert(
+        &mut self,
+        pager: &mut Pager,
+        key: &[u8],
+        value: &[u8],
+    ) -> StoreResult<Option<Vec<u8>>> {
+        if key.is_empty() {
+            return Err(StoreError::Invalid("empty keys are not allowed".into()));
+        }
+        if key.len() > MAX_KEY_LEN {
+            return Err(StoreError::TooLarge { what: "key", len: key.len(), max: MAX_KEY_LEN });
+        }
+        if value.len() > MAX_VALUE_LEN {
+            return Err(StoreError::TooLarge {
+                what: "value",
+                len: value.len(),
+                max: MAX_VALUE_LEN,
+            });
+        }
+        let (old, split) = self.insert_rec(pager, self.root, key, value)?;
+        if let Some(split) = split {
+            // Grow a new root.
+            let new_root = pager.allocate()?;
+            let node = Node::Internal {
+                keys: vec![split.sep_key],
+                children: vec![self.root, split.right],
+            };
+            write_node(pager, new_root, &node)?;
+            self.root = new_root;
+            pager.set_root(new_root);
+        }
+        Ok(old)
+    }
+
+    /// Remove `key`; returns the removed value if present.
+    pub fn delete(&mut self, pager: &mut Pager, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        let old = self.delete_rec(pager, self.root, key)?;
+        // Collapse a root that has become a single-child internal node.
+        loop {
+            match read_node(pager, self.root)? {
+                Node::Internal { children, .. } if children.len() == 1 => {
+                    let only = children[0];
+                    pager.free(self.root);
+                    self.root = only;
+                    pager.set_root(only);
+                }
+                _ => break,
+            }
+        }
+        Ok(old)
+    }
+
+    /// Visit every `(key, value)` with `start <= key` (per `bounds`) in
+    /// order, until the callback returns `false` or the range is exhausted.
+    pub fn for_each_range<F>(
+        &self,
+        pager: &mut Pager,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        mut f: F,
+    ) -> StoreResult<()>
+    where
+        F: FnMut(&[u8], &[u8]) -> bool,
+    {
+        // Find the leaf where the range starts.
+        let start_key: &[u8] = match start {
+            Bound::Included(k) | Bound::Excluded(k) => k,
+            Bound::Unbounded => &[],
+        };
+        let mut page_id = self.root;
+        loop {
+            match read_node(pager, page_id)? {
+                Node::Internal { keys, children } => {
+                    page_id = children[child_index(&keys, start_key)];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        let mut current = page_id;
+        loop {
+            let (entries, next) = match read_node(pager, current)? {
+                Node::Leaf { entries, next } => (entries, next),
+                Node::Internal { .. } => {
+                    return Err(StoreError::Corrupt("leaf chain reached internal node".into()))
+                }
+            };
+            for (k, v) in &entries {
+                let after_start = match start {
+                    Bound::Included(s) => k.as_slice() >= s,
+                    Bound::Excluded(s) => k.as_slice() > s,
+                    Bound::Unbounded => true,
+                };
+                if !after_start {
+                    continue;
+                }
+                let before_end = match end {
+                    Bound::Included(e) => k.as_slice() <= e,
+                    Bound::Excluded(e) => k.as_slice() < e,
+                    Bound::Unbounded => true,
+                };
+                if !before_end {
+                    return Ok(());
+                }
+                if !f(k, v) {
+                    return Ok(());
+                }
+            }
+            if next == NO_PAGE {
+                return Ok(());
+            }
+            current = next;
+        }
+    }
+
+    /// Collect an inclusive-by-default range into a vector.
+    pub fn scan(
+        &self,
+        pager: &mut Pager,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.for_each_range(pager, start, end, |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Count all entries (full scan; callers cache this).
+    pub fn count(&self, pager: &mut Pager) -> StoreResult<u64> {
+        let mut n = 0u64;
+        self.for_each_range(pager, Bound::Unbounded, Bound::Unbounded, |_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// Structural invariant check used by tests: keys sorted within nodes,
+    /// separator keys consistent with subtrees, all leaves at equal depth.
+    pub fn check_invariants(&self, pager: &mut Pager) -> StoreResult<()> {
+        fn rec(
+            pager: &mut Pager,
+            page: PageId,
+            lo: Option<&[u8]>,
+            hi: Option<&[u8]>,
+        ) -> StoreResult<usize> {
+            match read_node(pager, page)? {
+                Node::Leaf { entries, .. } => {
+                    for w in entries.windows(2) {
+                        if w[0].0 >= w[1].0 {
+                            return Err(StoreError::Corrupt("leaf keys out of order".into()));
+                        }
+                    }
+                    for (k, _) in &entries {
+                        if let Some(lo) = lo {
+                            if k.as_slice() < lo {
+                                return Err(StoreError::Corrupt("leaf key below bound".into()));
+                            }
+                        }
+                        if let Some(hi) = hi {
+                            if k.as_slice() >= hi {
+                                return Err(StoreError::Corrupt("leaf key above bound".into()));
+                            }
+                        }
+                    }
+                    Ok(1)
+                }
+                Node::Internal { keys, children } => {
+                    if children.len() != keys.len() + 1 {
+                        return Err(StoreError::Corrupt("internal fan-out mismatch".into()));
+                    }
+                    for w in keys.windows(2) {
+                        if w[0] >= w[1] {
+                            return Err(StoreError::Corrupt("separators out of order".into()));
+                        }
+                    }
+                    let mut depth = None;
+                    for (i, &child) in children.iter().enumerate() {
+                        let lo_i = if i == 0 { lo } else { Some(keys[i - 1].as_slice()) };
+                        let hi_i = if i == keys.len() { hi } else { Some(keys[i].as_slice()) };
+                        let d = rec(pager, child, lo_i, hi_i)?;
+                        match depth {
+                            None => depth = Some(d),
+                            Some(prev) if prev != d => {
+                                return Err(StoreError::Corrupt("uneven leaf depth".into()))
+                            }
+                            _ => {}
+                        }
+                    }
+                    Ok(depth.unwrap_or(0) + 1)
+                }
+            }
+        }
+        rec(pager, self.root, None, None).map(|_| ())
+    }
+
+    fn insert_rec(
+        &mut self,
+        pager: &mut Pager,
+        page: PageId,
+        key: &[u8],
+        value: &[u8],
+    ) -> StoreResult<(Option<Vec<u8>>, Option<Split>)> {
+        let node = read_node(pager, page)?;
+        match node {
+            Node::Leaf { mut entries, next } => {
+                let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, value.to_vec())),
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value.to_vec()));
+                        None
+                    }
+                };
+                let node = Node::Leaf { entries, next };
+                if !node.overflows() {
+                    write_node(pager, page, &node)?;
+                    return Ok((old, None));
+                }
+                // Split the leaf near the byte-size midpoint.
+                let (entries, next) = match node {
+                    Node::Leaf { entries, next } => (entries, next),
+                    _ => unreachable!(),
+                };
+                let split_at = size_midpoint(entries.iter().map(|(k, v)| k.len() + v.len() + 10));
+                let right_entries = entries[split_at..].to_vec();
+                let left_entries = entries[..split_at].to_vec();
+                let sep_key = right_entries[0].0.clone();
+                let right_page = pager.allocate()?;
+                write_node(pager, right_page, &Node::Leaf { entries: right_entries, next })?;
+                write_node(pager, page, &Node::Leaf { entries: left_entries, next: right_page })?;
+                Ok((old, Some(Split { sep_key, right: right_page })))
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = child_index(&keys, key);
+                let (old, split) = self.insert_rec(pager, children[idx], key, value)?;
+                if let Some(split) = split {
+                    keys.insert(idx, split.sep_key);
+                    children.insert(idx + 1, split.right);
+                }
+                let node = Node::Internal { keys, children };
+                if !node.overflows() {
+                    write_node(pager, page, &node)?;
+                    return Ok((old, None));
+                }
+                let (keys, children) = match node {
+                    Node::Internal { keys, children } => (keys, children),
+                    _ => unreachable!(),
+                };
+                // Split: promote the median separator.
+                let mid = keys.len() / 2;
+                let sep_key = keys[mid].clone();
+                let right_keys = keys[mid + 1..].to_vec();
+                let left_keys = keys[..mid].to_vec();
+                let right_children = children[mid + 1..].to_vec();
+                let left_children = children[..=mid].to_vec();
+                let right_page = pager.allocate()?;
+                write_node(
+                    pager,
+                    right_page,
+                    &Node::Internal { keys: right_keys, children: right_children },
+                )?;
+                write_node(pager, page, &Node::Internal { keys: left_keys, children: left_children })?;
+                Ok((old, Some(Split { sep_key, right: right_page })))
+            }
+        }
+    }
+
+    fn delete_rec(
+        &mut self,
+        pager: &mut Pager,
+        page: PageId,
+        key: &[u8],
+    ) -> StoreResult<Option<Vec<u8>>> {
+        match read_node(pager, page)? {
+            Node::Leaf { mut entries, next } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let (_, v) = entries.remove(i);
+                        write_node(pager, page, &Node::Leaf { entries, next })?;
+                        Ok(Some(v))
+                    }
+                    Err(_) => Ok(None),
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = child_index(&keys, key);
+                self.delete_rec(pager, children[idx], key)
+            }
+        }
+    }
+}
+
+/// Index of the child subtree that can contain `key`.
+fn child_index(keys: &[Vec<u8>], key: &[u8]) -> usize {
+    match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+        // Separator equals the key: the key lives in the right subtree.
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Split position that best balances total byte size.
+fn size_midpoint<I: Iterator<Item = usize>>(sizes: I) -> usize {
+    let sizes: Vec<usize> = sizes.collect();
+    let total: usize = sizes.iter().sum();
+    let mut acc = 0usize;
+    for (i, s) in sizes.iter().enumerate() {
+        acc += s;
+        if acc * 2 >= total {
+            // Never produce an empty side.
+            return (i + 1).clamp(1, sizes.len() - 1);
+        }
+    }
+    (sizes.len() / 2).max(1)
+}
+
+fn read_node(pager: &mut Pager, id: PageId) -> StoreResult<Node> {
+    let page = pager.read(id)?;
+    Node::deserialize(page.bytes())
+}
+
+fn write_node(pager: &mut Pager, id: PageId, node: &Node) -> StoreResult<()> {
+    let bytes = node.serialize();
+    if bytes.len() > PAGE_SIZE {
+        return Err(StoreError::Corrupt(format!(
+            "node serialises to {} bytes > page size",
+            bytes.len()
+        )));
+    }
+    let mut page = Page::zeroed();
+    page.write_prefix(&bytes);
+    pager.write(id, page);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_tree() -> (Pager, BTree) {
+        let mut pager = Pager::in_memory(64);
+        let tree = BTree::open(&mut pager).unwrap();
+        (pager, tree)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (mut pager, mut tree) = mem_tree();
+        assert!(tree.insert(&mut pager, b"alpha", b"1").unwrap().is_none());
+        assert!(tree.insert(&mut pager, b"beta", b"2").unwrap().is_none());
+        assert_eq!(tree.get(&mut pager, b"alpha").unwrap().unwrap(), b"1");
+        assert_eq!(tree.get(&mut pager, b"beta").unwrap().unwrap(), b"2");
+        assert!(tree.get(&mut pager, b"gamma").unwrap().is_none());
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let (mut pager, mut tree) = mem_tree();
+        tree.insert(&mut pager, b"k", b"v1").unwrap();
+        let old = tree.insert(&mut pager, b"k", b"v2").unwrap();
+        assert_eq!(old.unwrap(), b"v1");
+        assert_eq!(tree.get(&mut pager, b"k").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_ordered() {
+        let (mut pager, mut tree) = mem_tree();
+        let n = 3000u32;
+        for i in 0..n {
+            let key = format!("url:{:08}", (u64::from(i) * 2_654_435_761) % u64::from(n)); // scrambled order
+            tree.insert(&mut pager, key.as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        tree.check_invariants(&mut pager).unwrap();
+        assert_eq!(tree.count(&mut pager).unwrap(), u64::from(n));
+        let all = tree.scan(&mut pager, Bound::Unbounded, Bound::Unbounded).unwrap();
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan must be sorted");
+    }
+
+    #[test]
+    fn range_scans_respect_bounds() {
+        let (mut pager, mut tree) = mem_tree();
+        for i in 0..100u32 {
+            tree.insert(&mut pager, format!("k{:03}", i).as_bytes(), b"x").unwrap();
+        }
+        let hits = tree
+            .scan(&mut pager, Bound::Included(b"k010".as_ref()), Bound::Excluded(b"k020".as_ref()))
+            .unwrap();
+        assert_eq!(hits.len(), 10);
+        assert_eq!(hits[0].0, b"k010");
+        assert_eq!(hits[9].0, b"k019");
+        let hits = tree
+            .scan(&mut pager, Bound::Excluded(b"k097".as_ref()), Bound::Unbounded)
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn delete_removes_and_tree_survives() {
+        let (mut pager, mut tree) = mem_tree();
+        for i in 0..500u32 {
+            tree.insert(&mut pager, format!("k{:05}", i).as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        for i in (0..500u32).step_by(2) {
+            let old = tree.delete(&mut pager, format!("k{:05}", i).as_bytes()).unwrap();
+            assert!(old.is_some());
+        }
+        tree.check_invariants(&mut pager).unwrap();
+        assert_eq!(tree.count(&mut pager).unwrap(), 250);
+        assert!(tree.get(&mut pager, b"k00000").unwrap().is_none());
+        assert!(tree.get(&mut pager, b"k00001").unwrap().is_some());
+        assert!(tree.delete(&mut pager, b"missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn big_values_split_correctly() {
+        let (mut pager, mut tree) = mem_tree();
+        let big = vec![0xAB; MAX_VALUE_LEN];
+        for i in 0..64u32 {
+            tree.insert(&mut pager, format!("big{:04}", i).as_bytes(), &big).unwrap();
+        }
+        tree.check_invariants(&mut pager).unwrap();
+        for i in 0..64u32 {
+            assert_eq!(
+                tree.get(&mut pager, format!("big{:04}", i).as_bytes()).unwrap().unwrap(),
+                big
+            );
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let (mut pager, mut tree) = mem_tree();
+        assert!(tree.insert(&mut pager, &[], b"v").is_err());
+        assert!(tree.insert(&mut pager, &vec![1u8; MAX_KEY_LEN + 1], b"v").is_err());
+        assert!(tree.insert(&mut pager, b"k", &vec![1u8; MAX_VALUE_LEN + 1]).is_err());
+    }
+
+    #[test]
+    fn persists_through_file_backing() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("memex-btree-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut pager = Pager::open_file(&path, 16).unwrap();
+            let mut tree = BTree::open(&mut pager).unwrap();
+            for i in 0..800u32 {
+                tree.insert(&mut pager, format!("p{:05}", i).as_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            pager.flush().unwrap();
+        }
+        {
+            let mut pager = Pager::open_file(&path, 16).unwrap();
+            let tree = BTree::open(&mut pager).unwrap();
+            assert_eq!(tree.count(&mut pager).unwrap(), 800);
+            assert_eq!(
+                tree.get(&mut pager, b"p00417").unwrap().unwrap(),
+                417u32.to_le_bytes()
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,298 @@
+//! Byte-level encoding primitives used across the storage layer:
+//! LEB128-style varints, zigzag transforms for signed values, delta
+//! encoding of sorted id sequences, length-prefixed byte strings, and a
+//! table-driven CRC-32 (IEEE) used by the WAL to detect torn writes.
+//!
+//! Keeping the codec in one place means the B+Tree, the WAL, the relational
+//! tuple format and the inverted-index postings (in `memex-index`) all share
+//! the same, well-tested primitives.
+
+use crate::error::{StoreError, StoreResult};
+
+// ---------------------------------------------------------------------------
+// varint
+// ---------------------------------------------------------------------------
+
+/// Append `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode an unsigned varint from `buf[*pos..]`, advancing `*pos`.
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> StoreResult<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf
+            .get(*pos)
+            .ok_or_else(|| StoreError::Corrupt("varint truncated".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(StoreError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encode a signed integer so small magnitudes stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a signed varint (zigzag + LEB128).
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, zigzag(v));
+}
+
+/// Decode a signed varint.
+pub fn get_ivarint(buf: &[u8], pos: &mut usize) -> StoreResult<i64> {
+    Ok(unzigzag(get_uvarint(buf, pos)?))
+}
+
+// ---------------------------------------------------------------------------
+// length-prefixed bytes / fixed-width ints
+// ---------------------------------------------------------------------------
+
+/// Append `bytes` prefixed by its varint length.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_uvarint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Decode a length-prefixed byte string, advancing `*pos`.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> StoreResult<&'a [u8]> {
+    let len = get_uvarint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or_else(|| StoreError::Corrupt("byte-string length overflow".into()))?;
+    if end > buf.len() {
+        return Err(StoreError::Corrupt("byte string truncated".into()));
+    }
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+/// Append a little-endian u32.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian u32, advancing `*pos`.
+pub fn get_u32(buf: &[u8], pos: &mut usize) -> StoreResult<u32> {
+    let end = *pos + 4;
+    if end > buf.len() {
+        return Err(StoreError::Corrupt("u32 truncated".into()));
+    }
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Append a little-endian u64.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian u64, advancing `*pos`.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> StoreResult<u64> {
+    let end = *pos + 8;
+    if end > buf.len() {
+        return Err(StoreError::Corrupt("u64 truncated".into()));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Append an f64 via its IEEE-754 bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Read an f64, advancing `*pos`.
+pub fn get_f64(buf: &[u8], pos: &mut usize) -> StoreResult<f64> {
+    Ok(f64::from_bits(get_u64(buf, pos)?))
+}
+
+// ---------------------------------------------------------------------------
+// delta encoding for sorted u64 sequences (used by postings & trail ids)
+// ---------------------------------------------------------------------------
+
+/// Delta + varint encode a strictly increasing sequence.
+///
+/// Returns `Invalid` if the input is not strictly increasing — callers
+/// depend on gaps being non-negative for the compact representation.
+pub fn encode_deltas(out: &mut Vec<u8>, sorted: &[u64]) -> StoreResult<()> {
+    put_uvarint(out, sorted.len() as u64);
+    let mut prev = 0u64;
+    for (i, &v) in sorted.iter().enumerate() {
+        if i > 0 && v <= prev {
+            return Err(StoreError::Invalid("sequence not strictly increasing".into()));
+        }
+        let gap = if i == 0 { v } else { v - prev };
+        put_uvarint(out, gap);
+        prev = v;
+    }
+    Ok(())
+}
+
+/// Inverse of [`encode_deltas`].
+pub fn decode_deltas(buf: &[u8], pos: &mut usize) -> StoreResult<Vec<u64>> {
+    let n = get_uvarint(buf, pos)? as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut acc = 0u64;
+    for i in 0..n {
+        let gap = get_uvarint(buf, pos)?;
+        acc = if i == 0 { gap } else { acc.checked_add(gap).ok_or_else(|| StoreError::Corrupt("delta sum overflow".into()))? };
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected)
+// ---------------------------------------------------------------------------
+
+/// Lazily-built 256-entry CRC-32 lookup table.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `data`. Matches the ubiquitous zlib/PNG checksum, so it
+/// is easy to cross-validate externally.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(get_uvarint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn ivarint_round_trips_signed_extremes() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123_456_789] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_ivarint(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn bytes_round_trip_and_reject_truncation() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        let mut pos = 0;
+        assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"hello");
+        assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"");
+        let mut truncated = Vec::new();
+        put_bytes(&mut truncated, b"hello");
+        truncated.truncate(3);
+        let mut pos = 0;
+        assert!(get_bytes(&truncated, &mut pos).is_err());
+    }
+
+    #[test]
+    fn deltas_round_trip() {
+        let seq = vec![3u64, 4, 9, 1000, 1001, 1_000_000];
+        let mut buf = Vec::new();
+        encode_deltas(&mut buf, &seq).unwrap();
+        let mut pos = 0;
+        assert_eq!(decode_deltas(&buf, &mut pos).unwrap(), seq);
+    }
+
+    #[test]
+    fn deltas_reject_non_increasing() {
+        let mut buf = Vec::new();
+        assert!(encode_deltas(&mut buf, &[5, 5]).is_err());
+        let mut buf = Vec::new();
+        assert!(encode_deltas(&mut buf, &[5, 4]).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fixed_width_round_trips() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_f64(&mut buf, -0.125);
+        let mut pos = 0;
+        assert_eq!(get_u32(&buf, &mut pos).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, &mut pos).unwrap(), u64::MAX - 7);
+        assert_eq!(get_f64(&buf, &mut pos).unwrap(), -0.125);
+    }
+}

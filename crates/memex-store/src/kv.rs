@@ -1,0 +1,324 @@
+//! The lightweight keyed store ("our Berkeley DB", paper §3): a WAL-fronted,
+//! buffer-pooled B+Tree with crash recovery, used for fine-grained term-level
+//! statistics where "storing term-level statistics in an RDBMS would have
+//! overwhelming space and time overheads".
+
+use std::ops::Bound;
+use std::path::Path;
+
+use crate::btree::BTree;
+use crate::error::StoreResult;
+use crate::pager::Pager;
+use crate::wal::{Wal, WalRecord};
+
+/// Tuning knobs for a [`KvStore`].
+#[derive(Debug, Clone)]
+pub struct KvStoreOptions {
+    /// Buffer-pool capacity in pages.
+    pub pool_capacity: usize,
+    /// Auto-checkpoint once the WAL grows beyond this many bytes.
+    pub checkpoint_bytes: u64,
+    /// Call `fsync` after every append (durability vs. throughput).
+    pub sync_every_append: bool,
+}
+
+impl Default for KvStoreOptions {
+    fn default() -> Self {
+        KvStoreOptions {
+            pool_capacity: 256,
+            checkpoint_bytes: 4 << 20,
+            sync_every_append: false,
+        }
+    }
+}
+
+/// Counters exposed for the F3 pipeline experiment and diagnostics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KvStats {
+    pub puts: u64,
+    pub deletes: u64,
+    pub gets: u64,
+    pub checkpoints: u64,
+    /// Records recovered from the WAL at open time.
+    pub recovered_records: u64,
+    /// True if the last recovery found (and dropped) a torn tail.
+    pub recovered_torn_tail: bool,
+}
+
+/// A durable ordered key-value store.
+pub struct KvStore {
+    pager: Pager,
+    tree: BTree,
+    wal: Wal,
+    len: u64,
+    opts: KvStoreOptions,
+    stats: KvStats,
+}
+
+impl KvStore {
+    /// Fully in-memory store (still exercises WAL + recovery code paths).
+    pub fn open_memory() -> StoreResult<KvStore> {
+        Self::build(Pager::in_memory(256), Wal::in_memory(), KvStoreOptions::default())
+    }
+
+    /// Open (or create) a store in `dir`, using `name.db` and `name.wal`.
+    pub fn open_dir<P: AsRef<Path>>(dir: P, name: &str, opts: KvStoreOptions) -> StoreResult<KvStore> {
+        std::fs::create_dir_all(&dir)?;
+        let db_path = dir.as_ref().join(format!("{name}.db"));
+        let wal_path = dir.as_ref().join(format!("{name}.wal"));
+        let pager = Pager::open_file(db_path, opts.pool_capacity)?;
+        let wal = Wal::open_file(wal_path)?;
+        Self::build(pager, wal, opts)
+    }
+
+    fn build(mut pager: Pager, mut wal: Wal, opts: KvStoreOptions) -> StoreResult<KvStore> {
+        let mut tree = BTree::open(&mut pager)?;
+        // Recovery: replay post-checkpoint records into the tree.
+        let replay = wal.replay()?;
+        let recovered = replay.records.len() as u64;
+        for (_lsn, rec) in &replay.records {
+            match rec {
+                WalRecord::Put { key, value } => {
+                    tree.insert(&mut pager, key, value)?;
+                }
+                WalRecord::Delete { key } => {
+                    tree.delete(&mut pager, key)?;
+                }
+                WalRecord::Checkpoint => {}
+            }
+        }
+        let len = tree.count(&mut pager)?;
+        let mut store = KvStore {
+            pager,
+            tree,
+            wal,
+            len,
+            opts,
+            stats: KvStats {
+                recovered_records: recovered,
+                recovered_torn_tail: replay.torn_tail,
+                ..KvStats::default()
+            },
+        };
+        if recovered > 0 {
+            store.checkpoint()?;
+        }
+        Ok(store)
+    }
+
+    /// Upsert. Returns the previous value if any.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        self.wal.append(&WalRecord::Put { key: key.to_vec(), value: value.to_vec() })?;
+        if self.opts.sync_every_append {
+            self.wal.sync()?;
+        }
+        let old = self.tree.insert(&mut self.pager, key, value)?;
+        if old.is_none() {
+            self.len += 1;
+        }
+        self.stats.puts += 1;
+        self.maybe_checkpoint()?;
+        Ok(old)
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        self.stats.gets += 1;
+        self.tree.get(&mut self.pager, key)
+    }
+
+    /// Delete. Returns the removed value if present.
+    pub fn delete(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        self.wal.append(&WalRecord::Delete { key: key.to_vec() })?;
+        if self.opts.sync_every_append {
+            self.wal.sync()?;
+        }
+        let old = self.tree.delete(&mut self.pager, key)?;
+        if old.is_some() {
+            self.len -= 1;
+        }
+        self.stats.deletes += 1;
+        self.maybe_checkpoint()?;
+        Ok(old)
+    }
+
+    /// Ordered range visit; the callback returns `false` to stop early.
+    pub fn for_each_range<F>(&mut self, start: Bound<&[u8]>, end: Bound<&[u8]>, f: F) -> StoreResult<()>
+    where
+        F: FnMut(&[u8], &[u8]) -> bool,
+    {
+        self.tree.for_each_range(&mut self.pager, start, end, f)
+    }
+
+    /// Collect every `(key, value)` whose key starts with `prefix`.
+    pub fn scan_prefix(&mut self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.tree.for_each_range(
+            &mut self.pager,
+            Bound::Included(prefix),
+            Bound::Unbounded,
+            |k, v| {
+                if !k.starts_with(prefix) {
+                    return false;
+                }
+                out.push((k.to_vec(), v.to_vec()));
+                true
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Collect a bounded range.
+    pub fn scan(&mut self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.tree.scan(&mut self.pager, start, end)
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Flush the tree, mark the WAL checkpointed and truncate it.
+    pub fn checkpoint(&mut self) -> StoreResult<()> {
+        self.pager.flush()?;
+        self.wal.truncate()?;
+        self.wal.append(&WalRecord::Checkpoint)?;
+        self.wal.sync()?;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Diagnostic counters.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Verify internal tree invariants (tests / debugging).
+    pub fn check(&mut self) -> StoreResult<()> {
+        self.tree.check_invariants(&mut self.pager)
+    }
+
+    /// Expose the WAL for fault-injection in recovery experiments.
+    #[doc(hidden)]
+    pub fn wal_mut(&mut self) -> &mut Wal {
+        &mut self.wal
+    }
+
+    fn maybe_checkpoint(&mut self) -> StoreResult<()> {
+        if self.wal.len_bytes()? > self.opts.checkpoint_bytes {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_crud() {
+        let mut kv = KvStore::open_memory().unwrap();
+        assert!(kv.is_empty());
+        kv.put(b"term:music", b"42").unwrap();
+        kv.put(b"term:cycling", b"7").unwrap();
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.get(b"term:music").unwrap().unwrap(), b"42");
+        let old = kv.put(b"term:music", b"43").unwrap();
+        assert_eq!(old.unwrap(), b"42");
+        assert_eq!(kv.len(), 2, "replace must not change len");
+        assert_eq!(kv.delete(b"term:cycling").unwrap().unwrap(), b"7");
+        assert_eq!(kv.len(), 1);
+        assert!(kv.delete(b"absent").unwrap().is_none());
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn prefix_scan_isolates_namespace() {
+        let mut kv = KvStore::open_memory().unwrap();
+        kv.put(b"df:apple", b"3").unwrap();
+        kv.put(b"df:banana", b"5").unwrap();
+        kv.put(b"tf:apple", b"9").unwrap();
+        let hits = kv.scan_prefix(b"df:").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|(k, _)| k.starts_with(b"df:")));
+    }
+
+    #[test]
+    fn crash_recovery_replays_wal() {
+        let dir = std::env::temp_dir().join(format!("memex-kv-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut kv = KvStore::open_dir(&dir, "t", KvStoreOptions::default()).unwrap();
+            kv.put(b"a", b"1").unwrap();
+            kv.checkpoint().unwrap();
+            kv.put(b"b", b"2").unwrap();
+            kv.put(b"c", b"3").unwrap();
+            kv.delete(b"a").unwrap();
+            kv.wal_mut().sync().unwrap();
+            // Simulate a crash: drop without flushing the pager.
+        }
+        {
+            let mut kv = KvStore::open_dir(&dir, "t", KvStoreOptions::default()).unwrap();
+            assert!(kv.stats().recovered_records >= 3);
+            assert!(kv.get(b"a").unwrap().is_none());
+            assert_eq!(kv.get(b"b").unwrap().unwrap(), b"2");
+            assert_eq!(kv.get(b"c").unwrap().unwrap(), b"3");
+            assert_eq!(kv.len(), 2);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_incomplete_record() {
+        let dir = std::env::temp_dir().join(format!("memex-kv-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut kv = KvStore::open_dir(&dir, "t", KvStoreOptions::default()).unwrap();
+            kv.put(b"keep", b"1").unwrap();
+            kv.put(b"lost", b"2").unwrap();
+            kv.wal_mut().sync().unwrap();
+            kv.wal_mut().tear_tail(4).unwrap();
+        }
+        {
+            let mut kv = KvStore::open_dir(&dir, "t", KvStoreOptions::default()).unwrap();
+            assert!(kv.stats().recovered_torn_tail);
+            assert_eq!(kv.get(b"keep").unwrap().unwrap(), b"1");
+            assert!(kv.get(b"lost").unwrap().is_none(), "torn record must vanish");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_checkpoint_bounds_wal() {
+        let mut kv = KvStore::open_memory().unwrap();
+        kv.opts.checkpoint_bytes = 512;
+        for i in 0..200u32 {
+            kv.put(format!("k{i:05}").as_bytes(), &[0u8; 64]).unwrap();
+        }
+        assert!(kv.stats().checkpoints > 0);
+        assert!(kv.wal_mut().len_bytes().unwrap() <= 1024);
+        kv.check().unwrap();
+        assert_eq!(kv.len(), 200);
+    }
+
+    #[test]
+    fn ordered_iteration() {
+        let mut kv = KvStore::open_memory().unwrap();
+        for i in [5u32, 1, 9, 3, 7] {
+            kv.put(format!("k{i}").as_bytes(), b"x").unwrap();
+        }
+        let mut keys = Vec::new();
+        kv.for_each_range(Bound::Unbounded, Bound::Unbounded, |k, _| {
+            keys.push(String::from_utf8(k.to_vec()).unwrap());
+            true
+        })
+        .unwrap();
+        assert_eq!(keys, vec!["k1", "k3", "k5", "k7", "k9"]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # memex-store — storage substrate for Memex
+//!
+//! The Memex paper (§3) manages server state with *two* storage mechanisms:
+//!
+//! 1. a relational database (Oracle/DB2 in the paper) for **metadata** about
+//!    pages, links, users and topics — reproduced here by [`rel`], a compact
+//!    typed relational engine with heap tables, B+Tree primary and secondary
+//!    indexes and predicate scans;
+//! 2. a lightweight Berkeley DB storage manager for **fine-grained
+//!    term-level data** — reproduced here by [`kv`], a buffer-pooled,
+//!    page-based, WAL-protected B+Tree keyed store with range scans and
+//!    crash recovery.
+//!
+//! The paper further describes "a loosely-consistent versioning system on
+//! top of the RDBMS, with a single producer (crawler) and several consumers
+//! (indexer and statistical analyzers)"; that is [`version`].
+//!
+//! All byte-level encoding used across the store lives in [`codec`].
+
+pub mod btree;
+pub mod codec;
+pub mod error;
+pub mod kv;
+pub mod page;
+pub mod pager;
+pub mod rel;
+pub mod version;
+pub mod wal;
+
+pub use error::{StoreError, StoreResult};
+pub use kv::{KvStore, KvStoreOptions};
+pub use version::{Consumer, Epoch, VersionedLog};

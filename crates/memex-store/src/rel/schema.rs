@@ -1,0 +1,201 @@
+//! Table schemas: named, typed columns with optional uniqueness.
+
+use crate::codec::{get_bytes, get_uvarint, put_bytes, put_uvarint};
+use crate::error::{StoreError, StoreResult};
+pub use crate::rel::value::ColType;
+
+use crate::rel::value::Value;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColType,
+    /// Enforced via a mandatory secondary index.
+    pub unique: bool,
+}
+
+impl Column {
+    pub fn new(name: &str, ty: ColType) -> Column {
+        Column { name: name.to_string(), ty, unique: false }
+    }
+
+    pub fn unique(name: &str, ty: ColType) -> Column {
+        Column { name: name.to_string(), ty, unique: true }
+    }
+}
+
+/// A table schema. Rows are identified by an auto-assigned `RowId`; user
+/// columns are positional but addressable by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    pub name: String,
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(name: &str, columns: Vec<Column>) -> StoreResult<Schema> {
+        if name.is_empty() {
+            return Err(StoreError::Schema("table name must not be empty".into()));
+        }
+        if columns.is_empty() {
+            return Err(StoreError::Schema(format!("table `{name}` needs at least one column")));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.as_str()) {
+                return Err(StoreError::Schema(format!(
+                    "duplicate column `{}` in table `{name}`",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { name: name.to_string(), columns })
+    }
+
+    /// Position of a named column.
+    pub fn col_index(&self, name: &str) -> StoreResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StoreError::Schema(format!("no column `{name}` in `{}`", self.name)))
+    }
+
+    /// Validate a row against the schema.
+    pub fn validate(&self, row: &[Value]) -> StoreResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(StoreError::Schema(format!(
+                "table `{}` expects {} columns, row has {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if !v.fits(c.ty) {
+                return Err(StoreError::Schema(format!(
+                    "column `{}` of `{}` expects {:?}, got {:?}",
+                    c.name, self.name, c.ty, v
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Persistent encoding (stored in the catalog namespace).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        put_bytes(&mut out, self.name.as_bytes());
+        put_uvarint(&mut out, self.columns.len() as u64);
+        for c in &self.columns {
+            put_bytes(&mut out, c.name.as_bytes());
+            out.push(match c.ty {
+                ColType::Int => 1,
+                ColType::Float => 2,
+                ColType::Text => 3,
+                ColType::Bool => 4,
+                ColType::Bytes => 5,
+            });
+            out.push(u8::from(c.unique));
+        }
+        out
+    }
+
+    /// Inverse of [`Schema::encode`].
+    pub fn decode(buf: &[u8]) -> StoreResult<Schema> {
+        let mut pos = 0usize;
+        let name = String::from_utf8(get_bytes(buf, &mut pos)?.to_vec())
+            .map_err(|_| StoreError::Corrupt("schema name not utf-8".into()))?;
+        let n = get_uvarint(buf, &mut pos)? as usize;
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cname = String::from_utf8(get_bytes(buf, &mut pos)?.to_vec())
+                .map_err(|_| StoreError::Corrupt("column name not utf-8".into()))?;
+            let ty = match buf.get(pos) {
+                Some(1) => ColType::Int,
+                Some(2) => ColType::Float,
+                Some(3) => ColType::Text,
+                Some(4) => ColType::Bool,
+                Some(5) => ColType::Bytes,
+                _ => return Err(StoreError::Corrupt("bad column type tag".into())),
+            };
+            pos += 1;
+            let unique = match buf.get(pos) {
+                Some(0) => false,
+                Some(1) => true,
+                _ => return Err(StoreError::Corrupt("bad unique flag".into())),
+            };
+            pos += 1;
+            columns.push(Column { name: cname, ty, unique });
+        }
+        Schema::new(&name, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages_schema() -> Schema {
+        Schema::new(
+            "pages",
+            vec![
+                Column::unique("url", ColType::Text),
+                Column::new("title", ColType::Text),
+                Column::new("bytes", ColType::Int),
+                Column::new("score", ColType::Float),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let s = pages_schema();
+        assert_eq!(Schema::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::new(
+            "t",
+            vec![Column::new("a", ColType::Int), Column::new("a", ColType::Text)],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn validation_checks_arity_and_types() {
+        let s = pages_schema();
+        let good = vec![
+            Value::Text("http://x".into()),
+            Value::Text("X".into()),
+            Value::Int(1000),
+            Value::Float(0.5),
+        ];
+        s.validate(&good).unwrap();
+        let short = vec![Value::Text("u".into())];
+        assert!(s.validate(&short).is_err());
+        let wrong = vec![
+            Value::Int(1),
+            Value::Text("X".into()),
+            Value::Int(1000),
+            Value::Float(0.5),
+        ];
+        assert!(s.validate(&wrong).is_err());
+        let with_null = vec![
+            Value::Text("http://x".into()),
+            Value::Null,
+            Value::Int(0),
+            Value::Float(0.0),
+        ];
+        s.validate(&with_null).unwrap();
+    }
+
+    #[test]
+    fn col_index_by_name() {
+        let s = pages_schema();
+        assert_eq!(s.col_index("bytes").unwrap(), 2);
+        assert!(s.col_index("missing").is_err());
+    }
+}

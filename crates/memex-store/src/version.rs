@@ -1,0 +1,300 @@
+//! The loosely-consistent versioning system of paper §3: "a single producer
+//! (crawler) and several consumers (indexer and statistical analyzers)"
+//! coordinate through published epochs rather than shared transactions.
+//!
+//! * The **producer** appends batches; each batch gets an epoch number.
+//!   Appended batches are invisible until [`VersionedLog::publish`] moves
+//!   the watermark — so consumers always see a prefix-consistent snapshot.
+//! * Each **consumer** tracks the epoch it has applied; [`Consumer::poll`]
+//!   returns the published-but-unapplied batches. The gap between the
+//!   producer watermark and a consumer is its *staleness* — the quantity
+//!   experiment F3 measures under load.
+//! * Fully-consumed batches can be trimmed (log compaction).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Monotone batch number. Epoch 0 means "nothing yet".
+pub type Epoch = u64;
+
+struct State<T> {
+    /// Retained batches in epoch order (possibly trimmed at the front).
+    batches: Vec<(Epoch, Arc<Vec<T>>)>,
+    /// Highest epoch ever appended (may exceed `published`).
+    appended: Epoch,
+    /// Highest epoch visible to consumers.
+    published: Epoch,
+    /// Consumer name -> applied epoch.
+    consumers: HashMap<String, Epoch>,
+}
+
+/// Shared, loosely-consistent, multi-consumer batch log.
+pub struct VersionedLog<T> {
+    state: Arc<RwLock<State<T>>>,
+}
+
+impl<T> Clone for VersionedLog<T> {
+    fn clone(&self) -> Self {
+        VersionedLog { state: Arc::clone(&self.state) }
+    }
+}
+
+/// Per-consumer staleness report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StalenessReport {
+    pub consumer: String,
+    pub applied: Epoch,
+    pub published: Epoch,
+    /// `published - applied`: how many epochs behind this consumer runs.
+    pub staleness: u64,
+}
+
+impl<T> Default for VersionedLog<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> VersionedLog<T> {
+    pub fn new() -> VersionedLog<T> {
+        VersionedLog {
+            state: Arc::new(RwLock::new(State {
+                batches: Vec::new(),
+                appended: 0,
+                published: 0,
+                consumers: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Producer: stage a batch; returns its epoch. Not yet visible.
+    pub fn append(&self, batch: Vec<T>) -> Epoch {
+        let mut s = self.state.write();
+        s.appended += 1;
+        let epoch = s.appended;
+        s.batches.push((epoch, Arc::new(batch)));
+        epoch
+    }
+
+    /// Producer: make everything appended so far visible. Returns the new
+    /// watermark.
+    pub fn publish(&self) -> Epoch {
+        let mut s = self.state.write();
+        s.published = s.appended;
+        s.published
+    }
+
+    /// Current visible watermark.
+    pub fn published(&self) -> Epoch {
+        self.state.read().published
+    }
+
+    /// Register a consumer starting from epoch 0 (sees all history that is
+    /// still retained).
+    pub fn register(&self, name: &str) -> Consumer<T> {
+        self.state.write().consumers.entry(name.to_string()).or_insert(0);
+        Consumer { log: self.clone(), name: name.to_string() }
+    }
+
+    /// Staleness of every registered consumer.
+    pub fn staleness(&self) -> Vec<StalenessReport> {
+        let s = self.state.read();
+        let mut out: Vec<StalenessReport> = s
+            .consumers
+            .iter()
+            .map(|(name, &applied)| StalenessReport {
+                consumer: name.clone(),
+                applied,
+                published: s.published,
+                staleness: s.published.saturating_sub(applied),
+            })
+            .collect();
+        out.sort_by(|a, b| a.consumer.cmp(&b.consumer));
+        out
+    }
+
+    /// Drop batches already applied by every consumer. Returns how many
+    /// batches were discarded.
+    pub fn trim(&self) -> usize {
+        let mut s = self.state.write();
+        let min_applied = s.consumers.values().copied().min().unwrap_or(0);
+        let before = s.batches.len();
+        s.batches.retain(|(e, _)| *e > min_applied);
+        before - s.batches.len()
+    }
+
+    /// Number of retained batches (diagnostic).
+    pub fn retained(&self) -> usize {
+        self.state.read().batches.len()
+    }
+}
+
+/// A named consumer cursor over a [`VersionedLog`].
+pub struct Consumer<T> {
+    log: VersionedLog<T>,
+    name: String,
+}
+
+impl<T> Consumer<T> {
+    /// Published batches not yet applied by this consumer, oldest first.
+    /// Marks them applied. Batches are shared (`Arc`) — no cloning of items.
+    pub fn poll(&self) -> Vec<(Epoch, Arc<Vec<T>>)> {
+        self.poll_up_to(usize::MAX)
+    }
+
+    /// Like [`Consumer::poll`] but applies at most `max_batches` — the
+    /// demon-scheduling primitive: a demon that takes only part of its
+    /// backlog stays (measurably) stale on the rest rather than silently
+    /// skipping it.
+    pub fn poll_up_to(&self, max_batches: usize) -> Vec<(Epoch, Arc<Vec<T>>)> {
+        let mut s = self.log.state.write();
+        let applied = *s.consumers.get(&self.name).unwrap_or(&0);
+        let published = s.published;
+        if applied >= published || max_batches == 0 {
+            return Vec::new();
+        }
+        let out: Vec<(Epoch, Arc<Vec<T>>)> = s
+            .batches
+            .iter()
+            .filter(|(e, _)| *e > applied && *e <= published)
+            .take(max_batches)
+            .map(|(e, b)| (*e, Arc::clone(b)))
+            .collect();
+        let new_applied = out.last().map(|&(e, _)| e).unwrap_or(published);
+        s.consumers.insert(self.name.clone(), new_applied);
+        out
+    }
+
+    /// This consumer's applied epoch.
+    pub fn applied(&self) -> Epoch {
+        *self.log.state.read().consumers.get(&self.name).unwrap_or(&0)
+    }
+
+    /// How far behind the producer this consumer currently is.
+    pub fn staleness(&self) -> u64 {
+        let s = self.log.state.read();
+        s.published.saturating_sub(*s.consumers.get(&self.name).unwrap_or(&0))
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpublished_batches_are_invisible() {
+        let log: VersionedLog<u32> = VersionedLog::new();
+        let indexer = log.register("indexer");
+        log.append(vec![1, 2]);
+        assert!(indexer.poll().is_empty(), "append without publish is invisible");
+        log.publish();
+        let got = indexer.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(*got[0].1, vec![1, 2]);
+    }
+
+    #[test]
+    fn consumers_progress_independently() {
+        let log: VersionedLog<u32> = VersionedLog::new();
+        let fast = log.register("indexer");
+        let slow = log.register("analyzer");
+        for i in 0..5 {
+            log.append(vec![i]);
+        }
+        log.publish();
+        assert_eq!(fast.poll().len(), 5);
+        assert_eq!(fast.staleness(), 0);
+        assert_eq!(slow.staleness(), 5);
+        let reports = log.staleness();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].consumer, "analyzer");
+        assert_eq!(reports[0].staleness, 5);
+        assert_eq!(slow.poll().len(), 5);
+        assert_eq!(slow.staleness(), 0);
+    }
+
+    #[test]
+    fn poll_is_exactly_once() {
+        let log: VersionedLog<u32> = VersionedLog::new();
+        let c = log.register("c");
+        log.append(vec![1]);
+        log.publish();
+        assert_eq!(c.poll().len(), 1);
+        assert!(c.poll().is_empty());
+        log.append(vec![2]);
+        log.publish();
+        let got = c.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(*got[0].1, vec![2]);
+    }
+
+    #[test]
+    fn poll_up_to_limits_and_tracks_staleness() {
+        let log: VersionedLog<u32> = VersionedLog::new();
+        let c = log.register("c");
+        for i in 0..5 {
+            log.append(vec![i]);
+        }
+        log.publish();
+        let got = c.poll_up_to(2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(c.staleness(), 3, "unapplied batches still count as stale");
+        assert_eq!(c.poll_up_to(0).len(), 0);
+        assert_eq!(c.poll_up_to(10).len(), 3);
+        assert_eq!(c.staleness(), 0);
+    }
+
+    #[test]
+    fn trim_respects_slowest_consumer() {
+        let log: VersionedLog<u32> = VersionedLog::new();
+        let a = log.register("a");
+        let _b = log.register("b");
+        for i in 0..4 {
+            log.append(vec![i]);
+        }
+        log.publish();
+        a.poll();
+        assert_eq!(log.trim(), 0, "b has applied nothing; nothing trimmable");
+        let b = log.register("b");
+        b.poll();
+        assert_eq!(log.trim(), 4);
+        assert_eq!(log.retained(), 0);
+    }
+
+    #[test]
+    fn concurrent_producer_and_consumers() {
+        let log: VersionedLog<u64> = VersionedLog::new();
+        let consumer = log.register("indexer");
+        let producer = {
+            let log = log.clone();
+            std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    log.append(vec![i]);
+                    if i % 5 == 4 {
+                        log.publish();
+                    }
+                }
+                log.publish();
+            })
+        };
+        let collector = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while seen.len() < 100 {
+                for (_, batch) in consumer.poll() {
+                    seen.extend(batch.iter().copied());
+                }
+                std::thread::yield_now();
+            }
+            seen
+        });
+        producer.join().unwrap();
+        let seen = collector.join().unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<u64>>(), "order and completeness preserved");
+    }
+}

@@ -1,0 +1,132 @@
+//! Model-based property test for the relational engine: a random stream of
+//! inserts/updates/deletes/scans against a `HashMap` reference model, with
+//! index creation at arbitrary points (index answers must equal full-scan
+//! answers).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use memex_store::rel::{CmpOp, ColType, Column, Database, Predicate, RowId, Schema, Value};
+use memex_store::StoreError;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u8, score: i8 },
+    Update { pick: usize, score: i8 },
+    Delete { pick: usize },
+    CreateIndex,
+    ScanEq { score: i8 },
+    ScanRange { lo: i8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<i8>()).prop_map(|(key, score)| Op::Insert { key, score }),
+        2 => (any::<usize>(), any::<i8>()).prop_map(|(pick, score)| Op::Update { pick, score }),
+        2 => any::<usize>().prop_map(|pick| Op::Delete { pick }),
+        1 => Just(Op::CreateIndex),
+        2 => any::<i8>().prop_map(|score| Op::ScanEq { score }),
+        2 => any::<i8>().prop_map(|lo| Op::ScanRange { lo }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rel_engine_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut db = Database::open_memory().unwrap();
+        let t = db
+            .create_table(
+                Schema::new(
+                    "items",
+                    vec![Column::unique("key", ColType::Text), Column::new("score", ColType::Int)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        // Model: rowid -> (key, score); plus key uniqueness set.
+        let mut model: HashMap<RowId, (u8, i8)> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert { key, score } => {
+                    let row = vec![Value::Text(format!("k{key}")), Value::Int(i64::from(score))];
+                    let dup = model.values().any(|&(k, _)| k == key);
+                    match db.insert(&t, row) {
+                        Ok(rowid) => {
+                            prop_assert!(!dup, "insert of duplicate key {key} succeeded");
+                            model.insert(rowid, (key, score));
+                        }
+                        Err(StoreError::Duplicate(_)) => prop_assert!(dup),
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                    }
+                }
+                Op::Update { pick, score } => {
+                    let mut ids: Vec<RowId> = model.keys().copied().collect();
+                    ids.sort_unstable();
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let rowid = ids[pick % ids.len()];
+                    let key = model[&rowid].0;
+                    db.update(
+                        &t,
+                        rowid,
+                        vec![Value::Text(format!("k{key}")), Value::Int(i64::from(score))],
+                    )
+                    .unwrap();
+                    model.insert(rowid, (key, score));
+                }
+                Op::Delete { pick } => {
+                    let mut ids: Vec<RowId> = model.keys().copied().collect();
+                    ids.sort_unstable();
+                    if ids.is_empty() {
+                        prop_assert!(!db.delete(&t, 1).unwrap_or(false) || !model.is_empty());
+                        continue;
+                    }
+                    let rowid = ids[pick % ids.len()];
+                    prop_assert!(db.delete(&t, rowid).unwrap());
+                    model.remove(&rowid);
+                }
+                Op::CreateIndex => {
+                    db.create_index(&t, "score").unwrap();
+                }
+                Op::ScanEq { score } => {
+                    let got = db.scan(&t, &Predicate::eq("score", Value::Int(i64::from(score)))).unwrap();
+                    let mut got_ids: Vec<RowId> = got.iter().map(|&(id, _)| id).collect();
+                    got_ids.sort_unstable();
+                    let mut want: Vec<RowId> = model
+                        .iter()
+                        .filter(|(_, &(_, s))| s == score)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got_ids, want);
+                }
+                Op::ScanRange { lo } => {
+                    let got = db
+                        .scan(&t, &Predicate::cmp("score", CmpOp::Ge, Value::Int(i64::from(lo))))
+                        .unwrap();
+                    let mut got_ids: Vec<RowId> = got.iter().map(|&(id, _)| id).collect();
+                    got_ids.sort_unstable();
+                    let mut want: Vec<RowId> = model
+                        .iter()
+                        .filter(|(_, &(_, s))| s >= lo)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got_ids, want);
+                }
+            }
+        }
+        // Final full-table agreement.
+        prop_assert_eq!(db.count(&t).unwrap(), model.len() as u64);
+        for (&rowid, &(key, score)) in &model {
+            let row = db.get(&t, rowid).unwrap().expect("model row exists");
+            let want_key = format!("k{key}");
+            prop_assert_eq!(row[0].as_text().unwrap(), want_key.as_str());
+            prop_assert_eq!(row[1].as_int().unwrap(), i64::from(score));
+        }
+    }
+}

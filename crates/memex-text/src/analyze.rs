@@ -1,0 +1,199 @@
+//! The analysis pipeline: raw page text → tokens → (stop, stem) → term
+//! counts → interned TF-IDF vectors.
+
+use std::collections::HashMap;
+
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+use crate::vector::SparseVec;
+use crate::vocab::{TermId, Vocabulary};
+
+/// Bag-of-words counts for one document, pre-interning.
+pub type TermCounts = HashMap<String, u32>;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzerOptions {
+    /// Apply the Porter stemmer.
+    pub stem: bool,
+    /// Drop stopwords (before stemming).
+    pub remove_stopwords: bool,
+}
+
+impl Default for AnalyzerOptions {
+    fn default() -> Self {
+        AnalyzerOptions { stem: true, remove_stopwords: true }
+    }
+}
+
+/// Stateless text→counts analyzer plus helpers to intern counts into a
+/// shared [`Vocabulary`].
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    opts: AnalyzerOptions,
+}
+
+impl Analyzer {
+    pub fn new(opts: AnalyzerOptions) -> Analyzer {
+        Analyzer { opts }
+    }
+
+    /// HTML/text → term counts.
+    pub fn counts(&self, text: &str) -> TermCounts {
+        let mut counts = TermCounts::new();
+        for token in tokenize(text) {
+            if self.opts.remove_stopwords && is_stopword(&token) {
+                continue;
+            }
+            let term = if self.opts.stem { stem(&token) } else { token };
+            *counts.entry(term).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The *ordered* analysed token stream of a document (stopwords
+    /// removed, stems applied) — the positional index consumes this so
+    /// phrase queries line up with bag-of-words statistics.
+    pub fn term_sequence(&self, text: &str) -> Vec<String> {
+        tokenize(text)
+            .into_iter()
+            .filter(|t| !self.opts.remove_stopwords || !is_stopword(t))
+            .map(|t| if self.opts.stem { stem(&t) } else { t })
+            .collect()
+    }
+
+    /// Intern an ordered token stream into `vocab`, returning term ids in
+    /// document order (df statistics are NOT recorded — combine with
+    /// [`Analyzer::index_document`] when both are needed).
+    pub fn intern_sequence(&self, vocab: &mut Vocabulary, text: &str) -> Vec<TermId> {
+        self.term_sequence(text).iter().map(|t| vocab.intern(t)).collect()
+    }
+
+    /// Intern counts into `vocab` (creating ids as needed) and record the
+    /// document for df statistics. Returns raw term-frequency pairs.
+    pub fn intern_counts(&self, vocab: &mut Vocabulary, counts: &TermCounts) -> Vec<(TermId, u32)> {
+        let mut pairs: Vec<(TermId, u32)> =
+            counts.iter().map(|(t, &c)| (vocab.intern(t), c)).collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        vocab.observe_doc(pairs.iter().map(|&(id, _)| id));
+        pairs
+    }
+
+    /// One-shot: text → interned tf pairs (df recorded).
+    pub fn index_document(&self, vocab: &mut Vocabulary, text: &str) -> Vec<(TermId, u32)> {
+        let counts = self.counts(text);
+        self.intern_counts(vocab, &counts)
+    }
+
+    /// Convert tf pairs into a TF-IDF vector using `vocab`'s current df
+    /// statistics: `(1 + ln tf) * idf(t)`, L2-normalised.
+    pub fn tfidf(&self, vocab: &Vocabulary, tf_pairs: &[(TermId, u32)]) -> SparseVec {
+        let mut v: SparseVec = tf_pairs
+            .iter()
+            .map(|&(id, tf)| (id, (1.0 + (tf as f32).ln()) * vocab.idf(id)))
+            .collect();
+        v.normalize();
+        v
+    }
+
+    /// Full path: text → TF-IDF vector, reusing ids only for terms already
+    /// in `vocab` (read-only; unseen terms are dropped). Use for *queries*
+    /// against a frozen corpus vocabulary.
+    pub fn tfidf_query(&self, vocab: &Vocabulary, text: &str) -> SparseVec {
+        let counts = self.counts(text);
+        let mut v: SparseVec = counts
+            .iter()
+            .filter_map(|(t, &c)| vocab.id(t).map(|id| (id, (1.0 + (c as f32).ln()) * vocab.idf(id))))
+            .collect();
+        v.normalize();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_stems_and_stops() {
+        let a = Analyzer::default();
+        let counts = a.counts("The compilers were optimizing the optimization of compilers");
+        // "the", "were", "of" are stopwords; compilers/compiler -> compil.
+        assert!(counts.keys().all(|k| !is_stopword(k)));
+        assert_eq!(counts.get("compil"), Some(&2));
+        assert_eq!(counts.get("optim"), Some(&2));
+    }
+
+    #[test]
+    fn options_can_disable_stages() {
+        let a = Analyzer::new(AnalyzerOptions { stem: false, remove_stopwords: false });
+        let counts = a.counts("the compilers");
+        assert_eq!(counts.get("the"), Some(&1));
+        assert_eq!(counts.get("compilers"), Some(&1));
+    }
+
+    #[test]
+    fn term_sequence_preserves_order_and_agrees_with_counts() {
+        let a = Analyzer::default();
+        let seq = a.term_sequence("The compilers were optimizing the loops");
+        assert_eq!(seq, vec!["compil", "optim", "loop"]);
+        // Sequence histogram equals counts().
+        let counts = a.counts("The compilers were optimizing the loops");
+        let mut hist = TermCounts::new();
+        for t in &seq {
+            *hist.entry(t.clone()).or_insert(0) += 1;
+        }
+        assert_eq!(hist, counts);
+        // Interning keeps order.
+        let mut vocab = Vocabulary::new();
+        let ids = a.intern_sequence(&mut vocab, "bach organ bach");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn tfidf_vectors_are_unit_and_idf_weighted() {
+        let a = Analyzer::default();
+        let mut vocab = Vocabulary::new();
+        // "web" appears everywhere, "theremin" once.
+        let mut pairs_last = Vec::new();
+        for i in 0..20 {
+            let text = if i == 0 { "web theremin" } else { "web browser" };
+            pairs_last = a.index_document(&mut vocab, text);
+        }
+        let rare_doc = a.index_document(&mut vocab, "web theremin");
+        let v = a.tfidf(&vocab, &rare_doc);
+        assert!((v.norm() - 1.0).abs() < 1e-5);
+        let web = vocab.id("web").unwrap();
+        let rare = vocab.id("theremin").unwrap();
+        assert!(v.get(rare) > v.get(web), "rare term should dominate");
+        let _ = pairs_last;
+    }
+
+    #[test]
+    fn query_vectors_ignore_unknown_terms() {
+        let a = Analyzer::default();
+        let mut vocab = Vocabulary::new();
+        a.index_document(&mut vocab, "classical music bach");
+        let q = a.tfidf_query(&vocab, "music zeppelin");
+        assert_eq!(q.len(), 1, "only `music` is known");
+        let q2 = a.tfidf_query(&vocab, "zeppelin");
+        assert!(q2.is_empty());
+    }
+
+    #[test]
+    fn similar_documents_have_high_cosine() {
+        let a = Analyzer::default();
+        let mut vocab = Vocabulary::new();
+        let d1 = a.index_document(&mut vocab, "bach fugue organ baroque music");
+        let d2 = a.index_document(&mut vocab, "baroque organ music by bach");
+        let d3 = a.index_document(&mut vocab, "mountain bike trail riding gear");
+        let v1 = a.tfidf(&vocab, &d1);
+        let v2 = a.tfidf(&vocab, &d2);
+        let v3 = a.tfidf(&vocab, &d3);
+        assert!(v1.cosine(&v2) > 0.8);
+        assert!(v1.cosine(&v3) < 0.1);
+    }
+}

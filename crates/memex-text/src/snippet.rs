@@ -1,0 +1,115 @@
+//! Query-biased snippets: pick the window of a page's text that covers the
+//! most (distinct, then total) query terms — what the search tab shows
+//! under each hit.
+
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+
+/// Extract a snippet of at most `window` words from `text` biased toward
+/// `query`. Matching is stem-level, so "optimizing" matches a query for
+/// "optimization". Returns the original-case words joined by spaces, with
+/// an ellipsis on clipped ends. Empty text gives an empty string.
+pub fn snippet(text: &str, query: &str, window: usize) -> String {
+    let window = window.max(1);
+    // Original words (for display) and their match flags (for scoring).
+    let display: Vec<&str> = text.split_whitespace().collect();
+    if display.is_empty() {
+        return String::new();
+    }
+    let query_stems: std::collections::HashSet<String> = tokenize(query)
+        .into_iter()
+        .filter(|w| !is_stopword(w))
+        .map(|w| stem(&w))
+        .collect();
+    let stems: Vec<Option<String>> = display
+        .iter()
+        .map(|w| {
+            let toks = tokenize(w);
+            toks.first().map(|t| stem(t))
+        })
+        .collect();
+    let is_hit: Vec<bool> = stems
+        .iter()
+        .map(|s| s.as_ref().is_some_and(|s| query_stems.contains(s)))
+        .collect();
+    // Slide the window; score = (distinct stems covered, total hits).
+    let mut best_start = 0usize;
+    let mut best_score = (0usize, 0usize);
+    let n = display.len();
+    let w = window.min(n);
+    for start in 0..=(n - w) {
+        let mut distinct = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for i in start..start + w {
+            if is_hit[i] {
+                total += 1;
+                if let Some(s) = &stems[i] {
+                    distinct.insert(s.clone());
+                }
+            }
+        }
+        let score = (distinct.len(), total);
+        if score > best_score {
+            best_score = score;
+            best_start = start;
+        }
+    }
+    let mut out = String::new();
+    if best_start > 0 {
+        out.push_str("… ");
+    }
+    out.push_str(&display[best_start..best_start + w].join(" "));
+    if best_start + w < n {
+        out.push_str(" …");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXT: &str = "the quick brown fox jumps over the lazy dog while a \
+                        compiler optimizes the inner loops of the interpreter \
+                        and the band plays baroque music in the garden";
+
+    #[test]
+    fn finds_the_relevant_window() {
+        let s = snippet(TEXT, "compiler optimization", 8);
+        assert!(s.contains("compiler"), "{s}");
+        assert!(s.contains("optimizes"), "stem-level match: {s}");
+        assert!(!s.contains("baroque"), "window stays tight: {s}");
+    }
+
+    #[test]
+    fn ellipses_mark_clipping() {
+        let s = snippet(TEXT, "baroque music", 6);
+        assert!(s.starts_with("… "), "{s}");
+        assert!(s.contains("baroque music"));
+        let s2 = snippet(TEXT, "quick brown", 6);
+        assert!(!s2.starts_with('…'));
+        assert!(s2.ends_with(" …"));
+    }
+
+    #[test]
+    fn no_match_returns_leading_window() {
+        let s = snippet(TEXT, "zeppelin", 5);
+        assert!(s.starts_with("the quick brown fox jumps"));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(snippet("", "anything", 10), "");
+        assert_eq!(snippet("word", "", 10), "word");
+        let s = snippet("one two", "two", 100);
+        assert_eq!(s, "one two", "window larger than text");
+    }
+
+    #[test]
+    fn prefers_windows_covering_more_distinct_terms() {
+        let text = "music music music music nothing nothing compiler music interlude";
+        let s = snippet(text, "compiler music", 3);
+        assert!(s.contains("compiler"), "{s}");
+    }
+}

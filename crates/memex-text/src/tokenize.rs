@@ -1,0 +1,228 @@
+//! HTML-aware tokenisation.
+//!
+//! Visited pages arrive as HTML-ish text; bookmark imports arrive as
+//! Netscape bookmark files (also HTML). The tokenizer therefore strips
+//! markup and entities before word-breaking, lower-cases, and keeps
+//! alphanumeric word characters only. It never panics on arbitrary input —
+//! a property test in `tests/prop.rs` enforces that.
+
+/// Maximum token length kept; longer blobs are almost always noise
+/// (base64, session ids) and would bloat term statistics.
+pub const MAX_TOKEN_LEN: usize = 24;
+/// Minimum token length kept.
+pub const MIN_TOKEN_LEN: usize = 2;
+
+/// Strip HTML tags, comments and script/style bodies; decode the handful of
+/// entities that matter for term statistics. Unknown entities become spaces.
+pub fn strip_html(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let lower = input.to_ascii_lowercase();
+    while i < input.len() {
+        if bytes[i] == b'<' {
+            // Comments.
+            if lower[i..].starts_with("<!--") {
+                match lower[i..].find("-->") {
+                    Some(end) => {
+                        i += end + 3;
+                        out.push(' ');
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            // Script/style elements: skip their bodies entirely.
+            let mut skipped_element = false;
+            for elem in ["script", "style"] {
+                if lower[i + 1..].starts_with(elem) {
+                    let close = format!("</{elem}");
+                    if let Some(end) = lower[i..].find(&close) {
+                        let after = i + end;
+                        if let Some(gt) = lower[after..].find('>') {
+                            i = after + gt + 1;
+                        } else {
+                            i = input.len();
+                        }
+                    } else {
+                        i = input.len();
+                    }
+                    out.push(' ');
+                    skipped_element = true;
+                    break;
+                }
+            }
+            if skipped_element || i >= input.len() {
+                continue;
+            }
+            // Ordinary tag: skip to `>`.
+            match input[i..].find('>') {
+                Some(end) => {
+                    i += end + 1;
+                    out.push(' ');
+                }
+                None => break,
+            }
+        } else if bytes[i] == b'&' {
+            // Entity.
+            let rest = &input[i..];
+            let decoded = [
+                ("&amp;", "&"),
+                ("&lt;", "<"),
+                ("&gt;", ">"),
+                ("&quot;", "\""),
+                ("&apos;", "'"),
+                ("&nbsp;", " "),
+            ]
+            .iter()
+            .find(|(e, _)| rest.starts_with(e));
+            match decoded {
+                Some((e, r)) => {
+                    out.push_str(r);
+                    i += e.len();
+                }
+                None => {
+                    // Unknown entity: consume up to `;` within 8 chars.
+                    let semi = rest.char_indices().take(8).find(|&(_, c)| c == ';');
+                    match semi {
+                        Some((j, _)) => i += j + 1,
+                        None => i += 1,
+                    }
+                    out.push(' ');
+                }
+            }
+        } else {
+            // Copy one full character.
+            let ch = input[i..].chars().next().expect("i is on a char boundary");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    out
+}
+
+/// Split plain text into lower-cased word tokens. Tokens are maximal runs
+/// of alphanumeric characters; length-filtered; pure digit runs longer than
+/// four characters are dropped (ports, timestamps, ids).
+pub fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for c in ch.to_lowercase() {
+                current.push(c);
+            }
+        } else if !current.is_empty() {
+            push_token(&mut out, std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut out, current);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, token: String) {
+    let len = token.chars().count();
+    if !(MIN_TOKEN_LEN..=MAX_TOKEN_LEN).contains(&len) {
+        return;
+    }
+    if len > 4 && token.chars().all(|c| c.is_ascii_digit()) {
+        return;
+    }
+    out.push(token);
+}
+
+/// Full pipeline: strip markup, then word-break.
+pub fn tokenize(html_or_text: &str) -> Vec<String> {
+    words(&strip_html(html_or_text))
+}
+
+/// Extract the `href` targets of anchor tags — bookmark-import and crawl
+/// code uses this to recover the link structure of archived HTML.
+pub fn extract_hrefs(html: &str) -> Vec<String> {
+    let lower = html.to_ascii_lowercase();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while let Some(pos) = lower[i..].find("href") {
+        let mut j = i + pos + 4;
+        let bytes = lower.as_bytes();
+        while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'=') {
+            j += 1;
+        }
+        if j >= bytes.len() {
+            break;
+        }
+        let quote = bytes[j];
+        if quote == b'"' || quote == b'\'' {
+            j += 1;
+            if let Some(end) = lower[j..].find(quote as char) {
+                out.push(html[j..j + end].to_string());
+                i = j + end;
+                continue;
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_words() {
+        assert_eq!(words("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(words("web-based IR"), vec!["web", "based", "ir"]);
+    }
+
+    #[test]
+    fn length_filters() {
+        assert!(words("a I x").is_empty(), "single chars dropped");
+        let long = "x".repeat(MAX_TOKEN_LEN + 1);
+        assert!(words(&long).is_empty(), "overlong tokens dropped");
+        assert_eq!(words("12345 1999"), vec!["1999"], "long digit runs dropped, years kept");
+    }
+
+    #[test]
+    fn strips_tags_and_entities() {
+        let html = "<html><body><h1>Classical&nbsp;Music</h1><p>Bach &amp; Handel</p></body>";
+        let toks = tokenize(html);
+        assert_eq!(toks, vec!["classical", "music", "bach", "handel"]);
+    }
+
+    #[test]
+    fn strips_script_and_style_bodies() {
+        let html = "<script>var secretterm = 1;</script><style>.x{color:red}</style>visible";
+        let toks = tokenize(html);
+        assert_eq!(toks, vec!["visible"]);
+    }
+
+    #[test]
+    fn strips_comments() {
+        assert_eq!(tokenize("<!-- hiddenterm -->shown"), vec!["shown"]);
+    }
+
+    #[test]
+    fn survives_malformed_html() {
+        // Unterminated constructs must not panic or loop.
+        for bad in ["<unclosed", "&unterminated", "<!-- no end", "<script>never closed", "a<b", "&"] {
+            let _ = tokenize(bad);
+        }
+        assert_eq!(tokenize("trailing <"), vec!["trailing"]);
+    }
+
+    #[test]
+    fn unicode_is_lowercased_not_mangled() {
+        assert_eq!(words("Über Straße"), vec!["über", "straße"]);
+    }
+
+    #[test]
+    fn href_extraction() {
+        let html = r#"<a href="http://a.example/x">A</a> <A HREF='http://b.example'>B</A>"#;
+        assert_eq!(extract_hrefs(html), vec!["http://a.example/x", "http://b.example"]);
+        assert!(extract_hrefs("no links here").is_empty());
+        assert!(extract_hrefs("<a href=").is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Sparse term vectors (sorted id/weight pairs) and the algebra the
+//! clustering and classification layers need: dot products, cosine
+//! similarity, accumulation, normalisation, centroids.
+
+use crate::vocab::TermId;
+
+/// A sparse vector over term ids, kept sorted by id with no duplicates and
+/// no explicit zeros.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(TermId, f32)>,
+}
+
+impl SparseVec {
+    pub fn new() -> SparseVec {
+        SparseVec::default()
+    }
+
+    /// Build from possibly-unsorted, possibly-duplicated pairs: duplicates
+    /// are summed, zeros dropped.
+    pub fn from_pairs(mut pairs: Vec<(TermId, f32)>) -> SparseVec {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut entries: Vec<(TermId, f32)> = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            match entries.last_mut() {
+                Some((last_id, last_w)) if *last_id == id => *last_w += w,
+                _ => entries.push((id, w)),
+            }
+        }
+        entries.retain(|&(_, w)| w != 0.0);
+        SparseVec { entries }
+    }
+
+    /// Sorted `(id, weight)` view.
+    pub fn entries(&self) -> &[(TermId, f32)] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Weight of `id` (0.0 when absent).
+    pub fn get(&self, id: TermId) -> f32 {
+        self.entries
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Dot product (linear in the shorter operand via merge).
+    pub fn dot(&self, other: &SparseVec) -> f32 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0f32;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, wa) = self.entries[i];
+            let (b, wb) = other.entries[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += wa * wb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt()
+    }
+
+    /// Cosine similarity in `[-1, 1]`; 0 when either vector is empty.
+    pub fn cosine(&self, other: &SparseVec) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// Scale in place.
+    pub fn scale(&mut self, s: f32) {
+        for (_, w) in &mut self.entries {
+            *w *= s;
+        }
+        if s == 0.0 {
+            self.entries.clear();
+        }
+    }
+
+    /// Normalise to unit length (no-op for the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            self.scale(1.0 / n);
+        }
+    }
+
+    /// `self += other` (merge).
+    pub fn add_assign(&mut self, other: &SparseVec) {
+        if other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() || j < other.entries.len() {
+            match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(a, wa)), Some(&(b, wb))) => match a.cmp(&b) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((a, wa));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((b, wb));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let w = wa + wb;
+                        if w != 0.0 {
+                            merged.push((a, w));
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(&(a, wa)), None) => {
+                    merged.push((a, wa));
+                    i += 1;
+                }
+                (None, Some(&(b, wb))) => {
+                    merged.push((b, wb));
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        self.entries = merged;
+    }
+
+    /// Mean of `vectors` (empty input gives the zero vector).
+    pub fn centroid<'a>(vectors: impl IntoIterator<Item = &'a SparseVec>) -> SparseVec {
+        let mut acc = SparseVec::new();
+        let mut n = 0usize;
+        for v in vectors {
+            acc.add_assign(v);
+            n += 1;
+        }
+        if n > 0 {
+            acc.scale(1.0 / n as f32);
+        }
+        acc
+    }
+
+    /// Keep only the `k` highest-magnitude entries (centroid truncation,
+    /// standard in Scatter/Gather for constant-time behaviour).
+    pub fn truncate_top(&mut self, k: usize) {
+        if self.entries.len() <= k {
+            return;
+        }
+        self.entries
+            .sort_unstable_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("weights are finite"));
+        self.entries.truncate(k);
+        self.entries.sort_unstable_by_key(|&(id, _)| id);
+    }
+}
+
+impl FromIterator<(TermId, f32)> for SparseVec {
+    fn from_iter<T: IntoIterator<Item = (TermId, f32)>>(iter: T) -> Self {
+        SparseVec::from_pairs(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn from_pairs_sorts_dedups_and_drops_zeros() {
+        let s = v(&[(5, 1.0), (2, 2.0), (5, 3.0), (7, 0.0)]);
+        assert_eq!(s.entries(), &[(2, 2.0), (5, 4.0)]);
+    }
+
+    #[test]
+    fn dot_and_cosine() {
+        let a = v(&[(1, 1.0), (2, 2.0), (4, 3.0)]);
+        let b = v(&[(2, 1.0), (3, 5.0), (4, 1.0)]);
+        assert_eq!(a.dot(&b), 2.0 + 3.0);
+        let unit_self = v(&[(9, 2.0)]);
+        assert!((unit_self.cosine(&unit_self) - 1.0).abs() < 1e-6);
+        assert_eq!(a.cosine(&SparseVec::new()), 0.0);
+        let orth = v(&[(100, 1.0)]);
+        assert_eq!(a.cosine(&orth), 0.0);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut a = v(&[(1, 3.0), (2, 4.0)]);
+        a.normalize();
+        assert!((a.norm() - 1.0).abs() < 1e-6);
+        let mut zero = SparseVec::new();
+        zero.normalize();
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = v(&[(1, 1.0), (3, 1.0)]);
+        a.add_assign(&v(&[(2, 2.0), (3, -1.0)]));
+        assert_eq!(a.entries(), &[(1, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn centroid_of_unit_vectors() {
+        let a = v(&[(1, 1.0)]);
+        let b = v(&[(2, 1.0)]);
+        let c = SparseVec::centroid([&a, &b]);
+        assert_eq!(c.entries(), &[(1, 0.5), (2, 0.5)]);
+        assert!(SparseVec::centroid(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn truncate_keeps_heaviest() {
+        let mut a = v(&[(1, 0.1), (2, 5.0), (3, -4.0), (4, 0.2)]);
+        a.truncate_top(2);
+        assert_eq!(a.entries(), &[(2, 5.0), (3, -4.0)]);
+    }
+
+    #[test]
+    fn get_binary_search() {
+        let a = v(&[(10, 1.5), (20, 2.5)]);
+        assert_eq!(a.get(10), 1.5);
+        assert_eq!(a.get(15), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the text substrate: the tokenizer must never panic on
+//! arbitrary input, stemming must be idempotent-ish and shortening, and the
+//! sparse-vector algebra must obey the usual laws.
+
+use proptest::prelude::*;
+
+use memex_text::stem::stem;
+use memex_text::tokenize::{extract_hrefs, strip_html, tokenize, MAX_TOKEN_LEN, MIN_TOKEN_LEN};
+use memex_text::vector::SparseVec;
+
+fn sparse_strategy() -> impl Strategy<Value = SparseVec> {
+    proptest::collection::vec((0u32..64, -10.0f32..10.0), 0..24).prop_map(SparseVec::from_pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary (possibly malformed, possibly non-UTF8-ish) text never
+    /// panics the HTML stripper or the tokenizer, and all produced tokens
+    /// respect the length bounds.
+    #[test]
+    fn tokenizer_total_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = strip_html(&s);
+        let _ = extract_hrefs(&s);
+        for tok in tokenize(&s) {
+            let n = tok.chars().count();
+            prop_assert!((MIN_TOKEN_LEN..=MAX_TOKEN_LEN).contains(&n));
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    /// Adversarial tag soup specifically.
+    #[test]
+    fn tokenizer_total_on_tag_soup(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("<".to_string()), Just(">".to_string()), Just("&".to_string()),
+            Just("<script>".to_string()), Just("</script".to_string()),
+            Just("<!--".to_string()), Just("-->".to_string()),
+            Just("<style>".to_string()), Just("&amp;".to_string()),
+            "[a-z ]{0,8}",
+        ], 0..30)) {
+        let soup: String = parts.concat();
+        let _ = tokenize(&soup);
+    }
+
+    /// Stemming never lengthens an ASCII word and is idempotent on its own
+    /// output for plural stripping (`stem(stem(w))` may differ for Porter in
+    /// general, but must never panic and never grow).
+    #[test]
+    fn stem_shrinks_and_is_total(w in "[a-z]{1,20}") {
+        let s1 = stem(&w);
+        prop_assert!(s1.len() <= w.len());
+        let s2 = stem(&s1);
+        prop_assert!(s2.len() <= s1.len());
+    }
+
+    /// Plural forms conflate with their singular for regular nouns.
+    #[test]
+    fn regular_plurals_conflate(w in "[a-z]{3,10}") {
+        prop_assume!(!w.ends_with('s') && !w.ends_with('e') && !w.ends_with('y'));
+        let plural = format!("{w}s");
+        prop_assert_eq!(stem(&plural), stem(&w));
+    }
+
+    /// Cosine is symmetric and bounded.
+    #[test]
+    fn cosine_symmetric_bounded(a in sparse_strategy(), b in sparse_strategy()) {
+        let ab = a.cosine(&b);
+        let ba = b.cosine(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        if !a.is_empty() {
+            prop_assert!((a.cosine(&a) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Addition is commutative and `get` agrees with it pointwise.
+    #[test]
+    fn addition_commutes(a in sparse_strategy(), b in sparse_strategy()) {
+        let mut ab = a.clone();
+        ab.add_assign(&b);
+        let mut ba = b.clone();
+        ba.add_assign(&a);
+        for id in 0u32..64 {
+            prop_assert!((ab.get(id) - ba.get(id)).abs() < 1e-4);
+            prop_assert!((ab.get(id) - (a.get(id) + b.get(id))).abs() < 1e-4);
+        }
+        // Entries stay sorted and deduplicated.
+        let ids: Vec<u32> = ab.entries().iter().map(|&(i, _)| i).collect();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// dot(a, b) respects the Cauchy–Schwarz bound.
+    #[test]
+    fn cauchy_schwarz(a in sparse_strategy(), b in sparse_strategy()) {
+        prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-3);
+    }
+
+    /// Snippets never panic, never exceed the window (plus ellipses), and
+    /// always consist of words from the source text.
+    #[test]
+    fn snippet_total_and_bounded(text in "[a-zA-Z ]{0,200}", query in "[a-zA-Z ]{0,40}", window in 1usize..20) {
+        let s = memex_text::snippet::snippet(&text, &query, window);
+        let content = s.trim_start_matches("… ").trim_end_matches(" …");
+        let words: Vec<&str> = content.split_whitespace().collect();
+        prop_assert!(words.len() <= window);
+        let source: std::collections::HashSet<&str> = text.split_whitespace().collect();
+        for w in words {
+            prop_assert!(source.contains(w), "snippet word {w:?} not in source");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # memex-web — the simulated Web and its surfers
+//!
+//! The original Memex was demonstrated on the live 2000 Web with volunteer
+//! surfers at IIT Bombay. Neither is available, so this crate provides the
+//! statistical stand-ins (DESIGN.md §2 documents the substitution):
+//!
+//! * [`corpus`] — a synthetic topical web: topic-conditional Zipfian
+//!   language models, preferential within-topic linking, and link-rich,
+//!   text-poor **front pages** (the paper: "people tend to bookmark many
+//!   'front pages' with less text and more graphics compared to typical
+//!   Web documents");
+//! * [`surfer`] — simulated users with focused interests producing
+//!   timestamped visit/bookmark event streams over months of virtual time;
+//! * [`crawler`] — the focused crawler of paper ref \[5\] and its unfocused
+//!   BFS baseline, compared by harvest rate in experiment T4;
+//! * [`zipf`] — the seeded Zipf sampler both generators share.
+
+pub mod corpus;
+pub mod crawler;
+pub mod surfer;
+pub mod zipf;
+
+pub use corpus::{AnalyzedCorpus, Corpus, CorpusConfig, Page};
+pub use crawler::{focused_crawl, unfocused_crawl, CrawlTrace};
+pub use surfer::{Bookmark, Community, SurferConfig};

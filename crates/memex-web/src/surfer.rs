@@ -1,0 +1,310 @@
+//! Simulated surfers: users with a few focused interests who browse the
+//! synthetic web in sessions, occasionally bookmarking pages into topic
+//! folders — producing exactly the event stream the Memex client would
+//! have tapped from Netscape (visits with referrers, timestamps, privacy
+//! flags; deliberate bookmarks with folder names).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use memex_graph::trail::Visit;
+
+use crate::corpus::Corpus;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SurferConfig {
+    pub num_users: usize,
+    /// Interests (topics) per user.
+    pub interests_per_user: usize,
+    pub sessions_per_user: usize,
+    /// Page visits per session.
+    pub session_length: (usize, usize),
+    /// Probability of bookmarking a visited page (into the folder named
+    /// after the session's intended topic).
+    pub bookmark_prob: f64,
+    /// Probability a session starts from one of the user's bookmarks.
+    pub resume_from_bookmark_prob: f64,
+    /// Probability of a random off-trail jump at each step.
+    pub jump_prob: f64,
+    /// Probability each visit is archived publicly (vs private mode).
+    pub public_prob: f64,
+    /// Session starts (and on-topic jumps) land on a *random on-topic
+    /// page* instead of a front page — models search-engine entry, where
+    /// two like-minded surfers rarely hit the same URL. Default false
+    /// (front pages are the classic entry points).
+    pub start_anywhere_on_topic: bool,
+    /// Virtual-clock start (ms).
+    pub start_time: u64,
+    /// Virtual span covered by all sessions (ms). Six months ≈ 1.55e10 ms.
+    pub time_span: u64,
+    pub seed: u64,
+}
+
+impl Default for SurferConfig {
+    fn default() -> Self {
+        SurferConfig {
+            num_users: 12,
+            interests_per_user: 3,
+            sessions_per_user: 20,
+            session_length: (6, 20),
+            bookmark_prob: 0.12,
+            resume_from_bookmark_prob: 0.3,
+            jump_prob: 0.08,
+            public_prob: 0.9,
+            start_anywhere_on_topic: false,
+            start_time: 1_000,
+            time_span: 15_552_000_000, // ~6 months in ms
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// A deliberate bookmark event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bookmark {
+    pub user: u32,
+    pub page: u32,
+    pub time: u64,
+    /// Folder path the user filed it under (their own naming).
+    pub folder: String,
+}
+
+/// Ground truth about one simulated user.
+#[derive(Debug, Clone)]
+pub struct UserTruth {
+    pub user: u32,
+    /// Interest topics, strongest first.
+    pub interests: Vec<usize>,
+}
+
+/// The simulated community: truth + the full event stream.
+#[derive(Debug, Clone)]
+pub struct Community {
+    pub users: Vec<UserTruth>,
+    /// Visits in chronological order.
+    pub visits: Vec<Visit>,
+    pub bookmarks: Vec<Bookmark>,
+}
+
+impl Community {
+    /// Simulate a community over `corpus`.
+    pub fn simulate(corpus: &Corpus, config: &SurferConfig) -> Community {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let num_topics = corpus.config.num_topics;
+        assert!(config.interests_per_user <= num_topics);
+        // Assign interests: overlapping by construction — user u's primary
+        // interest is topic u % num_topics, plus random extras, so several
+        // users share each topic (the community structure T5 needs).
+        let users: Vec<UserTruth> = (0..config.num_users)
+            .map(|u| {
+                let mut interests = vec![u % num_topics];
+                let mut pool: Vec<usize> =
+                    (0..num_topics).filter(|&t| t != u % num_topics).collect();
+                pool.shuffle(&mut rng);
+                interests.extend(pool.into_iter().take(config.interests_per_user - 1));
+                UserTruth { user: u as u32, interests }
+            })
+            .collect();
+
+        let mut visits = Vec::new();
+        let mut bookmarks: Vec<Bookmark> = Vec::new();
+        let total_sessions = (config.num_users * config.sessions_per_user).max(1);
+        let slot = config.time_span / total_sessions as u64;
+        let mut session_counter = 0u32;
+        // Interleave sessions across users over the time span.
+        for s in 0..config.sessions_per_user {
+            for truth in &users {
+                let session = session_counter;
+                session_counter += 1;
+                let mut time = config.start_time
+                    + slot * u64::from(session)
+                    + rng.gen_range(0..slot.max(1));
+                // Intended topic: primary interest is twice as likely.
+                let topic = if rng.gen_bool(0.5) {
+                    truth.interests[0]
+                } else {
+                    truth.interests[rng.gen_range(0..truth.interests.len())]
+                };
+                // Session start: own bookmark on that topic, else a front page.
+                let my_marks: Vec<u32> = bookmarks
+                    .iter()
+                    .filter(|b| b.user == truth.user && corpus.topic_of(b.page) == topic)
+                    .map(|b| b.page)
+                    .collect();
+                let fronts = if config.start_anywhere_on_topic {
+                    corpus.pages_of_topic(topic)
+                } else {
+                    corpus.front_pages_of_topic(topic)
+                };
+                let mut current: u32 = if !my_marks.is_empty()
+                    && rng.gen_bool(config.resume_from_bookmark_prob)
+                {
+                    my_marks[rng.gen_range(0..my_marks.len())]
+                } else if !fronts.is_empty() {
+                    fronts[rng.gen_range(0..fronts.len())]
+                } else {
+                    rng.gen_range(0..corpus.num_pages()) as u32
+                };
+                let len = rng.gen_range(config.session_length.0..=config.session_length.1);
+                let mut referrer: Option<u32> = None;
+                for _ in 0..len {
+                    let public = rng.gen_bool(config.public_prob);
+                    visits.push(Visit {
+                        user: truth.user,
+                        session,
+                        page: current,
+                        time,
+                        referrer,
+                        public,
+                    });
+                    if rng.gen_bool(config.bookmark_prob) {
+                        bookmarks.push(Bookmark {
+                            user: truth.user,
+                            page: current,
+                            time,
+                            folder: corpus.topic_names[topic].clone(),
+                        });
+                    }
+                    // Next step.
+                    time += rng.gen_range(5_000..120_000); // dwell 5s..2min
+                    let outs = corpus.graph.out_links(current);
+                    let jump = rng.gen_bool(config.jump_prob) || outs.is_empty();
+                    if jump {
+                        // Jump back on topic (front page) — models typing a
+                        // URL / using a search engine.
+                        current = if fronts.is_empty() {
+                            rng.gen_range(0..corpus.num_pages()) as u32
+                        } else {
+                            fronts[rng.gen_range(0..fronts.len())]
+                        };
+                        referrer = None;
+                    } else {
+                        // Prefer on-topic out-links (the surfer is focused).
+                        let on_topic: Vec<u32> = outs
+                            .iter()
+                            .copied()
+                            .filter(|&t| corpus.topic_of(t) == topic)
+                            .collect();
+                        let next = if !on_topic.is_empty() && rng.gen_bool(0.8) {
+                            on_topic[rng.gen_range(0..on_topic.len())]
+                        } else {
+                            outs[rng.gen_range(0..outs.len())]
+                        };
+                        referrer = Some(current);
+                        current = next;
+                    }
+                }
+            }
+            let _ = s;
+        }
+        visits.sort_by_key(|v| v.time);
+        bookmarks.sort_by_key(|b| b.time);
+        Community { users, visits, bookmarks }
+    }
+
+    /// Bytes transferred per user per ground-truth topic — the ISP-bill
+    /// ground truth for T6.
+    pub fn bytes_by_topic(&self, corpus: &Corpus, user: u32) -> Vec<u64> {
+        let mut out = vec![0u64; corpus.config.num_topics];
+        for v in self.visits.iter().filter(|v| v.user == user) {
+            let p = &corpus.pages[v.page as usize];
+            out[p.topic] += u64::from(p.bytes);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusConfig};
+
+    fn world() -> (Corpus, Community) {
+        let corpus = Corpus::generate(CorpusConfig {
+            num_topics: 4,
+            pages_per_topic: 40,
+            ..CorpusConfig::default()
+        });
+        let community = Community::simulate(
+            &corpus,
+            &SurferConfig { num_users: 6, sessions_per_user: 8, ..SurferConfig::default() },
+        );
+        (corpus, community)
+    }
+
+    #[test]
+    fn stream_is_chronological_and_deterministic() {
+        let (_, c1) = world();
+        let (_, c2) = world();
+        assert!(!c1.visits.is_empty());
+        assert!(c1.visits.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(c1.visits.len(), c2.visits.len());
+        assert_eq!(c1.visits[10], c2.visits[10]);
+        assert_eq!(c1.bookmarks, c2.bookmarks);
+    }
+
+    #[test]
+    fn sessions_stay_mostly_on_interest() {
+        let (corpus, community) = world();
+        for truth in &community.users {
+            let visits: Vec<_> =
+                community.visits.iter().filter(|v| v.user == truth.user).collect();
+            let on_interest = visits
+                .iter()
+                .filter(|v| truth.interests.contains(&corpus.topic_of(v.page)))
+                .count();
+            let frac = on_interest as f64 / visits.len() as f64;
+            assert!(frac > 0.6, "user {} only {frac} on-interest", truth.user);
+        }
+    }
+
+    #[test]
+    fn bookmarks_are_folderised_by_topic_name() {
+        let (corpus, community) = world();
+        assert!(!community.bookmarks.is_empty());
+        for b in &community.bookmarks {
+            assert!(corpus.topic_names.contains(&b.folder));
+        }
+    }
+
+    #[test]
+    fn referrers_form_trails() {
+        let (corpus, community) = world();
+        let with_ref = community.visits.iter().filter(|v| v.referrer.is_some()).count();
+        assert!(with_ref * 2 > community.visits.len(), "most visits follow links");
+        // Every referrer edge exists in the web graph.
+        for v in community.visits.iter().filter(|v| v.referrer.is_some()).take(200) {
+            let r = v.referrer.unwrap();
+            assert!(corpus.graph.has_edge(r, v.page), "trail edge {}->{} missing", r, v.page);
+        }
+    }
+
+    #[test]
+    fn privacy_flag_mixes() {
+        let (_, community) = world();
+        let public = community.visits.iter().filter(|v| v.public).count();
+        assert!(public > community.visits.len() / 2);
+        assert!(public < community.visits.len(), "some private visits expected");
+    }
+
+    #[test]
+    fn bytes_by_topic_concentrates_on_interests() {
+        let (corpus, community) = world();
+        let truth = &community.users[0];
+        let bill = community.bytes_by_topic(&corpus, 0);
+        let total: u64 = bill.iter().sum();
+        let on_interests: u64 = truth.interests.iter().map(|&t| bill[t]).sum();
+        assert!(total > 0);
+        assert!(on_interests as f64 / total as f64 > 0.5);
+    }
+
+    #[test]
+    fn time_span_is_covered() {
+        let (_, community) = world();
+        let first = community.visits.first().unwrap().time;
+        let last = community.visits.last().unwrap().time;
+        assert!(last - first > SurferConfig::default().time_span / 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Community archiving and mining: a simulated group of surfers shares a
+//! Memex; we then replay topical contexts (Fig. 2), consolidate the
+//! community theme taxonomy (Fig. 4), place a user on the interest map and
+//! find their nearest fellow surfers.
+//!
+//! ```text
+//! cargo run --release --example community_trails
+//! ```
+
+use std::sync::Arc;
+
+use memex::core::memex::{Memex, MemexOptions};
+use memex::server::events::{ClientEvent, VisitEvent};
+use memex::web::corpus::{Corpus, CorpusConfig};
+use memex::web::surfer::{Community, SurferConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 6,
+        pages_per_topic: 60,
+        ..CorpusConfig::default()
+    }));
+    let community = Community::simulate(
+        &corpus,
+        &SurferConfig { num_users: 10, sessions_per_user: 12, ..SurferConfig::default() },
+    );
+    println!(
+        "community: {} users, {} visits, {} bookmarks over ~6 months of virtual time\n",
+        community.users.len(),
+        community.visits.len(),
+        community.bookmarks.len()
+    );
+
+    // Archive everything through the server (events in time order).
+    let mut memex = Memex::new(corpus.clone(), MemexOptions::default())?;
+    for u in &community.users {
+        memex.register_user(u.user, &format!("user{}", u.user))?;
+    }
+    let mut bi = 0usize;
+    for v in &community.visits {
+        while bi < community.bookmarks.len() && community.bookmarks[bi].time <= v.time {
+            let b = &community.bookmarks[bi];
+            memex.submit(ClientEvent::Bookmark {
+                user: b.user,
+                page: b.page,
+                url: corpus.pages[b.page as usize].url.clone(),
+                folder: format!("/{}", b.folder),
+                time: b.time,
+            });
+            bi += 1;
+        }
+        memex.submit(ClientEvent::Visit(VisitEvent {
+            user: v.user,
+            session: v.session,
+            page: v.page,
+            url: corpus.pages[v.page as usize].url.clone(),
+            time: v.time,
+            referrer: v.referrer,
+        }));
+    }
+    memex.run_demons()?;
+
+    // Fig. 2 — the trail tab for user 0's primary interest.
+    let user = community.users[0].user;
+    let topic = community.users[0].interests[0];
+    let folder = memex
+        .folder_space(user)
+        .add_folder(&format!("/{}", corpus.topic_names[topic]));
+    let ctx = memex.topic_context(user, folder, 0, 12);
+    println!("trail tab — /{} (community context):", corpus.topic_names[topic]);
+    for n in ctx.nodes.iter().take(8) {
+        println!("  seen {:>2}x  {}", n.visit_count, corpus.pages[n.page as usize].url);
+    }
+    println!("  ({} traversed links among these pages)\n", ctx.edges.len());
+
+    // Fig. 4 — the community theme taxonomy.
+    let (themes, _docs) = memex.community_themes().clone();
+    println!(
+        "community themes: {} themes from {} folders ({} merges, {} refinements, {} coarsenings)",
+        themes.themes.len(),
+        themes.folder_theme.len(),
+        themes.merges,
+        themes.refines,
+        themes.coarsens
+    );
+    for theme in themes.themes.iter().take(8) {
+        println!(
+            "  {}  [{} docs, {} users]",
+            themes.taxonomy.path(theme.topic),
+            theme.docs.len(),
+            theme.users.len()
+        );
+    }
+
+    // "Where and how do I fit into that map?"
+    println!("\nuser {user}'s place on the map:");
+    for (path, weight) in memex.my_place(user).into_iter().take(4) {
+        println!("  {:>5.1}%  {}", 100.0 * weight, path);
+    }
+
+    // "Who shares my interests most closely?"
+    println!("\nmost similar surfers to user {user} (theme-profile cosine):");
+    for (v, sim) in memex.similar_surfers(user, 3) {
+        let shared: Vec<&str> = community.users[v as usize]
+            .interests
+            .iter()
+            .filter(|t| community.users[0].interests.contains(t))
+            .map(|&t| corpus.topic_names[t].as_str())
+            .collect();
+        println!("  user{v}  sim {:.2}  (truly shares: {})", sim, if shared.is_empty() { "-".into() } else { shared.join(", ") });
+    }
+
+    // "What's new on my topic that I haven't seen?"
+    let horizon = community.visits[community.visits.len() / 2].time;
+    let fresh = memex.whats_new(user, folder, horizon, 5);
+    println!("\nnew authoritative pages on /{} since mid-history:", corpus.topic_names[topic]);
+    for (page, auth) in fresh {
+        println!("  auth {:.3}  {}", auth, corpus.pages[page as usize].url);
+    }
+    Ok(())
+}

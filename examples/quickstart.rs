@@ -1,0 +1,120 @@
+//! Quickstart: stand up a Memex over a small synthetic web, archive one
+//! surfer's session, and ask it things.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use memex::core::memex::{Memex, MemexOptions};
+use memex::server::events::{ClientEvent, VisitEvent};
+use memex::web::corpus::{Corpus, CorpusConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A world to browse: 4 topics x 30 pages of synthetic web.
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 4,
+        pages_per_topic: 30,
+        ..CorpusConfig::default()
+    }));
+    println!("synthetic web: {} pages, {} links", corpus.num_pages(), corpus.graph.num_edges());
+    println!("topics: {}\n", corpus.topic_names.join(" | "));
+
+    // 2. A Memex server and one registered user.
+    let mut memex = Memex::new(corpus.clone(), MemexOptions::default())?;
+    let me = 1u32;
+    memex.register_user(me, "soumen")?;
+
+    // 3. Surf: follow a short trail on the first topic and bookmark two
+    // pages into a folder (the paper's deliberate topic exemplification).
+    let trail: Vec<u32> = corpus.pages_of_topic(0).into_iter().take(8).collect();
+    let mut t = 1_000u64;
+    let mut prev = None;
+    for &page in &trail {
+        memex.submit(ClientEvent::Visit(VisitEvent {
+            user: me,
+            session: 1,
+            page,
+            url: corpus.pages[page as usize].url.clone(),
+            time: t,
+            referrer: prev,
+        }));
+        prev = Some(page);
+        t += 30_000;
+    }
+    for &page in trail.iter().skip(5).take(2) {
+        memex.submit(ClientEvent::Bookmark {
+            user: me,
+            page,
+            url: corpus.pages[page as usize].url.clone(),
+            folder: format!("/{}", corpus.topic_names[0]),
+            time: t,
+        });
+    }
+    // A couple of visits on another topic, bookmarked too, so the
+    // classifier has two folders to tell apart.
+    for &page in corpus.pages_of_topic(2).iter().take(4) {
+        t += 30_000;
+        memex.submit(ClientEvent::Visit(VisitEvent {
+            user: me,
+            session: 2,
+            page,
+            url: corpus.pages[page as usize].url.clone(),
+            time: t,
+            referrer: None,
+        }));
+        memex.submit(ClientEvent::Bookmark {
+            user: me,
+            page,
+            url: corpus.pages[page as usize].url.clone(),
+            folder: format!("/{}", corpus.topic_names[2]),
+            time: t,
+        });
+    }
+
+    // 4. Let the background demons run (fetch -> index -> classify).
+    memex.run_demons()?;
+    let stats = memex.server.stats();
+    println!(
+        "archived: {} events, {} pages fetched+indexed, {} bookmarks\n",
+        stats.events_submitted, stats.docs_indexed, stats.bookmarks_recorded
+    );
+
+    // 5. The folder tab (Fig. 1): bookmarks are confirmed, the demon's
+    // guesses carry a '?'.
+    {
+        let fs = memex.folder_space(me);
+        println!("folder tab:");
+        let mut rows: Vec<(String, u32, bool)> = fs
+            .assignments()
+            .map(|(page, a)| (fs.taxonomy.path(a.folder), page, a.confirmed))
+            .collect();
+        rows.sort();
+        for (path, page, confirmed) in rows {
+            println!(
+                "  {}{}  {}",
+                if confirmed { " " } else { "?" },
+                path,
+                corpus.pages[page as usize].url
+            );
+        }
+    }
+
+    // 6. Full-text recall over my own history.
+    let query = corpus.topic_names[0].clone();
+    let hits = memex.recall(me, &query, 0, u64::MAX, 3)?;
+    println!("\nrecall(\"{query}\") over my history:");
+    for h in &hits {
+        println!("  {:.2}  {}", h.score, h.url);
+    }
+
+    // 7. The trail tab (Fig. 2): replay my topical browsing context.
+    let folder = memex.folder_space(me).add_folder(&format!("/{}", corpus.topic_names[0]));
+    let ctx = memex.topic_context(me, folder, 0, 10);
+    println!("\ntrail tab for /{}: {} pages, {} traversed links", corpus.topic_names[0], ctx.nodes.len(), ctx.edges.len());
+    for n in ctx.nodes.iter().take(5) {
+        println!("  seen {}x  {}", n.visit_count, corpus.pages[n.page as usize].url);
+    }
+    Ok(())
+}

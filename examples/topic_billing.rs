@@ -1,0 +1,101 @@
+//! The §1 personal-accounting questions: "How is my ISP bill divided into
+//! access for work, travel, news, hobby and entertainment?" and "What was
+//! the URL I visited about six months back regarding X?"
+//!
+//! ```text
+//! cargo run --release --example topic_billing
+//! ```
+
+use std::sync::Arc;
+
+use memex::core::memex::{Memex, MemexOptions};
+use memex::server::events::{ClientEvent, VisitEvent};
+use memex::web::corpus::{Corpus, CorpusConfig};
+use memex::web::surfer::{Community, SurferConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 5,
+        pages_per_topic: 50,
+        ..CorpusConfig::default()
+    }));
+    let community = Community::simulate(
+        &corpus,
+        &SurferConfig { num_users: 4, sessions_per_user: 15, ..SurferConfig::default() },
+    );
+    let mut memex = Memex::new(corpus.clone(), MemexOptions::default())?;
+    for u in &community.users {
+        memex.register_user(u.user, &format!("user{}", u.user))?;
+    }
+    let mut bi = 0usize;
+    for v in &community.visits {
+        while bi < community.bookmarks.len() && community.bookmarks[bi].time <= v.time {
+            let b = &community.bookmarks[bi];
+            memex.submit(ClientEvent::Bookmark {
+                user: b.user,
+                page: b.page,
+                url: corpus.pages[b.page as usize].url.clone(),
+                folder: format!("/{}", b.folder),
+                time: b.time,
+            });
+            bi += 1;
+        }
+        memex.submit(ClientEvent::Visit(VisitEvent {
+            user: v.user,
+            session: v.session,
+            page: v.page,
+            url: corpus.pages[v.page as usize].url.clone(),
+            time: v.time,
+            referrer: v.referrer,
+        }));
+    }
+    memex.run_demons()?;
+
+    let user = 0u32;
+    // --- The ISP bill, split by folder.
+    println!("ISP bill breakdown for user {user} (whole history):");
+    for line in memex.bill(user, 0, u64::MAX) {
+        println!(
+            "  {:>6.1}%  {:>9} KB  {:>4} visits  {}",
+            100.0 * line.fraction,
+            line.bytes / 1024,
+            line.visits,
+            line.folder
+        );
+    }
+    // Ground truth from the simulator, for comparison.
+    println!("\nsimulator ground truth (bytes by true topic):");
+    let truth = community.bytes_by_topic(&corpus, user);
+    let total: u64 = truth.iter().sum();
+    for (t, &bytes) in truth.iter().enumerate() {
+        if bytes > 0 {
+            println!(
+                "  {:>6.1}%  {:>9} KB  /{}",
+                100.0 * bytes as f64 / total as f64,
+                bytes / 1024,
+                corpus.topic_names[t]
+            );
+        }
+    }
+
+    // --- Months-old recall: take a visit from the first tenth of history,
+    // query months later with a few words remembered from the page.
+    let old = community
+        .visits
+        .iter()
+        .find(|v| v.user == user && !corpus.pages[v.page as usize].is_front)
+        .expect("an early interior visit");
+    let months_later = community.visits.last().expect("history").time;
+    let age_days = (months_later - old.time) / 86_400_000;
+    let remembered: Vec<&str> =
+        corpus.pages[old.page as usize].text.split_whitespace().take(4).collect();
+    let query = remembered.join(" ");
+    println!("\nrecall test: page visited {age_days} days ago, querying \"{query}\"");
+    let month = 30 * 86_400_000u64;
+    let hits = memex.recall(user, &query, old.time.saturating_sub(month), old.time + month, 5)?;
+    for (rank, h) in hits.iter().enumerate() {
+        let marker = if h.page == old.page { "  <-- the page" } else { "" };
+        println!("  #{}  {:.2}  {}{}", rank + 1, h.score, h.url, marker);
+    }
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! Facade-level scenario tests through the `memex` umbrella crate —
+//! exactly what a downstream user of the library would write.
+
+use std::sync::Arc;
+
+use memex::core::memex::{Memex, MemexOptions};
+use memex::core::servlet::{dispatch, Request, Response};
+use memex::server::events::{ArchiveMode, ClientEvent, VisitEvent};
+use memex::web::corpus::{Corpus, CorpusConfig};
+
+fn small_world() -> (Arc<Corpus>, Memex) {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 3,
+        pages_per_topic: 25,
+        ..CorpusConfig::default()
+    }));
+    let memex = Memex::new(corpus.clone(), MemexOptions::default()).unwrap();
+    (corpus, memex)
+}
+
+fn visit(user: u32, page: u32, time: u64, referrer: Option<u32>) -> ClientEvent {
+    ClientEvent::Visit(VisitEvent {
+        user,
+        session: 0,
+        page,
+        url: format!("http://page{page}"),
+        time,
+        referrer,
+    })
+}
+
+#[test]
+fn privacy_modes_respected_through_the_facade() {
+    let (_, mut memex) = small_world();
+    memex.register_user(1, "private-person").unwrap();
+    memex.register_user(2, "public-person").unwrap();
+    memex.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Private, time: 0 });
+    memex.submit(visit(1, 5, 10, None));
+    memex.submit(visit(2, 5, 20, None));
+    memex.run_demons().unwrap();
+    // Community popularity counts only the public visit.
+    let pop = memex.server.trails.popularity(0);
+    assert_eq!(pop.get(&5), Some(&1));
+    // The private user still recalls their own page.
+    let own = memex.server.trails.user_pages(1, 0);
+    assert_eq!(own, vec![5]);
+}
+
+#[test]
+fn off_mode_archives_nothing() {
+    let (_, mut memex) = small_world();
+    memex.register_user(1, "ghost").unwrap();
+    memex.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Off, time: 0 });
+    assert!(!memex.submit(visit(1, 3, 10, None)));
+    memex.run_demons().unwrap();
+    assert!(memex.server.trails.is_empty());
+    assert_eq!(memex.server.stats().events_mode_filtered, 1);
+}
+
+#[test]
+fn bookmark_then_classify_marks_guesses() {
+    let (corpus, mut memex) = small_world();
+    memex.register_user(7, "curator").unwrap();
+    // Bookmark two pages from different topics; visit a third unfiled page.
+    let t0_pages = corpus.pages_of_topic(0);
+    let t1_pages = corpus.pages_of_topic(1);
+    for (i, &p) in t0_pages.iter().skip(8).take(3).enumerate() {
+        memex.submit(visit(7, p, 10 + i as u64, None));
+        memex.submit(ClientEvent::Bookmark {
+            user: 7,
+            page: p,
+            url: corpus.pages[p as usize].url.clone(),
+            folder: "/A".into(),
+            time: 10,
+        });
+    }
+    for (i, &p) in t1_pages.iter().skip(8).take(3).enumerate() {
+        memex.submit(visit(7, p, 20 + i as u64, None));
+        memex.submit(ClientEvent::Bookmark {
+            user: 7,
+            page: p,
+            url: corpus.pages[p as usize].url.clone(),
+            folder: "/B".into(),
+            time: 20,
+        });
+    }
+    // An unfiled interior page of topic 0.
+    let unfiled = t0_pages[12];
+    memex.submit(visit(7, unfiled, 30, None));
+    memex.run_demons().unwrap();
+    let fs = memex.folder_space(7);
+    let a = fs.assignment(unfiled).expect("the demon should have guessed");
+    assert!(!a.confirmed, "guess must carry the '?'");
+    assert_eq!(fs.taxonomy.path(a.folder), "/A", "topic-0 page belongs in folder A");
+}
+
+#[test]
+fn servlet_event_ingest_matches_direct_submit() {
+    let (_, mut memex) = small_world();
+    memex.register_user(1, "u").unwrap();
+    let resp = dispatch(&mut memex, Request::Event(visit(1, 2, 5, None)));
+    assert!(matches!(resp, Response::Ack { archived: true }));
+    memex.run_demons().unwrap();
+    assert_eq!(memex.server.trails.len(), 1);
+}
+
+#[test]
+fn trails_follow_referrers_across_users() {
+    let (_, mut memex) = small_world();
+    memex.register_user(1, "a").unwrap();
+    memex.register_user(2, "b").unwrap();
+    memex.submit(visit(1, 10, 1, None));
+    memex.submit(visit(1, 11, 2, Some(10)));
+    memex.submit(visit(2, 11, 3, None));
+    memex.submit(visit(2, 12, 4, Some(11)));
+    memex.run_demons().unwrap();
+    let ctx = memex.server.trails.replay_context(|p| (10..=12).contains(&p), 1, 0, 10);
+    assert_eq!(ctx.nodes.len(), 3);
+    assert!(ctx.edges.contains(&(10, 11, 1)));
+    assert!(ctx.edges.contains(&(11, 12, 1)));
+}
+
+#[test]
+fn phrase_recall_finds_exact_word_runs() {
+    let (corpus, mut memex) = small_world();
+    memex.register_user(1, "phraser").unwrap();
+    // Visit an interior page and query a 3-word run from its own text.
+    let page = corpus
+        .pages
+        .iter()
+        .find(|p| !p.is_front && p.text.split_whitespace().count() >= 10)
+        .expect("an interior page");
+    memex.submit(visit(1, page.id, 50, None));
+    memex.run_demons().unwrap();
+    let words: Vec<&str> = page.text.split_whitespace().skip(2).take(3).collect();
+    let phrase = words.join(" ");
+    let hits = memex.recall_phrase(1, &phrase, 0, u64::MAX, 5).unwrap();
+    assert!(
+        hits.iter().any(|h| h.page == page.id),
+        "phrase \"{phrase}\" should find page {} in {hits:?}",
+        page.id
+    );
+    // A scrambled (non-consecutive) phrase from distant words should not
+    // match as a phrase even though all words occur.
+    let w: Vec<&str> = page.text.split_whitespace().collect();
+    let scrambled = format!("{} {}", w[w.len() - 1], w[0]);
+    let hits = memex.recall_phrase(1, &scrambled, 0, u64::MAX, 5).unwrap();
+    // (The reversed pair could coincidentally be adjacent elsewhere; only
+    // assert that the result set is never *larger* than the bag-of-words
+    // recall for the same terms.)
+    let bag = memex.recall(1, &scrambled, 0, u64::MAX, 5).unwrap();
+    assert!(hits.len() <= bag.len());
+    // Unknown vocabulary gives no hits rather than an error.
+    assert!(memex.recall_phrase(1, "zzzunseen wordzzz", 0, u64::MAX, 5).unwrap().is_empty());
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // The facade must expose every substrate for downstream use.
+    let _ = memex::text::stem::stem("browsing");
+    let _ = memex::store::kv::KvStore::open_memory().unwrap();
+    let mut g = memex::graph::graph::WebGraph::new();
+    g.add_edge(0, 1);
+    let _ = memex::cluster::hac::hac_cut(&[], 1);
+    let _ = memex::learn::taxonomy::Taxonomy::new();
+    let c = memex::web::corpus::Corpus::generate(memex::web::corpus::CorpusConfig {
+        num_topics: 2,
+        pages_per_topic: 3,
+        ..Default::default()
+    });
+    assert_eq!(c.num_pages(), 6);
+}
