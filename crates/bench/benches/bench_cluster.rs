@@ -13,8 +13,12 @@ fn bench(c: &mut Criterion) {
     let k = 8;
     let mut group = c.benchmark_group("t3_cluster_240_docs");
     group.sample_size(10);
-    group.bench_function("full_hac", |b| b.iter(|| hac_cut(std::hint::black_box(&docs), k)));
-    group.bench_function("buckshot", |b| b.iter(|| buckshot(std::hint::black_box(&docs), k, 9)));
+    group.bench_function("full_hac", |b| {
+        b.iter(|| hac_cut(std::hint::black_box(&docs), k))
+    });
+    group.bench_function("buckshot", |b| {
+        b.iter(|| buckshot(std::hint::black_box(&docs), k, 9))
+    });
     group.bench_function("fractionation", |b| {
         b.iter(|| fractionation(std::hint::black_box(&docs), k, 60, 0.25, 9))
     });

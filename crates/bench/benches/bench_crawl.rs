@@ -23,7 +23,16 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t4_crawl_180_fetches");
     group.sample_size(10);
     group.bench_function("focused", |b| {
-        b.iter(|| focused_crawl(&corpus, &analyzed.tf, &nb, 2, std::hint::black_box(&seeds), 180))
+        b.iter(|| {
+            focused_crawl(
+                &corpus,
+                &analyzed.tf,
+                &nb,
+                2,
+                std::hint::black_box(&seeds),
+                180,
+            )
+        })
     });
     group.bench_function("unfocused_bfs", |b| {
         b.iter(|| unfocused_crawl(&corpus, std::hint::black_box(&seeds), 2, 180))

@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut index = InvertedIndex::open_memory(IndexOptions::default()).expect("index");
             for p in &corpus.pages {
-                index.add_document(p.id, &analyzed.tf[p.id as usize]).expect("add");
+                index
+                    .add_document(p.id, &analyzed.tf[p.id as usize])
+                    .expect("add");
             }
             index.commit().expect("commit");
             index.num_docs()
@@ -31,14 +33,25 @@ fn bench(c: &mut Criterion) {
     // A prepared index for query benches.
     let mut index = InvertedIndex::open_memory(IndexOptions::default()).expect("index");
     for p in &corpus.pages {
-        index.add_document(p.id, &analyzed.tf[p.id as usize]).expect("add");
+        index
+            .add_document(p.id, &analyzed.tf[p.id as usize])
+            .expect("add");
     }
     index.merge_segments().expect("merge");
-    let query: Vec<(u32, u32)> = analyzed.tf[1].iter().take(3).map(|&(t, _)| (t, 1)).collect();
+    let query: Vec<(u32, u32)> = analyzed.tf[1]
+        .iter()
+        .take(3)
+        .map(|&(t, _)| (t, 1))
+        .collect();
     group.bench_function("bm25_top10_query", |b| {
         b.iter(|| {
-            bm25_search(&mut index, std::hint::black_box(&query), 10, Bm25Params::default())
-                .expect("search")
+            bm25_search(
+                &mut index,
+                std::hint::black_box(&query),
+                10,
+                Bm25Params::default(),
+            )
+            .expect("search")
         })
     });
     group.finish();

@@ -17,7 +17,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut kv = KvStore::open_memory().expect("kv");
             for i in 0..n {
-                kv.put(format!("tf:{i:08}").as_bytes(), &i.to_le_bytes()).expect("put");
+                kv.put(format!("tf:{i:08}").as_bytes(), &i.to_le_bytes())
+                    .expect("put");
             }
             kv.len()
         })
@@ -29,7 +30,10 @@ fn bench(c: &mut Criterion) {
                 .create_table(
                     Schema::new(
                         "terms",
-                        vec![Column::unique("term", ColType::Text), Column::new("tf", ColType::Int)],
+                        vec![
+                            Column::unique("term", ColType::Text),
+                            Column::new("tf", ColType::Int),
+                        ],
                     )
                     .expect("schema"),
                 )
@@ -48,28 +52,39 @@ fn bench(c: &mut Criterion) {
     // Point-lookup comparison on prepared stores.
     let mut kv = KvStore::open_memory().expect("kv");
     for i in 0..n {
-        kv.put(format!("tf:{i:08}").as_bytes(), &i.to_le_bytes()).expect("put");
+        kv.put(format!("tf:{i:08}").as_bytes(), &i.to_le_bytes())
+            .expect("put");
     }
     let mut db = Database::open_memory().expect("db");
     let t = db
         .create_table(
             Schema::new(
                 "terms",
-                vec![Column::unique("term", ColType::Text), Column::new("tf", ColType::Int)],
+                vec![
+                    Column::unique("term", ColType::Text),
+                    Column::new("tf", ColType::Int),
+                ],
             )
             .expect("schema"),
         )
         .expect("table");
     for i in 0..n {
-        db.insert(&t, vec![Value::Text(format!("tf:{i:08}")), Value::Int(i64::from(i))])
-            .expect("insert");
+        db.insert(
+            &t,
+            vec![Value::Text(format!("tf:{i:08}")), Value::Int(i64::from(i))],
+        )
+        .expect("insert");
     }
     group.bench_function("kv_point_get", |b| {
         b.iter(|| kv.get(std::hint::black_box(b"tf:00000999")).expect("get"))
     });
     group.bench_function("rdbms_indexed_lookup", |b| {
         b.iter(|| {
-            db.scan(&t, &Predicate::eq("term", Value::Text("tf:00000999".into()))).expect("scan")
+            db.scan(
+                &t,
+                &Predicate::eq("term", Value::Text("tf:00000999".into())),
+            )
+            .expect("scan")
         })
     });
     group.finish();

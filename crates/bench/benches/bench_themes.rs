@@ -19,10 +19,15 @@ fn bench(c: &mut Criterion) {
             doc_pages.push(b.page);
             doc_pages.len() - 1
         });
-        groups.entry((b.user, b.folder.clone())).or_default().push(d);
+        groups
+            .entry((b.user, b.folder.clone()))
+            .or_default()
+            .push(d);
     }
-    let docs: Vec<SparseVec> =
-        doc_pages.iter().map(|&p| memex.page_vector(p).unwrap_or_default()).collect();
+    let docs: Vec<SparseVec> = doc_pages
+        .iter()
+        .map(|&p| memex.page_vector(p).unwrap_or_default())
+        .collect();
     let folders: Vec<UserFolder> = groups
         .into_iter()
         .map(|((user, name), mut docs)| {

@@ -10,8 +10,8 @@ use memex_learn::enhanced::{EnhancedClassifier, EnhancedOptions, EnhancedProblem
 use memex_learn::eval::{train_test_split, Confusion};
 use memex_learn::nb::{HierarchicalNB, NaiveBayes, NbOptions};
 use memex_learn::taxonomy::Taxonomy;
-use memex_text::features::FeatureScore;
 use memex_server::threaded::{run_threaded, ThreadedConfig};
+use memex_text::features::FeatureScore;
 use memex_web::corpus::{Corpus, CorpusConfig};
 use memex_web::surfer::{Community, SurferConfig};
 
@@ -42,7 +42,10 @@ pub fn run_channels(quick: bool) -> Table {
     );
     let mut groups: HashMap<(u32, &str), Vec<usize>> = HashMap::new();
     for b in &community.bookmarks {
-        groups.entry((b.user, b.folder.as_str())).or_default().push(b.page as usize);
+        groups
+            .entry((b.user, b.folder.as_str()))
+            .or_default()
+            .push(b.page as usize);
     }
     let mut folders: Vec<Vec<usize>> = groups
         .into_values()
@@ -57,7 +60,13 @@ pub fn run_channels(quick: bool) -> Table {
     let labels: Vec<Option<usize>> = corpus
         .pages
         .iter()
-        .map(|p| if !p.is_front && p.id % 3 == 0 { Some(p.topic) } else { None })
+        .map(|p| {
+            if !p.is_front && p.id % 3 == 0 {
+                Some(p.topic)
+            } else {
+                None
+            }
+        })
         .collect();
     let problem = EnhancedProblem {
         num_classes: corpus.config.num_topics,
@@ -77,7 +86,11 @@ pub fn run_channels(quick: bool) -> Table {
         ("text + links + folders", 2.0, 2.0),
     ];
     for &(name, link_w, folder_w) in variants {
-        let opts = EnhancedOptions { link_weight: link_w, folder_weight: folder_w, ..Default::default() };
+        let opts = EnhancedOptions {
+            link_weight: link_w,
+            folder_weight: folder_w,
+            ..Default::default()
+        };
         let result = EnhancedClassifier::new(opts).classify(&problem);
         let mut ok = 0usize;
         let mut n = 0usize;
@@ -106,7 +119,12 @@ pub fn run_features(quick: bool) -> Table {
         ..CorpusConfig::default()
     });
     let analyzed = corpus.analyze();
-    let interior: Vec<u32> = corpus.pages.iter().filter(|p| !p.is_front).map(|p| p.id).collect();
+    let interior: Vec<u32> = corpus
+        .pages
+        .iter()
+        .filter(|p| !p.is_front)
+        .map(|p| p.id)
+        .collect();
     let (train, test) = train_test_split(interior.len(), 0.5, 6);
     let mut table = Table::new(
         "A2: Fisher/chi-square/MI feature selection (interior-page accuracy)",
@@ -124,11 +142,18 @@ pub fn run_features(quick: bool) -> Table {
         let mut confusion = Confusion::new(corpus.config.num_topics);
         for &i in &test {
             let page = interior[i];
-            confusion.record(corpus.topic_of(page), nb.predict(&analyzed.tf[page as usize]));
+            confusion.record(
+                corpus.topic_of(page),
+                nb.predict(&analyzed.tf[page as usize]),
+            );
         }
         table.row(vec![
             name.to_string(),
-            if score.is_some() { k.to_string() } else { "all".to_string() },
+            if score.is_some() {
+                k.to_string()
+            } else {
+                "all".to_string()
+            },
             pct(confusion.accuracy()),
         ]);
     };
@@ -165,7 +190,12 @@ pub fn run_hierarchy(quick: bool) -> Table {
         }
     }
     leaf_of_topic.sort_unstable();
-    let interior: Vec<u32> = corpus.pages.iter().filter(|p| !p.is_front).map(|p| p.id).collect();
+    let interior: Vec<u32> = corpus
+        .pages
+        .iter()
+        .filter(|p| !p.is_front)
+        .map(|p| p.id)
+        .collect();
     let (train, test) = train_test_split(interior.len(), 0.3, 7);
     // Flat NB.
     let mut flat = NaiveBayes::new(num_topics, NbOptions::default());
@@ -179,7 +209,10 @@ pub fn run_hierarchy(quick: bool) -> Table {
         .iter()
         .map(|&i| {
             let page = interior[i];
-            (leaf_of_topic[corpus.topic_of(page)].1, analyzed.tf[page as usize].as_slice())
+            (
+                leaf_of_topic[corpus.topic_of(page)].1,
+                analyzed.tf[page as usize].as_slice(),
+            )
         })
         .collect();
     hier.train(train_docs.iter().map(|&(t, d)| (t, d)));
@@ -200,7 +233,10 @@ pub fn run_hierarchy(quick: bool) -> Table {
         "A3: flat vs hierarchical (TAPER) naive Bayes",
         &["classifier", "accuracy"],
     );
-    table.row(vec!["flat over all leaves".to_string(), pct(flat_ok as f64 / n)]);
+    table.row(vec![
+        "flat over all leaves".to_string(),
+        pct(flat_ok as f64 / n),
+    ]);
     table.row(vec![
         "hierarchical greedy descent (Fisher-selected routers)".to_string(),
         pct(hier_ok as f64 / n),
@@ -227,9 +263,20 @@ pub fn run_em(quick: bool) -> Table {
     let labels: Vec<Option<usize>> = corpus
         .pages
         .iter()
-        .map(|p| if !p.is_front && p.id % 3 == 0 { Some(p.topic) } else { None })
+        .map(|p| {
+            if !p.is_front && p.id % 3 == 0 {
+                Some(p.topic)
+            } else {
+                None
+            }
+        })
         .collect();
-    let em = em_naive_bayes(corpus.config.num_topics, &analyzed.tf, &labels, EmOptions::default());
+    let em = em_naive_bayes(
+        corpus.config.num_topics,
+        &analyzed.tf,
+        &labels,
+        EmOptions::default(),
+    );
     // Enhanced (links only, no folders, same inputs) for comparison.
     let problem = EnhancedProblem {
         num_classes: corpus.config.num_topics,
@@ -253,9 +300,18 @@ pub fn run_em(quick: bool) -> Table {
         "A5: what can unlabelled *text* buy? (front-page accuracy)",
         &["method", "accuracy"],
     );
-    table.row(vec!["supervised naive Bayes".into(), pct(front_acc(&em.supervised_only))]);
-    table.row(vec!["semi-supervised EM (text only)".into(), pct(front_acc(&em.predictions))]);
-    table.row(vec!["enhanced (text + links)".into(), pct(front_acc(&enhanced.predictions))]);
+    table.row(vec![
+        "supervised naive Bayes".into(),
+        pct(front_acc(&em.supervised_only)),
+    ]);
+    table.row(vec![
+        "semi-supervised EM (text only)".into(),
+        pct(front_acc(&em.predictions)),
+    ]);
+    table.row(vec![
+        "enhanced (text + links)".into(),
+        pct(front_acc(&enhanced.predictions)),
+    ]);
     table.note("EM makes things WORSE here: front pages form a real text cluster (shared navigational chrome) that is orthogonal to topics, so EM labels them confidently wrong — the classic Nigam et al. caveat. No pure-text learner rescues text-poor pages; link evidence does.");
     table
 }

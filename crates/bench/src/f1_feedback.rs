@@ -90,14 +90,22 @@ pub fn run(quick: bool) -> Table {
     let curve = feedback_curve(quick, 11, rounds, fixes);
     let mut table = Table::new(
         "F1: folder-tab feedback loop — demon accuracy per round",
-        &["round", "corrections+confirmations so far", "history accuracy"],
+        &[
+            "round",
+            "corrections+confirmations so far",
+            "history accuracy",
+        ],
     );
     for (r, acc) in curve.iter().enumerate() {
         table.row(vec![r.to_string(), (r * 2 * fixes).to_string(), pct(*acc)]);
     }
     let first = curve.first().copied().unwrap_or(0.0);
     let last = curve.last().copied().unwrap_or(0.0);
-    table.note(&format!("accuracy climbs {} -> {} over {rounds} rounds", pct(first), pct(last)));
+    table.note(&format!(
+        "accuracy climbs {} -> {} over {rounds} rounds",
+        pct(first),
+        pct(last)
+    ));
     table.note("paper (Fig. 1): guesses marked '?', user cut/paste continually improves the model");
     table
 }

@@ -51,7 +51,11 @@ pub fn run_once(quick: bool, sessions_per_user: usize, seed: u64) -> TrailOutcom
         if ctx.nodes.is_empty() {
             continue;
         }
-        let on_topic = ctx.nodes.iter().filter(|n| corpus.topic_of(n.page) == topic).count();
+        let on_topic = ctx
+            .nodes
+            .iter()
+            .filter(|n| corpus.topic_of(n.page) == topic)
+            .count();
         precision += on_topic as f64 / ctx.nodes.len() as f64;
         // Recall against the community's recent public on-topic pages
         // (capped at the same budget the replay had).
@@ -63,7 +67,7 @@ pub fn run_once(quick: bool, sessions_per_user: usize, seed: u64) -> TrailOutcom
             .filter(|v| v.public && corpus.topic_of(v.page) == topic)
             .map(|v| v.page)
             .collect();
-        let denominator = truth_pages.len().min(30).max(1);
+        let denominator = truth_pages.len().clamp(1, 30);
         recall += on_topic as f64 / denominator as f64;
         runs += 1;
     }
@@ -80,7 +84,13 @@ pub fn run_once(quick: bool, sessions_per_user: usize, seed: u64) -> TrailOutcom
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F2: trail-tab context replay — precision/recall/latency vs history size",
-        &["sessions/user", "archived visits", "replay precision", "replay recall", "latency"],
+        &[
+            "sessions/user",
+            "archived visits",
+            "replay precision",
+            "replay recall",
+            "latency",
+        ],
     );
     let sweep: &[usize] = if quick { &[4, 8] } else { &[5, 10, 20, 40] };
     for &sessions in sweep {
@@ -93,6 +103,7 @@ pub fn run(quick: bool) -> Table {
             format!("{} ms", f3(o.latency_ms)),
         ]);
     }
-    table.note("paper (Fig. 2): replay recreates the topical context; precision >> topic base rate");
+    table
+        .note("paper (Fig. 2): replay recreates the topical context; precision >> topic base rate");
     table
 }

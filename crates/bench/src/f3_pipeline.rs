@@ -21,7 +21,13 @@ use crate::worlds::standard_corpus;
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "F3: pipeline throughput, staleness and recovery",
-        &["scenario", "events", "ingest rate (ev/s)", "peak staleness", "lost events"],
+        &[
+            "scenario",
+            "events",
+            "ingest rate (ev/s)",
+            "peak staleness",
+            "lost events",
+        ],
     );
     let n = if quick { 5_000 } else { 50_000 };
     // 1. Demon work sweep: the producer is paced at a fixed arrival rate
@@ -67,7 +73,10 @@ pub fn run(quick: bool) -> Table {
     let corpus = standard_corpus(true, 33);
     let mut server = MemexServer::new(
         CorpusFetcher::new(corpus.clone()),
-        ServerOptions { max_retained_batches: 64, ..ServerOptions::default() },
+        ServerOptions {
+            max_retained_batches: 64,
+            ..ServerOptions::default()
+        },
     )
     .expect("server");
     server.register_user(1, "load").expect("user");

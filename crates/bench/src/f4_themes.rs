@@ -45,7 +45,10 @@ pub fn run(quick: bool) -> Table {
         for b in &memex.server.bookmarks {
             let next = groups.len();
             let g = *groups.entry((b.user, b.folder.clone())).or_insert(next);
-            let doc = doc_pages.iter().position(|&p| p == b.page).expect("bookmarked doc");
+            let doc = doc_pages
+                .iter()
+                .position(|&p| p == b.page)
+                .expect("bookmarked doc");
             folder_label.entry(doc).or_insert(g);
         }
     }
@@ -90,10 +93,18 @@ pub fn run(quick: bool) -> Table {
 
     let mut table = Table::new(
         "F4: organising the community's bookmarks — description cost and fit",
-        &["organisation", "classes", "description cost", "NMI vs truth"],
+        &[
+            "organisation",
+            "classes",
+            "description cost",
+            "NMI vs truth",
+        ],
     );
     let mut add = |name: &str, labels: &[usize]| {
-        let k = labels.iter().collect::<std::collections::HashSet<_>>().len();
+        let k = labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
         table.row(vec![
             name.to_string(),
             k.to_string(),
@@ -109,6 +120,8 @@ pub fn run(quick: bool) -> Table {
         "theme discovery performed {} merges, {} refinements, {} coarsenings",
         themes.merges, themes.refines, themes.coarsens
     ));
-    table.note("paper (Fig. 4): themes capture common factors, keep individuality; beat universal trees");
+    table.note(
+        "paper (Fig. 4): themes capture common factors, keep individuality; beat universal trees",
+    );
     table
 }

@@ -23,23 +23,78 @@ pub mod worlds;
 
 pub use table::Table;
 
-/// Every experiment, in presentation order: `(id, title, runner)`.
-pub fn all_experiments() -> Vec<(&'static str, &'static str, fn(bool) -> Table)> {
+/// One registered experiment: `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(bool) -> Table);
+
+/// Every experiment, in presentation order.
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        ("T1", "Text-only vs text+link+folder classification (§4 headline)", t1_classify::run),
+        (
+            "T1",
+            "Text-only vs text+link+folder classification (§4 headline)",
+            t1_classify::run,
+        ),
         ("F1", "Folder-tab feedback loop (Fig. 1)", f1_feedback::run),
-        ("F2", "Trail-tab topical context replay (Fig. 2)", f2_trail::run),
-        ("F3", "Server pipeline: throughput, staleness, recovery (Fig. 3)", f3_pipeline::run),
+        (
+            "F2",
+            "Trail-tab topical context replay (Fig. 2)",
+            f2_trail::run,
+        ),
+        (
+            "F3",
+            "Server pipeline: throughput, staleness, recovery (Fig. 3)",
+            f3_pipeline::run,
+        ),
         ("F4", "Community theme discovery (Fig. 4)", f4_themes::run),
-        ("T2", "Full-text search over visited pages (§2)", t2_search::run),
-        ("T3", "HAC vs Scatter/Gather interaction time (§4, ref [6])", t3_cluster::run),
-        ("T4", "Focused vs unfocused crawl harvest rate (§4, ref [5])", t4_crawl::run),
-        ("T5", "Theme profiles vs URL overlap for recommendation (§4)", t5_recommend::run),
-        ("T6", "Months-old recall and ISP bill breakdown (§1)", t6_recall::run),
-        ("A1", "Ablation: enhanced-classifier evidence channels", ablations::run_channels),
-        ("A2", "Ablation: feature selection (Fisher/chi2/MI)", ablations::run_features),
-        ("A3", "Ablation: flat vs hierarchical (TAPER) classification", ablations::run_hierarchy),
-        ("A4", "Ablation: pipeline batch size", ablations::run_batching),
-        ("A5", "Ablation: semi-supervised EM vs enhanced", ablations::run_em),
+        (
+            "T2",
+            "Full-text search over visited pages (§2)",
+            t2_search::run,
+        ),
+        (
+            "T3",
+            "HAC vs Scatter/Gather interaction time (§4, ref [6])",
+            t3_cluster::run,
+        ),
+        (
+            "T4",
+            "Focused vs unfocused crawl harvest rate (§4, ref [5])",
+            t4_crawl::run,
+        ),
+        (
+            "T5",
+            "Theme profiles vs URL overlap for recommendation (§4)",
+            t5_recommend::run,
+        ),
+        (
+            "T6",
+            "Months-old recall and ISP bill breakdown (§1)",
+            t6_recall::run,
+        ),
+        (
+            "A1",
+            "Ablation: enhanced-classifier evidence channels",
+            ablations::run_channels,
+        ),
+        (
+            "A2",
+            "Ablation: feature selection (Fisher/chi2/MI)",
+            ablations::run_features,
+        ),
+        (
+            "A3",
+            "Ablation: flat vs hierarchical (TAPER) classification",
+            ablations::run_hierarchy,
+        ),
+        (
+            "A4",
+            "Ablation: pipeline batch size",
+            ablations::run_batching,
+        ),
+        (
+            "A5",
+            "Ablation: semi-supervised EM vs enhanced",
+            ablations::run_em,
+        ),
     ]
 }

@@ -64,7 +64,10 @@ pub fn run_once_with_locality(
     // Folder co-placement groups from the community's bookmark folders.
     let mut groups: HashMap<(u32, &str), Vec<usize>> = HashMap::new();
     for b in &community.bookmarks {
-        groups.entry((b.user, b.folder.as_str())).or_default().push(b.page as usize);
+        groups
+            .entry((b.user, b.folder.as_str()))
+            .or_default()
+            .push(b.page as usize);
     }
     let mut folders: Vec<Vec<usize>> = groups
         .into_values()
@@ -83,7 +86,13 @@ pub fn run_once_with_locality(
     let labels: Vec<Option<usize>> = corpus
         .pages
         .iter()
-        .map(|p| if !p.is_front && p.id % 3 == 0 { Some(p.topic) } else { None })
+        .map(|p| {
+            if !p.is_front && p.id % 3 == 0 {
+                Some(p.topic)
+            } else {
+                None
+            }
+        })
         .collect();
     let problem = EnhancedProblem {
         num_classes: corpus.config.num_topics,
@@ -119,12 +128,24 @@ pub fn run_once_with_locality(
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "T1: classification accuracy on bookmarked front pages",
-        &["front topic bias", "targets", "text-only", "text+link+folder", "lift"],
+        &[
+            "front topic bias",
+            "targets",
+            "text-only",
+            "text+link+folder",
+            "lift",
+        ],
     );
     let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
     // (front-text bias, link locality): the first three rows sweep text
     // signal at realistic locality; the last two weaken the link channel.
-    let grid: &[(f64, f64)] = &[(0.05, 0.75), (0.15, 0.75), (0.30, 0.75), (0.05, 0.6), (0.05, 0.5)];
+    let grid: &[(f64, f64)] = &[
+        (0.05, 0.75),
+        (0.15, 0.75),
+        (0.30, 0.75),
+        (0.05, 0.6),
+        (0.05, 0.5),
+    ];
     for &(bias, locality) in grid {
         let mut text = 0.0;
         let mut enh = 0.0;

@@ -33,7 +33,9 @@ pub fn run_once(pages_per_topic: usize, seed: u64) -> SearchOutcome {
     let mut index = InvertedIndex::open_memory(IndexOptions::default()).expect("index");
     let start = Instant::now();
     for p in &corpus.pages {
-        index.add_document(p.id, &analyzed.tf[p.id as usize]).expect("add");
+        index
+            .add_document(p.id, &analyzed.tf[p.id as usize])
+            .expect("add");
     }
     index.commit().expect("commit");
     let build = start.elapsed().as_secs_f64();
@@ -73,9 +75,18 @@ pub fn run_once(pages_per_topic: usize, seed: u64) -> SearchOutcome {
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "T2: full-text search over visited pages",
-        &["pages", "index build (docs/s)", "query latency", "precision@10"],
+        &[
+            "pages",
+            "index build (docs/s)",
+            "query latency",
+            "precision@10",
+        ],
     );
-    let sweep: &[usize] = if quick { &[50, 150] } else { &[125, 500, 2_000] };
+    let sweep: &[usize] = if quick {
+        &[50, 150]
+    } else {
+        &[125, 500, 2_000]
+    };
     for &per in sweep {
         let o = run_once(per, 55);
         table.row(vec![

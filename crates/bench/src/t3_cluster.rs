@@ -46,9 +46,21 @@ pub fn workload(n: usize, seed: u64) -> (Vec<SparseVec>, Vec<usize>) {
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "T3: clustering interaction time — full HAC vs Scatter/Gather seeding",
-        &["n docs", "HAC time", "HAC purity", "Buckshot time", "Buckshot purity", "Fractionation time", "Fract. purity"],
+        &[
+            "n docs",
+            "HAC time",
+            "HAC purity",
+            "Buckshot time",
+            "Buckshot purity",
+            "Fractionation time",
+            "Fract. purity",
+        ],
     );
-    let sweep: &[usize] = if quick { &[100, 200] } else { &[200, 400, 800, 1_600] };
+    let sweep: &[usize] = if quick {
+        &[100, 200]
+    } else {
+        &[200, 400, 800, 1_600]
+    };
     let k = 8;
     for &n in sweep {
         let (docs, truth) = workload(n, 66);

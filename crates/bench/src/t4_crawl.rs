@@ -25,7 +25,11 @@ pub fn run_once(quick: bool, seed: u64) -> (CrawlTrace, CrawlTrace, usize) {
         nb.add_document(p.topic, &analyzed.tf[p.id as usize]);
     }
     let target = 2usize;
-    let seeds: Vec<u32> = corpus.front_pages_of_topic(target).into_iter().take(3).collect();
+    let seeds: Vec<u32> = corpus
+        .front_pages_of_topic(target)
+        .into_iter()
+        .take(3)
+        .collect();
     let budget = if quick { 180 } else { 500 };
     let focused = focused_crawl(&corpus, &analyzed.tf, &nb, target, &seeds, budget);
     let unfocused = unfocused_crawl(&corpus, &seeds, target, budget);
@@ -84,6 +88,7 @@ pub fn run(quick: bool) -> Table {
         pct(tail_f / k),
         pct(tail_u / k),
     ));
-    table.note("paper shape (ref [5]): focused sustains harvest; unfocused decays toward base rate");
+    table
+        .note("paper shape (ref [5]): focused sustains harvest; unfocused decays toward base rate");
     table
 }

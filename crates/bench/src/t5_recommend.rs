@@ -84,21 +84,22 @@ pub fn run(quick: bool) -> Table {
         }
         let share = |list: &[(u32, f64)]| {
             list.iter()
-                .filter(|(v, _)| {
-                    truth_of[v].iter().any(|t| truth.interests.contains(t))
-                })
+                .filter(|(v, _)| truth_of[v].iter().any(|t| truth.interests.contains(t)))
                 .count() as f64
                 / list.len() as f64
         };
         let mean_overlap = |list: &[(u32, f64)]| {
-            list.iter().map(|(v, _)| interest_overlap(&truth.interests, &truth_of[v])).sum::<f64>()
+            list.iter()
+                .map(|(v, _)| interest_overlap(&truth.interests, &truth_of[v]))
+                .sum::<f64>()
                 / list.len() as f64
         };
         // Does the top-ranked neighbour share this user's *primary*
         // interest? (A much stricter test than "any interest".)
         let primary_hit = |list: &[(u32, f64)]| {
             f64::from(u8::from(
-                list.first().is_some_and(|(v, _)| truth_of[v].contains(&truth.interests[0])),
+                list.first()
+                    .is_some_and(|(v, _)| truth_of[v].contains(&truth.interests[0])),
             ))
         };
         // The unachievable ceiling: the 3 truly most-overlapping users.

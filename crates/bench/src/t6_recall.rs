@@ -32,14 +32,23 @@ pub fn run(quick: bool) -> Table {
     candidates.shuffle(&mut rng);
     let samples = if quick { 20 } else { 60 };
     let month = 30 * 24 * 3_600_000u64;
-    let mut hits_at = vec![0usize; 3]; // @1, @5, @10
+    let mut hits_at = [0usize; 3]; // @1, @5, @10
     let mut asked = 0usize;
     for v in candidates.into_iter().take(samples) {
-        let words: Vec<&str> =
-            corpus.pages[v.page as usize].text.split_whitespace().take(5).collect();
+        let words: Vec<&str> = corpus.pages[v.page as usize]
+            .text
+            .split_whitespace()
+            .take(5)
+            .collect();
         let query = words.join(" ");
         let res = memex
-            .recall(v.user, &query, v.time.saturating_sub(month), v.time + month, 10)
+            .recall(
+                v.user,
+                &query,
+                v.time.saturating_sub(month),
+                v.time + month,
+                10,
+            )
             .expect("recall");
         asked += 1;
         if let Some(rank) = res.iter().position(|h| h.page == v.page) {
@@ -81,9 +90,18 @@ pub fn run(quick: bool) -> Table {
         &["measurement", "value"],
     );
     table.row(vec!["dated queries asked".into(), asked.to_string()]);
-    table.row(vec!["recall@1".into(), pct(hits_at[0] as f64 / asked.max(1) as f64)]);
-    table.row(vec!["recall@5".into(), pct(hits_at[1] as f64 / asked.max(1) as f64)]);
-    table.row(vec!["recall@10".into(), pct(hits_at[2] as f64 / asked.max(1) as f64)]);
+    table.row(vec![
+        "recall@1".into(),
+        pct(hits_at[0] as f64 / asked.max(1) as f64),
+    ]);
+    table.row(vec![
+        "recall@5".into(),
+        pct(hits_at[1] as f64 / asked.max(1) as f64),
+    ]);
+    table.row(vec![
+        "recall@10".into(),
+        pct(hits_at[2] as f64 / asked.max(1) as f64),
+    ]);
     table.row(vec![
         "bill split error (total variation, 0=perfect)".into(),
         format!("{:.3}", l1_total / billed_users.max(1) as f64),

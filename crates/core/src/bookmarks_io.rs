@@ -46,10 +46,17 @@ pub fn export_netscape(entries: &[BookmarkEntry]) -> String {
     fn render(nodes: &[Node], idx: usize, depth: usize, out: &mut String) {
         let pad = "    ".repeat(depth);
         for (url, title) in &nodes[idx].items {
-            out.push_str(&format!("{pad}<DT><A HREF=\"{}\">{}</A>\n", escape(url), escape(title)));
+            out.push_str(&format!(
+                "{pad}<DT><A HREF=\"{}\">{}</A>\n",
+                escape(url),
+                escape(title)
+            ));
         }
         for (name, child) in &nodes[idx].children {
-            out.push_str(&format!("{pad}<DT><H3>{}</H3>\n{pad}<DL><p>\n", escape(name)));
+            out.push_str(&format!(
+                "{pad}<DT><H3>{}</H3>\n{pad}<DL><p>\n",
+                escape(name)
+            ));
             render(nodes, *child, depth + 1, out);
             out.push_str(&format!("{pad}</DL><p>\n"));
         }
@@ -86,24 +93,38 @@ pub fn import_netscape(html: &str) -> Vec<BookmarkEntry> {
             }
             break;
         } else if rest.starts_with("<dl") {
-            path.push(pending_folder.take().unwrap_or_else(|| "Imported".to_string()));
+            path.push(
+                pending_folder
+                    .take()
+                    .unwrap_or_else(|| "Imported".to_string()),
+            );
             i = tag_start + 3;
         } else if rest.starts_with("</dl") {
             path.pop();
             i = tag_start + 4;
         } else if rest.starts_with("<a") {
             // href attribute.
-            let Some(gt) = lower[tag_start..].find('>') else { break };
+            let Some(gt) = lower[tag_start..].find('>') else {
+                break;
+            };
             let tag = &html[tag_start..tag_start + gt];
-            let url = attr_value(tag, "href").map(|u| decode(&u)).unwrap_or_default();
+            let url = attr_value(tag, "href")
+                .map(|u| decode(&u))
+                .unwrap_or_default();
             let text_start = tag_start + gt + 1;
-            let end = lower[text_start..].find("</a").map(|e| text_start + e).unwrap_or(html.len());
+            let end = lower[text_start..]
+                .find("</a")
+                .map(|e| text_start + e)
+                .unwrap_or(html.len());
             let title = decode(html[text_start..end].trim());
             if !url.is_empty() {
                 // Drop the synthetic top-level "Bookmarks" list level.
-                let folder_path: Vec<String> =
-                    path.iter().skip(1).cloned().collect();
-                entries.push(BookmarkEntry { folder_path, url, title });
+                let folder_path: Vec<String> = path.iter().skip(1).cloned().collect();
+                entries.push(BookmarkEntry {
+                    folder_path,
+                    url,
+                    title,
+                });
             }
             i = end;
         } else {
@@ -125,17 +146,25 @@ fn attr_value(tag: &str, name: &str) -> Option<String> {
         let end = inner.find(quote)?;
         Some(inner[..end].to_string())
     } else {
-        let end = rest.find(|c: char| c.is_whitespace() || c == '>').unwrap_or(rest.len());
+        let end = rest
+            .find(|c: char| c.is_whitespace() || c == '>')
+            .unwrap_or(rest.len());
         Some(rest[..end].to_string())
     }
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn decode(s: &str) -> String {
-    s.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+    s.replace("&quot;", "\"")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
 }
 
 #[cfg(test)]
@@ -153,8 +182,16 @@ mod tests {
     #[test]
     fn round_trip_preserves_entries() {
         let entries = vec![
-            entry(&["Music", "Western Classical"], "http://bach.example/", "Bach archive"),
-            entry(&["Music", "Western Classical"], "http://handel.example/", "Handel"),
+            entry(
+                &["Music", "Western Classical"],
+                "http://bach.example/",
+                "Bach archive",
+            ),
+            entry(
+                &["Music", "Western Classical"],
+                "http://handel.example/",
+                "Handel",
+            ),
             entry(&["Music"], "http://allmusic.example/", "All music"),
             entry(&["Cycling"], "http://mtb.example/", "Mountain bikes"),
             entry(&[], "http://root.example/", "Unfiled"),
@@ -191,14 +228,22 @@ mod tests {
         );
         assert_eq!(
             entries[1],
-            entry(&["Music", "Western Classical"], "http://classical.example/", "Classical Net")
+            entry(
+                &["Music", "Western Classical"],
+                "http://classical.example/",
+                "Classical Net"
+            )
         );
         assert_eq!(entries[2], entry(&[], "http://www.vldb.org/", "VLDB"));
     }
 
     #[test]
     fn escaping_round_trips() {
-        let entries = vec![entry(&["A & B"], "http://x.example/?a=1&b=2", "Q <&> \"quotes\"")];
+        let entries = vec![entry(
+            &["A & B"],
+            "http://x.example/?a=1&b=2",
+            "Q <&> \"quotes\"",
+        )];
         let back = import_netscape(&export_netscape(&entries));
         assert_eq!(back, entries);
     }

@@ -97,7 +97,13 @@ impl FolderSpace {
             .assignments
             .values()
             .any(|a| a.confirmed && a.folder == folder);
-        self.assignments.insert(page, PageAssignment { folder, confirmed: true });
+        self.assignments.insert(
+            page,
+            PageAssignment {
+                folder,
+                confirmed: true,
+            },
+        );
         self.tf_of.insert(page, tf.to_vec());
         if self.classifier.is_none() || folder_was_empty {
             self.rebuild_classifier();
@@ -124,7 +130,13 @@ impl FolderSpace {
             return None;
         }
         let folder = self.classes[nb.predict(tf)];
-        self.assignments.insert(page, PageAssignment { folder, confirmed: false });
+        self.assignments.insert(
+            page,
+            PageAssignment {
+                folder,
+                confirmed: false,
+            },
+        );
         self.tf_of.insert(page, tf.to_vec());
         Some(folder)
     }
@@ -132,7 +144,9 @@ impl FolderSpace {
     /// User reinforces a guess (keeps it where the demon put it). The page
     /// becomes a confirmed training example.
     pub fn confirm(&mut self, page: u32) {
-        let Some(a) = self.assignments.get_mut(&page) else { return };
+        let Some(a) = self.assignments.get_mut(&page) else {
+            return;
+        };
         if a.confirmed {
             return;
         }
@@ -183,8 +197,12 @@ impl FolderSpace {
     /// Rebuild the classifier over the current leaf set from confirmed
     /// assignments (called when the folder tree changes shape).
     pub fn rebuild_classifier(&mut self) {
-        let leaves: Vec<TopicId> =
-            self.taxonomy.leaves().into_iter().filter(|&l| l != Taxonomy::ROOT).collect();
+        let leaves: Vec<TopicId> = self
+            .taxonomy
+            .leaves()
+            .into_iter()
+            .filter(|&l| l != Taxonomy::ROOT)
+            .collect();
         if leaves.len() < 2 {
             self.classifier = None;
             self.classes = leaves;

@@ -125,6 +125,11 @@ impl Memex {
     }
 
     /// Ingest one client event (guaranteed-immediate path).
+    /// The metrics registry shared by every subsystem this Memex owns.
+    pub fn registry(&self) -> &memex_obs::MetricsRegistry {
+        self.server.registry()
+    }
+
     pub fn submit(&mut self, event: ClientEvent) -> bool {
         self.server.submit(event)
     }
@@ -140,11 +145,14 @@ impl Memex {
     pub fn run_demons(&mut self) -> StoreResult<()> {
         self.server.drain_demons()?;
         // File newly recorded bookmarks into folder spaces.
-        let new_bookmarks: Vec<_> =
-            self.server.bookmarks[self.filed_bookmarks..].to_vec();
+        let new_bookmarks: Vec<_> = self.server.bookmarks[self.filed_bookmarks..].to_vec();
         self.filed_bookmarks = self.server.bookmarks.len();
         for b in new_bookmarks {
-            let tf = self.server.tf(b.page).map(<[_]>::to_vec).unwrap_or_default();
+            let tf = self
+                .server
+                .tf(b.page)
+                .map(<[_]>::to_vec)
+                .unwrap_or_default();
             let fs = self.folder_spaces.entry(b.user).or_default();
             let folder = fs.add_folder(&b.folder);
             fs.bookmark(b.page, folder, &tf);
@@ -184,10 +192,21 @@ impl Memex {
             .iter()
             .filter_map(|(t, &c)| self.server.vocab.id(t).map(|id| (id, c)))
             .collect();
-        let hits = bm25_search(&mut self.server.index, &query_terms, k * 20, Bm25Params::default())?;
+        let hits = bm25_search(
+            &mut self.server.index,
+            &query_terms,
+            k * 20,
+            Bm25Params::default(),
+        )?;
         // Visit-time filter per page for this user.
         let mut last_visit: HashMap<u32, u64> = HashMap::new();
-        for v in self.server.trails.visits().iter().filter(|v| v.user == user) {
+        for v in self
+            .server
+            .trails
+            .visits()
+            .iter()
+            .filter(|v| v.user == user)
+        {
             if v.time >= since && v.time <= until {
                 let e = last_visit.entry(v.page).or_insert(0);
                 *e = (*e).max(v.time);
@@ -209,7 +228,11 @@ impl Memex {
             })
             .take(k)
             .collect();
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         Ok(out)
     }
 
@@ -227,10 +250,18 @@ impl Memex {
     ) -> StoreResult<Vec<RecallHit>> {
         let seq = self.analyzer.term_sequence(phrase);
         let ids: Option<Vec<u32>> = seq.iter().map(|t| self.server.vocab.id(t)).collect();
-        let Some(ids) = ids else { return Ok(Vec::new()) }; // unseen term: no match
+        let Some(ids) = ids else {
+            return Ok(Vec::new());
+        }; // unseen term: no match
         let docs = memex_index::search::phrase_search(&mut self.server.index, &ids)?;
         let mut last_visit: HashMap<u32, u64> = HashMap::new();
-        for v in self.server.trails.visits().iter().filter(|v| v.user == user) {
+        for v in self
+            .server
+            .trails
+            .visits()
+            .iter()
+            .filter(|v| v.user == user)
+        {
             if v.time >= since && v.time <= until {
                 let e = last_visit.entry(v.page).or_insert(0);
                 *e = (*e).max(v.time);
@@ -251,7 +282,7 @@ impl Memex {
                 })
             })
             .collect();
-        out.sort_by(|a, b| b.last_visit.cmp(&a.last_visit));
+        out.sort_by_key(|h| std::cmp::Reverse(h.last_visit));
         out.truncate(k);
         Ok(out)
     }
@@ -272,14 +303,17 @@ impl Memex {
             .filter(|(_, a)| a.confirmed)
             .map(|(p, a)| (p, a.folder))
             .collect();
-        let mut nb =
-            memex_learn::nb::NaiveBayes::new(leaves.len() + 1, memex_learn::nb::NbOptions::default());
+        let mut nb = memex_learn::nb::NaiveBayes::new(
+            leaves.len() + 1,
+            memex_learn::nb::NbOptions::default(),
+        );
         let background = leaves.len();
         let mut trained = 0usize;
         for (page, folder) in &confirmed {
-            if let (Some(class), Some(tf)) =
-                (leaves.iter().position(|l| l == folder), self.server.tf(*page))
-            {
+            if let (Some(class), Some(tf)) = (
+                leaves.iter().position(|l| l == folder),
+                self.server.tf(*page),
+            ) {
                 nb.add_document(class, tf);
                 trained += 1;
             }
@@ -298,7 +332,11 @@ impl Memex {
                 }
             }
         }
-        TopicFilter { nb, leaves, usable: trained > 0 && sampled > 0 }
+        TopicFilter {
+            nb,
+            leaves,
+            usable: trained > 0 && sampled > 0,
+        }
     }
 
     /// Pages on topic `folder` for `user`: their confirmed assignments
@@ -439,10 +477,14 @@ impl Memex {
                 folder,
                 bytes,
                 visits,
-                fraction: if total_bytes == 0 { 0.0 } else { bytes as f64 / total_bytes as f64 },
+                fraction: if total_bytes == 0 {
+                    0.0
+                } else {
+                    bytes as f64 / total_bytes as f64
+                },
             })
             .collect();
-        lines.sort_by(|a, b| b.bytes.cmp(&a.bytes));
+        lines.sort_by_key(|l| std::cmp::Reverse(l.bytes));
         lines
     }
 
@@ -463,7 +505,10 @@ impl Memex {
                     doc_pages.push(b.page);
                     doc_pages.len() - 1
                 });
-                folders_by_key.entry((b.user, b.folder.clone())).or_default().push(doc);
+                folders_by_key
+                    .entry((b.user, b.folder.clone()))
+                    .or_default()
+                    .push(doc);
             }
             let docs: Vec<SparseVec> = doc_pages
                 .iter()
@@ -490,7 +535,9 @@ impl Memex {
 
     /// TF-IDF vector of a fetched page.
     pub fn page_vector(&self, page: u32) -> Option<SparseVec> {
-        self.server.tf(page).map(|tf| self.analyzer.tfidf(&self.server.vocab, tf))
+        self.server
+            .tf(page)
+            .map(|tf| self.analyzer.tfidf(&self.server.vocab, tf))
     }
 
     /// "Where and how do I fit into that map?" — the user's weight on each
@@ -548,7 +595,9 @@ impl Memex {
         let docs: Vec<SparseVec> = pages
             .iter()
             .filter_map(|&p| {
-                self.server.tf(p).map(|tf| self.analyzer.tfidf(&self.server.vocab, tf))
+                self.server
+                    .tf(p)
+                    .map(|tf| self.analyzer.tfidf(&self.server.vocab, tf))
             })
             .collect();
         if docs.is_empty() || k == 0 {
@@ -557,8 +606,12 @@ impl Memex {
         let result = memex_cluster::scatter::buckshot(&docs, k.min(docs.len()), 0x50F7);
         let mut proposals: Vec<FolderProposal> = (0..result.centroids.len())
             .map(|c| FolderProposal {
-                name: memex_cluster::scatter::top_terms(&result.centroids[c], &self.server.vocab, 3)
-                    .join(" "),
+                name: memex_cluster::scatter::top_terms(
+                    &result.centroids[c],
+                    &self.server.vocab,
+                    3,
+                )
+                .join(" "),
                 pages: Vec::new(),
             })
             .collect();
@@ -566,7 +619,7 @@ impl Memex {
             proposals[label].pages.push(pages[i]);
         }
         proposals.retain(|p| !p.pages.is_empty());
-        proposals.sort_by(|a, b| b.pages.len().cmp(&a.pages.len()));
+        proposals.sort_by_key(|p| std::cmp::Reverse(p.pages.len()));
         proposals
     }
 }

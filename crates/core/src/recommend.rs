@@ -24,7 +24,11 @@ pub fn theme_profile(memex: &mut Memex, user: u32) -> HashMap<TopicId, f64> {
     // Snapshot what we need from the cache to keep borrows simple.
     let (doc_theme, doc_pages, taxonomy) = {
         let (themes, doc_pages) = memex.community_themes();
-        (themes.doc_theme.clone(), doc_pages.clone(), themes.taxonomy.clone())
+        (
+            themes.doc_theme.clone(),
+            doc_pages.clone(),
+            themes.taxonomy.clone(),
+        )
     };
     let doc_of_page: HashMap<u32, usize> =
         doc_pages.iter().enumerate().map(|(i, &p)| (p, i)).collect();
@@ -62,13 +66,19 @@ pub fn all_profiles(memex: &mut Memex) -> HashMap<u32, HashMap<TopicId, f64>> {
 /// Most similar surfers by theme-profile cosine (excludes `user`).
 pub fn similar_surfers(memex: &mut Memex, user: u32, k: usize) -> Vec<(u32, f64)> {
     let profiles = all_profiles(memex);
-    let Some(mine) = profiles.get(&user) else { return Vec::new() };
+    let Some(mine) = profiles.get(&user) else {
+        return Vec::new();
+    };
     let mut scored: Vec<(u32, f64)> = profiles
         .iter()
         .filter(|(&u, _)| u != user)
         .map(|(&u, p)| (u, profile_similarity(mine, p)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     scored.truncate(k);
     scored
 }
@@ -93,7 +103,11 @@ pub fn similar_surfers_by_url(memex: &Memex, user: u32, k: usize) -> Vec<(u32, f
         .filter(|&u| u != user)
         .map(|u| (u, url_jaccard(memex, user, u)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     scored.truncate(k);
     scored
 }
@@ -103,14 +117,25 @@ pub fn similar_surfers_by_url(memex: &Memex, user: u32, k: usize) -> Vec<(u32, f
 /// log(1 + neighbour's visit count).
 pub fn recommend_pages(memex: &mut Memex, user: u32, k: usize) -> Vec<(u32, f64)> {
     let neighbours = similar_surfers(memex, user, 5);
-    let mine: HashSet<u32> = memex.server.trails.user_pages(user, 0).into_iter().collect();
+    let mine: HashSet<u32> = memex
+        .server
+        .trails
+        .user_pages(user, 0)
+        .into_iter()
+        .collect();
     let mut scores: HashMap<u32, f64> = HashMap::new();
     for (v, sim) in neighbours {
         if sim <= 0.0 {
             continue;
         }
         let mut counts: HashMap<u32, u32> = HashMap::new();
-        for visit in memex.server.trails.visits().iter().filter(|x| x.user == v && x.public) {
+        for visit in memex
+            .server
+            .trails
+            .visits()
+            .iter()
+            .filter(|x| x.user == v && x.public)
+        {
             *counts.entry(visit.page).or_insert(0) += 1;
         }
         for (page, c) in counts {
@@ -120,7 +145,11 @@ pub fn recommend_pages(memex: &mut Memex, user: u32, k: usize) -> Vec<(u32, f64)
         }
     }
     let mut out: Vec<(u32, f64)> = scores.into_iter().collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     out.truncate(k);
     out
 }
@@ -153,7 +182,7 @@ mod tests {
             let half: Vec<u32> = pages
                 .iter()
                 .copied()
-                .filter(|p| (p % 2) as u32 == user / 2)
+                .filter(|p| p % 2 == user / 2)
                 .take(10)
                 .collect();
             for &p in &half {
@@ -187,7 +216,10 @@ mod tests {
         // Users 0 and 2 share topic 0 but visited disjoint pages.
         assert_eq!(url_jaccard(&memex, 0, 2), 0.0, "disjoint by construction");
         let similar = similar_surfers(&mut memex, 0, 3);
-        assert_eq!(similar[0].0, 2, "theme profile still finds the soulmate: {similar:?}");
+        assert_eq!(
+            similar[0].0, 2,
+            "theme profile still finds the soulmate: {similar:?}"
+        );
         assert!(similar[0].1 > 0.5);
         // The URL baseline is blind here.
         let by_url = similar_surfers_by_url(&memex, 0, 3);
@@ -233,6 +265,10 @@ mod tests {
             }
             assert_eq!(url_jaccard(&memex, a, a), 1.0);
         }
-        assert_eq!(url_jaccard(&memex, 99, 98), 0.0, "unknown users have empty trails");
+        assert_eq!(
+            url_jaccard(&memex, 99, 98),
+            0.0,
+            "unknown users have empty trails"
+        );
     }
 }

@@ -16,11 +16,27 @@ pub enum Request {
     /// Ingest a raw client event (visit/bookmark/mode).
     Event(ClientEvent),
     /// Full-text recall over the user's own history (Q1).
-    Recall { user: u32, query: String, since: u64, until: u64, k: usize },
+    Recall {
+        user: u32,
+        query: String,
+        since: u64,
+        until: u64,
+        k: usize,
+    },
     /// Replay the topical browsing context (Fig. 2 trail tab).
-    TrailReplay { user: u32, folder: TopicId, since: u64, max_pages: usize },
+    TrailReplay {
+        user: u32,
+        folder: TopicId,
+        since: u64,
+        max_pages: usize,
+    },
     /// Topic-organised discovery of new authoritative pages (Q3).
-    WhatsNew { user: u32, folder: TopicId, since: u64, k: usize },
+    WhatsNew {
+        user: u32,
+        folder: TopicId,
+        since: u64,
+        k: usize,
+    },
     /// ISP bill breakdown (Q4).
     Bill { user: u32, since: u64, until: u64 },
     /// Similar surfers by theme profile (Q6).
@@ -33,6 +49,29 @@ pub enum Request {
     ExportBookmarks { user: u32 },
     /// Propose folders (clusters with names) for the user's loose pages.
     ProposeFolders { user: u32, k: usize },
+    /// Operational metrics snapshot across every subsystem the server owns
+    /// (store, index, pipeline) plus servlet latencies.
+    Stats,
+}
+
+impl Request {
+    /// Stable name of this request variant, used as the metric suffix in
+    /// `servlet.<name>.latency`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Event(_) => "event",
+            Request::Recall { .. } => "recall",
+            Request::TrailReplay { .. } => "trail_replay",
+            Request::WhatsNew { .. } => "whats_new",
+            Request::Bill { .. } => "bill",
+            Request::SimilarSurfers { .. } => "similar_surfers",
+            Request::Recommend { .. } => "recommend",
+            Request::ImportBookmarks { .. } => "import_bookmarks",
+            Request::ExportBookmarks { .. } => "export_bookmarks",
+            Request::ProposeFolders { .. } => "propose_folders",
+            Request::Stats => "stats",
+        }
+    }
 }
 
 /// The matching responses.
@@ -48,25 +87,43 @@ pub enum Response {
     Imported { bookmarks: usize, unresolved: usize },
     Exported(String),
     Proposals(Vec<crate::memex::FolderProposal>),
+    Stats(memex_obs::Snapshot),
     Error(String),
 }
 
-/// Dispatch one request against the system.
+/// Dispatch one request against the system. Every dispatch records its
+/// latency into `servlet.<variant>.latency` on the server's registry.
 pub fn dispatch(memex: &mut Memex, request: Request) -> Response {
+    let _span = memex
+        .registry()
+        .histogram(&format!("servlet.{}.latency", request.name()))
+        .start_span();
     match request {
-        Request::Event(e) => Response::Ack { archived: memex.submit(e) },
-        Request::Recall { user, query, since, until, k } => {
-            match memex.recall(user, &query, since, until, k) {
-                Ok(hits) => Response::Recall(hits),
-                Err(e) => Response::Error(e.to_string()),
-            }
-        }
-        Request::TrailReplay { user, folder, since, max_pages } => {
-            Response::TrailReplay(memex.topic_context(user, folder, since, max_pages))
-        }
-        Request::WhatsNew { user, folder, since, k } => {
-            Response::WhatsNew(memex.whats_new(user, folder, since, k))
-        }
+        Request::Event(e) => Response::Ack {
+            archived: memex.submit(e),
+        },
+        Request::Recall {
+            user,
+            query,
+            since,
+            until,
+            k,
+        } => match memex.recall(user, &query, since, until, k) {
+            Ok(hits) => Response::Recall(hits),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::TrailReplay {
+            user,
+            folder,
+            since,
+            max_pages,
+        } => Response::TrailReplay(memex.topic_context(user, folder, since, max_pages)),
+        Request::WhatsNew {
+            user,
+            folder,
+            since,
+            k,
+        } => Response::WhatsNew(memex.whats_new(user, folder, since, k)),
         Request::Bill { user, since, until } => Response::Bill(memex.bill(user, since, until)),
         Request::SimilarSurfers { user, k } => {
             Response::SimilarSurfers(memex.similar_surfers(user, k))
@@ -96,10 +153,18 @@ pub fn dispatch(memex: &mut Memex, request: Request) -> Response {
                     None => unresolved += 1,
                 }
             }
-            Response::Imported { bookmarks: imported, unresolved }
+            Response::Imported {
+                bookmarks: imported,
+                unresolved,
+            }
         }
-        Request::ProposeFolders { user, k } => {
-            Response::Proposals(memex.propose_folders(user, k))
+        Request::ProposeFolders { user, k } => Response::Proposals(memex.propose_folders(user, k)),
+        Request::Stats => {
+            // Fold in the process-global registry: free-function subsystems
+            // (e.g. the focused crawler) report there, not on the server.
+            let mut snap = memex.registry().snapshot();
+            snap.absorb(memex_obs::global().snapshot());
+            Response::Stats(snap)
         }
         Request::ExportBookmarks { user } => {
             let urls: Vec<(u32, String)> = {

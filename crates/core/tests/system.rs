@@ -19,11 +19,17 @@ fn world() -> (Arc<Corpus>, Community, Memex) {
     }));
     let community = Community::simulate(
         &corpus,
-        &SurferConfig { num_users: 8, sessions_per_user: 10, ..SurferConfig::default() },
+        &SurferConfig {
+            num_users: 8,
+            sessions_per_user: 10,
+            ..SurferConfig::default()
+        },
     );
     let mut memex = Memex::new(corpus.clone(), MemexOptions::default()).unwrap();
     for truth in &community.users {
-        memex.register_user(truth.user, &format!("user{}", truth.user)).unwrap();
+        memex
+            .register_user(truth.user, &format!("user{}", truth.user))
+            .unwrap();
     }
     // Interleave bookmarks with visits in time order.
     let mut bi = 0usize;
@@ -64,7 +70,10 @@ fn full_pipeline_archives_everything() {
     // Folder spaces got populated by the bookmark filing + classify demon.
     let user = community.users[0].user;
     let fs = memex.folder_space(user);
-    assert!(fs.confirmed_count() > 0, "bookmarks must be confirmed assignments");
+    assert!(
+        fs.confirmed_count() > 0,
+        "bookmarks must be confirmed assignments"
+    );
     assert!(
         fs.assignments().count() > fs.confirmed_count(),
         "the demon should have guessed extra pages"
@@ -80,14 +89,28 @@ fn recall_finds_a_months_old_page() {
     let target = community
         .visits
         .iter()
-        .find(|v| v.user == user && corpus.topic_of(v.page) == topic && !corpus.pages[v.page as usize].is_front)
+        .find(|v| {
+            v.user == user
+                && corpus.topic_of(v.page) == topic
+                && !corpus.pages[v.page as usize].is_front
+        })
         .expect("user visited an interior page of their interest");
     // Query with that page's own top words plus the window around then.
-    let words: Vec<&str> = corpus.pages[target.page as usize].text.split_whitespace().take(6).collect();
+    let words: Vec<&str> = corpus.pages[target.page as usize]
+        .text
+        .split_whitespace()
+        .take(6)
+        .collect();
     let query = words.join(" ");
     let window = 30 * 24 * 3_600_000u64; // one month
     let hits = memex
-        .recall(user, &query, target.time.saturating_sub(window), target.time + window, 10)
+        .recall(
+            user,
+            &query,
+            target.time.saturating_sub(window),
+            target.time + window,
+            10,
+        )
         .unwrap();
     assert!(!hits.is_empty(), "recall must return something");
     assert!(
@@ -116,7 +139,11 @@ fn trail_replay_recreates_topical_context() {
     let ctx = memex.topic_context(user, folder, 0, 25);
     assert!(!ctx.nodes.is_empty(), "context should replay pages");
     // Precision: replayed pages are mostly of the right ground-truth topic.
-    let on_topic = ctx.nodes.iter().filter(|n| corpus.topic_of(n.page) == topic).count();
+    let on_topic = ctx
+        .nodes
+        .iter()
+        .filter(|n| corpus.topic_of(n.page) == topic)
+        .count();
     let precision = on_topic as f64 / ctx.nodes.len() as f64;
     assert!(precision > 0.6, "replay precision {precision}");
     // Edges connect replayed nodes only.
@@ -134,8 +161,14 @@ fn bill_breaks_down_by_folder() {
     let lines = memex.bill(user, 0, u64::MAX);
     assert!(!lines.is_empty());
     let total: f64 = lines.iter().map(|l| l.fraction).sum();
-    assert!((total - 1.0).abs() < 1e-6, "fractions sum to 1, got {total}");
-    assert!(lines.windows(2).all(|w| w[0].bytes >= w[1].bytes), "sorted by bytes");
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "fractions sum to 1, got {total}"
+    );
+    assert!(
+        lines.windows(2).all(|w| w[0].bytes >= w[1].bytes),
+        "sorted by bytes"
+    );
     let bytes: u64 = lines.iter().map(|l| l.bytes).sum();
     assert!(bytes > 0);
 }
@@ -185,7 +218,10 @@ fn recommendations_are_novel_pages() {
     let mine: std::collections::HashSet<u32> =
         memex.server.trails.user_pages(0, 0).into_iter().collect();
     for (page, score) in &recs {
-        assert!(!mine.contains(page), "recommended page {page} was already visited");
+        assert!(
+            !mine.contains(page),
+            "recommended page {page} was already visited"
+        );
         assert!(*score > 0.0);
     }
 }
@@ -197,12 +233,27 @@ fn servlet_dispatch_covers_the_api() {
     // Search through the servlet.
     let resp = dispatch(
         &mut memex,
-        Request::Recall { user, query: "classical music".into(), since: 0, until: u64::MAX, k: 5 },
+        Request::Recall {
+            user,
+            query: "classical music".into(),
+            since: 0,
+            until: u64::MAX,
+            k: 5,
+        },
     );
     assert!(matches!(resp, Response::Recall(_)));
     // Bill.
-    let resp = dispatch(&mut memex, Request::Bill { user, since: 0, until: u64::MAX });
-    let Response::Bill(lines) = resp else { panic!("expected bill") };
+    let resp = dispatch(
+        &mut memex,
+        Request::Bill {
+            user,
+            since: 0,
+            until: u64::MAX,
+        },
+    );
+    let Response::Bill(lines) = resp else {
+        panic!("expected bill")
+    };
     assert!(!lines.is_empty());
     // Export -> import round trip through the Netscape format.
     let Response::Exported(html) = dispatch(&mut memex, Request::ExportBookmarks { user }) else {
@@ -211,10 +262,18 @@ fn servlet_dispatch_covers_the_api() {
     assert!(html.contains("NETSCAPE-Bookmark-file-1"));
     let fresh_user = 999u32;
     memex.register_user(fresh_user, "fresh").unwrap();
-    let Response::Imported { bookmarks, unresolved } = dispatch(
+    let Response::Imported {
+        bookmarks,
+        unresolved,
+    } = dispatch(
         &mut memex,
-        Request::ImportBookmarks { user: fresh_user, html, time: 1 },
-    ) else {
+        Request::ImportBookmarks {
+            user: fresh_user,
+            html,
+            time: 1,
+        },
+    )
+    else {
         panic!("expected import");
     };
     assert!(bookmarks > 0);
@@ -249,7 +308,10 @@ fn proposed_folders_cluster_loose_pages_by_topic() {
     // Confirmed bookmarks are not re-proposed.
     let confirmed: Vec<u32> = {
         let fs = memex.folder_space(user);
-        fs.assignments().filter(|(_, a)| a.confirmed).map(|(p, _)| p).collect()
+        fs.assignments()
+            .filter(|(_, a)| a.confirmed)
+            .map(|(p, _)| p)
+            .collect()
     };
     let proposals = memex.propose_folders(user, 4);
     for p in &proposals {
@@ -257,6 +319,59 @@ fn proposed_folders_cluster_loose_pages_by_topic() {
             assert!(!confirmed.contains(page));
         }
     }
+}
+
+#[test]
+fn stats_servlet_reports_live_subsystems() {
+    let (corpus, community, mut memex) = world();
+    // Exercise a query path so servlet + index.query latencies exist.
+    let user = community.users[0].user;
+    let _ = dispatch(
+        &mut memex,
+        Request::Recall {
+            user,
+            query: "classical music".into(),
+            since: 0,
+            until: u64::MAX,
+            k: 5,
+        },
+    );
+    // Exercise the crawler (reports to the process-global registry).
+    let seeds: Vec<u32> = corpus.front_pages_of_topic(0).into_iter().take(2).collect();
+    let _ = memex_web::crawler::unfocused_crawl(&corpus, &seeds, 0, 40);
+
+    let Response::Stats(snap) = dispatch(&mut memex, Request::Stats) else {
+        panic!("expected stats");
+    };
+    // Live values from every layer: store, index, server pipeline, crawler,
+    // and the servlet surface itself.
+    assert!(snap.counter("store.kv.puts") > 0, "store layer silent");
+    assert!(snap.counter("store.wal.appends") > 0, "wal silent");
+    assert!(snap.counter("index.docs") > 0, "index layer silent");
+    assert!(
+        snap.counter("server.events.submitted") > 0,
+        "pipeline silent"
+    );
+    assert!(snap.counter("server.fetch.pages") > 0, "fetcher silent");
+    assert!(snap.counter("web.crawl.fetches") >= 40, "crawler silent");
+    let q = snap
+        .histogram("index.query.latency")
+        .expect("query latency histogram");
+    assert!(q.count > 0 && q.sum > 0);
+    let s = snap
+        .histogram("servlet.recall.latency")
+        .expect("servlet latency histogram");
+    assert_eq!(s.count, 1);
+    // Per-demon staleness gauges exist (zero after run_demons caught up).
+    assert!(snap
+        .gauges
+        .iter()
+        .any(|(n, _)| n == "store.version.staleness.index-demon"));
+    // The exporters render it.
+    let text = snap.render_text();
+    assert!(text.contains("server.events.submitted"));
+    assert!(snap.render_prometheus().contains("index_docs"));
+    assert!(snap.render_json().contains("\"store.kv.puts\""));
 }
 
 #[test]
@@ -283,7 +398,10 @@ fn whats_new_excludes_seen_pages_and_ranks_authorities() {
         .map(|v| v.page)
         .collect();
     for (page, score) in &fresh {
-        assert!(!seen_before.contains(page), "page {page} was already known to the user");
+        assert!(
+            !seen_before.contains(page),
+            "page {page} was already known to the user"
+        );
         assert!(*score >= 0.0);
     }
 }

@@ -90,10 +90,17 @@ impl Hac {
             .map(|d| {
                 let mut v = d.clone();
                 v.normalize();
-                Cluster { sum: v, size: 1, alive: true }
+                Cluster {
+                    sum: v,
+                    size: 1,
+                    alive: true,
+                }
             })
             .collect();
-        Hac { clusters, num_leaves: docs.len() }
+        Hac {
+            clusters,
+            num_leaves: docs.len(),
+        }
     }
 
     /// Prepare from pre-agglomerated groups: each leaf is `(sum of member
@@ -104,9 +111,16 @@ impl Hac {
     pub fn new_weighted(groups: &[(SparseVec, usize)]) -> Hac {
         let clusters = groups
             .iter()
-            .map(|(sum, size)| Cluster { sum: sum.clone(), size: (*size).max(1), alive: true })
+            .map(|(sum, size)| Cluster {
+                sum: sum.clone(),
+                size: (*size).max(1),
+                alive: true,
+            })
             .collect();
-        Hac { clusters, num_leaves: groups.len() }
+        Hac {
+            clusters,
+            num_leaves: groups.len(),
+        }
     }
 
     fn sim(&self, a: usize, b: usize) -> f32 {
@@ -120,7 +134,10 @@ impl Hac {
         let n = self.num_leaves;
         let mut merges = Vec::with_capacity(n.saturating_sub(1));
         if n <= 1 {
-            return Dendrogram { num_leaves: n, merges };
+            return Dendrogram {
+                num_leaves: n,
+                merges,
+            };
         }
         // Nearest-neighbour cache: nn[i] = (best_j, sim).
         let mut active: Vec<usize> = (0..n).collect();
@@ -133,7 +150,11 @@ impl Hac {
             let (&best_i, &(best_j, best_sim)) = active
                 .iter()
                 .filter_map(|i| nn[*i].as_ref().map(|p| (i, p)))
-                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| {
+                    a.1 .1
+                        .partial_cmp(&b.1 .1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .expect("at least two active clusters");
             // Merge best_i and best_j into a fresh cluster id.
             let into = self.clusters.len();
@@ -142,8 +163,17 @@ impl Hac {
             let size = self.clusters[best_i].size + self.clusters[best_j].size;
             self.clusters[best_i].alive = false;
             self.clusters[best_j].alive = false;
-            self.clusters.push(Cluster { sum, size, alive: true });
-            merges.push(Merge { a: best_i, b: best_j, into, sim: best_sim });
+            self.clusters.push(Cluster {
+                sum,
+                size,
+                alive: true,
+            });
+            merges.push(Merge {
+                a: best_i,
+                b: best_j,
+                into,
+                sim: best_sim,
+            });
             active.retain(|&x| x != best_i && x != best_j);
             active.push(into);
             if nn.len() <= into {
@@ -172,7 +202,10 @@ impl Hac {
                 }
             }
         }
-        Dendrogram { num_leaves: n, merges }
+        Dendrogram {
+            num_leaves: n,
+            merges,
+        }
     }
 
     fn best_neighbour(&self, i: usize, active: &[usize]) -> Option<(usize, f32)> {
@@ -227,7 +260,10 @@ mod tests {
     fn recovers_separable_groups() {
         let (docs, truth) = three_groups();
         let labels = hac_cut(&docs, 3);
-        assert!(same_partition(&labels, &truth), "labels {labels:?} vs {truth:?}");
+        assert!(
+            same_partition(&labels, &truth),
+            "labels {labels:?} vs {truth:?}"
+        );
     }
 
     #[test]

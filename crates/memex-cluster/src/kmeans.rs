@@ -21,7 +21,12 @@ pub struct KMeans {
 
 impl KMeans {
     pub fn new(k: usize) -> KMeans {
-        KMeans { k, max_iters: 20, centroid_terms: 64, seed: 0x5EED }
+        KMeans {
+            k,
+            max_iters: 20,
+            centroid_terms: 64,
+            seed: 0x5EED,
+        }
     }
 
     /// Cluster `docs` (normalised internally). Seeds are random distinct
@@ -38,7 +43,11 @@ impl KMeans {
             })
             .collect();
         if n == 0 {
-            return KMeansResult { labels: Vec::new(), centroids: Vec::new(), iterations: 0 };
+            return KMeansResult {
+                labels: Vec::new(),
+                centroids: Vec::new(),
+                iterations: 0,
+            };
         }
         let mut centroids: Vec<SparseVec> = match seeds {
             Some(s) if !s.is_empty() => {
@@ -108,7 +117,11 @@ impl KMeans {
         }
         // Normalised docs are no longer needed; free before returning.
         normed.clear();
-        KMeansResult { labels, centroids, iterations }
+        KMeansResult {
+            labels,
+            centroids,
+            iterations,
+        }
     }
 }
 
@@ -168,7 +181,10 @@ mod tests {
         let result = KMeans::new(2).run(&docs, None);
         // Same partition up to label swap.
         let l = &result.labels;
-        let consistent = truth.iter().zip(l).all(|(&t, &p)| p == l[0] && t == truth[0] || p != l[0] && t != truth[0]);
+        let consistent = truth
+            .iter()
+            .zip(l)
+            .all(|(&t, &p)| p == l[0] && t == truth[0] || p != l[0] && t != truth[0]);
         assert!(consistent, "labels {l:?}");
         assert!(result.cohesion(&docs) > 0.95);
     }

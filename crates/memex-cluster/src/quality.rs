@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn nmi_extremes() {
-        assert!((nmi(&[0, 0, 1, 1], &[1, 1, 0, 0]) - 1.0).abs() < 1e-9, "label permutation is perfect");
+        assert!(
+            (nmi(&[0, 0, 1, 1], &[1, 1, 0, 0]) - 1.0).abs() < 1e-9,
+            "label permutation is perfect"
+        );
         let low = nmi(&[0, 1, 0, 1], &[0, 0, 1, 1]);
         assert!(low < 0.01, "independent labelling has ~zero NMI, got {low}");
         // Singletons are penalised relative to the permutation case.

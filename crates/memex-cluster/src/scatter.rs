@@ -30,7 +30,10 @@ pub fn buckshot(docs: &[SparseVec], k: usize, seed: u64) -> KMeansResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(&mut rng);
-    let sample: Vec<SparseVec> = idx[..sample_size].iter().map(|&i| docs[i].clone()).collect();
+    let sample: Vec<SparseVec> = idx[..sample_size]
+        .iter()
+        .map(|&i| docs[i].clone())
+        .collect();
     let labels = hac_cut(&sample, k);
     let seeds = centroids_of(&sample, &labels, k);
     let mut km = KMeans::new(k);
@@ -45,7 +48,13 @@ pub fn buckshot(docs: &[SparseVec], k: usize, seed: u64) -> KMeansResult {
 /// so the in-bucket group-average linkage stays exact over the original
 /// documents; buckets are formed after sorting by dominant term (Cutting
 /// et al.'s locality trick).
-pub fn fractionation(docs: &[SparseVec], k: usize, bucket: usize, rho: f64, seed: u64) -> KMeansResult {
+pub fn fractionation(
+    docs: &[SparseVec],
+    k: usize,
+    bucket: usize,
+    rho: f64,
+    seed: u64,
+) -> KMeansResult {
     let n = docs.len();
     if n == 0 {
         return KMeans::new(k).run(docs, None);
@@ -60,7 +69,11 @@ pub fn fractionation(docs: &[SparseVec], k: usize, bucket: usize, rho: f64, seed
         })
         .collect();
     // Merge a labelled chunk of weighted groups into `target` groups.
-    fn merge_groups(chunk: &[(SparseVec, usize)], labels: &[usize], target: usize) -> Vec<(SparseVec, usize)> {
+    fn merge_groups(
+        chunk: &[(SparseVec, usize)],
+        labels: &[usize],
+        target: usize,
+    ) -> Vec<(SparseVec, usize)> {
         let mut out: Vec<(SparseVec, usize)> = vec![(SparseVec::new(), 0); target];
         for ((sum, size), &l) in chunk.iter().zip(labels) {
             if l < target {
@@ -150,7 +163,13 @@ pub struct ClusterView {
 
 impl<'a> ScatterGather<'a> {
     pub fn new(docs: &'a [SparseVec], vocab: &'a Vocabulary, k: usize, seed: u64) -> Self {
-        ScatterGather { docs, vocab, k, seed, focus: (0..docs.len()).collect() }
+        ScatterGather {
+            docs,
+            vocab,
+            k,
+            seed,
+            focus: (0..docs.len()).collect(),
+        }
     }
 
     /// Documents currently in focus.
@@ -163,8 +182,12 @@ impl<'a> ScatterGather<'a> {
         let subset: Vec<SparseVec> = self.focus.iter().map(|&i| self.docs[i].clone()).collect();
         let result = buckshot(&subset, self.k.min(subset.len().max(1)), self.seed);
         let k = result.centroids.len();
-        let mut views: Vec<ClusterView> =
-            (0..k).map(|_| ClusterView { members: Vec::new(), summary: Vec::new() }).collect();
+        let mut views: Vec<ClusterView> = (0..k)
+            .map(|_| ClusterView {
+                members: Vec::new(),
+                summary: Vec::new(),
+            })
+            .collect();
         for (local, &l) in result.labels.iter().enumerate() {
             views[l].members.push(self.focus[local]);
         }
@@ -177,7 +200,10 @@ impl<'a> ScatterGather<'a> {
 
     /// Gather: narrow the focus to the union of the chosen clusters.
     pub fn gather(&mut self, chosen: &[&ClusterView]) {
-        let mut focus: Vec<usize> = chosen.iter().flat_map(|v| v.members.iter().copied()).collect();
+        let mut focus: Vec<usize> = chosen
+            .iter()
+            .flat_map(|v| v.members.iter().copied())
+            .collect();
         focus.sort_unstable();
         focus.dedup();
         if !focus.is_empty() {
@@ -265,7 +291,10 @@ mod tests {
                 seen_anchors += 1;
             }
         }
-        assert_eq!(seen_anchors, 3, "each cluster summary should surface its anchor term");
+        assert_eq!(
+            seen_anchors, 3,
+            "each cluster summary should surface its anchor term"
+        );
     }
 
     #[test]

@@ -203,7 +203,12 @@ impl ThemeDiscovery {
                 }
                 Candidate {
                     sum,
-                    docs: f.docs.iter().copied().filter(|&d| d < normed.len()).collect(),
+                    docs: f
+                        .docs
+                        .iter()
+                        .copied()
+                        .filter(|&d| d < normed.len())
+                        .collect(),
                     users: vec![f.user],
                     folders: vec![fi],
                     names: vec![f.name.clone()],
@@ -254,10 +259,10 @@ impl ThemeDiscovery {
             let (head, tail) = cands.split_at_mut(hi);
             let (a, b) = (&mut head[lo], &mut tail[0]);
             a.sum.add_assign(&b.sum);
-            a.docs.extend(b.docs.drain(..));
-            a.users.extend(b.users.drain(..));
-            a.folders.extend(b.folders.drain(..));
-            a.names.extend(b.names.drain(..));
+            a.docs.append(&mut b.docs);
+            a.users.append(&mut b.users);
+            a.folders.append(&mut b.folders);
+            a.names.append(&mut b.names);
             b.alive = false;
             merges += 1;
         }
@@ -294,7 +299,9 @@ impl ThemeDiscovery {
             if !taxonomy.children(node).is_empty() {
                 continue;
             }
-            let Some(pos) = themes.iter().position(|t| t.topic == node) else { continue };
+            let Some(pos) = themes.iter().position(|t| t.topic == node) else {
+                continue;
+            };
             if themes[pos].docs.len() >= self.opts.min_support {
                 continue;
             }
@@ -324,7 +331,8 @@ impl ThemeDiscovery {
                     let tgt = &mut themes[q];
                     tgt.docs.extend(absorbed.docs.iter().copied());
                     tgt.users.extend(absorbed.users.iter().copied());
-                    tgt.source_folders.extend(absorbed.source_folders.iter().copied());
+                    tgt.source_folders
+                        .extend(absorbed.source_folders.iter().copied());
                     let mut sum = tgt.centroid.clone();
                     sum.add_assign(&absorbed.centroid);
                     sum.normalize();
@@ -339,7 +347,15 @@ impl ThemeDiscovery {
             t.users.sort_unstable();
             t.users.dedup();
         }
-        Themes { taxonomy, themes, doc_theme, folder_theme, merges, refines, coarsens }
+        Themes {
+            taxonomy,
+            themes,
+            doc_theme,
+            folder_theme,
+            merges,
+            refines,
+            coarsens,
+        }
     }
 
     /// Place a candidate's docs under `node`, refining by 2-means when the
@@ -361,7 +377,11 @@ impl ThemeDiscovery {
         let cohesion = if cand.docs.is_empty() {
             1.0
         } else {
-            cand.docs.iter().map(|&d| normed[d].dot(&centroid)).sum::<f32>() / cand.docs.len() as f32
+            cand.docs
+                .iter()
+                .map(|&d| normed[d].dot(&centroid))
+                .sum::<f32>()
+                / cand.docs.len() as f32
         };
         let should_refine = depth < self.opts.max_refine_depth
             && cand.docs.len() >= 2 * self.opts.min_support
@@ -398,8 +418,15 @@ impl ThemeDiscovery {
                         alive: true,
                     };
                     self.place_docs(
-                        taxonomy, themes, doc_theme, normed, child, &child_name, &sub,
-                        depth + 1, refines,
+                        taxonomy,
+                        themes,
+                        doc_theme,
+                        normed,
+                        child,
+                        &child_name,
+                        &sub,
+                        depth + 1,
+                        refines,
                     );
                 }
                 return;
@@ -456,9 +483,21 @@ mod tests {
             docs.push(v(&[(30, 2.0), (31, 1.0 + 0.1 * j as f32)]));
         }
         let folders = vec![
-            UserFolder { user: 1, name: "Music".into(), docs: vec![0, 1, 2, 3, 4] },
-            UserFolder { user: 2, name: "Tunes".into(), docs: vec![5, 6, 7, 8, 9] },
-            UserFolder { user: 3, name: "Orchids".into(), docs: vec![10, 11, 12, 13] },
+            UserFolder {
+                user: 1,
+                name: "Music".into(),
+                docs: vec![0, 1, 2, 3, 4],
+            },
+            UserFolder {
+                user: 2,
+                name: "Tunes".into(),
+                docs: vec![5, 6, 7, 8, 9],
+            },
+            UserFolder {
+                user: 3,
+                name: "Orchids".into(),
+                docs: vec![10, 11, 12, 13],
+            },
         ];
         (docs, folders)
     }
@@ -494,7 +533,11 @@ mod tests {
         for j in 0..6u32 {
             docs.push(v(&[(50, 2.0), (51, 0.5 + 0.05 * j as f32)]));
         }
-        let folders = vec![UserFolder { user: 1, name: "Stuff".into(), docs: (0..12).collect() }];
+        let folders = vec![UserFolder {
+            user: 1,
+            name: "Stuff".into(),
+            docs: (0..12).collect(),
+        }];
         let themes = ThemeDiscovery::new(ThemeOptions::default()).run(&docs, &folders);
         assert!(themes.refines >= 1, "mixed folder must be refined");
         // Documents of the two subspaces land under different leaves.
@@ -515,10 +558,21 @@ mod tests {
         // A lone doc in a similar-but-not-identical subspace.
         docs.push(v(&[(2, 1.0), (3, 0.4)]));
         let folders = vec![
-            UserFolder { user: 1, name: "Music".into(), docs: (0..6).collect() },
-            UserFolder { user: 2, name: "Stray".into(), docs: vec![6] },
+            UserFolder {
+                user: 1,
+                name: "Music".into(),
+                docs: (0..6).collect(),
+            },
+            UserFolder {
+                user: 2,
+                name: "Stray".into(),
+                docs: vec![6],
+            },
         ];
-        let opts = ThemeOptions { merge_threshold: 0.9, ..Default::default() };
+        let opts = ThemeOptions {
+            merge_threshold: 0.9,
+            ..Default::default()
+        };
         let themes = ThemeDiscovery::new(opts).run(&docs, &folders);
         assert_eq!(themes.coarsens, 1, "stray folder folds into its sibling");
         assert_eq!(themes.taxonomy.children(Taxonomy::ROOT).len(), 1);

@@ -19,7 +19,11 @@ impl WebGraph {
 
     /// Pre-size for `n` nodes.
     pub fn with_nodes(n: usize) -> WebGraph {
-        WebGraph { out: vec![Vec::new(); n], inn: vec![Vec::new(); n], num_edges: 0 }
+        WebGraph {
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            num_edges: 0,
+        }
     }
 
     /// Ensure node `id` exists (nodes are implicit 0..n).
@@ -140,7 +144,10 @@ mod tests {
         g.add_edge(100, 7);
         assert_eq!(g.num_nodes(), 101);
         assert!(g.out_links(50).is_empty());
-        assert!(g.out_links(9999).is_empty(), "out-of-range is empty, not panic");
+        assert!(
+            g.out_links(9999).is_empty(),
+            "out-of-range is empty, not panic"
+        );
     }
 
     #[test]

@@ -30,10 +30,7 @@ pub fn hits(
     }
     let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     // Edge list in dense indices.
-    let dense: Vec<(usize, usize)> = edges
-        .iter()
-        .map(|&(u, v)| (index[&u], index[&v]))
-        .collect();
+    let dense: Vec<(usize, usize)> = edges.iter().map(|&(u, v)| (index[&u], index[&v])).collect();
     let mut hub = vec![1.0f64; n];
     let mut auth = vec![1.0f64; n];
     for _ in 0..max_iters {
@@ -62,7 +59,15 @@ pub fn hits(
     nodes
         .iter()
         .enumerate()
-        .map(|(i, &v)| (v, HitsScore { hub: hub[i], authority: auth[i] }))
+        .map(|(i, &v)| {
+            (
+                v,
+                HitsScore {
+                    hub: hub[i],
+                    authority: auth[i],
+                },
+            )
+        })
         .collect()
 }
 
@@ -70,7 +75,11 @@ pub fn hits(
 pub fn top_authorities(graph: &WebGraph, nodes: &[NodeId], k: usize) -> Vec<(NodeId, f64)> {
     let scores = hits(graph, nodes, 50, 1e-9);
     let mut v: Vec<(NodeId, f64)> = scores.into_iter().map(|(n, s)| (n, s.authority)).collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    v.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     v.truncate(k);
     v
 }

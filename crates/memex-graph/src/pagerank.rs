@@ -14,7 +14,11 @@ pub struct PageRankOptions {
 
 impl Default for PageRankOptions {
     fn default() -> Self {
-        PageRankOptions { damping: 0.85, max_iters: 100, tol: 1e-10 }
+        PageRankOptions {
+            damping: 0.85,
+            max_iters: 100,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -30,12 +34,12 @@ pub fn pagerank(graph: &WebGraph, opts: PageRankOptions) -> Vec<f64> {
     for _ in 0..opts.max_iters {
         let mut next = vec![(1.0 - opts.damping) * uniform; n];
         let mut dangling = 0.0f64;
-        for u in 0..n {
+        for (u, &ru) in rank.iter().enumerate() {
             let outs = graph.out_links(u as u32);
             if outs.is_empty() {
-                dangling += rank[u];
+                dangling += ru;
             } else {
-                let share = opts.damping * rank[u] / outs.len() as f64;
+                let share = opts.damping * ru / outs.len() as f64;
                 for &v in outs {
                     next[v as usize] += share;
                 }
@@ -73,12 +77,12 @@ pub fn personalized_pagerank(graph: &WebGraph, seeds: &[u32], opts: PageRankOpti
     for _ in 0..opts.max_iters {
         let mut next: Vec<f64> = teleport.iter().map(|&t| (1.0 - opts.damping) * t).collect();
         let mut dangling = 0.0f64;
-        for u in 0..n {
+        for (u, &ru) in rank.iter().enumerate() {
             let outs = graph.out_links(u as u32);
             if outs.is_empty() {
-                dangling += rank[u];
+                dangling += ru;
             } else {
-                let share = opts.damping * rank[u] / outs.len() as f64;
+                let share = opts.damping * ru / outs.len() as f64;
                 for &v in outs {
                     next[v as usize] += share;
                 }

@@ -61,7 +61,11 @@ pub fn related_pages(graph: &WebGraph, page: NodeId, k: usize) -> Vec<(NodeId, f
         .map(|c| (c, link_similarity(graph, page, c)))
         .filter(|&(_, s)| s > 0.0)
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     scored.truncate(k);
     scored
 }
@@ -121,7 +125,11 @@ mod tests {
         assert_eq!(link_similarity(&g, 0, 0), 1.0);
         let s = link_similarity(&g, 0, 1);
         assert!(s > 0.0 && s <= 1.0);
-        assert_eq!(link_similarity(&g, 0, 9), 0.0, "isolated page relates to nothing");
+        assert_eq!(
+            link_similarity(&g, 0, 9),
+            0.0,
+            "isolated page relates to nothing"
+        );
         // More shared citers => more similar.
         assert!(link_similarity(&g, 0, 1) > link_similarity(&g, 0, 3));
     }

@@ -77,14 +77,21 @@ impl TrailGraph {
             }
             map.entry(v.session).or_default().push(*v);
         }
-        order.into_iter().map(|s| map.remove(&s).expect("collected above")).collect()
+        order
+            .into_iter()
+            .map(|s| map.remove(&s).expect("collected above"))
+            .collect()
     }
 
     /// Most recent visit satisfying `pred` on the page — powers "what was
     /// the URL I visited about six months back regarding X" once the topic
     /// classifier supplies `pred`.
     pub fn last_visit_where<F: Fn(&Visit) -> bool>(&self, pred: F) -> Option<Visit> {
-        self.visits.iter().filter(|v| pred(v)).max_by_key(|v| v.time).copied()
+        self.visits
+            .iter()
+            .filter(|v| pred(v))
+            .max_by_key(|v| v.time)
+            .copied()
     }
 
     /// Replay the recent topical context (Fig. 2).
@@ -130,8 +137,10 @@ impl TrailGraph {
                 }
             }
         }
-        let mut edges: Vec<(NodeId, NodeId, u32)> =
-            edge_count.into_iter().map(|((a, b), c)| (a, b, c)).collect();
+        let mut edges: Vec<(NodeId, NodeId, u32)> = edge_count
+            .into_iter()
+            .map(|((a, b), c)| (a, b, c))
+            .collect();
         edges.sort_unstable();
         TrailContext { nodes, edges }
     }
@@ -165,7 +174,14 @@ mod tests {
     use super::*;
 
     fn v(user: u32, session: u32, page: NodeId, time: u64, referrer: Option<NodeId>) -> Visit {
-        Visit { user, session, page, time, referrer, public: true }
+        Visit {
+            user,
+            session,
+            page,
+            time,
+            referrer,
+            public: true,
+        }
     }
 
     #[test]
@@ -190,17 +206,34 @@ mod tests {
         t.record(v(1, 0, 2, 11, Some(1)));
         t.record(v(2, 0, 3, 12, Some(2)));
         t.record(v(2, 0, 50, 13, Some(3)));
-        t.record(Visit { user: 3, session: 0, page: 2, time: 14, referrer: None, public: false });
+        t.record(Visit {
+            user: 3,
+            session: 0,
+            page: 2,
+            time: 14,
+            referrer: None,
+            public: false,
+        });
         let music = |p: NodeId| p <= 3;
         let ctx = t.replay_context(music, 1, 0, 10);
         let pages: Vec<NodeId> = ctx.nodes.iter().map(|n| n.page).collect();
         assert_eq!(pages, vec![3, 2, 1], "most recent first");
-        assert_eq!(ctx.edges, vec![(1, 2, 1), (2, 3, 1)], "only on-topic traversals kept");
+        assert_eq!(
+            ctx.edges,
+            vec![(1, 2, 1), (2, 3, 1)],
+            "only on-topic traversals kept"
+        );
         // Private visit of user 3 contributed nothing for viewer 1...
-        assert_eq!(ctx.nodes.iter().find(|n| n.page == 2).unwrap().visit_count, 1);
+        assert_eq!(
+            ctx.nodes.iter().find(|n| n.page == 2).unwrap().visit_count,
+            1
+        );
         // ...but does for its owner.
         let ctx3 = t.replay_context(music, 3, 0, 10);
-        assert_eq!(ctx3.nodes.iter().find(|n| n.page == 2).unwrap().visit_count, 2);
+        assert_eq!(
+            ctx3.nodes.iter().find(|n| n.page == 2).unwrap().visit_count,
+            2
+        );
         // Time filter.
         let recent = t.replay_context(music, 1, 12, 10);
         assert_eq!(recent.nodes.len(), 1);
@@ -234,7 +267,14 @@ mod tests {
         let mut t = TrailGraph::new();
         t.record(v(1, 0, 5, 1, None));
         t.record(v(2, 0, 5, 2, None));
-        t.record(Visit { user: 3, session: 0, page: 5, time: 3, referrer: None, public: false });
+        t.record(Visit {
+            user: 3,
+            session: 0,
+            page: 5,
+            time: 3,
+            referrer: None,
+            public: false,
+        });
         let pop = t.popularity(0);
         assert_eq!(pop[&5], 2);
     }

@@ -107,7 +107,7 @@ proptest! {
                 public: *public,
             });
         }
-        let on_topic = |p: u32| p % 2 == 0;
+        let on_topic = |p: u32| p.is_multiple_of(2);
         let ctx = t.replay_context(on_topic, viewer, since, 100);
         for n in &ctx.nodes {
             prop_assert!(on_topic(n.page));

@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 use std::path::Path;
 
+use memex_obs::{Counter, Histogram, MetricsRegistry};
 use memex_store::codec::{get_uvarint, put_uvarint};
 use memex_store::error::StoreResult;
 use memex_store::kv::{KvStore, KvStoreOptions};
@@ -32,7 +33,9 @@ pub struct IndexOptions {
 
 impl Default for IndexOptions {
     fn default() -> Self {
-        IndexOptions { auto_commit_docs: 512 }
+        IndexOptions {
+            auto_commit_docs: 512,
+        }
     }
 }
 
@@ -44,6 +47,20 @@ pub struct IndexStats {
     pub segments: u32,
     pub commits: u64,
     pub merges: u64,
+}
+
+/// Obs handles (inert until [`InvertedIndex::attach_registry`] is called).
+#[derive(Default)]
+pub(crate) struct IndexMetrics {
+    docs: Counter,
+    tokens: Counter,
+    commits: Counter,
+    merges: Counter,
+    /// Posting-list entries sealed into segments (postings growth).
+    postings_flushed: Counter,
+    commit_latency: Histogram,
+    /// Recorded by the search layer (`index.query.latency`).
+    pub(crate) query_latency: Histogram,
 }
 
 /// A segmented inverted index over term ids.
@@ -61,6 +78,7 @@ pub struct InvertedIndex {
     total_tokens: u64,
     next_seg: u32,
     stats: IndexStats,
+    pub(crate) metrics: IndexMetrics,
 }
 
 impl InvertedIndex {
@@ -71,7 +89,10 @@ impl InvertedIndex {
 
     /// Durable index at `dir/index.db` (+ WAL).
     pub fn open_dir<P: AsRef<Path>>(dir: P, opts: IndexOptions) -> StoreResult<InvertedIndex> {
-        Self::build(KvStore::open_dir(dir, "index", KvStoreOptions::default())?, opts)
+        Self::build(
+            KvStore::open_dir(dir, "index", KvStoreOptions::default())?,
+            opts,
+        )
     }
 
     fn build(mut kv: KvStore, opts: IndexOptions) -> StoreResult<InvertedIndex> {
@@ -101,8 +122,29 @@ impl InvertedIndex {
             doc_len,
             total_tokens,
             next_seg,
-            stats: IndexStats { num_docs, total_tokens, segments: next_seg, ..Default::default() },
+            stats: IndexStats {
+                num_docs,
+                total_tokens,
+                segments: next_seg,
+                ..Default::default()
+            },
+            metrics: IndexMetrics::default(),
         })
+    }
+
+    /// Register this index and its backing store with `registry`
+    /// (`index.*` plus the `store.*` families of the underlying KvStore).
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.kv.attach_registry(registry);
+        self.metrics = IndexMetrics {
+            docs: registry.counter("index.docs"),
+            tokens: registry.counter("index.tokens"),
+            commits: registry.counter("index.commits"),
+            merges: registry.counter("index.merges"),
+            postings_flushed: registry.counter("index.postings_flushed"),
+            commit_latency: registry.histogram("index.commit.latency"),
+            query_latency: registry.histogram("index.query.latency"),
+        };
     }
 
     /// Index one document. Re-adding a doc id replaces its length record but
@@ -123,6 +165,8 @@ impl InvertedIndex {
         if self.doc_len.insert(doc, len).is_none() {
             self.stats.num_docs += 1;
         }
+        self.metrics.docs.inc();
+        self.metrics.tokens.add(u64::from(len));
         self.total_tokens += u64::from(len);
         self.stats.total_tokens = self.total_tokens;
         self.buffered_docs += 1;
@@ -135,7 +179,11 @@ impl InvertedIndex {
     /// Index a document from its *ordered* (analysed) token sequence,
     /// recording positions so phrase queries work. Also feeds the plain
     /// frequency postings, so ranked search sees the document too.
-    pub fn add_document_positional(&mut self, doc: u32, ordered_terms: &[TermId]) -> StoreResult<()> {
+    pub fn add_document_positional(
+        &mut self,
+        doc: u32,
+        ordered_terms: &[TermId],
+    ) -> StoreResult<()> {
         let mut per_term: HashMap<TermId, Vec<u32>> = HashMap::new();
         let mut tf: HashMap<TermId, u32> = HashMap::new();
         for (i, &t) in ordered_terms.iter().enumerate() {
@@ -176,16 +224,20 @@ impl InvertedIndex {
         if self.buffer.is_empty() && self.pos_buffer.is_empty() {
             return Ok(());
         }
+        let _span = self.metrics.commit_latency.start_span();
         let seg = self.next_seg;
         self.next_seg += 1;
         self.kv.put(b"Mseg", &self.next_seg.to_be_bytes())?;
         let mut terms: Vec<(TermId, Vec<(u32, u32)>)> = self.buffer.drain().collect();
         terms.sort_unstable_by_key(|&(t, _)| t);
         for (term, pairs) in terms {
+            self.metrics.postings_flushed.add(pairs.len() as u64);
             let list = PostingList::from_pairs(pairs);
-            self.kv.put(&Self::postings_key(term, seg), &list.encode()?)?;
+            self.kv
+                .put(&Self::postings_key(term, seg), &list.encode()?)?;
         }
-        let mut pos_terms: Vec<(TermId, Vec<(u32, Vec<u32>)>)> = self.pos_buffer.drain().collect();
+        type PosTerm = (TermId, Vec<(u32, Vec<u32>)>);
+        let mut pos_terms: Vec<PosTerm> = self.pos_buffer.drain().collect();
         pos_terms.sort_unstable_by_key(|&(t, _)| t);
         for (term, mut entries) in pos_terms {
             entries.sort_by_key(|&(d, _)| d);
@@ -193,6 +245,7 @@ impl InvertedIndex {
             self.write_positional_chunks(term, seg, &entries)?;
         }
         self.buffered_docs = 0;
+        self.metrics.commits.inc();
         self.stats.commits += 1;
         self.stats.segments = self.next_seg;
         Ok(())
@@ -272,6 +325,7 @@ impl InvertedIndex {
         }
         self.next_seg = 1;
         self.kv.put(b"Mseg", &1u32.to_be_bytes())?;
+        self.metrics.merges.inc();
         self.stats.merges += 1;
         self.stats.segments = 1;
         Ok(())
@@ -356,7 +410,8 @@ impl InvertedIndex {
         for (d, p) in entries {
             let entry_cost = 8 + p.len() * 3;
             if approx > 0 && approx + entry_cost > CHUNK_BUDGET {
-                self.kv.put(&Self::pos_key(term, seg, chunk_idx), &list.encode()?)?;
+                self.kv
+                    .put(&Self::pos_key(term, seg, chunk_idx), &list.encode()?)?;
                 chunk_idx += 1;
                 list = PositionalList::new();
                 approx = 0;
@@ -365,7 +420,8 @@ impl InvertedIndex {
             approx += entry_cost;
         }
         if !list.is_empty() {
-            self.kv.put(&Self::pos_key(term, seg, chunk_idx), &list.encode()?)?;
+            self.kv
+                .put(&Self::pos_key(term, seg, chunk_idx), &list.encode()?)?;
         }
         Ok(())
     }
@@ -383,14 +439,21 @@ mod tests {
     use super::*;
 
     fn idx() -> InvertedIndex {
-        InvertedIndex::open_memory(IndexOptions { auto_commit_docs: 4 }).unwrap()
+        InvertedIndex::open_memory(IndexOptions {
+            auto_commit_docs: 4,
+        })
+        .unwrap()
     }
 
     #[test]
     fn postings_visible_before_and_after_commit() {
         let mut ix = idx();
         ix.add_document(10, &[(1, 3), (2, 1)]).unwrap();
-        assert_eq!(ix.postings(1).unwrap().entries(), &[(10, 3)], "buffered postings visible");
+        assert_eq!(
+            ix.postings(1).unwrap().entries(),
+            &[(10, 3)],
+            "buffered postings visible"
+        );
         ix.commit().unwrap();
         assert_eq!(ix.postings(1).unwrap().entries(), &[(10, 3)]);
         ix.add_document(11, &[(1, 2)]).unwrap();
@@ -460,11 +523,16 @@ mod tests {
         // Regression: a term occurring many times in many documents of one
         // segment must not blow the KV value cap — its positional list is
         // chunked across keys and reassembled on read.
-        let mut ix = InvertedIndex::open_memory(IndexOptions { auto_commit_docs: 4096 }).unwrap();
+        let mut ix = InvertedIndex::open_memory(IndexOptions {
+            auto_commit_docs: 4096,
+        })
+        .unwrap();
         let common = 7u32;
         for d in 0..400u32 {
             // 20 occurrences per document.
-            let seq: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { common } else { 1000 + d }).collect();
+            let seq: Vec<u32> = (0..20)
+                .map(|i| if i % 2 == 0 { common } else { 1000 + d })
+                .collect();
             ix.add_document_positional(d, &seq).unwrap();
         }
         ix.commit().unwrap();

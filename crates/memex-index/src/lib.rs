@@ -11,8 +11,8 @@
 //! * [`search`] — BM25 ranked retrieval and boolean set queries.
 
 pub mod index;
-pub mod query;
 pub mod postings;
+pub mod query;
 pub mod search;
 
 pub use index::{IndexOptions, InvertedIndex};

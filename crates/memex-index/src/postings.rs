@@ -93,8 +93,8 @@ impl PostingList {
         let mut entries = Vec::with_capacity(docs.len());
         for d in docs {
             let tf = get_uvarint(bytes, &mut pos)? as u32;
-            let doc = u32::try_from(d)
-                .map_err(|_| StoreError::Corrupt("doc id exceeds u32".into()))?;
+            let doc =
+                u32::try_from(d).map_err(|_| StoreError::Corrupt("doc id exceeds u32".into()))?;
             entries.push((doc, tf));
         }
         Ok(PostingList { entries })
@@ -143,7 +143,9 @@ impl PositionalList {
             return Err(StoreError::Invalid("empty position list".into()));
         }
         if positions.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(StoreError::Invalid("positions not strictly increasing".into()));
+            return Err(StoreError::Invalid(
+                "positions not strictly increasing".into(),
+            ));
         }
         if let Some(&(last, _)) = self.entries.last() {
             if doc <= last {
@@ -166,7 +168,9 @@ impl PositionalList {
                 *e = p.clone();
             }
         }
-        PositionalList { entries: map.into_iter().collect() }
+        PositionalList {
+            entries: map.into_iter().collect(),
+        }
     }
 
     /// Compressed encoding: delta docs, then per doc a delta position list.
@@ -187,12 +191,14 @@ impl PositionalList {
         let docs = decode_deltas(bytes, &mut pos)?;
         let mut entries = Vec::with_capacity(docs.len());
         for d in docs {
-            let doc = u32::try_from(d)
-                .map_err(|_| StoreError::Corrupt("doc id exceeds u32".into()))?;
+            let doc =
+                u32::try_from(d).map_err(|_| StoreError::Corrupt("doc id exceeds u32".into()))?;
             let ps = decode_deltas(bytes, &mut pos)?;
             let positions: Vec<u32> = ps
                 .into_iter()
-                .map(|p| u32::try_from(p).map_err(|_| StoreError::Corrupt("position exceeds u32".into())))
+                .map(|p| {
+                    u32::try_from(p).map_err(|_| StoreError::Corrupt("position exceeds u32".into()))
+                })
                 .collect::<StoreResult<_>>()?;
             entries.push((doc, positions));
         }
@@ -295,9 +301,17 @@ mod tests {
         let bytes = p.encode().unwrap();
         assert_eq!(PostingList::decode(&bytes).unwrap(), p);
         // Compression sanity: far below 8 bytes/posting for small gaps.
-        assert!(bytes.len() < p.len() * 4, "{} bytes for {} postings", bytes.len(), p.len());
+        assert!(
+            bytes.len() < p.len() * 4,
+            "{} bytes for {} postings",
+            bytes.len(),
+            p.len()
+        );
         let empty = PostingList::new();
-        assert_eq!(PostingList::decode(&empty.encode().unwrap()).unwrap(), empty);
+        assert_eq!(
+            PostingList::decode(&empty.encode().unwrap()).unwrap(),
+            empty
+        );
     }
 
     #[test]

@@ -47,8 +47,7 @@ impl Query {
                     Some(end) => (&after[..end], &after[end + 1..]),
                     None => (after, ""),
                 };
-                let words: Vec<String> =
-                    phrase.split_whitespace().map(str::to_string).collect();
+                let words: Vec<String> = phrase.split_whitespace().map(str::to_string).collect();
                 if !words.is_empty() {
                     q.phrases.push(words);
                 }
@@ -185,7 +184,10 @@ mod tests {
         assert_eq!(q.ranked, vec!["classical", "bach", "music"]);
         assert_eq!(q.must, vec!["bach"]);
         assert_eq!(q.must_not, vec!["jazz"]);
-        assert_eq!(q.phrases, vec![vec!["organ".to_string(), "fugue".to_string()]]);
+        assert_eq!(
+            q.phrases,
+            vec![vec!["organ".to_string(), "fugue".to_string()]]
+        );
     }
 
     #[test]
@@ -193,7 +195,10 @@ mod tests {
         assert!(Query::parse("").is_empty());
         assert!(Query::parse("   ").is_empty());
         let q = Query::parse(r#""unterminated phrase"#);
-        assert_eq!(q.phrases, vec![vec!["unterminated".to_string(), "phrase".to_string()]]);
+        assert_eq!(
+            q.phrases,
+            vec![vec!["unterminated".to_string(), "phrase".to_string()]]
+        );
         let q = Query::parse("+ - \"\"");
         assert!(q.is_empty(), "bare operators are ignored: {q:?}");
         let q = Query::parse("-only -negative");
@@ -262,9 +267,13 @@ mod tests {
     fn unknown_must_term_matches_nothing() {
         let (mut index, vocab, analyzer) = setup();
         let q = Query::parse("+zeppelin bach");
-        assert!(execute(&mut index, &vocab, &analyzer, &q, 10).unwrap().is_empty());
+        assert!(execute(&mut index, &vocab, &analyzer, &q, 10)
+            .unwrap()
+            .is_empty());
         // But an unknown *ranked* term degrades gracefully.
         let q = Query::parse("zeppelin bach");
-        assert!(!execute(&mut index, &vocab, &analyzer, &q, 10).unwrap().is_empty());
+        assert!(!execute(&mut index, &vocab, &analyzer, &q, 10)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -35,6 +35,7 @@ pub fn bm25_search(
     k: usize,
     params: Bm25Params,
 ) -> StoreResult<Vec<SearchHit>> {
+    let _span = index.metrics.query_latency.start_span();
     let n = index.num_docs() as f32;
     if n == 0.0 || query_terms.is_empty() || k == 0 {
         return Ok(Vec::new());
@@ -57,8 +58,10 @@ pub fn bm25_search(
             *scores.entry(doc).or_insert(0.0) += contribution * qtf as f32;
         }
     }
-    let mut hits: Vec<SearchHit> =
-        scores.into_iter().map(|(doc, score)| SearchHit { doc, score }).collect();
+    let mut hits: Vec<SearchHit> = scores
+        .into_iter()
+        .map(|(doc, score)| SearchHit { doc, score })
+        .collect();
     hits.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
@@ -77,7 +80,10 @@ pub fn bm25_search(
 /// nothing. Only documents indexed via
 /// [`InvertedIndex::add_document_positional`] can match.
 pub fn phrase_search(index: &mut InvertedIndex, phrase: &[TermId]) -> StoreResult<Vec<u32>> {
-    let Some((&first, rest)) = phrase.split_first() else { return Ok(Vec::new()) };
+    let _span = index.metrics.query_latency.start_span();
+    let Some((&first, rest)) = phrase.split_first() else {
+        return Ok(Vec::new());
+    };
     let first_list = index.positions(first)?;
     if rest.is_empty() {
         return Ok(first_list.entries().iter().map(|&(d, _)| d).collect());
@@ -207,9 +213,15 @@ mod tests {
         let mut ix = corpus();
         let hits = bm25_search(&mut ix, &[(1, 1)], 2, Bm25Params::default()).unwrap();
         assert_eq!(hits.len(), 2);
-        assert!(bm25_search(&mut ix, &[(1, 1)], 0, Bm25Params::default()).unwrap().is_empty());
-        assert!(bm25_search(&mut ix, &[], 5, Bm25Params::default()).unwrap().is_empty());
-        assert!(bm25_search(&mut ix, &[(99, 1)], 5, Bm25Params::default()).unwrap().is_empty());
+        assert!(bm25_search(&mut ix, &[(1, 1)], 0, Bm25Params::default())
+            .unwrap()
+            .is_empty());
+        assert!(bm25_search(&mut ix, &[], 5, Bm25Params::default())
+            .unwrap()
+            .is_empty());
+        assert!(bm25_search(&mut ix, &[(99, 1)], 5, Bm25Params::default())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -224,9 +236,14 @@ mod tests {
             BoolExpr::Term(1),
             BoolExpr::Not(Box::new(BoolExpr::Term(3))),
         ]);
-        assert_eq!(boolean_search(&mut ix, &and_not, &universe).unwrap(), vec![1, 4]);
+        assert_eq!(
+            boolean_search(&mut ix, &and_not, &universe).unwrap(),
+            vec![1, 4]
+        );
         let nothing = BoolExpr::And(vec![BoolExpr::Term(2), BoolExpr::Term(4)]);
-        assert!(boolean_search(&mut ix, &nothing, &universe).unwrap().is_empty());
+        assert!(boolean_search(&mut ix, &nothing, &universe)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -237,8 +254,16 @@ mod tests {
         ix.add_document_positional(1, &[1, 2, 3]).unwrap();
         ix.add_document_positional(2, &[1, 3, 2]).unwrap();
         ix.add_document_positional(3, &[2, 1]).unwrap();
-        assert_eq!(phrase_search(&mut ix, &[1, 2]).unwrap(), vec![1], "music bach");
-        assert_eq!(phrase_search(&mut ix, &[2, 1]).unwrap(), vec![3], "bach music");
+        assert_eq!(
+            phrase_search(&mut ix, &[1, 2]).unwrap(),
+            vec![1],
+            "music bach"
+        );
+        assert_eq!(
+            phrase_search(&mut ix, &[2, 1]).unwrap(),
+            vec![3],
+            "bach music"
+        );
         assert_eq!(phrase_search(&mut ix, &[1, 2, 3]).unwrap(), vec![1]);
         assert_eq!(phrase_search(&mut ix, &[1]).unwrap(), vec![1, 2, 3]);
         assert!(phrase_search(&mut ix, &[]).unwrap().is_empty());
@@ -266,7 +291,11 @@ mod tests {
     #[test]
     fn empty_index_is_graceful() {
         let mut ix = InvertedIndex::open_memory(IndexOptions::default()).unwrap();
-        assert!(bm25_search(&mut ix, &[(1, 1)], 5, Bm25Params::default()).unwrap().is_empty());
-        assert!(boolean_search(&mut ix, &BoolExpr::Term(1), &[]).unwrap().is_empty());
+        assert!(bm25_search(&mut ix, &[(1, 1)], 5, Bm25Params::default())
+            .unwrap()
+            .is_empty());
+        assert!(boolean_search(&mut ix, &BoolExpr::Term(1), &[])
+            .unwrap()
+            .is_empty());
     }
 }

@@ -33,7 +33,11 @@ pub struct EmOptions {
 
 impl Default for EmOptions {
     fn default() -> Self {
-        EmOptions { iterations: 5, unlabelled_weight: 0.5, nb: NbOptions::default() }
+        EmOptions {
+            iterations: 5,
+            unlabelled_weight: 0.5,
+            nb: NbOptions::default(),
+        }
     }
 }
 
@@ -146,7 +150,11 @@ pub fn em_naive_bayes(
         // E-step.
         for d in 0..n {
             if labels[d].is_none() {
-                posteriors[d] = model.log_posteriors(&docs[d]).iter().map(|&l| l.exp()).collect();
+                posteriors[d] = model
+                    .log_posteriors(&docs[d])
+                    .iter()
+                    .map(|&l| l.exp())
+                    .collect();
             }
         }
     }
@@ -156,7 +164,11 @@ pub fn em_naive_bayes(
             None => argmax(&posteriors[d]),
         })
         .collect();
-    EmResult { posteriors, predictions, supervised_only }
+    EmResult {
+        posteriors,
+        predictions,
+        supervised_only,
+    }
 }
 
 fn one_hot(k: usize, c: usize) -> Vec<f64> {
@@ -171,6 +183,7 @@ mod tests {
 
     /// Two classes with overlapping vocabulary; only 2 labelled docs each,
     /// but plenty of unlabelled structure for EM to exploit.
+    #[allow(clippy::type_complexity)]
     fn problem() -> (Vec<Vec<(TermId, u32)>>, Vec<Option<usize>>, Vec<usize>) {
         let mut docs = Vec::new();
         let mut labels = Vec::new();
@@ -214,7 +227,10 @@ mod tests {
         };
         let em_acc = acc(&result.predictions);
         let sup_acc = acc(&result.supervised_only);
-        assert!(em_acc >= sup_acc, "EM {em_acc} must not be worse than supervised {sup_acc}");
+        assert!(
+            em_acc >= sup_acc,
+            "EM {em_acc} must not be worse than supervised {sup_acc}"
+        );
         assert!(em_acc > 0.9, "EM should nearly solve this: {em_acc}");
     }
 
@@ -243,7 +259,10 @@ mod tests {
     #[test]
     fn zero_iterations_equals_supervised() {
         let (docs, labels, _) = problem();
-        let opts = EmOptions { iterations: 0, ..Default::default() };
+        let opts = EmOptions {
+            iterations: 0,
+            ..Default::default()
+        };
         let result = em_naive_bayes(2, &docs, &labels, opts);
         assert_eq!(result.predictions, result.supervised_only);
     }

@@ -101,8 +101,7 @@ impl EnhancedClassifier {
                 nb.add_document(*c, &p.docs[d]);
             }
         }
-        let text_log_post: Vec<Vec<f64>> =
-            (0..n).map(|d| nb.log_posteriors(&p.docs[d])).collect();
+        let text_log_post: Vec<Vec<f64>> = (0..n).map(|d| nb.log_posteriors(&p.docs[d])).collect();
         let text_only: Vec<usize> = text_log_post.iter().map(|lp| argmax(lp)).collect();
 
         // --- Folder groups per document.
@@ -186,7 +185,11 @@ impl EnhancedClassifier {
                 None => argmax(&beliefs[d]),
             })
             .collect();
-        EnhancedResult { beliefs, predictions, text_only }
+        EnhancedResult {
+            beliefs,
+            predictions,
+            text_only,
+        }
     }
 }
 
@@ -203,7 +206,14 @@ mod tests {
     /// Build the canonical hard case: two topics whose *pages are nearly
     /// textless* but whose links stay within topic. Labelled interior,
     /// unlabelled front pages.
-    fn front_page_problem() -> (Vec<Vec<(TermId, u32)>>, WebGraph, Vec<Vec<usize>>, Vec<Option<usize>>, Vec<usize>) {
+    #[allow(clippy::type_complexity)]
+    fn front_page_problem() -> (
+        Vec<Vec<(TermId, u32)>>,
+        WebGraph,
+        Vec<Vec<usize>>,
+        Vec<Option<usize>>,
+        Vec<usize>,
+    ) {
         // Docs 0..10 topic 0, 10..20 topic 1.
         let mut docs = Vec::new();
         let mut labels = Vec::new();
@@ -256,11 +266,21 @@ mod tests {
         };
         let result = EnhancedClassifier::new(EnhancedOptions::default()).classify(&p);
         let unlabelled: Vec<usize> = (0..docs.len()).filter(|&d| labels[d].is_none()).collect();
-        let enh_correct = unlabelled.iter().filter(|&&d| result.predictions[d] == truth[d]).count();
+        let enh_correct = unlabelled
+            .iter()
+            .filter(|&&d| result.predictions[d] == truth[d])
+            .count();
         // Text alone cannot beat chance on identical front pages; the
         // enhanced model should get them all.
-        assert_eq!(enh_correct, unlabelled.len(), "enhanced should classify every front page");
-        let text_correct = unlabelled.iter().filter(|&&d| result.text_only[d] == truth[d]).count();
+        assert_eq!(
+            enh_correct,
+            unlabelled.len(),
+            "enhanced should classify every front page"
+        );
+        let text_correct = unlabelled
+            .iter()
+            .filter(|&&d| result.text_only[d] == truth[d])
+            .count();
         assert!(
             enh_correct > text_correct,
             "enhanced ({enh_correct}) must beat text-only ({text_correct})"
@@ -270,7 +290,13 @@ mod tests {
     #[test]
     fn beliefs_stay_normalised() {
         let (docs, g, folders, labels, _) = front_page_problem();
-        let p = EnhancedProblem { num_classes: 2, docs: &docs, graph: &g, folders: &folders, labels: &labels };
+        let p = EnhancedProblem {
+            num_classes: 2,
+            docs: &docs,
+            graph: &g,
+            folders: &folders,
+            labels: &labels,
+        };
         let result = EnhancedClassifier::new(EnhancedOptions::default()).classify(&p);
         for b in &result.beliefs {
             let total: f64 = b.iter().sum();
@@ -282,7 +308,13 @@ mod tests {
     #[test]
     fn labelled_documents_are_clamped() {
         let (docs, g, folders, labels, _) = front_page_problem();
-        let p = EnhancedProblem { num_classes: 2, docs: &docs, graph: &g, folders: &folders, labels: &labels };
+        let p = EnhancedProblem {
+            num_classes: 2,
+            docs: &docs,
+            graph: &g,
+            folders: &folders,
+            labels: &labels,
+        };
         let result = EnhancedClassifier::new(EnhancedOptions::default()).classify(&p);
         for (d, l) in labels.iter().enumerate() {
             if let Some(c) = l {
@@ -295,11 +327,21 @@ mod tests {
     #[test]
     fn zero_link_and_folder_weights_reduce_to_text_only() {
         let (docs, g, folders, labels, _) = front_page_problem();
-        let p = EnhancedProblem { num_classes: 2, docs: &docs, graph: &g, folders: &folders, labels: &labels };
-        let opts = EnhancedOptions { link_weight: 0.0, folder_weight: 0.0, ..Default::default() };
+        let p = EnhancedProblem {
+            num_classes: 2,
+            docs: &docs,
+            graph: &g,
+            folders: &folders,
+            labels: &labels,
+        };
+        let opts = EnhancedOptions {
+            link_weight: 0.0,
+            folder_weight: 0.0,
+            ..Default::default()
+        };
         let result = EnhancedClassifier::new(opts).classify(&p);
-        for d in 0..docs.len() {
-            if labels[d].is_none() {
+        for (d, label) in labels.iter().enumerate().take(docs.len()) {
+            if label.is_none() {
                 assert_eq!(result.predictions[d], result.text_only[d]);
             }
         }
@@ -312,7 +354,13 @@ mod tests {
         let labels = vec![Some(0), Some(1), None];
         let g = WebGraph::with_nodes(3);
         let folders: Vec<Vec<usize>> = Vec::new();
-        let p = EnhancedProblem { num_classes: 2, docs: &docs, graph: &g, folders: &folders, labels: &labels };
+        let p = EnhancedProblem {
+            num_classes: 2,
+            docs: &docs,
+            graph: &g,
+            folders: &folders,
+            labels: &labels,
+        };
         let result = EnhancedClassifier::new(EnhancedOptions::default()).classify(&p);
         assert_eq!(result.predictions[2], 0);
     }

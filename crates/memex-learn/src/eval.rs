@@ -15,7 +15,10 @@ pub struct Confusion {
 
 impl Confusion {
     pub fn new(num_classes: usize) -> Confusion {
-        Confusion { k: num_classes, counts: vec![0; num_classes * num_classes] }
+        Confusion {
+            k: num_classes,
+            counts: vec![0; num_classes * num_classes],
+        }
     }
 
     /// Build from parallel truth/prediction slices.
@@ -56,10 +59,20 @@ impl Confusion {
         (0..self.k)
             .map(|c| {
                 let tp = self.get(c, c) as f64;
-                let fp: f64 = (0..self.k).filter(|&t| t != c).map(|t| self.get(t, c) as f64).sum();
-                let fung: f64 = (0..self.k).filter(|&p| p != c).map(|p| self.get(c, p) as f64).sum();
+                let fp: f64 = (0..self.k)
+                    .filter(|&t| t != c)
+                    .map(|t| self.get(t, c) as f64)
+                    .sum();
+                let fung: f64 = (0..self.k)
+                    .filter(|&p| p != c)
+                    .map(|p| self.get(c, p) as f64)
+                    .sum();
                 let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
-                let recall = if tp + fung > 0.0 { tp / (tp + fung) } else { 0.0 };
+                let recall = if tp + fung > 0.0 {
+                    tp / (tp + fung)
+                } else {
+                    0.0
+                };
                 let f1 = if precision + recall > 0.0 {
                     2.0 * precision * recall / (precision + recall)
                 } else {
@@ -111,8 +124,12 @@ pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
     (0..k)
         .map(|f| {
             let test = folds[f].clone();
-            let train: Vec<usize> =
-                folds.iter().enumerate().filter(|&(i, _)| i != f).flat_map(|(_, v)| v.iter().copied()).collect();
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != f)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
             (train, test)
         })
         .collect()
@@ -165,7 +182,7 @@ mod tests {
     fn k_fold_covers_everything_once() {
         let folds = k_fold(23, 5, 9);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![0u32; 23];
+        let mut seen = [0u32; 23];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 23);
             for &t in test {

@@ -164,7 +164,7 @@ impl NaiveBayes {
 pub(crate) fn log_normalize(scores: &mut [f64]) {
     let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if !max.is_finite() {
-        let uniform = -( scores.len().max(1) as f64).ln();
+        let uniform = -(scores.len().max(1) as f64).ln();
         scores.iter_mut().for_each(|s| *s = uniform);
         return;
     }
@@ -200,7 +200,12 @@ pub struct HierarchicalNB {
 
 impl HierarchicalNB {
     pub fn new(taxonomy: Taxonomy, opts: NbOptions, feature_k: Option<usize>) -> HierarchicalNB {
-        HierarchicalNB { taxonomy, routers: HashMap::new(), opts, feature_k }
+        HierarchicalNB {
+            taxonomy,
+            routers: HashMap::new(),
+            opts,
+            feature_k,
+        }
     }
 
     pub fn taxonomy(&self) -> &Taxonomy {
@@ -209,14 +214,19 @@ impl HierarchicalNB {
 
     /// Train from `(leaf topic, tf pairs)` documents. A document labelled
     /// with a leaf contributes to every router on the root→leaf path.
-    pub fn train<'a>(&mut self, docs: impl IntoIterator<Item = (TopicId, &'a [(TermId, u32)])> + Clone) {
+    pub fn train<'a>(
+        &mut self,
+        docs: impl IntoIterator<Item = (TopicId, &'a [(TermId, u32)])> + Clone,
+    ) {
         self.routers.clear();
         // Build router skeletons.
         for node in self.taxonomy.all_topics() {
             let children = self.taxonomy.children(node);
             if children.len() >= 2 {
-                self.routers
-                    .insert(node, (children.clone(), NaiveBayes::new(children.len(), self.opts)));
+                self.routers.insert(
+                    node,
+                    (children.clone(), NaiveBayes::new(children.len(), self.opts)),
+                );
             }
         }
         for (leaf, tf) in docs {
@@ -331,7 +341,10 @@ mod tests {
         // Term 50 is non-discriminative; a doc of only term 50 should give
         // roughly the prior (equal classes here -> near 0.5).
         let post = nb.posteriors(&[(50, 5)]);
-        assert!((post[0] - 0.5).abs() < 0.05, "noise term should not swing the posterior");
+        assert!(
+            (post[0] - 0.5).abs() < 0.05,
+            "noise term should not swing the posterior"
+        );
         // Discriminative terms still work.
         assert_eq!(nb.predict(&[(1, 1)]), 0);
     }

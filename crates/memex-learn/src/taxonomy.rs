@@ -187,8 +187,12 @@ impl Taxonomy {
             !self.is_ancestor_or_self(id, new_parent),
             "reparenting would create a cycle"
         );
-        let old_parent = self.nodes[id as usize].parent.expect("non-root has a parent");
-        self.nodes[old_parent as usize].children.retain(|&c| c != id);
+        let old_parent = self.nodes[id as usize]
+            .parent
+            .expect("non-root has a parent");
+        self.nodes[old_parent as usize]
+            .children
+            .retain(|&c| c != id);
         self.nodes[new_parent as usize].children.push(id);
         self.nodes[id as usize].parent = Some(new_parent);
     }

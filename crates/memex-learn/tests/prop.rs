@@ -10,19 +10,38 @@ use memex_learn::taxonomy::{Taxonomy, TopicId};
 
 #[derive(Debug, Clone)]
 enum TaxOp {
-    AddChild { parent_pick: usize, name: u8 },
-    Reparent { node_pick: usize, parent_pick: usize },
-    Remove { node_pick: usize },
-    Rename { node_pick: usize, name: u8 },
+    AddChild {
+        parent_pick: usize,
+        name: u8,
+    },
+    Reparent {
+        node_pick: usize,
+        parent_pick: usize,
+    },
+    Remove {
+        node_pick: usize,
+    },
+    Rename {
+        node_pick: usize,
+        name: u8,
+    },
 }
 
 fn tax_op() -> impl Strategy<Value = TaxOp> {
     prop_oneof![
-        (any::<usize>(), any::<u8>()).prop_map(|(p, n)| TaxOp::AddChild { parent_pick: p, name: n }),
-        (any::<usize>(), any::<usize>())
-            .prop_map(|(a, b)| TaxOp::Reparent { node_pick: a, parent_pick: b }),
+        (any::<usize>(), any::<u8>()).prop_map(|(p, n)| TaxOp::AddChild {
+            parent_pick: p,
+            name: n
+        }),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| TaxOp::Reparent {
+            node_pick: a,
+            parent_pick: b
+        }),
         any::<usize>().prop_map(|n| TaxOp::Remove { node_pick: n }),
-        (any::<usize>(), any::<u8>()).prop_map(|(p, n)| TaxOp::Rename { node_pick: p, name: n }),
+        (any::<usize>(), any::<u8>()).prop_map(|(p, n)| TaxOp::Rename {
+            node_pick: p,
+            name: n
+        }),
     ]
 }
 

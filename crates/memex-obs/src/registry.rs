@@ -1,0 +1,386 @@
+//! The metrics registry and its cheap instrument handles.
+//!
+//! Registration (name → slot) takes a lock once; after that every handle is
+//! an `Arc` to an atomic slot, so the hot path is a single relaxed atomic
+//! op. A registry built with [`MetricsRegistry::disabled`] hands out inert
+//! handles whose operations compile to a predictable branch — cheap enough
+//! to leave instrumentation in benchmark builds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::histogram::HistogramCore;
+use crate::snapshot::{Event, Snapshot};
+
+const EVENT_RING_CAPACITY: usize = 64;
+
+#[derive(Debug, Default)]
+struct CounterCore {
+    value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GaugeCore {
+    value: AtomicI64,
+}
+
+enum Slot {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<GaugeCore>),
+    Histogram(Arc<HistogramCore>),
+}
+
+struct Inner {
+    enabled: bool,
+    slots: RwLock<BTreeMap<String, Slot>>,
+    /// subsystem → bounded ring of recent annotated events.
+    events: Mutex<BTreeMap<String, Vec<Event>>>,
+    event_seq: AtomicU64,
+}
+
+/// A shareable registry of named instruments. Cloning shares storage.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.inner.enabled)
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        Self::with_enabled(true)
+    }
+
+    /// A registry whose handles are all no-ops (for benchmarks that need
+    /// the instrumentation overhead gone).
+    pub fn disabled() -> MetricsRegistry {
+        Self::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Arc::new(Inner {
+                enabled,
+                slots: RwLock::new(BTreeMap::new()),
+                events: Mutex::new(BTreeMap::new()),
+                event_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Get or register the counter `name` (convention: `subsystem.verb`).
+    /// Registering the same name twice returns a handle to the same slot;
+    /// a name already registered as a different kind panics.
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.inner.enabled {
+            return Counter { core: None };
+        }
+        if let Slot::Counter(c) = self.slot(name, || Slot::Counter(Arc::default())) {
+            Counter { core: Some(c) }
+        } else {
+            panic!("metric {name:?} already registered as a non-counter")
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.inner.enabled {
+            return Gauge { core: None };
+        }
+        if let Slot::Gauge(g) = self.slot(name, || Slot::Gauge(Arc::default())) {
+            Gauge { core: Some(g) }
+        } else {
+            panic!("metric {name:?} already registered as a non-gauge")
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if !self.inner.enabled {
+            return Histogram { core: None };
+        }
+        if let Slot::Histogram(h) = self.slot(name, || Slot::Histogram(Arc::default())) {
+            Histogram { core: Some(h) }
+        } else {
+            panic!("metric {name:?} already registered as a non-histogram")
+        }
+    }
+
+    fn slot(&self, name: &str, make: impl FnOnce() -> Slot) -> Slot {
+        {
+            let slots = self.inner.slots.read().expect("slots lock");
+            if let Some(s) = slots.get(name) {
+                return s.shallow_clone();
+            }
+        }
+        let mut slots = self.inner.slots.write().expect("slots lock");
+        slots
+            .entry(name.to_string())
+            .or_insert_with(make)
+            .shallow_clone()
+    }
+
+    /// Time a scope into histogram `name` (nanoseconds):
+    /// `let _g = registry.span("index.invert");`
+    pub fn span(&self, name: &str) -> SpanGuard {
+        if !self.inner.enabled {
+            return SpanGuard {
+                hist: Histogram { core: None },
+                start: None,
+            };
+        }
+        SpanGuard {
+            hist: self.histogram(name),
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Append an annotated event to `subsystem`'s bounded ring.
+    pub fn event(&self, subsystem: &str, message: impl Into<String>) {
+        if !self.inner.enabled {
+            return;
+        }
+        let seq = self.inner.event_seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.inner.events.lock().expect("events lock");
+        let ring = events.entry(subsystem.to_string()).or_default();
+        if ring.len() >= EVENT_RING_CAPACITY {
+            ring.remove(0);
+        }
+        ring.push(Event {
+            seq,
+            message: message.into(),
+        });
+    }
+
+    /// Point-in-time copy of every instrument and event ring.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        {
+            let slots = self.inner.slots.read().expect("slots lock");
+            for (name, slot) in slots.iter() {
+                match slot {
+                    Slot::Counter(c) => {
+                        snap.counters
+                            .push((name.clone(), c.value.load(Ordering::Relaxed)));
+                    }
+                    Slot::Gauge(g) => {
+                        snap.gauges
+                            .push((name.clone(), g.value.load(Ordering::Relaxed)));
+                    }
+                    Slot::Histogram(h) => {
+                        snap.histograms.push((name.clone(), h.snapshot()));
+                    }
+                }
+            }
+        }
+        {
+            let events = self.inner.events.lock().expect("events lock");
+            for (subsystem, ring) in events.iter() {
+                snap.events.push((subsystem.clone(), ring.clone()));
+            }
+        }
+        snap
+    }
+}
+
+impl Slot {
+    fn shallow_clone(&self) -> Slot {
+        match self {
+            Slot::Counter(c) => Slot::Counter(Arc::clone(c)),
+            Slot::Gauge(g) => Slot::Gauge(Arc::clone(g)),
+            Slot::Histogram(h) => Slot::Histogram(Arc::clone(h)),
+        }
+    }
+}
+
+/// Monotone counter handle. `None` core = inert (disabled registry).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    core: Option<Arc<CounterCore>>,
+}
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.core {
+            c.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// Up/down gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    core: Option<Arc<GaugeCore>>,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.core {
+            g.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.core {
+            g.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if it is below (high-watermark tracking).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        if let Some(g) = &self.core {
+            g.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.core
+            .as_ref()
+            .map_or(0, |g| g.value.load(Ordering::Relaxed))
+    }
+}
+
+/// Histogram handle (record arbitrary u64 values; spans record nanoseconds).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.core {
+            h.record(value);
+        }
+    }
+
+    pub fn snapshot(&self) -> crate::histogram::HistogramSnapshot {
+        self.core.as_ref().map(|h| h.snapshot()).unwrap_or_default()
+    }
+
+    /// Time a scope into this histogram (nanoseconds, recorded on drop).
+    /// Inert handles return a guard that records nothing.
+    pub fn start_span(&self) -> SpanGuard {
+        SpanGuard {
+            start: self.core.is_some().then(Instant::now),
+            hist: self.clone(),
+        }
+    }
+}
+
+/// Scope timer: records elapsed nanoseconds into its histogram on drop.
+#[must_use = "a span records on drop; binding it to _ drops immediately"]
+pub struct SpanGuard {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("t.hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same slot.
+        assert_eq!(reg.counter("t.hits").get(), 5);
+        let g = reg.gauge("t.depth");
+        g.set(7);
+        g.add(-2);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = MetricsRegistry::disabled();
+        let c = reg.counter("t.hits");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        reg.event("t", "ignored");
+        let _g = reg.span("t.latency");
+        drop(_g);
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.events.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_record_latency() {
+        let reg = MetricsRegistry::new();
+        {
+            let _g = reg.span("t.work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = reg.histogram("t.work").snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum >= 2_000_000, "recorded {} ns", snap.sum);
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let reg = MetricsRegistry::new();
+        for i in 0..200 {
+            reg.event("demo", format!("e{i}"));
+        }
+        let snap = reg.snapshot();
+        let (_, ring) = &snap.events[0];
+        assert_eq!(ring.len(), EVENT_RING_CAPACITY);
+        assert_eq!(ring.last().unwrap().message, "e199");
+        assert!(ring[0].seq < ring[1].seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _c = reg.counter("t.x");
+        let _g = reg.gauge("t.x");
+    }
+}

@@ -35,9 +35,19 @@ pub enum ClientEvent {
     Visit(VisitEvent),
     /// Deliberate bookmark into a named folder (Fig. 1 — explicit topic
     /// exemplification).
-    Bookmark { user: u32, page: u32, url: String, folder: String, time: u64 },
+    Bookmark {
+        user: u32,
+        page: u32,
+        url: String,
+        folder: String,
+        time: u64,
+    },
     /// Privacy-mode switch.
-    SetMode { user: u32, mode: ArchiveMode, time: u64 },
+    SetMode {
+        user: u32,
+        mode: ArchiveMode,
+        time: u64,
+    },
 }
 
 impl ClientEvent {
@@ -85,7 +95,11 @@ mod tests {
         };
         assert_eq!(b.user(), 4);
         assert_eq!(b.time(), 88);
-        let m = ClientEvent::SetMode { user: 5, mode: ArchiveMode::Off, time: 99 };
+        let m = ClientEvent::SetMode {
+            user: 5,
+            mode: ArchiveMode::Off,
+            time: 99,
+        };
         assert_eq!(m.user(), 5);
         assert_eq!(m.time(), 99);
     }

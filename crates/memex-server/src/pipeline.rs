@@ -19,6 +19,7 @@ use std::collections::{HashMap, HashSet};
 use memex_graph::graph::WebGraph;
 use memex_graph::trail::{TrailGraph, Visit};
 use memex_index::index::{IndexOptions, InvertedIndex};
+use memex_obs::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
 use memex_store::error::StoreResult;
 use memex_store::rel::{ColType, Column, Database, Predicate, Schema, TableHandle, Value};
 use memex_store::version::{Consumer, StalenessReport, VersionedLog};
@@ -38,11 +39,16 @@ pub struct ServerOptions {
 
 impl Default for ServerOptions {
     fn default() -> Self {
-        ServerOptions { max_retained_batches: 100_000, index: IndexOptions::default() }
+        ServerOptions {
+            max_retained_batches: 100_000,
+            index: IndexOptions::default(),
+        }
     }
 }
 
-/// Operational counters (F3 reports these).
+/// Operational counters (F3 reports these). Since the observability
+/// refactor this is a point-in-time *view* assembled from the server's
+/// [`MetricsRegistry`]; the API is unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     pub events_submitted: u64,
@@ -54,6 +60,36 @@ pub struct ServerStats {
     pub pages_fetched: u64,
     pub docs_indexed: u64,
     pub bookmarks_recorded: u64,
+}
+
+/// Registry handles behind [`ServerStats`] plus span/gauge instruments.
+struct ServerMetrics {
+    events_submitted: Counter,
+    events_mode_filtered: Counter,
+    events_discarded_overload: Counter,
+    visits_trailed: Counter,
+    pages_fetched: Counter,
+    docs_indexed: Counter,
+    bookmarks_recorded: Counter,
+    /// Published-but-retained batches on the bus.
+    bus_depth: Gauge,
+    fetch_latency: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricsRegistry) -> ServerMetrics {
+        ServerMetrics {
+            events_submitted: registry.counter("server.events.submitted"),
+            events_mode_filtered: registry.counter("server.events.mode_filtered"),
+            events_discarded_overload: registry.counter("server.events.discarded_overload"),
+            visits_trailed: registry.counter("server.trail.visits"),
+            pages_fetched: registry.counter("server.fetch.pages"),
+            docs_indexed: registry.counter("server.index.docs"),
+            bookmarks_recorded: registry.counter("server.bookmarks.recorded"),
+            bus_depth: registry.gauge("server.bus.depth"),
+            fetch_latency: registry.histogram("server.fetch.latency"),
+        }
+    }
 }
 
 /// An event as archived: the privacy decision is resolved at ingest time.
@@ -98,16 +134,34 @@ pub struct MemexServer<F: PageFetcher> {
     tf_cache: HashMap<u32, Vec<(TermId, u32)>>,
     page_bytes: HashMap<u32, u32>,
     pub bookmarks: Vec<BookmarkRecord>,
-    stats: ServerStats,
+    registry: MetricsRegistry,
+    metrics: ServerMetrics,
 }
 
 impl<F: PageFetcher> MemexServer<F> {
-    /// Stand up a server over `fetcher` with in-memory storage.
+    /// Stand up a server over `fetcher` with in-memory storage and its own
+    /// (enabled) metrics registry.
     pub fn new(fetcher: F, opts: ServerOptions) -> StoreResult<MemexServer<F>> {
+        Self::with_registry(fetcher, opts, MetricsRegistry::new())
+    }
+
+    /// Stand up a server that reports into `registry` — pass
+    /// [`MetricsRegistry::disabled`] to turn the observability layer off,
+    /// or a shared registry to aggregate several servers. Every subsystem
+    /// the server owns (bus, RDBMS, inverted index) registers here too.
+    pub fn with_registry(
+        fetcher: F,
+        opts: ServerOptions,
+        registry: MetricsRegistry,
+    ) -> StoreResult<MemexServer<F>> {
         let mut db = Database::open_memory()?;
+        db.attach_registry(&registry);
         let users_t = db.create_table(Schema::new(
             "users",
-            vec![Column::unique("name", ColType::Text), Column::unique("client_id", ColType::Int)],
+            vec![
+                Column::unique("name", ColType::Text),
+                Column::unique("client_id", ColType::Int),
+            ],
         )?)?;
         let pages_t = db.create_table(Schema::new(
             "pages",
@@ -130,8 +184,12 @@ impl<F: PageFetcher> MemexServer<F> {
         )?)?;
         db.create_index(&bookmarks_t, "user")?;
         let bus = VersionedLog::new();
+        bus.attach_registry(&registry);
         let trail_consumer = bus.register("trail-demon");
         let index_consumer = bus.register("index-demon");
+        let mut index = InvertedIndex::open_memory(opts.index)?;
+        index.attach_registry(&registry);
+        let metrics = ServerMetrics::new(&registry);
         Ok(MemexServer {
             fetcher,
             opts,
@@ -142,7 +200,7 @@ impl<F: PageFetcher> MemexServer<F> {
             bus,
             trail_consumer,
             index_consumer,
-            index: InvertedIndex::open_memory(opts.index)?,
+            index,
             vocab: Vocabulary::new(),
             analyzer: Analyzer::default(),
             trails: TrailGraph::new(),
@@ -152,22 +210,41 @@ impl<F: PageFetcher> MemexServer<F> {
             tf_cache: HashMap::new(),
             page_bytes: HashMap::new(),
             bookmarks: Vec::new(),
-            stats: ServerStats::default(),
+            registry,
+            metrics,
         })
+    }
+
+    /// The server's metrics registry (counters, gauges, histograms and
+    /// event rings for every subsystem this server owns).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Point-in-time snapshot of every metric (see [`Snapshot`] exporters).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 
     /// Register a user (RDBMS row); idempotent per client id.
     pub fn register_user(&mut self, client_id: u32, name: &str) -> StoreResult<()> {
         if self
             .db
-            .lookup_unique(&self.users_t, "client_id", &Value::Int(i64::from(client_id)))?
+            .lookup_unique(
+                &self.users_t,
+                "client_id",
+                &Value::Int(i64::from(client_id)),
+            )?
             .is_some()
         {
             return Ok(());
         }
         self.db.insert(
             &self.users_t,
-            vec![Value::Text(name.to_string()), Value::Int(i64::from(client_id))],
+            vec![
+                Value::Text(name.to_string()),
+                Value::Int(i64::from(client_id)),
+            ],
         )?;
         self.modes.insert(client_id, ArchiveMode::Community);
         Ok(())
@@ -181,27 +258,35 @@ impl<F: PageFetcher> MemexServer<F> {
     /// Guaranteed-immediate ingest. Returns true if archived, false if
     /// filtered or discarded.
     pub fn submit(&mut self, event: ClientEvent) -> bool {
-        self.stats.events_submitted += 1;
+        self.metrics.events_submitted.inc();
         if let ClientEvent::SetMode { user, mode, .. } = &event {
             self.modes.insert(*user, *mode);
             return true;
         }
         let mode = self.mode(event.user());
         if mode == ArchiveMode::Off {
-            self.stats.events_mode_filtered += 1;
+            self.metrics.events_mode_filtered.inc();
             return false;
         }
         // Overload shedding: trim applied batches, then check saturation.
         if self.bus.retained() >= self.opts.max_retained_batches {
             self.bus.trim();
             if self.bus.retained() >= self.opts.max_retained_batches {
-                self.stats.events_discarded_overload += 1;
+                self.metrics.events_discarded_overload.inc();
+                self.registry.event(
+                    "server",
+                    format!(
+                        "overload: bus saturated at {} batches, discarding",
+                        self.bus.retained()
+                    ),
+                );
                 return false;
             }
         }
         let public = mode == ArchiveMode::Community;
         self.bus.append(vec![ArchivedEvent { event, public }]);
         self.bus.publish();
+        self.metrics.bus_depth.set(self.bus.retained() as i64);
         true
     }
 
@@ -220,7 +305,7 @@ impl<F: PageFetcher> MemexServer<F> {
                         referrer: v.referrer,
                         public: ae.public,
                     });
-                    self.stats.visits_trailed += 1;
+                    self.metrics.visits_trailed.inc();
                 }
                 processed += 1;
             }
@@ -239,7 +324,13 @@ impl<F: PageFetcher> MemexServer<F> {
                     ClientEvent::Visit(v) => {
                         self.ensure_fetched(v.page)?;
                     }
-                    ClientEvent::Bookmark { user, page, url: _, folder, time } => {
+                    ClientEvent::Bookmark {
+                        user,
+                        page,
+                        url: _,
+                        folder,
+                        time,
+                    } => {
                         self.ensure_fetched(*page)?;
                         self.db.insert(
                             &self.bookmarks_t,
@@ -256,7 +347,7 @@ impl<F: PageFetcher> MemexServer<F> {
                             folder: folder.clone(),
                             time: *time,
                         });
-                        self.stats.bookmarks_recorded += 1;
+                        self.metrics.bookmarks_recorded.inc();
                     }
                     ClientEvent::SetMode { .. } => {}
                 }
@@ -282,18 +373,22 @@ impl<F: PageFetcher> MemexServer<F> {
         if self.fetched.contains(&page) {
             return Ok(());
         }
-        let Some(content) = self.fetcher.fetch(page) else {
-            return Ok(()); // dead link; the demon shrugs
+        let content = {
+            let _span = self.metrics.fetch_latency.start_span();
+            let Some(content) = self.fetcher.fetch(page) else {
+                return Ok(()); // dead link; the demon shrugs
+            };
+            content
         };
         self.fetched.insert(page);
-        self.stats.pages_fetched += 1;
+        self.metrics.pages_fetched.inc();
         // Analyze with the shared vocabulary and index (positionally, so
         // the search tab supports exact phrases).
         let full = format!("{} {}", content.title, content.text);
         let tf = self.analyzer.index_document(&mut self.vocab, &full);
         let seq = self.analyzer.intern_sequence(&mut self.vocab, &full);
         self.index.add_document_positional(page, &seq)?;
-        self.stats.docs_indexed += 1;
+        self.metrics.docs_indexed.inc();
         self.tf_cache.insert(page, tf);
         self.page_bytes.insert(page, content.bytes);
         // Web graph edges.
@@ -333,9 +428,10 @@ impl<F: PageFetcher> MemexServer<F> {
 
     /// Bookmarks of one user (RDBMS query path, exercising the index).
     pub fn bookmarks_of(&mut self, user: u32) -> StoreResult<Vec<BookmarkRecord>> {
-        let rows = self
-            .db
-            .scan(&self.bookmarks_t, &Predicate::eq("user", Value::Int(i64::from(user))))?;
+        let rows = self.db.scan(
+            &self.bookmarks_t,
+            &Predicate::eq("user", Value::Int(i64::from(user))),
+        )?;
         Ok(rows
             .into_iter()
             .map(|(_, row)| BookmarkRecord {
@@ -348,7 +444,15 @@ impl<F: PageFetcher> MemexServer<F> {
     }
 
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        ServerStats {
+            events_submitted: self.metrics.events_submitted.get(),
+            events_mode_filtered: self.metrics.events_mode_filtered.get(),
+            events_discarded_overload: self.metrics.events_discarded_overload.get(),
+            visits_trailed: self.metrics.visits_trailed.get(),
+            pages_fetched: self.metrics.pages_fetched.get(),
+            docs_indexed: self.metrics.docs_indexed.get(),
+            bookmarks_recorded: self.metrics.bookmarks_recorded.get(),
+        }
     }
 
     /// Flush durable state.
@@ -372,8 +476,8 @@ mod tests {
             pages_per_topic: 20,
             ..CorpusConfig::default()
         }));
-        let s = MemexServer::new(CorpusFetcher::new(corpus.clone()), ServerOptions::default())
-            .unwrap();
+        let s =
+            MemexServer::new(CorpusFetcher::new(corpus.clone()), ServerOptions::default()).unwrap();
         (corpus, s)
     }
 
@@ -404,10 +508,9 @@ mod tests {
         assert!(s.staleness().iter().all(|r| r.staleness == 0));
         // The page made it into the RDBMS.
         let pages_t = s.db.table("pages").unwrap();
-        let hit = s
-            .db
-            .lookup_unique(&pages_t, "url", &Value::Text(corpus.pages[0].url.clone()))
-            .unwrap();
+        let hit =
+            s.db.lookup_unique(&pages_t, "url", &Value::Text(corpus.pages[0].url.clone()))
+                .unwrap();
         assert!(hit.is_some());
     }
 
@@ -415,11 +518,23 @@ mod tests {
     fn privacy_modes_filter_and_mark() {
         let (_, mut s) = server();
         s.register_user(1, "u1").unwrap();
-        s.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Off, time: 1 });
+        s.submit(ClientEvent::SetMode {
+            user: 1,
+            mode: ArchiveMode::Off,
+            time: 1,
+        });
         assert!(!s.submit(visit(1, 0, 2)), "Off drops events");
-        s.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Private, time: 3 });
+        s.submit(ClientEvent::SetMode {
+            user: 1,
+            mode: ArchiveMode::Private,
+            time: 3,
+        });
         assert!(s.submit(visit(1, 1, 4)));
-        s.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Community, time: 5 });
+        s.submit(ClientEvent::SetMode {
+            user: 1,
+            mode: ArchiveMode::Community,
+            time: 5,
+        });
         assert!(s.submit(visit(1, 2, 6)));
         s.drain_demons().unwrap();
         assert_eq!(s.stats().events_mode_filtered, 1);
@@ -435,7 +550,10 @@ mod tests {
         let (corpus, _) = server();
         let mut s = MemexServer::new(
             CorpusFetcher::new(corpus),
-            ServerOptions { max_retained_batches: 5, ..ServerOptions::default() },
+            ServerOptions {
+                max_retained_batches: 5,
+                ..ServerOptions::default()
+            },
         )
         .unwrap();
         s.register_user(1, "u").unwrap();
@@ -479,8 +597,14 @@ mod tests {
         }
         s.run_trail_demon(3);
         let reports = s.staleness();
-        let trail = reports.iter().find(|r| r.consumer == "trail-demon").unwrap();
-        let index = reports.iter().find(|r| r.consumer == "index-demon").unwrap();
+        let trail = reports
+            .iter()
+            .find(|r| r.consumer == "trail-demon")
+            .unwrap();
+        let index = reports
+            .iter()
+            .find(|r| r.consumer == "index-demon")
+            .unwrap();
         assert_eq!(trail.staleness, 3);
         assert_eq!(index.staleness, 6);
         s.drain_demons().unwrap();

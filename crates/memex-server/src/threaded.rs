@@ -8,10 +8,11 @@
 //! consumer staleness, and fast recovery "even if it has to discard a few
 //! client events".
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use memex_obs::{MetricsRegistry, Snapshot};
 use memex_store::version::VersionedLog;
 
 /// Configuration for a threaded pipeline run.
@@ -64,15 +65,22 @@ pub struct PipelineReport {
     pub total_elapsed: Duration,
     /// Ingest throughput (events/s) seen by the producer.
     pub ingest_events_per_sec: f64,
+    /// Full metrics snapshot from the run's registry (bus gauges, demon
+    /// staleness, crash/work counters).
+    pub metrics: Snapshot,
 }
 
 /// Run the threaded pipeline to completion.
 pub fn run_threaded(config: ThreadedConfig) -> PipelineReport {
     assert!(config.consumers >= 1);
+    let registry = MetricsRegistry::new();
     let log: VersionedLog<u64> = VersionedLog::new();
+    log.attach_registry(&registry);
     let done = Arc::new(AtomicBool::new(false));
-    let max_staleness = Arc::new(AtomicU64::new(0));
-    let lost = Arc::new(AtomicU64::new(0));
+    let max_staleness = registry.gauge("pipeline.staleness.max");
+    let lost = registry.counter("pipeline.events.lost_in_crash");
+    let offered_total = registry.counter("pipeline.events.offered");
+    let processed_total = registry.counter("pipeline.events.processed");
     let start = Instant::now();
 
     // Demon threads.
@@ -81,9 +89,14 @@ pub fn run_threaded(config: ThreadedConfig) -> PipelineReport {
         let consumer = log.register(&format!("demon-{c}"));
         let log = log.clone();
         let done = Arc::clone(&done);
-        let max_staleness = Arc::clone(&max_staleness);
-        let lost = Arc::clone(&lost);
-        let crash_after = if c == 0 { config.crash_after_events } else { None };
+        let max_staleness = max_staleness.clone();
+        let lost = lost.clone();
+        let processed_total = processed_total.clone();
+        let crash_after = if c == 0 {
+            config.crash_after_events
+        } else {
+            None
+        };
         let work = config.work_per_event;
         handles.push(std::thread::spawn(move || {
             let mut processed = 0usize;
@@ -100,7 +113,7 @@ pub fn run_threaded(config: ThreadedConfig) -> PipelineReport {
                 // Sample staleness of the slowest demon.
                 let reports = log.staleness();
                 if let Some(worst) = reports.iter().map(|r| r.staleness).max() {
-                    max_staleness.fetch_max(worst, Ordering::Relaxed);
+                    max_staleness.set_max(worst as i64);
                 }
                 for (_, batch) in batches {
                     if !crashed {
@@ -109,7 +122,7 @@ pub fn run_threaded(config: ThreadedConfig) -> PipelineReport {
                                 // Crash: the in-flight batch is lost; the
                                 // demon restarts immediately (the bus kept
                                 // our cursor, so no replay storm).
-                                lost.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                                lost.add(batch.len() as u64);
                                 crashed = true;
                                 continue;
                             }
@@ -123,6 +136,7 @@ pub fn run_threaded(config: ThreadedConfig) -> PipelineReport {
                         }
                         std::hint::black_box(acc);
                         processed += 1;
+                        processed_total.inc();
                     }
                 }
             }
@@ -145,6 +159,7 @@ pub fn run_threaded(config: ThreadedConfig) -> PipelineReport {
             }
         }
         offered += 1;
+        offered_total.inc();
     }
     if !batch.is_empty() {
         log.append(batch);
@@ -153,17 +168,20 @@ pub fn run_threaded(config: ThreadedConfig) -> PipelineReport {
     let producer_elapsed = producer_start.elapsed();
     done.store(true, Ordering::Release);
 
-    let per_consumer_processed: Vec<usize> =
-        handles.into_iter().map(|h| h.join().expect("demon thread panicked")).collect();
+    let per_consumer_processed: Vec<usize> = handles
+        .into_iter()
+        .map(|h| h.join().expect("demon thread panicked"))
+        .collect();
     let total_elapsed = start.elapsed();
     PipelineReport {
         events_offered: offered,
         per_consumer_processed,
-        events_lost_in_crash: lost.load(Ordering::Relaxed) as usize,
-        max_staleness: max_staleness.load(Ordering::Relaxed),
+        events_lost_in_crash: lost.get() as usize,
+        max_staleness: max_staleness.get() as u64,
         producer_elapsed,
         total_elapsed,
         ingest_events_per_sec: offered as f64 / producer_elapsed.as_secs_f64().max(1e-9),
+        metrics: registry.snapshot(),
     }
 }
 
@@ -186,6 +204,14 @@ mod tests {
             assert_eq!(p, 2_000);
         }
         assert!(report.ingest_events_per_sec > 0.0);
+        // The snapshot rode along and agrees with the report.
+        assert_eq!(report.metrics.counter("pipeline.events.offered"), 2_000);
+        assert_eq!(report.metrics.counter("pipeline.events.processed"), 6_000);
+        assert!(report
+            .metrics
+            .gauges
+            .iter()
+            .any(|(n, _)| n.starts_with("store.version.staleness.demon-")));
     }
 
     #[test]
@@ -214,7 +240,10 @@ mod tests {
             crash_after_events: Some(500),
             ..ThreadedConfig::default()
         });
-        assert!(report.events_lost_in_crash > 0, "the crash must cost something");
+        assert!(
+            report.events_lost_in_crash > 0,
+            "the crash must cost something"
+        );
         assert!(
             report.events_lost_in_crash <= 20,
             "…but at most one batch ({} lost)",

@@ -19,6 +19,8 @@
 use std::ops::Bound;
 
 use crate::codec::{get_bytes, get_u64, get_uvarint, put_bytes, put_u64, put_uvarint};
+use memex_obs::{Counter, MetricsRegistry};
+
 use crate::error::{StoreError, StoreResult};
 use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
 use crate::pager::Pager;
@@ -141,21 +143,50 @@ struct Split {
     right: PageId,
 }
 
+/// Obs handles (inert until [`BTree::attach_registry`] is called).
+#[derive(Default)]
+struct BTreeMetrics {
+    splits: Counter,
+    root_growth: Counter,
+}
+
 /// A B+Tree rooted in the pager's registered root page.
 pub struct BTree {
     root: PageId,
+    metrics: BTreeMetrics,
 }
 
 impl BTree {
     /// Open the tree registered in `pager`, creating an empty one if absent.
     pub fn open(pager: &mut Pager) -> StoreResult<BTree> {
         if let Some(root) = pager.root() {
-            return Ok(BTree { root });
+            return Ok(BTree {
+                root,
+                metrics: BTreeMetrics::default(),
+            });
         }
         let root = pager.allocate()?;
-        write_node(pager, root, &Node::Leaf { entries: Vec::new(), next: NO_PAGE })?;
+        write_node(
+            pager,
+            root,
+            &Node::Leaf {
+                entries: Vec::new(),
+                next: NO_PAGE,
+            },
+        )?;
         pager.set_root(root);
-        Ok(BTree { root })
+        Ok(BTree {
+            root,
+            metrics: BTreeMetrics::default(),
+        })
+    }
+
+    /// Register this tree's counters with `registry` (`store.btree.*`).
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.metrics = BTreeMetrics {
+            splits: registry.counter("store.btree.splits"),
+            root_growth: registry.counter("store.btree.root_growth"),
+        };
     }
 
     /// Look up `key`.
@@ -187,7 +218,11 @@ impl BTree {
             return Err(StoreError::Invalid("empty keys are not allowed".into()));
         }
         if key.len() > MAX_KEY_LEN {
-            return Err(StoreError::TooLarge { what: "key", len: key.len(), max: MAX_KEY_LEN });
+            return Err(StoreError::TooLarge {
+                what: "key",
+                len: key.len(),
+                max: MAX_KEY_LEN,
+            });
         }
         if value.len() > MAX_VALUE_LEN {
             return Err(StoreError::TooLarge {
@@ -199,6 +234,7 @@ impl BTree {
         let (old, split) = self.insert_rec(pager, self.root, key, value)?;
         if let Some(split) = split {
             // Grow a new root.
+            self.metrics.root_growth.inc();
             let new_root = pager.allocate()?;
             let node = Node::Internal {
                 keys: vec![split.sep_key],
@@ -247,20 +283,17 @@ impl BTree {
             Bound::Unbounded => &[],
         };
         let mut page_id = self.root;
-        loop {
-            match read_node(pager, page_id)? {
-                Node::Internal { keys, children } => {
-                    page_id = children[child_index(&keys, start_key)];
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { keys, children } = read_node(pager, page_id)? {
+            page_id = children[child_index(&keys, start_key)];
         }
         let mut current = page_id;
         loop {
             let (entries, next) = match read_node(pager, current)? {
                 Node::Leaf { entries, next } => (entries, next),
                 Node::Internal { .. } => {
-                    return Err(StoreError::Corrupt("leaf chain reached internal node".into()))
+                    return Err(StoreError::Corrupt(
+                        "leaf chain reached internal node".into(),
+                    ))
                 }
             };
             for (k, v) in &entries {
@@ -357,8 +390,16 @@ impl BTree {
                     }
                     let mut depth = None;
                     for (i, &child) in children.iter().enumerate() {
-                        let lo_i = if i == 0 { lo } else { Some(keys[i - 1].as_slice()) };
-                        let hi_i = if i == keys.len() { hi } else { Some(keys[i].as_slice()) };
+                        let lo_i = if i == 0 {
+                            lo
+                        } else {
+                            Some(keys[i - 1].as_slice())
+                        };
+                        let hi_i = if i == keys.len() {
+                            hi
+                        } else {
+                            Some(keys[i].as_slice())
+                        };
                         let d = rec(pager, child, lo_i, hi_i)?;
                         match depth {
                             None => depth = Some(d),
@@ -407,11 +448,35 @@ impl BTree {
                 let left_entries = entries[..split_at].to_vec();
                 let sep_key = right_entries[0].0.clone();
                 let right_page = pager.allocate()?;
-                write_node(pager, right_page, &Node::Leaf { entries: right_entries, next })?;
-                write_node(pager, page, &Node::Leaf { entries: left_entries, next: right_page })?;
-                Ok((old, Some(Split { sep_key, right: right_page })))
+                write_node(
+                    pager,
+                    right_page,
+                    &Node::Leaf {
+                        entries: right_entries,
+                        next,
+                    },
+                )?;
+                write_node(
+                    pager,
+                    page,
+                    &Node::Leaf {
+                        entries: left_entries,
+                        next: right_page,
+                    },
+                )?;
+                self.metrics.splits.inc();
+                Ok((
+                    old,
+                    Some(Split {
+                        sep_key,
+                        right: right_page,
+                    }),
+                ))
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = child_index(&keys, key);
                 let (old, split) = self.insert_rec(pager, children[idx], key, value)?;
                 if let Some(split) = split {
@@ -438,10 +503,27 @@ impl BTree {
                 write_node(
                     pager,
                     right_page,
-                    &Node::Internal { keys: right_keys, children: right_children },
+                    &Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
                 )?;
-                write_node(pager, page, &Node::Internal { keys: left_keys, children: left_children })?;
-                Ok((old, Some(Split { sep_key, right: right_page })))
+                write_node(
+                    pager,
+                    page,
+                    &Node::Internal {
+                        keys: left_keys,
+                        children: left_children,
+                    },
+                )?;
+                self.metrics.splits.inc();
+                Ok((
+                    old,
+                    Some(Split {
+                        sep_key,
+                        right: right_page,
+                    }),
+                ))
             }
         }
     }
@@ -549,28 +631,43 @@ mod tests {
         let n = 3000u32;
         for i in 0..n {
             let key = format!("url:{:08}", (u64::from(i) * 2_654_435_761) % u64::from(n)); // scrambled order
-            tree.insert(&mut pager, key.as_bytes(), &i.to_le_bytes()).unwrap();
+            tree.insert(&mut pager, key.as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         tree.check_invariants(&mut pager).unwrap();
         assert_eq!(tree.count(&mut pager).unwrap(), u64::from(n));
-        let all = tree.scan(&mut pager, Bound::Unbounded, Bound::Unbounded).unwrap();
-        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan must be sorted");
+        let all = tree
+            .scan(&mut pager, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        assert!(
+            all.windows(2).all(|w| w[0].0 < w[1].0),
+            "scan must be sorted"
+        );
     }
 
     #[test]
     fn range_scans_respect_bounds() {
         let (mut pager, mut tree) = mem_tree();
         for i in 0..100u32 {
-            tree.insert(&mut pager, format!("k{:03}", i).as_bytes(), b"x").unwrap();
+            tree.insert(&mut pager, format!("k{:03}", i).as_bytes(), b"x")
+                .unwrap();
         }
         let hits = tree
-            .scan(&mut pager, Bound::Included(b"k010".as_ref()), Bound::Excluded(b"k020".as_ref()))
+            .scan(
+                &mut pager,
+                Bound::Included(b"k010".as_ref()),
+                Bound::Excluded(b"k020".as_ref()),
+            )
             .unwrap();
         assert_eq!(hits.len(), 10);
         assert_eq!(hits[0].0, b"k010");
         assert_eq!(hits[9].0, b"k019");
         let hits = tree
-            .scan(&mut pager, Bound::Excluded(b"k097".as_ref()), Bound::Unbounded)
+            .scan(
+                &mut pager,
+                Bound::Excluded(b"k097".as_ref()),
+                Bound::Unbounded,
+            )
             .unwrap();
         assert_eq!(hits.len(), 2);
     }
@@ -579,10 +676,17 @@ mod tests {
     fn delete_removes_and_tree_survives() {
         let (mut pager, mut tree) = mem_tree();
         for i in 0..500u32 {
-            tree.insert(&mut pager, format!("k{:05}", i).as_bytes(), &i.to_le_bytes()).unwrap();
+            tree.insert(
+                &mut pager,
+                format!("k{:05}", i).as_bytes(),
+                &i.to_le_bytes(),
+            )
+            .unwrap();
         }
         for i in (0..500u32).step_by(2) {
-            let old = tree.delete(&mut pager, format!("k{:05}", i).as_bytes()).unwrap();
+            let old = tree
+                .delete(&mut pager, format!("k{:05}", i).as_bytes())
+                .unwrap();
             assert!(old.is_some());
         }
         tree.check_invariants(&mut pager).unwrap();
@@ -597,12 +701,15 @@ mod tests {
         let (mut pager, mut tree) = mem_tree();
         let big = vec![0xAB; MAX_VALUE_LEN];
         for i in 0..64u32 {
-            tree.insert(&mut pager, format!("big{:04}", i).as_bytes(), &big).unwrap();
+            tree.insert(&mut pager, format!("big{:04}", i).as_bytes(), &big)
+                .unwrap();
         }
         tree.check_invariants(&mut pager).unwrap();
         for i in 0..64u32 {
             assert_eq!(
-                tree.get(&mut pager, format!("big{:04}", i).as_bytes()).unwrap().unwrap(),
+                tree.get(&mut pager, format!("big{:04}", i).as_bytes())
+                    .unwrap()
+                    .unwrap(),
                 big
             );
         }
@@ -612,8 +719,12 @@ mod tests {
     fn limits_are_enforced() {
         let (mut pager, mut tree) = mem_tree();
         assert!(tree.insert(&mut pager, &[], b"v").is_err());
-        assert!(tree.insert(&mut pager, &vec![1u8; MAX_KEY_LEN + 1], b"v").is_err());
-        assert!(tree.insert(&mut pager, b"k", &vec![1u8; MAX_VALUE_LEN + 1]).is_err());
+        assert!(tree
+            .insert(&mut pager, &vec![1u8; MAX_KEY_LEN + 1], b"v")
+            .is_err());
+        assert!(tree
+            .insert(&mut pager, b"k", &vec![1u8; MAX_VALUE_LEN + 1])
+            .is_err());
     }
 
     #[test]
@@ -625,8 +736,12 @@ mod tests {
             let mut pager = Pager::open_file(&path, 16).unwrap();
             let mut tree = BTree::open(&mut pager).unwrap();
             for i in 0..800u32 {
-                tree.insert(&mut pager, format!("p{:05}", i).as_bytes(), &i.to_le_bytes())
-                    .unwrap();
+                tree.insert(
+                    &mut pager,
+                    format!("p{:05}", i).as_bytes(),
+                    &i.to_le_bytes(),
+                )
+                .unwrap();
             }
             pager.flush().unwrap();
         }

@@ -149,7 +149,9 @@ pub fn encode_deltas(out: &mut Vec<u8>, sorted: &[u64]) -> StoreResult<()> {
     let mut prev = 0u64;
     for (i, &v) in sorted.iter().enumerate() {
         if i > 0 && v <= prev {
-            return Err(StoreError::Invalid("sequence not strictly increasing".into()));
+            return Err(StoreError::Invalid(
+                "sequence not strictly increasing".into(),
+            ));
         }
         let gap = if i == 0 { v } else { v - prev };
         put_uvarint(out, gap);
@@ -165,7 +167,12 @@ pub fn decode_deltas(buf: &[u8], pos: &mut usize) -> StoreResult<Vec<u64>> {
     let mut acc = 0u64;
     for i in 0..n {
         let gap = get_uvarint(buf, pos)?;
-        acc = if i == 0 { gap } else { acc.checked_add(gap).ok_or_else(|| StoreError::Corrupt("delta sum overflow".into()))? };
+        acc = if i == 0 {
+            gap
+        } else {
+            acc.checked_add(gap)
+                .ok_or_else(|| StoreError::Corrupt("delta sum overflow".into()))?
+        };
         out.push(acc);
     }
     Ok(out)
@@ -184,7 +191,11 @@ fn crc_table() -> &'static [u32; 256] {
         for (i, slot) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *slot = c;
         }

@@ -14,7 +14,11 @@ pub enum StoreError {
     /// CRC mismatch, truncated frame).
     Corrupt(String),
     /// A key or value exceeds the size a single B+Tree page can hold.
-    TooLarge { what: &'static str, len: usize, max: usize },
+    TooLarge {
+        what: &'static str,
+        len: usize,
+        max: usize,
+    },
     /// Catalog-level misuse: unknown table, duplicate table, schema mismatch.
     Schema(String),
     /// A uniqueness constraint (primary key / unique index) was violated.
@@ -62,7 +66,11 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        let e = StoreError::TooLarge { what: "key", len: 9000, max: 1024 };
+        let e = StoreError::TooLarge {
+            what: "key",
+            len: 9000,
+            max: 1024,
+        };
         assert_eq!(e.to_string(), "key of 9000 bytes exceeds maximum of 1024");
         let e = StoreError::Corrupt("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
@@ -70,7 +78,7 @@ mod tests {
 
     #[test]
     fn io_errors_convert_and_chain() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: StoreError = io.into();
         assert!(std::error::Error::source(&e).is_some());
     }

@@ -6,6 +6,8 @@
 use std::ops::Bound;
 use std::path::Path;
 
+use memex_obs::{Counter, MetricsRegistry};
+
 use crate::btree::BTree;
 use crate::error::StoreResult;
 use crate::pager::Pager;
@@ -45,6 +47,15 @@ pub struct KvStats {
     pub recovered_torn_tail: bool,
 }
 
+/// Obs handles (inert until [`KvStore::attach_registry`] is called).
+#[derive(Default)]
+struct KvMetrics {
+    puts: Counter,
+    gets: Counter,
+    deletes: Counter,
+    checkpoints: Counter,
+}
+
 /// A durable ordered key-value store.
 pub struct KvStore {
     pager: Pager,
@@ -53,16 +64,25 @@ pub struct KvStore {
     len: u64,
     opts: KvStoreOptions,
     stats: KvStats,
+    metrics: KvMetrics,
 }
 
 impl KvStore {
     /// Fully in-memory store (still exercises WAL + recovery code paths).
     pub fn open_memory() -> StoreResult<KvStore> {
-        Self::build(Pager::in_memory(256), Wal::in_memory(), KvStoreOptions::default())
+        Self::build(
+            Pager::in_memory(256),
+            Wal::in_memory(),
+            KvStoreOptions::default(),
+        )
     }
 
     /// Open (or create) a store in `dir`, using `name.db` and `name.wal`.
-    pub fn open_dir<P: AsRef<Path>>(dir: P, name: &str, opts: KvStoreOptions) -> StoreResult<KvStore> {
+    pub fn open_dir<P: AsRef<Path>>(
+        dir: P,
+        name: &str,
+        opts: KvStoreOptions,
+    ) -> StoreResult<KvStore> {
         std::fs::create_dir_all(&dir)?;
         let db_path = dir.as_ref().join(format!("{name}.db"));
         let wal_path = dir.as_ref().join(format!("{name}.wal"));
@@ -94,6 +114,7 @@ impl KvStore {
             wal,
             len,
             opts,
+            metrics: KvMetrics::default(),
             stats: KvStats {
                 recovered_records: recovered,
                 recovered_torn_tail: replay.torn_tail,
@@ -106,9 +127,26 @@ impl KvStore {
         Ok(store)
     }
 
+    /// Register this store and its WAL / pager / B+Tree with `registry`
+    /// (`store.kv.*`, `store.wal.*`, `store.pager.*`, `store.btree.*`).
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.wal.attach_registry(registry);
+        self.pager.attach_registry(registry);
+        self.tree.attach_registry(registry);
+        self.metrics = KvMetrics {
+            puts: registry.counter("store.kv.puts"),
+            gets: registry.counter("store.kv.gets"),
+            deletes: registry.counter("store.kv.deletes"),
+            checkpoints: registry.counter("store.kv.checkpoints"),
+        };
+    }
+
     /// Upsert. Returns the previous value if any.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> StoreResult<Option<Vec<u8>>> {
-        self.wal.append(&WalRecord::Put { key: key.to_vec(), value: value.to_vec() })?;
+        self.wal.append(&WalRecord::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })?;
         if self.opts.sync_every_append {
             self.wal.sync()?;
         }
@@ -117,6 +155,7 @@ impl KvStore {
             self.len += 1;
         }
         self.stats.puts += 1;
+        self.metrics.puts.inc();
         self.maybe_checkpoint()?;
         Ok(old)
     }
@@ -124,6 +163,7 @@ impl KvStore {
     /// Point lookup.
     pub fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
         self.stats.gets += 1;
+        self.metrics.gets.inc();
         self.tree.get(&mut self.pager, key)
     }
 
@@ -138,12 +178,18 @@ impl KvStore {
             self.len -= 1;
         }
         self.stats.deletes += 1;
+        self.metrics.deletes.inc();
         self.maybe_checkpoint()?;
         Ok(old)
     }
 
     /// Ordered range visit; the callback returns `false` to stop early.
-    pub fn for_each_range<F>(&mut self, start: Bound<&[u8]>, end: Bound<&[u8]>, f: F) -> StoreResult<()>
+    pub fn for_each_range<F>(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        f: F,
+    ) -> StoreResult<()>
     where
         F: FnMut(&[u8], &[u8]) -> bool,
     {
@@ -169,7 +215,11 @@ impl KvStore {
     }
 
     /// Collect a bounded range.
-    pub fn scan(&mut self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn scan(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
         self.tree.scan(&mut self.pager, start, end)
     }
 
@@ -190,6 +240,7 @@ impl KvStore {
         self.wal.append(&WalRecord::Checkpoint)?;
         self.wal.sync()?;
         self.stats.checkpoints += 1;
+        self.metrics.checkpoints.inc();
         Ok(())
     }
 
@@ -289,7 +340,10 @@ mod tests {
             let mut kv = KvStore::open_dir(&dir, "t", KvStoreOptions::default()).unwrap();
             assert!(kv.stats().recovered_torn_tail);
             assert_eq!(kv.get(b"keep").unwrap().unwrap(), b"1");
-            assert!(kv.get(b"lost").unwrap().is_none(), "torn record must vanish");
+            assert!(
+                kv.get(b"lost").unwrap().is_none(),
+                "torn record must vanish"
+            );
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -22,7 +22,9 @@ pub struct Page {
 impl Page {
     /// A zero-filled page.
     pub fn zeroed() -> Self {
-        Page { data: Box::new([0u8; PAGE_SIZE]) }
+        Page {
+            data: Box::new([0u8; PAGE_SIZE]),
+        }
     }
 
     /// Build a page from exactly `PAGE_SIZE` bytes.

@@ -10,6 +10,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use memex_obs::{Counter, MetricsRegistry};
+
 use crate::codec::{get_u64, put_u64};
 use crate::error::{StoreError, StoreResult};
 use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
@@ -70,6 +72,15 @@ impl Meta {
     }
 }
 
+/// Obs handles (inert until [`Pager::attach_registry`] is called).
+#[derive(Default)]
+struct PagerMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    flushed_pages: Counter,
+}
+
 /// Buffer-pooled page manager.
 pub struct Pager {
     backing: Backing,
@@ -78,6 +89,7 @@ pub struct Pager {
     tick: u64,
     meta: Meta,
     meta_dirty: bool,
+    metrics: PagerMetrics,
 }
 
 impl Pager {
@@ -88,9 +100,24 @@ impl Pager {
             pool: HashMap::new(),
             capacity: pool_capacity.max(8),
             tick: 0,
-            meta: Meta { page_count: 1, free_head: NO_PAGE, root: NO_PAGE },
+            meta: Meta {
+                page_count: 1,
+                free_head: NO_PAGE,
+                root: NO_PAGE,
+            },
             meta_dirty: true,
+            metrics: PagerMetrics::default(),
         }
+    }
+
+    /// Register this pager's counters with `registry` (`store.pager.*`).
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.metrics = PagerMetrics {
+            hits: registry.counter("store.pager.hits"),
+            misses: registry.counter("store.pager.misses"),
+            evictions: registry.counter("store.pager.evictions"),
+            flushed_pages: registry.counter("store.pager.flushed_pages"),
+        };
     }
 
     /// Open (or create) a file-backed pager.
@@ -99,11 +126,16 @@ impl Pager {
             .read(true)
             .write(true)
             .create(true)
+            .truncate(false)
             .open(path)?;
         let len = file.metadata()?.len();
         let meta = if len == 0 {
             // Fresh file: write an initial meta page.
-            let meta = Meta { page_count: 1, free_head: NO_PAGE, root: NO_PAGE };
+            let meta = Meta {
+                page_count: 1,
+                free_head: NO_PAGE,
+                root: NO_PAGE,
+            };
             let mut page = Page::zeroed();
             page.write_prefix(&meta.encode());
             file.seek(SeekFrom::Start(0))?;
@@ -128,6 +160,7 @@ impl Pager {
             tick: 0,
             meta,
             meta_dirty: false,
+            metrics: PagerMetrics::default(),
         })
     }
 
@@ -193,8 +226,10 @@ impl Pager {
         self.tick += 1;
         if let Some(frame) = self.pool.get_mut(&id) {
             frame.last_used = self.tick;
+            self.metrics.hits.inc();
             return Ok(frame.page.clone());
         }
+        self.metrics.misses.inc();
         let page = self.load(id)?;
         self.insert_frame(id, page.clone(), false)?;
         Ok(page)
@@ -225,8 +260,14 @@ impl Pager {
             .map(|(&id, _)| id)
             .collect();
         dirty.sort_unstable();
+        self.metrics.flushed_pages.add(dirty.len() as u64);
         for id in dirty {
-            let page = self.pool.get(&id).expect("dirty id came from pool").page.clone();
+            let page = self
+                .pool
+                .get(&id)
+                .expect("dirty id came from pool")
+                .page
+                .clone();
             self.store(id, &page)?;
             self.pool.get_mut(&id).expect("still present").dirty = false;
         }
@@ -251,7 +292,14 @@ impl Pager {
         if self.pool.len() >= self.capacity {
             self.evict_one()?;
         }
-        self.pool.insert(id, Frame { page, dirty, last_used: self.tick });
+        self.pool.insert(
+            id,
+            Frame {
+                page,
+                dirty,
+                last_used: self.tick,
+            },
+        );
         Ok(())
     }
 
@@ -264,6 +312,7 @@ impl Pager {
             .map(|(&id, _)| id);
         if let Some(id) = victim {
             let frame = self.pool.remove(&id).expect("victim came from pool");
+            self.metrics.evictions.inc();
             if frame.dirty {
                 self.store(id, &frame.page)?;
             }
@@ -274,10 +323,9 @@ impl Pager {
     /// Load a page directly from the backing store.
     fn load(&mut self, id: PageId) -> StoreResult<Page> {
         match &mut self.backing {
-            Backing::Mem(pages) => pages
-                .get(id as usize)
-                .cloned()
-                .ok_or_else(|| StoreError::Invalid(format!("page {id} missing from memory backing"))),
+            Backing::Mem(pages) => pages.get(id as usize).cloned().ok_or_else(|| {
+                StoreError::Invalid(format!("page {id} missing from memory backing"))
+            }),
             Backing::File(file) => {
                 let offset = id * PAGE_SIZE as u64;
                 let file_len = file.metadata()?.len();
@@ -288,8 +336,7 @@ impl Pager {
                 let mut buf = [0u8; PAGE_SIZE];
                 file.seek(SeekFrom::Start(offset))?;
                 file.read_exact(&mut buf)?;
-                Page::from_bytes(&buf)
-                    .ok_or_else(|| StoreError::Corrupt("short page read".into()))
+                Page::from_bytes(&buf).ok_or_else(|| StoreError::Corrupt("short page read".into()))
             }
         }
     }

@@ -64,11 +64,20 @@ impl Database {
         Ok(Database { kv, indexes })
     }
 
+    /// Register the backing KvStore (and its WAL / pager / B+Tree) with
+    /// `registry`. The relational layer itself adds no metrics of its own.
+    pub fn attach_registry(&mut self, registry: &memex_obs::MetricsRegistry) {
+        self.kv.attach_registry(registry);
+    }
+
     /// Create a table; unique columns get indexes automatically.
     pub fn create_table(&mut self, schema: Schema) -> StoreResult<TableHandle> {
         let cat_key = Self::catalog_key(&schema.name);
         if self.kv.get(&cat_key)?.is_some() {
-            return Err(StoreError::Schema(format!("table `{}` already exists", schema.name)));
+            return Err(StoreError::Schema(format!(
+                "table `{}` already exists",
+                schema.name
+            )));
         }
         let id = self.bump_counter(b"m:next_table", 4)? as u32;
         let mut rec = id.to_be_bytes().to_vec();
@@ -118,7 +127,8 @@ impl Database {
         self.check_unique(t, &row, None)?;
         let rowid = self.bump_counter(&Self::rowctr_key(t.id), 8)?;
         self.write_index_entries(t, rowid, &row)?;
-        self.kv.put(&Self::row_key(t.id, rowid), &encode_row(&row))?;
+        self.kv
+            .put(&Self::row_key(t.id, rowid), &encode_row(&row))?;
         Ok(rowid)
     }
 
@@ -139,13 +149,16 @@ impl Database {
         self.check_unique(t, &row, Some(rowid))?;
         self.remove_index_entries(t, rowid, &old)?;
         self.write_index_entries(t, rowid, &row)?;
-        self.kv.put(&Self::row_key(t.id, rowid), &encode_row(&row))?;
+        self.kv
+            .put(&Self::row_key(t.id, rowid), &encode_row(&row))?;
         Ok(())
     }
 
     /// Delete a row; true if it existed.
     pub fn delete(&mut self, t: &TableHandle, rowid: RowId) -> StoreResult<bool> {
-        let Some(old) = self.get(t, rowid)? else { return Ok(false) };
+        let Some(old) = self.get(t, rowid)? else {
+            return Ok(false);
+        };
         self.remove_index_entries(t, rowid, &old)?;
         self.kv.delete(&Self::row_key(t.id, rowid))?;
         Ok(true)
@@ -154,7 +167,11 @@ impl Database {
     /// Create (and backfill) a secondary index on `col`.
     pub fn create_index(&mut self, t: &TableHandle, col: &str) -> StoreResult<()> {
         let col_idx = t.schema.col_index(col)? as u16;
-        if self.indexes.get(&t.id).is_some_and(|s| s.contains(&col_idx)) {
+        if self
+            .indexes
+            .get(&t.id)
+            .is_some_and(|s| s.contains(&col_idx))
+        {
             return Ok(());
         }
         self.kv.put(&Self::index_marker_key(t.id, col_idx), &[1])?;
@@ -171,11 +188,19 @@ impl Database {
     /// All `(RowId, row)` matching `pred`. Uses a point index probe when the
     /// predicate contains an equality conjunct on an indexed column, else a
     /// clustered full-table scan.
-    pub fn scan(&mut self, t: &TableHandle, pred: &Predicate) -> StoreResult<Vec<(RowId, Vec<Value>)>> {
+    pub fn scan(
+        &mut self,
+        t: &TableHandle,
+        pred: &Predicate,
+    ) -> StoreResult<Vec<(RowId, Vec<Value>)>> {
         if let Some((col, value)) = pred.index_point() {
             if let Ok(col_idx) = t.schema.col_index(col) {
                 let col_idx = col_idx as u16;
-                if self.indexes.get(&t.id).is_some_and(|s| s.contains(&col_idx)) {
+                if self
+                    .indexes
+                    .get(&t.id)
+                    .is_some_and(|s| s.contains(&col_idx))
+                {
                     let rowids = self.probe_index(t, col_idx, value)?;
                     let mut out = Vec::with_capacity(rowids.len());
                     for rowid in rowids {
@@ -200,9 +225,7 @@ impl Database {
                 if !k.starts_with(&prefix) {
                     return false;
                 }
-                let rowid = u64::from_be_bytes(
-                    k[prefix.len()..].try_into().unwrap_or([0; 8]),
-                );
+                let rowid = u64::from_be_bytes(k[prefix.len()..].try_into().unwrap_or([0; 8]));
                 match decode_row(v) {
                     Ok(row) => {
                         if pred.matches(&schema, &row) {
@@ -227,13 +250,17 @@ impl Database {
     pub fn count(&mut self, t: &TableHandle) -> StoreResult<u64> {
         let prefix = Self::row_prefix(t.id);
         let mut n = 0u64;
-        self.kv.for_each_range(Bound::Included(prefix.as_slice()), Bound::Unbounded, |k, _| {
-            if !k.starts_with(&prefix) {
-                return false;
-            }
-            n += 1;
-            true
-        })?;
+        self.kv.for_each_range(
+            Bound::Included(prefix.as_slice()),
+            Bound::Unbounded,
+            |k, _| {
+                if !k.starts_with(&prefix) {
+                    return false;
+                }
+                n += 1;
+                true
+            },
+        )?;
         Ok(n)
     }
 
@@ -324,7 +351,10 @@ impl Database {
     }
 
     fn indexed_cols(&self, tid: u32) -> Vec<u16> {
-        self.indexes.get(&tid).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.indexes
+            .get(&tid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     fn probe_index(&mut self, t: &TableHandle, col: u16, value: &Value) -> StoreResult<Vec<RowId>> {
@@ -338,7 +368,12 @@ impl Database {
             .collect())
     }
 
-    fn check_unique(&mut self, t: &TableHandle, row: &[Value], updating: Option<RowId>) -> StoreResult<()> {
+    fn check_unique(
+        &mut self,
+        t: &TableHandle,
+        row: &[Value],
+        updating: Option<RowId>,
+    ) -> StoreResult<()> {
         for (i, col) in t.schema.columns.iter().enumerate() {
             if !col.unique || matches!(row[i], Value::Null) {
                 continue;
@@ -355,7 +390,12 @@ impl Database {
         Ok(())
     }
 
-    fn write_index_entries(&mut self, t: &TableHandle, rowid: RowId, row: &[Value]) -> StoreResult<()> {
+    fn write_index_entries(
+        &mut self,
+        t: &TableHandle,
+        rowid: RowId,
+        row: &[Value],
+    ) -> StoreResult<()> {
         for col in self.indexed_cols(t.id) {
             let key = Self::index_entry_key(t.id, col, &row[col as usize], rowid);
             self.kv.put(&key, &[])?;
@@ -363,7 +403,12 @@ impl Database {
         Ok(())
     }
 
-    fn remove_index_entries(&mut self, t: &TableHandle, rowid: RowId, row: &[Value]) -> StoreResult<()> {
+    fn remove_index_entries(
+        &mut self,
+        t: &TableHandle,
+        rowid: RowId,
+        row: &[Value],
+    ) -> StoreResult<()> {
         for col in self.indexed_cols(t.id) {
             let key = Self::index_entry_key(t.id, col, &row[col as usize], rowid);
             self.kv.delete(&key)?;
@@ -394,7 +439,11 @@ mod tests {
     }
 
     fn page(url: &str, topic: i64, bytes: i64) -> Vec<Value> {
-        vec![Value::Text(url.into()), Value::Int(topic), Value::Int(bytes)]
+        vec![
+            Value::Text(url.into()),
+            Value::Int(topic),
+            Value::Int(bytes),
+        ]
     }
 
     #[test]
@@ -427,7 +476,10 @@ mod tests {
         let err = db.insert(&t, page("http://a", 2, 2));
         assert!(matches!(err, Err(StoreError::Duplicate(_))));
         // Updating a row to its own value is fine.
-        let (rid, _) = db.lookup_unique(&t, "url", &Value::Text("http://a".into())).unwrap().unwrap();
+        let (rid, _) = db
+            .lookup_unique(&t, "url", &Value::Text("http://a".into()))
+            .unwrap()
+            .unwrap();
         db.update(&t, rid, page("http://a", 9, 9)).unwrap();
     }
 
@@ -436,7 +488,11 @@ mod tests {
         let mut db = Database::open_memory().unwrap();
         let t = pages_table(&mut db);
         for i in 0..50 {
-            db.insert(&t, page(&format!("http://p{i}"), i64::from(i % 5), i64::from(i))).unwrap();
+            db.insert(
+                &t,
+                page(&format!("http://p{i}"), i64::from(i % 5), i64::from(i)),
+            )
+            .unwrap();
         }
         db.create_index(&t, "topic").unwrap();
         let by_index = db.scan(&t, &Predicate::eq("topic", Value::Int(3))).unwrap();
@@ -445,13 +501,18 @@ mod tests {
         let few = db
             .scan(
                 &t,
-                &Predicate::eq("topic", Value::Int(3))
-                    .and(Predicate::cmp("bytes", CmpOp::Ge, Value::Int(30))),
+                &Predicate::eq("topic", Value::Int(3)).and(Predicate::cmp(
+                    "bytes",
+                    CmpOp::Ge,
+                    Value::Int(30),
+                )),
             )
             .unwrap();
         assert_eq!(few.len(), 4);
         // Unindexed column -> full scan path gives the same answer shape.
-        let by_scan = db.scan(&t, &Predicate::cmp("bytes", CmpOp::Lt, Value::Int(5))).unwrap();
+        let by_scan = db
+            .scan(&t, &Predicate::cmp("bytes", CmpOp::Lt, Value::Int(5)))
+            .unwrap();
         assert_eq!(by_scan.len(), 5);
     }
 
@@ -462,10 +523,21 @@ mod tests {
         let id = db.insert(&t, page("http://a", 1, 1)).unwrap();
         db.create_index(&t, "topic").unwrap();
         db.update(&t, id, page("http://a", 2, 1)).unwrap();
-        assert!(db.scan(&t, &Predicate::eq("topic", Value::Int(1))).unwrap().is_empty());
-        assert_eq!(db.scan(&t, &Predicate::eq("topic", Value::Int(2))).unwrap().len(), 1);
+        assert!(db
+            .scan(&t, &Predicate::eq("topic", Value::Int(1)))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            db.scan(&t, &Predicate::eq("topic", Value::Int(2)))
+                .unwrap()
+                .len(),
+            1
+        );
         db.delete(&t, id).unwrap();
-        assert!(db.scan(&t, &Predicate::eq("topic", Value::Int(2))).unwrap().is_empty());
+        assert!(db
+            .scan(&t, &Predicate::eq("topic", Value::Int(2)))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -482,7 +554,8 @@ mod tests {
             let mut db = Database::open_dir(&dir).unwrap();
             let t = db.table("pages").unwrap();
             assert_eq!(t.schema.columns.len(), 3);
-            let (_, row) = db.lookup_unique(&t, "url", &Value::Text("http://persist".into()))
+            let (_, row) = db
+                .lookup_unique(&t, "url", &Value::Text("http://persist".into()))
                 .unwrap()
                 .unwrap();
             assert_eq!(row[1], Value::Int(7));
@@ -501,10 +574,13 @@ mod tests {
             )
             .unwrap();
         db.insert(&pages, page("http://a", 1, 1)).unwrap();
-        db.insert(&users, vec![Value::Text("soumen".into())]).unwrap();
+        db.insert(&users, vec![Value::Text("soumen".into())])
+            .unwrap();
         assert_eq!(db.count(&pages).unwrap(), 1);
         assert_eq!(db.count(&users).unwrap(), 1);
         assert_eq!(db.table_names().unwrap().len(), 2);
-        assert!(db.create_table(Schema::new("pages", vec![Column::new("x", ColType::Int)]).unwrap()).is_err());
+        assert!(db
+            .create_table(Schema::new("pages", vec![Column::new("x", ColType::Int)]).unwrap())
+            .is_err());
     }
 }

@@ -21,9 +21,16 @@ pub enum Predicate {
     /// Matches everything.
     True,
     /// `column <op> literal`.
-    Cmp { col: String, op: CmpOp, value: Value },
+    Cmp {
+        col: String,
+        op: CmpOp,
+        value: Value,
+    },
     /// Substring match on a Text column (case-sensitive).
-    Contains { col: String, needle: String },
+    Contains {
+        col: String,
+        needle: String,
+    },
     And(Box<Predicate>, Box<Predicate>),
     Or(Box<Predicate>, Box<Predicate>),
     Not(Box<Predicate>),
@@ -32,11 +39,19 @@ pub enum Predicate {
 impl Predicate {
     /// `col == value` convenience.
     pub fn eq(col: &str, value: Value) -> Predicate {
-        Predicate::Cmp { col: col.to_string(), op: CmpOp::Eq, value }
+        Predicate::Cmp {
+            col: col.to_string(),
+            op: CmpOp::Eq,
+            value,
+        }
     }
 
     pub fn cmp(col: &str, op: CmpOp, value: Value) -> Predicate {
-        Predicate::Cmp { col: col.to_string(), op, value }
+        Predicate::Cmp {
+            col: col.to_string(),
+            op,
+            value,
+        }
     }
 
     pub fn and(self, other: Predicate) -> Predicate {
@@ -47,6 +62,7 @@ impl Predicate {
         Predicate::Or(Box::new(self), Box::new(other))
     }
 
+    #[allow(clippy::should_implement_trait)] // builder-style peer of `and`/`or`
     pub fn not(self) -> Predicate {
         Predicate::Not(Box::new(self))
     }
@@ -58,8 +74,12 @@ impl Predicate {
         match self {
             Predicate::True => true,
             Predicate::Cmp { col, op, value } => {
-                let Ok(i) = schema.col_index(col) else { return false };
-                let Some(ord) = compare(&row[i], value) else { return false };
+                let Ok(i) = schema.col_index(col) else {
+                    return false;
+                };
+                let Some(ord) = compare(&row[i], value) else {
+                    return false;
+                };
                 match op {
                     CmpOp::Eq => ord == std::cmp::Ordering::Equal,
                     CmpOp::Ne => ord != std::cmp::Ordering::Equal,
@@ -70,8 +90,12 @@ impl Predicate {
                 }
             }
             Predicate::Contains { col, needle } => {
-                let Ok(i) = schema.col_index(col) else { return false };
-                row[i].as_text().is_some_and(|t| t.contains(needle.as_str()))
+                let Ok(i) = schema.col_index(col) else {
+                    return false;
+                };
+                row[i]
+                    .as_text()
+                    .is_some_and(|t| t.contains(needle.as_str()))
             }
             Predicate::And(a, b) => a.matches(schema, row) && b.matches(schema, row),
             Predicate::Or(a, b) => a.matches(schema, row) || b.matches(schema, row),
@@ -83,7 +107,11 @@ impl Predicate {
     /// `(col, v)` — the executor turns that into an index point lookup.
     pub fn index_point(&self) -> Option<(&str, &Value)> {
         match self {
-            Predicate::Cmp { col, op: CmpOp::Eq, value } => Some((col, value)),
+            Predicate::Cmp {
+                col,
+                op: CmpOp::Eq,
+                value,
+            } => Some((col, value)),
             Predicate::And(a, b) => a.index_point().or_else(|| b.index_point()),
             _ => None,
         }
@@ -140,8 +168,11 @@ mod tests {
     fn boolean_algebra() {
         let s = schema();
         let r = row("u", 1, 10);
-        let p = Predicate::eq("user", Value::Int(1))
-            .and(Predicate::cmp("bytes", CmpOp::Gt, Value::Int(5)));
+        let p = Predicate::eq("user", Value::Int(1)).and(Predicate::cmp(
+            "bytes",
+            CmpOp::Gt,
+            Value::Int(5),
+        ));
         assert!(p.matches(&s, &r));
         let q = Predicate::eq("user", Value::Int(2)).or(Predicate::eq("user", Value::Int(1)));
         assert!(q.matches(&s, &r));
@@ -152,10 +183,22 @@ mod tests {
     fn contains_on_text() {
         let s = schema();
         let r = row("http://music.example/bach", 1, 1);
-        assert!(Predicate::Contains { col: "url".into(), needle: "bach".into() }.matches(&s, &r));
-        assert!(!Predicate::Contains { col: "url".into(), needle: "jazz".into() }.matches(&s, &r));
+        assert!(Predicate::Contains {
+            col: "url".into(),
+            needle: "bach".into()
+        }
+        .matches(&s, &r));
+        assert!(!Predicate::Contains {
+            col: "url".into(),
+            needle: "jazz".into()
+        }
+        .matches(&s, &r));
         // Contains on a non-text column is just false.
-        assert!(!Predicate::Contains { col: "user".into(), needle: "1".into() }.matches(&s, &r));
+        assert!(!Predicate::Contains {
+            col: "user".into(),
+            needle: "1".into()
+        }
+        .matches(&s, &r));
     }
 
     #[test]
@@ -168,11 +211,16 @@ mod tests {
 
     #[test]
     fn index_point_extraction() {
-        let p = Predicate::eq("user", Value::Int(7))
-            .and(Predicate::cmp("bytes", CmpOp::Gt, Value::Int(5)));
+        let p = Predicate::eq("user", Value::Int(7)).and(Predicate::cmp(
+            "bytes",
+            CmpOp::Gt,
+            Value::Int(5),
+        ));
         let (col, v) = p.index_point().unwrap();
         assert_eq!(col, "user");
         assert_eq!(v, &Value::Int(7));
-        assert!(Predicate::cmp("bytes", CmpOp::Gt, Value::Int(5)).index_point().is_none());
+        assert!(Predicate::cmp("bytes", CmpOp::Gt, Value::Int(5))
+            .index_point()
+            .is_none());
     }
 }

@@ -17,11 +17,19 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: &str, ty: ColType) -> Column {
-        Column { name: name.to_string(), ty, unique: false }
+        Column {
+            name: name.to_string(),
+            ty,
+            unique: false,
+        }
     }
 
     pub fn unique(name: &str, ty: ColType) -> Column {
-        Column { name: name.to_string(), ty, unique: true }
+        Column {
+            name: name.to_string(),
+            ty,
+            unique: true,
+        }
     }
 }
 
@@ -39,7 +47,9 @@ impl Schema {
             return Err(StoreError::Schema("table name must not be empty".into()));
         }
         if columns.is_empty() {
-            return Err(StoreError::Schema(format!("table `{name}` needs at least one column")));
+            return Err(StoreError::Schema(format!(
+                "table `{name}` needs at least one column"
+            )));
         }
         let mut seen = std::collections::HashSet::new();
         for c in &columns {
@@ -50,7 +60,10 @@ impl Schema {
                 )));
             }
         }
-        Ok(Schema { name: name.to_string(), columns })
+        Ok(Schema {
+            name: name.to_string(),
+            columns,
+        })
     }
 
     /// Position of a named column.
@@ -126,7 +139,11 @@ impl Schema {
                 _ => return Err(StoreError::Corrupt("bad unique flag".into())),
             };
             pos += 1;
-            columns.push(Column { name: cname, ty, unique });
+            columns.push(Column {
+                name: cname,
+                ty,
+                unique,
+            });
         }
         Schema::new(&name, columns)
     }
@@ -159,7 +176,10 @@ mod tests {
     fn duplicate_columns_rejected() {
         let err = Schema::new(
             "t",
-            vec![Column::new("a", ColType::Int), Column::new("a", ColType::Text)],
+            vec![
+                Column::new("a", ColType::Int),
+                Column::new("a", ColType::Text),
+            ],
         );
         assert!(err.is_err());
     }

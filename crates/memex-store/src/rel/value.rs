@@ -161,7 +161,11 @@ impl Value {
                 out.push(0x03);
                 let bits = v.to_bits();
                 // IEEE-754 total-order trick: negative floats reverse.
-                let key = if bits & (1 << 63) != 0 { !bits } else { bits | (1 << 63) };
+                let key = if bits & (1 << 63) != 0 {
+                    !bits
+                } else {
+                    bits | (1 << 63)
+                };
                 out.extend_from_slice(&key.to_be_bytes());
             }
             Value::Text(v) => {

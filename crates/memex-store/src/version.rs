@@ -12,12 +12,39 @@
 //! * Fully-consumed batches can be trimmed (log compaction).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
-use parking_lot::RwLock;
+use memex_obs::{Gauge, MetricsRegistry};
 
 /// Monotone batch number. Epoch 0 means "nothing yet".
 pub type Epoch = u64;
+
+/// Obs handles (inert until [`VersionedLog::attach_registry`] is called).
+#[derive(Default)]
+struct LogMetrics {
+    /// Registry kept so consumer gauges can be created lazily on register.
+    registry: Option<MetricsRegistry>,
+    /// Producer watermark (`store.version.published`).
+    published: Gauge,
+    /// Retained (untrimmed) batches (`store.version.retained`).
+    retained: Gauge,
+    /// Per-consumer staleness (`store.version.staleness.<consumer>`).
+    staleness: HashMap<String, Gauge>,
+}
+
+impl LogMetrics {
+    fn consumer_gauge(&mut self, name: &str) -> Gauge {
+        match (self.staleness.get(name), &self.registry) {
+            (Some(g), _) => g.clone(),
+            (None, Some(reg)) => {
+                let g = reg.gauge(&format!("store.version.staleness.{name}"));
+                self.staleness.insert(name.to_string(), g.clone());
+                g
+            }
+            (None, None) => Gauge::default(),
+        }
+    }
+}
 
 struct State<T> {
     /// Retained batches in epoch order (possibly trimmed at the front).
@@ -28,6 +55,7 @@ struct State<T> {
     published: Epoch,
     /// Consumer name -> applied epoch.
     consumers: HashMap<String, Epoch>,
+    metrics: LogMetrics,
 }
 
 /// Shared, loosely-consistent, multi-consumer batch log.
@@ -37,7 +65,9 @@ pub struct VersionedLog<T> {
 
 impl<T> Clone for VersionedLog<T> {
     fn clone(&self) -> Self {
-        VersionedLog { state: Arc::clone(&self.state) }
+        VersionedLog {
+            state: Arc::clone(&self.state),
+        }
     }
 }
 
@@ -65,42 +95,82 @@ impl<T> VersionedLog<T> {
                 appended: 0,
                 published: 0,
                 consumers: HashMap::new(),
+                metrics: LogMetrics::default(),
             })),
+        }
+    }
+
+    /// Register this log's gauges with `registry` (`store.version.*`):
+    /// the producer watermark, retained batch count, and one staleness
+    /// gauge per consumer.
+    pub fn attach_registry(&self, registry: &MetricsRegistry) {
+        let mut s = self.state.write().unwrap();
+        s.metrics = LogMetrics {
+            registry: Some(registry.clone()),
+            published: registry.gauge("store.version.published"),
+            retained: registry.gauge("store.version.retained"),
+            staleness: HashMap::new(),
+        };
+        let names: Vec<String> = s.consumers.keys().cloned().collect();
+        for name in names {
+            let applied = s.consumers[&name];
+            let published = s.published;
+            let gauge = s.metrics.consumer_gauge(&name);
+            gauge.set(published.saturating_sub(applied) as i64);
         }
     }
 
     /// Producer: stage a batch; returns its epoch. Not yet visible.
     pub fn append(&self, batch: Vec<T>) -> Epoch {
-        let mut s = self.state.write();
+        let mut s = self.state.write().unwrap();
         s.appended += 1;
         let epoch = s.appended;
         s.batches.push((epoch, Arc::new(batch)));
+        s.metrics.retained.set(s.batches.len() as i64);
         epoch
     }
 
     /// Producer: make everything appended so far visible. Returns the new
     /// watermark.
     pub fn publish(&self) -> Epoch {
-        let mut s = self.state.write();
+        let mut s = self.state.write().unwrap();
         s.published = s.appended;
-        s.published
+        let published = s.published;
+        s.metrics.published.set(published as i64);
+        // Publishing grows every consumer's backlog.
+        let consumers: Vec<(String, Epoch)> =
+            s.consumers.iter().map(|(n, &a)| (n.clone(), a)).collect();
+        for (name, applied) in consumers {
+            let gauge = s.metrics.consumer_gauge(&name);
+            gauge.set(published.saturating_sub(applied) as i64);
+        }
+        published
     }
 
     /// Current visible watermark.
     pub fn published(&self) -> Epoch {
-        self.state.read().published
+        self.state.read().unwrap().published
     }
 
     /// Register a consumer starting from epoch 0 (sees all history that is
     /// still retained).
     pub fn register(&self, name: &str) -> Consumer<T> {
-        self.state.write().consumers.entry(name.to_string()).or_insert(0);
-        Consumer { log: self.clone(), name: name.to_string() }
+        let mut s = self.state.write().unwrap();
+        s.consumers.entry(name.to_string()).or_insert(0);
+        let applied = s.consumers[name];
+        let published = s.published;
+        let gauge = s.metrics.consumer_gauge(name);
+        gauge.set(published.saturating_sub(applied) as i64);
+        drop(s);
+        Consumer {
+            log: self.clone(),
+            name: name.to_string(),
+        }
     }
 
     /// Staleness of every registered consumer.
     pub fn staleness(&self) -> Vec<StalenessReport> {
-        let s = self.state.read();
+        let s = self.state.read().unwrap();
         let mut out: Vec<StalenessReport> = s
             .consumers
             .iter()
@@ -118,16 +188,17 @@ impl<T> VersionedLog<T> {
     /// Drop batches already applied by every consumer. Returns how many
     /// batches were discarded.
     pub fn trim(&self) -> usize {
-        let mut s = self.state.write();
+        let mut s = self.state.write().unwrap();
         let min_applied = s.consumers.values().copied().min().unwrap_or(0);
         let before = s.batches.len();
         s.batches.retain(|(e, _)| *e > min_applied);
+        s.metrics.retained.set(s.batches.len() as i64);
         before - s.batches.len()
     }
 
     /// Number of retained batches (diagnostic).
     pub fn retained(&self) -> usize {
-        self.state.read().batches.len()
+        self.state.read().unwrap().batches.len()
     }
 }
 
@@ -149,7 +220,7 @@ impl<T> Consumer<T> {
     /// backlog stays (measurably) stale on the rest rather than silently
     /// skipping it.
     pub fn poll_up_to(&self, max_batches: usize) -> Vec<(Epoch, Arc<Vec<T>>)> {
-        let mut s = self.log.state.write();
+        let mut s = self.log.state.write().unwrap();
         let applied = *s.consumers.get(&self.name).unwrap_or(&0);
         let published = s.published;
         if applied >= published || max_batches == 0 {
@@ -164,18 +235,28 @@ impl<T> Consumer<T> {
             .collect();
         let new_applied = out.last().map(|&(e, _)| e).unwrap_or(published);
         s.consumers.insert(self.name.clone(), new_applied);
+        let gauge = s.metrics.consumer_gauge(&self.name);
+        gauge.set(published.saturating_sub(new_applied) as i64);
         out
     }
 
     /// This consumer's applied epoch.
     pub fn applied(&self) -> Epoch {
-        *self.log.state.read().consumers.get(&self.name).unwrap_or(&0)
+        *self
+            .log
+            .state
+            .read()
+            .unwrap()
+            .consumers
+            .get(&self.name)
+            .unwrap_or(&0)
     }
 
     /// How far behind the producer this consumer currently is.
     pub fn staleness(&self) -> u64 {
-        let s = self.log.state.read();
-        s.published.saturating_sub(*s.consumers.get(&self.name).unwrap_or(&0))
+        let s = self.log.state.read().unwrap();
+        s.published
+            .saturating_sub(*s.consumers.get(&self.name).unwrap_or(&0))
     }
 
     pub fn name(&self) -> &str {
@@ -192,7 +273,10 @@ mod tests {
         let log: VersionedLog<u32> = VersionedLog::new();
         let indexer = log.register("indexer");
         log.append(vec![1, 2]);
-        assert!(indexer.poll().is_empty(), "append without publish is invisible");
+        assert!(
+            indexer.poll().is_empty(),
+            "append without publish is invisible"
+        );
         log.publish();
         let got = indexer.poll();
         assert_eq!(got.len(), 1);
@@ -295,6 +379,10 @@ mod tests {
         });
         producer.join().unwrap();
         let seen = collector.join().unwrap();
-        assert_eq!(seen, (0..100).collect::<Vec<u64>>(), "order and completeness preserved");
+        assert_eq!(
+            seen,
+            (0..100).collect::<Vec<u64>>(),
+            "order and completeness preserved"
+        );
     }
 }

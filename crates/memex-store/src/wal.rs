@@ -10,6 +10,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use memex_obs::{Counter, MetricsRegistry};
+
 use crate::codec::{crc32, get_bytes, get_u32, get_u64, put_bytes, put_u32, put_u64};
 use crate::error::{StoreError, StoreResult};
 
@@ -61,7 +63,9 @@ impl WalRecord {
                 let value = get_bytes(payload, &mut pos)?.to_vec();
                 WalRecord::Put { key, value }
             }
-            KIND_DELETE => WalRecord::Delete { key: get_bytes(payload, &mut pos)?.to_vec() },
+            KIND_DELETE => WalRecord::Delete {
+                key: get_bytes(payload, &mut pos)?.to_vec(),
+            },
             KIND_CHECKPOINT => WalRecord::Checkpoint,
             k => return Err(StoreError::Corrupt(format!("unknown wal kind {k}"))),
         };
@@ -75,10 +79,21 @@ enum WalBacking {
     File(File),
 }
 
+/// Obs handles (inert until [`Wal::attach_registry`] is called).
+#[derive(Default)]
+struct WalMetrics {
+    appends: Counter,
+    appended_bytes: Counter,
+    fsyncs: Counter,
+    replays: Counter,
+    torn_tails: Counter,
+}
+
 /// Append-only write-ahead log.
 pub struct Wal {
     backing: WalBacking,
     next_lsn: u64,
+    metrics: WalMetrics,
 }
 
 /// Outcome of replaying a log.
@@ -95,14 +110,38 @@ pub struct Replay {
 impl Wal {
     /// In-memory log (tests / transient stores).
     pub fn in_memory() -> Wal {
-        Wal { backing: WalBacking::Mem(Vec::new()), next_lsn: 1 }
+        Wal {
+            backing: WalBacking::Mem(Vec::new()),
+            next_lsn: 1,
+            metrics: WalMetrics::default(),
+        }
     }
 
     /// Open or create a file-backed log. The existing content is left
     /// untouched; call [`Wal::replay`] to read it.
     pub fn open_file<P: AsRef<Path>>(path: P) -> StoreResult<Wal> {
-        let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
-        Ok(Wal { backing: WalBacking::File(file), next_lsn: 1 })
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Wal {
+            backing: WalBacking::File(file),
+            next_lsn: 1,
+            metrics: WalMetrics::default(),
+        })
+    }
+
+    /// Register this log's counters with `registry` (`store.wal.*`).
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.metrics = WalMetrics {
+            appends: registry.counter("store.wal.appends"),
+            appended_bytes: registry.counter("store.wal.appended_bytes"),
+            fsyncs: registry.counter("store.wal.fsyncs"),
+            replays: registry.counter("store.wal.replays"),
+            torn_tails: registry.counter("store.wal.torn_tails"),
+        };
     }
 
     /// Append a record; returns its LSN. Frame layout:
@@ -122,6 +161,8 @@ impl Wal {
                 f.write_all(&frame)?;
             }
         }
+        self.metrics.appends.inc();
+        self.metrics.appended_bytes.add(frame.len() as u64);
         Ok(lsn)
     }
 
@@ -129,6 +170,7 @@ impl Wal {
     pub fn sync(&mut self) -> StoreResult<()> {
         if let WalBacking::File(f) = &mut self.backing {
             f.sync_data()?;
+            self.metrics.fsyncs.inc();
         }
         Ok(())
     }
@@ -180,6 +222,10 @@ impl Wal {
             }
         }
         self.next_lsn = max_lsn + 1;
+        self.metrics.replays.inc();
+        if replay.torn_tail {
+            self.metrics.torn_tails.inc();
+        }
         Ok(replay)
     }
 
@@ -241,8 +287,13 @@ mod tests {
     #[test]
     fn append_replay_round_trip() {
         let mut wal = Wal::in_memory();
-        wal.append(&WalRecord::Put { key: b"a".to_vec(), value: b"1".to_vec() }).unwrap();
-        wal.append(&WalRecord::Delete { key: b"b".to_vec() }).unwrap();
+        wal.append(&WalRecord::Put {
+            key: b"a".to_vec(),
+            value: b"1".to_vec(),
+        })
+        .unwrap();
+        wal.append(&WalRecord::Delete { key: b"b".to_vec() })
+            .unwrap();
         let replay = wal.replay().unwrap();
         assert_eq!(replay.records.len(), 2);
         assert_eq!(replay.frames_seen, 2);
@@ -250,27 +301,52 @@ mod tests {
         assert_eq!(replay.records[0].0, 1);
         assert_eq!(
             replay.records[0].1,
-            WalRecord::Put { key: b"a".to_vec(), value: b"1".to_vec() }
+            WalRecord::Put {
+                key: b"a".to_vec(),
+                value: b"1".to_vec()
+            }
         );
     }
 
     #[test]
     fn checkpoint_clears_prefix() {
         let mut wal = Wal::in_memory();
-        wal.append(&WalRecord::Put { key: b"a".to_vec(), value: b"1".to_vec() }).unwrap();
+        wal.append(&WalRecord::Put {
+            key: b"a".to_vec(),
+            value: b"1".to_vec(),
+        })
+        .unwrap();
         wal.append(&WalRecord::Checkpoint).unwrap();
-        wal.append(&WalRecord::Put { key: b"b".to_vec(), value: b"2".to_vec() }).unwrap();
+        wal.append(&WalRecord::Put {
+            key: b"b".to_vec(),
+            value: b"2".to_vec(),
+        })
+        .unwrap();
         let replay = wal.replay().unwrap();
         assert_eq!(replay.records.len(), 1);
         assert_eq!(replay.frames_seen, 3);
-        assert_eq!(replay.records[0].1, WalRecord::Put { key: b"b".to_vec(), value: b"2".to_vec() });
+        assert_eq!(
+            replay.records[0].1,
+            WalRecord::Put {
+                key: b"b".to_vec(),
+                value: b"2".to_vec()
+            }
+        );
     }
 
     #[test]
     fn torn_tail_is_dropped_not_fatal() {
         let mut wal = Wal::in_memory();
-        wal.append(&WalRecord::Put { key: b"a".to_vec(), value: b"1".to_vec() }).unwrap();
-        wal.append(&WalRecord::Put { key: b"b".to_vec(), value: b"2".to_vec() }).unwrap();
+        wal.append(&WalRecord::Put {
+            key: b"a".to_vec(),
+            value: b"1".to_vec(),
+        })
+        .unwrap();
+        wal.append(&WalRecord::Put {
+            key: b"b".to_vec(),
+            value: b"2".to_vec(),
+        })
+        .unwrap();
         wal.tear_tail(3).unwrap();
         let replay = wal.replay().unwrap();
         assert!(replay.torn_tail);
@@ -280,7 +356,11 @@ mod tests {
     #[test]
     fn bit_flip_detected_by_crc() {
         let mut wal = Wal::in_memory();
-        wal.append(&WalRecord::Put { key: b"abc".to_vec(), value: b"def".to_vec() }).unwrap();
+        wal.append(&WalRecord::Put {
+            key: b"abc".to_vec(),
+            value: b"def".to_vec(),
+        })
+        .unwrap();
         if let WalBacking::Mem(buf) = &mut wal.backing {
             let last = buf.len() - 1;
             buf[last] ^= 0xFF;
@@ -294,7 +374,8 @@ mod tests {
     fn lsns_resume_after_replay() {
         let mut wal = Wal::in_memory();
         wal.append(&WalRecord::Checkpoint).unwrap();
-        wal.append(&WalRecord::Delete { key: b"x".to_vec() }).unwrap();
+        wal.append(&WalRecord::Delete { key: b"x".to_vec() })
+            .unwrap();
         wal.replay().unwrap();
         let lsn = wal.append(&WalRecord::Checkpoint).unwrap();
         assert_eq!(lsn, 3);
@@ -307,7 +388,11 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut wal = Wal::open_file(&path).unwrap();
-            wal.append(&WalRecord::Put { key: b"k".to_vec(), value: b"v".to_vec() }).unwrap();
+            wal.append(&WalRecord::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            })
+            .unwrap();
             wal.sync().unwrap();
         }
         {

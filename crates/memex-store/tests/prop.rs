@@ -21,12 +21,18 @@ enum Op {
 
 fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
     // Small alphabet so operations collide often (the interesting case).
-    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8)], 1..6)
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8)],
+        1..6,
+    )
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..20))
+        (
+            key_strategy(),
+            proptest::collection::vec(any::<u8>(), 0..20)
+        )
             .prop_map(|(k, v)| Op::Put(k, v)),
         key_strategy().prop_map(Op::Delete),
         Just(Op::Checkpoint),

@@ -23,7 +23,10 @@ pub struct AnalyzerOptions {
 
 impl Default for AnalyzerOptions {
     fn default() -> Self {
-        AnalyzerOptions { stem: true, remove_stopwords: true }
+        AnalyzerOptions {
+            stem: true,
+            remove_stopwords: true,
+        }
     }
 }
 
@@ -67,7 +70,10 @@ impl Analyzer {
     /// document order (df statistics are NOT recorded — combine with
     /// [`Analyzer::index_document`] when both are needed).
     pub fn intern_sequence(&self, vocab: &mut Vocabulary, text: &str) -> Vec<TermId> {
-        self.term_sequence(text).iter().map(|t| vocab.intern(t)).collect()
+        self.term_sequence(text)
+            .iter()
+            .map(|t| vocab.intern(t))
+            .collect()
     }
 
     /// Intern counts into `vocab` (creating ids as needed) and record the
@@ -104,7 +110,11 @@ impl Analyzer {
         let counts = self.counts(text);
         let mut v: SparseVec = counts
             .iter()
-            .filter_map(|(t, &c)| vocab.id(t).map(|id| (id, (1.0 + (c as f32).ln()) * vocab.idf(id))))
+            .filter_map(|(t, &c)| {
+                vocab
+                    .id(t)
+                    .map(|id| (id, (1.0 + (c as f32).ln()) * vocab.idf(id)))
+            })
             .collect();
         v.normalize();
         v
@@ -127,7 +137,10 @@ mod tests {
 
     #[test]
     fn options_can_disable_stages() {
-        let a = Analyzer::new(AnalyzerOptions { stem: false, remove_stopwords: false });
+        let a = Analyzer::new(AnalyzerOptions {
+            stem: false,
+            remove_stopwords: false,
+        });
         let counts = a.counts("the compilers");
         assert_eq!(counts.get("the"), Some(&1));
         assert_eq!(counts.get("compilers"), Some(&1));
@@ -160,7 +173,11 @@ mod tests {
         // "web" appears everywhere, "theremin" once.
         let mut pairs_last = Vec::new();
         for i in 0..20 {
-            let text = if i == 0 { "web theremin" } else { "web browser" };
+            let text = if i == 0 {
+                "web theremin"
+            } else {
+                "web browser"
+            };
             pairs_last = a.index_document(&mut vocab, text);
         }
         let rare_doc = a.index_document(&mut vocab, "web theremin");

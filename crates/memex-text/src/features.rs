@@ -58,7 +58,9 @@ impl ClassTermStats {
 
     /// Score a single term.
     pub fn score(&self, term: TermId, how: FeatureScore) -> f64 {
-        let Some(dfs) = self.term_class_df.get(&term) else { return 0.0 };
+        let Some(dfs) = self.term_class_df.get(&term) else {
+            return 0.0;
+        };
         match how {
             FeatureScore::Fisher => self.fisher(dfs),
             FeatureScore::ChiSquare => self.chi_square(dfs),
@@ -74,7 +76,11 @@ impl ClassTermStats {
             .keys()
             .map(|&t| (t, self.score(t, how)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         scored.truncate(k);
         scored.into_iter().map(|(t, _)| t).collect()
     }
@@ -84,7 +90,13 @@ impl ClassTermStats {
         let rates: Vec<f64> = dfs
             .iter()
             .zip(&self.class_docs)
-            .map(|(&df, &n)| if n == 0 { 0.0 } else { f64::from(df) / f64::from(n) })
+            .map(|(&df, &n)| {
+                if n == 0 {
+                    0.0
+                } else {
+                    f64::from(df) / f64::from(n)
+                }
+            })
             .collect();
         let k = rates.len() as f64;
         if k < 2.0 {
@@ -108,7 +120,10 @@ impl ClassTermStats {
             let _ = c;
             let nc = f64::from(nc);
             // Cells: (present, class c) and (absent, class c).
-            for (observed, term_mass) in [(f64::from(df), term_total), (nc - f64::from(df), n - term_total)] {
+            for (observed, term_mass) in [
+                (f64::from(df), term_total),
+                (nc - f64::from(df), n - term_total),
+            ] {
                 let expected = nc * term_mass / n;
                 if expected > 0.0 {
                     chi += (observed - expected).powi(2) / expected;
@@ -127,8 +142,10 @@ impl ClassTermStats {
         let mut mi = 0.0;
         for (&df, &nc) in dfs.iter().zip(&self.class_docs) {
             let p_c = f64::from(nc) / n;
-            for (joint, p_t) in [(f64::from(df) / n, p_term), ((f64::from(nc) - f64::from(df)) / n, 1.0 - p_term)]
-            {
+            for (joint, p_t) in [
+                (f64::from(df) / n, p_term),
+                ((f64::from(nc) - f64::from(df)) / n, 1.0 - p_term),
+            ] {
                 if joint > 0.0 && p_c > 0.0 && p_t > 0.0 {
                     mi += joint * (joint / (p_c * p_t)).ln();
                 }
@@ -162,12 +179,22 @@ mod tests {
     #[test]
     fn all_scores_rank_discriminator_above_noise() {
         let s = fixture();
-        for how in [FeatureScore::Fisher, FeatureScore::ChiSquare, FeatureScore::MutualInfo] {
+        for how in [
+            FeatureScore::Fisher,
+            FeatureScore::ChiSquare,
+            FeatureScore::MutualInfo,
+        ] {
             let perfect = s.score(1, how);
             let noise = s.score(2, how);
             let partial = s.score(3, how);
-            assert!(perfect > partial, "{how:?}: perfect {perfect} <= partial {partial}");
-            assert!(partial > noise, "{how:?}: partial {partial} <= noise {noise}");
+            assert!(
+                perfect > partial,
+                "{how:?}: perfect {perfect} <= partial {partial}"
+            );
+            assert!(
+                partial > noise,
+                "{how:?}: partial {partial} <= noise {noise}"
+            );
         }
     }
 

@@ -101,9 +101,7 @@ fn replace_if_m(w: &mut Vec<u8>, suffix: &str, replacement: &str, m: usize) -> b
 }
 
 fn step1a(w: &mut Vec<u8>) {
-    if ends_with(w, "sses") {
-        w.truncate(w.len() - 2);
-    } else if ends_with(w, "ies") {
+    if ends_with(w, "sses") || ends_with(w, "ies") {
         w.truncate(w.len() - 2);
     } else if ends_with(w, "ss") {
         // unchanged
@@ -139,7 +137,7 @@ fn step1b(w: &mut Vec<u8>) {
     }
 }
 
-fn step1c(w: &mut Vec<u8>) {
+fn step1c(w: &mut [u8]) {
     if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
         let n = w.len();
         w[n - 1] = b'i';
@@ -203,10 +201,7 @@ fn step4(w: &mut Vec<u8>) {
     // "ion" requires the stem to end in s or t.
     if ends_with(w, "ion") {
         let stem_len = w.len() - 3;
-        if stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;

@@ -8,20 +8,144 @@ use std::sync::OnceLock;
 
 /// The raw list (lower-case, unstemmed).
 pub const STOPWORDS: &[&str] = &[
-    "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
-    "are", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
-    "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during",
-    "each", "few", "for", "from", "further", "had", "has", "have", "having", "he", "her",
-    "here", "hers", "herself", "him", "himself", "his", "how", "if", "in", "into", "is", "it",
-    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now",
-    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out",
-    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
-    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
-    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
-    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would",
-    "you", "your", "yours", "yourself", "yourselves",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "also",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "did",
+    "do",
+    "does",
+    "doing",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "has",
+    "have",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "if",
+    "in",
+    "into",
+    "is",
+    "it",
+    "its",
+    "itself",
+    "just",
+    "me",
+    "more",
+    "most",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "same",
+    "she",
+    "should",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "very",
+    "was",
+    "we",
+    "were",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "will",
+    "with",
+    "would",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
     // Web chrome that behaves like a stopword in browsing corpora.
-    "http", "https", "www", "com", "html", "htm", "home", "page", "click", "link", "site",
+    "http",
+    "https",
+    "www",
+    "com",
+    "html",
+    "htm",
+    "home",
+    "page",
+    "click",
+    "link",
+    "site",
 ];
 
 fn set() -> &'static HashSet<&'static str> {

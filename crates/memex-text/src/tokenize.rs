@@ -182,7 +182,11 @@ mod tests {
         assert!(words("a I x").is_empty(), "single chars dropped");
         let long = "x".repeat(MAX_TOKEN_LEN + 1);
         assert!(words(&long).is_empty(), "overlong tokens dropped");
-        assert_eq!(words("12345 1999"), vec!["1999"], "long digit runs dropped, years kept");
+        assert_eq!(
+            words("12345 1999"),
+            vec!["1999"],
+            "long digit runs dropped, years kept"
+        );
     }
 
     #[test]
@@ -207,7 +211,14 @@ mod tests {
     #[test]
     fn survives_malformed_html() {
         // Unterminated constructs must not panic or loop.
-        for bad in ["<unclosed", "&unterminated", "<!-- no end", "<script>never closed", "a<b", "&"] {
+        for bad in [
+            "<unclosed",
+            "&unterminated",
+            "<!-- no end",
+            "<script>never closed",
+            "a<b",
+            "&",
+        ] {
             let _ = tokenize(bad);
         }
         assert_eq!(tokenize("trailing <"), vec!["trailing"]);
@@ -221,7 +232,10 @@ mod tests {
     #[test]
     fn href_extraction() {
         let html = r#"<a href="http://a.example/x">A</a> <A HREF='http://b.example'>B</A>"#;
-        assert_eq!(extract_hrefs(html), vec!["http://a.example/x", "http://b.example"]);
+        assert_eq!(
+            extract_hrefs(html),
+            vec!["http://a.example/x", "http://b.example"]
+        );
         assert!(extract_hrefs("no links here").is_empty());
         assert!(extract_hrefs("<a href=").is_empty());
     }

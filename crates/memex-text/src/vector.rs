@@ -166,8 +166,11 @@ impl SparseVec {
         if self.entries.len() <= k {
             return;
         }
-        self.entries
-            .sort_unstable_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("weights are finite"));
+        self.entries.sort_unstable_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .expect("weights are finite")
+        });
         self.entries.truncate(k);
         self.entries.sort_unstable_by_key(|&(id, _)| id);
     }

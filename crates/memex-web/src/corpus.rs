@@ -89,9 +89,18 @@ pub struct Page {
 
 /// Human-ish topic names cycled for readability in demos and tests.
 const TOPIC_NAMES: &[&str] = &[
-    "classical music", "recreational cycling", "compiler research", "travel asia",
-    "stock markets", "gardening orchids", "cricket news", "linux kernels",
-    "astronomy imaging", "vegetarian cooking", "chess openings", "folk dance",
+    "classical music",
+    "recreational cycling",
+    "compiler research",
+    "travel asia",
+    "stock markets",
+    "gardening orchids",
+    "cricket news",
+    "linux kernels",
+    "astronomy imaging",
+    "vegetarian cooking",
+    "chess openings",
+    "folk dance",
 ];
 
 /// The generated web.
@@ -124,23 +133,28 @@ impl Corpus {
             })
             .collect();
         let mut taxonomy = Taxonomy::new();
-        let topic_nodes: Vec<TopicId> =
-            topic_names.iter().map(|n| taxonomy.add_child(Taxonomy::ROOT, n)).collect();
+        let topic_nodes: Vec<TopicId> = topic_names
+            .iter()
+            .map(|n| taxonomy.add_child(Taxonomy::ROOT, n))
+            .collect();
 
         // Vocabulary pools. Topic pools open with the topic's name words so
         // examples read naturally; the rest are synthetic stems.
         let topic_pools: Vec<Vec<String>> = (0..config.num_topics)
             .map(|t| {
-                let mut pool: Vec<String> =
-                    topic_names[t].split_whitespace().map(str::to_string).collect();
+                let mut pool: Vec<String> = topic_names[t]
+                    .split_whitespace()
+                    .map(str::to_string)
+                    .collect();
                 for i in pool.len()..config.vocab_per_topic {
                     pool.push(format!("{}term{}", topic_slug(&topic_names[t]), i));
                 }
                 pool
             })
             .collect();
-        let shared_pool: Vec<String> =
-            (0..config.shared_vocab).map(|i| format!("common{i}")).collect();
+        let shared_pool: Vec<String> = (0..config.shared_vocab)
+            .map(|i| format!("common{i}"))
+            .collect();
         let topic_zipf = Zipf::new(config.vocab_per_topic, config.zipf_alpha);
         let shared_zipf = Zipf::new(config.shared_vocab, config.zipf_alpha);
 
@@ -152,9 +166,17 @@ impl Corpus {
             for j in 0..config.pages_per_topic {
                 let id = pages.len() as u32;
                 let is_front = j < fronts;
-                let (lo, hi) = if is_front { config.front_tokens } else { config.interior_tokens };
+                let (lo, hi) = if is_front {
+                    config.front_tokens
+                } else {
+                    config.interior_tokens
+                };
                 let ntok = rng.gen_range(lo..=hi.max(lo));
-                let bias = if is_front { config.front_topic_bias } else { config.interior_topic_bias };
+                let bias = if is_front {
+                    config.front_topic_bias
+                } else {
+                    config.interior_topic_bias
+                };
                 let mut words = Vec::with_capacity(ntok);
                 for _ in 0..ntok {
                     if rng.gen_bool(bias) {
@@ -173,7 +195,11 @@ impl Corpus {
                 };
                 let text = words.join(" ");
                 let bytes = (text.len() as u32)
-                    + if is_front { rng.gen_range(20_000..80_000) } else { rng.gen_range(1_000..8_000) };
+                    + if is_front {
+                        rng.gen_range(20_000u32..80_000)
+                    } else {
+                        rng.gen_range(1_000u32..8_000)
+                    };
                 pages.push(Page {
                     id,
                     url: format!(
@@ -195,9 +221,12 @@ impl Corpus {
         // Links.
         let mut graph = WebGraph::with_nodes(total);
         let per = config.pages_per_topic;
-        for p in 0..total {
-            let page = &pages[p];
-            let (lo, hi) = if page.is_front { config.front_links } else { config.interior_links };
+        for (p, page) in pages.iter().enumerate() {
+            let (lo, hi) = if page.is_front {
+                config.front_links
+            } else {
+                config.interior_links
+            };
             let nlinks = rng.gen_range(lo..=hi.max(lo));
             for _ in 0..nlinks {
                 let target = if rng.gen_bool(config.link_locality) {
@@ -219,7 +248,14 @@ impl Corpus {
             }
         }
 
-        Corpus { config, pages, graph, topic_names, taxonomy, topic_nodes }
+        Corpus {
+            config,
+            pages,
+            graph,
+            topic_names,
+            taxonomy,
+            topic_nodes,
+        }
     }
 
     pub fn num_pages(&self) -> usize {
@@ -233,7 +269,11 @@ impl Corpus {
 
     /// Page ids of one topic.
     pub fn pages_of_topic(&self, topic: usize) -> Vec<u32> {
-        self.pages.iter().filter(|p| p.topic == topic).map(|p| p.id).collect()
+        self.pages
+            .iter()
+            .filter(|p| p.topic == topic)
+            .map(|p| p.id)
+            .collect()
     }
 
     /// Front-page ids of one topic (session seeds, bookmark magnets).
@@ -257,7 +297,10 @@ impl Corpus {
                 analyzer.index_document(&mut vocab, &full)
             })
             .collect();
-        let tfidf: Vec<SparseVec> = tf.iter().map(|pairs| analyzer.tfidf(&vocab, pairs)).collect();
+        let tfidf: Vec<SparseVec> = tf
+            .iter()
+            .map(|pairs| analyzer.tfidf(&vocab, pairs))
+            .collect();
         AnalyzedCorpus { vocab, tf, tfidf }
     }
 }
@@ -273,7 +316,10 @@ pub struct AnalyzedCorpus {
 }
 
 fn topic_slug(name: &str) -> String {
-    name.split_whitespace().next().unwrap_or("topic").to_string()
+    name.split_whitespace()
+        .next()
+        .unwrap_or("topic")
+        .to_string()
 }
 
 #[cfg(test)]
@@ -295,7 +341,11 @@ mod tests {
         assert_eq!(a.pages.len(), b.pages.len());
         assert_eq!(a.pages[17].text, b.pages[17].text);
         assert_eq!(a.graph.num_edges(), b.graph.num_edges());
-        let mut cfg = CorpusConfig { num_topics: 4, pages_per_topic: 30, ..CorpusConfig::default() };
+        let mut cfg = CorpusConfig {
+            num_topics: 4,
+            pages_per_topic: 30,
+            ..CorpusConfig::default()
+        };
         cfg.seed = 7;
         let c = Corpus::generate(cfg);
         assert_ne!(a.pages[17].text, c.pages[17].text);

@@ -104,7 +104,10 @@ impl Community {
                     (0..num_topics).filter(|&t| t != u % num_topics).collect();
                 pool.shuffle(&mut rng);
                 interests.extend(pool.into_iter().take(config.interests_per_user - 1));
-                UserTruth { user: u as u32, interests }
+                UserTruth {
+                    user: u as u32,
+                    interests,
+                }
             })
             .collect();
 
@@ -118,9 +121,8 @@ impl Community {
             for truth in &users {
                 let session = session_counter;
                 session_counter += 1;
-                let mut time = config.start_time
-                    + slot * u64::from(session)
-                    + rng.gen_range(0..slot.max(1));
+                let mut time =
+                    config.start_time + slot * u64::from(session) + rng.gen_range(0..slot.max(1));
                 // Intended topic: primary interest is twice as likely.
                 let topic = if rng.gen_bool(0.5) {
                     truth.interests[0]
@@ -138,15 +140,14 @@ impl Community {
                 } else {
                     corpus.front_pages_of_topic(topic)
                 };
-                let mut current: u32 = if !my_marks.is_empty()
-                    && rng.gen_bool(config.resume_from_bookmark_prob)
-                {
-                    my_marks[rng.gen_range(0..my_marks.len())]
-                } else if !fronts.is_empty() {
-                    fronts[rng.gen_range(0..fronts.len())]
-                } else {
-                    rng.gen_range(0..corpus.num_pages()) as u32
-                };
+                let mut current: u32 =
+                    if !my_marks.is_empty() && rng.gen_bool(config.resume_from_bookmark_prob) {
+                        my_marks[rng.gen_range(0..my_marks.len())]
+                    } else if !fronts.is_empty() {
+                        fronts[rng.gen_range(0..fronts.len())]
+                    } else {
+                        rng.gen_range(0..corpus.num_pages()) as u32
+                    };
                 let len = rng.gen_range(config.session_length.0..=config.session_length.1);
                 let mut referrer: Option<u32> = None;
                 for _ in 0..len {
@@ -168,7 +169,7 @@ impl Community {
                         });
                     }
                     // Next step.
-                    time += rng.gen_range(5_000..120_000); // dwell 5s..2min
+                    time += rng.gen_range(5_000u64..120_000); // dwell 5s..2min
                     let outs = corpus.graph.out_links(current);
                     let jump = rng.gen_bool(config.jump_prob) || outs.is_empty();
                     if jump {
@@ -201,7 +202,11 @@ impl Community {
         }
         visits.sort_by_key(|v| v.time);
         bookmarks.sort_by_key(|b| b.time);
-        Community { users, visits, bookmarks }
+        Community {
+            users,
+            visits,
+            bookmarks,
+        }
     }
 
     /// Bytes transferred per user per ground-truth topic — the ISP-bill
@@ -229,7 +234,11 @@ mod tests {
         });
         let community = Community::simulate(
             &corpus,
-            &SurferConfig { num_users: 6, sessions_per_user: 8, ..SurferConfig::default() },
+            &SurferConfig {
+                num_users: 6,
+                sessions_per_user: 8,
+                ..SurferConfig::default()
+            },
         );
         (corpus, community)
     }
@@ -249,8 +258,11 @@ mod tests {
     fn sessions_stay_mostly_on_interest() {
         let (corpus, community) = world();
         for truth in &community.users {
-            let visits: Vec<_> =
-                community.visits.iter().filter(|v| v.user == truth.user).collect();
+            let visits: Vec<_> = community
+                .visits
+                .iter()
+                .filter(|v| v.user == truth.user)
+                .collect();
             let on_interest = visits
                 .iter()
                 .filter(|v| truth.interests.contains(&corpus.topic_of(v.page)))
@@ -272,12 +284,29 @@ mod tests {
     #[test]
     fn referrers_form_trails() {
         let (corpus, community) = world();
-        let with_ref = community.visits.iter().filter(|v| v.referrer.is_some()).count();
-        assert!(with_ref * 2 > community.visits.len(), "most visits follow links");
+        let with_ref = community
+            .visits
+            .iter()
+            .filter(|v| v.referrer.is_some())
+            .count();
+        assert!(
+            with_ref * 2 > community.visits.len(),
+            "most visits follow links"
+        );
         // Every referrer edge exists in the web graph.
-        for v in community.visits.iter().filter(|v| v.referrer.is_some()).take(200) {
+        for v in community
+            .visits
+            .iter()
+            .filter(|v| v.referrer.is_some())
+            .take(200)
+        {
             let r = v.referrer.unwrap();
-            assert!(corpus.graph.has_edge(r, v.page), "trail edge {}->{} missing", r, v.page);
+            assert!(
+                corpus.graph.has_edge(r, v.page),
+                "trail edge {}->{} missing",
+                r,
+                v.page
+            );
         }
     }
 
@@ -286,7 +315,10 @@ mod tests {
         let (_, community) = world();
         let public = community.visits.iter().filter(|v| v.public).count();
         assert!(public > community.visits.len() / 2);
-        assert!(public < community.visits.len(), "some private visits expected");
+        assert!(
+            public < community.visits.len(),
+            "some private visits expected"
+        );
     }
 
     #[test]

@@ -11,11 +11,11 @@ use memex_web::zipf::Zipf;
 
 fn config_strategy() -> impl Strategy<Value = CorpusConfig> {
     (
-        2usize..6,     // topics
-        4usize..20,    // pages per topic
-        0.0f64..0.9,   // front fraction
-        0.0f64..1.0,   // link locality
-        any::<u64>(),  // seed
+        2usize..6,    // topics
+        4usize..20,   // pages per topic
+        0.0f64..0.9,  // front fraction
+        0.0f64..1.0,  // link locality
+        any::<u64>(), // seed
     )
         .prop_map(|(topics, pages, front, locality, seed)| CorpusConfig {
             num_topics: topics,

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }));
     let community = Community::simulate(
         &corpus,
-        &SurferConfig { num_users: 10, sessions_per_user: 12, ..SurferConfig::default() },
+        &SurferConfig {
+            num_users: 10,
+            sessions_per_user: 12,
+            ..SurferConfig::default()
+        },
     );
     println!(
         "community: {} users, {} visits, {} bookmarks over ~6 months of virtual time\n",
@@ -67,11 +71,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .folder_space(user)
         .add_folder(&format!("/{}", corpus.topic_names[topic]));
     let ctx = memex.topic_context(user, folder, 0, 12);
-    println!("trail tab — /{} (community context):", corpus.topic_names[topic]);
+    println!(
+        "trail tab — /{} (community context):",
+        corpus.topic_names[topic]
+    );
     for n in ctx.nodes.iter().take(8) {
-        println!("  seen {:>2}x  {}", n.visit_count, corpus.pages[n.page as usize].url);
+        println!(
+            "  seen {:>2}x  {}",
+            n.visit_count, corpus.pages[n.page as usize].url
+        );
     }
-    println!("  ({} traversed links among these pages)\n", ctx.edges.len());
+    println!(
+        "  ({} traversed links among these pages)\n",
+        ctx.edges.len()
+    );
 
     // Fig. 4 — the community theme taxonomy.
     let (themes, _docs) = memex.community_themes().clone();
@@ -107,13 +120,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|t| community.users[0].interests.contains(t))
             .map(|&t| corpus.topic_names[t].as_str())
             .collect();
-        println!("  user{v}  sim {:.2}  (truly shares: {})", sim, if shared.is_empty() { "-".into() } else { shared.join(", ") });
+        println!(
+            "  user{v}  sim {:.2}  (truly shares: {})",
+            sim,
+            if shared.is_empty() {
+                "-".into()
+            } else {
+                shared.join(", ")
+            }
+        );
     }
 
     // "What's new on my topic that I haven't seen?"
     let horizon = community.visits[community.visits.len() / 2].time;
     let fresh = memex.whats_new(user, folder, horizon, 5);
-    println!("\nnew authoritative pages on /{} since mid-history:", corpus.topic_names[topic]);
+    println!(
+        "\nnew authoritative pages on /{} since mid-history:",
+        corpus.topic_names[topic]
+    );
     for (page, auth) in fresh {
         println!("  auth {:.3}  {}", auth, corpus.pages[page as usize].url);
     }

@@ -40,7 +40,11 @@ fn main() {
 
     println!("harvest rate (cumulative on-topic fraction):");
     println!("  pages   focused   unfocused-BFS");
-    for ((n, f), (_, u)) in focused.harvest_curve(budget / 8).iter().zip(unfocused.harvest_curve(budget / 8)) {
+    for ((n, f), (_, u)) in focused
+        .harvest_curve(budget / 8)
+        .iter()
+        .zip(unfocused.harvest_curve(budget / 8))
+    {
         println!("  {:>5}   {:>6.1}%   {:>6.1}%", n, 100.0 * f, 100.0 * u);
     }
     println!(
@@ -58,7 +62,10 @@ fn main() {
         .filter(|&(_, &on)| on)
         .map(|(&p, _)| p)
         .collect();
-    println!("\ntop authorities among the {} discovered on-topic pages:", discovered.len());
+    println!(
+        "\ntop authorities among the {} discovered on-topic pages:",
+        discovered.len()
+    );
     for (page, auth) in top_authorities(&corpus.graph, &discovered, 5) {
         println!("  auth {:.3}  {}", auth, corpus.pages[page as usize].url);
     }

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }));
     let community = Community::simulate(
         &corpus,
-        &SurferConfig { num_users: 8, sessions_per_user: 10, ..SurferConfig::default() },
+        &SurferConfig {
+            num_users: 8,
+            sessions_per_user: 10,
+            ..SurferConfig::default()
+        },
     );
     let mut memex = Memex::new(corpus.clone(), MemexOptions::default())?;
     for u in &community.users {
@@ -74,16 +78,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .find(|p| !p.is_front && memex.server.trails.user_pages(user, 0).contains(&p.id))
         .expect("a visited interior page");
-    let phrase: String = sample.text.split_whitespace().take(3).collect::<Vec<_>>().join(" ");
+    let phrase: String = sample
+        .text
+        .split_whitespace()
+        .take(3)
+        .collect::<Vec<_>>()
+        .join(" ");
     println!("\n[2] phrase recall: \"{phrase}\"");
     for h in memex.recall_phrase(user, &phrase, 0, u64::MAX, 3)? {
         println!("    {}", h.url);
     }
 
     // --- 3. Trail tab.
-    let folder = memex.folder_space(user).add_folder(&format!("/{}", corpus.topic_names[topic]));
+    let folder = memex
+        .folder_space(user)
+        .add_folder(&format!("/{}", corpus.topic_names[topic]));
     let ctx = memex.topic_context(user, folder, 0, 8);
-    println!("\n[3] trail tab /{}: {} pages, {} links", corpus.topic_names[topic], ctx.nodes.len(), ctx.edges.len());
+    println!(
+        "\n[3] trail tab /{}: {} pages, {} links",
+        corpus.topic_names[topic],
+        ctx.nodes.len(),
+        ctx.edges.len()
+    );
 
     // --- 4. Folder proposals for loose pages.
     println!("\n[4] proposed folders for unfiled history:");
@@ -98,20 +114,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sg = ScatterGather::new(&docs, &memex.server.vocab, 4, 1);
     println!("\n[5] scatter/gather over {} history pages:", docs.len());
     for view in sg.scatter() {
-        println!("    [{} docs] {}", view.members.len(), view.summary.join(", "));
+        println!(
+            "    [{} docs] {}",
+            view.members.len(),
+            view.summary.join(", ")
+        );
     }
 
     // --- 6. Related pages by pure link structure.
     let anchor = ctx.nodes.first().expect("context non-empty").page;
-    println!("\n[6] link-structure neighbours of {}:", corpus.pages[anchor as usize].url);
+    println!(
+        "\n[6] link-structure neighbours of {}:",
+        corpus.pages[anchor as usize].url
+    );
     for (p, sim) in related_pages(&memex.server.web, anchor, 3) {
         println!("    {:.3}  {}", sim, corpus.pages[p as usize].url);
     }
 
     // --- 7. Community map + my place + similar surfers.
     let (themes, _) = memex.community_themes().clone();
-    println!("\n[7] community themes ({} themes, {} merges/{} refines/{} coarsens):",
-        themes.themes.len(), themes.merges, themes.refines, themes.coarsens);
+    println!(
+        "\n[7] community themes ({} themes, {} merges/{} refines/{} coarsens):",
+        themes.themes.len(),
+        themes.merges,
+        themes.refines,
+        themes.coarsens
+    );
     println!("    my place: {:?}", memex.my_place(user).first());
     println!("    similar surfers: {:?}", memex.similar_surfers(user, 2));
 
@@ -119,8 +147,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Response::Recommend(recs) = dispatch(&mut memex, Request::Recommend { user, k: 3 }) {
         println!("\n[8] recommendations: {recs:?}");
     }
-    if let Response::Bill(lines) = dispatch(&mut memex, Request::Bill { user, since: 0, until: u64::MAX }) {
-        println!("    bill: {} folders, top = {} ({:.0}%)", lines.len(), lines[0].folder, 100.0 * lines[0].fraction);
+    if let Response::Bill(lines) = dispatch(
+        &mut memex,
+        Request::Bill {
+            user,
+            since: 0,
+            until: u64::MAX,
+        },
+    ) {
+        println!(
+            "    bill: {} folders, top = {} ({:.0}%)",
+            lines.len(),
+            lines[0].folder,
+            100.0 * lines[0].fraction
+        );
     }
     println!("\ntour complete.");
     Ok(())

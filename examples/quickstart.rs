@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pages_per_topic: 30,
         ..CorpusConfig::default()
     }));
-    println!("synthetic web: {} pages, {} links", corpus.num_pages(), corpus.graph.num_edges());
+    println!(
+        "synthetic web: {} pages, {} links",
+        corpus.num_pages(),
+        corpus.graph.num_edges()
+    );
     println!("topics: {}\n", corpus.topic_names.join(" | "));
 
     // 2. A Memex server and one registered user.
@@ -110,11 +114,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 7. The trail tab (Fig. 2): replay my topical browsing context.
-    let folder = memex.folder_space(me).add_folder(&format!("/{}", corpus.topic_names[0]));
+    let folder = memex
+        .folder_space(me)
+        .add_folder(&format!("/{}", corpus.topic_names[0]));
     let ctx = memex.topic_context(me, folder, 0, 10);
-    println!("\ntrail tab for /{}: {} pages, {} traversed links", corpus.topic_names[0], ctx.nodes.len(), ctx.edges.len());
+    println!(
+        "\ntrail tab for /{}: {} pages, {} traversed links",
+        corpus.topic_names[0],
+        ctx.nodes.len(),
+        ctx.edges.len()
+    );
     for n in ctx.nodes.iter().take(5) {
-        println!("  seen {}x  {}", n.visit_count, corpus.pages[n.page as usize].url);
+        println!(
+            "  seen {}x  {}",
+            n.visit_count, corpus.pages[n.page as usize].url
+        );
     }
     Ok(())
 }

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }));
     let community = Community::simulate(
         &corpus,
-        &SurferConfig { num_users: 4, sessions_per_user: 15, ..SurferConfig::default() },
+        &SurferConfig {
+            num_users: 4,
+            sessions_per_user: 15,
+            ..SurferConfig::default()
+        },
     );
     let mut memex = Memex::new(corpus.clone(), MemexOptions::default())?;
     for u in &community.users {
@@ -87,14 +91,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("an early interior visit");
     let months_later = community.visits.last().expect("history").time;
     let age_days = (months_later - old.time) / 86_400_000;
-    let remembered: Vec<&str> =
-        corpus.pages[old.page as usize].text.split_whitespace().take(4).collect();
+    let remembered: Vec<&str> = corpus.pages[old.page as usize]
+        .text
+        .split_whitespace()
+        .take(4)
+        .collect();
     let query = remembered.join(" ");
     println!("\nrecall test: page visited {age_days} days ago, querying \"{query}\"");
     let month = 30 * 86_400_000u64;
-    let hits = memex.recall(user, &query, old.time.saturating_sub(month), old.time + month, 5)?;
+    let hits = memex.recall(
+        user,
+        &query,
+        old.time.saturating_sub(month),
+        old.time + month,
+        5,
+    )?;
     for (rank, h) in hits.iter().enumerate() {
-        let marker = if h.page == old.page { "  <-- the page" } else { "" };
+        let marker = if h.page == old.page {
+            "  <-- the page"
+        } else {
+            ""
+        };
         println!("  #{}  {:.2}  {}{}", rank + 1, h.score, h.url, marker);
     }
     Ok(())

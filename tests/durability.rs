@@ -52,7 +52,8 @@ fn metadata_db_and_term_store_recover_from_torn_wal() {
     {
         let mut kv = KvStore::open_dir(&dir, "terms", KvStoreOptions::default()).unwrap();
         for i in 0..200u32 {
-            kv.put(format!("df:{i:06}").as_bytes(), &i.to_le_bytes()).unwrap();
+            kv.put(format!("df:{i:06}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         kv.wal_mut().sync().unwrap();
         // Crash mid-write of the last record.
@@ -79,13 +80,20 @@ fn relational_catalog_round_trips_through_restart() {
             .create_table(
                 Schema::new(
                     "users",
-                    vec![Column::unique("name", ColType::Text), Column::new("joined", ColType::Int)],
+                    vec![
+                        Column::unique("name", ColType::Text),
+                        Column::new("joined", ColType::Int),
+                    ],
                 )
                 .unwrap(),
             )
             .unwrap();
         for (i, name) in ["soumen", "sandy", "manyam", "mits"].iter().enumerate() {
-            db.insert(&users, vec![Value::Text(name.to_string()), Value::Int(i as i64)]).unwrap();
+            db.insert(
+                &users,
+                vec![Value::Text(name.to_string()), Value::Int(i as i64)],
+            )
+            .unwrap();
         }
         db.checkpoint().unwrap();
     }
@@ -93,7 +101,9 @@ fn relational_catalog_round_trips_through_restart() {
         let mut db = Database::open_dir(&dir).unwrap();
         let users = db.table("users").unwrap();
         assert_eq!(db.count(&users).unwrap(), 4);
-        let hit = db.lookup_unique(&users, "name", &Value::Text("mits".into())).unwrap();
+        let hit = db
+            .lookup_unique(&users, "name", &Value::Text("mits".into()))
+            .unwrap();
         assert!(hit.is_some());
         // Uniqueness still enforced after restart.
         assert!(db
@@ -101,7 +111,10 @@ fn relational_catalog_round_trips_through_restart() {
             .is_err());
         // Predicate scans still work.
         let recent = db
-            .scan(&users, &Predicate::cmp("joined", memex::store::rel::CmpOp::Ge, Value::Int(2)))
+            .scan(
+                &users,
+                &Predicate::cmp("joined", memex::store::rel::CmpOp::Ge, Value::Int(2)),
+            )
             .unwrap();
         assert_eq!(recent.len(), 2);
     }

@@ -34,7 +34,11 @@ fn privacy_modes_respected_through_the_facade() {
     let (_, mut memex) = small_world();
     memex.register_user(1, "private-person").unwrap();
     memex.register_user(2, "public-person").unwrap();
-    memex.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Private, time: 0 });
+    memex.submit(ClientEvent::SetMode {
+        user: 1,
+        mode: ArchiveMode::Private,
+        time: 0,
+    });
     memex.submit(visit(1, 5, 10, None));
     memex.submit(visit(2, 5, 20, None));
     memex.run_demons().unwrap();
@@ -50,7 +54,11 @@ fn privacy_modes_respected_through_the_facade() {
 fn off_mode_archives_nothing() {
     let (_, mut memex) = small_world();
     memex.register_user(1, "ghost").unwrap();
-    memex.submit(ClientEvent::SetMode { user: 1, mode: ArchiveMode::Off, time: 0 });
+    memex.submit(ClientEvent::SetMode {
+        user: 1,
+        mode: ArchiveMode::Off,
+        time: 0,
+    });
     assert!(!memex.submit(visit(1, 3, 10, None)));
     memex.run_demons().unwrap();
     assert!(memex.server.trails.is_empty());
@@ -89,9 +97,15 @@ fn bookmark_then_classify_marks_guesses() {
     memex.submit(visit(7, unfiled, 30, None));
     memex.run_demons().unwrap();
     let fs = memex.folder_space(7);
-    let a = fs.assignment(unfiled).expect("the demon should have guessed");
+    let a = fs
+        .assignment(unfiled)
+        .expect("the demon should have guessed");
     assert!(!a.confirmed, "guess must carry the '?'");
-    assert_eq!(fs.taxonomy.path(a.folder), "/A", "topic-0 page belongs in folder A");
+    assert_eq!(
+        fs.taxonomy.path(a.folder),
+        "/A",
+        "topic-0 page belongs in folder A"
+    );
 }
 
 #[test]
@@ -114,7 +128,10 @@ fn trails_follow_referrers_across_users() {
     memex.submit(visit(2, 11, 3, None));
     memex.submit(visit(2, 12, 4, Some(11)));
     memex.run_demons().unwrap();
-    let ctx = memex.server.trails.replay_context(|p| (10..=12).contains(&p), 1, 0, 10);
+    let ctx = memex
+        .server
+        .trails
+        .replay_context(|p| (10..=12).contains(&p), 1, 0, 10);
     assert_eq!(ctx.nodes.len(), 3);
     assert!(ctx.edges.contains(&(10, 11, 1)));
     assert!(ctx.edges.contains(&(11, 12, 1)));
@@ -151,7 +168,10 @@ fn phrase_recall_finds_exact_word_runs() {
     let bag = memex.recall(1, &scrambled, 0, u64::MAX, 5).unwrap();
     assert!(hits.len() <= bag.len());
     // Unknown vocabulary gives no hits rather than an error.
-    assert!(memex.recall_phrase(1, "zzzunseen wordzzz", 0, u64::MAX, 5).unwrap().is_empty());
+    assert!(memex
+        .recall_phrase(1, "zzzunseen wordzzz", 0, u64::MAX, 5)
+        .unwrap()
+        .is_empty());
 }
 
 #[test]

@@ -47,7 +47,11 @@ fn search_box_syntax_over_an_analyzed_corpus() {
         let stems: Vec<String> = analyzer.term_sequence(&text);
         let banned = analyzer.term_sequence(anchor);
         for b in &banned {
-            assert!(!stems.contains(b), "excluded term {b} present in hit {}", h.doc);
+            assert!(
+                !stems.contains(b),
+                "excluded term {b} present in hit {}",
+                h.doc
+            );
         }
     }
 

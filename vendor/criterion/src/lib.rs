@@ -1,0 +1,182 @@
+//! Offline, `std`-only stand-in for the subset of the `criterion` API this
+//! workspace's benches use. It is a thin wall-clock harness, not a
+//! statistics engine: each `bench_function` runs a warmup pass, then
+//! `sample_size` timed batches, and prints mean / best per-iteration time
+//! (plus throughput when provided). Run under `cargo bench`; when invoked
+//! without `--bench` (e.g. by `cargo test`) every benchmark body executes
+//! exactly once as a smoke check.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for per-element / per-byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Full timing (cargo bench).
+    Bench,
+    /// One iteration per benchmark (cargo test on a harness=false target).
+    Smoke,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if bench { Mode::Bench } else { Mode::Smoke },
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(self.mode, sample_size, None, id, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample-size / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.mode, samples, self.throughput, id, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times one batch.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    mode: Mode,
+    samples: usize,
+    throughput: Option<Throughput>,
+    id: &str,
+    mut f: F,
+) {
+    match mode {
+        Mode::Smoke => {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("  {id}: ok (smoke, 1 iter in {:?})", b.elapsed);
+        }
+        Mode::Bench => {
+            // Warmup also calibrates how many iterations fit a sample.
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per_iter = b.elapsed.max(Duration::from_nanos(1));
+            let target = Duration::from_millis(50);
+            let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+            let mut total = Duration::ZERO;
+            let mut best = Duration::MAX;
+            for _ in 0..samples {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                let per = b.elapsed / iters as u32;
+                total += per;
+                best = best.min(per);
+            }
+            let mean = total / samples as u32;
+            let rate = throughput
+                .map(|t| match t {
+                    Throughput::Elements(n) => {
+                        format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+                    }
+                    Throughput::Bytes(n) => {
+                        format!(
+                            " ({:.0} MiB/s)",
+                            n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                        )
+                    }
+                })
+                .unwrap_or_default();
+            println!(
+                "  {id}: mean {mean:?}, best {best:?} over {samples} samples x {iters} iters{rate}"
+            );
+        }
+    }
+}
+
+/// `criterion_group!(benches, f1, f2, …)`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!(benches)`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,269 @@
+//! Offline, `std`-only stand-in for the subset of `proptest` this workspace
+//! uses. The build environment cannot reach a crates registry, so the real
+//! crate is replaced by this generation-only engine: strategies produce
+//! random values from a deterministic per-test RNG and the `proptest!` macro
+//! runs each body `ProptestConfig::cases` times. There is **no shrinking** —
+//! a failing case reports the assertion message and the case number.
+//!
+//! Supported surface (everything the repo's tests touch):
+//! * `Strategy` with `prop_map` / `boxed`, ranges (`0u32..20`, `1u8..=255`,
+//!   float ranges), tuple strategies up to arity 6, `Just`, `any::<T>()`
+//! * regex-ish `&str` strategies: `"[a-z]{1,20}"`, `".{0,12}"`, `"\\PC{0,80}"`
+//! * `proptest::collection::{vec, btree_set}`
+//! * `prop_oneof!` (weighted and unweighted), `proptest!`,
+//!   `prop_assert!`/`_eq!`/`_ne!`, `prop_assume!`, `ProptestConfig::with_cases`
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Size bounds for generated collections (half-open).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max_excl: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max_excl - self.min) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, 1..40)`
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of times.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `proptest::collection::btree_set(element, 0..200)`
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// `prop_oneof![...]` — union of strategies, optionally weighted
+/// (`3 => strat`). All arms must share one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Skip the current case without counting it towards `cases`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// The test-block macro: each contained `#[test] fn name(arg in strategy, …)`
+/// becomes a normal `#[test]` that generates inputs and runs the body
+/// `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    if rejected > config.cases.saturating_mul(20) + 1000 {
+                        panic!(
+                            "proptest {}: too many prop_assume rejections ({rejected})",
+                            stringify!($name)
+                        );
+                    }
+                    let ($($arg,)+) = (
+                        $( $crate::strategy::Strategy::generate(&{ $strat }, &mut rng) ,)+
+                    );
+                    let case: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { { $body }; ::std::result::Result::Ok(()) })();
+                    match case {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}/{}:\n{}",
+                                stringify!($name), accepted + 1, config.cases, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,404 @@
+//! Value-generation strategies: the `Strategy` trait and the combinators the
+//! workspace's tests use.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+// ---- primitive `any` --------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<u64>()` — full-range strategy for a primitive.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- ranges -----------------------------------------------------------------
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                ((self.start as i128) + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                ((lo as i128) + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+// ---- tuples -----------------------------------------------------------------
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, G);
+
+// ---- regex-ish string strategies -------------------------------------------
+
+/// One parsed pattern atom.
+enum Atom {
+    /// Inclusive char ranges (a literal is a one-char range).
+    Class(Vec<(char, char)>),
+    /// `.` or `\PC`: any printable, non-control character.
+    Printable,
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the small regex subset the tests use: sequences of
+/// `[class]`, `.`, `\PC` or literal chars, each with an optional
+/// `{m}`, `{m,n}`, `*`, `+` or `?` repeat.
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated [class] in pattern {pat:?}");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '.' => {
+                i += 1;
+                Atom::Printable
+            }
+            '\\' => {
+                // Only `\PC` ("not a control char") plus literal escapes.
+                if i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C' {
+                    i += 3;
+                    Atom::Printable
+                } else {
+                    assert!(i + 1 < chars.len(), "dangling backslash in pattern {pat:?}");
+                    i += 2;
+                    Atom::Class(vec![(chars[i - 1], chars[i - 1])])
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![(c, c)])
+            }
+        };
+        // Optional repeat suffix.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated {{}} in pattern {pat:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repeat lower bound"),
+                    hi.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+            let r = match chars[i] {
+                '*' => (0, 8),
+                '+' => (1, 8),
+                _ => (0, 1),
+            };
+            i += 1;
+            r
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repeat {{{min},{max}}} in pattern {pat:?}");
+        out.push(Piece { atom, min, max });
+    }
+    out
+}
+
+/// Mostly printable ASCII, occasionally multi-byte codepoints so UTF-8
+/// handling gets exercised (matters for the order-preservation tests).
+const WIDE_CHARS: &[char] = &['é', 'ß', 'λ', 'Ж', '世', '界', '\u{2603}', '\u{1F980}'];
+
+fn gen_printable(rng: &mut TestRng) -> char {
+    if rng.below(10) == 0 {
+        WIDE_CHARS[rng.below(WIDE_CHARS.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ascii")
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+            for _ in 0..n {
+                match &p.atom {
+                    Atom::Printable => out.push(gen_printable(rng)),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for &(lo, hi) in ranges {
+                            let span = hi as u64 - lo as u64 + 1;
+                            if pick < span {
+                                out.push(
+                                    char::from_u32(lo as u32 + pick as u32)
+                                        .expect("char class range"),
+                                );
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let (a, b) = (0u32..20, 1u32..=4).generate(&mut rng);
+            assert!(a < 20);
+            assert!((1..=4).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_len() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..500 {
+            let s = "[a-z]{1,20}".generate(&mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = "\\PC{0,80}".generate(&mut rng);
+            assert!(t.chars().count() <= 80);
+            assert!(t.chars().all(|c| !c.is_control()), "{t:?}");
+            let d = ".{0,12}".generate(&mut rng);
+            assert!(d.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn union_honours_weights_roughly() {
+        let u = crate::prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = TestRng::from_seed(3);
+        let ones = (0..10_000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!((8_500..=9_500).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn collections_hit_size_bounds() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u8..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = crate::collection::btree_set(any::<u32>(), 0..50).generate(&mut rng);
+            assert!(s.len() < 50);
+        }
+    }
+}
