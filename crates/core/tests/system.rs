@@ -405,3 +405,73 @@ fn whats_new_excludes_seen_pages_and_ranks_authorities() {
         assert!(*score >= 0.0);
     }
 }
+
+/// The whole community surfs through a server whose fetcher fails
+/// transiently 20% of the time: the demons must still drain every event,
+/// every page ends up either indexed or explicitly abandoned, and the
+/// retry/abandon accounting surfaces in both ServerStats and the metrics
+/// snapshot.
+#[test]
+fn community_surf_survives_flaky_fetcher() {
+    use memex_server::fetcher::{CorpusFetcher, FlakyConfig, FlakyFetcher};
+    use memex_server::pipeline::{MemexServer, ServerOptions};
+
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 3,
+        pages_per_topic: 30,
+        ..CorpusConfig::default()
+    }));
+    let community = Community::simulate(
+        &corpus,
+        &SurferConfig {
+            num_users: 4,
+            sessions_per_user: 6,
+            ..SurferConfig::default()
+        },
+    );
+    let fetcher = FlakyFetcher::new(
+        CorpusFetcher::new(corpus.clone()),
+        FlakyConfig {
+            seed: 20_000_101,
+            transient_per_10k: 2_000,
+            ..FlakyConfig::default()
+        },
+    );
+    let mut server = MemexServer::new(fetcher, ServerOptions::default()).unwrap();
+    let mut pages = std::collections::HashSet::new();
+    for truth in &community.users {
+        server
+            .register_user(truth.user, &format!("user{}", truth.user))
+            .unwrap();
+    }
+    for v in &community.visits {
+        pages.insert(v.page);
+        server.submit(ClientEvent::Visit(VisitEvent {
+            user: v.user,
+            session: v.session,
+            page: v.page,
+            url: corpus.pages[v.page as usize].url.clone(),
+            time: v.time,
+            referrer: v.referrer,
+        }));
+    }
+    server.drain_demons().unwrap();
+    assert!(
+        server.staleness().iter().all(|r| r.staleness == 0),
+        "flaky fetches must never stall the demons"
+    );
+    let stats = server.stats();
+    assert_eq!(
+        stats.pages_fetched + stats.pages_abandoned,
+        pages.len() as u64,
+        "every visited page fetched or explicitly abandoned"
+    );
+    assert!(stats.fetch_retries > 0, "20% flakiness must force retries");
+    assert_eq!(stats.docs_indexed, stats.pages_fetched);
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.counter("server.fetch.retries"), stats.fetch_retries);
+    assert_eq!(
+        snap.counter("server.fetch.abandoned"),
+        stats.pages_abandoned
+    );
+}

@@ -23,5 +23,7 @@ pub mod pipeline;
 pub mod threaded;
 
 pub use events::{ArchiveMode, ClientEvent, VisitEvent};
-pub use fetcher::{CorpusFetcher, PageContent, PageFetcher};
+pub use fetcher::{
+    CorpusFetcher, FetchError, FlakyConfig, FlakyFetcher, PageContent, PageFetcher, RetryPolicy,
+};
 pub use pipeline::{MemexServer, ServerOptions, ServerStats};

@@ -27,7 +27,7 @@ use memex_text::analyze::Analyzer;
 use memex_text::vocab::{TermId, Vocabulary};
 
 use crate::events::{ArchiveMode, ClientEvent};
-use crate::fetcher::PageFetcher;
+use crate::fetcher::{FetchError, PageFetcher, RetryPolicy};
 
 /// Server tuning.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +35,8 @@ pub struct ServerOptions {
     /// Maximum bus batches retained before ingest starts discarding.
     pub max_retained_batches: usize,
     pub index: IndexOptions,
+    /// How hard the index demon tries before abandoning a page.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServerOptions {
@@ -42,6 +44,7 @@ impl Default for ServerOptions {
         ServerOptions {
             max_retained_batches: 100_000,
             index: IndexOptions::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -60,6 +63,10 @@ pub struct ServerStats {
     pub pages_fetched: u64,
     pub docs_indexed: u64,
     pub bookmarks_recorded: u64,
+    /// Retries the index demon spent on transient fetch failures.
+    pub fetch_retries: u64,
+    /// Pages given up on after the retry policy was exhausted.
+    pub pages_abandoned: u64,
 }
 
 /// Registry handles behind [`ServerStats`] plus span/gauge instruments.
@@ -71,6 +78,8 @@ struct ServerMetrics {
     pages_fetched: Counter,
     docs_indexed: Counter,
     bookmarks_recorded: Counter,
+    fetch_retries: Counter,
+    pages_abandoned: Counter,
     /// Published-but-retained batches on the bus.
     bus_depth: Gauge,
     fetch_latency: Histogram,
@@ -86,6 +95,8 @@ impl ServerMetrics {
             pages_fetched: registry.counter("server.fetch.pages"),
             docs_indexed: registry.counter("server.index.docs"),
             bookmarks_recorded: registry.counter("server.bookmarks.recorded"),
+            fetch_retries: registry.counter("server.fetch.retries"),
+            pages_abandoned: registry.counter("server.fetch.abandoned"),
             bus_depth: registry.gauge("server.bus.depth"),
             fetch_latency: registry.histogram("server.fetch.latency"),
         }
@@ -131,6 +142,9 @@ pub struct MemexServer<F: PageFetcher> {
     pub web: WebGraph,
     modes: HashMap<u32, ArchiveMode>,
     fetched: HashSet<u32>,
+    /// Pages the retry policy gave up on — remembered so a hot page that
+    /// keeps reappearing in events cannot stall the demon over and over.
+    abandoned: HashSet<u32>,
     tf_cache: HashMap<u32, Vec<(TermId, u32)>>,
     page_bytes: HashMap<u32, u32>,
     pub bookmarks: Vec<BookmarkRecord>,
@@ -207,6 +221,7 @@ impl<F: PageFetcher> MemexServer<F> {
             web: WebGraph::new(),
             modes: HashMap::new(),
             fetched: HashSet::new(),
+            abandoned: HashSet::new(),
             tf_cache: HashMap::new(),
             page_bytes: HashMap::new(),
             bookmarks: Vec::new(),
@@ -369,16 +384,44 @@ impl<F: PageFetcher> MemexServer<F> {
         }
     }
 
+    /// Fetch-with-retry: transient failures back off (virtual time — the
+    /// demon never sleeps) and retry up to the policy's attempt and
+    /// deadline budgets; once exhausted the page is counted abandoned and
+    /// the demon moves on. The demon therefore *never stalls* on a flaky
+    /// page — the fetch loop is bounded no matter what the fetcher does.
     fn ensure_fetched(&mut self, page: u32) -> StoreResult<()> {
-        if self.fetched.contains(&page) {
+        if self.fetched.contains(&page) || self.abandoned.contains(&page) {
             return Ok(());
         }
-        let content = {
-            let _span = self.metrics.fetch_latency.start_span();
-            let Some(content) = self.fetcher.fetch(page) else {
-                return Ok(()); // dead link; the demon shrugs
+        let policy = self.opts.retry;
+        let mut attempt = 0u32;
+        let mut waited_ms = 0u64;
+        let content = loop {
+            attempt += 1;
+            let outcome = {
+                let _span = self.metrics.fetch_latency.start_span();
+                self.fetcher.try_fetch(page)
             };
-            content
+            match outcome {
+                Ok(content) => break content,
+                Err(FetchError::NotFound) => return Ok(()), // dead link; the demon shrugs
+                Err(FetchError::Transient { reason }) => {
+                    if attempt >= policy.max_attempts.max(1) || waited_ms >= policy.deadline_ms {
+                        self.abandoned.insert(page);
+                        self.metrics.pages_abandoned.inc();
+                        self.registry.event(
+                            "server",
+                            format!(
+                                "abandoning page {page} after {attempt} attempts \
+                                 ({waited_ms}ms backoff): {reason}"
+                            ),
+                        );
+                        return Ok(());
+                    }
+                    waited_ms += policy.backoff_ms(page, attempt);
+                    self.metrics.fetch_retries.inc();
+                }
+            }
         };
         self.fetched.insert(page);
         self.metrics.pages_fetched.inc();
@@ -452,7 +495,22 @@ impl<F: PageFetcher> MemexServer<F> {
             pages_fetched: self.metrics.pages_fetched.get(),
             docs_indexed: self.metrics.docs_indexed.get(),
             bookmarks_recorded: self.metrics.bookmarks_recorded.get(),
+            fetch_retries: self.metrics.fetch_retries.get(),
+            pages_abandoned: self.metrics.pages_abandoned.get(),
         }
+    }
+
+    /// The underlying fetcher — harnesses use this to read decorator
+    /// state (e.g. [`crate::fetcher::FlakyFetcher::transient_failures`]).
+    pub fn fetcher(&self) -> &F {
+        &self.fetcher
+    }
+
+    /// Pages the retry policy gave up on (sorted for stable output).
+    pub fn abandoned_pages(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.abandoned.iter().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     /// Flush durable state.
@@ -466,7 +524,7 @@ impl<F: PageFetcher> MemexServer<F> {
 mod tests {
     use super::*;
     use crate::events::VisitEvent;
-    use crate::fetcher::CorpusFetcher;
+    use crate::fetcher::{CorpusFetcher, FlakyConfig, FlakyFetcher};
     use memex_web::corpus::{Corpus, CorpusConfig};
     use std::sync::Arc;
 
@@ -627,5 +685,105 @@ mod tests {
         s.submit(visit(1, 0, 1));
         s.drain_demons().unwrap();
         assert_eq!(s.web.out_links(0), corpus.graph.out_links(0));
+    }
+
+    fn flaky_server(
+        transient_per_10k: u32,
+        seed: u64,
+    ) -> (Arc<Corpus>, MemexServer<FlakyFetcher<CorpusFetcher>>) {
+        let corpus = Arc::new(Corpus::generate(CorpusConfig {
+            num_topics: 3,
+            pages_per_topic: 20,
+            ..CorpusConfig::default()
+        }));
+        let fetcher = FlakyFetcher::new(
+            CorpusFetcher::new(corpus.clone()),
+            FlakyConfig {
+                seed,
+                transient_per_10k,
+                ..FlakyConfig::default()
+            },
+        );
+        let s = MemexServer::new(fetcher, ServerOptions::default()).unwrap();
+        (corpus, s)
+    }
+
+    /// The acceptance scenario: with a 20%-flaky fetcher the index demon
+    /// must run to completion (retrying through transient failures), the
+    /// retry count must surface in the metrics snapshot, and any abandoned
+    /// pages in ServerStats.
+    #[test]
+    fn index_demon_completes_against_flaky_fetcher() {
+        let (_, mut s) = flaky_server(2_000, 42);
+        s.register_user(1, "u").unwrap();
+        for i in 0..60u32 {
+            s.submit(visit(1, i, u64::from(i)));
+        }
+        s.drain_demons().unwrap();
+        assert!(s.staleness().iter().all(|r| r.staleness == 0), "no stall");
+        let stats = s.stats();
+        assert_eq!(
+            stats.pages_fetched + stats.pages_abandoned,
+            60,
+            "every page either fetched or explicitly abandoned"
+        );
+        assert!(stats.fetch_retries > 0, "20% flakiness must force retries");
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.counter("server.fetch.retries"), stats.fetch_retries);
+        assert_eq!(
+            snap.counter("server.fetch.abandoned"),
+            stats.pages_abandoned
+        );
+        assert_eq!(stats.pages_abandoned, s.abandoned_pages().len() as u64);
+        // Fetched pages were fully indexed despite the noise.
+        assert_eq!(stats.docs_indexed, stats.pages_fetched);
+    }
+
+    /// A fetcher that *always* fails transiently: the demon must abandon
+    /// every page after the bounded retry budget and still drain the bus.
+    #[test]
+    fn total_fetch_outage_abandons_but_never_stalls() {
+        let (_, mut s) = flaky_server(10_000, 7);
+        s.register_user(1, "u").unwrap();
+        for i in 0..10u32 {
+            s.submit(visit(1, i, u64::from(i)));
+        }
+        s.drain_demons().unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.pages_fetched, 0);
+        assert_eq!(stats.pages_abandoned, 10);
+        assert_eq!(s.abandoned_pages(), (0..10u32).collect::<Vec<_>>());
+        // Budget: max_attempts per page, retries = attempts - 1.
+        let per_page = u64::from(ServerOptions::default().retry.max_attempts) - 1;
+        assert_eq!(stats.fetch_retries, 10 * per_page);
+        assert!(s.staleness().iter().all(|r| r.staleness == 0));
+        // Abandoned pages are remembered: replaying the same page does not
+        // re-burn the retry budget.
+        s.submit(visit(1, 3, 99));
+        s.drain_demons().unwrap();
+        assert_eq!(s.stats().fetch_retries, 10 * per_page);
+        assert_eq!(s.stats().pages_abandoned, 10);
+    }
+
+    /// Same seed, same flakiness → byte-identical retry/abandon outcome.
+    #[test]
+    fn flaky_runs_reproduce_from_seed() {
+        let run = |seed: u64| {
+            let (_, mut s) = flaky_server(5_000, seed);
+            s.register_user(1, "u").unwrap();
+            for i in 0..30u32 {
+                s.submit(visit(1, i, u64::from(i)));
+            }
+            s.drain_demons().unwrap();
+            let st = s.stats();
+            (
+                st.pages_fetched,
+                st.fetch_retries,
+                st.pages_abandoned,
+                s.abandoned_pages(),
+            )
+        };
+        assert_eq!(run(1234), run(1234));
+        assert_ne!(run(1234), run(4321), "schedules differ across seeds");
     }
 }

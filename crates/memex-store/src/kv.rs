@@ -11,6 +11,7 @@ use memex_obs::{Counter, MetricsRegistry};
 use crate::btree::BTree;
 use crate::error::StoreResult;
 use crate::pager::Pager;
+use crate::vfs::Storage;
 use crate::wal::{Wal, WalRecord};
 
 /// Tuning knobs for a [`KvStore`].
@@ -45,6 +46,8 @@ pub struct KvStats {
     pub recovered_records: u64,
     /// True if the last recovery found (and dropped) a torn tail.
     pub recovered_torn_tail: bool,
+    /// Bytes the torn-tail repair truncated at open time.
+    pub recovered_repaired_bytes: u64,
 }
 
 /// Obs handles (inert until [`KvStore::attach_registry`] is called).
@@ -91,6 +94,19 @@ impl KvStore {
         Self::build(pager, wal, opts)
     }
 
+    /// Open over arbitrary [`Storage`] backings — the fault-injection
+    /// entry point: wrap either side in a `FaultyStorage` (or hold a
+    /// `MemHandle`) to script I/O failures and crashes.
+    pub fn open_with_storage(
+        wal_storage: Box<dyn Storage>,
+        db_storage: Box<dyn Storage>,
+        opts: KvStoreOptions,
+    ) -> StoreResult<KvStore> {
+        let pager = Pager::with_storage(db_storage, opts.pool_capacity)?;
+        let wal = Wal::with_storage(wal_storage)?;
+        Self::build(pager, wal, opts)
+    }
+
     fn build(mut pager: Pager, mut wal: Wal, opts: KvStoreOptions) -> StoreResult<KvStore> {
         let mut tree = BTree::open(&mut pager)?;
         // Recovery: replay post-checkpoint records into the tree.
@@ -118,10 +134,11 @@ impl KvStore {
             stats: KvStats {
                 recovered_records: recovered,
                 recovered_torn_tail: replay.torn_tail,
+                recovered_repaired_bytes: replay.repaired_bytes,
                 ..KvStats::default()
             },
         };
-        if recovered > 0 {
+        if recovered > 0 || replay.torn_tail {
             store.checkpoint()?;
         }
         Ok(store)
@@ -139,6 +156,17 @@ impl KvStore {
             deletes: registry.counter("store.kv.deletes"),
             checkpoints: registry.counter("store.kv.checkpoints"),
         };
+        // Recovery happened at open time, before any registry existed —
+        // surface what it found (`store.recovery.*`).
+        registry
+            .counter("store.recovery.replayed_records")
+            .add(self.stats.recovered_records);
+        if self.stats.recovered_torn_tail {
+            registry.counter("store.recovery.torn_tails").inc();
+        }
+        registry
+            .counter("store.recovery.repaired_bytes")
+            .add(self.stats.recovered_repaired_bytes);
     }
 
     /// Upsert. Returns the previous value if any.
@@ -234,6 +262,14 @@ impl KvStore {
     }
 
     /// Flush the tree, mark the WAL checkpointed and truncate it.
+    ///
+    /// Crash-safety relies on the ordering here: `Pager::flush` writes and
+    /// **fsyncs** the data file before `Wal::truncate` destroys the replay
+    /// log. A crash (or injected sync failure) at any point leaves either
+    /// an intact log over the old tree, or a durable tree whose log replay
+    /// is an idempotent re-application — never a window where acked writes
+    /// exist only in volatile state. The fault harness in `tests/fault.rs`
+    /// exercises every step of this window.
     pub fn checkpoint(&mut self) -> StoreResult<()> {
         self.pager.flush()?;
         self.wal.truncate()?;
@@ -261,6 +297,15 @@ impl KvStore {
     }
 
     fn maybe_checkpoint(&mut self) -> StoreResult<()> {
+        if self.pager.over_capacity() {
+            // The no-steal pool is full of dirty pages. Write-ahead rule:
+            // make the log durable *before* any data page reaches disk,
+            // otherwise a crash could surface a page whose log records
+            // were lost — recovered state would no longer be a prefix of
+            // the acked operations.
+            self.wal.sync()?;
+            self.pager.flush()?;
+        }
         if self.wal.len_bytes()? > self.opts.checkpoint_bytes {
             self.checkpoint()?;
         }

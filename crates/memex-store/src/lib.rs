@@ -16,6 +16,11 @@
 //! (indexer and statistical analyzers)"; that is [`version`].
 //!
 //! All byte-level encoding used across the store lives in [`codec`].
+//!
+//! Every byte either mechanism persists flows through the [`vfs`] layer —
+//! a small `Storage` trait whose `FaultyStorage` decorator and
+//! crash-modelling `MemStorage` make I/O failure a deterministic, seeded,
+//! first-class test input (see `tests/fault.rs`).
 
 pub mod btree;
 pub mod codec;
@@ -25,8 +30,12 @@ pub mod page;
 pub mod pager;
 pub mod rel;
 pub mod version;
+pub mod vfs;
 pub mod wal;
 
 pub use error::{StoreError, StoreResult};
 pub use kv::{KvStore, KvStoreOptions};
 pub use version::{Consumer, Epoch, VersionedLog};
+pub use vfs::{
+    FaultConfig, FaultControl, FaultyStorage, FileStorage, MemHandle, MemStorage, Storage,
+};

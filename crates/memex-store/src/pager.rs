@@ -1,13 +1,20 @@
-//! The pager: fixed-size page allocation over a backing store (file or
-//! memory) fronted by a bounded buffer pool with LRU eviction.
+//! The pager: fixed-size page allocation over a [`Storage`] backing (file
+//! or memory) fronted by a bounded buffer pool with LRU eviction.
 //!
 //! The B+Tree never touches the backing store directly — every read and
 //! write goes through the pool, so hot index pages stay cached exactly like
 //! Berkeley DB's `mpool` did for the original Memex server.
+//!
+//! The pool is **no-steal**: dirty pages are only ever written to the
+//! backing store by [`Pager::flush`], never by eviction. This is the
+//! write-ahead invariant's other half — the store above (see `KvStore`)
+//! syncs its WAL before calling `flush`, so a data page can never reach
+//! disk while the log records that produced it are still volatile. When
+//! every frame is dirty the pool grows past its capacity instead of
+//! stealing (counted in `store.pager.soft_overflows`), and `flush` shrinks
+//! it back.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use memex_obs::{Counter, MetricsRegistry};
@@ -15,17 +22,10 @@ use memex_obs::{Counter, MetricsRegistry};
 use crate::codec::{get_u64, put_u64};
 use crate::error::{StoreError, StoreResult};
 use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
+use crate::vfs::{FileStorage, MemStorage, Storage};
 
 /// Magic number in the meta page identifying a memex-store file.
 const META_MAGIC: u64 = 0x4D45_4D45_584B_5631; // "MEMEXKV1"
-
-/// Backing storage for pages.
-enum Backing {
-    /// Pure in-memory store (used by benches and transient indexes).
-    Mem(Vec<Page>),
-    /// File-backed store. Page `i` lives at byte offset `i * PAGE_SIZE`.
-    File(File),
-}
 
 /// A cached page plus bookkeeping.
 struct Frame {
@@ -79,11 +79,12 @@ struct PagerMetrics {
     misses: Counter,
     evictions: Counter,
     flushed_pages: Counter,
+    soft_overflows: Counter,
 }
 
 /// Buffer-pooled page manager.
 pub struct Pager {
-    backing: Backing,
+    backing: Box<dyn Storage>,
     pool: HashMap<PageId, Frame>,
     capacity: usize,
     tick: u64,
@@ -95,19 +96,50 @@ pub struct Pager {
 impl Pager {
     /// Create a fresh in-memory pager (no persistence).
     pub fn in_memory(pool_capacity: usize) -> Pager {
-        Pager {
-            backing: Backing::Mem(vec![Page::zeroed()]),
-            pool: HashMap::new(),
-            capacity: pool_capacity.max(8),
-            tick: 0,
-            meta: Meta {
+        Self::with_storage(Box::new(MemStorage::new()), pool_capacity)
+            .expect("mem storage cannot fail to open")
+    }
+
+    /// Open (or create) a file-backed pager.
+    pub fn open_file<P: AsRef<Path>>(path: P, pool_capacity: usize) -> StoreResult<Pager> {
+        Self::with_storage(Box::new(FileStorage::open(path)?), pool_capacity)
+    }
+
+    /// Open over an arbitrary storage (the fault-injection entry point).
+    /// An empty backing is initialised with a fresh meta page; a non-empty
+    /// one must carry a valid meta page.
+    pub fn with_storage(mut backing: Box<dyn Storage>, pool_capacity: usize) -> StoreResult<Pager> {
+        let len = backing.len()?;
+        let meta = if len == 0 {
+            let meta = Meta {
                 page_count: 1,
                 free_head: NO_PAGE,
                 root: NO_PAGE,
-            },
-            meta_dirty: true,
+            };
+            let mut page = Page::zeroed();
+            page.write_prefix(&meta.encode());
+            backing.write_all_at(0, page.bytes())?;
+            backing.sync()?;
+            meta
+        } else {
+            if len % PAGE_SIZE as u64 != 0 {
+                return Err(StoreError::Corrupt(format!(
+                    "file length {len} is not a multiple of the page size"
+                )));
+            }
+            let mut buf = [0u8; PAGE_SIZE];
+            backing.read_exact_at(0, &mut buf)?;
+            Meta::decode(&buf)?
+        };
+        Ok(Pager {
+            backing,
+            pool: HashMap::new(),
+            capacity: pool_capacity.max(8),
+            tick: 0,
+            meta,
+            meta_dirty: false,
             metrics: PagerMetrics::default(),
-        }
+        })
     }
 
     /// Register this pager's counters with `registry` (`store.pager.*`).
@@ -117,51 +149,8 @@ impl Pager {
             misses: registry.counter("store.pager.misses"),
             evictions: registry.counter("store.pager.evictions"),
             flushed_pages: registry.counter("store.pager.flushed_pages"),
+            soft_overflows: registry.counter("store.pager.soft_overflows"),
         };
-    }
-
-    /// Open (or create) a file-backed pager.
-    pub fn open_file<P: AsRef<Path>>(path: P, pool_capacity: usize) -> StoreResult<Pager> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
-        let meta = if len == 0 {
-            // Fresh file: write an initial meta page.
-            let meta = Meta {
-                page_count: 1,
-                free_head: NO_PAGE,
-                root: NO_PAGE,
-            };
-            let mut page = Page::zeroed();
-            page.write_prefix(&meta.encode());
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(page.bytes())?;
-            file.sync_data()?;
-            meta
-        } else {
-            if len % PAGE_SIZE as u64 != 0 {
-                return Err(StoreError::Corrupt(format!(
-                    "file length {len} is not a multiple of the page size"
-                )));
-            }
-            let mut buf = [0u8; PAGE_SIZE];
-            file.seek(SeekFrom::Start(0))?;
-            file.read_exact(&mut buf)?;
-            Meta::decode(&buf)?
-        };
-        Ok(Pager {
-            backing: Backing::File(file),
-            pool: HashMap::new(),
-            capacity: pool_capacity.max(8),
-            tick: 0,
-            meta,
-            meta_dirty: false,
-            metrics: PagerMetrics::default(),
-        })
     }
 
     /// The root page registered by the client structure, or `None`.
@@ -231,11 +220,11 @@ impl Pager {
         }
         self.metrics.misses.inc();
         let page = self.load(id)?;
-        self.insert_frame(id, page.clone(), false)?;
+        self.insert_frame(id, page.clone(), false);
         Ok(page)
     }
 
-    /// Write a page (into the pool; flushed lazily).
+    /// Write a page (into the pool; flushed lazily by [`Pager::flush`]).
     pub fn write(&mut self, id: PageId, page: Page) {
         self.tick += 1;
         let tick = self.tick;
@@ -245,13 +234,11 @@ impl Pager {
             frame.last_used = tick;
             return;
         }
-        // Errors from eviction are impossible for Mem backing and extremely
-        // unlikely mid-run for files; surface them at flush time instead of
-        // complicating every write call-site.
-        let _ = self.insert_frame(id, page, true);
+        self.insert_frame(id, page, true);
     }
 
-    /// Flush every dirty page and the meta page to the backing store.
+    /// Flush every dirty page and the meta page to the backing store, then
+    /// shrink the pool back under its capacity (dropping clean LRU frames).
     pub fn flush(&mut self) -> StoreResult<()> {
         let mut dirty: Vec<PageId> = self
             .pool
@@ -277,10 +264,20 @@ impl Pager {
             self.store(0, &page)?;
             self.meta_dirty = false;
         }
-        if let Backing::File(f) = &mut self.backing {
-            f.sync_data()?;
+        self.backing.sync()?;
+        while self.pool.len() > self.capacity {
+            if !self.evict_clean_lru() {
+                break; // unreachable: everything is clean after a flush
+            }
         }
         Ok(())
+    }
+
+    /// True when the no-steal pool has grown past its configured capacity
+    /// (all frames dirty) — the signal that the layer above should sync
+    /// its log and flush.
+    pub fn over_capacity(&self) -> bool {
+        self.pool.len() > self.capacity
     }
 
     /// Fraction of reads served from the pool since creation (diagnostic).
@@ -288,9 +285,11 @@ impl Pager {
         self.pool.len()
     }
 
-    fn insert_frame(&mut self, id: PageId, page: Page, dirty: bool) -> StoreResult<()> {
-        if self.pool.len() >= self.capacity {
-            self.evict_one()?;
+    fn insert_frame(&mut self, id: PageId, page: Page, dirty: bool) {
+        if self.pool.len() >= self.capacity && !self.evict_clean_lru() {
+            // No clean victim: grow past capacity rather than stealing a
+            // dirty page (which would write data ahead of its log records).
+            self.metrics.soft_overflows.inc();
         }
         self.pool.insert(
             id,
@@ -300,70 +299,44 @@ impl Pager {
                 last_used: self.tick,
             },
         );
-        Ok(())
     }
 
-    /// Evict the least-recently-used frame, writing it back if dirty.
-    fn evict_one(&mut self) -> StoreResult<()> {
+    /// Evict the least-recently-used *clean* frame. Returns false when
+    /// every frame is dirty.
+    fn evict_clean_lru(&mut self) -> bool {
         let victim = self
             .pool
             .iter()
+            .filter(|(_, f)| !f.dirty)
             .min_by_key(|(_, f)| f.last_used)
             .map(|(&id, _)| id);
-        if let Some(id) = victim {
-            let frame = self.pool.remove(&id).expect("victim came from pool");
-            self.metrics.evictions.inc();
-            if frame.dirty {
-                self.store(id, &frame.page)?;
+        match victim {
+            Some(id) => {
+                self.pool.remove(&id);
+                self.metrics.evictions.inc();
+                true
             }
+            None => false,
         }
-        Ok(())
     }
 
     /// Load a page directly from the backing store.
     fn load(&mut self, id: PageId) -> StoreResult<Page> {
-        match &mut self.backing {
-            Backing::Mem(pages) => pages.get(id as usize).cloned().ok_or_else(|| {
-                StoreError::Invalid(format!("page {id} missing from memory backing"))
-            }),
-            Backing::File(file) => {
-                let offset = id * PAGE_SIZE as u64;
-                let file_len = file.metadata()?.len();
-                if offset >= file_len {
-                    // Page allocated but never flushed: it is logically zero.
-                    return Ok(Page::zeroed());
-                }
-                let mut buf = [0u8; PAGE_SIZE];
-                file.seek(SeekFrom::Start(offset))?;
-                file.read_exact(&mut buf)?;
-                Page::from_bytes(&buf).ok_or_else(|| StoreError::Corrupt("short page read".into()))
-            }
+        let offset = id * PAGE_SIZE as u64;
+        if offset >= self.backing.len()? {
+            // Page allocated but never flushed: it is logically zero.
+            return Ok(Page::zeroed());
         }
+        let mut buf = [0u8; PAGE_SIZE];
+        self.backing.read_exact_at(offset, &mut buf)?;
+        Page::from_bytes(&buf).ok_or_else(|| StoreError::Corrupt("short page read".into()))
     }
 
     /// Store a page directly to the backing store.
     fn store(&mut self, id: PageId, page: &Page) -> StoreResult<()> {
-        match &mut self.backing {
-            Backing::Mem(pages) => {
-                let idx = id as usize;
-                if idx >= pages.len() {
-                    pages.resize_with(idx + 1, Page::zeroed);
-                }
-                pages[idx] = page.clone();
-                Ok(())
-            }
-            Backing::File(file) => {
-                let offset = id * PAGE_SIZE as u64;
-                let file_len = file.metadata()?.len();
-                if offset > file_len {
-                    // Fill the gap so offsets stay page-aligned.
-                    file.set_len(offset)?;
-                }
-                file.seek(SeekFrom::Start(offset))?;
-                file.write_all(page.bytes())?;
-                Ok(())
-            }
-        }
+        let offset = id * PAGE_SIZE as u64;
+        self.backing.write_all_at(offset, page.bytes())?;
+        Ok(())
     }
 }
 
@@ -413,11 +386,36 @@ mod tests {
             pager.write(id, page);
             ids.push((id, i));
         }
+        // No-steal: all 64 dirty pages are still pooled (soft overflow)…
+        assert!(pager.over_capacity());
+        pager.flush().unwrap();
+        // …and a flush shrinks the pool back under capacity.
         assert!(pager.pool_len() <= 8);
         for (id, i) in ids {
             let page = pager.read(id).unwrap();
             assert_eq!(&page.bytes()[..8], &i.to_le_bytes());
         }
+    }
+
+    #[test]
+    fn dirty_pages_never_hit_disk_before_flush() {
+        let storage = crate::vfs::MemStorage::new();
+        let handle = storage.handle();
+        let mut pager = Pager::with_storage(Box::new(storage), 8).unwrap();
+        let baseline = handle.current_bytes();
+        for _ in 0..32 {
+            let id = pager.allocate().unwrap();
+            let mut page = Page::zeroed();
+            page.write_prefix(b"dirty");
+            pager.write(id, page);
+        }
+        assert_eq!(
+            handle.current_bytes(),
+            baseline,
+            "no-steal: eviction pressure must not write dirty pages"
+        );
+        pager.flush().unwrap();
+        assert_ne!(handle.current_bytes(), baseline);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-use memex_obs::{Gauge, MetricsRegistry};
+use memex_obs::{Counter, Gauge, MetricsRegistry};
 
 /// Monotone batch number. Epoch 0 means "nothing yet".
 pub type Epoch = u64;
@@ -30,6 +30,8 @@ struct LogMetrics {
     retained: Gauge,
     /// Per-consumer staleness (`store.version.staleness.<consumer>`).
     staleness: HashMap<String, Gauge>,
+    /// Epochs lost to trim before application (`store.version.skipped`).
+    skipped: Counter,
 }
 
 impl LogMetrics {
@@ -55,6 +57,10 @@ struct State<T> {
     published: Epoch,
     /// Consumer name -> applied epoch.
     consumers: HashMap<String, Epoch>,
+    /// Consumer name -> epochs that were trimmed away before the consumer
+    /// could apply them (register-after-trim). Never silently folded into
+    /// `applied` — callers can see exactly how much history they missed.
+    skipped: HashMap<String, u64>,
     metrics: LogMetrics,
 }
 
@@ -79,6 +85,9 @@ pub struct StalenessReport {
     pub published: Epoch,
     /// `published - applied`: how many epochs behind this consumer runs.
     pub staleness: u64,
+    /// Epochs this consumer could never apply because they were trimmed
+    /// before it saw them (register-after-trim). Zero in steady state.
+    pub skipped: u64,
 }
 
 impl<T> Default for VersionedLog<T> {
@@ -95,6 +104,7 @@ impl<T> VersionedLog<T> {
                 appended: 0,
                 published: 0,
                 consumers: HashMap::new(),
+                skipped: HashMap::new(),
                 metrics: LogMetrics::default(),
             })),
         }
@@ -110,6 +120,7 @@ impl<T> VersionedLog<T> {
             published: registry.gauge("store.version.published"),
             retained: registry.gauge("store.version.retained"),
             staleness: HashMap::new(),
+            skipped: registry.counter("store.version.skipped"),
         };
         let names: Vec<String> = s.consumers.keys().cloned().collect();
         for name in names {
@@ -179,6 +190,7 @@ impl<T> VersionedLog<T> {
                 applied,
                 published: s.published,
                 staleness: s.published.saturating_sub(applied),
+                skipped: s.skipped.get(name).copied().unwrap_or(0),
             })
             .collect();
         out.sort_by(|a, b| a.consumer.cmp(&b.consumer));
@@ -219,6 +231,13 @@ impl<T> Consumer<T> {
     /// demon-scheduling primitive: a demon that takes only part of its
     /// backlog stays (measurably) stale on the rest rather than silently
     /// skipping it.
+    ///
+    /// The cursor advances only past epochs actually returned, plus any
+    /// epochs that can *never* be returned because `trim` already
+    /// discarded them (a consumer registered after the fact). Discarded
+    /// epochs are counted as skipped — visible via [`Consumer::skipped`],
+    /// [`VersionedLog::staleness`] and the `store.version.skipped`
+    /// counter — instead of being silently folded into `applied`.
     pub fn poll_up_to(&self, max_batches: usize) -> Vec<(Epoch, Arc<Vec<T>>)> {
         let mut s = self.log.state.write().unwrap();
         let applied = *s.consumers.get(&self.name).unwrap_or(&0);
@@ -233,7 +252,24 @@ impl<T> Consumer<T> {
             .take(max_batches)
             .map(|(e, b)| (*e, Arc::clone(b)))
             .collect();
-        let new_applied = out.last().map(|&(e, _)| e).unwrap_or(published);
+        // Epochs in (applied, published] below the oldest retained batch
+        // were trimmed before this consumer could apply them. They are
+        // unavailable forever: skip past them (liveness) but say so.
+        let first_retained = s.batches.first().map(|&(e, _)| e);
+        let unavailable_hi = match first_retained {
+            Some(first) => first.saturating_sub(1).min(published),
+            None => published,
+        };
+        let skipped_now = unavailable_hi.saturating_sub(applied);
+        if skipped_now > 0 {
+            *s.skipped.entry(self.name.clone()).or_insert(0) += skipped_now;
+            s.metrics.skipped.add(skipped_now);
+        }
+        let new_applied = out
+            .last()
+            .map(|&(e, _)| e)
+            .unwrap_or(unavailable_hi)
+            .max(applied);
         s.consumers.insert(self.name.clone(), new_applied);
         let gauge = s.metrics.consumer_gauge(&self.name);
         gauge.set(published.saturating_sub(new_applied) as i64);
@@ -257,6 +293,13 @@ impl<T> Consumer<T> {
         let s = self.log.state.read().unwrap();
         s.published
             .saturating_sub(*s.consumers.get(&self.name).unwrap_or(&0))
+    }
+
+    /// Epochs this consumer could never apply because trim discarded them
+    /// first (register-after-trim). Zero in steady state.
+    pub fn skipped(&self) -> u64 {
+        let s = self.log.state.read().unwrap();
+        s.skipped.get(&self.name).copied().unwrap_or(0)
     }
 
     pub fn name(&self) -> &str {
@@ -349,6 +392,74 @@ mod tests {
         b.poll();
         assert_eq!(log.trim(), 4);
         assert_eq!(log.retained(), 0);
+    }
+
+    /// Regression: a consumer registered *after* `trim` discarded epochs
+    /// used to have its cursor silently jumped to `published`, pretending
+    /// the trimmed epochs were applied. The cursor must still advance
+    /// (liveness — demons wait on staleness reaching zero) but the gap has
+    /// to be reported as skipped, and epochs that are still retained must
+    /// be delivered, not jumped over.
+    #[test]
+    fn register_after_trim_reports_skipped_epochs() {
+        let log: VersionedLog<u32> = VersionedLog::new();
+        let early = log.register("early");
+        for i in 0..3 {
+            log.append(vec![i]);
+        }
+        log.publish();
+        assert_eq!(early.poll().len(), 3);
+        assert_eq!(log.trim(), 3, "epochs 1..=3 discarded");
+
+        // Epochs 4 and 5 are published after the trim and still retained.
+        log.append(vec![10]);
+        log.append(vec![11]);
+        log.publish();
+
+        let late = log.register("late");
+        assert_eq!(late.staleness(), 5);
+        let got = late.poll_up_to(1);
+        assert_eq!(got.len(), 1, "retained epoch 4 must be delivered");
+        assert_eq!(got[0].0, 4, "cursor may not jump past retained epochs");
+        assert_eq!(*got[0].1, vec![10]);
+        assert_eq!(
+            late.skipped(),
+            3,
+            "trimmed epochs 1..=3 reported, not hidden"
+        );
+
+        let got = late.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 5);
+        assert_eq!(late.staleness(), 0, "cursor caught up — liveness preserved");
+        assert_eq!(late.skipped(), 3, "skips counted once, not per poll");
+
+        let report = log
+            .staleness()
+            .into_iter()
+            .find(|r| r.consumer == "late")
+            .unwrap();
+        assert_eq!(report.skipped, 3);
+        assert_eq!(report.staleness, 0);
+    }
+
+    /// If *everything* was trimmed, the late consumer's cursor must still
+    /// reach `published` (liveness) while reporting the whole gap.
+    #[test]
+    fn register_after_full_trim_skips_all_and_stays_live() {
+        let log: VersionedLog<u32> = VersionedLog::new();
+        let early = log.register("early");
+        for i in 0..4 {
+            log.append(vec![i]);
+        }
+        log.publish();
+        early.poll();
+        assert_eq!(log.trim(), 4);
+
+        let late = log.register("late");
+        assert!(late.poll().is_empty());
+        assert_eq!(late.staleness(), 0, "cursor advanced past the void");
+        assert_eq!(late.skipped(), 4, "but the void is on the record");
     }
 
     #[test]

@@ -5,15 +5,31 @@
 //! exactly that contract: every mutation is framed with a length + CRC-32;
 //! on recovery we replay complete frames and silently drop a torn tail —
 //! those are the "few discarded events".
+//!
+//! The log tracks its **logical end** (`end_pos`) independently of the
+//! physical backing length: a failed or torn append leaves garbage bytes
+//! beyond `end_pos`, and the next append overwrites them. Without this, a
+//! single failed append would strand every later record behind mid-log
+//! garbage that replay cannot cross.
+//!
+//! ## LSN contract
+//!
+//! LSNs are unique and strictly increasing **among durable frames**. A
+//! torn tail loses the frames after the tear; since those frames were
+//! never durable (their appends either failed or were not covered by a
+//! sync), their LSNs may be reused by post-recovery appends. Consumers
+//! must not treat an LSN as stable until the append has been synced —
+//! the same moment the operation itself becomes durable. Replay also
+//! *repairs* the log (truncates the torn bytes), so a reopened log never
+//! carries two frames with the same LSN.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use memex_obs::{Counter, MetricsRegistry};
 
 use crate::codec::{crc32, get_bytes, get_u32, get_u64, put_bytes, put_u32, put_u64};
 use crate::error::{StoreError, StoreResult};
+use crate::vfs::{FileStorage, MemStorage, Storage};
 
 /// A single logical WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,12 +89,6 @@ impl WalRecord {
     }
 }
 
-/// Backing bytes for the log.
-enum WalBacking {
-    Mem(Vec<u8>),
-    File(File),
-}
-
 /// Obs handles (inert until [`Wal::attach_registry`] is called).
 #[derive(Default)]
 struct WalMetrics {
@@ -89,9 +99,12 @@ struct WalMetrics {
     torn_tails: Counter,
 }
 
-/// Append-only write-ahead log.
+/// Append-only write-ahead log over a [`Storage`] backing.
 pub struct Wal {
-    backing: WalBacking,
+    backing: Box<dyn Storage>,
+    /// Byte offset one past the last *successfully appended* frame. New
+    /// frames are written here, overwriting any torn garbage beyond it.
+    end_pos: u64,
     next_lsn: u64,
     metrics: WalMetrics,
 }
@@ -105,29 +118,28 @@ pub struct Replay {
     pub frames_seen: u64,
     /// True when a torn/corrupt tail was detected and dropped.
     pub torn_tail: bool,
+    /// Bytes dropped by the torn-tail repair.
+    pub repaired_bytes: u64,
 }
 
 impl Wal {
     /// In-memory log (tests / transient stores).
     pub fn in_memory() -> Wal {
-        Wal {
-            backing: WalBacking::Mem(Vec::new()),
-            next_lsn: 1,
-            metrics: WalMetrics::default(),
-        }
+        Self::with_storage(Box::new(MemStorage::new())).expect("mem storage cannot fail to open")
     }
 
     /// Open or create a file-backed log. The existing content is left
     /// untouched; call [`Wal::replay`] to read it.
     pub fn open_file<P: AsRef<Path>>(path: P) -> StoreResult<Wal> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        Self::with_storage(Box::new(FileStorage::open(path)?))
+    }
+
+    /// Wrap an arbitrary storage (the fault-injection entry point).
+    pub fn with_storage(backing: Box<dyn Storage>) -> StoreResult<Wal> {
+        let end_pos = backing.len()?;
         Ok(Wal {
-            backing: WalBacking::File(file),
+            backing,
+            end_pos,
             next_lsn: 1,
             metrics: WalMetrics::default(),
         })
@@ -146,21 +158,20 @@ impl Wal {
 
     /// Append a record; returns its LSN. Frame layout:
     /// `[len: u32][crc32(payload): u32][payload]`.
+    ///
+    /// On failure nothing logical changes: the LSN is not consumed and the
+    /// next append rewrites the same offset, overwriting any torn bytes
+    /// the failed write left behind.
     pub fn append(&mut self, record: &WalRecord) -> StoreResult<u64> {
         let lsn = self.next_lsn;
-        self.next_lsn += 1;
         let payload = record.encode_payload(lsn);
         let mut frame = Vec::with_capacity(payload.len() + 8);
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
         frame.extend_from_slice(&payload);
-        match &mut self.backing {
-            WalBacking::Mem(buf) => buf.extend_from_slice(&frame),
-            WalBacking::File(f) => {
-                f.seek(SeekFrom::End(0))?;
-                f.write_all(&frame)?;
-            }
-        }
+        self.backing.write_all_at(self.end_pos, &frame)?;
+        self.end_pos += frame.len() as u64;
+        self.next_lsn = lsn + 1;
         self.metrics.appends.inc();
         self.metrics.appended_bytes.add(frame.len() as u64);
         Ok(lsn)
@@ -168,20 +179,21 @@ impl Wal {
 
     /// Flush appended frames to stable storage.
     pub fn sync(&mut self) -> StoreResult<()> {
-        if let WalBacking::File(f) = &mut self.backing {
-            f.sync_data()?;
-            self.metrics.fsyncs.inc();
-        }
+        self.backing.sync()?;
+        self.metrics.fsyncs.inc();
         Ok(())
     }
 
     /// Read the whole log, returning the records after the last checkpoint.
     /// A corrupt or torn tail terminates the replay (it is *not* an error —
-    /// it is the crash case the log exists for) and sets `torn_tail`.
+    /// it is the crash case the log exists for), sets `torn_tail`, and
+    /// **repairs** the log by truncating the torn bytes so they can never
+    /// shadow later appends.
     pub fn replay(&mut self) -> StoreResult<Replay> {
         let bytes = self.read_all()?;
         let mut replay = Replay::default();
         let mut pos = 0usize;
+        let mut valid_end = 0usize;
         let mut max_lsn = 0u64;
         while pos < bytes.len() {
             let header = (|| -> StoreResult<(usize, u32)> {
@@ -213,6 +225,7 @@ impl Wal {
                     break;
                 }
             };
+            valid_end = pos;
             replay.frames_seen += 1;
             max_lsn = max_lsn.max(lsn);
             if matches!(rec, WalRecord::Checkpoint) {
@@ -221,6 +234,14 @@ impl Wal {
                 replay.records.push((lsn, rec));
             }
         }
+        if replay.torn_tail {
+            replay.repaired_bytes = bytes.len() as u64 - valid_end as u64;
+            // Repair: drop the torn bytes. Best-effort — if the truncation
+            // itself fails, `end_pos` still fences the garbage off (new
+            // appends overwrite it and replay re-truncates next time).
+            let _ = self.backing.set_len(valid_end as u64);
+        }
+        self.end_pos = valid_end as u64;
         self.next_lsn = max_lsn + 1;
         self.metrics.replays.inc();
         if replay.torn_tail {
@@ -231,58 +252,40 @@ impl Wal {
 
     /// Drop all content (used after a checkpoint has made it redundant).
     pub fn truncate(&mut self) -> StoreResult<()> {
-        match &mut self.backing {
-            WalBacking::Mem(buf) => buf.clear(),
-            WalBacking::File(f) => {
-                f.set_len(0)?;
-                f.seek(SeekFrom::Start(0))?;
-                f.sync_data()?;
-            }
-        }
+        self.backing.set_len(0)?;
+        self.end_pos = 0;
+        self.backing.sync()?;
         Ok(())
     }
 
-    /// Current log size in bytes.
+    /// Current logical log size in bytes (complete frames only).
     pub fn len_bytes(&mut self) -> StoreResult<u64> {
-        match &mut self.backing {
-            WalBacking::Mem(buf) => Ok(buf.len() as u64),
-            WalBacking::File(f) => Ok(f.metadata()?.len()),
-        }
+        Ok(self.end_pos)
     }
 
     /// Deliberately corrupt the tail by removing `n` trailing bytes —
     /// simulates a crash mid-write. Used by recovery tests and the F3
     /// fault-injection experiment.
     pub fn tear_tail(&mut self, n: u64) -> StoreResult<()> {
-        match &mut self.backing {
-            WalBacking::Mem(buf) => {
-                let keep = buf.len().saturating_sub(n as usize);
-                buf.truncate(keep);
-            }
-            WalBacking::File(f) => {
-                let len = f.metadata()?.len();
-                f.set_len(len.saturating_sub(n))?;
-            }
-        }
+        let len = self.backing.len()?;
+        let keep = len.saturating_sub(n);
+        self.backing.set_len(keep)?;
+        self.end_pos = self.end_pos.min(keep);
         Ok(())
     }
 
     fn read_all(&mut self) -> StoreResult<Vec<u8>> {
-        match &mut self.backing {
-            WalBacking::Mem(buf) => Ok(buf.clone()),
-            WalBacking::File(f) => {
-                let mut out = Vec::new();
-                f.seek(SeekFrom::Start(0))?;
-                f.read_to_end(&mut out)?;
-                Ok(out)
-            }
-        }
+        let len = self.backing.len()?;
+        let mut out = vec![0u8; len as usize];
+        self.backing.read_exact_at(0, &mut out)?;
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultConfig, FaultyStorage};
 
     #[test]
     fn append_replay_round_trip() {
@@ -350,21 +353,22 @@ mod tests {
         wal.tear_tail(3).unwrap();
         let replay = wal.replay().unwrap();
         assert!(replay.torn_tail);
+        assert!(replay.repaired_bytes > 0);
         assert_eq!(replay.records.len(), 1, "only the complete record survives");
     }
 
     #[test]
     fn bit_flip_detected_by_crc() {
-        let mut wal = Wal::in_memory();
+        let storage = MemStorage::new();
+        let handle = storage.handle();
+        let mut wal = Wal::with_storage(Box::new(storage)).unwrap();
         wal.append(&WalRecord::Put {
             key: b"abc".to_vec(),
             value: b"def".to_vec(),
         })
         .unwrap();
-        if let WalBacking::Mem(buf) = &mut wal.backing {
-            let last = buf.len() - 1;
-            buf[last] ^= 0xFF;
-        }
+        let len = handle.current_bytes().len() as u64;
+        handle.corrupt(len - 1, 0xFF);
         let replay = wal.replay().unwrap();
         assert!(replay.torn_tail);
         assert!(replay.records.is_empty());
@@ -401,5 +405,106 @@ mod tests {
             assert_eq!(replay.records.len(), 1);
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression: a failed (torn) append used to strand every later
+    /// record behind mid-log garbage, because new frames were written at
+    /// the physical end of the file while replay stopped at the tear.
+    #[test]
+    fn append_after_failed_append_overwrites_garbage() {
+        let storage = FaultyStorage::new(MemStorage::new(), FaultConfig::default());
+        let ctl = storage.control();
+        let mut wal = Wal::with_storage(Box::new(storage)).unwrap();
+        wal.append(&WalRecord::Put {
+            key: b"a".to_vec(),
+            value: b"1".to_vec(),
+        })
+        .unwrap();
+        // This append tears partway through its frame and errors.
+        ctl.tear_next_write(5);
+        assert!(wal
+            .append(&WalRecord::Put {
+                key: b"torn".to_vec(),
+                value: b"torn".to_vec(),
+            })
+            .is_err());
+        // The next append must overwrite the torn bytes, not follow them.
+        wal.append(&WalRecord::Put {
+            key: b"b".to_vec(),
+            value: b"2".to_vec(),
+        })
+        .unwrap();
+        let replay = wal.replay().unwrap();
+        let keys: Vec<&[u8]> = replay
+            .records
+            .iter()
+            .map(|(_, r)| match r {
+                WalRecord::Put { key, .. } => key.as_slice(),
+                _ => panic!("unexpected record"),
+            })
+            .collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b".as_slice()]);
+    }
+
+    /// The documented LSN contract: torn (never-durable) frames may have
+    /// their LSNs reused after recovery, but a replayed log never contains
+    /// duplicate LSNs, and durable frames keep theirs.
+    #[test]
+    fn lsn_reuse_is_confined_to_torn_frames() {
+        let storage = MemStorage::new();
+        let handle = storage.handle();
+        let mut wal = Wal::with_storage(Box::new(storage)).unwrap();
+        let l1 = wal
+            .append(&WalRecord::Put {
+                key: b"a".to_vec(),
+                value: b"1".to_vec(),
+            })
+            .unwrap();
+        let l2 = wal
+            .append(&WalRecord::Put {
+                key: b"b".to_vec(),
+                value: b"2".to_vec(),
+            })
+            .unwrap();
+        assert_eq!((l1, l2), (1, 2));
+        wal.tear_tail(3).unwrap(); // frame 2 now torn — was never durable
+        let replay = wal.replay().unwrap();
+        assert!(replay.torn_tail);
+        // The torn frame's LSN is reused — allowed, it was never durable.
+        let l2_again = wal
+            .append(&WalRecord::Put {
+                key: b"c".to_vec(),
+                value: b"3".to_vec(),
+            })
+            .unwrap();
+        assert_eq!(l2_again, 2);
+        // A reopened log replays unique, strictly increasing LSNs.
+        let mut wal2 =
+            Wal::with_storage(Box::new(MemStorage::from_bytes(handle.current_bytes()))).unwrap();
+        let replay = wal2.replay().unwrap();
+        assert!(!replay.torn_tail, "repair removed the torn bytes");
+        let lsns: Vec<u64> = replay.records.iter().map(|&(l, _)| l).collect();
+        assert_eq!(lsns, vec![1, 2]);
+    }
+
+    /// Replay repairs the log: after a torn tail is detected the garbage
+    /// is physically truncated, so a second replay is clean.
+    #[test]
+    fn replay_repairs_torn_tail() {
+        let mut wal = Wal::in_memory();
+        for i in 0..3u8 {
+            wal.append(&WalRecord::Put {
+                key: vec![i],
+                value: vec![i],
+            })
+            .unwrap();
+        }
+        wal.tear_tail(2).unwrap();
+        let first = wal.replay().unwrap();
+        assert!(first.torn_tail);
+        assert_eq!(first.records.len(), 2);
+        let second = wal.replay().unwrap();
+        assert!(!second.torn_tail, "repair made the log clean");
+        assert_eq!(second.records.len(), 2);
     }
 }

@@ -1,0 +1,520 @@
+//! Deterministic fault-injection harness for the storage substrate.
+//!
+//! Everything here is reproducible from a seed: `MemStorage` models an OS
+//! page cache over a disk (synced bytes are durable, unsynced writes may
+//! vanish at a crash — possibly torn mid-write), and `FaultyStorage`
+//! injects I/O errors from a seeded schedule or a scripted `FaultControl`.
+//!
+//! The central property is **prefix consistency**: after running an
+//! arbitrary operation sequence against `KvStore`, crashing at an
+//! arbitrary point, and reopening, the recovered state must equal the
+//! model state after some prefix `p` of the acknowledged operations with
+//! `synced ≤ p ≤ acked` — every operation covered by a sync survives, and
+//! nothing that was never acknowledged is ever resurrected.
+//!
+//! Run a specific schedule with `PROPTEST_SEED=<n> cargo test -p
+//! memex-store --test fault` (this is what CI's fault-matrix job does).
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use proptest::prelude::*;
+
+use memex_obs::MetricsRegistry;
+use memex_store::kv::{KvStore, KvStoreOptions};
+use memex_store::vfs::{FaultConfig, FaultyStorage, MemHandle, MemStorage, Storage};
+use memex_store::wal::{Wal, WalRecord};
+
+// ---------------------------------------------------------------------------
+// Operation model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    /// `Wal::sync` — establishes a durability watermark.
+    Sync,
+    /// Full checkpoint — flushes the tree and truncates the log.
+    Checkpoint,
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet so operations collide often (the interesting case).
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8)],
+        1..6,
+    )
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (key_strategy(), proptest::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => key_strategy().prop_map(Op::Delete),
+        1 => Just(Op::Sync),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+/// Reference state after the first `p` operations.
+fn model_at(ops: &[Op], p: usize) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut m = BTreeMap::new();
+    for op in &ops[..p] {
+        match op {
+            Op::Put(k, v) => {
+                m.insert(k.clone(), v.clone());
+            }
+            Op::Delete(k) => {
+                m.remove(k);
+            }
+            Op::Sync | Op::Checkpoint => {}
+        }
+    }
+    m
+}
+
+fn small_opts() -> KvStoreOptions {
+    KvStoreOptions {
+        // Small pool so the no-steal buffer pool overflows and exercises
+        // the sync-log-then-flush path mid-run.
+        pool_capacity: 8,
+        // The harness drives checkpoints explicitly.
+        checkpoint_bytes: u64::MAX,
+        sync_every_append: false,
+    }
+}
+
+fn reopen(wal: &MemHandle, db: &MemHandle, opts: KvStoreOptions) -> KvStore {
+    KvStore::open_with_storage(
+        Box::new(MemStorage::from_bytes(wal.current_bytes())),
+        Box::new(MemStorage::from_bytes(db.current_bytes())),
+        opts,
+    )
+    .expect("reopen after crash must succeed")
+}
+
+fn contents(kv: &mut KvStore) -> Vec<(Vec<u8>, Vec<u8>)> {
+    kv.scan(Bound::Unbounded, Bound::Unbounded).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery property
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Run a random op sequence, crash at an arbitrary (seeded) point in
+    /// the unsynced write stream, reopen, and check prefix consistency:
+    /// the recovered state is `model(p)` for some `synced <= p <= acked`.
+    #[test]
+    fn crash_recovery_is_prefix_consistent(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        crash_seed in any::<u64>(),
+    ) {
+        let wal_storage = MemStorage::new();
+        let wal_handle = wal_storage.handle();
+        let db_storage = MemStorage::new();
+        let db_handle = db_storage.handle();
+        let mut kv = KvStore::open_with_storage(
+            Box::new(wal_storage),
+            Box::new(db_storage),
+            small_opts(),
+        )
+        .unwrap();
+
+        let mut synced = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Put(k, v) => {
+                    kv.put(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    kv.delete(k).unwrap();
+                }
+                Op::Sync => {
+                    kv.wal_mut().sync().unwrap();
+                    synced = i + 1;
+                }
+                Op::Checkpoint => {
+                    kv.checkpoint().unwrap();
+                    synced = i + 1;
+                }
+            }
+        }
+        let acked = ops.len();
+        drop(kv);
+
+        // Power cut: each device keeps its durable bytes plus a
+        // seeded-random prefix of the unsynced writes (final write
+        // possibly torn).
+        wal_handle.crash(crash_seed);
+        db_handle.crash(crash_seed ^ 0x9E37_79B9_7F4A_7C15);
+
+        let mut kv = reopen(&wal_handle, &db_handle, small_opts());
+        kv.check().unwrap();
+        let recovered = contents(&mut kv);
+
+        let matched = (synced..=acked).any(|p| {
+            let m = model_at(&ops, p);
+            recovered.len() == m.len()
+                && recovered
+                    .iter()
+                    .all(|(k, v)| m.get(k).map(|mv| mv == v).unwrap_or(false))
+        });
+        prop_assert!(
+            matched,
+            "recovered state is not a prefix of acked ops \
+             (synced={synced}, acked={acked}, crash_seed={crash_seed}, \
+              recovered {} entries)",
+            recovered.len(),
+        );
+
+        // And the reopened store keeps working.
+        kv.put(b"post-crash", b"ok").unwrap();
+        prop_assert_eq!(kv.get(b"post-crash").unwrap().unwrap(), b"ok".to_vec());
+    }
+
+    /// Cut the WAL at *every* byte offset: replay must never fail, must
+    /// yield a prefix of the appended records, and — after its torn-tail
+    /// repair — must leave a log that appends and replays cleanly.
+    #[test]
+    fn wal_cut_at_every_byte_offset_recovers_record_prefix(
+        kvs in proptest::collection::vec((key_strategy(), key_strategy()), 1..10),
+    ) {
+        let storage = MemStorage::new();
+        let handle = storage.handle();
+        let mut wal = Wal::with_storage(Box::new(storage)).unwrap();
+        for (k, v) in &kvs {
+            wal.append(&WalRecord::Put { key: k.clone(), value: v.clone() }).unwrap();
+        }
+        let bytes = handle.current_bytes();
+
+        for cut in 0..=bytes.len() {
+            let mut wal =
+                Wal::with_storage(Box::new(MemStorage::from_bytes(bytes[..cut].to_vec())))
+                    .unwrap();
+            let replay = wal.replay().unwrap_or_else(|e| {
+                panic!("replay failed at cut {cut}/{}: {e}", bytes.len())
+            });
+            prop_assert!(replay.records.len() <= kvs.len());
+            for (i, (_, rec)) in replay.records.iter().enumerate() {
+                let (k, v) = &kvs[i];
+                prop_assert_eq!(
+                    rec,
+                    &WalRecord::Put { key: k.clone(), value: v.clone() },
+                    "cut at {} replayed a record that was never appended", cut
+                );
+            }
+            // The repaired log accepts and recovers a fresh append.
+            wal.append(&WalRecord::Put { key: b"x".to_vec(), value: b"y".to_vec() })
+                .unwrap();
+            let again = wal.replay().unwrap();
+            prop_assert!(!again.torn_tail, "repair at cut {} left garbage", cut);
+            prop_assert_eq!(again.records.len(), replay.records.len() + 1);
+        }
+    }
+
+    /// Flip a byte at *every* offset of an intact WAL: the CRC framing
+    /// must confine the damage — replay never fails and yields a prefix
+    /// of the appended records (everything before the corrupt frame).
+    #[test]
+    fn wal_byte_flip_at_every_offset_yields_record_prefix(
+        kvs in proptest::collection::vec((key_strategy(), key_strategy()), 1..8),
+        xor in 1u8..=255,
+    ) {
+        let storage = MemStorage::new();
+        let handle = storage.handle();
+        let mut wal = Wal::with_storage(Box::new(storage)).unwrap();
+        for (k, v) in &kvs {
+            wal.append(&WalRecord::Put { key: k.clone(), value: v.clone() }).unwrap();
+        }
+        let bytes = handle.current_bytes();
+
+        for off in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[off] ^= xor;
+            let mut wal = Wal::with_storage(Box::new(MemStorage::from_bytes(mutated))).unwrap();
+            let replay = wal.replay().unwrap_or_else(|e| {
+                panic!("replay failed with flip at {off}: {e}")
+            });
+            prop_assert!(replay.torn_tail, "flip at {} went undetected", off);
+            prop_assert!(replay.records.len() < kvs.len());
+            for (i, (_, rec)) in replay.records.iter().enumerate() {
+                let (k, v) = &kvs[i];
+                prop_assert_eq!(
+                    rec,
+                    &WalRecord::Put { key: k.clone(), value: v.clone() },
+                    "flip at {} corrupted an earlier record", off
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted checkpoint-window faults
+// ---------------------------------------------------------------------------
+
+/// `KvStore::checkpoint` step 1 is `Pager::flush`, which must *fsync* the
+/// data file before the WAL is truncated. Fail that fsync: the checkpoint
+/// must abort with the log intact, so a crash in the window loses nothing.
+#[test]
+fn failed_data_fsync_aborts_checkpoint_with_wal_intact() {
+    let wal_storage = MemStorage::new();
+    let wal_handle = wal_storage.handle();
+    let db_inner = MemStorage::new();
+    let db_handle = db_inner.handle();
+    let db_storage = FaultyStorage::new(db_inner, FaultConfig::default());
+    let ctl = db_storage.control();
+
+    let mut kv =
+        KvStore::open_with_storage(Box::new(wal_storage), Box::new(db_storage), small_opts())
+            .unwrap();
+    for i in 0..5u8 {
+        kv.put(&[b'k', i], &[i]).unwrap();
+    }
+    kv.wal_mut().sync().unwrap();
+
+    ctl.fail_next_syncs(1);
+    assert!(
+        kv.checkpoint().is_err(),
+        "checkpoint must surface the fsync failure"
+    );
+    assert_eq!(ctl.injected(), (0, 0, 0, 1));
+
+    // Worst-case crash in the window: only durable bytes survive. The WAL
+    // was synced and never truncated, so everything is recoverable.
+    let mut kv2 = KvStore::open_with_storage(
+        Box::new(MemStorage::from_bytes(wal_handle.durable_bytes())),
+        Box::new(MemStorage::from_bytes(db_handle.durable_bytes())),
+        small_opts(),
+    )
+    .unwrap();
+    kv2.check().unwrap();
+    for i in 0..5u8 {
+        assert_eq!(kv2.get(&[b'k', i]).unwrap().unwrap(), vec![i]);
+    }
+
+    // The running store stays usable: the retry succeeds and nothing is lost.
+    kv.checkpoint().unwrap();
+    for i in 0..5u8 {
+        assert_eq!(kv.get(&[b'k', i]).unwrap().unwrap(), vec![i]);
+    }
+}
+
+/// Fail the *log-side* sync inside the checkpoint (after the data flush
+/// already fsynced the tree). Every crash outcome in that window is safe:
+/// the old log replays idempotently over the flushed tree, or the
+/// truncation landed and the tree alone carries the state.
+#[test]
+fn failed_log_sync_during_checkpoint_is_crash_safe() {
+    let wal_inner = MemStorage::new();
+    let wal_handle = wal_inner.handle();
+    let wal_storage = FaultyStorage::new(wal_inner, FaultConfig::default());
+    let ctl = wal_storage.control();
+    let db_storage = MemStorage::new();
+    let db_handle = db_storage.handle();
+
+    let mut kv =
+        KvStore::open_with_storage(Box::new(wal_storage), Box::new(db_storage), small_opts())
+            .unwrap();
+    for i in 0..5u8 {
+        kv.put(&[b'k', i], &[i]).unwrap();
+    }
+    kv.wal_mut().sync().unwrap();
+
+    // The data flush fsyncs the db side (not scripted); the next *wal*
+    // sync — inside Wal::truncate — fails.
+    ctl.fail_next_syncs(1);
+    assert!(kv.checkpoint().is_err());
+
+    // Crash with every possible surviving prefix of the pending log
+    // writes: recovery must always land on exactly the acked state.
+    for seed in 0..16u64 {
+        let wal_bytes = MemStorage::from_bytes(wal_handle.durable_bytes());
+        let wal_probe = wal_bytes.handle();
+        // Re-stage the pending ops on a copy and crash it.
+        {
+            let mut staged: Box<dyn Storage> = Box::new(wal_bytes);
+            let _ = staged.set_len(0); // the un-synced truncation
+        }
+        wal_probe.crash(seed);
+        let mut kv2 = KvStore::open_with_storage(
+            Box::new(MemStorage::from_bytes(wal_probe.current_bytes())),
+            Box::new(MemStorage::from_bytes(db_handle.current_bytes())),
+            small_opts(),
+        )
+        .unwrap();
+        kv2.check().unwrap();
+        for i in 0..5u8 {
+            assert_eq!(
+                kv2.get(&[b'k', i]).unwrap().unwrap(),
+                vec![i],
+                "seed {seed}: acked key lost in checkpoint window"
+            );
+        }
+    }
+
+    // The running store recovers too: retry and carry on.
+    kv.checkpoint().unwrap();
+    kv.put(b"after", b"ok").unwrap();
+    assert_eq!(kv.get(b"after").unwrap().unwrap(), b"ok");
+}
+
+/// A scripted write failure during an append must not acknowledge the
+/// operation, corrupt the store, or poison later operations.
+#[test]
+fn failed_append_is_not_acked_and_store_survives() {
+    let wal_inner = MemStorage::new();
+    let wal_storage = FaultyStorage::new(wal_inner, FaultConfig::default());
+    let ctl = wal_storage.control();
+    let mut kv = KvStore::open_with_storage(
+        Box::new(wal_storage),
+        Box::new(MemStorage::new()),
+        small_opts(),
+    )
+    .unwrap();
+
+    kv.put(b"ok1", b"1").unwrap();
+    ctl.fail_next_writes(1);
+    assert!(kv.put(b"denied", b"x").is_err());
+    assert!(
+        kv.get(b"denied").unwrap().is_none(),
+        "failed put must not be visible"
+    );
+    ctl.tear_next_write(3);
+    assert!(kv.put(b"torn", b"x").is_err());
+    assert!(kv.get(b"torn").unwrap().is_none());
+    kv.put(b"ok2", b"2").unwrap();
+    kv.check().unwrap();
+    assert_eq!(kv.len(), 2);
+    assert!(ctl.injected_total() >= 2);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos schedule
+// ---------------------------------------------------------------------------
+
+/// Run a fixed op stream against a WAL behind a seeded fault schedule
+/// (write errors, torn writes, sync failures), then crash and reopen.
+/// Failed operations are simply not acked; the recovered state must be a
+/// model prefix of the *acked* sequence — injected faults never corrupt,
+/// they only shorten.
+#[test]
+fn seeded_fault_schedule_preserves_prefix_consistency() {
+    for seed in [1u64, 7, 42, 0x2000_0101] {
+        let cfg = FaultConfig {
+            seed,
+            read_err_per_10k: 0, // reads must stay reliable for replay
+            write_err_per_10k: 800,
+            short_write_per_10k: 600,
+            sync_err_per_10k: 500,
+        };
+        let wal_inner = MemStorage::new();
+        let wal_handle = wal_inner.handle();
+        let wal_storage = FaultyStorage::new(wal_inner, cfg);
+        let ctl = wal_storage.control();
+        let registry = MetricsRegistry::new();
+        ctl.attach_registry(&registry);
+        let db_storage = MemStorage::new();
+        let db_handle = db_storage.handle();
+
+        let opts = KvStoreOptions {
+            pool_capacity: 256, // large: keep mid-run flushes out of the way
+            checkpoint_bytes: u64::MAX,
+            sync_every_append: false,
+        };
+        let mut kv =
+            KvStore::open_with_storage(Box::new(wal_storage), Box::new(db_storage), opts.clone())
+                .unwrap();
+
+        // Acked operations in order; failures are dropped (not acked).
+        let mut acked: Vec<Op> = Vec::new();
+        for i in 0..240u32 {
+            let k = format!("k{:02}", i % 24).into_bytes();
+            if i % 5 == 4 {
+                let _ = kv.wal_mut().sync(); // may fail: no watermark credit
+            } else if i % 7 == 6 {
+                if kv.delete(&k).is_ok() {
+                    acked.push(Op::Delete(k));
+                }
+            } else {
+                let v = format!("v{i}").into_bytes();
+                if kv.put(&k, &v).is_ok() {
+                    acked.push(Op::Put(k, v));
+                }
+            }
+        }
+        assert!(
+            ctl.injected_total() > 0,
+            "seed {seed}: schedule never fired — test is vacuous"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("fault.injected.write_errors")
+                + snap.counter("fault.injected.short_writes")
+                + snap.counter("fault.injected.sync_errors"),
+            ctl.injected_total(),
+            "obs mirror must agree with the control handle"
+        );
+        drop(kv);
+
+        wal_handle.crash(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+        db_handle.crash(seed);
+
+        let mut kv = reopen(&wal_handle, &db_handle, opts);
+        kv.check().unwrap();
+        let recovered = contents(&mut kv);
+        let matched = (0..=acked.len()).any(|p| {
+            let m = model_at(&acked, p);
+            recovered.len() == m.len()
+                && recovered
+                    .iter()
+                    .all(|(k, v)| m.get(k).map(|mv| mv == v).unwrap_or(false))
+        });
+        assert!(
+            matched,
+            "seed {seed}: recovered state is not a prefix of the acked ops"
+        );
+    }
+}
+
+/// Recovery outcomes surface in `store.recovery.*` once a registry is
+/// attached — the observability contract the F3 experiment reads.
+#[test]
+fn recovery_metrics_report_replay_and_repair() {
+    let wal_storage = MemStorage::new();
+    let wal_handle = wal_storage.handle();
+    let mut kv = KvStore::open_with_storage(
+        Box::new(wal_storage),
+        Box::new(MemStorage::new()),
+        small_opts(),
+    )
+    .unwrap();
+    kv.put(b"a", b"1").unwrap();
+    kv.put(b"b", b"2").unwrap();
+    kv.wal_mut().sync().unwrap();
+    drop(kv);
+
+    // Tear mid-frame: strip the last 3 bytes of the log.
+    let bytes = wal_handle.current_bytes();
+    let torn = bytes[..bytes.len() - 3].to_vec();
+    let mut kv = KvStore::open_with_storage(
+        Box::new(MemStorage::from_bytes(torn)),
+        Box::new(MemStorage::new()),
+        small_opts(),
+    )
+    .unwrap();
+    let registry = MetricsRegistry::new();
+    kv.attach_registry(&registry);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("store.recovery.replayed_records"), 1);
+    assert_eq!(snap.counter("store.recovery.torn_tails"), 1);
+    assert!(snap.counter("store.recovery.repaired_bytes") > 0);
+    assert_eq!(kv.stats().recovered_records, 1);
+    assert!(kv.stats().recovered_torn_tail);
+    assert_eq!(kv.get(b"a").unwrap().unwrap(), b"1");
+    assert!(kv.get(b"b").unwrap().is_none(), "torn record dropped");
+}
