@@ -1,0 +1,57 @@
+//! Review repro: crash in the checkpoint window between Pager::flush and
+//! Wal::truncate, with unsynced WAL records at checkpoint time.
+
+use memex_store::kv::{KvStore, KvStoreOptions};
+use memex_store::vfs::{FaultConfig, FaultyStorage, MemStorage};
+
+#[test]
+fn checkpoint_window_crash_with_unsynced_wal_records() {
+    let opts = KvStoreOptions {
+        pool_capacity: 256,
+        checkpoint_bytes: u64::MAX,
+        sync_every_append: false,
+    };
+    let wal_inner = MemStorage::new();
+    let wal_handle = wal_inner.handle();
+    let wal_storage = FaultyStorage::new(wal_inner, FaultConfig::default());
+    let ctl = wal_storage.control();
+    let db_storage = MemStorage::new();
+    let db_handle = db_storage.handle();
+
+    let mut kv =
+        KvStore::open_with_storage(Box::new(wal_storage), Box::new(db_storage), opts.clone())
+            .unwrap();
+
+    kv.put(b"a", b"1").unwrap();
+    kv.wal_mut().sync().unwrap(); // op1 durable in the log
+    kv.put(b"a", b"2").unwrap(); // op2: acked, log record NOT synced
+    kv.put(b"c", b"3").unwrap(); // op3: acked, log record NOT synced
+
+    // checkpoint(): pager.flush() succeeds (tree with a=2,c=3 is durable),
+    // then Wal::truncate fails -> models a crash between flush and truncate.
+    ctl.fail_next_set_lens(1);
+    assert!(kv.checkpoint().is_err());
+    drop(kv);
+
+    // Power cut: only durable bytes survive on each device (a legal crash
+    // outcome: zero pending writes survive).
+    let mut kv2 = KvStore::open_with_storage(
+        Box::new(MemStorage::from_bytes(wal_handle.durable_bytes())),
+        Box::new(MemStorage::from_bytes(db_handle.durable_bytes())),
+        opts,
+    )
+    .unwrap();
+
+    let a = kv2.get(b"a").unwrap().map(|v| v.to_vec());
+    let c = kv2.get(b"c").unwrap().map(|v| v.to_vec());
+    // Valid prefixes of the acked ops:
+    //   p=1 -> {a:1}        p=2 -> {a:2}        p=3 -> {a:2, c:3}
+    let is_prefix = matches!(
+        (a.as_deref(), c.as_deref()),
+        (Some(b"1"), None) | (Some(b"2"), None) | (Some(b"2"), Some(b"3"))
+    );
+    assert!(
+        is_prefix,
+        "recovered state a={a:?} c={c:?} matches no prefix of the acked ops"
+    );
+}
