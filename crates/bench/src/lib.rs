@@ -12,6 +12,7 @@ pub mod f1_feedback;
 pub mod f2_trail;
 pub mod f3_pipeline;
 pub mod f4_themes;
+pub mod n1_net;
 pub mod t1_classify;
 pub mod t2_search;
 pub mod t3_cluster;
@@ -95,6 +96,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "A5",
             "Ablation: semi-supervised EM vs enhanced",
             ablations::run_em,
+        ),
+        (
+            "N1",
+            "memex-net: concurrent TCP serving with admission control",
+            n1_net::run,
         ),
     ]
 }

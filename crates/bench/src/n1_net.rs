@@ -1,0 +1,220 @@
+//! **N1 — memex-net load generator:** the servlet vocabulary served over a
+//! live loopback TCP socket by `memex_net::NetServer`, driven by N
+//! concurrent `MemexClient` threads through a mixed mining workload.
+//!
+//! Two scenarios:
+//!
+//! 1. **throughput** — default admission limits; reports sustained
+//!    requests/second and p50/p95/p99 request latency read from the
+//!    server's own `net.req.latency` obs histogram (fetched over the wire
+//!    via `Request::Stats`, like any remote operator would).
+//! 2. **overload** — in-flight limit forced to 1 against a burst of
+//!    clients: the server must shed with explicit `Response::Overloaded`
+//!    frames (`net.shed` > 0) instead of queueing without bound, and still
+//!    shut down cleanly.
+
+use std::time::Instant;
+
+use memex_core::memex::Memex;
+use memex_core::servlet::{Request, Response};
+use memex_net::{ClientConfig, MemexClient, NetServer, NetServerConfig};
+use memex_obs::HistogramSnapshot;
+
+use crate::table::Table;
+use crate::worlds::standard_world;
+
+/// One client thread's mixed servlet workload: the mining queries of the
+/// paper's §1 questions, round-robined.
+fn workload(user: u32, rounds: usize) -> Vec<Request> {
+    let mut reqs = Vec::with_capacity(rounds * 6);
+    for _ in 0..rounds {
+        reqs.push(Request::Recall {
+            user,
+            query: "page".into(),
+            since: 0,
+            until: u64::MAX,
+            k: 5,
+        });
+        reqs.push(Request::TrailReplay {
+            user,
+            folder: 1,
+            since: 0,
+            max_pages: 10,
+        });
+        reqs.push(Request::WhatsNew {
+            user,
+            folder: 1,
+            since: 0,
+            k: 5,
+        });
+        reqs.push(Request::Bill {
+            user,
+            since: 0,
+            until: u64::MAX,
+        });
+        reqs.push(Request::SimilarSurfers { user, k: 3 });
+        reqs.push(Request::Recommend { user, k: 3 });
+    }
+    reqs
+}
+
+struct DriveResult {
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    wall_ms: f64,
+}
+
+/// Drive `clients` concurrent client threads against `addr`, each sending
+/// its workload back-to-back. Overloaded responses count as shed, not ok.
+fn drive(addr: std::net::SocketAddr, clients: usize, rounds: usize, users: &[u32]) -> DriveResult {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let user = users[i % users.len()];
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut shed = 0u64;
+                let mut errors = 0u64;
+                let mut client = match MemexClient::connect(addr, ClientConfig::default()) {
+                    Ok(c) => c,
+                    Err(_) => return (0, 0, 1),
+                };
+                for req in workload(user, rounds) {
+                    match client.request(&req) {
+                        Ok(Response::Overloaded { .. }) => shed += 1,
+                        Ok(Response::Error(_)) => errors += 1,
+                        Ok(_) => ok += 1,
+                        Err(_) => errors += 1,
+                    }
+                }
+                (ok, shed, errors)
+            })
+        })
+        .collect();
+    let mut totals = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (ok, shed, errors) = h.join().expect("client thread");
+        totals.0 += ok;
+        totals.1 += shed;
+        totals.2 += errors;
+    }
+    DriveResult {
+        ok: totals.0,
+        shed: totals.1,
+        errors: totals.2,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn percentile_us(h: &HistogramSnapshot, q: f64) -> String {
+    format!("{:.0}", h.percentile(q) as f64 / 1_000.0)
+}
+
+/// Fetch the server's latency histogram over the wire, the way an external
+/// operator would.
+fn remote_latency(addr: std::net::SocketAddr) -> Option<HistogramSnapshot> {
+    let mut client = MemexClient::connect(addr, ClientConfig::default()).ok()?;
+    match client.request(&Request::Stats).ok()? {
+        Response::Stats(snap) => snap.histogram("net.req.latency").cloned(),
+        _ => None,
+    }
+}
+
+fn scenario(
+    table: &mut Table,
+    name: &str,
+    memex: Memex,
+    config: NetServerConfig,
+    clients: usize,
+    rounds: usize,
+    users: &[u32],
+) -> (Memex, u64) {
+    // The registry outlives individual servers; report this scenario's
+    // shed as a delta.
+    let shed_before = memex.registry().snapshot().counter("net.shed");
+    let server = NetServer::start(memex, "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let result = drive(addr, clients, rounds, users);
+    let latency = remote_latency(addr);
+    let memex = server.shutdown();
+    let snap = memex.registry().snapshot();
+    let shed = snap.counter("net.shed") - shed_before;
+    let sent = result.ok + result.shed + result.errors;
+    let (p50, p95, p99) = match &latency {
+        Some(h) => (
+            percentile_us(h, 0.50),
+            percentile_us(h, 0.95),
+            percentile_us(h, 0.99),
+        ),
+        None => ("-".into(), "-".into(), "-".into()),
+    };
+    table.row(vec![
+        name.to_string(),
+        clients.to_string(),
+        sent.to_string(),
+        result.ok.to_string(),
+        shed.to_string(),
+        result.errors.to_string(),
+        format!("{:.0}", result.wall_ms),
+        format!("{:.0}", result.ok as f64 / (result.wall_ms / 1e3)),
+        p50,
+        p95,
+        p99,
+    ]);
+    (memex, shed)
+}
+
+/// The N1 table.
+pub fn run(quick: bool) -> Table {
+    // The network layer's cost is framing + locking, not corpus size: the
+    // quick world keeps the focus on the serving path.
+    let (_corpus, community, memex) = standard_world(true, 0x9E7);
+    let users: Vec<u32> = community.users.iter().map(|u| u.user).collect();
+    let mut table = Table::new(
+        "N1 — memex-net: concurrent TCP serving (loopback)",
+        &[
+            "scenario", "clients", "sent", "ok", "shed", "errors", "wall_ms", "req/s", "p50_us",
+            "p95_us", "p99_us",
+        ],
+    );
+    let clients = if quick { 4 } else { 8 };
+    let rounds = if quick { 10 } else { 50 };
+
+    // Scenario 1: sustained mixed workload under default admission limits.
+    let (memex, _) = scenario(
+        &mut table,
+        "throughput",
+        memex,
+        NetServerConfig::default(),
+        clients,
+        rounds,
+        &users,
+    );
+
+    // Scenario 2: induced overload — in-flight limit 1, burst of clients.
+    // The shed column must be non-zero: explicit overload frames, not
+    // unbounded queueing.
+    let overload_cfg = NetServerConfig {
+        max_in_flight: 1,
+        ..NetServerConfig::default()
+    };
+    let (_memex, shed) = scenario(
+        &mut table,
+        "overload",
+        memex,
+        overload_cfg,
+        clients.max(4) * 2,
+        rounds,
+        &users,
+    );
+    table.note("latency percentiles read from the server's net.req.latency obs histogram, fetched over the wire via Request::Stats");
+    table.note(&format!(
+        "overload scenario (in-flight limit 1) shed {shed} requests explicitly; clean shutdown both scenarios"
+    ));
+    assert!(
+        shed > 0,
+        "overload scenario must shed (net.shed delta was 0)"
+    );
+    table
+}

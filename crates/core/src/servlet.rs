@@ -11,7 +11,7 @@ use crate::bookmarks_io::{export_netscape, import_netscape, BookmarkEntry};
 use crate::memex::{BillLine, Memex, RecallHit};
 
 /// A client request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Ingest a raw client event (visit/bookmark/mode).
     Event(ClientEvent),
@@ -75,20 +75,32 @@ impl Request {
 }
 
 /// The matching responses.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    Ack { archived: bool },
+    Ack {
+        archived: bool,
+    },
     Recall(Vec<RecallHit>),
     TrailReplay(memex_graph::trail::TrailContext),
     WhatsNew(Vec<(u32, f64)>),
     Bill(Vec<BillLine>),
     SimilarSurfers(Vec<(u32, f64)>),
     Recommend(Vec<(u32, f64)>),
-    Imported { bookmarks: usize, unresolved: usize },
+    Imported {
+        bookmarks: usize,
+        unresolved: usize,
+    },
     Exported(String),
     Proposals(Vec<crate::memex::FolderProposal>),
     Stats(memex_obs::Snapshot),
     Error(String),
+    /// Load-shed verdict from the serving layer: the request was *not*
+    /// dispatched because the server's in-flight admission limit was hit.
+    /// Clients may retry after backing off; nothing was mutated.
+    Overloaded {
+        in_flight: u32,
+        limit: u32,
+    },
 }
 
 /// Dispatch one request against the system. Every dispatch records its

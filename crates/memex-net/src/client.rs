@@ -1,0 +1,174 @@
+//! Blocking client for the Memex wire protocol.
+//!
+//! [`MemexClient`] keeps one TCP connection and pipelines request/response
+//! pairs over it. Connects are bounded by a connect timeout, each exchange
+//! by read/write timeouts, and a connection torn down underneath us
+//! (broken pipe, reset, EOF — e.g. the server closed an idle connection)
+//! is re-dialled transparently and the request retried, at most
+//! [`ClientConfig::reconnect_attempts`] times. Timeouts are *not* retried:
+//! the request may have dispatched, and mutating requests (`Event`,
+//! `ImportBookmarks`) must not be double-applied.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use memex_core::servlet::{Request, Response};
+
+use crate::wire::{self, FrameKind, WireError};
+
+/// Client-side timeouts and retry policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Bound on establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Bound on each of the write and read halves of one exchange.
+    pub request_timeout: Duration,
+    /// How many times a request may be re-sent on a fresh connection after
+    /// the old one proves broken.
+    pub reconnect_attempts: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(10),
+            reconnect_attempts: 1,
+        }
+    }
+}
+
+/// Client-visible failures.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, timeout, reset…).
+    Io(std::io::Error),
+    /// The bytes on the wire were not a valid frame/payload.
+    Wire(WireError),
+    /// The peer violated the protocol (e.g. sent a request frame back).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Wire(e) => write!(f, "wire: {e}"),
+            NetError::Protocol(what) => write!(f, "protocol: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            NetError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> NetError {
+        // Flatten so callers match one `Io` arm for all transport trouble.
+        match e {
+            WireError::Io(io) => NetError::Io(io),
+            other => NetError::Wire(other),
+        }
+    }
+}
+
+impl NetError {
+    /// Would a fresh connection plausibly fix this? True for the
+    /// connection-is-dead family, false for timeouts (the request may have
+    /// been dispatched) and for decode/protocol errors.
+    fn reconnectable(&self) -> bool {
+        match self {
+            NetError::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::BrokenPipe
+                    | ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::UnexpectedEof
+                    | ErrorKind::NotConnected
+            ),
+            NetError::Wire(_) | NetError::Protocol(_) => false,
+        }
+    }
+}
+
+/// A blocking Memex client over one auto-healing TCP connection.
+pub struct MemexClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+}
+
+impl MemexClient {
+    /// Resolve `addr` and dial the server (eagerly, so a dead server is
+    /// reported here rather than on the first request).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<MemexClient, NetError> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(ErrorKind::NotFound, "address resolved to nothing")
+        })?;
+        let mut client = MemexClient {
+            addr,
+            config,
+            stream: None,
+        };
+        client.stream = Some(client.dial()?);
+        Ok(client)
+    }
+
+    fn dial(&self) -> Result<TcpStream, NetError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.request_timeout))?;
+        stream.set_write_timeout(Some(self.config.request_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, NetError> {
+        let payload = wire::encode_request(request);
+        let mut attempts_left = self.config.reconnect_attempts;
+        loop {
+            if self.stream.is_none() {
+                self.stream = Some(self.dial()?);
+            }
+            let stream = self.stream.as_mut().expect("dialled above");
+            match Self::exchange(stream, &payload) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    // Whatever happened, this connection is suspect.
+                    self.stream = None;
+                    if e.reconnectable() && attempts_left > 0 {
+                        attempts_left -= 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn exchange(stream: &mut TcpStream, request_payload: &[u8]) -> Result<Response, NetError> {
+        wire::write_frame(stream, FrameKind::Request, request_payload)?;
+        let (kind, payload) = wire::read_frame(stream)?;
+        if kind != FrameKind::Response {
+            return Err(NetError::Protocol("request frame received from server"));
+        }
+        Ok(wire::decode_response(&payload)?)
+    }
+}

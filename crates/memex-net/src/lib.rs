@@ -1,0 +1,29 @@
+//! # memex-net — the wire
+//!
+//! The paper's Memex server is a network service: "servlets that perform
+//! various archiving and mining functions as triggered by client action",
+//! tunnelled over HTTP (§3). This crate puts our reproduction's servlet
+//! vocabulary (`memex_core::servlet::{Request, Response}`) on a real
+//! socket, `std`-only:
+//!
+//! - [`wire`] — length-prefixed, checksummed, versioned binary framing
+//!   with a hand-rolled serializer for every request/response variant.
+//!   Typed errors, a hard frame cap, no panics on hostile bytes.
+//! - [`NetServer`] — a concurrent TCP server: fixed worker pool over a
+//!   bounded accept queue, per-request timeouts, graceful shutdown, and
+//!   semaphore-style admission control that sheds load with explicit
+//!   [`memex_core::servlet::Response::Overloaded`] frames.
+//! - [`MemexClient`] — a blocking client with connect/request timeouts and
+//!   transparent reconnect-on-broken-pipe.
+//!
+//! Serving metrics (`net.conn.*`, `net.req.latency`, `net.shed`,
+//! `net.decode.errors`) flow through the Memex's `memex-obs` registry, so
+//! `Request::Stats` over the wire reports on the wire itself.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, MemexClient, NetError};
+pub use server::{NetServer, NetServerConfig};
+pub use wire::{FrameKind, WireError, MAX_PAYLOAD, WIRE_VERSION};

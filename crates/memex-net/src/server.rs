@@ -1,0 +1,311 @@
+//! The concurrent TCP serving layer.
+//!
+//! One accept thread feeds connections into a *bounded* queue drained by a
+//! fixed pool of worker threads; each worker speaks the frame protocol of
+//! [`crate::wire`] and dispatches decoded requests against the shared
+//! [`Memex`] (one big lock — the servlet layer is `&mut`-based).
+//!
+//! **Admission control:** a semaphore-style in-flight counter caps how many
+//! requests may be dispatching at once. A request arriving above the cap is
+//! answered immediately with [`Response::Overloaded`] (counted in
+//! `net.shed`) instead of queueing without bound; a connection arriving
+//! while the accept queue is full gets the same verdict and is closed
+//! (counted in `net.shed` and `net.conn.rejected`). The server never makes
+//! a client wait silently for capacity.
+//!
+//! **Shutdown:** [`NetServer::shutdown`] flips the shutdown flag, wakes the
+//! accept thread with a self-connection, and joins every thread. Workers
+//! drain the accept queue before exiting (the channel hands out buffered
+//! connections even after the sender is dropped), and any in-progress
+//! request completes and is answered — nothing is dropped silently.
+//!
+//! All serving stats flow through the Memex's own metrics registry
+//! (`net.conn.*`, `net.req.*`, `net.shed`, `net.decode.errors`), so
+//! `Request::Stats` — itself servable over the wire — reports them.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use memex_core::memex::Memex;
+use memex_core::servlet::{dispatch, Response};
+use memex_obs::MetricsRegistry;
+
+use crate::wire::{self, FrameKind, WireError};
+
+/// Tuning knobs for [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetServerConfig {
+    /// Fixed worker-pool size (each worker owns one connection at a time).
+    pub workers: usize,
+    /// Bound of the accepted-connection queue; a connection arriving while
+    /// the queue is full is shed with an overload frame.
+    pub accept_queue: usize,
+    /// Maximum requests dispatching concurrently before load-shedding.
+    pub max_in_flight: usize,
+    /// Per-connection read timeout. A connection idle longer than this is
+    /// closed (clients reconnect transparently); during shutdown it bounds
+    /// how long a worker can stay parked on a silent peer.
+    pub read_timeout: Duration,
+    /// Per-response write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> NetServerConfig {
+        NetServerConfig {
+            workers: 4,
+            accept_queue: 64,
+            max_in_flight: 8,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct Shared {
+    memex: Mutex<Memex>,
+    registry: MetricsRegistry,
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    config: NetServerConfig,
+}
+
+/// A running Memex network server. Dropping without calling
+/// [`NetServer::shutdown`] detaches the threads; call `shutdown` for a
+/// clean join.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `memex`. The server takes ownership; [`NetServer::shutdown`]
+    /// hands it back.
+    pub fn start(
+        memex: Memex,
+        addr: impl ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let registry = memex.registry().clone();
+        let shared = Arc::new(Shared {
+            memex: Mutex::new(memex),
+            registry,
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            config,
+        });
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.accept_queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("memex-net-worker-{i}"))
+                    .spawn(move || worker_loop(rx, shared))?,
+            );
+        }
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("memex-net-accept".into())
+            .spawn(move || accept_loop(listener, tx, accept_shared))?;
+        Ok(NetServer {
+            local_addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, drain the queue, join every thread, and hand the
+    /// `Memex` back. In-progress requests are answered before their
+    /// connections close.
+    pub fn shutdown(mut self) -> Memex {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept thread: it may be parked in `accept()`.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // The accept thread dropped the sender; workers drain what is
+        // buffered, then their `recv` disconnects and they exit.
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("all worker threads joined; no Arc holders remain"));
+        shared
+            .memex
+            .into_inner()
+            .expect("no worker holds the memex lock after join")
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: SyncSender<TcpStream>, shared: Arc<Shared>) {
+    let reg = &shared.registry;
+    let accepted = reg.counter("net.conn.accepted");
+    let rejected = reg.counter("net.conn.rejected");
+    let shed = reg.counter("net.shed");
+    let errors = reg.counter("net.accept.errors");
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late arrival) — close it.
+                    drop(stream);
+                    break;
+                }
+                accepted.inc();
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        // Bounded queue is the contract: shed explicitly
+                        // rather than let connections pile up unseen.
+                        shed.inc();
+                        rejected.inc();
+                        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                        let _ = wire::write_response(
+                            &mut stream,
+                            &Response::Overloaded {
+                                in_flight: shared.config.accept_queue as u32,
+                                limit: shared.config.accept_queue as u32,
+                            },
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => errors.inc(),
+        }
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
+    loop {
+        // Take the next connection, then release the receiver lock before
+        // serving it so siblings keep draining the queue.
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(s) => serve_connection(s, &shared),
+            Err(_) => return, // sender dropped and queue drained
+        }
+    }
+}
+
+/// Outcome of one request/response exchange on a connection.
+enum Exchange {
+    Served,
+    Closed,
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let reg = &shared.registry;
+    let active = reg.gauge("net.conn.active");
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    active.add(1);
+    while let Exchange::Served = exchange_one(&mut stream, shared) {
+        // After answering, honour a pending shutdown: the request in
+        // flight was served, the connection closes at a frame boundary.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    active.add(-1);
+    reg.counter("net.conn.closed").inc();
+}
+
+fn exchange_one(stream: &mut TcpStream, shared: &Shared) -> Exchange {
+    let reg = &shared.registry;
+    let payload = match wire::read_frame(stream) {
+        Ok((FrameKind::Request, payload)) => payload,
+        Ok((FrameKind::Response, _)) => {
+            // A client must never send response frames; protocol violation.
+            reg.counter("net.decode.errors").inc();
+            let _ = wire::write_response(
+                stream,
+                &Response::Error("protocol: response frame sent to server".into()),
+            );
+            return Exchange::Closed;
+        }
+        Err(WireError::Io(e)) => {
+            // Clean close, peer reset, or idle timeout: just drop the
+            // connection. Framing stays in sync only from a frame
+            // boundary, so a timeout mid-frame also closes.
+            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                reg.counter("net.conn.idle_closed").inc();
+            }
+            return Exchange::Closed;
+        }
+        Err(e) => {
+            // Corrupted or unversioned frame: report and close (the stream
+            // position is no longer trustworthy).
+            reg.counter("net.decode.errors").inc();
+            let _ = wire::write_response(stream, &Response::Error(format!("decode: {e}")));
+            return Exchange::Closed;
+        }
+    };
+    let request = match wire::decode_request(&payload) {
+        Ok(r) => r,
+        Err(e) => {
+            reg.counter("net.decode.errors").inc();
+            let _ = wire::write_response(stream, &Response::Error(format!("decode: {e}")));
+            return Exchange::Closed;
+        }
+    };
+    // Admission control: acquire an in-flight permit or shed. The permit
+    // covers lock wait + dispatch, so a convoy behind a slow request is
+    // surfaced as explicit overload frames instead of unbounded queueing.
+    let limit = shared.config.max_in_flight;
+    let prev = shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    if prev >= limit {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        reg.counter("net.shed").inc();
+        let overload = Response::Overloaded {
+            in_flight: prev.min(u32::MAX as usize) as u32,
+            limit: limit.min(u32::MAX as usize) as u32,
+        };
+        return match wire::write_response(stream, &overload) {
+            Ok(()) => Exchange::Served,
+            Err(_) => Exchange::Closed,
+        };
+    }
+    let response = {
+        let _span = reg.span("net.req.latency");
+        let mut memex = match shared.memex.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        dispatch(&mut memex, request)
+    };
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    reg.counter("net.req.ok").inc();
+    match wire::write_response(stream, &response) {
+        Ok(()) => Exchange::Served,
+        Err(_) => {
+            reg.counter("net.conn.write_errors").inc();
+            Exchange::Closed
+        }
+    }
+}

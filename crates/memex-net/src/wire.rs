@@ -1,0 +1,1009 @@
+//! The Memex wire format: length-prefixed, checksummed, versioned frames
+//! carrying a hand-rolled binary serialization of every
+//! [`Request`]/[`Response`] variant.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +----+----+---------+------+-------------+------------------+----------+
+//! | 'M'| 'X'| version | kind | len u32 LE  | payload (len B)  | crc u32  |
+//! +----+----+---------+------+-------------+------------------+----------+
+//!   magic      1 B      1 B      4 B           ≤ 16 MiB          FNV-1a
+//! ```
+//!
+//! The CRC is FNV-1a over `version ‖ kind ‖ payload`, so a single flipped
+//! bit anywhere after the magic is detected. `len` is capped at
+//! [`MAX_PAYLOAD`] **before** any allocation happens, so a corrupted length
+//! can neither over-read the stream nor balloon memory.
+//!
+//! ## Versioning rule
+//!
+//! [`WIRE_VERSION`] bumps whenever an existing variant's encoding changes
+//! shape; *appending* new variants (new tags) is backwards-compatible and
+//! does not bump the version. A decoder rejects frames whose version it
+//! does not know with [`WireError::UnsupportedVersion`] and unknown tags
+//! with [`WireError::BadTag`] — it never guesses.
+//!
+//! Every decode path returns a typed [`WireError`]; nothing in this module
+//! panics on untrusted bytes (see `tests/corruption.rs` for the sweep that
+//! enforces this at every byte offset).
+
+use std::io::{Read, Write};
+
+use memex_core::memex::{BillLine, FolderProposal, RecallHit};
+use memex_core::servlet::{Request, Response};
+use memex_graph::trail::{ContextNode, TrailContext};
+use memex_obs::{Event, HistogramSnapshot, Snapshot, NUM_BUCKETS};
+use memex_server::events::{ArchiveMode, ClientEvent, VisitEvent};
+
+/// Current wire version (see the module docs for the bump rule).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on a frame's payload. Anything larger is rejected before
+/// allocation with [`WireError::Oversized`].
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Frame header bytes preceding the payload: magic (2) + version (1) +
+/// kind (1) + length (4).
+pub const HEADER_LEN: usize = 8;
+
+/// Trailing checksum bytes.
+pub const TRAILER_LEN: usize = 4;
+
+const MAGIC: [u8; 2] = *b"MX";
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    Request,
+    Response,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Response => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<FrameKind, WireError> {
+        match b {
+            0 => Ok(FrameKind::Request),
+            1 => Ok(FrameKind::Response),
+            other => Err(WireError::BadKind(other)),
+        }
+    }
+}
+
+/// Typed decode/IO failures. Every malformed input maps to one of these —
+/// the decoder never panics.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying stream error (includes clean EOF as `UnexpectedEof`).
+    Io(std::io::Error),
+    /// The first two bytes were not `MX`.
+    BadMagic([u8; 2]),
+    /// Frame from a wire version this decoder does not speak.
+    UnsupportedVersion(u8),
+    /// Unknown frame-kind byte.
+    BadKind(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized { len: u64, cap: u64 },
+    /// The buffer ended before the structure it claims to hold.
+    Truncated { needed: usize, available: usize },
+    /// FNV-1a over version+kind+payload did not match the trailer.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// Unknown enum tag while decoding `what`.
+    BadTag { what: &'static str, tag: u8 },
+    /// A boolean slot held something other than 0 or 1.
+    BadBool(u8),
+    /// A string slot held invalid UTF-8.
+    BadUtf8,
+    /// The payload decoded cleanly but bytes were left over.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadKind(k) => write!(f, "bad frame kind {k}"),
+            WireError::Oversized { len, cap } => {
+                write!(f, "frame payload {len} B exceeds cap {cap} B")
+            }
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated: needed {needed} B, had {available} B")
+            }
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expected:08x}, computed {actual:08x}"
+                )
+            }
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::BadBool(b) => write!(f, "bad bool byte {b}"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+fn fnv1a(parts: &[&[u8]]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Frame IO
+// ---------------------------------------------------------------------------
+
+/// Assemble a complete frame (header + payload + checksum) in memory.
+pub fn frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "encoder produced oversized payload"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind.to_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a(&[&[WIRE_VERSION, kind.to_byte()], payload]).to_le_bytes());
+    out
+}
+
+/// Write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    w.write_all(&frame_bytes(kind, payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from a stream, enforcing the size cap *before*
+/// allocating the payload buffer and verifying the checksum after.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (kind, len) = parse_header(&header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; TRAILER_LEN];
+    r.read_exact(&mut trailer)?;
+    check_crc(&header, &payload, trailer)?;
+    Ok((kind, payload))
+}
+
+/// Decode a frame held entirely in `buf`. Unlike [`read_frame`], the buffer
+/// must contain *exactly* one frame: short buffers are
+/// [`WireError::Truncated`], long ones [`WireError::TrailingBytes`].
+pub fn decode_frame(buf: &[u8]) -> Result<(FrameKind, &[u8]), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            available: buf.len(),
+        });
+    }
+    let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("sized above");
+    let (kind, len) = parse_header(&header)?;
+    let total = HEADER_LEN + len + TRAILER_LEN;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            available: buf.len(),
+        });
+    }
+    if buf.len() > total {
+        return Err(WireError::TrailingBytes(buf.len() - total));
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+    let trailer: [u8; TRAILER_LEN] = buf[HEADER_LEN + len..].try_into().expect("sized above");
+    check_crc(&header, payload, trailer)?;
+    Ok((kind, payload))
+}
+
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, usize), WireError> {
+    if header[..2] != MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1]]));
+    }
+    if header[2] != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(header[2]));
+    }
+    let kind = FrameKind::from_byte(header[3])?;
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("sized")) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized {
+            len: len as u64,
+            cap: MAX_PAYLOAD as u64,
+        });
+    }
+    Ok((kind, len))
+}
+
+fn check_crc(
+    header: &[u8; HEADER_LEN],
+    payload: &[u8],
+    trailer: [u8; TRAILER_LEN],
+) -> Result<(), WireError> {
+    let expected = u32::from_le_bytes(trailer);
+    let actual = fnv1a(&[&header[2..4], payload]);
+    if expected != actual {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers/readers
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer {
+            buf: Vec::with_capacity(64),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// `usize` travels as `u64` so 32- and 64-bit peers interoperate.
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn len(&mut self, n: usize) {
+        debug_assert!(n <= u32::MAX as usize, "collection too large for wire");
+        self.u32(n as u32);
+    }
+
+    fn string(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::Oversized {
+            len: v,
+            cap: usize::MAX as u64,
+        })
+    }
+
+    /// Collection length. Bounded by the bytes actually present (every
+    /// element is ≥ 1 byte), so a corrupted count cannot drive a huge
+    /// pre-allocation.
+    fn len(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(WireError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn opt_u32(&mut self) -> Result<Option<u32>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            b => Err(WireError::BadTag {
+                what: "option",
+                tag: b,
+            }),
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() > 0 {
+            return Err(WireError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+fn read_vec<T>(
+    r: &mut Reader<'_>,
+    mut elem: impl FnMut(&mut Reader<'_>) -> Result<T, WireError>,
+) -> Result<Vec<T>, WireError> {
+    let n = r.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(elem(r)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Domain encodings
+// ---------------------------------------------------------------------------
+
+fn write_mode(w: &mut Writer, m: ArchiveMode) {
+    w.u8(match m {
+        ArchiveMode::Off => 0,
+        ArchiveMode::Private => 1,
+        ArchiveMode::Community => 2,
+    });
+}
+
+fn read_mode(r: &mut Reader<'_>) -> Result<ArchiveMode, WireError> {
+    match r.u8()? {
+        0 => Ok(ArchiveMode::Off),
+        1 => Ok(ArchiveMode::Private),
+        2 => Ok(ArchiveMode::Community),
+        tag => Err(WireError::BadTag {
+            what: "ArchiveMode",
+            tag,
+        }),
+    }
+}
+
+fn write_event(w: &mut Writer, e: &ClientEvent) {
+    match e {
+        ClientEvent::Visit(v) => {
+            w.u8(0);
+            w.u32(v.user);
+            w.u32(v.session);
+            w.u32(v.page);
+            w.string(&v.url);
+            w.u64(v.time);
+            w.opt_u32(v.referrer);
+        }
+        ClientEvent::Bookmark {
+            user,
+            page,
+            url,
+            folder,
+            time,
+        } => {
+            w.u8(1);
+            w.u32(*user);
+            w.u32(*page);
+            w.string(url);
+            w.string(folder);
+            w.u64(*time);
+        }
+        ClientEvent::SetMode { user, mode, time } => {
+            w.u8(2);
+            w.u32(*user);
+            write_mode(w, *mode);
+            w.u64(*time);
+        }
+    }
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<ClientEvent, WireError> {
+    match r.u8()? {
+        0 => Ok(ClientEvent::Visit(VisitEvent {
+            user: r.u32()?,
+            session: r.u32()?,
+            page: r.u32()?,
+            url: r.string()?,
+            time: r.u64()?,
+            referrer: r.opt_u32()?,
+        })),
+        1 => Ok(ClientEvent::Bookmark {
+            user: r.u32()?,
+            page: r.u32()?,
+            url: r.string()?,
+            folder: r.string()?,
+            time: r.u64()?,
+        }),
+        2 => Ok(ClientEvent::SetMode {
+            user: r.u32()?,
+            mode: read_mode(r)?,
+            time: r.u64()?,
+        }),
+        tag => Err(WireError::BadTag {
+            what: "ClientEvent",
+            tag,
+        }),
+    }
+}
+
+fn write_scored(w: &mut Writer, items: &[(u32, f64)]) {
+    w.len(items.len());
+    for (id, score) in items {
+        w.u32(*id);
+        w.f64(*score);
+    }
+}
+
+fn read_scored(r: &mut Reader<'_>) -> Result<Vec<(u32, f64)>, WireError> {
+    read_vec(r, |r| Ok((r.u32()?, r.f64()?)))
+}
+
+fn write_trail(w: &mut Writer, t: &TrailContext) {
+    w.len(t.nodes.len());
+    for n in &t.nodes {
+        w.u32(n.page);
+        w.u32(n.visit_count);
+        w.u64(n.last_time);
+    }
+    w.len(t.edges.len());
+    for (a, b, count) in &t.edges {
+        w.u32(*a);
+        w.u32(*b);
+        w.u32(*count);
+    }
+}
+
+fn read_trail(r: &mut Reader<'_>) -> Result<TrailContext, WireError> {
+    let nodes = read_vec(r, |r| {
+        Ok(ContextNode {
+            page: r.u32()?,
+            visit_count: r.u32()?,
+            last_time: r.u64()?,
+        })
+    })?;
+    let edges = read_vec(r, |r| Ok((r.u32()?, r.u32()?, r.u32()?)))?;
+    Ok(TrailContext { nodes, edges })
+}
+
+fn write_histogram(w: &mut Writer, h: &HistogramSnapshot) {
+    for b in &h.buckets {
+        w.u64(*b);
+    }
+    w.u64(h.count);
+    w.u64(h.sum);
+}
+
+fn read_histogram(r: &mut Reader<'_>) -> Result<HistogramSnapshot, WireError> {
+    let mut buckets = [0u64; NUM_BUCKETS];
+    for b in buckets.iter_mut() {
+        *b = r.u64()?;
+    }
+    Ok(HistogramSnapshot {
+        buckets,
+        count: r.u64()?,
+        sum: r.u64()?,
+    })
+}
+
+fn write_snapshot(w: &mut Writer, s: &Snapshot) {
+    w.len(s.counters.len());
+    for (name, v) in &s.counters {
+        w.string(name);
+        w.u64(*v);
+    }
+    w.len(s.gauges.len());
+    for (name, v) in &s.gauges {
+        w.string(name);
+        w.i64(*v);
+    }
+    w.len(s.histograms.len());
+    for (name, h) in &s.histograms {
+        w.string(name);
+        write_histogram(w, h);
+    }
+    w.len(s.events.len());
+    for (subsystem, ring) in &s.events {
+        w.string(subsystem);
+        w.len(ring.len());
+        for ev in ring {
+            w.u64(ev.seq);
+            w.string(&ev.message);
+        }
+    }
+}
+
+fn read_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, WireError> {
+    let counters = read_vec(r, |r| Ok((r.string()?, r.u64()?)))?;
+    let gauges = read_vec(r, |r| Ok((r.string()?, r.i64()?)))?;
+    let histograms = read_vec(r, |r| Ok((r.string()?, read_histogram(r)?)))?;
+    let events = read_vec(r, |r| {
+        let subsystem = r.string()?;
+        let ring = read_vec(r, |r| {
+            Ok(Event {
+                seq: r.u64()?,
+                message: r.string()?,
+            })
+        })?;
+        Ok((subsystem, ring))
+    })?;
+    Ok(Snapshot {
+        counters,
+        gauges,
+        histograms,
+        events,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Request / Response
+// ---------------------------------------------------------------------------
+
+// Tag tables. Appending a variant appends a tag; existing tags are frozen
+// (the versioning rule above). The `match`es below are deliberately
+// wildcard-free: adding a `Request`/`Response` variant without teaching the
+// codec about it fails compilation *here* before any test runs.
+
+/// Encode a request payload (frame it with [`write_frame`] /
+/// [`frame_bytes`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    match req {
+        Request::Event(e) => {
+            w.u8(0);
+            write_event(&mut w, e);
+        }
+        Request::Recall {
+            user,
+            query,
+            since,
+            until,
+            k,
+        } => {
+            w.u8(1);
+            w.u32(*user);
+            w.string(query);
+            w.u64(*since);
+            w.u64(*until);
+            w.usize(*k);
+        }
+        Request::TrailReplay {
+            user,
+            folder,
+            since,
+            max_pages,
+        } => {
+            w.u8(2);
+            w.u32(*user);
+            w.u32(*folder);
+            w.u64(*since);
+            w.usize(*max_pages);
+        }
+        Request::WhatsNew {
+            user,
+            folder,
+            since,
+            k,
+        } => {
+            w.u8(3);
+            w.u32(*user);
+            w.u32(*folder);
+            w.u64(*since);
+            w.usize(*k);
+        }
+        Request::Bill { user, since, until } => {
+            w.u8(4);
+            w.u32(*user);
+            w.u64(*since);
+            w.u64(*until);
+        }
+        Request::SimilarSurfers { user, k } => {
+            w.u8(5);
+            w.u32(*user);
+            w.usize(*k);
+        }
+        Request::Recommend { user, k } => {
+            w.u8(6);
+            w.u32(*user);
+            w.usize(*k);
+        }
+        Request::ImportBookmarks { user, html, time } => {
+            w.u8(7);
+            w.u32(*user);
+            w.string(html);
+            w.u64(*time);
+        }
+        Request::ExportBookmarks { user } => {
+            w.u8(8);
+            w.u32(*user);
+        }
+        Request::ProposeFolders { user, k } => {
+            w.u8(9);
+            w.u32(*user);
+            w.usize(*k);
+        }
+        Request::Stats => {
+            w.u8(10);
+        }
+    }
+    w.buf
+}
+
+/// Decode a request payload produced by [`encode_request`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let req = match r.u8()? {
+        0 => Request::Event(read_event(&mut r)?),
+        1 => Request::Recall {
+            user: r.u32()?,
+            query: r.string()?,
+            since: r.u64()?,
+            until: r.u64()?,
+            k: r.usize()?,
+        },
+        2 => Request::TrailReplay {
+            user: r.u32()?,
+            folder: r.u32()?,
+            since: r.u64()?,
+            max_pages: r.usize()?,
+        },
+        3 => Request::WhatsNew {
+            user: r.u32()?,
+            folder: r.u32()?,
+            since: r.u64()?,
+            k: r.usize()?,
+        },
+        4 => Request::Bill {
+            user: r.u32()?,
+            since: r.u64()?,
+            until: r.u64()?,
+        },
+        5 => Request::SimilarSurfers {
+            user: r.u32()?,
+            k: r.usize()?,
+        },
+        6 => Request::Recommend {
+            user: r.u32()?,
+            k: r.usize()?,
+        },
+        7 => Request::ImportBookmarks {
+            user: r.u32()?,
+            html: r.string()?,
+            time: r.u64()?,
+        },
+        8 => Request::ExportBookmarks { user: r.u32()? },
+        9 => Request::ProposeFolders {
+            user: r.u32()?,
+            k: r.usize()?,
+        },
+        10 => Request::Stats,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "Request",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encode a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    match resp {
+        Response::Ack { archived } => {
+            w.u8(0);
+            w.bool(*archived);
+        }
+        Response::Recall(hits) => {
+            w.u8(1);
+            w.len(hits.len());
+            for h in hits {
+                w.u32(h.page);
+                w.string(&h.url);
+                w.f32(h.score);
+                w.u64(h.last_visit);
+                w.string(&h.snippet);
+            }
+        }
+        Response::TrailReplay(t) => {
+            w.u8(2);
+            write_trail(&mut w, t);
+        }
+        Response::WhatsNew(items) => {
+            w.u8(3);
+            write_scored(&mut w, items);
+        }
+        Response::Bill(lines) => {
+            w.u8(4);
+            w.len(lines.len());
+            for l in lines {
+                w.string(&l.folder);
+                w.u64(l.bytes);
+                w.u32(l.visits);
+                w.f64(l.fraction);
+            }
+        }
+        Response::SimilarSurfers(items) => {
+            w.u8(5);
+            write_scored(&mut w, items);
+        }
+        Response::Recommend(items) => {
+            w.u8(6);
+            write_scored(&mut w, items);
+        }
+        Response::Imported {
+            bookmarks,
+            unresolved,
+        } => {
+            w.u8(7);
+            w.usize(*bookmarks);
+            w.usize(*unresolved);
+        }
+        Response::Exported(html) => {
+            w.u8(8);
+            w.string(html);
+        }
+        Response::Proposals(props) => {
+            w.u8(9);
+            w.len(props.len());
+            for p in props {
+                w.string(&p.name);
+                w.len(p.pages.len());
+                for page in &p.pages {
+                    w.u32(*page);
+                }
+            }
+        }
+        Response::Stats(snap) => {
+            w.u8(10);
+            write_snapshot(&mut w, snap);
+        }
+        Response::Error(msg) => {
+            w.u8(11);
+            w.string(msg);
+        }
+        Response::Overloaded { in_flight, limit } => {
+            w.u8(12);
+            w.u32(*in_flight);
+            w.u32(*limit);
+        }
+    }
+    w.buf
+}
+
+/// Decode a response payload produced by [`encode_response`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = match r.u8()? {
+        0 => Response::Ack {
+            archived: r.bool()?,
+        },
+        1 => Response::Recall(read_vec(&mut r, |r| {
+            Ok(RecallHit {
+                page: r.u32()?,
+                url: r.string()?,
+                score: r.f32()?,
+                last_visit: r.u64()?,
+                snippet: r.string()?,
+            })
+        })?),
+        2 => Response::TrailReplay(read_trail(&mut r)?),
+        3 => Response::WhatsNew(read_scored(&mut r)?),
+        4 => Response::Bill(read_vec(&mut r, |r| {
+            Ok(BillLine {
+                folder: r.string()?,
+                bytes: r.u64()?,
+                visits: r.u32()?,
+                fraction: r.f64()?,
+            })
+        })?),
+        5 => Response::SimilarSurfers(read_scored(&mut r)?),
+        6 => Response::Recommend(read_scored(&mut r)?),
+        7 => Response::Imported {
+            bookmarks: r.usize()?,
+            unresolved: r.usize()?,
+        },
+        8 => Response::Exported(r.string()?),
+        9 => Response::Proposals(read_vec(&mut r, |r| {
+            Ok(FolderProposal {
+                name: r.string()?,
+                pages: read_vec(r, |r| r.u32())?,
+            })
+        })?),
+        10 => Response::Stats(read_snapshot(&mut r)?),
+        11 => Response::Error(r.string()?),
+        12 => Response::Overloaded {
+            in_flight: r.u32()?,
+            limit: r.u32()?,
+        },
+        tag => {
+            return Err(WireError::BadTag {
+                what: "Response",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// Convenience stream helpers used by client and server.
+
+/// Frame and write a request.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), WireError> {
+    write_frame(w, FrameKind::Request, &encode_request(req))
+}
+
+/// Frame and write a response.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireError> {
+    write_frame(w, FrameKind::Response, &encode_response(resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = encode_request(&Request::Stats);
+        let frame = frame_bytes(FrameKind::Request, &payload);
+        let (kind, decoded) = decode_frame(&frame).expect("roundtrip");
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(decoded, &payload[..]);
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = frame_bytes(FrameKind::Request, &encode_request(&Request::Stats));
+        frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WireError::Oversized { .. })
+        ));
+        // Stream path too: the reader must not try to allocate 4 GiB.
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_eof_is_io_error() {
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn unknown_tags_are_typed_errors() {
+        assert!(matches!(
+            decode_request(&[200]),
+            Err(WireError::BadTag {
+                what: "Request",
+                tag: 200
+            })
+        ));
+        assert!(matches!(
+            decode_response(&[200]),
+            Err(WireError::BadTag {
+                what: "Response",
+                tag: 200
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = encode_request(&Request::Stats);
+        payload.push(0);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+}

@@ -1,0 +1,355 @@
+//! Codec round-trip property: an arbitrary `Request`/`Response` of *every*
+//! variant encodes and decodes back to an equal value, standalone and
+//! through a full checksummed frame.
+//!
+//! Variant coverage is guarded twice: the wildcard-free `match`es in
+//! `wire::encode_request`/`encode_response` (and in
+//! `request_variant_index`/`response_variant_index` below) make a newly
+//! added variant a *compile* error until the codec and these strategies
+//! learn it, and `strategies_cover_every_variant` fails at runtime if a
+//! strategy arm is missing.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+use memex_core::memex::{BillLine, FolderProposal, RecallHit};
+use memex_core::servlet::{Request, Response};
+use memex_graph::trail::{ContextNode, TrailContext};
+use memex_net::wire;
+use memex_obs::{Event, HistogramSnapshot, Snapshot, NUM_BUCKETS};
+use memex_server::events::{ArchiveMode, ClientEvent, VisitEvent};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn arb_string() -> impl Strategy<Value = String> {
+    // Printable ASCII plus occasional multi-byte codepoints: exercises the
+    // UTF-8 path of the string codec.
+    ".{0,24}"
+}
+
+fn arb_mode() -> impl Strategy<Value = ArchiveMode> {
+    prop_oneof![
+        Just(ArchiveMode::Off),
+        Just(ArchiveMode::Private),
+        Just(ArchiveMode::Community),
+    ]
+}
+
+fn arb_event() -> BoxedStrategy<ClientEvent> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            arb_string(),
+            any::<u64>(),
+            prop_oneof![Just(None), any::<u32>().prop_map(Some)],
+        )
+            .prop_map(|(user, session, page, url, time, referrer)| {
+                ClientEvent::Visit(VisitEvent {
+                    user,
+                    session,
+                    page,
+                    url,
+                    time,
+                    referrer,
+                })
+            }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            arb_string(),
+            arb_string(),
+            any::<u64>()
+        )
+            .prop_map(|(user, page, url, folder, time)| ClientEvent::Bookmark {
+                user,
+                page,
+                url,
+                folder,
+                time
+            }),
+        (any::<u32>(), arb_mode(), any::<u64>())
+            .prop_map(|(user, mode, time)| ClientEvent::SetMode { user, mode, time }),
+    ]
+    .boxed()
+}
+
+fn arb_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        arb_event().prop_map(Request::Event),
+        (
+            any::<u32>(),
+            arb_string(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<usize>()
+        )
+            .prop_map(|(user, query, since, until, k)| Request::Recall {
+                user,
+                query,
+                since,
+                until,
+                k
+            }),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<usize>()).prop_map(
+            |(user, folder, since, max_pages)| Request::TrailReplay {
+                user,
+                folder,
+                since,
+                max_pages
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<usize>()).prop_map(
+            |(user, folder, since, k)| Request::WhatsNew {
+                user,
+                folder,
+                since,
+                k
+            }
+        ),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(user, since, until)| Request::Bill {
+            user,
+            since,
+            until
+        }),
+        (any::<u32>(), any::<usize>()).prop_map(|(user, k)| Request::SimilarSurfers { user, k }),
+        (any::<u32>(), any::<usize>()).prop_map(|(user, k)| Request::Recommend { user, k }),
+        (any::<u32>(), arb_string(), any::<u64>())
+            .prop_map(|(user, html, time)| Request::ImportBookmarks { user, html, time }),
+        any::<u32>().prop_map(|user| Request::ExportBookmarks { user }),
+        (any::<u32>(), any::<usize>()).prop_map(|(user, k)| Request::ProposeFolders { user, k }),
+        Just(Request::Stats),
+    ]
+    .boxed()
+}
+
+fn arb_scored() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    proptest::collection::vec((any::<u32>(), -1.0e12f64..1.0e12), 0..6)
+}
+
+fn arb_trail() -> impl Strategy<Value = TrailContext> {
+    (
+        proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u64>()), 0..6),
+        proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..8),
+    )
+        .prop_map(|(nodes, edges)| TrailContext {
+            nodes: nodes
+                .into_iter()
+                .map(|(page, visit_count, last_time)| ContextNode {
+                    page,
+                    visit_count,
+                    last_time,
+                })
+                .collect(),
+            edges,
+        })
+}
+
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        proptest::collection::vec(any::<u64>(), NUM_BUCKETS),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(bucket_vec, count, sum)| {
+            let mut buckets = [0u64; NUM_BUCKETS];
+            buckets.copy_from_slice(&bucket_vec);
+            HistogramSnapshot {
+                buckets,
+                count,
+                sum,
+            }
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        proptest::collection::vec((arb_string(), any::<u64>()), 0..4),
+        proptest::collection::vec((arb_string(), any::<i64>()), 0..4),
+        proptest::collection::vec((arb_string(), arb_histogram()), 0..3),
+        proptest::collection::vec(
+            (
+                arb_string(),
+                proptest::collection::vec(
+                    (any::<u64>(), arb_string()).prop_map(|(seq, message)| Event { seq, message }),
+                    0..3,
+                ),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(counters, gauges, histograms, events)| Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+        })
+}
+
+fn arb_response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        any::<bool>().prop_map(|archived| Response::Ack { archived }),
+        proptest::collection::vec(
+            (
+                any::<u32>(),
+                arb_string(),
+                -1.0e6f32..1.0e6f32,
+                any::<u64>(),
+                arb_string()
+            )
+                .prop_map(|(page, url, score, last_visit, snippet)| RecallHit {
+                    page,
+                    url,
+                    score,
+                    last_visit,
+                    snippet
+                }),
+            0..5
+        )
+        .prop_map(Response::Recall),
+        arb_trail().prop_map(Response::TrailReplay),
+        arb_scored().prop_map(Response::WhatsNew),
+        proptest::collection::vec(
+            (arb_string(), any::<u64>(), any::<u32>(), -1.0f64..2.0f64).prop_map(
+                |(folder, bytes, visits, fraction)| BillLine {
+                    folder,
+                    bytes,
+                    visits,
+                    fraction
+                }
+            ),
+            0..5
+        )
+        .prop_map(Response::Bill),
+        arb_scored().prop_map(Response::SimilarSurfers),
+        arb_scored().prop_map(Response::Recommend),
+        (any::<usize>(), any::<usize>()).prop_map(|(bookmarks, unresolved)| Response::Imported {
+            bookmarks,
+            unresolved
+        }),
+        arb_string().prop_map(Response::Exported),
+        proptest::collection::vec(
+            (arb_string(), proptest::collection::vec(any::<u32>(), 0..6))
+                .prop_map(|(name, pages)| FolderProposal { name, pages }),
+            0..4
+        )
+        .prop_map(Response::Proposals),
+        arb_snapshot().prop_map(Response::Stats),
+        arb_string().prop_map(Response::Error),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(in_flight, limit)| Response::Overloaded { in_flight, limit }),
+    ]
+    .boxed()
+}
+
+// ---------------------------------------------------------------------------
+// Variant-coverage guard (wildcard-free on purpose)
+// ---------------------------------------------------------------------------
+
+const REQUEST_VARIANTS: usize = 11;
+const RESPONSE_VARIANTS: usize = 13;
+
+fn request_variant_index(r: &Request) -> usize {
+    match r {
+        Request::Event(_) => 0,
+        Request::Recall { .. } => 1,
+        Request::TrailReplay { .. } => 2,
+        Request::WhatsNew { .. } => 3,
+        Request::Bill { .. } => 4,
+        Request::SimilarSurfers { .. } => 5,
+        Request::Recommend { .. } => 6,
+        Request::ImportBookmarks { .. } => 7,
+        Request::ExportBookmarks { .. } => 8,
+        Request::ProposeFolders { .. } => 9,
+        Request::Stats => 10,
+    }
+}
+
+fn response_variant_index(r: &Response) -> usize {
+    match r {
+        Response::Ack { .. } => 0,
+        Response::Recall(_) => 1,
+        Response::TrailReplay(_) => 2,
+        Response::WhatsNew(_) => 3,
+        Response::Bill(_) => 4,
+        Response::SimilarSurfers(_) => 5,
+        Response::Recommend(_) => 6,
+        Response::Imported { .. } => 7,
+        Response::Exported(_) => 8,
+        Response::Proposals(_) => 9,
+        Response::Stats(_) => 10,
+        Response::Error(_) => 11,
+        Response::Overloaded { .. } => 12,
+    }
+}
+
+#[test]
+fn strategies_cover_every_variant() {
+    let mut rng = TestRng::from_seed(0x4D58);
+    let req = arb_request();
+    let resp = arb_response();
+    let mut seen_req = [false; REQUEST_VARIANTS];
+    let mut seen_resp = [false; RESPONSE_VARIANTS];
+    for _ in 0..4000 {
+        seen_req[request_variant_index(&req.generate(&mut rng))] = true;
+        seen_resp[response_variant_index(&resp.generate(&mut rng))] = true;
+    }
+    assert!(
+        seen_req.iter().all(|&s| s),
+        "request strategy misses variants: {seen_req:?}"
+    );
+    assert!(
+        seen_resp.iter().all(|&s| s),
+        "response strategy misses variants: {seen_resp:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrips(req in arb_request()) {
+        let payload = wire::encode_request(&req);
+        let back = wire::decode_request(&payload).expect("decode own encoding");
+        prop_assert_eq!(&req, &back);
+        // And through the full checksummed frame.
+        let frame = wire::frame_bytes(wire::FrameKind::Request, &payload);
+        let (kind, framed) = wire::decode_frame(&frame).expect("decode own frame");
+        prop_assert_eq!(kind, wire::FrameKind::Request);
+        prop_assert_eq!(framed, &payload[..]);
+    }
+
+    #[test]
+    fn response_roundtrips(resp in arb_response()) {
+        let payload = wire::encode_response(&resp);
+        let back = wire::decode_response(&payload).expect("decode own encoding");
+        prop_assert_eq!(&resp, &back);
+        let frame = wire::frame_bytes(wire::FrameKind::Response, &payload);
+        let (kind, framed) = wire::decode_frame(&frame).expect("decode own frame");
+        prop_assert_eq!(kind, wire::FrameKind::Response);
+        prop_assert_eq!(framed, &payload[..]);
+    }
+
+    #[test]
+    fn stream_roundtrip_back_to_back(reqs in proptest::collection::vec(arb_request(), 1..5)) {
+        // Several frames written to one buffer read back in order — the
+        // framing keeps its own boundaries on a contiguous stream.
+        let mut buf = Vec::new();
+        for req in &reqs {
+            wire::write_request(&mut buf, req).expect("write to vec");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for req in &reqs {
+            let (kind, payload) = wire::read_frame(&mut cursor).expect("read frame");
+            prop_assert_eq!(kind, wire::FrameKind::Request);
+            prop_assert_eq!(req, &wire::decode_request(&payload).expect("decode"));
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Loopback system tests: a live `NetServer` on an ephemeral port, driven
+//! by real `MemexClient`s from multiple threads.
+//!
+//! The core property: every mining servlet answers *identically* over the
+//! wire and in-process, and shutdown joins every worker with an exact
+//! request accounting — nothing dropped silently.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use memex_core::memex::{Memex, MemexOptions};
+use memex_core::servlet::{dispatch, Request, Response};
+use memex_net::{ClientConfig, MemexClient, NetServer, NetServerConfig};
+use memex_server::events::{ClientEvent, VisitEvent};
+use memex_web::corpus::{Corpus, CorpusConfig};
+
+const USERS: [u32; 4] = [1, 2, 3, 4];
+
+/// A small community surf: four users, three topics, referrer chains and
+/// bookmarks, demons drained.
+fn community_world() -> Memex {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 3,
+        pages_per_topic: 25,
+        ..CorpusConfig::default()
+    }));
+    let mut memex = Memex::new(corpus.clone(), MemexOptions::default()).expect("build memex");
+    for &user in &USERS {
+        memex
+            .register_user(user, &format!("user{user}"))
+            .expect("register");
+    }
+    let mut time = 1u64;
+    for &user in &USERS {
+        let topic = (user as usize - 1) % 3;
+        let pages = corpus.pages_of_topic(topic);
+        let mut prev: Option<u32> = None;
+        for &page in pages.iter().take(8) {
+            memex.submit(ClientEvent::Visit(VisitEvent {
+                user,
+                session: user,
+                page,
+                url: corpus.pages[page as usize].url.clone(),
+                time,
+                referrer: prev,
+            }));
+            prev = Some(page);
+            time += 1;
+        }
+        // Two explicit bookmarks anchor a folder for classification.
+        for &page in pages.iter().take(2) {
+            memex.submit(ClientEvent::Bookmark {
+                user,
+                page,
+                url: corpus.pages[page as usize].url.clone(),
+                folder: format!("/topic{topic}"),
+                time,
+            });
+            time += 1;
+        }
+    }
+    memex.run_demons().expect("demons");
+    memex
+}
+
+/// The per-user read-only query mix (deterministic, so the wire answers
+/// can be compared with in-process answers).
+fn user_requests(user: u32) -> Vec<Request> {
+    vec![
+        Request::Recall {
+            user,
+            query: "page".into(),
+            since: 0,
+            until: u64::MAX,
+            k: 5,
+        },
+        Request::TrailReplay {
+            user,
+            folder: 1,
+            since: 0,
+            max_pages: 10,
+        },
+        Request::WhatsNew {
+            user,
+            folder: 1,
+            since: 0,
+            k: 5,
+        },
+        Request::Bill {
+            user,
+            since: 0,
+            until: u64::MAX,
+        },
+        Request::SimilarSurfers { user, k: 3 },
+        Request::Recommend { user, k: 3 },
+        Request::ExportBookmarks { user },
+    ]
+}
+
+#[test]
+fn loopback_matches_in_process_and_shuts_down_cleanly() {
+    let mut memex = community_world();
+    // In-process ground truth first; the same Memex then goes on the wire.
+    let mut expected: Vec<(u32, Vec<Response>)> = Vec::new();
+    for &user in &USERS {
+        let answers: Vec<Response> = user_requests(user)
+            .into_iter()
+            .map(|req| dispatch(&mut memex, req))
+            .collect();
+        expected.push((user, answers));
+    }
+
+    let server = NetServer::start(memex, "127.0.0.1:0", NetServerConfig::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = USERS
+        .iter()
+        .map(|&user| {
+            std::thread::spawn(move || {
+                let mut client =
+                    MemexClient::connect(addr, ClientConfig::default()).expect("connect");
+                user_requests(user)
+                    .into_iter()
+                    .map(|req| client.request(&req).expect("request over wire"))
+                    .collect::<Vec<Response>>()
+            })
+        })
+        .collect();
+    let over_wire: Vec<Vec<Response>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    let mut total_sent = 0usize;
+    for ((user, in_process), wire_answers) in expected.iter().zip(&over_wire) {
+        assert_eq!(in_process.len(), wire_answers.len());
+        for (i, (a, b)) in in_process.iter().zip(wire_answers).enumerate() {
+            assert_eq!(a, b, "user {user} request #{i} diverged over the wire");
+            total_sent += 1;
+        }
+    }
+
+    // Stats — itself served over the wire — must surface the net.* metrics.
+    let mut stats_client = MemexClient::connect(addr, ClientConfig::default()).expect("connect");
+    let Response::Stats(snap) = stats_client.request(&Request::Stats).expect("stats") else {
+        panic!("Stats request answered with a non-Stats response");
+    };
+    total_sent += 1;
+    assert!(snap.counter("net.req.ok") >= total_sent as u64 - 1);
+    assert!(snap.counter("net.conn.accepted") >= USERS.len() as u64);
+    assert_eq!(snap.counter("net.decode.errors"), 0);
+    let lat = snap
+        .histogram("net.req.latency")
+        .expect("latency histogram on the wire");
+    assert!(lat.count >= total_sent as u64 - 1);
+
+    // Graceful shutdown joins every thread and hands the Memex back; the
+    // final accounting shows every request answered, none shed, none lost.
+    let memex = server.shutdown();
+    let final_snap = memex.registry().snapshot();
+    assert_eq!(final_snap.counter("net.req.ok"), total_sent as u64);
+    assert_eq!(final_snap.counter("net.shed"), 0);
+    assert_eq!(final_snap.counter("net.decode.errors"), 0);
+    assert_eq!(
+        final_snap.gauge("net.conn.active"),
+        0,
+        "connections leaked past shutdown"
+    );
+}
+
+#[test]
+fn zero_capacity_sheds_every_request_explicitly() {
+    let memex = community_world();
+    let config = NetServerConfig {
+        max_in_flight: 0,
+        ..NetServerConfig::default()
+    };
+    let server = NetServer::start(memex, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = MemexClient::connect(addr, ClientConfig::default()).expect("connect");
+    for _ in 0..5 {
+        match client.request(&Request::Stats).expect("request") {
+            Response::Overloaded { limit, .. } => assert_eq!(limit, 0),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+    let memex = server.shutdown();
+    let snap = memex.registry().snapshot();
+    assert_eq!(snap.counter("net.shed"), 5);
+    assert_eq!(snap.counter("net.req.ok"), 0);
+}
+
+#[test]
+fn garbage_frames_get_an_error_frame_then_close() {
+    let memex = community_world();
+    let server = NetServer::start(memex, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(b"not a memex frame at all......................")
+        .expect("write garbage");
+    // The server answers with a typed Error response frame, then closes.
+    let (kind, payload) = memex_net::wire::read_frame(&mut raw).expect("error frame back");
+    assert_eq!(kind, memex_net::FrameKind::Response);
+    match memex_net::wire::decode_response(&payload).expect("decode error frame") {
+        Response::Error(msg) => assert!(msg.contains("decode"), "unexpected message: {msg}"),
+        other => panic!("expected Error response, got {other:?}"),
+    }
+    // The connection closes after the breach — clean FIN, or RST if the
+    // server still had unread garbage buffered. Either way: no more frames.
+    let mut rest = Vec::new();
+    match raw.read_to_end(&mut rest) {
+        Ok(_) => assert!(
+            rest.is_empty(),
+            "server sent more frames after protocol breach"
+        ),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+            ),
+            "unexpected error after breach: {e}"
+        ),
+    }
+
+    let memex = server.shutdown();
+    assert!(memex.registry().snapshot().counter("net.decode.errors") >= 1);
+}
+
+#[test]
+fn client_reconnects_after_server_closes_idle_connection() {
+    let memex = community_world();
+    let config = NetServerConfig {
+        read_timeout: Duration::from_millis(100),
+        ..NetServerConfig::default()
+    };
+    let server = NetServer::start(memex, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = MemexClient::connect(addr, ClientConfig::default()).expect("connect");
+    assert!(matches!(
+        client.request(&Request::Stats).expect("first"),
+        Response::Stats(_)
+    ));
+    // Outlive the server's idle timeout: the server closes our connection,
+    // and the next request must transparently re-dial.
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(matches!(
+        client.request(&Request::Stats).expect("after idle"),
+        Response::Stats(_)
+    ));
+
+    let memex = server.shutdown();
+    let snap = memex.registry().snapshot();
+    assert_eq!(snap.counter("net.req.ok"), 2);
+    assert!(
+        snap.counter("net.conn.accepted") >= 2,
+        "reconnect did not open a new connection"
+    );
+}

@@ -13,7 +13,7 @@ pub struct Event {
 
 /// Everything a registry knew at one instant. All vectors are sorted by
 /// name (the registry stores instruments in a `BTreeMap`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, i64)>,

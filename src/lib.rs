@@ -4,6 +4,7 @@ pub use memex_core as core;
 pub use memex_graph as graph;
 pub use memex_index as index;
 pub use memex_learn as learn;
+pub use memex_net as net;
 pub use memex_obs as obs;
 pub use memex_server as server;
 pub use memex_store as store;
