@@ -1,0 +1,351 @@
+//! A hand-rolled Rust lexer — just enough fidelity for the rule families.
+//!
+//! The rules never need full parsing: they pattern-match short token
+//! sequences (`.unwrap` `(` `)`, `_` `=` `>`, `counter` `(` `"…"`). What
+//! they *do* need is for comments, strings (including raw and byte
+//! strings), char literals, and lifetimes to never masquerade as code —
+//! a `// .unwrap()` in a comment or an `"unreachable!"` in a string must
+//! not produce findings. That is the bar this lexer clears.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (also the lone `_`).
+    Ident(String),
+    /// Lifetime (`'a`) — kept distinct so it never looks like code.
+    Lifetime,
+    /// Any string/char/byte-string literal; payload is the cooked content
+    /// (escape handling is minimal — metric names are plain ASCII).
+    Str(String),
+    /// Numeric literal (value never matters to the rules).
+    Num,
+    /// Any other single character (`.` `(` `)` `{` `}` `[` `]` `!` …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens. Never fails: unterminated constructs simply run
+/// to end-of-file (the lint must not crash on any input it is pointed at).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                let s = lex_string(&mut cur);
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'a` followed by a non-quote is
+                // a lifetime; `'a'`, `'\n'` etc. are chars.
+                let next = cur.peek(1);
+                let after = cur.peek(2);
+                let is_lifetime = matches!(next, Some(n) if is_ident_start(n))
+                    && after != Some(b'\'')
+                    && next != Some(b'\\');
+                if is_lifetime {
+                    cur.bump(); // '
+                    while matches!(cur.peek(0), Some(n) if is_ident_cont(n)) {
+                        cur.bump();
+                    }
+                    out.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    cur.bump(); // opening '
+                    if cur.peek(0) == Some(b'\\') {
+                        cur.bump();
+                        cur.bump(); // escaped char (`\n`, `\'`, `\\`, …)
+                                    // multi-char escapes (\x41, \u{..}) run to the quote
+                        while cur.peek(0).is_some() && cur.peek(0) != Some(b'\'') {
+                            cur.bump();
+                        }
+                    } else {
+                        cur.bump(); // the char itself
+                    }
+                    if cur.peek(0) == Some(b'\'') {
+                        cur.bump(); // closing '
+                    }
+                    out.push(Token {
+                        tok: Tok::Str(String::new()),
+                        line,
+                    });
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                // Number: digits plus alphanumeric suffix soup; a `.` only
+                // joins when followed by a digit (so `0..n` stays a range
+                // and `x.1` tuple indexing keeps its dot).
+                cur.bump();
+                loop {
+                    match cur.peek(0) {
+                        Some(c) if is_ident_cont(c) => {
+                            cur.bump();
+                        }
+                        Some(b'.') if matches!(cur.peek(1), Some(d) if d.is_ascii_digit()) => {
+                            cur.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                // Might be a string prefix: r"", r#""#, b"", br#""#, c"".
+                if let Some(s) = try_lex_prefixed_string(&mut cur) {
+                    out.push(Token {
+                        tok: Tok::Str(s),
+                        line,
+                    });
+                    continue;
+                }
+                let start = cur.pos;
+                while matches!(cur.peek(0), Some(c) if is_ident_cont(c)) {
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.push(Token {
+                    tok: Tok::Ident(text),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.push(Token {
+                    tok: Tok::Punct(b as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Cooked string starting at the opening `"`. Returns the content with
+/// simple escapes resolved.
+fn lex_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // opening "
+    let mut out = String::new();
+    while let Some(c) = cur.peek(0) {
+        match c {
+            b'"' => {
+                cur.bump();
+                break;
+            }
+            b'\\' => {
+                cur.bump();
+                if let Some(esc) = cur.bump() {
+                    match esc {
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'0' => out.push('\0'),
+                        other => out.push(other as char),
+                    }
+                }
+            }
+            other => {
+                cur.bump();
+                out.push(other as char);
+            }
+        }
+    }
+    out
+}
+
+/// Raw string starting after the `r` prefix: `#`*n* `"` … `"` `#`*n*.
+fn lex_raw_string(cur: &mut Cursor<'_>) -> String {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) == Some(b'"') {
+        cur.bump();
+    }
+    let mut out = String::new();
+    'outer: while let Some(c) = cur.peek(0) {
+        if c == b'"' {
+            // Candidate close: `"` followed by `hashes` hash marks.
+            for i in 0..hashes {
+                if cur.peek(1 + i) != Some(b'#') {
+                    cur.bump();
+                    out.push('"');
+                    continue 'outer;
+                }
+            }
+            cur.bump();
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        cur.bump();
+        out.push(c as char);
+    }
+    out
+}
+
+/// If the cursor sits on a string prefix (`r`, `b`, `br`, `rb`, `c`…),
+/// consume the whole literal and return its content.
+fn try_lex_prefixed_string(cur: &mut Cursor<'_>) -> Option<String> {
+    let (prefix_len, raw) = match (cur.peek(0), cur.peek(1), cur.peek(2)) {
+        (Some(b'r'), Some(b'"' | b'#'), _) => (1, true),
+        (Some(b'b' | b'c'), Some(b'"'), _) => (1, false),
+        (Some(b'b'), Some(b'r'), Some(b'"' | b'#')) => (2, true),
+        _ => return None,
+    };
+    for _ in 0..prefix_len {
+        cur.bump();
+    }
+    Some(if raw {
+        lex_raw_string(cur)
+    } else {
+        lex_string(cur)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r###"
+            // x.unwrap() in a comment
+            /* panic!("no") /* nested */ still comment */
+            let s = "contains .unwrap() and panic!";
+            let r = r#"raw "quoted" .expect("x")"#;
+            let b = b"bytes .unwrap()";
+            real.unwrap();
+        "###;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|i| *i == "unwrap").count(),
+            1,
+            "only the real call survives: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| matches!(t.tok, Tok::Str(_))).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn string_values_are_cooked() {
+        let toks = lex(r#"counter("net.shed")"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.tok == Tok::Str("net.shed".to_string())));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let toks = lex("for i in 0..10 {}");
+        let dots = toks.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

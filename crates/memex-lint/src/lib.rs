@@ -1,0 +1,310 @@
+//! memex-lint: workspace-native static analysis for the memex codebase.
+//!
+//! Four rule families over a hand-rolled token stream (no external
+//! dependencies, no rustc internals):
+//!
+//! 1. **panic** — no `unwrap`/`expect`/panic-macros/indexing in non-test
+//!    code of the serving crates ([`rules::panic_rule`]).
+//! 2. **locks** — nested lock acquisitions must follow the order declared
+//!    in `LINT.toml` ([`rules::locks`]).
+//! 3. **metrics** — metric-name literals and `docs/METRICS.md` must agree
+//!    bidirectionally ([`rules::metrics`]).
+//! 4. **codec** — no wildcard `_ =>` arms in the wire codec
+//!    ([`rules::codec`]).
+//!
+//! Pre-existing violations live in a checked-in baseline inside
+//! `LINT.toml` (a per-file ratchet, regenerated with `--fix-baseline`);
+//! anything beyond the baseline fails the run.
+
+pub mod config;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::{Config, Rule};
+use rules::locks::LockAnalysis;
+use rules::metrics::MetricUse;
+use rules::Finding;
+
+/// Result of scanning the workspace (before the baseline is applied).
+pub struct Scan {
+    /// All raw findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+/// Final report after the baseline ratchet.
+pub struct Report {
+    /// Findings exceeding the baseline — these fail the run. When a
+    /// (rule, file) group exceeds its allowance, the whole group is
+    /// listed (the tool cannot know which occurrences are "the new ones").
+    pub failures: Vec<Finding>,
+    /// Groups that exceeded, as (rule, file, actual, allowed).
+    pub exceeded: Vec<(Rule, String, usize, usize)>,
+    /// Baseline entries now above the actual count — tighten the ratchet.
+    pub stale: Vec<String>,
+    pub files_scanned: usize,
+    pub total_findings: usize,
+}
+
+/// Directories under `src/` that never hold shipped code.
+const SKIP_DIRS: [&str; 2] = ["target", "vendor"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Every `.rs` file under the root crate's `src/` and each
+/// `crates/*/src/`. Integration tests, benches, and vendored code live
+/// outside `src/` and are excluded by construction.
+pub fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut src_roots = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let candidate = entry.path().join("src");
+            if candidate.is_dir() {
+                src_roots.push(candidate);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for src_root in src_roots {
+        if src_root.is_dir() {
+            walk(&src_root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Repo-relative path with `/` separators.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Crate directory name owning a repo-relative source path
+/// (`crates/memex-net/src/wire.rs` → `memex-net`; root `src/` → `<root>`).
+fn crate_of(rel_path: &str) -> &str {
+    match rel_path.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or(rest),
+        None => "<root>",
+    }
+}
+
+/// Scan the workspace rooted at `root` with the given configuration.
+pub fn scan(root: &Path, cfg: &Config) -> io::Result<Scan> {
+    let files = source_files(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut lock_analysis = LockAnalysis::default();
+    let mut metric_uses: Vec<MetricUse> = Vec::new();
+
+    for path in &files {
+        let rel_path = rel(root, path);
+        let text = fs::read_to_string(path)?;
+        let model = parse::model(lexer::lex(&text));
+
+        if cfg.panic_crates.iter().any(|c| c == crate_of(&rel_path)) {
+            findings.extend(rules::panic_rule::check(&model, &rel_path));
+        }
+        rules::locks::check(&model, &rel_path, cfg, &mut lock_analysis);
+        metric_uses.extend(rules::metrics::collect_uses(&model, &rel_path));
+        if cfg.codec_files.iter().any(|f| f == &rel_path) {
+            findings.extend(rules::codec::check(&model, &rel_path, cfg));
+        }
+    }
+
+    findings.extend(lock_analysis.findings);
+    findings.extend(rules::locks::cycle_findings(&lock_analysis.edges));
+
+    let catalog_path = cfg.metrics_catalog.as_str();
+    let catalog_text = fs::read_to_string(root.join(catalog_path)).unwrap_or_default();
+    let entries = rules::metrics::parse_catalog(&catalog_text);
+    findings.extend(rules::metrics::check(catalog_path, &entries, &metric_uses));
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    Ok(Scan {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Raw per-(rule, file) counts — the shape the baseline stores.
+pub fn counts(findings: &[Finding]) -> BTreeMap<(Rule, String), usize> {
+    let mut out: BTreeMap<(Rule, String), usize> = BTreeMap::new();
+    for f in findings {
+        *out.entry((f.rule, f.file.clone())).or_default() += 1;
+    }
+    out
+}
+
+/// Apply the baseline ratchet to a scan.
+pub fn apply_baseline(scan: Scan, cfg: &Config) -> Report {
+    let actual = counts(&scan.findings);
+    let mut failures = Vec::new();
+    let mut exceeded = Vec::new();
+    for (key, &count) in &actual {
+        let allowed = cfg.baseline.get(key).copied().unwrap_or(0);
+        if count > allowed {
+            exceeded.push((key.0, key.1.clone(), count, allowed));
+            failures.extend(
+                scan.findings
+                    .iter()
+                    .filter(|f| f.rule == key.0 && f.file == key.1)
+                    .cloned(),
+            );
+        }
+    }
+    let mut stale = Vec::new();
+    for (key, &allowed) in &cfg.baseline {
+        let count = actual.get(key).copied().unwrap_or(0);
+        if count < allowed {
+            stale.push(format!(
+                "baseline for [{}] {} allows {allowed} but only {count} remain — \
+                 run --fix-baseline to ratchet down",
+                key.0.name(),
+                key.1
+            ));
+        }
+    }
+    Report {
+        failures,
+        exceeded,
+        stale,
+        files_scanned: scan.files_scanned,
+        total_findings: scan.findings.len(),
+    }
+}
+
+/// Minimal JSON string escaping (the only JSON this crate emits).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the report as a single JSON object (for the CI job).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"failures\": [\n");
+    for (i, f) in report.failures.iter().enumerate() {
+        let sep = if i + 1 == report.failures.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"function\": \"{}\", \"message\": \"{}\"}}{sep}\n",
+            f.rule.name(),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.function),
+            json_escape(&f.message),
+        ));
+    }
+    out.push_str("  ],\n  \"stale\": [\n");
+    for (i, s) in report.stale.iter().enumerate() {
+        let sep = if i + 1 == report.stale.len() { "" } else { "," };
+        out.push_str(&format!("    \"{}\"{sep}\n", json_escape(s)));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"files_scanned\": {},\n  \"total_findings\": {},\n  \"ok\": {}\n}}\n",
+        report.files_scanned,
+        report.total_findings,
+        report.failures.is_empty(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use config::Rule;
+    use rules::Finding;
+
+    fn finding(rule: Rule, file: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            function: "f".to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_ratchet_semantics() {
+        let mut cfg = Config::default();
+        cfg.baseline.insert((Rule::Panic, "a.rs".to_string()), 2);
+        cfg.baseline.insert((Rule::Panic, "gone.rs".to_string()), 5);
+        let scan = Scan {
+            findings: vec![
+                finding(Rule::Panic, "a.rs"),
+                finding(Rule::Panic, "a.rs"),
+                finding(Rule::Codec, "b.rs"),
+            ],
+            files_scanned: 2,
+        };
+        let report = apply_baseline(scan, &cfg);
+        // a.rs is exactly at baseline → passes; b.rs has no allowance →
+        // fails; gone.rs allowance is stale.
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].file, "b.rs");
+        assert_eq!(
+            report.exceeded,
+            vec![(Rule::Codec, "b.rs".to_string(), 1, 0)]
+        );
+        assert_eq!(report.stale.len(), 1);
+        assert!(report.stale[0].contains("gone.rs"));
+    }
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let report = Report {
+            failures: vec![finding(Rule::Codec, "a\"b.rs")],
+            exceeded: vec![],
+            stale: vec![],
+            files_scanned: 1,
+            total_findings: 1,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("\"ok\": false"));
+    }
+}

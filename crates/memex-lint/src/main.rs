@@ -1,0 +1,119 @@
+//! CLI for memex-lint.
+//!
+//! ```text
+//! cargo run -p memex-lint                 # human-readable report
+//! cargo run -p memex-lint -- --json       # machine-readable (CI)
+//! cargo run -p memex-lint -- --fix-baseline   # regenerate the ratchet
+//! ```
+//!
+//! Exit codes: 0 clean (baseline respected), 1 findings beyond the
+//! baseline, 2 usage / configuration / I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use memex_lint::config::Config;
+use memex_lint::{apply_baseline, counts, render_json, scan};
+
+/// Walk up from the current directory to the first `LINT.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("LINT.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("memex-lint: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fix_baseline = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix-baseline" => fix_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "memex-lint: workspace static analysis (panic-freedom, lock \
+                     discipline,\nmetric catalog, codec coverage)\n\n\
+                     usage: memex-lint [--json] [--fix-baseline]\n\n\
+                     Configuration and baseline live in LINT.toml at the \
+                     workspace root."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let Some(root) = find_root() else {
+        return fail("no LINT.toml found walking up from the current directory");
+    };
+    let lint_toml = root.join("LINT.toml");
+    let config_text = match std::fs::read_to_string(&lint_toml) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {}: {e}", lint_toml.display())),
+    };
+    let cfg = match Config::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let scanned = match scan(&root, &cfg) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("scanning workspace: {e}")),
+    };
+
+    if fix_baseline {
+        let baseline = counts(&scanned.findings);
+        let entries = baseline.len();
+        let spliced = memex_lint::config::splice_baseline(&config_text, &baseline);
+        if let Err(e) = std::fs::write(&lint_toml, spliced) {
+            return fail(&format!("writing {}: {e}", lint_toml.display()));
+        }
+        println!(
+            "memex-lint: baseline regenerated — {} findings across {entries} \
+             (rule, file) entries in {} files",
+            scanned.findings.len(),
+            scanned.files_scanned,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = apply_baseline(scanned, &cfg);
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        for f in &report.failures {
+            println!("{f}");
+        }
+        for (rule, file, actual, allowed) in &report.exceeded {
+            println!(
+                "memex-lint: [{}] {file}: {actual} findings exceed baseline of \
+                 {allowed}",
+                rule.name()
+            );
+        }
+        for s in &report.stale {
+            println!("memex-lint: note: {s}");
+        }
+        println!(
+            "memex-lint: {} files scanned, {} findings ({} beyond baseline)",
+            report.files_scanned,
+            report.total_findings,
+            report.failures.len(),
+        );
+    }
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

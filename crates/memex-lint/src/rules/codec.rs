@@ -1,0 +1,126 @@
+//! Rule family 4: **codec coverage** — no `_ =>` arms in the wire codec.
+//!
+//! The encode/decode functions in `wire.rs` must match exhaustively over
+//! named variants or bound tags (`tag => Err(UnknownKind(tag))`). A bare
+//! `_ =>` arm silently swallows every future message kind: adding a
+//! variant compiles clean and then misbehaves on the wire, which is the
+//! worst possible place to discover it. Forcing named arms turns that
+//! mistake into a compile error (non-exhaustive match) or at least a
+//! reviewable line.
+//!
+//! Applies only to the functions listed in `[lint] codec_functions`
+//! within the files listed in `[lint] codec_files`.
+
+use crate::config::{Config, Rule};
+use crate::lexer::Tok;
+use crate::parse::FileModel;
+use crate::rules::Finding;
+
+/// Scan one configured file for wildcard match arms inside the
+/// configured functions.
+pub fn check(model: &FileModel, file: &str, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..model.tokens.len() {
+        if model.in_test[i] {
+            continue;
+        }
+        // Shape: `_` `=` `>` — the arm pattern is exactly the wildcard.
+        // Tuple patterns like `(_, x) =>` or bound tags `tag =>` don't
+        // match.
+        if !matches!(&model.tokens[i].tok, Tok::Ident(s) if s == "_") {
+            continue;
+        }
+        let arrow = matches!(
+            model.tokens.get(i + 1).map(|t| &t.tok),
+            Some(Tok::Punct('='))
+        ) && matches!(
+            model.tokens.get(i + 2).map(|t| &t.tok),
+            Some(Tok::Punct('>'))
+        );
+        if !arrow {
+            continue;
+        }
+        let function = model.fn_name(i);
+        if !cfg.codec_functions.iter().any(|f| f == function) {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::Codec,
+            file: file.to_string(),
+            line: model.tokens[i].line,
+            function: function.to_string(),
+            message: "wildcard `_ =>` arm in a codec function — bind the tag and \
+                      return a typed error instead"
+                .to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::model;
+
+    fn cfg() -> Config {
+        Config {
+            codec_files: vec!["wire.rs".to_string()],
+            codec_functions: vec!["decode_request".to_string(), "encode_request".to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn wildcard_arm_in_codec_fn_is_flagged() {
+        let src = r#"
+            fn decode_request(tag: u8) -> Result<Request, WireError> {
+                match tag {
+                    1 => Ok(Request::Ping),
+                    _ => Ok(Request::Ping),
+                }
+            }
+        "#;
+        let got = check(&model(lex(src)), "wire.rs", &cfg());
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("wildcard"));
+    }
+
+    #[test]
+    fn bound_tag_arm_passes() {
+        let src = r#"
+            fn decode_request(tag: u8) -> Result<Request, WireError> {
+                match tag {
+                    1 => Ok(Request::Ping),
+                    tag => Err(WireError::UnknownKind(tag)),
+                }
+            }
+        "#;
+        assert!(check(&model(lex(src)), "wire.rs", &cfg()).is_empty());
+    }
+
+    #[test]
+    fn other_functions_in_the_file_are_exempt() {
+        let src = r#"
+            fn helper(tag: u8) -> u8 {
+                match tag {
+                    1 => 2,
+                    _ => 0,
+                }
+            }
+        "#;
+        assert!(check(&model(lex(src)), "wire.rs", &cfg()).is_empty());
+    }
+
+    #[test]
+    fn tuple_wildcards_are_not_arms() {
+        let src = r#"
+            fn decode_request(pair: (u8, u8)) -> u8 {
+                match pair {
+                    (_, x) => x,
+                }
+            }
+        "#;
+        assert!(check(&model(lex(src)), "wire.rs", &cfg()).is_empty());
+    }
+}

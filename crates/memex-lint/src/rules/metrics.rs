@@ -1,0 +1,247 @@
+//! Rule family 3: **metric catalog** — `docs/METRICS.md` and the code
+//! must agree, in both directions.
+//!
+//! Usage side: every `counter("…")` / `gauge("…")` / `histogram("…")` /
+//! `span("…")` call with a literal name in non-test source is a metric
+//! use. Catalog side: every backticked name in a `METRICS.md` table row
+//! (`| `store.wal.appends` | counter | … |`) is a catalog entry.
+//!
+//! - A name used in code but missing from the catalog fails at the call
+//!   site: undocumented metrics are write-only telemetry.
+//! - A non-wildcard catalog entry never used in code fails at its table
+//!   row: stale documentation misleads whoever greps dashboards.
+//! - Catalog entries may contain `*` wildcards (`servlet.*.latency`) for
+//!   names built with `format!`; wildcards match uses but are exempt
+//!   from the unused-entry check, since their use sites have no literal.
+
+use crate::config::Rule;
+use crate::lexer::Tok;
+use crate::parse::FileModel;
+use crate::rules::Finding;
+
+/// Metric-registry constructor methods whose first literal argument is a
+/// metric name.
+const REGISTRY_METHODS: [&str; 4] = ["counter", "gauge", "histogram", "span"];
+
+/// One literal metric name used in source code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricUse {
+    pub name: String,
+    pub file: String,
+    pub line: usize,
+    pub function: String,
+}
+
+/// One entry parsed out of the catalog document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    pub name: String,
+    pub line: usize,
+}
+
+/// Collect literal metric names from one file's non-test code.
+pub fn collect_uses(model: &FileModel, file: &str) -> Vec<MetricUse> {
+    let mut out = Vec::new();
+    for i in 0..model.tokens.len() {
+        if model.in_test[i] {
+            continue;
+        }
+        let Tok::Ident(id) = &model.tokens[i].tok else {
+            continue;
+        };
+        if !REGISTRY_METHODS.contains(&id.as_str()) {
+            continue;
+        }
+        // Shape: `.` method `(` "literal" — a method call with a literal
+        // first argument. Free functions named `span(…)` etc. in other
+        // contexts don't match without the leading dot.
+        let dotted = i > 0 && matches!(&model.tokens[i - 1].tok, Tok::Punct('.'));
+        if !dotted {
+            continue;
+        }
+        if !matches!(
+            model.tokens.get(i + 1).map(|t| &t.tok),
+            Some(Tok::Punct('('))
+        ) {
+            continue;
+        }
+        if let Some(Tok::Str(name)) = model.tokens.get(i + 2).map(|t| &t.tok) {
+            out.push(MetricUse {
+                name: name.clone(),
+                file: file.to_string(),
+                line: model.tokens[i].line,
+                function: model.fn_name(i).to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Parse catalog entries from the METRICS.md text: backticked names in
+/// table rows.
+pub fn parse_catalog(text: &str) -> Vec<CatalogEntry> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        // First cell of the row.
+        let Some(cell) = trimmed.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim();
+        let Some(rest) = cell.strip_prefix('`') else {
+            continue;
+        };
+        let Some(name) = rest.strip_suffix('`') else {
+            continue;
+        };
+        if name.is_empty() {
+            continue;
+        }
+        out.push(CatalogEntry {
+            name: name.to_string(),
+            line: idx + 1,
+        });
+    }
+    out
+}
+
+/// Does `pattern` (with `*` wildcards, each matching one or more
+/// characters) match `name`?
+fn wildcard_match(pattern: &str, name: &str) -> bool {
+    fn inner(p: &[u8], n: &[u8]) -> bool {
+        match p.first() {
+            None => n.is_empty(),
+            Some(b'*') => {
+                // `*` must consume at least one character.
+                (1..=n.len()).any(|k| inner(&p[1..], &n[k..]))
+            }
+            Some(&c) => n.first() == Some(&c) && inner(&p[1..], &n[1..]),
+        }
+    }
+    inner(pattern.as_bytes(), name.as_bytes())
+}
+
+/// Bidirectional check: uses vs catalog.
+pub fn check(catalog_path: &str, entries: &[CatalogEntry], uses: &[MetricUse]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for u in uses {
+        let documented = entries
+            .iter()
+            .any(|e| e.name == u.name || wildcard_match(&e.name, &u.name));
+        if !documented {
+            out.push(Finding {
+                rule: Rule::Metrics,
+                file: u.file.clone(),
+                line: u.line,
+                function: u.function.clone(),
+                message: format!("metric `{}` is not cataloged in {catalog_path}", u.name),
+            });
+        }
+    }
+    for e in entries {
+        if e.name.contains('*') {
+            continue; // dynamic names have no literal use sites
+        }
+        if !uses.iter().any(|u| u.name == e.name) {
+            out.push(Finding {
+                rule: Rule::Metrics,
+                file: catalog_path.to_string(),
+                line: e.line,
+                function: "<catalog>".to_string(),
+                message: format!(
+                    "cataloged metric `{}` has no literal use in non-test source",
+                    e.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::model;
+
+    const CATALOG: &str = r#"
+# Metrics
+
+| name | kind | meaning |
+|------|------|---------|
+| `net.req.ok` | counter | requests served |
+| `servlet.*.latency` | histogram | per-servlet latency |
+| `store.ghost` | counter | documented but never emitted |
+"#;
+
+    #[test]
+    fn catalog_rows_parse() {
+        let entries = parse_catalog(CATALOG);
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["net.req.ok", "servlet.*.latency", "store.ghost"]
+        );
+    }
+
+    #[test]
+    fn bidirectional_check() {
+        let src = r#"
+            fn serve(reg: &Registry) {
+                reg.counter("net.req.ok").inc();
+                reg.counter("net.req.rogue").inc();
+            }
+        "#;
+        let uses = collect_uses(&model(lex(src)), "s.rs");
+        let entries = parse_catalog(CATALOG);
+        let findings = check("docs/METRICS.md", &entries, &uses);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("net.req.rogue"));
+        assert!(findings[1].message.contains("store.ghost"));
+    }
+
+    #[test]
+    fn wildcard_entries_match_uses_and_skip_unused_check() {
+        let src = r#"
+            fn observe(reg: &Registry) {
+                reg.counter("net.req.ok").inc();
+                reg.histogram("servlet.stats.latency").observe(1);
+            }
+        "#;
+        let uses = collect_uses(&model(lex(src)), "s.rs");
+        let entries = parse_catalog(CATALOG);
+        let findings = check("docs/METRICS.md", &entries, &uses);
+        // Only the ghost entry fires; the wildcard neither fires nor
+        // demands a literal use.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("store.ghost"));
+    }
+
+    #[test]
+    fn dynamic_and_test_uses_are_ignored() {
+        let src = r#"
+            fn observe(reg: &Registry, name: &str) {
+                reg.histogram(&format!("servlet.{}.latency", name)).observe(1);
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t(reg: &Registry) { reg.counter("t.only").inc(); }
+            }
+        "#;
+        let uses = collect_uses(&model(lex(src)), "s.rs");
+        assert!(uses.is_empty(), "{uses:?}");
+    }
+
+    #[test]
+    fn wildcard_match_semantics() {
+        assert!(wildcard_match("servlet.*.latency", "servlet.stats.latency"));
+        assert!(!wildcard_match("servlet.*.latency", "servlet..latency"));
+        assert!(!wildcard_match("servlet.*.latency", "servlet.stats.count"));
+        assert!(wildcard_match("a.*", "a.b.c"));
+        assert!(!wildcard_match("a.*", "a."));
+    }
+}

@@ -1,0 +1,36 @@
+//! The four rule families. Each rule consumes a [`FileModel`] (plus the
+//! repo-relative path) and yields [`Finding`]s; the driver in `lib.rs`
+//! applies the baseline and decides the exit code.
+
+pub mod codec;
+pub mod locks;
+pub mod metrics;
+pub mod panic_rule;
+
+use crate::config::Rule;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Repo-relative path.
+    pub file: String,
+    pub line: usize,
+    /// Enclosing function, or `<file>` outside any.
+    pub function: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} (in {})",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message,
+            self.function
+        )
+    }
+}

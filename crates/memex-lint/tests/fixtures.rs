@@ -1,0 +1,310 @@
+//! Fixture-driven integration tests: each rule family against inline
+//! source snippets, plus an end-to-end scan of a miniature on-disk
+//! workspace exercising the walker, the baseline ratchet, and the
+//! `--fix-baseline` splice round-trip.
+
+use memex_lint::config::{splice_baseline, Config, Rule};
+use memex_lint::rules::locks::{cycle_findings, LockAnalysis};
+use memex_lint::rules::{codec, locks, metrics, panic_rule};
+use memex_lint::{apply_baseline, counts, lexer, parse, scan};
+
+fn model(src: &str) -> parse::FileModel {
+    parse::model(lexer::lex(src))
+}
+
+const BASE_CONFIG: &str = r#"
+[lint]
+panic_crates = ["serving"]
+codec_files = ["crates/serving/src/wire.rs"]
+codec_functions = ["decode_thing"]
+metrics_catalog = "docs/METRICS.md"
+
+[locks]
+order = ["lock.outer", "lock.inner"]
+
+[locks.aliases]
+"outer" = "lock.outer"
+"inner" = "lock.inner"
+"a" = "lock.a"
+"b" = "lock.b"
+"#;
+
+// ---------------------------------------------------------------------------
+// Family 1: panic-freedom
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_family_full_fixture() {
+    let src = r#"
+        /// Doc comment with .unwrap() and panic!("decoy").
+        pub fn serve(input: Option<&[u8]>, n: usize) -> u8 {
+            let buf = input.unwrap();            // finding 1
+            let first = buf[0];                  // finding 2
+            if n > buf.len() {
+                panic!("out of range");          // finding 3
+            }
+            let s = "string with .expect() inside";
+            let _ = s;
+            first
+        }
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn exempt() {
+                super::serve(Some(&[1]), 0);
+                Option::<u8>::None.unwrap_or(0);
+                let v: Vec<u8> = vec![];
+                v.first().copied().unwrap();
+            }
+        }
+    "#;
+    let found = panic_rule::check(&model(src), "crates/serving/src/main.rs");
+    assert_eq!(found.len(), 3, "{found:?}");
+    assert!(found.iter().all(|f| f.function == "serve"));
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: lock discipline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_order_violation_fixture() {
+    let cfg = Config::parse(BASE_CONFIG).unwrap();
+    let src = r#"
+        fn backwards(outer: M, inner: M) {
+            let gi = inner.lock();
+            let go = outer.lock();
+        }
+    "#;
+    let mut analysis = LockAnalysis::default();
+    locks::check(&model(src), "crates/serving/src/x.rs", &cfg, &mut analysis);
+    assert_eq!(analysis.findings.len(), 1, "{:?}", analysis.findings);
+    assert!(analysis.findings[0]
+        .message
+        .contains("lock order violation"));
+}
+
+#[test]
+fn lock_cycle_across_files_fixture() {
+    // `a` and `b` are aliased but deliberately not ranked; two files nest
+    // them in opposite directions — a workspace-wide cycle.
+    let cfg = Config::parse(BASE_CONFIG).unwrap();
+    let file1 = r#"
+        fn forward(a: M, b: M) {
+            let ga = a.lock();
+            let gb = b.lock();
+        }
+    "#;
+    let file2 = r#"
+        fn backward(a: M, b: M) {
+            let gb = b.lock();
+            let ga = a.lock();
+        }
+    "#;
+    let mut analysis = LockAnalysis::default();
+    locks::check(
+        &model(file1),
+        "crates/serving/src/one.rs",
+        &cfg,
+        &mut analysis,
+    );
+    locks::check(
+        &model(file2),
+        "crates/serving/src/two.rs",
+        &cfg,
+        &mut analysis,
+    );
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(analysis.edges.len(), 2);
+
+    let cycles = cycle_findings(&analysis.edges);
+    assert_eq!(cycles.len(), 2, "every edge of the cycle is reported");
+    assert!(cycles.iter().any(|f| f.file == "crates/serving/src/one.rs"));
+    assert!(cycles.iter().any(|f| f.file == "crates/serving/src/two.rs"));
+
+    // Removing one direction dissolves the cycle.
+    let one_way = cycle_findings(&analysis.edges[..1]);
+    assert!(one_way.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Family 3: metric catalog
+// ---------------------------------------------------------------------------
+
+#[test]
+fn metric_catalog_fixture() {
+    let catalog = r#"
+# Catalog
+
+| name | kind | meaning |
+|------|------|---------|
+| `app.requests` | counter | requests |
+| `app.*.latency` | histogram | per-handler latency |
+| `app.orphan` | gauge | documented, never emitted |
+"#;
+    let src = r#"
+        fn handle(reg: &Registry, name: &str) {
+            reg.counter("app.requests").inc();
+            reg.histogram("app.search.latency").observe(3);
+            reg.histogram(&format!("app.{name}.latency")).observe(4);
+            reg.counter("app.undocumented").inc();
+        }
+    "#;
+    let uses = metrics::collect_uses(&model(src), "crates/serving/src/h.rs");
+    assert_eq!(
+        uses.len(),
+        3,
+        "format! names are not literal uses: {uses:?}"
+    );
+    let entries = metrics::parse_catalog(catalog);
+    let findings = metrics::check("docs/METRICS.md", &entries, &uses);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings[0].message.contains("app.undocumented"));
+    assert!(findings[0].file.ends_with("h.rs"));
+    assert!(findings[1].message.contains("app.orphan"));
+    assert_eq!(findings[1].file, "docs/METRICS.md");
+}
+
+// ---------------------------------------------------------------------------
+// Family 4: codec coverage
+// ---------------------------------------------------------------------------
+
+#[test]
+fn codec_wildcard_fixture() {
+    let cfg = Config::parse(BASE_CONFIG).unwrap();
+    let bad = r#"
+        fn decode_thing(tag: u8) -> Result<Thing, Error> {
+            match tag {
+                0 => Ok(Thing::A),
+                1 => Ok(Thing::B),
+                _ => Err(Error::Unknown),
+            }
+        }
+    "#;
+    let found = codec::check(&model(bad), "crates/serving/src/wire.rs", &cfg);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].function, "decode_thing");
+
+    let good = r#"
+        fn decode_thing(tag: u8) -> Result<Thing, Error> {
+            match tag {
+                0 => Ok(Thing::A),
+                1 => Ok(Thing::B),
+                tag => Err(Error::UnknownTag(tag)),
+            }
+        }
+    "#;
+    assert!(codec::check(&model(good), "crates/serving/src/wire.rs", &cfg).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: on-disk mini-workspace + allowlist round-trip
+// ---------------------------------------------------------------------------
+
+struct TempTree(std::path::PathBuf);
+
+impl TempTree {
+    fn new(tag: &str) -> TempTree {
+        let root =
+            std::env::temp_dir().join(format!("memex-lint-fixture-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        TempTree(root)
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.0.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, content).unwrap();
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn scan_and_baseline_round_trip_on_disk() {
+    let tree = TempTree::new("e2e");
+    tree.write(
+        "crates/serving/src/main.rs",
+        r#"
+            pub fn risky(x: Option<u8>) -> u8 {
+                x.unwrap()
+            }
+        "#,
+    );
+    tree.write(
+        "crates/serving/src/wire.rs",
+        r#"
+            fn decode_thing(tag: u8) -> Result<u8, u8> {
+                match tag {
+                    0 => Ok(0),
+                    _ => Err(tag),
+                }
+            }
+        "#,
+    );
+    // Vendored and non-src code must be invisible to the scan.
+    tree.write(
+        "crates/serving/src/vendor/dep.rs",
+        "pub fn v(x: Option<u8>) -> u8 { x.unwrap() }",
+    );
+    tree.write(
+        "crates/serving/tests/it.rs",
+        "fn t(x: Option<u8>) -> u8 { x.unwrap() }",
+    );
+    tree.write(
+        "docs/METRICS.md",
+        "| `app.requests` | counter | documented but unused |\n",
+    );
+
+    let cfg = Config::parse(BASE_CONFIG).unwrap();
+    let scanned = scan(&tree.0, &cfg).unwrap();
+    assert_eq!(
+        scanned.files_scanned, 2,
+        "vendor/ and tests/ must be invisible to the walker"
+    );
+    let by_rule: Vec<Rule> = scanned.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        by_rule,
+        vec![Rule::Panic, Rule::Codec, Rule::Metrics],
+        "{:?}",
+        scanned.findings
+    );
+
+    // Freeze the findings into a baseline, as --fix-baseline would.
+    let baseline = counts(&scanned.findings);
+    let spliced = splice_baseline(BASE_CONFIG, &baseline);
+    let cfg2 = Config::parse(&spliced).unwrap();
+    assert_eq!(cfg2.baseline.len(), 3);
+
+    // Under the new baseline the same tree is clean…
+    let report = apply_baseline(scan(&tree.0, &cfg2).unwrap(), &cfg2);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert!(report.stale.is_empty());
+
+    // …and a fresh violation still fails.
+    tree.write(
+        "crates/serving/src/extra.rs",
+        "pub fn boom() { panic!(\"new\"); }",
+    );
+    let report = apply_baseline(scan(&tree.0, &cfg2).unwrap(), &cfg2);
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.failures[0].rule, Rule::Panic);
+    assert!(report.failures[0].file.ends_with("extra.rs"));
+
+    // Fixing the original unwrap makes its allowance stale (ratchet note).
+    tree.write(
+        "crates/serving/src/main.rs",
+        "pub fn risky(x: Option<u8>) -> u8 { x.unwrap_or(0) }",
+    );
+    tree.write("crates/serving/src/extra.rs", "pub fn boom() {}");
+    let report = apply_baseline(scan(&tree.0, &cfg2).unwrap(), &cfg2);
+    assert!(report.failures.is_empty());
+    assert_eq!(report.stale.len(), 1, "{:?}", report.stale);
+    assert!(report.stale[0].contains("main.rs"));
+}

@@ -147,7 +147,12 @@ impl MemexClient {
             if self.stream.is_none() {
                 self.stream = Some(self.dial()?);
             }
-            let stream = self.stream.as_mut().expect("dialled above");
+            let stream = match self.stream.as_mut() {
+                Some(s) => s,
+                // Unreachable after the dial above; degrade to a typed
+                // error rather than a panic on the request path.
+                None => return Err(NetError::Protocol("connection slot empty after dial")),
+            };
             match Self::exchange(stream, &payload) {
                 Ok(resp) => return Ok(resp),
                 Err(e) => {

@@ -184,6 +184,29 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Resul
     Ok(())
 }
 
+/// Copy a slice's first 4 bytes into an array without a panicking
+/// conversion; the decode path must stay panic-free on arbitrary input.
+fn arr4(b: &[u8]) -> Result<[u8; 4], WireError> {
+    match *b {
+        [a, b2, c, d, ..] => Ok([a, b2, c, d]),
+        _ => Err(WireError::Truncated {
+            needed: 4,
+            available: b.len(),
+        }),
+    }
+}
+
+/// Same as [`arr4`] for 8-byte fields.
+fn arr8(b: &[u8]) -> Result<[u8; 8], WireError> {
+    match *b {
+        [a, b2, c, d, e, f, g, h, ..] => Ok([a, b2, c, d, e, f, g, h]),
+        _ => Err(WireError::Truncated {
+            needed: 8,
+            available: b.len(),
+        }),
+    }
+}
+
 /// Read one frame from a stream, enforcing the size cap *before*
 /// allocating the payload buffer and verifying the checksum after.
 pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> {
@@ -202,13 +225,15 @@ pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> 
 /// must contain *exactly* one frame: short buffers are
 /// [`WireError::Truncated`], long ones [`WireError::TrailingBytes`].
 pub fn decode_frame(buf: &[u8]) -> Result<(FrameKind, &[u8]), WireError> {
-    if buf.len() < HEADER_LEN {
-        return Err(WireError::Truncated {
-            needed: HEADER_LEN,
-            available: buf.len(),
-        });
-    }
-    let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("sized above");
+    let header = match *buf {
+        [a, b, c, d, e, f, g, h, ..] => [a, b, c, d, e, f, g, h],
+        _ => {
+            return Err(WireError::Truncated {
+                needed: HEADER_LEN,
+                available: buf.len(),
+            })
+        }
+    };
     let (kind, len) = parse_header(&header)?;
     let total = HEADER_LEN + len + TRAILER_LEN;
     if buf.len() < total {
@@ -220,21 +245,27 @@ pub fn decode_frame(buf: &[u8]) -> Result<(FrameKind, &[u8]), WireError> {
     if buf.len() > total {
         return Err(WireError::TrailingBytes(buf.len() - total));
     }
-    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
-    let trailer: [u8; TRAILER_LEN] = buf[HEADER_LEN + len..].try_into().expect("sized above");
+    let payload = buf
+        .get(HEADER_LEN..HEADER_LEN + len)
+        .ok_or(WireError::Truncated {
+            needed: total,
+            available: buf.len(),
+        })?;
+    let trailer = arr4(buf.get(HEADER_LEN + len..).unwrap_or(&[]))?;
     check_crc(&header, payload, trailer)?;
     Ok((kind, payload))
 }
 
 fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, usize), WireError> {
-    if header[..2] != MAGIC {
-        return Err(WireError::BadMagic([header[0], header[1]]));
+    let [m0, m1, version, kind, l0, l1, l2, l3] = *header;
+    if [m0, m1] != MAGIC {
+        return Err(WireError::BadMagic([m0, m1]));
     }
-    if header[2] != WIRE_VERSION {
-        return Err(WireError::UnsupportedVersion(header[2]));
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
     }
-    let kind = FrameKind::from_byte(header[3])?;
-    let len = u32::from_le_bytes(header[4..8].try_into().expect("sized")) as usize;
+    let kind = FrameKind::from_byte(kind)?;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized {
             len: len as u64,
@@ -249,8 +280,9 @@ fn check_crc(
     payload: &[u8],
     trailer: [u8; TRAILER_LEN],
 ) -> Result<(), WireError> {
+    let [_, _, version, kind, ..] = *header;
     let expected = u32::from_le_bytes(trailer);
-    let actual = fnv1a(&[&header[2..4], payload]);
+    let actual = fnv1a(&[&[version, kind], payload]);
     if expected != actual {
         return Err(WireError::ChecksumMismatch { expected, actual });
     }
@@ -341,13 +373,13 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated {
+        let s = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(WireError::Truncated {
                 needed: n,
                 available: self.remaining(),
-            });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+            })?;
         self.pos += n;
         Ok(s)
     }
@@ -365,15 +397,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+        Ok(u32::from_le_bytes(arr4(self.take(4)?)?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+        Ok(u64::from_le_bytes(arr8(self.take(8)?)?))
     }
 
     fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+        Ok(i64::from_le_bytes(arr8(self.take(8)?)?))
     }
 
     fn f32(&mut self) -> Result<f32, WireError> {

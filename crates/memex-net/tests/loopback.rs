@@ -262,3 +262,39 @@ fn client_reconnects_after_server_closes_idle_connection() {
         "reconnect did not open a new connection"
     );
 }
+
+#[test]
+fn poisoned_memex_mutex_answers_typed_error_not_hung_connection() {
+    let memex = community_world();
+    let server = NetServer::start(memex, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = MemexClient::connect(addr, ClientConfig::default()).expect("connect");
+    assert!(matches!(
+        client.request(&Request::Stats).expect("pre-poison"),
+        Response::Stats(_)
+    ));
+
+    // Panic a throwaway thread while it holds the memex lock: every later
+    // request finds the mutex poisoned.
+    server.poison_memex_for_test();
+
+    // The worker must answer with a typed error — not panic, not hang the
+    // connection until the client's request timeout.
+    for _ in 0..3 {
+        match client.request(&Request::Stats).expect("poisoned exchange") {
+            Response::Error(msg) => assert!(
+                msg.contains("poisoned"),
+                "error should name the poison, got {msg:?}"
+            ),
+            other => panic!("expected Response::Error from poisoned server, got {other:?}"),
+        }
+    }
+
+    // Shutdown still joins every thread and recovers the Memex from the
+    // poisoned lock; the poison surfaces in the counters.
+    let memex = server.shutdown();
+    let snap = memex.registry().snapshot();
+    assert_eq!(snap.counter("net.req.poisoned"), 3);
+    assert_eq!(snap.counter("net.req.ok"), 1);
+}

@@ -263,14 +263,20 @@ impl KvStore {
 
     /// Flush the tree, mark the WAL checkpointed and truncate it.
     ///
-    /// Crash-safety relies on the ordering here: `Pager::flush` writes and
-    /// **fsyncs** the data file before `Wal::truncate` destroys the replay
-    /// log. A crash (or injected sync failure) at any point leaves either
-    /// an intact log over the old tree, or a durable tree whose log replay
-    /// is an idempotent re-application — never a window where acked writes
-    /// exist only in volatile state. The fault harness in `tests/fault.rs`
-    /// exercises every step of this window.
+    /// Crash-safety relies on the ordering here: `Wal::sync` makes every
+    /// acked record durable in the log *before* `Pager::flush` writes and
+    /// fsyncs the data file, which in turn happens before `Wal::truncate`
+    /// destroys the replay log. Skipping the leading sync would open a
+    /// window where a crash between flush and truncate leaves a durable
+    /// tree alongside a *stale* durable log: replaying that shorter log
+    /// over the newer tree rolls acked writes backward. With the
+    /// write-ahead order, a crash at any point leaves either an intact
+    /// log covering the old tree, or a log whose replay over the flushed
+    /// tree is an idempotent re-application — never a state outside the
+    /// `[synced, acked]` prefix window. The fault harness in
+    /// `tests/fault.rs` exercises every step of this window.
     pub fn checkpoint(&mut self) -> StoreResult<()> {
+        self.wal.sync()?;
         self.pager.flush()?;
         self.wal.truncate()?;
         self.wal.append(&WalRecord::Checkpoint)?;

@@ -105,6 +105,12 @@ pub struct Wal {
     /// Byte offset one past the last *successfully appended* frame. New
     /// frames are written here, overwriting any torn garbage beyond it.
     end_pos: u64,
+    /// Watermark of the logical log known to be on stable storage:
+    /// `[0, durable_end)` has been covered by a successful sync.
+    /// [`Wal::sync`] is a no-op while `durable_end == end_pos`, so callers
+    /// may sync defensively (e.g. at the top of a checkpoint) without
+    /// paying for an fsync when nothing is pending.
+    durable_end: u64,
     next_lsn: u64,
     metrics: WalMetrics,
 }
@@ -140,6 +146,10 @@ impl Wal {
         Ok(Wal {
             backing,
             end_pos,
+            // Content present at open time was written by a previous
+            // incarnation; whatever of it survived is by definition what
+            // the device kept. Replay re-establishes the watermark.
+            durable_end: end_pos,
             next_lsn: 1,
             metrics: WalMetrics::default(),
         })
@@ -177,9 +187,14 @@ impl Wal {
         Ok(lsn)
     }
 
-    /// Flush appended frames to stable storage.
+    /// Flush appended frames to stable storage. No-op (and no fsync)
+    /// when every appended frame is already covered by a prior sync.
     pub fn sync(&mut self) -> StoreResult<()> {
+        if self.durable_end == self.end_pos {
+            return Ok(());
+        }
         self.backing.sync()?;
+        self.durable_end = self.end_pos;
         self.metrics.fsyncs.inc();
         Ok(())
     }
@@ -242,6 +257,7 @@ impl Wal {
             let _ = self.backing.set_len(valid_end as u64);
         }
         self.end_pos = valid_end as u64;
+        self.durable_end = self.durable_end.min(self.end_pos);
         self.next_lsn = max_lsn + 1;
         self.metrics.replays.inc();
         if replay.torn_tail {
@@ -254,6 +270,9 @@ impl Wal {
     pub fn truncate(&mut self) -> StoreResult<()> {
         self.backing.set_len(0)?;
         self.end_pos = 0;
+        // The empty prefix is trivially durable; if the sync below fails,
+        // a retry re-runs the (idempotent) set_len + sync pair.
+        self.durable_end = 0;
         self.backing.sync()?;
         Ok(())
     }
@@ -271,6 +290,7 @@ impl Wal {
         let keep = len.saturating_sub(n);
         self.backing.set_len(keep)?;
         self.end_pos = self.end_pos.min(keep);
+        self.durable_end = self.durable_end.min(keep);
         Ok(())
     }
 

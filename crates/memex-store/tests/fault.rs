@@ -363,6 +363,125 @@ fn failed_log_sync_during_checkpoint_is_crash_safe() {
     assert_eq!(kv.get(b"after").unwrap().unwrap(), b"ok");
 }
 
+/// The review-repro schedule, folded into the harness: a checkpoint runs
+/// with *unsynced* WAL records pending, `Pager::flush` lands the new tree
+/// durably, and the crash hits before `Wal::truncate` completes. The
+/// write-ahead order inside `KvStore::checkpoint` (log sync before data
+/// flush) must have made those records durable, otherwise recovery
+/// replays a stale log prefix over the newer tree and rolls acked writes
+/// backward — the exact bug this schedule originally caught.
+#[test]
+fn checkpoint_window_crash_with_unsynced_wal_records() {
+    let wal_inner = MemStorage::new();
+    let wal_handle = wal_inner.handle();
+    let wal_storage = FaultyStorage::new(wal_inner, FaultConfig::default());
+    let ctl = wal_storage.control();
+    let db_storage = MemStorage::new();
+    let db_handle = db_storage.handle();
+
+    let mut kv =
+        KvStore::open_with_storage(Box::new(wal_storage), Box::new(db_storage), small_opts())
+            .unwrap();
+    kv.put(b"a", b"1").unwrap();
+    kv.wal_mut().sync().unwrap(); // op1 durable in the log
+    kv.put(b"a", b"2").unwrap(); // op2: acked, log record NOT synced
+    kv.put(b"c", b"3").unwrap(); // op3: acked, log record NOT synced
+
+    // Fail the truncation: models a crash after the data flush, inside
+    // the checkpoint window.
+    ctl.fail_next_set_lens(1);
+    assert!(kv.checkpoint().is_err());
+    drop(kv);
+
+    // Power cut: only durable bytes survive on each device.
+    let mut kv2 = KvStore::open_with_storage(
+        Box::new(MemStorage::from_bytes(wal_handle.durable_bytes())),
+        Box::new(MemStorage::from_bytes(db_handle.durable_bytes())),
+        small_opts(),
+    )
+    .unwrap();
+    kv2.check().unwrap();
+    let a = kv2.get(b"a").unwrap().map(|v| v.to_vec());
+    let c = kv2.get(b"c").unwrap().map(|v| v.to_vec());
+    let is_prefix = matches!(
+        (a.as_deref(), c.as_deref()),
+        (Some(b"1"), None) | (Some(b"2"), None) | (Some(b"2"), Some(b"3"))
+    );
+    assert!(
+        is_prefix,
+        "recovered state a={a:?} c={c:?} matches no prefix of the acked ops"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generalised checkpoint-window schedule for the seed matrix: random
+    /// ops with random sync points, then a checkpoint whose truncation
+    /// fails, then a crash. The checkpoint's leading log sync succeeded,
+    /// so *every* acked op must survive — recovery lands on exactly the
+    /// acked state, regardless of which unsynced device writes the crash
+    /// kept.
+    #[test]
+    fn failed_truncate_checkpoint_recovers_every_acked_op(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        crash_seed in any::<u64>(),
+    ) {
+        let wal_inner = MemStorage::new();
+        let wal_handle = wal_inner.handle();
+        let wal_storage = FaultyStorage::new(wal_inner, FaultConfig::default());
+        let ctl = wal_storage.control();
+        let db_storage = MemStorage::new();
+        let db_handle = db_storage.handle();
+
+        let mut kv = KvStore::open_with_storage(
+            Box::new(wal_storage),
+            Box::new(db_storage),
+            small_opts(),
+        )
+        .unwrap();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    kv.put(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    kv.delete(k).unwrap();
+                }
+                // Only a *durability* op here — the harness drives the one
+                // interesting checkpoint itself, below.
+                Op::Sync | Op::Checkpoint => {
+                    kv.wal_mut().sync().unwrap();
+                }
+            }
+        }
+
+        ctl.fail_next_set_lens(1);
+        prop_assert!(kv.checkpoint().is_err(), "truncate failure must surface");
+        drop(kv);
+
+        // Crash: durable bytes survive; unsynced writes partially survive
+        // per the seed. The failed set_len never reached the device, and
+        // the checkpoint already synced the log and flushed the tree, so
+        // the crash has nothing left to lose.
+        wal_handle.crash(crash_seed);
+        db_handle.crash(crash_seed ^ 0x9E37_79B9_7F4A_7C15);
+
+        let mut kv2 = reopen(&wal_handle, &db_handle, small_opts());
+        kv2.check().unwrap();
+        let recovered = contents(&mut kv2);
+        let m = model_at(&ops, ops.len());
+        prop_assert_eq!(
+            recovered.len(),
+            m.len(),
+            "checkpoint made every acked op durable; none may vanish"
+        );
+        for (k, v) in &recovered {
+            prop_assert_eq!(m.get(k), Some(v));
+        }
+    }
+}
+
 /// A scripted write failure during an append must not acknowledge the
 /// operation, corrupt the store, or poison later operations.
 #[test]
