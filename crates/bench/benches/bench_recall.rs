@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use memex_bench::worlds::standard_world;
 
 fn bench(c: &mut Criterion) {
-    let (corpus, community, mut memex) = standard_world(true, 99);
+    let (corpus, community, memex) = standard_world(true, 99);
     let user = community.users[0].user;
     let topic = community.users[0].interests[0];
     let query = corpus.topic_names[topic].clone();

@@ -8,20 +8,20 @@ use memex_bench::worlds::standard_world;
 use memex_core::recommend::{recommend_pages, similar_surfers, similar_surfers_by_url};
 
 fn bench(c: &mut Criterion) {
-    let (_corpus, community, mut memex) = standard_world(true, 88);
+    let (_corpus, community, memex) = standard_world(true, 88);
     let user = community.users[0].user;
     // Warm the theme cache once so the bench isolates the query cost.
     let _ = memex.community_themes();
     let mut group = c.benchmark_group("t5_recommend");
     group.sample_size(10);
     group.bench_function("similar_surfers_theme_profiles", |b| {
-        b.iter(|| similar_surfers(&mut memex, user, 3))
+        b.iter(|| similar_surfers(&memex, user, 3))
     });
     group.bench_function("similar_surfers_url_overlap", |b| {
         b.iter(|| similar_surfers_by_url(&memex, user, 3))
     });
     group.bench_function("recommend_pages_top10", |b| {
-        b.iter(|| recommend_pages(&mut memex, user, 10))
+        b.iter(|| recommend_pages(&memex, user, 10))
     });
     group.finish();
 }

@@ -46,7 +46,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("bm25_top10_query", |b| {
         b.iter(|| {
             bm25_search(
-                &mut index,
+                &index,
                 std::hint::black_box(&query),
                 10,
                 Bm25Params::default(),

@@ -30,7 +30,7 @@ const ALPHA: f64 = 1.0;
 
 /// The F4 table.
 pub fn run(quick: bool) -> Table {
-    let (corpus, _community, mut memex) = standard_world(quick, 44);
+    let (corpus, _community, memex) = standard_world(quick, 44);
     let (themes, doc_pages) = memex.community_themes().clone();
     let docs: Vec<SparseVec> = doc_pages
         .iter()

@@ -2,7 +2,7 @@
 //! live loopback TCP socket by `memex_net::NetServer`, driven by N
 //! concurrent `MemexClient` threads through a mixed mining workload.
 //!
-//! Two scenarios:
+//! Three scenarios:
 //!
 //! 1. **throughput** — default admission limits; reports sustained
 //!    requests/second and p50/p95/p99 request latency read from the
@@ -12,6 +12,12 @@
 //!    clients: the server must shed with explicit `Response::Overloaded`
 //!    frames (`net.shed` > 0) instead of queueing without bound, and still
 //!    shut down cleanly.
+//! 3. **read-scale/N** — a pure-read workload of all-distinct requests
+//!    with the result cache disabled, at 1/2/4 workers (clients =
+//!    workers): aggregate read throughput must grow with workers because
+//!    readers share the `RwLock` instead of serialising on a global
+//!    mutex. The ≥2x @ 4-workers check only asserts when the host
+//!    actually has ≥4 cores.
 
 use std::time::Instant;
 
@@ -58,6 +64,36 @@ fn workload(user: u32, rounds: usize) -> Vec<Request> {
     reqs
 }
 
+/// A pure-read workload whose requests are pairwise distinct across every
+/// client and round (the `salt` folds the client index into the time
+/// bounds), so even with the result cache enabled nothing would hit — the
+/// scenario measures lock parallelism, not caching.
+fn read_workload(user: u32, rounds: usize, salt: u64) -> Vec<Request> {
+    let mut reqs = Vec::with_capacity(rounds * 3);
+    for r in 0..rounds {
+        let since = salt * 100_000 + r as u64;
+        reqs.push(Request::Recall {
+            user,
+            query: "page".into(),
+            since,
+            until: u64::MAX,
+            k: 5,
+        });
+        reqs.push(Request::Bill {
+            user,
+            since,
+            until: u64::MAX,
+        });
+        reqs.push(Request::WhatsNew {
+            user,
+            folder: 1,
+            since,
+            k: 5,
+        });
+    }
+    reqs
+}
+
 struct DriveResult {
     ok: u64,
     shed: u64,
@@ -65,13 +101,13 @@ struct DriveResult {
     wall_ms: f64,
 }
 
-/// Drive `clients` concurrent client threads against `addr`, each sending
-/// its workload back-to-back. Overloaded responses count as shed, not ok.
-fn drive(addr: std::net::SocketAddr, clients: usize, rounds: usize, users: &[u32]) -> DriveResult {
+/// Drive one client thread per workload against `addr`, each sending its
+/// requests back-to-back. Overloaded responses count as shed, not ok.
+fn drive(addr: std::net::SocketAddr, workloads: Vec<Vec<Request>>) -> DriveResult {
     let start = Instant::now();
-    let handles: Vec<_> = (0..clients)
-        .map(|i| {
-            let user = users[i % users.len()];
+    let handles: Vec<_> = workloads
+        .into_iter()
+        .map(|reqs| {
             std::thread::spawn(move || {
                 let mut ok = 0u64;
                 let mut shed = 0u64;
@@ -80,7 +116,7 @@ fn drive(addr: std::net::SocketAddr, clients: usize, rounds: usize, users: &[u32
                     Ok(c) => c,
                     Err(_) => return (0, 0, 1),
                 };
-                for req in workload(user, rounds) {
+                for req in reqs {
                     match client.request(&req) {
                         Ok(Response::Overloaded { .. }) => shed += 1,
                         Ok(Response::Error(_)) => errors += 1,
@@ -126,16 +162,15 @@ fn scenario(
     name: &str,
     memex: Memex,
     config: NetServerConfig,
-    clients: usize,
-    rounds: usize,
-    users: &[u32],
-) -> (Memex, u64) {
+    workloads: Vec<Vec<Request>>,
+) -> (Memex, u64, f64) {
+    let clients = workloads.len();
     // The registry outlives individual servers; report this scenario's
     // shed as a delta.
     let shed_before = memex.registry().snapshot().counter("net.shed");
     let server = NetServer::start(memex, "127.0.0.1:0", config).expect("bind loopback");
     let addr = server.local_addr();
-    let result = drive(addr, clients, rounds, users);
+    let result = drive(addr, workloads);
     let latency = remote_latency(addr);
     let memex = server.shutdown();
     let snap = memex.registry().snapshot();
@@ -149,6 +184,7 @@ fn scenario(
         ),
         None => ("-".into(), "-".into(), "-".into()),
     };
+    let reqs_per_sec = result.ok as f64 / (result.wall_ms / 1e3);
     table.row(vec![
         name.to_string(),
         clients.to_string(),
@@ -157,12 +193,12 @@ fn scenario(
         shed.to_string(),
         result.errors.to_string(),
         format!("{:.0}", result.wall_ms),
-        format!("{:.0}", result.ok as f64 / (result.wall_ms / 1e3)),
+        format!("{reqs_per_sec:.0}"),
         p50,
         p95,
         p99,
     ]);
-    (memex, shed)
+    (memex, shed, reqs_per_sec)
 }
 
 /// The N1 table.
@@ -180,16 +216,19 @@ pub fn run(quick: bool) -> Table {
     );
     let clients = if quick { 4 } else { 8 };
     let rounds = if quick { 10 } else { 50 };
+    let mixed = |clients: usize, rounds: usize| -> Vec<Vec<Request>> {
+        (0..clients)
+            .map(|i| workload(users[i % users.len()], rounds))
+            .collect()
+    };
 
     // Scenario 1: sustained mixed workload under default admission limits.
-    let (memex, _) = scenario(
+    let (memex, _, _) = scenario(
         &mut table,
         "throughput",
         memex,
         NetServerConfig::default(),
-        clients,
-        rounds,
-        &users,
+        mixed(clients, rounds),
     );
 
     // Scenario 2: induced overload — in-flight limit 1, burst of clients.
@@ -199,22 +238,64 @@ pub fn run(quick: bool) -> Table {
         max_in_flight: 1,
         ..NetServerConfig::default()
     };
-    let (_memex, shed) = scenario(
+    let (memex, shed, _) = scenario(
         &mut table,
         "overload",
         memex,
         overload_cfg,
-        clients.max(4) * 2,
-        rounds,
-        &users,
+        mixed(clients.max(4) * 2, rounds),
     );
-    table.note("latency percentiles read from the server's net.req.latency obs histogram, fetched over the wire via Request::Stats");
-    table.note(&format!(
-        "overload scenario (in-flight limit 1) shed {shed} requests explicitly; clean shutdown both scenarios"
-    ));
     assert!(
         shed > 0,
         "overload scenario must shed (net.shed delta was 0)"
     );
+
+    // Scenario 3: read scaling. All-distinct read requests with the result
+    // cache disabled, clients = workers, same warm corpus each step: the
+    // only variable is how many readers the lock lets run at once.
+    let read_rounds = if quick { 15 } else { 60 };
+    let mut memex = memex;
+    let mut rate_at = [0f64; 3];
+    for (step, &workers) in [1usize, 2, 4].iter().enumerate() {
+        let config = NetServerConfig {
+            workers,
+            read_cache: 0,
+            ..NetServerConfig::default()
+        };
+        let reads = (0..workers)
+            .map(|i| read_workload(users[i % users.len()], read_rounds, i as u64))
+            .collect();
+        let (back, _, rate) = scenario(
+            &mut table,
+            &format!("read-scale/{workers}"),
+            memex,
+            config,
+            reads,
+        );
+        memex = back;
+        rate_at[step] = rate;
+    }
+    let ratio = rate_at[2] / rate_at[0].max(f64::MIN_POSITIVE);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    table.note("latency percentiles read from the server's net.req.latency obs histogram, fetched over the wire via Request::Stats");
+    table.note(&format!(
+        "overload scenario (in-flight limit 1) shed {shed} requests explicitly; clean shutdown all scenarios"
+    ));
+    table.note(&format!(
+        "read-scale: cache disabled, all-distinct requests; 4-worker/1-worker throughput ratio {ratio:.2}x on {cores} core(s)"
+    ));
+    if cores >= 4 {
+        assert!(
+            ratio >= 2.0,
+            "read throughput must at least double at 4 workers vs 1 \
+             (got {ratio:.2}x on {cores} cores) — readers are serialising"
+        );
+    } else {
+        table.note(&format!(
+            "read-scale >=2x assertion skipped: host has {cores} core(s), readers cannot run in parallel"
+        ));
+    }
     table
 }

@@ -54,7 +54,7 @@ pub fn run_once(pages_per_topic: usize, seed: u64) -> SearchOutcome {
             continue;
         }
         let start = Instant::now();
-        let hits = bm25_search(&mut index, &terms, 10, Bm25Params::default()).expect("search");
+        let hits = bm25_search(&index, &terms, 10, Bm25Params::default()).expect("search");
         query_time += start.elapsed().as_secs_f64();
         if hits.is_empty() {
             continue;

@@ -59,7 +59,7 @@ pub fn run(quick: bool) -> Table {
             ..SurferConfig::default()
         },
     );
-    let mut memex = populated_memex(corpus.clone(), &community);
+    let memex = populated_memex(corpus.clone(), &community);
     let truth_of: std::collections::HashMap<u32, Vec<usize>> = community
         .users
         .iter()
@@ -77,7 +77,7 @@ pub fn run(quick: bool) -> Table {
     let mut users_counted = 0usize;
     for truth in &community.users {
         let user = truth.user;
-        let by_theme = similar_surfers(&mut memex, user, k_neigh);
+        let by_theme = similar_surfers(&memex, user, k_neigh);
         let by_url = similar_surfers_by_url(&memex, user, k_neigh);
         if by_theme.is_empty() || by_url.is_empty() {
             continue;
@@ -118,7 +118,7 @@ pub fn run(quick: bool) -> Table {
         theme_primary += primary_hit(&by_theme);
         url_primary += primary_hit(&by_url);
         // Recommendation precision: recommended pages on true interests.
-        let recs = recommend_pages(&mut memex, user, 10);
+        let recs = recommend_pages(&memex, user, 10);
         if !recs.is_empty() {
             let good = recs
                 .iter()

@@ -18,7 +18,7 @@ use crate::worlds::standard_world;
 
 /// The T6 table.
 pub fn run(quick: bool) -> Table {
-    let (corpus, community, mut memex) = standard_world(quick, 99);
+    let (corpus, community, memex) = standard_world(quick, 99);
     let mut rng = StdRng::seed_from_u64(0xDEC0DE);
     // --- Recall@10 over sampled dated queries.
     let mut candidates: Vec<memex_graph::trail::Visit> = memex

@@ -80,15 +80,24 @@ impl TopicFilter {
 }
 
 /// The assembled Memex system over a (simulated) web.
+///
+/// Every query method takes `&self` so the serving layer can answer many
+/// queries in parallel behind an `RwLock`; all state maintenance (index
+/// commits, theme cache rebuilds, bookmark filing) happens in
+/// [`Memex::refresh`], which mutation paths run under the write lock.
 pub struct Memex {
     pub corpus: Arc<Corpus>,
     pub server: MemexServer<CorpusFetcher>,
     folder_spaces: HashMap<u32, FolderSpace>,
+    /// Shared read-only stand-in for users without a folder space yet, so
+    /// `&self` queries never need `entry(..).or_default()`.
+    empty_folder_space: FolderSpace,
     url_to_page: HashMap<String, u32>,
     analyzer: Analyzer,
     theme_opts: ThemeOptions,
-    /// Cached community themes + the page id of each theme doc.
-    themes_cache: Option<(Themes, Vec<u32>)>,
+    /// Cached community themes + the page id of each theme doc. Always
+    /// populated; rebuilt by [`Memex::refresh`] when bookmarks changed.
+    themes_cache: (Themes, Vec<u32>),
     themes_built_at_bookmarks: usize,
     /// Bookmarks already filed into folder spaces.
     filed_bookmarks: usize,
@@ -99,14 +108,16 @@ impl Memex {
     pub fn new(corpus: Arc<Corpus>, opts: MemexOptions) -> StoreResult<Memex> {
         let server = MemexServer::new(CorpusFetcher::new(corpus.clone()), opts.server)?;
         let url_to_page = corpus.pages.iter().map(|p| (p.url.clone(), p.id)).collect();
+        let empty_themes = ThemeDiscovery::new(opts.themes).run(&[], &[]);
         Ok(Memex {
             corpus,
             server,
             folder_spaces: HashMap::new(),
+            empty_folder_space: FolderSpace::default(),
             url_to_page,
             analyzer: Analyzer::default(),
             theme_opts: opts.themes,
-            themes_cache: None,
+            themes_cache: (empty_themes, Vec::new()),
             themes_built_at_bookmarks: 0,
             filed_bookmarks: 0,
         })
@@ -137,6 +148,14 @@ impl Memex {
     /// A user's folder space (created on first touch).
     pub fn folder_space(&mut self, user: u32) -> &mut FolderSpace {
         self.folder_spaces.entry(user).or_default()
+    }
+
+    /// Read-only view of a user's folder space; users without one see a
+    /// shared empty space (queries must not mutate, see [`Memex::refresh`]).
+    pub fn folder_space_ref(&self, user: u32) -> &FolderSpace {
+        self.folder_spaces
+            .get(&user)
+            .unwrap_or(&self.empty_folder_space)
     }
 
     /// Run every background demon to quiescence: server fetch/index/trail
@@ -171,6 +190,53 @@ impl Memex {
                 }
             }
         }
+        self.refresh()
+    }
+
+    /// Bring every query-visible cache up to date: seal the index buffer
+    /// and rebuild the community-theme cache if new bookmarks arrived.
+    ///
+    /// Mutation paths (`run_demons`, `dispatch_write`) call this under the
+    /// write lock so that every query method can take `&self` — queries
+    /// never commit, never rebuild, never allocate folder spaces.
+    pub fn refresh(&mut self) -> StoreResult<()> {
+        self.server.index.commit()?;
+        let n_bookmarks = self.server.bookmarks.len();
+        if self.themes_built_at_bookmarks != n_bookmarks {
+            // Documents: distinct bookmarked pages.
+            let mut doc_pages: Vec<u32> = Vec::new();
+            let mut doc_of_page: HashMap<u32, usize> = HashMap::new();
+            let mut folders_by_key: HashMap<(u32, String), Vec<usize>> = HashMap::new();
+            for b in &self.server.bookmarks {
+                let doc = *doc_of_page.entry(b.page).or_insert_with(|| {
+                    doc_pages.push(b.page);
+                    doc_pages.len() - 1
+                });
+                folders_by_key
+                    .entry((b.user, b.folder.clone()))
+                    .or_default()
+                    .push(doc);
+            }
+            let docs: Vec<SparseVec> = doc_pages
+                .iter()
+                .map(|&p| match self.server.tf(p) {
+                    Some(tf) => self.analyzer.tfidf(&self.server.vocab, tf),
+                    None => SparseVec::new(),
+                })
+                .collect();
+            let mut folders: Vec<UserFolder> = folders_by_key
+                .into_iter()
+                .map(|((user, name), mut docs)| {
+                    docs.sort_unstable();
+                    docs.dedup();
+                    UserFolder { user, name, docs }
+                })
+                .collect();
+            folders.sort_by(|a, b| (a.user, &a.name).cmp(&(b.user, &b.name)));
+            let themes = ThemeDiscovery::new(self.theme_opts).run(&docs, &folders);
+            self.themes_cache = (themes, doc_pages);
+            self.themes_built_at_bookmarks = n_bookmarks;
+        }
         Ok(())
     }
 
@@ -180,7 +246,7 @@ impl Memex {
     /// full-text search restricted to pages this user visited in
     /// `[since, until]`.
     pub fn recall(
-        &mut self,
+        &self,
         user: u32,
         query: &str,
         since: u64,
@@ -193,7 +259,7 @@ impl Memex {
             .filter_map(|(t, &c)| self.server.vocab.id(t).map(|id| (id, c)))
             .collect();
         let hits = bm25_search(
-            &mut self.server.index,
+            &self.server.index,
             &query_terms,
             k * 20,
             Bm25Params::default(),
@@ -241,7 +307,7 @@ impl Memex {
     /// applied — "compiler optimization" matches "compilers optimize").
     /// Hits are ordered most-recent-first.
     pub fn recall_phrase(
-        &mut self,
+        &self,
         user: u32,
         phrase: &str,
         since: u64,
@@ -253,7 +319,7 @@ impl Memex {
         let Some(ids) = ids else {
             return Ok(Vec::new());
         }; // unseen term: no match
-        let docs = memex_index::search::phrase_search(&mut self.server.index, &ids)?;
+        let docs = memex_index::search::phrase_search(&self.server.index, &ids)?;
         let mut last_visit: HashMap<u32, u64> = HashMap::new();
         for v in self
             .server
@@ -295,16 +361,19 @@ impl Memex {
     /// best class is the background simply don't *belong* to any folder —
     /// which is what "most likely to belong to the selected topic" needs
     /// (a forced choice among the user's folders would claim every page).
-    pub fn topic_filter(&mut self, user: u32) -> TopicFilter {
-        let fs = self.folder_spaces.entry(user).or_default();
+    pub fn topic_filter(&self, user: u32) -> TopicFilter {
+        let fs = self.folder_space_ref(user);
         let leaves: Vec<TopicId> = fs.classes().to_vec();
         let confirmed: Vec<(u32, TopicId)> = fs
             .assignments()
             .filter(|(_, a)| a.confirmed)
             .map(|(p, a)| (p, a.folder))
             .collect();
+        // `leaves + background` classes; NaiveBayes insists on >= 2, so a
+        // user with no folders yet gets a padded (never-trained, unusable)
+        // classifier instead of a panic on the query path.
         let mut nb = memex_learn::nb::NaiveBayes::new(
-            leaves.len() + 1,
+            (leaves.len() + 1).max(2),
             memex_learn::nb::NbOptions::default(),
         );
         let background = leaves.len();
@@ -342,7 +411,7 @@ impl Memex {
     /// Pages on topic `folder` for `user`: their confirmed assignments
     /// under the folder, plus every community-visited page the topic
     /// filter routes to a leaf under the folder.
-    pub fn pages_on_topic(&mut self, user: u32, folder: TopicId) -> HashSet<u32> {
+    pub fn pages_on_topic(&self, user: u32, folder: TopicId) -> HashSet<u32> {
         let filter = self.topic_filter(user);
         let all_pages: Vec<u32> = self
             .server
@@ -353,7 +422,7 @@ impl Memex {
             .collect::<HashSet<u32>>()
             .into_iter()
             .collect();
-        let fs = self.folder_spaces.entry(user).or_default();
+        let fs = self.folder_space_ref(user);
         let mut on_topic = HashSet::new();
         for page in all_pages {
             // The user's own confirmed filing is authoritative.
@@ -380,7 +449,7 @@ impl Memex {
     /// graph of recent pages publicly surfed by the community which are
     /// most likely to belong to the selected topic."
     pub fn topic_context(
-        &mut self,
+        &self,
         user: u32,
         folder: TopicId,
         since: u64,
@@ -397,13 +466,7 @@ impl Memex {
     /// "Are there any popular sites, related to my experience on topic T,
     /// that have appeared \[recently\]?" — authoritative pages in/near the
     /// community's recent on-topic trail graph that the user hasn't seen.
-    pub fn whats_new(
-        &mut self,
-        user: u32,
-        folder: TopicId,
-        since: u64,
-        k: usize,
-    ) -> Vec<(u32, f64)> {
+    pub fn whats_new(&self, user: u32, folder: TopicId, since: u64, k: usize) -> Vec<(u32, f64)> {
         let on_topic = self.pages_on_topic(user, folder);
         // Community's recent on-topic pages...
         let recent: Vec<u32> = self
@@ -441,7 +504,7 @@ impl Memex {
     /// "How is my ISP bill divided into access for work, travel, news,
     /// hobby and entertainment?" — bytes per folder for the user's visits
     /// in `[since, until]`.
-    pub fn bill(&mut self, user: u32, since: u64, until: u64) -> Vec<BillLine> {
+    pub fn bill(&self, user: u32, since: u64, until: u64) -> Vec<BillLine> {
         let visits: Vec<(u32, u64)> = self
             .server
             .trails
@@ -456,7 +519,7 @@ impl Memex {
         for (page, _) in visits {
             let bytes = u64::from(self.server.page_bytes(page).unwrap_or(0));
             let folder_name = {
-                let fs = self.folder_spaces.entry(user).or_default();
+                let fs = self.folder_space_ref(user);
                 let assigned = match fs.assignment(page) {
                     Some(a) if a.confirmed => Some(a.folder),
                     _ => self.server.tf(page).and_then(|tf| filter.classify(tf)),
@@ -491,46 +554,12 @@ impl Memex {
     // -- Q5: community themes -------------------------------------------------
 
     /// Consolidate all users' public folders into the community theme
-    /// taxonomy (Fig. 4). Cached until new bookmarks arrive. Returns the
-    /// themes plus the page id behind each theme document index.
-    pub fn community_themes(&mut self) -> &(Themes, Vec<u32>) {
-        let n_bookmarks = self.server.bookmarks.len();
-        if self.themes_cache.is_none() || self.themes_built_at_bookmarks != n_bookmarks {
-            // Documents: distinct bookmarked pages.
-            let mut doc_pages: Vec<u32> = Vec::new();
-            let mut doc_of_page: HashMap<u32, usize> = HashMap::new();
-            let mut folders_by_key: HashMap<(u32, String), Vec<usize>> = HashMap::new();
-            for b in &self.server.bookmarks {
-                let doc = *doc_of_page.entry(b.page).or_insert_with(|| {
-                    doc_pages.push(b.page);
-                    doc_pages.len() - 1
-                });
-                folders_by_key
-                    .entry((b.user, b.folder.clone()))
-                    .or_default()
-                    .push(doc);
-            }
-            let docs: Vec<SparseVec> = doc_pages
-                .iter()
-                .map(|&p| match self.server.tf(p) {
-                    Some(tf) => self.analyzer.tfidf(&self.server.vocab, tf),
-                    None => SparseVec::new(),
-                })
-                .collect();
-            let mut folders: Vec<UserFolder> = folders_by_key
-                .into_iter()
-                .map(|((user, name), mut docs)| {
-                    docs.sort_unstable();
-                    docs.dedup();
-                    UserFolder { user, name, docs }
-                })
-                .collect();
-            folders.sort_by(|a, b| (a.user, &a.name).cmp(&(b.user, &b.name)));
-            let themes = ThemeDiscovery::new(self.theme_opts).run(&docs, &folders);
-            self.themes_cache = Some((themes, doc_pages));
-            self.themes_built_at_bookmarks = n_bookmarks;
-        }
-        self.themes_cache.as_ref().expect("just built")
+    /// taxonomy (Fig. 4). Served from the cache maintained by
+    /// [`Memex::refresh`] — call `run_demons`/`refresh` after bookmark
+    /// mutations to pick up new folders. Returns the themes plus the page
+    /// id behind each theme document index.
+    pub fn community_themes(&self) -> &(Themes, Vec<u32>) {
+        &self.themes_cache
     }
 
     /// TF-IDF vector of a fetched page.
@@ -542,7 +571,7 @@ impl Memex {
 
     /// "Where and how do I fit into that map?" — the user's weight on each
     /// theme node, as `(theme path, weight)` sorted descending.
-    pub fn my_place(&mut self, user: u32) -> Vec<(String, f64)> {
+    pub fn my_place(&self, user: u32) -> Vec<(String, f64)> {
         let profile = crate::recommend::theme_profile(self, user);
         let (themes, _) = self.community_themes();
         let mut out: Vec<(String, f64)> = profile
@@ -558,12 +587,12 @@ impl Memex {
 
     /// "Who are the people who share my interest most closely?" — theme
     /// profile cosine, descending, excluding the user.
-    pub fn similar_surfers(&mut self, user: u32, k: usize) -> Vec<(u32, f64)> {
+    pub fn similar_surfers(&self, user: u32, k: usize) -> Vec<(u32, f64)> {
         crate::recommend::similar_surfers(self, user, k)
     }
 
     /// Collaborative page recommendation for a user.
-    pub fn recommend_pages(&mut self, user: u32, k: usize) -> Vec<(u32, f64)> {
+    pub fn recommend_pages(&self, user: u32, k: usize) -> Vec<(u32, f64)> {
         crate::recommend::recommend_pages(self, user, k)
     }
 
@@ -582,9 +611,9 @@ impl Memex {
     /// proposed folders. Each proposal carries a suggested name (top
     /// centroid terms) and its member pages; accepting one is a plain
     /// [`FolderSpace::add_folder`] + `bookmark` loop.
-    pub fn propose_folders(&mut self, user: u32, k: usize) -> Vec<FolderProposal> {
+    pub fn propose_folders(&self, user: u32, k: usize) -> Vec<FolderProposal> {
         let pages: Vec<u32> = {
-            let fs = self.folder_spaces.entry(user).or_default();
+            let fs = self.folder_space_ref(user);
             self.server
                 .trails
                 .user_pages(user, 0)

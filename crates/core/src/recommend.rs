@@ -19,7 +19,7 @@ use crate::memex::Memex;
 /// theme (bookmarked pages carry their discovered theme; other pages are
 /// routed to the nearest leaf theme by centroid similarity) and accumulate
 /// weight up the theme taxonomy.
-pub fn theme_profile(memex: &mut Memex, user: u32) -> HashMap<TopicId, f64> {
+pub fn theme_profile(memex: &Memex, user: u32) -> HashMap<TopicId, f64> {
     let pages = memex.server.trails.user_pages(user, 0);
     // Snapshot what we need from the cache to keep borrows simple.
     let (doc_theme, doc_pages, taxonomy) = {
@@ -55,7 +55,7 @@ pub fn theme_profile(memex: &mut Memex, user: u32) -> HashMap<TopicId, f64> {
 }
 
 /// Theme profiles for every registered user.
-pub fn all_profiles(memex: &mut Memex) -> HashMap<u32, HashMap<TopicId, f64>> {
+pub fn all_profiles(memex: &Memex) -> HashMap<u32, HashMap<TopicId, f64>> {
     memex
         .users()
         .into_iter()
@@ -64,7 +64,7 @@ pub fn all_profiles(memex: &mut Memex) -> HashMap<u32, HashMap<TopicId, f64>> {
 }
 
 /// Most similar surfers by theme-profile cosine (excludes `user`).
-pub fn similar_surfers(memex: &mut Memex, user: u32, k: usize) -> Vec<(u32, f64)> {
+pub fn similar_surfers(memex: &Memex, user: u32, k: usize) -> Vec<(u32, f64)> {
     let profiles = all_profiles(memex);
     let Some(mine) = profiles.get(&user) else {
         return Vec::new();
@@ -115,7 +115,7 @@ pub fn similar_surfers_by_url(memex: &Memex, user: u32, k: usize) -> Vec<(u32, f
 /// Collaborative recommendation: pages that theme-similar users visited
 /// (publicly) which `user` has not, scored by Σ neighbour-similarity ×
 /// log(1 + neighbour's visit count).
-pub fn recommend_pages(memex: &mut Memex, user: u32, k: usize) -> Vec<(u32, f64)> {
+pub fn recommend_pages(memex: &Memex, user: u32, k: usize) -> Vec<(u32, f64)> {
     let neighbours = similar_surfers(memex, user, 5);
     let mine: HashSet<u32> = memex
         .server
@@ -212,10 +212,10 @@ mod tests {
 
     #[test]
     fn theme_profiles_pair_users_with_zero_url_overlap() {
-        let mut memex = world();
+        let memex = world();
         // Users 0 and 2 share topic 0 but visited disjoint pages.
         assert_eq!(url_jaccard(&memex, 0, 2), 0.0, "disjoint by construction");
-        let similar = similar_surfers(&mut memex, 0, 3);
+        let similar = similar_surfers(&memex, 0, 3);
         assert_eq!(
             similar[0].0, 2,
             "theme profile still finds the soulmate: {similar:?}"
@@ -228,8 +228,8 @@ mod tests {
 
     #[test]
     fn profiles_are_normalised_weights() {
-        let mut memex = world();
-        let p = theme_profile(&mut memex, 0);
+        let memex = world();
+        let p = theme_profile(&memex, 0);
         assert!(!p.is_empty());
         for &w in p.values() {
             assert!(w > 0.0 && w <= 1.0 + 1e-9);
@@ -245,8 +245,8 @@ mod tests {
 
     #[test]
     fn recommendations_come_from_the_shared_topic() {
-        let mut memex = world();
-        let recs = recommend_pages(&mut memex, 0, 5);
+        let memex = world();
+        let recs = recommend_pages(&memex, 0, 5);
         assert!(!recs.is_empty());
         let corpus = memex.corpus.clone();
         for (page, _) in &recs {

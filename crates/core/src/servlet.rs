@@ -3,6 +3,12 @@
 //! action"). The demo tunnelled these over HTTP; here the same
 //! request/response vocabulary dispatches in-process, which keeps the
 //! boundary (and its tests) without the wire.
+//!
+//! Requests are classified into *reads* (pure queries, [`dispatch_read`],
+//! `&Memex`) and *writes* (mutations, [`dispatch_write`], `&mut Memex`) so
+//! the serving layer can answer many reads in parallel behind an `RwLock`
+//! while writes serialise. [`dispatch`] remains as a unified compatibility
+//! shim for single-threaded callers.
 
 use memex_learn::taxonomy::TopicId;
 use memex_server::events::ClientEvent;
@@ -11,7 +17,7 @@ use crate::bookmarks_io::{export_netscape, import_netscape, BookmarkEntry};
 use crate::memex::{BillLine, Memex, RecallHit};
 
 /// A client request.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Request {
     /// Ingest a raw client event (visit/bookmark/mode).
     Event(ClientEvent),
@@ -72,6 +78,78 @@ impl Request {
             Request::Stats => "stats",
         }
     }
+
+    /// Precomputed `servlet.<name>.latency` metric name for this variant,
+    /// so the hot dispatch path never allocates a `format!` string.
+    pub fn latency_metric(&self) -> &'static str {
+        match self {
+            Request::Event(_) => "servlet.event.latency",
+            Request::Recall { .. } => "servlet.recall.latency",
+            Request::TrailReplay { .. } => "servlet.trail_replay.latency",
+            Request::WhatsNew { .. } => "servlet.whats_new.latency",
+            Request::Bill { .. } => "servlet.bill.latency",
+            Request::SimilarSurfers { .. } => "servlet.similar_surfers.latency",
+            Request::Recommend { .. } => "servlet.recommend.latency",
+            Request::ImportBookmarks { .. } => "servlet.import_bookmarks.latency",
+            Request::ExportBookmarks { .. } => "servlet.export_bookmarks.latency",
+            Request::ProposeFolders { .. } => "servlet.propose_folders.latency",
+            Request::Stats => "servlet.stats.latency",
+        }
+    }
+
+    /// `true` when the request is a pure query: it can be answered with
+    /// `&Memex` (shared, concurrent) and is safe to retry or serve from a
+    /// cache. Mutating requests (`Event`, `ImportBookmarks`) are writes.
+    pub fn is_read(&self) -> bool {
+        !matches!(self, Request::Event(_) | Request::ImportBookmarks { .. })
+    }
+
+    /// Split into the typed read/write halves consumed by
+    /// [`dispatch_read`] / [`dispatch_write`].
+    pub fn classify(self) -> Classified {
+        if self.is_read() {
+            Classified::Read(ReadRequest(self))
+        } else {
+            Classified::Write(WriteRequest(self))
+        }
+    }
+}
+
+/// A request proven by [`Request::classify`] to be a pure query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReadRequest(Request);
+
+/// A request proven by [`Request::classify`] to mutate the archive.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WriteRequest(Request);
+
+/// Outcome of [`Request::classify`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Classified {
+    Read(ReadRequest),
+    Write(WriteRequest),
+}
+
+impl ReadRequest {
+    /// The underlying request (always satisfies `is_read()`).
+    pub fn as_request(&self) -> &Request {
+        &self.0
+    }
+
+    pub fn into_request(self) -> Request {
+        self.0
+    }
+}
+
+impl WriteRequest {
+    /// The underlying request (never satisfies `is_read()`).
+    pub fn as_request(&self) -> &Request {
+        &self.0
+    }
+
+    pub fn into_request(self) -> Request {
+        self.0
+    }
 }
 
 /// The matching responses.
@@ -87,7 +165,12 @@ pub enum Response {
     SimilarSurfers(Vec<(u32, f64)>),
     Recommend(Vec<(u32, f64)>),
     Imported {
-        bookmarks: usize,
+        /// Bookmarks resolved *and* accepted by the archive.
+        archived: usize,
+        /// Bookmarks resolved but rejected by the archive (e.g. the user
+        /// is in privacy mode, so nothing was recorded).
+        rejected: usize,
+        /// Entries whose URL is unknown to the (simulated) web.
         unresolved: usize,
     },
     Exported(String),
@@ -103,17 +186,25 @@ pub enum Response {
     },
 }
 
-/// Dispatch one request against the system. Every dispatch records its
-/// latency into `servlet.<variant>.latency` on the server's registry.
+/// Dispatch one request against the system: classify, then route to
+/// [`dispatch_read`] or [`dispatch_write`]. Compatibility shim for
+/// single-threaded callers that hold `&mut Memex` anyway.
 pub fn dispatch(memex: &mut Memex, request: Request) -> Response {
+    match request.classify() {
+        Classified::Read(r) => dispatch_read(memex, r),
+        Classified::Write(w) => dispatch_write(memex, w),
+    }
+}
+
+/// Answer a pure query. Takes `&Memex`, so any number of these can run
+/// concurrently under a read lock. Records `servlet.<variant>.latency`.
+pub fn dispatch_read(memex: &Memex, request: ReadRequest) -> Response {
+    let request = request.into_request();
     let _span = memex
         .registry()
-        .histogram(&format!("servlet.{}.latency", request.name()))
+        .histogram(request.latency_metric())
         .start_span();
     match request {
-        Request::Event(e) => Response::Ack {
-            archived: memex.submit(e),
-        },
         Request::Recall {
             user,
             query,
@@ -141,35 +232,6 @@ pub fn dispatch(memex: &mut Memex, request: Request) -> Response {
             Response::SimilarSurfers(memex.similar_surfers(user, k))
         }
         Request::Recommend { user, k } => Response::Recommend(memex.recommend_pages(user, k)),
-        Request::ImportBookmarks { user, html, time } => {
-            let entries = import_netscape(&html);
-            let mut imported = 0usize;
-            let mut unresolved = 0usize;
-            for e in &entries {
-                match memex.resolve_url(&e.url) {
-                    Some(page) => {
-                        let folder = if e.folder_path.is_empty() {
-                            "/Imported".to_string()
-                        } else {
-                            format!("/{}", e.folder_path.join("/"))
-                        };
-                        memex.submit(ClientEvent::Bookmark {
-                            user,
-                            page,
-                            url: e.url.clone(),
-                            folder,
-                            time,
-                        });
-                        imported += 1;
-                    }
-                    None => unresolved += 1,
-                }
-            }
-            Response::Imported {
-                bookmarks: imported,
-                unresolved,
-            }
-        }
         Request::ProposeFolders { user, k } => Response::Proposals(memex.propose_folders(user, k)),
         Request::Stats => {
             // Fold in the process-global registry: free-function subsystems
@@ -179,19 +241,16 @@ pub fn dispatch(memex: &mut Memex, request: Request) -> Response {
             Response::Stats(snap)
         }
         Request::ExportBookmarks { user } => {
-            let urls: Vec<(u32, String)> = {
-                let fs = memex.folder_space(user);
-                fs.assignments()
-                    .filter(|(_, a)| a.confirmed)
-                    .map(|(page, a)| (page, fs.taxonomy.path(a.folder)))
-                    .collect()
-            };
-            let entries: Vec<BookmarkEntry> = urls
-                .into_iter()
-                .map(|(page, path)| {
+            let fs = memex.folder_space_ref(user);
+            let entries: Vec<BookmarkEntry> = fs
+                .assignments()
+                .filter(|(_, a)| a.confirmed)
+                .map(|(page, a)| {
                     let p = &memex.corpus.pages[page as usize];
                     BookmarkEntry {
-                        folder_path: path
+                        folder_path: fs
+                            .taxonomy
+                            .path(a.folder)
                             .split('/')
                             .filter(|c| !c.is_empty())
                             .map(str::to_string)
@@ -203,5 +262,71 @@ pub fn dispatch(memex: &mut Memex, request: Request) -> Response {
                 .collect();
             Response::Exported(export_netscape(&entries))
         }
+        // Classification guarantees these never reach the read path; answer
+        // with a typed error rather than panicking in the serving layer.
+        Request::Event(_) | Request::ImportBookmarks { .. } => {
+            Response::Error("internal: write request routed to dispatch_read".to_string())
+        }
+    }
+}
+
+/// Apply a mutation and bring every query-visible cache up to date (demons
+/// plus [`Memex::refresh`]) before the write lock is released, so readers
+/// admitted afterwards see a fully consistent archive. Records
+/// `servlet.<variant>.latency`.
+pub fn dispatch_write(memex: &mut Memex, request: WriteRequest) -> Response {
+    let request = request.into_request();
+    let _span = memex
+        .registry()
+        .histogram(request.latency_metric())
+        .start_span();
+    match request {
+        Request::Event(e) => {
+            let archived = memex.submit(e);
+            if let Err(e) = memex.run_demons() {
+                return Response::Error(e.to_string());
+            }
+            Response::Ack { archived }
+        }
+        Request::ImportBookmarks { user, html, time } => {
+            let entries = import_netscape(&html);
+            let mut archived = 0usize;
+            let mut rejected = 0usize;
+            let mut unresolved = 0usize;
+            for e in &entries {
+                match memex.resolve_url(&e.url) {
+                    Some(page) => {
+                        let folder = if e.folder_path.is_empty() {
+                            "/Imported".to_string()
+                        } else {
+                            format!("/{}", e.folder_path.join("/"))
+                        };
+                        let accepted = memex.submit(ClientEvent::Bookmark {
+                            user,
+                            page,
+                            url: e.url.clone(),
+                            folder,
+                            time,
+                        });
+                        if accepted {
+                            archived += 1;
+                        } else {
+                            rejected += 1;
+                        }
+                    }
+                    None => unresolved += 1,
+                }
+            }
+            if let Err(e) = memex.run_demons() {
+                return Response::Error(e.to_string());
+            }
+            Response::Imported {
+                archived,
+                rejected,
+                unresolved,
+            }
+        }
+        // Classification guarantees these never reach the write path.
+        _ => Response::Error("internal: read request routed to dispatch_write".to_string()),
     }
 }

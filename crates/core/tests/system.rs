@@ -82,7 +82,7 @@ fn full_pipeline_archives_everything() {
 
 #[test]
 fn recall_finds_a_months_old_page() {
-    let (corpus, community, mut memex) = world();
+    let (corpus, community, memex) = world();
     // Pick a real early visit by user 0 on their primary interest.
     let user = community.users[0].user;
     let topic = community.users[0].interests[0];
@@ -156,7 +156,7 @@ fn trail_replay_recreates_topical_context() {
 
 #[test]
 fn bill_breaks_down_by_folder() {
-    let (_, community, mut memex) = world();
+    let (_, community, memex) = world();
     let user = community.users[1].user;
     let lines = memex.bill(user, 0, u64::MAX);
     assert!(!lines.is_empty());
@@ -175,7 +175,7 @@ fn bill_breaks_down_by_folder() {
 
 #[test]
 fn community_themes_and_profiles() {
-    let (_, community, mut memex) = world();
+    let (_, community, memex) = world();
     let (themes, _) = memex.community_themes().clone();
     assert!(!themes.themes.is_empty(), "community themes must exist");
     themes.taxonomy.check_invariants().unwrap();
@@ -194,7 +194,7 @@ fn community_themes_and_profiles() {
 
 #[test]
 fn similar_surfers_respect_shared_interests() {
-    let (_, community, mut memex) = world();
+    let (_, community, memex) = world();
     // users 0 and 4 share primary interest (u % num_topics with 4 topics,
     // 8 users).
     let similar = memex.similar_surfers(0, 7);
@@ -212,7 +212,7 @@ fn similar_surfers_respect_shared_interests() {
 
 #[test]
 fn recommendations_are_novel_pages() {
-    let (_, _, mut memex) = world();
+    let (_, _, memex) = world();
     let recs = memex.recommend_pages(0, 10);
     assert!(!recs.is_empty());
     let mine: std::collections::HashSet<u32> =
@@ -263,7 +263,8 @@ fn servlet_dispatch_covers_the_api() {
     let fresh_user = 999u32;
     memex.register_user(fresh_user, "fresh").unwrap();
     let Response::Imported {
-        bookmarks,
+        archived,
+        rejected,
         unresolved,
     } = dispatch(
         &mut memex,
@@ -276,11 +277,11 @@ fn servlet_dispatch_covers_the_api() {
     else {
         panic!("expected import");
     };
-    assert!(bookmarks > 0);
+    assert!(archived > 0);
+    assert_eq!(rejected, 0, "no user was in privacy mode");
     assert_eq!(unresolved, 0, "all exported urls resolve in the corpus");
-    memex.run_demons().unwrap();
     let fs = memex.folder_space(fresh_user);
-    assert_eq!(fs.confirmed_count(), bookmarks);
+    assert_eq!(fs.confirmed_count(), archived);
     let _ = corpus;
 }
 

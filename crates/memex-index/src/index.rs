@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use memex_obs::{Counter, Histogram, MetricsRegistry};
 use memex_store::codec::{get_uvarint, put_uvarint};
@@ -64,8 +65,15 @@ pub(crate) struct IndexMetrics {
 }
 
 /// A segmented inverted index over term ids.
+///
+/// Queries ([`InvertedIndex::postings`], [`InvertedIndex::positions`],
+/// [`InvertedIndex::df`]) take `&self`: the KV store sits behind a
+/// `Mutex` because its reads are `&mut` (pager cache), while the
+/// in-memory buffers and stats are read lock-free. Mutating methods keep
+/// `&mut self` and reach the store through `Mutex::get_mut`, which is not
+/// a lock acquisition — the write path is exactly as before.
 pub struct InvertedIndex {
-    kv: KvStore,
+    kv: Mutex<KvStore>,
     opts: IndexOptions,
     /// term -> buffered postings (sorted by insertion; docs increase).
     buffer: HashMap<TermId, Vec<(u32, u32)>>,
@@ -114,7 +122,7 @@ impl InvertedIndex {
         };
         let num_docs = doc_len.len() as u64;
         Ok(InvertedIndex {
-            kv,
+            kv: Mutex::new(kv),
             opts,
             buffer: HashMap::new(),
             pos_buffer: HashMap::new(),
@@ -132,10 +140,23 @@ impl InvertedIndex {
         })
     }
 
+    /// Shared read access to the KV store. Lock poisoning cannot corrupt
+    /// the store (a reader panicking mid-scan leaves it intact), so a
+    /// poisoned guard is recovered rather than propagated.
+    fn kv(&self) -> MutexGuard<'_, KvStore> {
+        self.kv.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive access for the write path — `get_mut` borrows through
+    /// `&mut self` without acquiring the lock.
+    fn kv_mut(&mut self) -> &mut KvStore {
+        self.kv.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Register this index and its backing store with `registry`
     /// (`index.*` plus the `store.*` families of the underlying KvStore).
     pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
-        self.kv.attach_registry(registry);
+        self.kv_mut().attach_registry(registry);
         self.metrics = IndexMetrics {
             docs: registry.counter("index.docs"),
             tokens: registry.counter("index.tokens"),
@@ -161,7 +182,7 @@ impl InvertedIndex {
         }
         let mut lv = Vec::with_capacity(4);
         put_uvarint(&mut lv, u64::from(len));
-        self.kv.put(&Self::len_key(doc), &lv)?;
+        self.kv_mut().put(&Self::len_key(doc), &lv)?;
         if self.doc_len.insert(doc, len).is_none() {
             self.stats.num_docs += 1;
         }
@@ -199,10 +220,11 @@ impl InvertedIndex {
     }
 
     /// All positional postings for `term` across buffer and segments.
-    pub fn positions(&mut self, term: TermId) -> StoreResult<PositionalList> {
+    pub fn positions(&self, term: TermId) -> StoreResult<PositionalList> {
         let mut merged = PositionalList::new();
         let prefix = Self::pos_prefix(term);
-        for (_k, v) in self.kv.scan_prefix(&prefix)? {
+        let rows = self.kv().scan_prefix(&prefix)?;
+        for (_k, v) in rows {
             merged = merged.merge(&PositionalList::decode(&v)?);
         }
         if let Some(entries) = self.pos_buffer.get(&term) {
@@ -227,14 +249,16 @@ impl InvertedIndex {
         let _span = self.metrics.commit_latency.start_span();
         let seg = self.next_seg;
         self.next_seg += 1;
-        self.kv.put(b"Mseg", &self.next_seg.to_be_bytes())?;
+        let next_seg = self.next_seg;
+        self.kv_mut().put(b"Mseg", &next_seg.to_be_bytes())?;
         let mut terms: Vec<(TermId, Vec<(u32, u32)>)> = self.buffer.drain().collect();
         terms.sort_unstable_by_key(|&(t, _)| t);
         for (term, pairs) in terms {
             self.metrics.postings_flushed.add(pairs.len() as u64);
             let list = PostingList::from_pairs(pairs);
-            self.kv
-                .put(&Self::postings_key(term, seg), &list.encode()?)?;
+            let encoded = list.encode()?;
+            self.kv_mut()
+                .put(&Self::postings_key(term, seg), &encoded)?;
         }
         type PosTerm = (TermId, Vec<(u32, Vec<u32>)>);
         let mut pos_terms: Vec<PosTerm> = self.pos_buffer.drain().collect();
@@ -252,10 +276,11 @@ impl InvertedIndex {
     }
 
     /// All postings for `term` across buffer and segments, merged.
-    pub fn postings(&mut self, term: TermId) -> StoreResult<PostingList> {
+    pub fn postings(&self, term: TermId) -> StoreResult<PostingList> {
         let mut merged = PostingList::new();
         let prefix = Self::term_prefix(term);
-        for (_k, v) in self.kv.scan_prefix(&prefix)? {
+        let rows = self.kv().scan_prefix(&prefix)?;
+        for (_k, v) in rows {
             merged = merged.merge(&PostingList::decode(&v)?);
         }
         if let Some(pairs) = self.buffer.get(&term) {
@@ -265,7 +290,7 @@ impl InvertedIndex {
     }
 
     /// Document frequency of a term (docs containing it).
-    pub fn df(&mut self, term: TermId) -> StoreResult<u32> {
+    pub fn df(&self, term: TermId) -> StoreResult<u32> {
         Ok(self.postings(term)?.len() as u32)
     }
 
@@ -274,7 +299,7 @@ impl InvertedIndex {
         self.commit()?;
         // Positional namespace first (same per-term merge policy).
         {
-            let all = self.kv.scan_prefix(b"Q")?;
+            let all = self.kv_mut().scan_prefix(b"Q")?;
             let mut per_term: HashMap<TermId, PositionalList> = HashMap::new();
             let mut old_keys = Vec::with_capacity(all.len());
             for (k, v) in all {
@@ -290,7 +315,7 @@ impl InvertedIndex {
                 old_keys.push(k);
             }
             for k in old_keys {
-                self.kv.delete(&k)?;
+                self.kv_mut().delete(&k)?;
             }
             let mut terms: Vec<(TermId, PositionalList)> = per_term.into_iter().collect();
             terms.sort_unstable_by_key(|&(t, _)| t);
@@ -300,7 +325,7 @@ impl InvertedIndex {
             }
         }
         // Gather per-term merged lists.
-        let all = self.kv.scan_prefix(b"P")?;
+        let all = self.kv_mut().scan_prefix(b"P")?;
         let mut per_term: HashMap<TermId, PostingList> = HashMap::new();
         let mut old_keys = Vec::with_capacity(all.len());
         for (k, v) in all {
@@ -316,15 +341,16 @@ impl InvertedIndex {
             old_keys.push(k);
         }
         for k in old_keys {
-            self.kv.delete(&k)?;
+            self.kv_mut().delete(&k)?;
         }
         let mut terms: Vec<(TermId, PostingList)> = per_term.into_iter().collect();
         terms.sort_unstable_by_key(|&(t, _)| t);
         for (term, list) in terms {
-            self.kv.put(&Self::postings_key(term, 0), &list.encode()?)?;
+            let encoded = list.encode()?;
+            self.kv_mut().put(&Self::postings_key(term, 0), &encoded)?;
         }
         self.next_seg = 1;
-        self.kv.put(b"Mseg", &1u32.to_be_bytes())?;
+        self.kv_mut().put(b"Mseg", &1u32.to_be_bytes())?;
         self.metrics.merges.inc();
         self.stats.merges += 1;
         self.stats.segments = 1;
@@ -334,7 +360,7 @@ impl InvertedIndex {
     /// Flush everything durable.
     pub fn checkpoint(&mut self) -> StoreResult<()> {
         self.commit()?;
-        self.kv.checkpoint()
+        self.kv_mut().checkpoint()
     }
 
     pub fn num_docs(&self) -> u64 {
@@ -410,8 +436,9 @@ impl InvertedIndex {
         for (d, p) in entries {
             let entry_cost = 8 + p.len() * 3;
             if approx > 0 && approx + entry_cost > CHUNK_BUDGET {
-                self.kv
-                    .put(&Self::pos_key(term, seg, chunk_idx), &list.encode()?)?;
+                let encoded = list.encode()?;
+                self.kv_mut()
+                    .put(&Self::pos_key(term, seg, chunk_idx), &encoded)?;
                 chunk_idx += 1;
                 list = PositionalList::new();
                 approx = 0;
@@ -420,8 +447,9 @@ impl InvertedIndex {
             approx += entry_cost;
         }
         if !list.is_empty() {
-            self.kv
-                .put(&Self::pos_key(term, seg, chunk_idx), &list.encode()?)?;
+            let encoded = list.encode()?;
+            self.kv_mut()
+                .put(&Self::pos_key(term, seg, chunk_idx), &encoded)?;
         }
         Ok(())
     }
@@ -547,7 +575,7 @@ mod tests {
 
     #[test]
     fn unknown_term_is_empty() {
-        let mut ix = idx();
+        let ix = idx();
         assert!(ix.postings(999).unwrap().is_empty());
         assert_eq!(ix.df(999).unwrap(), 0);
     }

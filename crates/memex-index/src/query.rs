@@ -84,7 +84,7 @@ impl Query {
 /// (score 1.0). Terms unknown to the vocabulary make `+`/phrase
 /// constraints unsatisfiable (correct: the corpus cannot contain them).
 pub fn execute(
-    index: &mut InvertedIndex,
+    index: &InvertedIndex,
     vocab: &Vocabulary,
     analyzer: &Analyzer,
     query: &Query,
@@ -227,18 +227,18 @@ mod tests {
 
     #[test]
     fn must_and_not_filters() {
-        let (mut index, vocab, analyzer) = setup();
+        let (index, vocab, analyzer) = setup();
         let q = Query::parse("+bach -jazz");
-        let hits = execute(&mut index, &vocab, &analyzer, &q, 10).unwrap();
+        let hits = execute(&index, &vocab, &analyzer, &q, 10).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].doc, 1);
     }
 
     #[test]
     fn phrase_constraint_applies() {
-        let (mut index, vocab, analyzer) = setup();
+        let (index, vocab, analyzer) = setup();
         let q = Query::parse(r#""organ fugue""#);
-        let docs: Vec<u32> = execute(&mut index, &vocab, &analyzer, &q, 10)
+        let docs: Vec<u32> = execute(&index, &vocab, &analyzer, &q, 10)
             .unwrap()
             .iter()
             .map(|h| h.doc)
@@ -246,7 +246,7 @@ mod tests {
         assert_eq!(docs, vec![1, 3]);
         // Phrase + exclusion.
         let q = Query::parse(r#""organ fugue" -classical"#);
-        let docs: Vec<u32> = execute(&mut index, &vocab, &analyzer, &q, 10)
+        let docs: Vec<u32> = execute(&index, &vocab, &analyzer, &q, 10)
             .unwrap()
             .iter()
             .map(|h| h.doc)
@@ -256,23 +256,23 @@ mod tests {
 
     #[test]
     fn ranked_terms_still_rank() {
-        let (mut index, vocab, analyzer) = setup();
+        let (index, vocab, analyzer) = setup();
         let q = Query::parse("classical bach");
-        let hits = execute(&mut index, &vocab, &analyzer, &q, 10).unwrap();
+        let hits = execute(&index, &vocab, &analyzer, &q, 10).unwrap();
         assert_eq!(hits[0].doc, 1, "doc with both terms first");
         assert!(hits.len() >= 3);
     }
 
     #[test]
     fn unknown_must_term_matches_nothing() {
-        let (mut index, vocab, analyzer) = setup();
+        let (index, vocab, analyzer) = setup();
         let q = Query::parse("+zeppelin bach");
-        assert!(execute(&mut index, &vocab, &analyzer, &q, 10)
+        assert!(execute(&index, &vocab, &analyzer, &q, 10)
             .unwrap()
             .is_empty());
         // But an unknown *ranked* term degrades gracefully.
         let q = Query::parse("zeppelin bach");
-        assert!(!execute(&mut index, &vocab, &analyzer, &q, 10)
+        assert!(!execute(&index, &vocab, &analyzer, &q, 10)
             .unwrap()
             .is_empty());
     }

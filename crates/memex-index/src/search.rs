@@ -30,7 +30,7 @@ impl Default for Bm25Params {
 
 /// Ranked top-`k` retrieval for a bag-of-terms query.
 pub fn bm25_search(
-    index: &mut InvertedIndex,
+    index: &InvertedIndex,
     query_terms: &[(TermId, u32)],
     k: usize,
     params: Bm25Params,
@@ -79,7 +79,7 @@ pub fn bm25_search(
 /// degenerates to that term's document list; an empty phrase matches
 /// nothing. Only documents indexed via
 /// [`InvertedIndex::add_document_positional`] can match.
-pub fn phrase_search(index: &mut InvertedIndex, phrase: &[TermId]) -> StoreResult<Vec<u32>> {
+pub fn phrase_search(index: &InvertedIndex, phrase: &[TermId]) -> StoreResult<Vec<u32>> {
     let _span = index.metrics.query_latency.start_span();
     let Some((&first, rest)) = phrase.split_first() else {
         return Ok(Vec::new());
@@ -125,7 +125,7 @@ pub enum BoolExpr {
 /// Evaluate a boolean expression to a sorted doc-id set. `universe` must be
 /// sorted (use all doc ids for full NOT semantics).
 pub fn boolean_search(
-    index: &mut InvertedIndex,
+    index: &InvertedIndex,
     expr: &BoolExpr,
     universe: &[u32],
 ) -> StoreResult<Vec<u32>> {
@@ -179,8 +179,8 @@ mod tests {
 
     #[test]
     fn bm25_ranks_frequency_and_length() {
-        let mut ix = corpus();
-        let hits = bm25_search(&mut ix, &[(1, 1)], 10, Bm25Params::default()).unwrap();
+        let ix = corpus();
+        let hits = bm25_search(&ix, &[(1, 1)], 10, Bm25Params::default()).unwrap();
         assert_eq!(hits.len(), 3);
         assert_eq!(hits[0].doc, 1, "doc with tf=2 ranks first");
         // The long doc (4) is penalised below the short doc (2).
@@ -192,17 +192,17 @@ mod tests {
 
     #[test]
     fn multi_term_queries_prefer_docs_matching_both() {
-        let mut ix = corpus();
-        let hits = bm25_search(&mut ix, &[(1, 1), (3, 1)], 10, Bm25Params::default()).unwrap();
+        let ix = corpus();
+        let hits = bm25_search(&ix, &[(1, 1), (3, 1)], 10, Bm25Params::default()).unwrap();
         assert_eq!(hits[0].doc, 2, "only doc 2 has music AND cycling");
     }
 
     #[test]
     fn rare_terms_weigh_more() {
-        let mut ix = corpus();
+        let ix = corpus();
         // bach (df=1) should outscore music (df=3) for the same doc/tf.
-        let b = bm25_search(&mut ix, &[(2, 1)], 1, Bm25Params::default()).unwrap();
-        let m = bm25_search(&mut ix, &[(1, 1)], 3, Bm25Params::default()).unwrap();
+        let b = bm25_search(&ix, &[(2, 1)], 1, Bm25Params::default()).unwrap();
+        let m = bm25_search(&ix, &[(1, 1)], 3, Bm25Params::default()).unwrap();
         let music_score_doc1 = m.iter().find(|h| h.doc == 1).unwrap().score;
         assert!(b[0].score > music_score_doc1 / 2.0);
         assert_eq!(b[0].doc, 1);
@@ -210,40 +210,38 @@ mod tests {
 
     #[test]
     fn top_k_truncates() {
-        let mut ix = corpus();
-        let hits = bm25_search(&mut ix, &[(1, 1)], 2, Bm25Params::default()).unwrap();
+        let ix = corpus();
+        let hits = bm25_search(&ix, &[(1, 1)], 2, Bm25Params::default()).unwrap();
         assert_eq!(hits.len(), 2);
-        assert!(bm25_search(&mut ix, &[(1, 1)], 0, Bm25Params::default())
+        assert!(bm25_search(&ix, &[(1, 1)], 0, Bm25Params::default())
             .unwrap()
             .is_empty());
-        assert!(bm25_search(&mut ix, &[], 5, Bm25Params::default())
+        assert!(bm25_search(&ix, &[], 5, Bm25Params::default())
             .unwrap()
             .is_empty());
-        assert!(bm25_search(&mut ix, &[(99, 1)], 5, Bm25Params::default())
+        assert!(bm25_search(&ix, &[(99, 1)], 5, Bm25Params::default())
             .unwrap()
             .is_empty());
     }
 
     #[test]
     fn boolean_combinators() {
-        let mut ix = corpus();
+        let ix = corpus();
         let universe = vec![1, 2, 3, 4];
         let and = BoolExpr::And(vec![BoolExpr::Term(1), BoolExpr::Term(3)]);
-        assert_eq!(boolean_search(&mut ix, &and, &universe).unwrap(), vec![2]);
+        assert_eq!(boolean_search(&ix, &and, &universe).unwrap(), vec![2]);
         let or = BoolExpr::Or(vec![BoolExpr::Term(2), BoolExpr::Term(4)]);
-        assert_eq!(boolean_search(&mut ix, &or, &universe).unwrap(), vec![1, 3]);
+        assert_eq!(boolean_search(&ix, &or, &universe).unwrap(), vec![1, 3]);
         let and_not = BoolExpr::And(vec![
             BoolExpr::Term(1),
             BoolExpr::Not(Box::new(BoolExpr::Term(3))),
         ]);
         assert_eq!(
-            boolean_search(&mut ix, &and_not, &universe).unwrap(),
+            boolean_search(&ix, &and_not, &universe).unwrap(),
             vec![1, 4]
         );
         let nothing = BoolExpr::And(vec![BoolExpr::Term(2), BoolExpr::Term(4)]);
-        assert!(boolean_search(&mut ix, &nothing, &universe)
-            .unwrap()
-            .is_empty());
+        assert!(boolean_search(&ix, &nothing, &universe).unwrap().is_empty());
     }
 
     #[test]
@@ -254,22 +252,14 @@ mod tests {
         ix.add_document_positional(1, &[1, 2, 3]).unwrap();
         ix.add_document_positional(2, &[1, 3, 2]).unwrap();
         ix.add_document_positional(3, &[2, 1]).unwrap();
-        assert_eq!(
-            phrase_search(&mut ix, &[1, 2]).unwrap(),
-            vec![1],
-            "music bach"
-        );
-        assert_eq!(
-            phrase_search(&mut ix, &[2, 1]).unwrap(),
-            vec![3],
-            "bach music"
-        );
-        assert_eq!(phrase_search(&mut ix, &[1, 2, 3]).unwrap(), vec![1]);
-        assert_eq!(phrase_search(&mut ix, &[1]).unwrap(), vec![1, 2, 3]);
-        assert!(phrase_search(&mut ix, &[]).unwrap().is_empty());
-        assert!(phrase_search(&mut ix, &[3, 1]).unwrap().is_empty());
+        assert_eq!(phrase_search(&ix, &[1, 2]).unwrap(), vec![1], "music bach");
+        assert_eq!(phrase_search(&ix, &[2, 1]).unwrap(), vec![3], "bach music");
+        assert_eq!(phrase_search(&ix, &[1, 2, 3]).unwrap(), vec![1]);
+        assert_eq!(phrase_search(&ix, &[1]).unwrap(), vec![1, 2, 3]);
+        assert!(phrase_search(&ix, &[]).unwrap().is_empty());
+        assert!(phrase_search(&ix, &[3, 1]).unwrap().is_empty());
         // Ranked search still sees positionally-indexed docs.
-        let hits = bm25_search(&mut ix, &[(1, 1)], 10, Bm25Params::default()).unwrap();
+        let hits = bm25_search(&ix, &[(1, 1)], 10, Bm25Params::default()).unwrap();
         assert_eq!(hits.len(), 3);
     }
 
@@ -280,21 +270,21 @@ mod tests {
         ix.commit().unwrap();
         ix.add_document_positional(2, &[7, 8]).unwrap();
         ix.add_document_positional(3, &[8, 7]).unwrap();
-        assert_eq!(phrase_search(&mut ix, &[7, 8]).unwrap(), vec![1, 2]);
+        assert_eq!(phrase_search(&ix, &[7, 8]).unwrap(), vec![1, 2]);
         ix.merge_segments().unwrap();
-        assert_eq!(phrase_search(&mut ix, &[7, 8]).unwrap(), vec![1, 2]);
+        assert_eq!(phrase_search(&ix, &[7, 8]).unwrap(), vec![1, 2]);
         // Still writable afterwards.
         ix.add_document_positional(4, &[7, 8]).unwrap();
-        assert_eq!(phrase_search(&mut ix, &[7, 8]).unwrap(), vec![1, 2, 4]);
+        assert_eq!(phrase_search(&ix, &[7, 8]).unwrap(), vec![1, 2, 4]);
     }
 
     #[test]
     fn empty_index_is_graceful() {
-        let mut ix = InvertedIndex::open_memory(IndexOptions::default()).unwrap();
-        assert!(bm25_search(&mut ix, &[(1, 1)], 5, Bm25Params::default())
+        let ix = InvertedIndex::open_memory(IndexOptions::default()).unwrap();
+        assert!(bm25_search(&ix, &[(1, 1)], 5, Bm25Params::default())
             .unwrap()
             .is_empty());
-        assert!(boolean_search(&mut ix, &BoolExpr::Term(1), &[])
+        assert!(boolean_search(&ix, &BoolExpr::Term(1), &[])
             .unwrap()
             .is_empty());
     }

@@ -89,29 +89,29 @@ proptest! {
         }
         let a = BoolExpr::Term(1);
         let b = BoolExpr::Term(2);
-        let eval = |ix: &mut InvertedIndex, e: &BoolExpr| boolean_search(ix, e, &universe).unwrap();
+        let eval = |ix: &InvertedIndex, e: &BoolExpr| boolean_search(ix, e, &universe).unwrap();
         // De Morgan: !(A or B) == !A and !B
-        let lhs = eval(&mut index, &BoolExpr::Not(Box::new(BoolExpr::Or(vec![a.clone(), b.clone()]))));
-        let rhs = eval(&mut index, &BoolExpr::And(vec![
+        let lhs = eval(&index, &BoolExpr::Not(Box::new(BoolExpr::Or(vec![a.clone(), b.clone()]))));
+        let rhs = eval(&index, &BoolExpr::And(vec![
             BoolExpr::Not(Box::new(a.clone())),
             BoolExpr::Not(Box::new(b.clone())),
         ]));
         prop_assert_eq!(lhs, rhs);
         // Idempotence: A and A == A
-        let aa = eval(&mut index, &BoolExpr::And(vec![a.clone(), a.clone()]));
-        let just_a = eval(&mut index, &a);
+        let aa = eval(&index, &BoolExpr::And(vec![a.clone(), a.clone()]));
+        let just_a = eval(&index, &a);
         prop_assert_eq!(&aa, &just_a);
         // Absorption: A or (A and B) == A
-        let absorbed = eval(&mut index, &BoolExpr::Or(vec![
+        let absorbed = eval(&index, &BoolExpr::Or(vec![
             a.clone(),
             BoolExpr::And(vec![a.clone(), b.clone()]),
         ]));
         prop_assert_eq!(&absorbed, &just_a);
         // Double negation.
-        let nn = eval(&mut index, &BoolExpr::Not(Box::new(BoolExpr::Not(Box::new(a.clone())))));
+        let nn = eval(&index, &BoolExpr::Not(Box::new(BoolExpr::Not(Box::new(a.clone())))));
         prop_assert_eq!(&nn, &just_a);
         // Complement partitions the universe.
-        let not_a = eval(&mut index, &BoolExpr::Not(Box::new(a)));
+        let not_a = eval(&index, &BoolExpr::Not(Box::new(a)));
         let mut both = just_a.clone();
         both.extend(not_a);
         both.sort_unstable();
@@ -128,7 +128,7 @@ proptest! {
         for (d, terms) in docs.iter().enumerate() {
             index.add_document_positional(d as u32, terms).unwrap();
         }
-        let got = phrase_search(&mut index, &phrase).unwrap();
+        let got = phrase_search(&index, &phrase).unwrap();
         let want: Vec<u32> = docs
             .iter()
             .enumerate()

@@ -5,9 +5,13 @@
 //! by read/write timeouts, and a connection torn down underneath us
 //! (broken pipe, reset, EOF — e.g. the server closed an idle connection)
 //! is re-dialled transparently and the request retried, at most
-//! [`ClientConfig::reconnect_attempts`] times. Timeouts are *not* retried:
-//! the request may have dispatched, and mutating requests (`Event`,
-//! `ImportBookmarks`) must not be double-applied.
+//! [`ClientConfig::reconnect_attempts`] times — but **only for read
+//! requests** ([`Request::is_read`]). A write (`Event`, `ImportBookmarks`)
+//! whose connection dies mid-exchange may already have been applied by the
+//! server, so re-sending could double-apply it; those surface as
+//! [`NetError::WriteInterrupted`] and the caller decides (the requests are
+//! not idempotent, so the client never guesses). Timeouts are *not*
+//! retried for anything: the request may have dispatched.
 
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -48,6 +52,11 @@ pub enum NetError {
     Wire(WireError),
     /// The peer violated the protocol (e.g. sent a request frame back).
     Protocol(&'static str),
+    /// The connection died during a mutating request (`Event`,
+    /// `ImportBookmarks`). The server may or may not have applied it; the
+    /// client will not re-send because that could double-apply the
+    /// mutation. The caller must decide how to reconcile.
+    WriteInterrupted(std::io::Error),
 }
 
 impl std::fmt::Display for NetError {
@@ -56,6 +65,11 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "io: {e}"),
             NetError::Wire(e) => write!(f, "wire: {e}"),
             NetError::Protocol(what) => write!(f, "protocol: {what}"),
+            NetError::WriteInterrupted(e) => write!(
+                f,
+                "connection died during a mutating request (may or may not \
+                 have been applied; not re-sent): {e}"
+            ),
         }
     }
 }
@@ -66,6 +80,7 @@ impl std::error::Error for NetError {
             NetError::Io(e) => Some(e),
             NetError::Wire(e) => Some(e),
             NetError::Protocol(_) => None,
+            NetError::WriteInterrupted(e) => Some(e),
         }
     }
 }
@@ -100,7 +115,7 @@ impl NetError {
                     | ErrorKind::UnexpectedEof
                     | ErrorKind::NotConnected
             ),
-            NetError::Wire(_) | NetError::Protocol(_) => false,
+            NetError::Wire(_) | NetError::Protocol(_) | NetError::WriteInterrupted(_) => false,
         }
     }
 }
@@ -140,6 +155,10 @@ impl MemexClient {
     }
 
     /// Send one request and block for its response.
+    ///
+    /// Read requests are transparently retried on a fresh connection when
+    /// the old one proves dead. Writes are never re-sent: a dead
+    /// connection mid-write yields [`NetError::WriteInterrupted`].
     pub fn request(&mut self, request: &Request) -> Result<Response, NetError> {
         let payload = wire::encode_request(request);
         let mut attempts_left = self.config.reconnect_attempts;
@@ -158,9 +177,20 @@ impl MemexClient {
                 Err(e) => {
                     // Whatever happened, this connection is suspect.
                     self.stream = None;
-                    if e.reconnectable() && attempts_left > 0 {
-                        attempts_left -= 1;
-                        continue;
+                    if e.reconnectable() {
+                        if !request.is_read() {
+                            // The server may have applied the mutation
+                            // before the connection died; re-sending could
+                            // double-apply it.
+                            if let NetError::Io(io) = e {
+                                return Err(NetError::WriteInterrupted(io));
+                            }
+                            return Err(e);
+                        }
+                        if attempts_left > 0 {
+                            attempts_left -= 1;
+                            continue;
+                        }
                     }
                     return Err(e);
                 }

@@ -3,7 +3,25 @@
 //! One accept thread feeds connections into a *bounded* queue drained by a
 //! fixed pool of worker threads; each worker speaks the frame protocol of
 //! [`crate::wire`] and dispatches decoded requests against the shared
-//! [`Memex`] (one big lock — the servlet layer is `&mut`-based).
+//! [`Memex`].
+//!
+//! **Read/write split:** requests are classified by
+//! [`memex_core::servlet::Request::is_read`]. Reads dispatch through
+//! [`dispatch_read`] under a *shared* `RwLock` read guard, so any number of
+//! workers answer queries in parallel; writes take the exclusive guard,
+//! apply the mutation plus demons/refresh through [`dispatch_write`], and
+//! bump the write epoch. The paper's §3 single-producer/multi-consumer
+//! serving shape, on one process.
+//!
+//! **Epoch-keyed read cache:** identical read requests between two writes
+//! hit a bounded FIFO cache keyed by the request itself. Every entry is
+//! tagged with the write epoch *loaded before* the underlying dispatch
+//! acquired the read lock; an entry is served only while its tag equals the
+//! current epoch, so a cached response can never outlive the write that
+//! invalidated it (a racing write can only *under*-tag an entry, making it
+//! die early — never serve stale). `Request::Stats` bypasses the cache:
+//! its answer changes without any write. Counters: `net.read.cache.hit`,
+//! `net.read.cache.miss`, `net.read.cache.evict`.
 //!
 //! **Admission control:** a semaphore-style in-flight counter caps how many
 //! requests may be dispatching at once. A request arriving above the cap is
@@ -20,19 +38,21 @@
 //! request completes and is answered — nothing is dropped silently.
 //!
 //! All serving stats flow through the Memex's own metrics registry
-//! (`net.conn.*`, `net.req.*`, `net.shed`, `net.decode.errors`), so
-//! `Request::Stats` — itself servable over the wire — reports them.
+//! (`net.conn.*`, `net.req.*`, `net.read.*`, `net.shed`,
+//! `net.decode.errors`), so `Request::Stats` — itself servable over the
+//! wire — reports them.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use memex_core::memex::Memex;
-use memex_core::servlet::{dispatch, Response};
+use memex_core::servlet::{dispatch_read, dispatch_write, Classified, Request, Response};
 use memex_obs::MetricsRegistry;
 
 use crate::wire::{self, FrameKind, WireError};
@@ -53,6 +73,9 @@ pub struct NetServerConfig {
     pub read_timeout: Duration,
     /// Per-response write timeout.
     pub write_timeout: Duration,
+    /// Capacity (entries) of the epoch-keyed read-result cache; `0`
+    /// disables caching entirely.
+    pub read_cache: usize,
 }
 
 impl Default for NetServerConfig {
@@ -63,16 +86,98 @@ impl Default for NetServerConfig {
             max_in_flight: 8,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            read_cache: 256,
         }
     }
 }
 
+/// Bounded FIFO read-result cache keyed by the request. Entries carry the
+/// write epoch observed before their dispatch; [`ReadCache::get`] serves an
+/// entry only while that tag equals the current epoch and eagerly drops
+/// stale entries it trips over.
+struct ReadCache {
+    capacity: usize,
+    map: HashMap<Request, (u64, Response)>,
+    /// Insertion order for FIFO eviction; may lag `map` (stale entries are
+    /// removed from `map` first), which eviction tolerates.
+    order: VecDeque<Request>,
+}
+
+impl ReadCache {
+    fn new(capacity: usize) -> ReadCache {
+        ReadCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&mut self, key: &Request, epoch: u64) -> Option<Response> {
+        match self.map.get(key) {
+            Some((tag, resp)) if *tag == epoch => Some(resp.clone()),
+            Some(_) => {
+                // Stale: a write invalidated it. Drop eagerly so the slot
+                // frees up without waiting for FIFO eviction.
+                self.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Insert; returns how many live entries were evicted for capacity.
+    fn put(&mut self, key: Request, epoch: u64, resp: Response) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut evicted = 0u64;
+        if self.map.insert(key.clone(), (epoch, resp)).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > self.capacity {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        if self.map.remove(&old).is_some() {
+                            evicted += 1;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        evicted
+    }
+}
+
 struct Shared {
-    memex: Mutex<Memex>,
+    memex: RwLock<Memex>,
     registry: MetricsRegistry,
     shutdown: AtomicBool,
     in_flight: AtomicUsize,
+    /// Bumped (under the write lock, before the mutation) on every
+    /// dispatched write; versions the read cache.
+    epoch: AtomicU64,
+    cache: Mutex<ReadCache>,
     config: NetServerConfig,
+}
+
+impl Shared {
+    fn cache_get(&self, key: &Request, epoch: u64) -> Option<Response> {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key, epoch)
+    }
+
+    fn cache_put(&self, key: Request, epoch: u64, resp: Response) {
+        let evicted = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .put(key, epoch, resp);
+        if evicted > 0 {
+            self.registry.counter("net.read.cache.evict").add(evicted);
+        }
+    }
 }
 
 /// A running Memex network server. Dropping without calling
@@ -98,10 +203,12 @@ impl NetServer {
         let local_addr = listener.local_addr()?;
         let registry = memex.registry().clone();
         let shared = Arc::new(Shared {
-            memex: Mutex::new(memex),
+            memex: RwLock::new(memex),
             registry,
             shutdown: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            cache: Mutex::new(ReadCache::new(config.read_cache)),
             config,
         });
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.accept_queue.max(1));
@@ -161,29 +268,30 @@ impl NetServer {
                 }
             }
         };
-        // A panicking dispatch poisons the memex lock; the state behind it
-        // is still the state — recover it rather than propagate the poison.
+        // A panicking write dispatch poisons the memex lock; the state
+        // behind it is still the state — recover it rather than propagate
+        // the poison.
         match shared.memex.into_inner() {
             Ok(m) => m,
             Err(poisoned) => poisoned.into_inner(),
         }
     }
 
-    /// Test instrumentation: poison the internal `Memex` mutex by
-    /// unwinding a throwaway thread while it holds the lock. The loopback
-    /// suite uses this to prove a poisoned lock degrades to a typed
-    /// [`Response::Error`] on every subsequent request — never a dead
-    /// worker or a hung connection.
+    /// Test instrumentation: poison the internal `Memex` lock by unwinding
+    /// a throwaway thread while it holds the *write* guard (only writers
+    /// poison an `RwLock`). The loopback suite uses this to prove a
+    /// poisoned lock degrades to a typed [`Response::Error`] on every
+    /// subsequent request — never a dead worker or a hung connection.
     #[doc(hidden)]
     pub fn poison_memex_for_test(&self) {
         let shared = Arc::clone(&self.shared);
         let _ = std::thread::Builder::new()
             .name("memex-net-poisoner".into())
             .spawn(move || {
-                let _guard = shared.memex.lock();
+                let _guard = shared.memex.write();
                 // Unwind without tripping the panic hook: quiet in test
                 // output, still poisons the held lock.
-                std::panic::resume_unwind(Box::new("poisoning memex mutex for test"));
+                std::panic::resume_unwind(Box::new("poisoning memex lock for test"));
             })
             .map(|h| h.join());
     }
@@ -270,6 +378,93 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     reg.counter("net.conn.closed").inc();
 }
 
+/// Serve one read request: probe the epoch-keyed cache, else dispatch
+/// under the shared read guard and (when cacheable) remember the answer.
+fn answer_read(shared: &Shared, request: memex_core::servlet::ReadRequest) -> Response {
+    let reg = &shared.registry;
+    // The epoch MUST be loaded before the read lock is acquired: a write
+    // that slips in between can only make this dispatch's tag *older* than
+    // the state it actually saw, so the entry dies early instead of
+    // serving stale.
+    let epoch = shared.epoch.load(Ordering::SeqCst);
+    let cacheable = shared.config.read_cache > 0 && !matches!(request.as_request(), Request::Stats);
+    let cache_key = if cacheable {
+        Some(request.as_request().clone())
+    } else {
+        None
+    };
+    if let Some(key) = &cache_key {
+        if let Some(resp) = shared.cache_get(key, epoch) {
+            reg.counter("net.req.ok").inc();
+            reg.counter("net.read.ok").inc();
+            reg.counter("net.read.cache.hit").inc();
+            return resp;
+        }
+        reg.counter("net.read.cache.miss").inc();
+    }
+    // The lock is taken *inside* the unwind boundary: a panicking dispatch
+    // drops the guard mid-unwind and the worker survives to answer with a
+    // typed error. (Read guards do not poison an `RwLock`; a poisoned
+    // observation here means an earlier *write* panicked.)
+    let dispatched =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match shared.memex.read() {
+            Ok(memex) => Some(dispatch_read(&memex, request)),
+            Err(_poisoned) => None,
+        }));
+    match dispatched {
+        Ok(Some(resp)) => {
+            reg.counter("net.req.ok").inc();
+            reg.counter("net.read.ok").inc();
+            if let Some(key) = cache_key {
+                shared.cache_put(key, epoch, resp.clone());
+            }
+            resp
+        }
+        Ok(None) => {
+            reg.counter("net.req.poisoned").inc();
+            Response::Error("internal: memex state poisoned by an earlier panic".into())
+        }
+        Err(_panic) => {
+            reg.counter("net.req.panics").inc();
+            Response::Error("internal: request dispatch panicked".into())
+        }
+    }
+}
+
+/// Serve one write request under the exclusive guard, bumping the write
+/// epoch (which invalidates every cached read) before the mutation runs.
+fn answer_write(shared: &Shared, request: memex_core::servlet::WriteRequest) -> Response {
+    let reg = &shared.registry;
+    let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        match shared.memex.write() {
+            Ok(mut memex) => {
+                // Bump before mutating: a reader that loaded the old epoch
+                // concurrently will tag its entry with it and the entry
+                // dies the moment this store lands.
+                shared.epoch.fetch_add(1, Ordering::SeqCst);
+                Some(dispatch_write(&mut memex, request))
+            }
+            Err(_poisoned) => None,
+        }
+    }));
+    match dispatched {
+        Ok(Some(resp)) => {
+            reg.counter("net.req.ok").inc();
+            resp
+        }
+        Ok(None) => {
+            reg.counter("net.req.poisoned").inc();
+            Response::Error("internal: memex state poisoned by an earlier panic".into())
+        }
+        Err(_panic) => {
+            // The panicking dispatch held the write guard, so the lock is
+            // now poisoned; later requests degrade to typed errors above.
+            reg.counter("net.req.panics").inc();
+            Response::Error("internal: request dispatch panicked".into())
+        }
+    }
+}
+
 fn exchange_one(stream: &mut TcpStream, shared: &Shared) -> Exchange {
     let reg = &shared.registry;
     let payload = match wire::read_frame(stream) {
@@ -327,30 +522,9 @@ fn exchange_one(stream: &mut TcpStream, shared: &Shared) -> Exchange {
     }
     let response = {
         let _span = reg.span("net.req.latency");
-        // The lock is taken *inside* the unwind boundary: a panicking
-        // dispatch drops the guard mid-unwind and poisons the mutex, and
-        // the worker survives to answer with a typed error. Later
-        // requests observe the poison as `None` and get the same
-        // degraded-but-typed treatment — a misbehaving request can cost
-        // consistency of the shared state, never a worker thread.
-        let dispatched =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match shared.memex.lock() {
-                Ok(mut memex) => Some(dispatch(&mut memex, request)),
-                Err(_poisoned) => None,
-            }));
-        match dispatched {
-            Ok(Some(resp)) => {
-                reg.counter("net.req.ok").inc();
-                resp
-            }
-            Ok(None) => {
-                reg.counter("net.req.poisoned").inc();
-                Response::Error("internal: memex state poisoned by an earlier panic".into())
-            }
-            Err(_panic) => {
-                reg.counter("net.req.panics").inc();
-                Response::Error("internal: request dispatch panicked".into())
-            }
+        match request.classify() {
+            Classified::Read(r) => answer_read(shared, r),
+            Classified::Write(w) => answer_write(shared, w),
         }
     };
     shared.in_flight.fetch_sub(1, Ordering::SeqCst);

@@ -37,7 +37,7 @@ use memex_obs::{Event, HistogramSnapshot, Snapshot, NUM_BUCKETS};
 use memex_server::events::{ArchiveMode, ClientEvent, VisitEvent};
 
 /// Current wire version (see the module docs for the bump rule).
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard cap on a frame's payload. Anything larger is rejected before
 /// allocation with [`WireError::Oversized`].
@@ -869,11 +869,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             write_scored(&mut w, items);
         }
         Response::Imported {
-            bookmarks,
+            archived,
+            rejected,
             unresolved,
         } => {
             w.u8(7);
-            w.usize(*bookmarks);
+            w.usize(*archived);
+            w.usize(*rejected);
             w.usize(*unresolved);
         }
         Response::Exported(html) => {
@@ -937,7 +939,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         5 => Response::SimilarSurfers(read_scored(&mut r)?),
         6 => Response::Recommend(read_scored(&mut r)?),
         7 => Response::Imported {
-            bookmarks: r.usize()?,
+            archived: r.usize()?,
+            rejected: r.usize()?,
             unresolved: r.usize()?,
         },
         8 => Response::Exported(r.string()?),

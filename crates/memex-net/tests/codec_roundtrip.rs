@@ -226,10 +226,13 @@ fn arb_response() -> BoxedStrategy<Response> {
         .prop_map(Response::Bill),
         arb_scored().prop_map(Response::SimilarSurfers),
         arb_scored().prop_map(Response::Recommend),
-        (any::<usize>(), any::<usize>()).prop_map(|(bookmarks, unresolved)| Response::Imported {
-            bookmarks,
-            unresolved
-        }),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(
+            |(archived, rejected, unresolved)| Response::Imported {
+                archived,
+                rejected,
+                unresolved
+            }
+        ),
         arb_string().prop_map(Response::Exported),
         proptest::collection::vec(
             (arb_string(), proptest::collection::vec(any::<u32>(), 0..6))

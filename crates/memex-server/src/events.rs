@@ -4,7 +4,7 @@
 //! archive for private use, or archive for use by the community" (§2).
 
 /// The three archiving modes of the Memex client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ArchiveMode {
     /// Do not archive at all — events are dropped at ingest.
     Off,
@@ -16,7 +16,7 @@ pub enum ArchiveMode {
 }
 
 /// A page visit as reported by the browser tap.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VisitEvent {
     pub user: u32,
     pub session: u32,
@@ -30,7 +30,7 @@ pub struct VisitEvent {
 }
 
 /// Everything a client can send.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ClientEvent {
     Visit(VisitEvent),
     /// Deliberate bookmark into a named folder (Fig. 1 — explicit topic

@@ -34,7 +34,11 @@ use memex_obs::{Counter, MetricsRegistry};
 /// crash is only promised for bytes written before the last [`sync`].
 ///
 /// [`sync`]: Storage::sync
-pub trait Storage: Send {
+///
+/// `Send + Sync` because the serving layer shares whole subsystems built
+/// on storage (index, KV) behind an `RwLock`; every implementation here is
+/// either plain owned data or already `Arc<Mutex<…>>`-based.
+pub trait Storage: Send + Sync {
     /// Current size in bytes (includes unsynced writes).
     fn len(&self) -> io::Result<u64>;
 

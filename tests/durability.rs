@@ -36,10 +36,10 @@ fn indexed_corpus_survives_restart_and_answers_queries() {
         index.checkpoint().unwrap();
     }
     {
-        let mut index = InvertedIndex::open_dir(&dir, IndexOptions::default()).unwrap();
+        let index = InvertedIndex::open_dir(&dir, IndexOptions::default()).unwrap();
         assert_eq!(index.num_docs(), 3);
         let bach = vocab.id(&memex::text::stem::stem("bach")).unwrap();
-        let hits = bm25_search(&mut index, &[(bach, 1)], 10, Bm25Params::default()).unwrap();
+        let hits = bm25_search(&index, &[(bach, 1)], 10, Bm25Params::default()).unwrap();
         let pages: Vec<u32> = hits.iter().map(|h| h.doc).collect();
         assert!(pages.contains(&1) && pages.contains(&3) && !pages.contains(&2));
     }

@@ -29,7 +29,7 @@ fn search_box_syntax_over_an_analyzed_corpus() {
     // for the name should surface that topic.
     let name0 = corpus.topic_names[0].clone();
     let q = Query::parse(&name0);
-    let hits = execute(&mut index, &vocab, &analyzer, &q, 10).unwrap();
+    let hits = execute(&index, &vocab, &analyzer, &q, 10).unwrap();
     assert!(!hits.is_empty());
     let on_topic = hits.iter().filter(|h| corpus.topic_of(h.doc) == 0).count();
     assert!(on_topic * 2 > hits.len(), "ranked hits mostly on topic 0");
@@ -38,7 +38,7 @@ fn search_box_syntax_over_an_analyzed_corpus() {
     // from the results for a generic shared term.
     let anchor = name0.split_whitespace().next().unwrap();
     let q = Query::parse(&format!("common0 -{anchor}"));
-    let hits = execute(&mut index, &vocab, &analyzer, &q, 20).unwrap();
+    let hits = execute(&index, &vocab, &analyzer, &q, 20).unwrap();
     for h in &hits {
         let text = format!(
             "{} {}",
@@ -59,7 +59,7 @@ fn search_box_syntax_over_an_analyzed_corpus() {
     let page = &corpus.pages[corpus.pages.iter().position(|p| !p.is_front).unwrap()];
     let words: Vec<&str> = page.text.split_whitespace().take(2).collect();
     let q = Query::parse(&format!("\"{} {}\"", words[0], words[1]));
-    let hits = execute(&mut index, &vocab, &analyzer, &q, 50).unwrap();
+    let hits = execute(&index, &vocab, &analyzer, &q, 50).unwrap();
     assert!(
         hits.iter().any(|h| h.doc == page.id),
         "phrase {:?} should find its source page",
@@ -68,7 +68,7 @@ fn search_box_syntax_over_an_analyzed_corpus() {
 
     // Must-term: +word restricts to documents containing it.
     let q = Query::parse(&format!("common1 +{anchor}"));
-    let hits = execute(&mut index, &vocab, &analyzer, &q, 20).unwrap();
+    let hits = execute(&index, &vocab, &analyzer, &q, 20).unwrap();
     let anchor_stem = &analyzer.term_sequence(anchor)[0];
     for h in &hits {
         let text = format!(
