@@ -143,8 +143,24 @@ fn drive(addr: std::net::SocketAddr, workloads: Vec<Vec<Request>>) -> DriveResul
     }
 }
 
-fn percentile_us(h: &HistogramSnapshot, q: f64) -> String {
-    format!("{:.0}", h.percentile(q) as f64 / 1_000.0)
+fn percentile_us(h: &HistogramSnapshot, q: f64) -> f64 {
+    h.percentile(q) as f64 / 1_000.0
+}
+
+/// Per-scenario numbers kept for both the table row and the machine-
+/// readable `BENCH_PR6.json` artifact.
+struct ScenarioStats {
+    name: String,
+    clients: usize,
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    wall_ms: f64,
+    reqs_per_sec: f64,
+    /// `net.req.latency` percentiles in microseconds (None when the stats
+    /// fetch itself was shed, e.g. under induced overload).
+    latency_us: Option<(f64, f64, f64)>,
 }
 
 /// Fetch the server's latency histogram over the wire, the way an external
@@ -159,6 +175,7 @@ fn remote_latency(addr: std::net::SocketAddr) -> Option<HistogramSnapshot> {
 
 fn scenario(
     table: &mut Table,
+    stats: &mut Vec<ScenarioStats>,
     name: &str,
     memex: Memex,
     config: NetServerConfig,
@@ -176,11 +193,18 @@ fn scenario(
     let snap = memex.registry().snapshot();
     let shed = snap.counter("net.shed") - shed_before;
     let sent = result.ok + result.shed + result.errors;
-    let (p50, p95, p99) = match &latency {
-        Some(h) => (
+    let latency_us = latency.as_ref().map(|h| {
+        (
             percentile_us(h, 0.50),
             percentile_us(h, 0.95),
             percentile_us(h, 0.99),
+        )
+    });
+    let (p50, p95, p99) = match latency_us {
+        Some((p50, p95, p99)) => (
+            format!("{p50:.0}"),
+            format!("{p95:.0}"),
+            format!("{p99:.0}"),
         ),
         None => ("-".into(), "-".into(), "-".into()),
     };
@@ -198,7 +222,106 @@ fn scenario(
         p95,
         p99,
     ]);
+    stats.push(ScenarioStats {
+        name: name.to_string(),
+        clients,
+        sent,
+        ok: result.ok,
+        shed,
+        errors: result.errors,
+        wall_ms: result.wall_ms,
+        reqs_per_sec,
+        latency_us,
+    });
     (memex, shed, reqs_per_sec)
+}
+
+/// Run-level summaries that accompany the per-scenario rows in the
+/// artifact.
+struct ArtifactSummary<'a> {
+    quick: bool,
+    read_rates: [f64; 3],
+    read_ratio: f64,
+    cores: usize,
+    lock_wait: Option<&'a HistogramSnapshot>,
+    trace_off_rate: f64,
+    trace_on_rate: f64,
+}
+
+/// Serialise the run into the committed `BENCH_PR6.json` artifact:
+/// per-scenario throughput and latency percentiles, the read-scaling
+/// ratio, a `net.lock.wait` summary, and the tracing-off/on throughput
+/// ratio. Hand-rolled JSON — the workspace has no serde.
+fn write_artifact(path: &str, stats: &[ScenarioStats], summary: &ArtifactSummary<'_>) {
+    let &ArtifactSummary {
+        quick,
+        read_rates,
+        read_ratio,
+        cores,
+        lock_wait,
+        trace_off_rate,
+        trace_on_rate,
+    } = summary;
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"N1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        let (p50, p95, p99) = match s.latency_us {
+            Some((p50, p95, p99)) => (
+                format!("{p50:.1}"),
+                format!("{p95:.1}"),
+                format!("{p99:.1}"),
+            ),
+            None => ("null".into(), "null".into(), "null".into()),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"clients\": {}, \"sent\": {}, \"ok\": {}, \
+             \"shed\": {}, \"errors\": {}, \"wall_ms\": {:.1}, \"reqs_per_sec\": {:.1}, \
+             \"p50_us\": {p50}, \"p95_us\": {p95}, \"p99_us\": {p99}}}{}\n",
+            s.name,
+            s.clients,
+            s.sent,
+            s.ok,
+            s.shed,
+            s.errors,
+            s.wall_ms,
+            s.reqs_per_sec,
+            if i + 1 == stats.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"read_scale\": {{\"workers\": [1, 2, 4], \"reqs_per_sec\": [{:.1}, {:.1}, {:.1}], \
+         \"ratio_4w_over_1w\": {:.2}, \"cores\": {}}},\n",
+        read_rates[0], read_rates[1], read_rates[2], read_ratio, cores,
+    ));
+    match lock_wait {
+        Some(h) => out.push_str(&format!(
+            "  \"lock_wait\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"p99_ns\": {}, \"max_ns\": {}}},\n",
+            h.count,
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+            h.percentile(1.0),
+        )),
+        None => out.push_str("  \"lock_wait\": null,\n"),
+    }
+    out.push_str(&format!(
+        "  \"trace_overhead\": {{\"off_reqs_per_sec\": {:.1}, \"on_reqs_per_sec\": {:.1}, \
+         \"on_over_off\": {:.3}}}\n",
+        trace_off_rate,
+        trace_on_rate,
+        trace_on_rate / trace_off_rate.max(f64::MIN_POSITIVE),
+    ));
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
 }
 
 /// The N1 table.
@@ -221,10 +344,12 @@ pub fn run(quick: bool) -> Table {
             .map(|i| workload(users[i % users.len()], rounds))
             .collect()
     };
+    let mut stats: Vec<ScenarioStats> = Vec::new();
 
     // Scenario 1: sustained mixed workload under default admission limits.
     let (memex, _, _) = scenario(
         &mut table,
+        &mut stats,
         "throughput",
         memex,
         NetServerConfig::default(),
@@ -240,6 +365,7 @@ pub fn run(quick: bool) -> Table {
     };
     let (memex, shed, _) = scenario(
         &mut table,
+        &mut stats,
         "overload",
         memex,
         overload_cfg,
@@ -267,6 +393,7 @@ pub fn run(quick: bool) -> Table {
             .collect();
         let (back, _, rate) = scenario(
             &mut table,
+            &mut stats,
             &format!("read-scale/{workers}"),
             memex,
             config,
@@ -279,7 +406,60 @@ pub fn run(quick: bool) -> Table {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    // Scenario 4: tracing cost. The same mixed workload with the flight
+    // recorder disabled and then enabled — the off/on throughput ratio is
+    // the number PR 6's "tracing off stays cheap" claim rests on.
+    let mut trace_rates = [0f64; 2];
+    for (step, enabled) in [false, true].into_iter().enumerate() {
+        let config = NetServerConfig {
+            trace: memex_obs::TraceConfig {
+                enabled,
+                ..memex_obs::TraceConfig::default()
+            },
+            ..NetServerConfig::default()
+        };
+        let label = if enabled { "trace-on" } else { "trace-off" };
+        let (back, _, rate) = scenario(
+            &mut table,
+            &mut stats,
+            label,
+            memex,
+            config,
+            mixed(clients, rounds),
+        );
+        memex = back;
+        trace_rates[step] = rate;
+    }
+
+    let lock_wait = memex
+        .registry()
+        .snapshot()
+        .histogram("net.lock.wait")
+        .cloned();
+    let artifact_path =
+        std::env::var("MEMEX_BENCH_PR6_PATH").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    write_artifact(
+        &artifact_path,
+        &stats,
+        &ArtifactSummary {
+            quick,
+            read_rates: rate_at,
+            read_ratio: ratio,
+            cores,
+            lock_wait: lock_wait.as_ref(),
+            trace_off_rate: trace_rates[0],
+            trace_on_rate: trace_rates[1],
+        },
+    );
     table.note("latency percentiles read from the server's net.req.latency obs histogram, fetched over the wire via Request::Stats");
+    table.note(&format!(
+        "trace-off/on: same mixed workload, flight recorder disabled vs enabled; on/off throughput ratio {:.3}",
+        trace_rates[1] / trace_rates[0].max(f64::MIN_POSITIVE)
+    ));
+    table.note(&format!(
+        "machine-readable artifact written to {artifact_path}"
+    ));
     table.note(&format!(
         "overload scenario (in-flight limit 1) shed {shed} requests explicitly; clean shutdown all scenarios"
     ));

@@ -101,6 +101,9 @@ pub struct Memex {
     themes_built_at_bookmarks: usize,
     /// Bookmarks already filed into folder spaces.
     filed_bookmarks: usize,
+    /// Request tracer (flight recorder + slow log). Built disabled; the
+    /// serving layer configures it ([`memex_obs::Tracer::configure`]).
+    tracer: memex_obs::Tracer,
 }
 
 impl Memex {
@@ -109,6 +112,8 @@ impl Memex {
         let server = MemexServer::new(CorpusFetcher::new(corpus.clone()), opts.server)?;
         let url_to_page = corpus.pages.iter().map(|p| (p.url.clone(), p.id)).collect();
         let empty_themes = ThemeDiscovery::new(opts.themes).run(&[], &[]);
+        let tracer = memex_obs::Tracer::default();
+        tracer.attach_registry(server.registry());
         Ok(Memex {
             corpus,
             server,
@@ -120,6 +125,7 @@ impl Memex {
             themes_cache: (empty_themes, Vec::new()),
             themes_built_at_bookmarks: 0,
             filed_bookmarks: 0,
+            tracer,
         })
     }
 
@@ -139,6 +145,12 @@ impl Memex {
     /// The metrics registry shared by every subsystem this Memex owns.
     pub fn registry(&self) -> &memex_obs::MetricsRegistry {
         self.server.registry()
+    }
+
+    /// The request tracer owned by this Memex (`&self`: the tracer is
+    /// internally synchronized, so readers can pull traces concurrently).
+    pub fn tracer(&self) -> &memex_obs::Tracer {
+        &self.tracer
     }
 
     pub fn submit(&mut self, event: ClientEvent) -> bool {

@@ -58,6 +58,10 @@ pub enum Request {
     /// Operational metrics snapshot across every subsystem the server owns
     /// (store, index, pipeline) plus servlet latencies.
     Stats,
+    /// Completed request traces from the flight recorder (`slow_only:
+    /// false`) or the slow-request log (`slow_only: true`), newest first,
+    /// at most `limit` of them.
+    Traces { slow_only: bool, limit: usize },
 }
 
 impl Request {
@@ -76,6 +80,7 @@ impl Request {
             Request::ExportBookmarks { .. } => "export_bookmarks",
             Request::ProposeFolders { .. } => "propose_folders",
             Request::Stats => "stats",
+            Request::Traces { .. } => "traces",
         }
     }
 
@@ -94,6 +99,7 @@ impl Request {
             Request::ExportBookmarks { .. } => "servlet.export_bookmarks.latency",
             Request::ProposeFolders { .. } => "servlet.propose_folders.latency",
             Request::Stats => "servlet.stats.latency",
+            Request::Traces { .. } => "servlet.traces.latency",
         }
     }
 
@@ -176,6 +182,9 @@ pub enum Response {
     Exported(String),
     Proposals(Vec<crate::memex::FolderProposal>),
     Stats(memex_obs::Snapshot),
+    /// Completed span trees pulled from the tracer (see
+    /// [`Request::Traces`]).
+    Traces(Vec<memex_obs::TraceData>),
     Error(String),
     /// Load-shed verdict from the serving layer: the request was *not*
     /// dispatched because the server's in-flight admission limit was hit.
@@ -204,6 +213,9 @@ pub fn dispatch_read(memex: &Memex, request: ReadRequest) -> Response {
         .registry()
         .histogram(request.latency_metric())
         .start_span();
+    // Child span named after the variant; deeper layers (index, store)
+    // attach their own children to it through the thread-local trace.
+    let _trace = memex_obs::trace::span(request.name());
     match request {
         Request::Recall {
             user,
@@ -239,6 +251,9 @@ pub fn dispatch_read(memex: &Memex, request: ReadRequest) -> Response {
             let mut snap = memex.registry().snapshot();
             snap.absorb(memex_obs::global().snapshot());
             Response::Stats(snap)
+        }
+        Request::Traces { slow_only, limit } => {
+            Response::Traces(memex.tracer().collect(slow_only, limit))
         }
         Request::ExportBookmarks { user } => {
             let fs = memex.folder_space_ref(user);
@@ -280,6 +295,7 @@ pub fn dispatch_write(memex: &mut Memex, request: WriteRequest) -> Response {
         .registry()
         .histogram(request.latency_metric())
         .start_span();
+    let _trace = memex_obs::trace::span(request.name());
     match request {
         Request::Event(e) => {
             let archived = memex.submit(e);

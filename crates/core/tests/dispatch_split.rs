@@ -206,6 +206,10 @@ fn classification_matches_the_mutation_surface() {
         Request::ExportBookmarks { user: 0 },
         Request::ProposeFolders { user: 0, k: 1 },
         Request::Stats,
+        Request::Traces {
+            slow_only: false,
+            limit: 1,
+        },
     ];
     for r in reads {
         assert!(r.is_read(), "{} must classify as a read", r.name());
@@ -266,6 +270,10 @@ fn latency_metric_names_are_static_and_catalogue_shaped() {
         Request::ExportBookmarks { user: 0 },
         Request::ProposeFolders { user: 0, k: 1 },
         Request::Stats,
+        Request::Traces {
+            slow_only: true,
+            limit: 8,
+        },
     ];
     for r in &all {
         assert_eq!(

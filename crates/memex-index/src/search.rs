@@ -36,6 +36,7 @@ pub fn bm25_search(
     params: Bm25Params,
 ) -> StoreResult<Vec<SearchHit>> {
     let _span = index.metrics.query_latency.start_span();
+    let _trace = memex_obs::trace::span("index.bm25");
     let n = index.num_docs() as f32;
     if n == 0.0 || query_terms.is_empty() || k == 0 {
         return Ok(Vec::new());
@@ -81,6 +82,7 @@ pub fn bm25_search(
 /// [`InvertedIndex::add_document_positional`] can match.
 pub fn phrase_search(index: &InvertedIndex, phrase: &[TermId]) -> StoreResult<Vec<u32>> {
     let _span = index.metrics.query_latency.start_span();
+    let _trace = memex_obs::trace::span("index.phrase");
     let Some((&first, rest)) = phrase.split_first() else {
         return Ok(Vec::new());
     };
@@ -129,6 +131,7 @@ pub fn boolean_search(
     expr: &BoolExpr,
     universe: &[u32],
 ) -> StoreResult<Vec<u32>> {
+    let _trace = memex_obs::trace::span("index.boolean");
     Ok(match expr {
         BoolExpr::Term(t) => index.postings(*t)?.docs(),
         BoolExpr::And(parts) => {

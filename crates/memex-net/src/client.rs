@@ -12,14 +12,24 @@
 //! [`NetError::WriteInterrupted`] and the caller decides (the requests are
 //! not idempotent, so the client never guesses). Timeouts are *not*
 //! retried for anything: the request may have dispatched.
+//!
+//! **Trace propagation:** a client speaking wire v3 (the default) stamps
+//! every request frame with a fresh 64-bit trace id from a seedable
+//! SplitMix64 sequence ([`ClientConfig::trace_seed`]); the server adopts
+//! it as the root span's trace id and echoes it on the response, so a
+//! slow answer can be correlated with its server-side span tree
+//! ([`MemexClient::last_trace_id`]). Setting
+//! [`ClientConfig::wire_version`] to 2 reproduces a pre-trace client
+//! byte-for-byte — the compatibility mode the loopback suite exercises.
 
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use memex_core::servlet::{Request, Response};
+use memex_obs::trace::TraceIdGen;
 
-use crate::wire::{self, FrameKind, WireError};
+use crate::wire::{self, FrameKind, TraceContext, WireError};
 
 /// Client-side timeouts and retry policy.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +41,13 @@ pub struct ClientConfig {
     /// How many times a request may be re-sent on a fresh connection after
     /// the old one proves broken.
     pub reconnect_attempts: u32,
+    /// Wire version to speak: [`wire::WIRE_VERSION`] (default) stamps a
+    /// trace context on every request; [`wire::MIN_WIRE_VERSION`] (2)
+    /// emits pre-trace frames for compatibility testing.
+    pub wire_version: u8,
+    /// Seed for the client's trace-id sequence (deterministic tests pick
+    /// a fixed seed and know every id in advance).
+    pub trace_seed: u64,
 }
 
 impl Default for ClientConfig {
@@ -39,6 +56,8 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(2),
             request_timeout: Duration::from_secs(10),
             reconnect_attempts: 1,
+            wire_version: wire::WIRE_VERSION,
+            trace_seed: 0x4d58_434c_4945_4e54, // "MXCLIENT"
         }
     }
 }
@@ -125,6 +144,8 @@ pub struct MemexClient {
     addr: SocketAddr,
     config: ClientConfig,
     stream: Option<TcpStream>,
+    trace_ids: TraceIdGen,
+    last_trace_id: Option<u64>,
 }
 
 impl MemexClient {
@@ -137,10 +158,15 @@ impl MemexClient {
         let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(ErrorKind::NotFound, "address resolved to nothing")
         })?;
+        if !(wire::MIN_WIRE_VERSION..=wire::WIRE_VERSION).contains(&config.wire_version) {
+            return Err(NetError::Protocol("unsupported wire version configured"));
+        }
         let mut client = MemexClient {
             addr,
             config,
             stream: None,
+            trace_ids: TraceIdGen::seeded(config.trace_seed),
+            last_trace_id: None,
         };
         client.stream = Some(client.dial()?);
         Ok(client)
@@ -161,6 +187,12 @@ impl MemexClient {
     /// connection mid-write yields [`NetError::WriteInterrupted`].
     pub fn request(&mut self, request: &Request) -> Result<Response, NetError> {
         let payload = wire::encode_request(request);
+        // One id per logical request: a retried read keeps its id, so its
+        // server-side trace attempts share a correlation key.
+        let trace_ctx = (self.config.wire_version >= 3).then(|| TraceContext {
+            trace_id: self.trace_ids.next(),
+        });
+        self.last_trace_id = trace_ctx.map(|t| t.trace_id);
         let mut attempts_left = self.config.reconnect_attempts;
         loop {
             if self.stream.is_none() {
@@ -172,7 +204,7 @@ impl MemexClient {
                 // error rather than a panic on the request path.
                 None => return Err(NetError::Protocol("connection slot empty after dial")),
             };
-            match Self::exchange(stream, &payload) {
+            match Self::exchange(stream, self.config.wire_version, trace_ctx, &payload) {
                 Ok(resp) => return Ok(resp),
                 Err(e) => {
                     // Whatever happened, this connection is suspect.
@@ -198,12 +230,30 @@ impl MemexClient {
         }
     }
 
-    fn exchange(stream: &mut TcpStream, request_payload: &[u8]) -> Result<Response, NetError> {
-        wire::write_frame(stream, FrameKind::Request, request_payload)?;
-        let (kind, payload) = wire::read_frame(stream)?;
-        if kind != FrameKind::Response {
+    /// The trace id stamped on the most recent request, if the configured
+    /// wire version carries one. Pass it to an operator (or correlate it
+    /// against `Request::Traces` output) to find the server-side tree.
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.last_trace_id
+    }
+
+    fn exchange(
+        stream: &mut TcpStream,
+        version: u8,
+        trace_ctx: Option<TraceContext>,
+        request_payload: &[u8],
+    ) -> Result<Response, NetError> {
+        wire::write_frame_versioned(
+            stream,
+            version,
+            FrameKind::Request,
+            request_payload,
+            trace_ctx,
+        )?;
+        let meta = wire::read_frame_meta(stream)?;
+        if meta.kind != FrameKind::Response {
             return Err(NetError::Protocol("request frame received from server"));
         }
-        Ok(wire::decode_response(&payload)?)
+        Ok(wire::decode_response(&meta.payload)?)
     }
 }

@@ -19,6 +19,14 @@
 //! Serving metrics (`net.conn.*`, `net.req.latency`, `net.shed`,
 //! `net.decode.errors`) flow through the Memex's `memex-obs` registry, so
 //! `Request::Stats` over the wire reports on the wire itself.
+//!
+//! Wire v3 adds end-to-end request tracing: the client stamps a 64-bit
+//! trace id into the frame envelope ([`TraceContext`]), the server builds
+//! a span tree per request (decode → lock wait → dispatch → encode, with
+//! index/store children) into its flight recorder, and
+//! `Request::Traces` pulls the trees back over the wire. v2 peers keep
+//! working: decoders accept both versions and the server answers in the
+//! version the client spoke.
 
 pub mod client;
 pub mod server;
@@ -26,4 +34,4 @@ pub mod wire;
 
 pub use client::{ClientConfig, MemexClient, NetError};
 pub use server::{NetServer, NetServerConfig};
-pub use wire::{FrameKind, WireError, MAX_PAYLOAD, WIRE_VERSION};
+pub use wire::{FrameKind, TraceContext, WireError, MAX_PAYLOAD, MIN_WIRE_VERSION, WIRE_VERSION};

@@ -37,6 +37,17 @@
 //! connections even after the sender is dropped), and any in-progress
 //! request completes and is answered — nothing is dropped silently.
 //!
+//! **Tracing:** when [`NetServerConfig::trace`] enables it, every
+//! exchanged request gets a root span (`net.req`) covering
+//! decode → lock-acquire → dispatch → encode, annotated with
+//! `lock_wait_ns`/`lock_kind` at RwLock acquisition (and `cache_hit=true`
+//! on cache-served reads). The trace id comes from the v3 frame envelope
+//! when the client stamped one, else from the server's seeded generator;
+//! responses echo it. Completed span trees land in the Memex's
+//! [`memex_obs::Tracer`] flight recorder (and slow log) and are served
+//! over the wire by `Request::Traces`. Responses are always framed in the
+//! wire version the client spoke, so v2 clients keep working unchanged.
+//!
 //! All serving stats flow through the Memex's own metrics registry
 //! (`net.conn.*`, `net.req.*`, `net.read.*`, `net.shed`,
 //! `net.decode.errors`), so `Request::Stats` — itself servable over the
@@ -49,13 +60,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use memex_core::memex::Memex;
 use memex_core::servlet::{dispatch_read, dispatch_write, Classified, Request, Response};
-use memex_obs::MetricsRegistry;
+use memex_obs::{trace, MetricsRegistry, TraceConfig, Tracer};
 
-use crate::wire::{self, FrameKind, WireError};
+use crate::wire::{self, FrameKind, TraceContext, WireError};
 
 /// Tuning knobs for [`NetServer`].
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +87,9 @@ pub struct NetServerConfig {
     /// Capacity (entries) of the epoch-keyed read-result cache; `0`
     /// disables caching entirely.
     pub read_cache: usize,
+    /// Request-tracing knobs (applied to the Memex's tracer at start).
+    /// Disabled by default: tracing is opt-in per server.
+    pub trace: TraceConfig,
 }
 
 impl Default for NetServerConfig {
@@ -87,6 +101,7 @@ impl Default for NetServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             read_cache: 256,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -158,6 +173,7 @@ struct Shared {
     epoch: AtomicU64,
     cache: Mutex<ReadCache>,
     config: NetServerConfig,
+    tracer: Tracer,
 }
 
 impl Shared {
@@ -202,6 +218,8 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let registry = memex.registry().clone();
+        memex.tracer().configure(config.trace);
+        let tracer = memex.tracer().clone();
         let shared = Arc::new(Shared {
             memex: RwLock::new(memex),
             registry,
@@ -210,6 +228,7 @@ impl NetServer {
             epoch: AtomicU64::new(0),
             cache: Mutex::new(ReadCache::new(config.read_cache)),
             config,
+            tracer,
         });
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.accept_queue.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -320,12 +339,18 @@ fn accept_loop(listener: TcpListener, tx: SyncSender<TcpStream>, shared: Arc<Sha
                         shed.inc();
                         rejected.inc();
                         let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-                        let _ = wire::write_response(
+                        // The client's wire version is unknown before its
+                        // first frame: answer in v2, which every client
+                        // this server supports can decode.
+                        let _ = wire::write_frame_versioned(
                             &mut stream,
-                            &Response::Overloaded {
+                            wire::MIN_WIRE_VERSION,
+                            FrameKind::Response,
+                            &wire::encode_response(&Response::Overloaded {
                                 in_flight: shared.config.accept_queue as u32,
                                 limit: shared.config.accept_queue as u32,
-                            },
+                            }),
+                            None,
                         );
                     }
                     Err(TrySendError::Disconnected(_)) => break,
@@ -378,16 +403,33 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     reg.counter("net.conn.closed").inc();
 }
 
+/// Record how long an RwLock acquisition stalled this request: into the
+/// `net.lock.wait` histogram always, and onto the active trace's root
+/// span (`lock_wait_ns`, `lock_kind`) when tracing is on.
+fn note_lock_acquired(reg: &MetricsRegistry, kind: &str, waited_since: Instant) {
+    let wait_ns = waited_since.elapsed().as_nanos() as u64;
+    reg.histogram("net.lock.wait").record(wait_ns);
+    trace::annotate("lock_wait_ns", wait_ns);
+    trace::annotate("lock_kind", kind);
+}
+
 /// Serve one read request: probe the epoch-keyed cache, else dispatch
 /// under the shared read guard and (when cacheable) remember the answer.
 fn answer_read(shared: &Shared, request: memex_core::servlet::ReadRequest) -> Response {
     let reg = &shared.registry;
+    let started = Instant::now();
     // The epoch MUST be loaded before the read lock is acquired: a write
     // that slips in between can only make this dispatch's tag *older* than
     // the state it actually saw, so the entry dies early instead of
     // serving stale.
     let epoch = shared.epoch.load(Ordering::SeqCst);
-    let cacheable = shared.config.read_cache > 0 && !matches!(request.as_request(), Request::Stats);
+    // `Stats` and `Traces` bypass the cache: their answers change without
+    // any write (new samples, newly completed traces).
+    let cacheable = shared.config.read_cache > 0
+        && !matches!(
+            request.as_request(),
+            Request::Stats | Request::Traces { .. }
+        );
     let cache_key = if cacheable {
         Some(request.as_request().clone())
     } else {
@@ -398,6 +440,12 @@ fn answer_read(shared: &Shared, request: memex_core::servlet::ReadRequest) -> Re
             reg.counter("net.req.ok").inc();
             reg.counter("net.read.ok").inc();
             reg.counter("net.read.cache.hit").inc();
+            // A cache hit is a served request: record it in the same
+            // per-servlet histogram as a dispatched one, otherwise the
+            // histogram silently excludes the fastest responses.
+            reg.histogram(key.latency_metric())
+                .record(started.elapsed().as_nanos() as u64);
+            trace::annotate("cache_hit", "true");
             return resp;
         }
         reg.counter("net.read.cache.miss").inc();
@@ -406,9 +454,13 @@ fn answer_read(shared: &Shared, request: memex_core::servlet::ReadRequest) -> Re
     // drops the guard mid-unwind and the worker survives to answer with a
     // typed error. (Read guards do not poison an `RwLock`; a poisoned
     // observation here means an earlier *write* panicked.)
+    let lock_started = Instant::now();
     let dispatched =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match shared.memex.read() {
-            Ok(memex) => Some(dispatch_read(&memex, request)),
+            Ok(memex) => {
+                note_lock_acquired(reg, "read", lock_started);
+                Some(dispatch_read(&memex, request))
+            }
             Err(_poisoned) => None,
         }));
     match dispatched {
@@ -435,9 +487,11 @@ fn answer_read(shared: &Shared, request: memex_core::servlet::ReadRequest) -> Re
 /// epoch (which invalidates every cached read) before the mutation runs.
 fn answer_write(shared: &Shared, request: memex_core::servlet::WriteRequest) -> Response {
     let reg = &shared.registry;
+    let lock_started = Instant::now();
     let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         match shared.memex.write() {
             Ok(mut memex) => {
+                note_lock_acquired(reg, "write", lock_started);
                 // Bump before mutating: a reader that loaded the old epoch
                 // concurrently will tag its entry with it and the entry
                 // dies the moment this store lands.
@@ -465,19 +519,28 @@ fn answer_write(shared: &Shared, request: memex_core::servlet::WriteRequest) -> 
     }
 }
 
+/// Answer in the wire version the client spoke, echoing its trace context
+/// (v3 frames only): a v2 client never sees a frame it cannot decode.
+fn respond(
+    stream: &mut TcpStream,
+    version: u8,
+    trace_ctx: Option<TraceContext>,
+    resp: &Response,
+) -> Result<(), WireError> {
+    let trace_ctx = if version >= 3 { trace_ctx } else { None };
+    wire::write_frame_versioned(
+        stream,
+        version,
+        FrameKind::Response,
+        &wire::encode_response(resp),
+        trace_ctx,
+    )
+}
+
 fn exchange_one(stream: &mut TcpStream, shared: &Shared) -> Exchange {
     let reg = &shared.registry;
-    let payload = match wire::read_frame(stream) {
-        Ok((FrameKind::Request, payload)) => payload,
-        Ok((FrameKind::Response, _)) => {
-            // A client must never send response frames; protocol violation.
-            reg.counter("net.decode.errors").inc();
-            let _ = wire::write_response(
-                stream,
-                &Response::Error("protocol: response frame sent to server".into()),
-            );
-            return Exchange::Closed;
-        }
+    let frame = match wire::read_frame_meta(stream) {
+        Ok(f) => f,
         Err(WireError::Io(e)) => {
             // Clean close, peer reset, or idle timeout: just drop the
             // connection. Framing stays in sync only from a frame
@@ -489,20 +552,53 @@ fn exchange_one(stream: &mut TcpStream, shared: &Shared) -> Exchange {
         }
         Err(e) => {
             // Corrupted or unversioned frame: report and close (the stream
-            // position is no longer trustworthy).
+            // position is no longer trustworthy). The peer's version is
+            // unknown, so answer in v2 — decodable by every client.
             reg.counter("net.decode.errors").inc();
-            let _ = wire::write_response(stream, &Response::Error(format!("decode: {e}")));
+            let _ = respond(
+                stream,
+                wire::MIN_WIRE_VERSION,
+                None,
+                &Response::Error(format!("decode: {e}")),
+            );
             return Exchange::Closed;
         }
     };
-    let request = match wire::decode_request(&payload) {
+    if frame.kind == FrameKind::Response {
+        // A client must never send response frames; protocol violation.
+        reg.counter("net.decode.errors").inc();
+        let _ = respond(
+            stream,
+            frame.version,
+            None,
+            &Response::Error("protocol: response frame sent to server".into()),
+        );
+        return Exchange::Closed;
+    }
+    // Root span for the whole exchange, opened before payload decode so
+    // the tree covers decode → lock-acquire → dispatch → encode. The id
+    // is the client's (v3 trace context) or minted from the server's
+    // seeded generator; the guard publishes the completed tree to the
+    // flight recorder when it drops at the end of this function.
+    let trace_guard = shared
+        .tracer
+        .start_trace("net.req", frame.trace.map(|t| t.trace_id));
+    let decode_span = trace::span("net.decode");
+    let request = match wire::decode_request(&frame.payload) {
         Ok(r) => r,
         Err(e) => {
+            drop(decode_span);
             reg.counter("net.decode.errors").inc();
-            let _ = wire::write_response(stream, &Response::Error(format!("decode: {e}")));
+            let _ = respond(
+                stream,
+                frame.version,
+                frame.trace,
+                &Response::Error(format!("decode: {e}")),
+            );
             return Exchange::Closed;
         }
     };
+    drop(decode_span);
     // Admission control: acquire an in-flight permit or shed. The permit
     // covers lock wait + dispatch, so a convoy behind a slow request is
     // surfaced as explicit overload frames instead of unbounded queueing.
@@ -511,11 +607,12 @@ fn exchange_one(stream: &mut TcpStream, shared: &Shared) -> Exchange {
     if prev >= limit {
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         reg.counter("net.shed").inc();
+        trace::annotate("shed", "true");
         let overload = Response::Overloaded {
             in_flight: prev.min(u32::MAX as usize) as u32,
             limit: limit.min(u32::MAX as usize) as u32,
         };
-        return match wire::write_response(stream, &overload) {
+        return match respond(stream, frame.version, frame.trace, &overload) {
             Ok(()) => Exchange::Served,
             Err(_) => Exchange::Closed,
         };
@@ -528,7 +625,12 @@ fn exchange_one(stream: &mut TcpStream, shared: &Shared) -> Exchange {
         }
     };
     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-    match wire::write_response(stream, &response) {
+    let encode_started = Instant::now();
+    let wrote = respond(stream, frame.version, frame.trace, &response);
+    trace::record_span("net.encode", encode_started, Instant::now());
+    // Completes the trace: everything after this is outside the request.
+    drop(trace_guard);
+    match wrote {
         Ok(()) => Exchange::Served,
         Err(_) => {
             reg.counter("net.conn.write_errors").inc();

@@ -5,21 +5,33 @@
 //! ## Frame layout
 //!
 //! ```text
-//! +----+----+---------+------+-------------+------------------+----------+
-//! | 'M'| 'X'| version | kind | len u32 LE  | payload (len B)  | crc u32  |
-//! +----+----+---------+------+-------------+------------------+----------+
-//!   magic      1 B      1 B      4 B           ≤ 16 MiB          FNV-1a
+//! +----+----+---------+------+-------------+-------+------------------+----------+
+//! | 'M'| 'X'| version | kind | len u32 LE  | ext?  | payload (len B)  | crc u32  |
+//! +----+----+---------+------+-------------+-------+------------------+----------+
+//!   magic      1 B      1 B      4 B         v3 only    ≤ 16 MiB         FNV-1a
 //! ```
 //!
-//! The CRC is FNV-1a over `version ‖ kind ‖ payload`, so a single flipped
-//! bit anywhere after the magic is detected. `len` is capped at
-//! [`MAX_PAYLOAD`] **before** any allocation happens, so a corrupted length
-//! can neither over-read the stream nor balloon memory.
+//! Version 3 frames carry an **extension block** between the header and
+//! the payload: one `flags` byte, followed by a `u64 LE` trace id when
+//! bit 0 ([`EXT_FLAG_TRACE`]) is set. Unknown flag bits are rejected —
+//! an extension a decoder cannot parse would desynchronize the stream,
+//! so there is nothing safe to skip. Version 2 frames have no extension
+//! block and remain byte-identical to what PR 5 shipped; decoders accept
+//! both ([`MIN_WIRE_VERSION`]), which is how a v2 client keeps working
+//! against a v3 server (the server mirrors the client's version in its
+//! responses).
+//!
+//! The CRC is FNV-1a over `version ‖ kind ‖ ext ‖ payload`, so a single
+//! flipped bit anywhere after the magic is detected. `len` counts the
+//! payload only and is capped at [`MAX_PAYLOAD`] **before** any
+//! allocation happens, so a corrupted length can neither over-read the
+//! stream nor balloon memory.
 //!
 //! ## Versioning rule
 //!
 //! [`WIRE_VERSION`] bumps whenever an existing variant's encoding changes
-//! shape; *appending* new variants (new tags) is backwards-compatible and
+//! shape or the frame envelope changes (the v3 extension block);
+//! *appending* new variants (new tags) is backwards-compatible and
 //! does not bump the version. A decoder rejects frames whose version it
 //! does not know with [`WireError::UnsupportedVersion`] and unknown tags
 //! with [`WireError::BadTag`] — it never guesses.
@@ -33,11 +45,20 @@ use std::io::{Read, Write};
 use memex_core::memex::{BillLine, FolderProposal, RecallHit};
 use memex_core::servlet::{Request, Response};
 use memex_graph::trail::{ContextNode, TrailContext};
+use memex_obs::trace::{SpanData, TraceData};
 use memex_obs::{Event, HistogramSnapshot, Snapshot, NUM_BUCKETS};
 use memex_server::events::{ArchiveMode, ClientEvent, VisitEvent};
 
 /// Current wire version (see the module docs for the bump rule).
-pub const WIRE_VERSION: u8 = 2;
+/// v3 added the optional trace-context extension block.
+pub const WIRE_VERSION: u8 = 3;
+
+/// Oldest wire version this decoder still accepts. v2 frames (no
+/// extension block) decode exactly as they did before the v3 bump.
+pub const MIN_WIRE_VERSION: u8 = 2;
+
+/// Extension flag bit: an 8-byte trace id follows the flags byte.
+pub const EXT_FLAG_TRACE: u8 = 0b0000_0001;
 
 /// Hard cap on a frame's payload. Anything larger is rejected before
 /// allocation with [`WireError::Oversized`].
@@ -161,19 +182,79 @@ fn fnv1a(parts: &[&[u8]]) -> u32 {
 // Frame IO
 // ---------------------------------------------------------------------------
 
-/// Assemble a complete frame (header + payload + checksum) in memory.
+/// Trace context carried in a v3 frame's extension block: the 64-bit id
+/// the client stamped on the request, echoed back on the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace_id: u64,
+}
+
+/// A fully decoded frame envelope: which version the peer spoke, what the
+/// frame carries, and the trace context (v3 frames only, when stamped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameMeta {
+    pub version: u8,
+    pub kind: FrameKind,
+    pub trace: Option<TraceContext>,
+    pub payload: Vec<u8>,
+}
+
+/// Borrowed twin of [`FrameMeta`] for frames held entirely in a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    pub version: u8,
+    pub kind: FrameKind,
+    pub trace: Option<TraceContext>,
+    pub payload: &'a [u8],
+}
+
+/// Assemble a complete frame (header + payload + checksum) in memory at
+/// the current wire version, with no trace context.
 pub fn frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    frame_bytes_versioned(WIRE_VERSION, kind, payload, None)
+}
+
+/// Assemble a frame at an explicit wire version. A server answers in the
+/// version the client spoke; v2 frames cannot carry a trace context
+/// (callers must pass `None`).
+pub fn frame_bytes_versioned(
+    version: u8,
+    kind: FrameKind,
+    payload: &[u8],
+    trace: Option<TraceContext>,
+) -> Vec<u8> {
+    assert!(
+        (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version),
+        "cannot encode wire version {version}"
+    );
     assert!(
         payload.len() <= MAX_PAYLOAD,
         "encoder produced oversized payload"
     );
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    debug_assert!(
+        version >= 3 || trace.is_none(),
+        "v2 frames cannot carry a trace context"
+    );
+    let mut ext: Vec<u8> = Vec::with_capacity(9);
+    if version >= 3 {
+        match trace {
+            Some(t) => {
+                ext.push(EXT_FLAG_TRACE);
+                ext.extend_from_slice(&t.trace_id.to_le_bytes());
+            }
+            None => ext.push(0),
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + ext.len() + payload.len() + TRAILER_LEN);
     out.extend_from_slice(&MAGIC);
-    out.push(WIRE_VERSION);
+    out.push(version);
     out.push(kind.to_byte());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&ext);
     out.extend_from_slice(payload);
-    out.extend_from_slice(&fnv1a(&[&[WIRE_VERSION, kind.to_byte()], payload]).to_le_bytes());
+    out.extend_from_slice(
+        &fnv1a(&[&[version, kind.to_byte()], ext.as_slice(), payload]).to_le_bytes(),
+    );
     out
 }
 
@@ -181,6 +262,31 @@ pub fn frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
 pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
     w.write_all(&frame_bytes(kind, payload))?;
     w.flush()?;
+    Ok(())
+}
+
+/// Write one frame at an explicit version/trace context.
+pub fn write_frame_versioned(
+    w: &mut impl Write,
+    version: u8,
+    kind: FrameKind,
+    payload: &[u8],
+    trace: Option<TraceContext>,
+) -> Result<(), WireError> {
+    w.write_all(&frame_bytes_versioned(version, kind, payload, trace))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reject extension-flag bits this decoder does not understand. An
+/// unknown extension changes the framing, so skipping is never safe.
+fn validate_ext_flags(flags: u8) -> Result<(), WireError> {
+    if flags & !EXT_FLAG_TRACE != 0 {
+        return Err(WireError::BadTag {
+            what: "frame extension flags",
+            tag: flags,
+        });
+    }
     Ok(())
 }
 
@@ -210,21 +316,56 @@ fn arr8(b: &[u8]) -> Result<[u8; 8], WireError> {
 /// Read one frame from a stream, enforcing the size cap *before*
 /// allocating the payload buffer and verifying the checksum after.
 pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> {
+    let meta = read_frame_meta(r)?;
+    Ok((meta.kind, meta.payload))
+}
+
+/// [`read_frame`] exposing the full envelope: wire version and trace
+/// context alongside kind and payload.
+pub fn read_frame_meta(r: &mut impl Read) -> Result<FrameMeta, WireError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
-    let (kind, len) = parse_header(&header)?;
+    let (version, kind, len) = parse_header(&header)?;
+    let mut ext: Vec<u8> = Vec::with_capacity(9);
+    let mut trace = None;
+    if version >= 3 {
+        let mut flags = [0u8; 1];
+        r.read_exact(&mut flags)?;
+        let [flag_byte] = flags;
+        validate_ext_flags(flag_byte)?;
+        ext.push(flag_byte);
+        if flag_byte & EXT_FLAG_TRACE != 0 {
+            let mut id = [0u8; 8];
+            r.read_exact(&mut id)?;
+            trace = Some(TraceContext {
+                trace_id: u64::from_le_bytes(id),
+            });
+            ext.extend_from_slice(&id);
+        }
+    }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     let mut trailer = [0u8; TRAILER_LEN];
     r.read_exact(&mut trailer)?;
-    check_crc(&header, &payload, trailer)?;
-    Ok((kind, payload))
+    check_crc(&header, &ext, &payload, trailer)?;
+    Ok(FrameMeta {
+        version,
+        kind,
+        trace,
+        payload,
+    })
 }
 
 /// Decode a frame held entirely in `buf`. Unlike [`read_frame`], the buffer
 /// must contain *exactly* one frame: short buffers are
 /// [`WireError::Truncated`], long ones [`WireError::TrailingBytes`].
 pub fn decode_frame(buf: &[u8]) -> Result<(FrameKind, &[u8]), WireError> {
+    let view = decode_frame_meta(buf)?;
+    Ok((view.kind, view.payload))
+}
+
+/// [`decode_frame`] exposing the full envelope.
+pub fn decode_frame_meta(buf: &[u8]) -> Result<FrameView<'_>, WireError> {
     let header = match *buf {
         [a, b, c, d, e, f, g, h, ..] => [a, b, c, d, e, f, g, h],
         _ => {
@@ -234,8 +375,25 @@ pub fn decode_frame(buf: &[u8]) -> Result<(FrameKind, &[u8]), WireError> {
             })
         }
     };
-    let (kind, len) = parse_header(&header)?;
-    let total = HEADER_LEN + len + TRAILER_LEN;
+    let (version, kind, len) = parse_header(&header)?;
+    let mut ext_len = 0usize;
+    let mut trace = None;
+    if version >= 3 {
+        let flags = *buf.get(HEADER_LEN).ok_or(WireError::Truncated {
+            needed: HEADER_LEN + 1,
+            available: buf.len(),
+        })?;
+        validate_ext_flags(flags)?;
+        ext_len = 1;
+        if flags & EXT_FLAG_TRACE != 0 {
+            let id = arr8(buf.get(HEADER_LEN + 1..).unwrap_or(&[]))?;
+            trace = Some(TraceContext {
+                trace_id: u64::from_le_bytes(id),
+            });
+            ext_len = 9;
+        }
+    }
+    let total = HEADER_LEN + ext_len + len + TRAILER_LEN;
     if buf.len() < total {
         return Err(WireError::Truncated {
             needed: total,
@@ -245,23 +403,33 @@ pub fn decode_frame(buf: &[u8]) -> Result<(FrameKind, &[u8]), WireError> {
     if buf.len() > total {
         return Err(WireError::TrailingBytes(buf.len() - total));
     }
+    let truncated = WireError::Truncated {
+        needed: total,
+        available: buf.len(),
+    };
+    let ext = buf.get(HEADER_LEN..HEADER_LEN + ext_len).ok_or(truncated)?;
     let payload = buf
-        .get(HEADER_LEN..HEADER_LEN + len)
+        .get(HEADER_LEN + ext_len..HEADER_LEN + ext_len + len)
         .ok_or(WireError::Truncated {
             needed: total,
             available: buf.len(),
         })?;
-    let trailer = arr4(buf.get(HEADER_LEN + len..).unwrap_or(&[]))?;
-    check_crc(&header, payload, trailer)?;
-    Ok((kind, payload))
+    let trailer = arr4(buf.get(HEADER_LEN + ext_len + len..).unwrap_or(&[]))?;
+    check_crc(&header, ext, payload, trailer)?;
+    Ok(FrameView {
+        version,
+        kind,
+        trace,
+        payload,
+    })
 }
 
-fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, usize), WireError> {
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, FrameKind, usize), WireError> {
     let [m0, m1, version, kind, l0, l1, l2, l3] = *header;
     if [m0, m1] != MAGIC {
         return Err(WireError::BadMagic([m0, m1]));
     }
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let kind = FrameKind::from_byte(kind)?;
@@ -272,17 +440,18 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, usize), WireErr
             cap: MAX_PAYLOAD as u64,
         });
     }
-    Ok((kind, len))
+    Ok((version, kind, len))
 }
 
 fn check_crc(
     header: &[u8; HEADER_LEN],
+    ext: &[u8],
     payload: &[u8],
     trailer: [u8; TRAILER_LEN],
 ) -> Result<(), WireError> {
     let [_, _, version, kind, ..] = *header;
     let expected = u32::from_le_bytes(trailer);
-    let actual = fnv1a(&[&[version, kind], payload]);
+    let actual = fnv1a(&[&[version, kind], ext, payload]);
     if expected != actual {
         return Err(WireError::ChecksumMismatch { expected, actual });
     }
@@ -670,6 +839,38 @@ fn read_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, WireError> {
     })
 }
 
+fn write_trace_data(w: &mut Writer, t: &TraceData) {
+    w.u64(t.trace_id);
+    w.len(t.spans.len());
+    for s in &t.spans {
+        w.u32(s.id);
+        w.opt_u32(s.parent);
+        w.string(&s.name);
+        w.u64(s.start_ns);
+        w.u64(s.end_ns);
+        w.len(s.annotations.len());
+        for (k, v) in &s.annotations {
+            w.string(k);
+            w.string(v);
+        }
+    }
+}
+
+fn read_trace_data(r: &mut Reader<'_>) -> Result<TraceData, WireError> {
+    let trace_id = r.u64()?;
+    let spans = read_vec(r, |r| {
+        Ok(SpanData {
+            id: r.u32()?,
+            parent: r.opt_u32()?,
+            name: r.string()?,
+            start_ns: r.u64()?,
+            end_ns: r.u64()?,
+            annotations: read_vec(r, |r| Ok((r.string()?, r.string()?)))?,
+        })
+    })?;
+    Ok(TraceData { trace_id, spans })
+}
+
 // ---------------------------------------------------------------------------
 // Request / Response
 // ---------------------------------------------------------------------------
@@ -760,6 +961,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => {
             w.u8(10);
         }
+        Request::Traces { slow_only, limit } => {
+            w.u8(11);
+            w.bool(*slow_only);
+            w.usize(*limit);
+        }
     }
     w.buf
 }
@@ -812,6 +1018,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             k: r.usize()?,
         },
         10 => Request::Stats,
+        11 => Request::Traces {
+            slow_only: r.bool()?,
+            limit: r.usize()?,
+        },
         tag => {
             return Err(WireError::BadTag {
                 what: "Request",
@@ -906,6 +1116,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u32(*in_flight);
             w.u32(*limit);
         }
+        Response::Traces(traces) => {
+            w.u8(13);
+            w.len(traces.len());
+            for t in traces {
+                write_trace_data(&mut w, t);
+            }
+        }
     }
     w.buf
 }
@@ -956,6 +1173,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             in_flight: r.u32()?,
             limit: r.u32()?,
         },
+        13 => Response::Traces(read_vec(&mut r, read_trace_data)?),
         tag => {
             return Err(WireError::BadTag {
                 what: "Response",
@@ -1040,5 +1258,99 @@ mod tests {
             decode_request(&payload),
             Err(WireError::TrailingBytes(1))
         ));
+    }
+
+    #[test]
+    fn trace_context_roundtrips_in_v3_frames() {
+        let payload = encode_request(&Request::Stats);
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        let frame = frame_bytes_versioned(WIRE_VERSION, FrameKind::Request, &payload, Some(ctx));
+        let view = decode_frame_meta(&frame).expect("decode");
+        assert_eq!(view.version, WIRE_VERSION);
+        assert_eq!(view.trace, Some(ctx));
+        assert_eq!(view.payload, &payload[..]);
+        // Stream path agrees.
+        let mut cursor = std::io::Cursor::new(frame);
+        let meta = read_frame_meta(&mut cursor).expect("read");
+        assert_eq!(meta.trace, Some(ctx));
+        assert_eq!(meta.payload, payload);
+    }
+
+    #[test]
+    fn v2_frames_still_decode_and_carry_no_trace() {
+        let payload = encode_request(&Request::Stats);
+        let frame = frame_bytes_versioned(2, FrameKind::Request, &payload, None);
+        // Byte-identical to the pre-v3 layout: header, payload, crc.
+        assert_eq!(frame.len(), HEADER_LEN + payload.len() + TRAILER_LEN);
+        let view = decode_frame_meta(&frame).expect("decode v2");
+        assert_eq!(view.version, 2);
+        assert_eq!(view.trace, None);
+        assert_eq!(view.payload, &payload[..]);
+        let (kind, decoded) = decode_frame(&frame).expect("plain decode");
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(decoded, &payload[..]);
+    }
+
+    #[test]
+    fn unknown_extension_flags_rejected() {
+        let payload = encode_request(&Request::Stats);
+        let mut frame = frame_bytes_versioned(WIRE_VERSION, FrameKind::Request, &payload, None);
+        frame[HEADER_LEN] = 0x82; // unknown high bits
+        assert!(matches!(
+            decode_frame_meta(&frame),
+            Err(WireError::BadTag {
+                what: "frame extension flags",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_versions_rejected() {
+        let payload = encode_request(&Request::Stats);
+        let mut frame = frame_bytes(FrameKind::Request, &payload);
+        for bad in [0u8, 1, WIRE_VERSION + 1, 255] {
+            frame[2] = bad;
+            assert!(matches!(
+                decode_frame_meta(&frame),
+                Err(WireError::UnsupportedVersion(v)) if v == bad
+            ));
+        }
+    }
+
+    #[test]
+    fn traces_request_and_response_roundtrip() {
+        let req = Request::Traces {
+            slow_only: true,
+            limit: 17,
+        };
+        assert_eq!(decode_request(&encode_request(&req)).expect("req"), req);
+        let resp = Response::Traces(vec![TraceData {
+            trace_id: 42,
+            spans: vec![
+                SpanData {
+                    id: 1,
+                    parent: Some(0),
+                    name: "index.bm25".into(),
+                    start_ns: 10,
+                    end_ns: 90,
+                    annotations: vec![],
+                },
+                SpanData {
+                    id: 0,
+                    parent: None,
+                    name: "net.req".into(),
+                    start_ns: 0,
+                    end_ns: 100,
+                    annotations: vec![("lock_wait_ns".into(), "7".into())],
+                },
+            ],
+        }]);
+        assert_eq!(
+            decode_response(&encode_response(&resp)).expect("resp"),
+            resp
+        );
     }
 }

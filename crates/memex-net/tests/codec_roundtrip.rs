@@ -16,7 +16,7 @@ use memex_core::memex::{BillLine, FolderProposal, RecallHit};
 use memex_core::servlet::{Request, Response};
 use memex_graph::trail::{ContextNode, TrailContext};
 use memex_net::wire;
-use memex_obs::{Event, HistogramSnapshot, Snapshot, NUM_BUCKETS};
+use memex_obs::{Event, HistogramSnapshot, Snapshot, SpanData, TraceData, NUM_BUCKETS};
 use memex_server::events::{ArchiveMode, ClientEvent, VisitEvent};
 
 // ---------------------------------------------------------------------------
@@ -122,8 +122,38 @@ fn arb_request() -> BoxedStrategy<Request> {
         any::<u32>().prop_map(|user| Request::ExportBookmarks { user }),
         (any::<u32>(), any::<usize>()).prop_map(|(user, k)| Request::ProposeFolders { user, k }),
         Just(Request::Stats),
+        (any::<bool>(), any::<usize>())
+            .prop_map(|(slow_only, limit)| Request::Traces { slow_only, limit }),
     ]
     .boxed()
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceData> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(
+            (
+                any::<u32>(),
+                prop_oneof![Just(None), any::<u32>().prop_map(Some)],
+                arb_string(),
+                any::<u64>(),
+                any::<u64>(),
+                proptest::collection::vec((arb_string(), arb_string()), 0..3),
+            )
+                .prop_map(|(id, parent, name, start_ns, end_ns, annotations)| {
+                    SpanData {
+                        id,
+                        parent,
+                        name,
+                        start_ns,
+                        end_ns,
+                        annotations,
+                    }
+                }),
+            0..5,
+        ),
+    )
+        .prop_map(|(trace_id, spans)| TraceData { trace_id, spans })
 }
 
 fn arb_scored() -> impl Strategy<Value = Vec<(u32, f64)>> {
@@ -241,6 +271,7 @@ fn arb_response() -> BoxedStrategy<Response> {
         )
         .prop_map(Response::Proposals),
         arb_snapshot().prop_map(Response::Stats),
+        proptest::collection::vec(arb_trace(), 0..3).prop_map(Response::Traces),
         arb_string().prop_map(Response::Error),
         (any::<u32>(), any::<u32>())
             .prop_map(|(in_flight, limit)| Response::Overloaded { in_flight, limit }),
@@ -252,8 +283,8 @@ fn arb_response() -> BoxedStrategy<Response> {
 // Variant-coverage guard (wildcard-free on purpose)
 // ---------------------------------------------------------------------------
 
-const REQUEST_VARIANTS: usize = 11;
-const RESPONSE_VARIANTS: usize = 13;
+const REQUEST_VARIANTS: usize = 12;
+const RESPONSE_VARIANTS: usize = 14;
 
 fn request_variant_index(r: &Request) -> usize {
     match r {
@@ -268,6 +299,7 @@ fn request_variant_index(r: &Request) -> usize {
         Request::ExportBookmarks { .. } => 8,
         Request::ProposeFolders { .. } => 9,
         Request::Stats => 10,
+        Request::Traces { .. } => 11,
     }
 }
 
@@ -284,8 +316,9 @@ fn response_variant_index(r: &Response) -> usize {
         Response::Exported(_) => 8,
         Response::Proposals(_) => 9,
         Response::Stats(_) => 10,
-        Response::Error(_) => 11,
-        Response::Overloaded { .. } => 12,
+        Response::Traces(_) => 11,
+        Response::Error(_) => 12,
+        Response::Overloaded { .. } => 13,
     }
 }
 
@@ -338,6 +371,35 @@ proptest! {
         let (kind, framed) = wire::decode_frame(&frame).expect("decode own frame");
         prop_assert_eq!(kind, wire::FrameKind::Response);
         prop_assert_eq!(framed, &payload[..]);
+    }
+
+    #[test]
+    fn traced_frame_roundtrips(req in arb_request(), trace_id in any::<u64>()) {
+        // A v3 frame carrying a trace context decodes back to the same
+        // payload and the same trace id; a v2 frame of the same payload
+        // decodes with no trace attached.
+        let payload = wire::encode_request(&req);
+        let ctx = wire::TraceContext { trace_id };
+        let v3 = wire::frame_bytes_versioned(
+            wire::WIRE_VERSION,
+            wire::FrameKind::Request,
+            &payload,
+            Some(ctx),
+        );
+        let meta = wire::decode_frame_meta(&v3).expect("decode v3 frame");
+        prop_assert_eq!(meta.version, wire::WIRE_VERSION);
+        prop_assert_eq!(meta.trace, Some(ctx));
+        prop_assert_eq!(&meta.payload, &payload);
+        let v2 = wire::frame_bytes_versioned(
+            wire::MIN_WIRE_VERSION,
+            wire::FrameKind::Request,
+            &payload,
+            None,
+        );
+        let meta = wire::decode_frame_meta(&v2).expect("decode v2 frame");
+        prop_assert_eq!(meta.version, wire::MIN_WIRE_VERSION);
+        prop_assert_eq!(meta.trace, None);
+        prop_assert_eq!(&meta.payload, &payload);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! End-to-end tracing over a live loopback server: every request — cache
+//! hits included — must leave exactly one complete span tree in the
+//! flight recorder, slow requests must land in the slow log with their
+//! lock-wait accounting and per-layer children, and wire-v2 peers must
+//! keep working against the v3 server (and vice versa).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use memex_core::memex::{Memex, MemexOptions};
+use memex_core::servlet::{Request, Response};
+use memex_net::wire::{self, FrameKind, TraceContext};
+use memex_net::{ClientConfig, MemexClient, NetServer, NetServerConfig};
+use memex_obs::{TraceConfig, TraceData};
+use memex_server::events::{ClientEvent, VisitEvent};
+use memex_web::corpus::{Corpus, CorpusConfig};
+
+/// A small archived world: one user with a short referrer chain, demons
+/// drained, so recall/bill queries have something to chew on.
+fn small_world() -> (Arc<Corpus>, Memex) {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 2,
+        pages_per_topic: 15,
+        ..CorpusConfig::default()
+    }));
+    let mut memex = Memex::new(corpus.clone(), MemexOptions::default()).expect("build memex");
+    memex.register_user(1, "user1").expect("register");
+    let pages = corpus.pages_of_topic(0);
+    let mut prev = None;
+    for (i, &page) in pages.iter().take(6).enumerate() {
+        memex.submit(ClientEvent::Visit(VisitEvent {
+            user: 1,
+            session: 1,
+            page,
+            url: corpus.pages[page as usize].url.clone(),
+            time: 1 + i as u64,
+            referrer: prev,
+        }));
+        prev = Some(page);
+    }
+    memex.run_demons().expect("demons");
+    (corpus, memex)
+}
+
+fn traced_server_config() -> NetServerConfig {
+    NetServerConfig {
+        trace: TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        },
+        ..NetServerConfig::default()
+    }
+}
+
+fn find_trace(traces: &[TraceData], id: u64) -> &TraceData {
+    traces
+        .iter()
+        .find(|t| t.trace_id == id)
+        .unwrap_or_else(|| panic!("no trace with id {id:#x} in the flight recorder"))
+}
+
+/// Does the tree contain a span with this name anywhere under the root?
+fn has_span(trace: &TraceData, name: &str) -> bool {
+    trace.span(name).is_some()
+}
+
+#[test]
+fn every_request_records_exactly_one_complete_trace() {
+    let (corpus, memex) = small_world();
+    let server =
+        NetServer::start(memex, "127.0.0.1:0", traced_server_config()).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let mut client = MemexClient::connect(addr, ClientConfig::default()).expect("connect");
+
+    let recall = Request::Recall {
+        user: 1,
+        query: "page".into(),
+        since: 0,
+        until: u64::MAX,
+        k: 5,
+    };
+    // 1. recall (cache miss), 2. identical recall (cache hit), 3. bill,
+    // 4. stats (uncacheable), 5. bookmark event (write).
+    let page = corpus.pages_of_topic(0)[0];
+    let write = Request::Event(ClientEvent::Bookmark {
+        user: 1,
+        page,
+        url: corpus.pages[page as usize].url.clone(),
+        folder: "/traced".into(),
+        time: 99,
+    });
+    let sequence = [
+        recall.clone(),
+        recall,
+        Request::Bill {
+            user: 1,
+            since: 0,
+            until: u64::MAX,
+        },
+        Request::Stats,
+        write,
+    ];
+    let mut ids = Vec::new();
+    for req in &sequence {
+        client.request(req).expect("request over wire");
+        ids.push(
+            client
+                .last_trace_id()
+                .expect("v3 client stamps every request"),
+        );
+    }
+
+    let Response::Traces(traces) = client
+        .request(&Request::Traces {
+            slow_only: false,
+            limit: 100,
+        })
+        .expect("traces over wire")
+    else {
+        panic!("Traces request answered with a non-Traces response");
+    };
+
+    // Exactly one trace per completed request, each a complete tree rooted
+    // at net.req, keyed by the id the client stamped into the frame.
+    assert_eq!(traces.len(), sequence.len(), "one trace per request");
+    let unique: HashSet<u64> = traces.iter().map(|t| t.trace_id).collect();
+    assert_eq!(unique.len(), traces.len(), "trace ids must be unique");
+    for t in &traces {
+        assert!(t.trace_id != 0, "trace ids are never zero");
+        assert!(t.is_complete(), "incomplete span tree: {t:?}");
+        assert_eq!(t.root().expect("root").name, "net.req");
+        assert!(has_span(t, "net.decode"), "decode span missing: {t:?}");
+        assert!(has_span(t, "net.encode"), "encode span missing: {t:?}");
+    }
+    for &id in &ids {
+        find_trace(&traces, id);
+    }
+
+    // The cache miss dispatched for real: servlet child plus the index
+    // descendant under it.
+    let miss = find_trace(&traces, ids[0]);
+    assert!(has_span(miss, "recall"), "servlet child missing: {miss:?}");
+    assert!(
+        has_span(miss, "index.bm25"),
+        "index child missing: {miss:?}"
+    );
+    assert!(miss.root().unwrap().annotation("cache_hit").is_none());
+    assert_eq!(
+        miss.root().unwrap().annotation("lock_kind"),
+        Some("read"),
+        "read lock annotation missing: {miss:?}"
+    );
+    assert!(miss.root().unwrap().annotation("lock_wait_ns").is_some());
+
+    // The identical repeat was served from the read cache — no dispatch,
+    // no servlet child, but still a complete trace flagged as a hit.
+    let hit = find_trace(&traces, ids[1]);
+    assert_eq!(
+        hit.root().unwrap().annotation("cache_hit"),
+        Some("true"),
+        "cache hit not annotated: {hit:?}"
+    );
+    assert!(!has_span(hit, "recall"), "cache hit must not dispatch");
+
+    // The write carried its servlet child and reached the store layer.
+    let write_trace = find_trace(&traces, ids[4]);
+    assert_eq!(
+        write_trace.root().unwrap().annotation("lock_kind"),
+        Some("write")
+    );
+    assert!(
+        has_span(write_trace, "event"),
+        "write servlet child: {write_trace:?}"
+    );
+    assert!(
+        has_span(write_trace, "store.kv.put"),
+        "store child missing from write trace: {write_trace:?}"
+    );
+
+    // The tracer the server hands back agrees with what the wire reported
+    // (plus the Traces request itself, which completed after collecting).
+    let memex = server.shutdown();
+    assert_eq!(memex.tracer().recorded(), sequence.len() + 1);
+    let snap = memex.registry().snapshot();
+    assert_eq!(snap.counter("trace.started"), sequence.len() as u64 + 1);
+    assert_eq!(snap.counter("trace.completed"), sequence.len() as u64 + 1);
+    // The cache hit recorded the servlet latency histogram (the metrics
+    // blind spot this PR closes): two recalls, two observations.
+    let lat = snap
+        .histogram("servlet.recall.latency")
+        .expect("recall latency histogram");
+    assert_eq!(lat.count, 2, "cache hit skipped the latency histogram");
+    assert!(snap.histogram("net.lock.wait").is_some());
+}
+
+#[test]
+fn slow_requests_land_in_the_slow_log_with_lock_wait_and_layer_children() {
+    let (corpus, memex) = small_world();
+    let config = NetServerConfig {
+        trace: TraceConfig {
+            enabled: true,
+            // Every request is "slow": the slow log sees them all.
+            slow_threshold_ns: 0,
+            ..TraceConfig::default()
+        },
+        ..NetServerConfig::default()
+    };
+    let server = NetServer::start(memex, "127.0.0.1:0", config).expect("bind");
+    let mut client =
+        MemexClient::connect(server.local_addr(), ClientConfig::default()).expect("connect");
+
+    let page = corpus.pages_of_topic(1)[0];
+    client
+        .request(&Request::Event(ClientEvent::Bookmark {
+            user: 1,
+            page,
+            url: corpus.pages[page as usize].url.clone(),
+            folder: "/slow".into(),
+            time: 50,
+        }))
+        .expect("write over wire");
+    let write_id = client.last_trace_id().expect("stamped");
+
+    let Response::Traces(slow) = client
+        .request(&Request::Traces {
+            slow_only: true,
+            limit: 10,
+        })
+        .expect("slow log over wire")
+    else {
+        panic!("Traces request answered with a non-Traces response");
+    };
+
+    let t = find_trace(&slow, write_id);
+    assert!(t.is_complete());
+    let root = t.root().expect("root");
+    assert_eq!(root.name, "net.req");
+    let wait: u64 = root
+        .annotation("lock_wait_ns")
+        .expect("slow trace must account its lock wait")
+        .parse()
+        .expect("lock_wait_ns is a number");
+    assert!(wait < 60_000_000_000, "implausible lock wait: {wait}ns");
+    assert_eq!(root.annotation("lock_kind"), Some("write"));
+    // Per-layer children: framing, servlet, storage.
+    for name in ["net.decode", "net.encode", "event", "store.kv.put"] {
+        assert!(has_span(t, name), "slow trace lacks `{name}` child: {t:?}");
+    }
+
+    let memex = server.shutdown();
+    let snap = memex.registry().snapshot();
+    assert!(snap.counter("slowlog.retained") >= 2);
+}
+
+#[test]
+fn wire_v2_peers_are_served_and_v3_echoes_the_trace_context() {
+    let (_corpus, memex) = small_world();
+    let server = NetServer::start(memex, "127.0.0.1:0", traced_server_config()).expect("bind");
+    let addr = server.local_addr();
+
+    // A v2-configured client: no trace stamping, answers still arrive.
+    let mut v2 = MemexClient::connect(
+        addr,
+        ClientConfig {
+            wire_version: 2,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect v2");
+    assert!(matches!(
+        v2.request(&Request::Stats).expect("v2 stats"),
+        Response::Stats(_)
+    ));
+    assert_eq!(v2.last_trace_id(), None, "v2 clients never stamp ids");
+
+    // Raw v2 exchange: the response frame mirrors version 2 and carries no
+    // trace extension — byte-compatible with the pre-tracing protocol.
+    let payload = wire::encode_request(&Request::Stats);
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    wire::write_frame_versioned(
+        &mut raw,
+        wire::MIN_WIRE_VERSION,
+        FrameKind::Request,
+        &payload,
+        None,
+    )
+    .expect("write v2 frame");
+    let meta = wire::read_frame_meta(&mut raw).expect("v2 response");
+    assert_eq!(meta.version, wire::MIN_WIRE_VERSION);
+    assert_eq!(meta.trace, None, "v2 response must not grow an extension");
+    assert!(matches!(
+        wire::decode_response(&meta.payload).expect("decode"),
+        Response::Stats(_)
+    ));
+
+    // Raw v3 exchange: the server echoes the client's trace id back in the
+    // response envelope and records the trace under that id.
+    let ctx = TraceContext {
+        trace_id: 0xDEAD_BEEF_CAFE_F00D,
+    };
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    wire::write_frame_versioned(
+        &mut raw,
+        wire::WIRE_VERSION,
+        FrameKind::Request,
+        &payload,
+        Some(ctx),
+    )
+    .expect("write v3 frame");
+    let meta = wire::read_frame_meta(&mut raw).expect("v3 response");
+    assert_eq!(meta.version, wire::WIRE_VERSION);
+    assert_eq!(meta.trace, Some(ctx), "v3 response must echo the trace id");
+
+    let memex = server.shutdown();
+    let traces = memex.tracer().collect(false, 100);
+    assert!(
+        traces.iter().any(|t| t.trace_id == ctx.trace_id),
+        "propagated id absent from the flight recorder"
+    );
+    // The v2 requests were traced too — under server-generated ids.
+    assert!(traces.len() >= 3, "v2 requests must still be traced");
+    assert!(traces.iter().all(|t| t.is_complete()));
+}
+
+/// Tracing disabled must stay cheap. A hard <5% bound is too flaky for
+/// shared CI hardware, so this asserts a lenient envelope — the precise
+/// off/on ratio is measured and reported by the N1 bench (`BENCH_PR6.json`).
+#[test]
+fn disabled_tracing_keeps_request_throughput() {
+    fn best_elapsed(enabled: bool) -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..3 {
+            let (_corpus, memex) = small_world();
+            let config = NetServerConfig {
+                trace: TraceConfig {
+                    enabled,
+                    ..TraceConfig::default()
+                },
+                ..NetServerConfig::default()
+            };
+            let server = NetServer::start(memex, "127.0.0.1:0", config).expect("bind");
+            let mut client = MemexClient::connect(server.local_addr(), ClientConfig::default())
+                .expect("connect");
+            let req = Request::Bill {
+                user: 1,
+                since: 0,
+                until: u64::MAX,
+            };
+            let started = Instant::now();
+            for _ in 0..200 {
+                client.request(&req).expect("request");
+            }
+            best = best.min(started.elapsed());
+            server.shutdown();
+        }
+        best
+    }
+
+    let off = best_elapsed(false);
+    let on = best_elapsed(true);
+    // Lenient both ways: neither mode may be drastically slower than the
+    // other (catches a disabled path that still does real work, and an
+    // enabled path with pathological contention).
+    assert!(
+        off <= on.saturating_mul(3),
+        "tracing-off ({off:?}) drastically slower than tracing-on ({on:?})"
+    );
+    assert!(
+        on <= off.saturating_mul(5),
+        "tracing-on ({on:?}) pathologically slower than tracing-off ({off:?})"
+    );
+}

@@ -31,10 +31,12 @@
 mod histogram;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use histogram::{bucket_of, bucket_upper_bound, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, SpanGuard};
 pub use snapshot::{Event, Snapshot};
+pub use trace::{SpanData, TraceConfig, TraceData, TraceId, Tracer};
 
 use std::sync::OnceLock;
 

@@ -237,7 +237,7 @@ fn push_joined<T>(out: &mut String, items: &[T], mut f: impl FnMut(&mut String, 
     }
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,158 @@
+//! Exporter golden tests: the four render targets (text, Prometheus,
+//! JSON, Chrome `trace_event`) are wire formats consumed by external
+//! tools, so their exact output is pinned here. A formatting change that
+//! breaks these is a format change, not a refactor.
+
+use memex_obs::trace::render_chrome_trace;
+use memex_obs::{
+    Event, HistogramSnapshot, MetricsRegistry, Snapshot, SpanData, TraceData, NUM_BUCKETS,
+};
+
+/// A deterministic snapshot covering every section: two counters, one
+/// gauge, one histogram with two known observations (100ns → bucket 7
+/// with upper bound 127, 1000ns → bucket 10 with upper bound 1023), one
+/// event ring.
+fn golden_snapshot() -> Snapshot {
+    let mut h = HistogramSnapshot {
+        buckets: [0; NUM_BUCKETS],
+        count: 2,
+        sum: 1100,
+    };
+    h.buckets[7] = 1;
+    h.buckets[10] = 1;
+    Snapshot {
+        counters: vec![
+            ("net.req.ok".to_string(), 7),
+            ("trace.started".to_string(), 2),
+        ],
+        gauges: vec![("net.conn.active".to_string(), -1)],
+        histograms: vec![("servlet.recall.latency".to_string(), h)],
+        events: vec![(
+            "store".to_string(),
+            vec![Event {
+                seq: 1,
+                message: "checkpoint done".to_string(),
+            }],
+        )],
+    }
+}
+
+#[test]
+fn text_export_is_stable() {
+    let expected = "\
+== counters ==
+  net.req.ok     7
+  trace.started  2
+== gauges ==
+  net.conn.active  -1
+== histograms (ns) ==
+  servlet.recall.latency  count=2 mean=550ns p50=127ns p99=1023ns max=1023ns
+== recent events ==
+  [     1] store: checkpoint done
+";
+    assert_eq!(golden_snapshot().render_text(), expected);
+}
+
+#[test]
+fn prometheus_export_is_stable() {
+    let expected = "\
+# TYPE net_req_ok counter
+net_req_ok 7
+# TYPE trace_started counter
+trace_started 2
+# TYPE net_conn_active gauge
+net_conn_active -1
+# TYPE servlet_recall_latency histogram
+servlet_recall_latency_bucket{le=\"127\"} 1
+servlet_recall_latency_bucket{le=\"1023\"} 2
+servlet_recall_latency_bucket{le=\"+Inf\"} 2
+servlet_recall_latency_sum 1100
+servlet_recall_latency_count 2
+";
+    assert_eq!(golden_snapshot().render_prometheus(), expected);
+}
+
+#[test]
+fn json_export_is_stable() {
+    let expected = concat!(
+        "{\"counters\":{\"net.req.ok\":7,\"trace.started\":2},",
+        "\"gauges\":{\"net.conn.active\":-1},",
+        "\"histograms\":{\"servlet.recall.latency\":",
+        "{\"count\":2,\"sum\":1100,\"mean\":550.0,\"p50\":127,\"p90\":1023,\"p99\":1023,\"max\":1023}},",
+        "\"events\":{\"store\":[{\"seq\":1,\"message\":\"checkpoint done\"}]}}",
+    );
+    assert_eq!(golden_snapshot().render_json(), expected);
+}
+
+#[test]
+fn json_export_escapes_hostile_strings() {
+    let snap = Snapshot {
+        counters: vec![("quote\"back\\slash".to_string(), 1)],
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+        events: vec![(
+            "ctrl".to_string(),
+            vec![Event {
+                seq: 2,
+                message: "line\nbreak\ttab\rret\u{1}bell".to_string(),
+            }],
+        )],
+    };
+    let json = snap.render_json();
+    assert!(json.contains("\"quote\\\"back\\\\slash\":1"));
+    assert!(json.contains("\"line\\nbreak\\ttab\\rret\\u0001bell\""));
+    // No raw control bytes survive into the output.
+    assert!(json.chars().all(|c| c as u32 >= 0x20));
+}
+
+#[test]
+fn empty_registry_exports_are_well_formed() {
+    let snap = MetricsRegistry::new().snapshot();
+    assert!(snap.is_empty());
+    assert_eq!(snap.render_text(), "(no metrics recorded)\n");
+    assert_eq!(snap.render_prometheus(), "");
+    assert_eq!(
+        snap.render_json(),
+        "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"events\":{}}"
+    );
+    assert_eq!(
+        render_chrome_trace(&[]),
+        "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+    );
+}
+
+#[test]
+fn chrome_trace_export_is_stable() {
+    let trace = TraceData {
+        trace_id: 0xABC,
+        spans: vec![
+            SpanData {
+                id: 0,
+                parent: None,
+                name: "net.req".to_string(),
+                start_ns: 0,
+                end_ns: 5500,
+                annotations: vec![("cache_hit".to_string(), "true".to_string())],
+            },
+            SpanData {
+                id: 1,
+                parent: Some(0),
+                name: "net.decode".to_string(),
+                start_ns: 1000,
+                end_ns: 2500,
+                annotations: Vec::new(),
+            },
+        ],
+    };
+    let expected = concat!(
+        "{\"traceEvents\":[",
+        "{\"name\":\"net.req\",\"cat\":\"memex\",\"ph\":\"X\",\"pid\":1,\"tid\":1,",
+        "\"ts\":0.000,\"dur\":5.500,\"args\":{\"trace_id\":\"0000000000000abc\",",
+        "\"span_id\":0,\"cache_hit\":\"true\"}},",
+        "{\"name\":\"net.decode\",\"cat\":\"memex\",\"ph\":\"X\",\"pid\":1,\"tid\":1,",
+        "\"ts\":1.000,\"dur\":1.500,\"args\":{\"trace_id\":\"0000000000000abc\",",
+        "\"span_id\":1,\"parent\":0}}",
+        "],\"displayTimeUnit\":\"ms\"}",
+    );
+    assert_eq!(render_chrome_trace(&[trace]), expected);
+}

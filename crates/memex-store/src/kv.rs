@@ -171,6 +171,7 @@ impl KvStore {
 
     /// Upsert. Returns the previous value if any.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        let _trace = memex_obs::trace::span("store.kv.put");
         self.wal.append(&WalRecord::Put {
             key: key.to_vec(),
             value: value.to_vec(),
@@ -190,6 +191,7 @@ impl KvStore {
 
     /// Point lookup.
     pub fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        let _trace = memex_obs::trace::span("store.kv.get");
         self.stats.gets += 1;
         self.metrics.gets.inc();
         self.tree.get(&mut self.pager, key)
@@ -276,6 +278,7 @@ impl KvStore {
     /// `[synced, acked]` prefix window. The fault harness in
     /// `tests/fault.rs` exercises every step of this window.
     pub fn checkpoint(&mut self) -> StoreResult<()> {
+        let _trace = memex_obs::trace::span("store.kv.checkpoint");
         self.wal.sync()?;
         self.pager.flush()?;
         self.wal.truncate()?;

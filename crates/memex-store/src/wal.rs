@@ -173,6 +173,7 @@ impl Wal {
     /// next append rewrites the same offset, overwriting any torn bytes
     /// the failed write left behind.
     pub fn append(&mut self, record: &WalRecord) -> StoreResult<u64> {
+        let _trace = memex_obs::trace::span("store.wal.append");
         let lsn = self.next_lsn;
         let payload = record.encode_payload(lsn);
         let mut frame = Vec::with_capacity(payload.len() + 8);
@@ -190,6 +191,7 @@ impl Wal {
     /// Flush appended frames to stable storage. No-op (and no fsync)
     /// when every appended frame is already covered by a prior sync.
     pub fn sync(&mut self) -> StoreResult<()> {
+        let _trace = memex_obs::trace::span("store.wal.sync");
         if self.durable_end == self.end_pos {
             return Ok(());
         }
