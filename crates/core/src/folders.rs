@@ -63,9 +63,15 @@ impl FolderSpace {
         id
     }
 
-    /// All assignments (page, assignment), guesses included.
+    /// All assignments (page, assignment), guesses included, in ascending
+    /// page order. Deterministic order matters: callers feed this into
+    /// classifier training (float-sum order) and user-visible exports, and
+    /// replicated archives must answer identically to their peers.
     pub fn assignments(&self) -> impl Iterator<Item = (u32, PageAssignment)> + '_ {
-        self.assignments.iter().map(|(&p, &a)| (p, a))
+        let mut all: Vec<(u32, PageAssignment)> =
+            self.assignments.iter().map(|(&p, &a)| (p, a)).collect();
+        all.sort_unstable_by_key(|&(p, _)| p);
+        all.into_iter()
     }
 
     /// Assignment of one page.

@@ -119,6 +119,27 @@ impl Request {
             Classified::Write(WriteRequest(self))
         }
     }
+
+    /// The user id this request is scoped to, or `None` for
+    /// community-scoped requests (`Stats`, `Traces`) that aggregate over
+    /// the whole deployment. A sharded serving layer routes `Some(user)`
+    /// requests to shard `user % N` and answers `None` requests from an
+    /// aggregation tier spanning every shard.
+    pub fn shard_key(&self) -> Option<u32> {
+        match self {
+            Request::Event(e) => Some(e.user()),
+            Request::Recall { user, .. }
+            | Request::TrailReplay { user, .. }
+            | Request::WhatsNew { user, .. }
+            | Request::Bill { user, .. }
+            | Request::SimilarSurfers { user, .. }
+            | Request::Recommend { user, .. }
+            | Request::ImportBookmarks { user, .. }
+            | Request::ExportBookmarks { user }
+            | Request::ProposeFolders { user, .. } => Some(*user),
+            Request::Stats | Request::Traces { .. } => None,
+        }
+    }
 }
 
 /// A request proven by [`Request::classify`] to be a pure query.
@@ -145,6 +166,11 @@ impl ReadRequest {
     pub fn into_request(self) -> Request {
         self.0
     }
+
+    /// See [`Request::shard_key`]. `None` for `Stats`/`Traces`.
+    pub fn shard_key(&self) -> Option<u32> {
+        self.0.shard_key()
+    }
 }
 
 impl WriteRequest {
@@ -155,6 +181,16 @@ impl WriteRequest {
 
     pub fn into_request(self) -> Request {
         self.0
+    }
+
+    /// The user id this write is scoped to. Every write variant (`Event`,
+    /// `ImportBookmarks`) carries one, so unlike [`Request::shard_key`]
+    /// this is total.
+    pub fn shard_key(&self) -> u32 {
+        // Both write variants are user-scoped; `unwrap_or` keeps the
+        // serving layer panic-free if a community-scoped write ever
+        // appears (it would route to shard 0).
+        self.0.shard_key().unwrap_or(0)
     }
 }
 
@@ -290,22 +326,38 @@ pub fn dispatch_read(memex: &Memex, request: ReadRequest) -> Response {
 /// admitted afterwards see a fully consistent archive. Records
 /// `servlet.<variant>.latency`.
 pub fn dispatch_write(memex: &mut Memex, request: WriteRequest) -> Response {
-    let request = request.into_request();
     let _span = memex
         .registry()
-        .histogram(request.latency_metric())
+        .histogram(request.as_request().latency_metric())
         .start_span();
-    let _trace = memex_obs::trace::span(request.name());
-    match request {
-        Request::Event(e) => {
-            let archived = memex.submit(e);
-            if let Err(e) = memex.run_demons() {
-                return Response::Error(e.to_string());
-            }
-            Response::Ack { archived }
-        }
+    let _trace = memex_obs::trace::span(request.as_request().name());
+    let verdict = apply_write(memex, &request);
+    if let Err(e) = memex.run_demons() {
+        return Response::Error(e.to_string());
+    }
+    verdict
+}
+
+/// Apply a write's state mutation *without* running the demons (and so
+/// without updating query-visible caches). The verdict response (`Ack` /
+/// `Imported`) is computed here, at ingest time, exactly as
+/// [`dispatch_write`] would.
+///
+/// This is the replication half of sharded serving: a shard catching up on
+/// writes that originated elsewhere applies each pending write with
+/// `apply_write`, then runs the demons **once** for the whole batch —
+/// demon order within a batch only affects unconfirmed folder-classifier
+/// guesses, which no query answer depends on (confirmed assignments are
+/// authoritative everywhere; `bill`/`topic_filter` reclassify on the fly).
+/// The owner shard, which must answer reads immediately, keeps using
+/// [`dispatch_write`].
+pub fn apply_write(memex: &mut Memex, request: &WriteRequest) -> Response {
+    match request.as_request() {
+        Request::Event(e) => Response::Ack {
+            archived: memex.submit(e.clone()),
+        },
         Request::ImportBookmarks { user, html, time } => {
-            let entries = import_netscape(&html);
+            let entries = import_netscape(html);
             let mut archived = 0usize;
             let mut rejected = 0usize;
             let mut unresolved = 0usize;
@@ -318,11 +370,11 @@ pub fn dispatch_write(memex: &mut Memex, request: WriteRequest) -> Response {
                             format!("/{}", e.folder_path.join("/"))
                         };
                         let accepted = memex.submit(ClientEvent::Bookmark {
-                            user,
+                            user: *user,
                             page,
                             url: e.url.clone(),
                             folder,
-                            time,
+                            time: *time,
                         });
                         if accepted {
                             archived += 1;
@@ -332,9 +384,6 @@ pub fn dispatch_write(memex: &mut Memex, request: WriteRequest) -> Response {
                     }
                     None => unresolved += 1,
                 }
-            }
-            if let Err(e) = memex.run_demons() {
-                return Response::Error(e.to_string());
             }
             Response::Imported {
                 archived,

@@ -1,0 +1,211 @@
+//! N-way sharding of per-user Memex state — the paper's Fig. 3
+//! single-producer architecture generalized to N producers.
+//!
+//! [`ShardedMemex`] owns N full [`Memex`] replicas over the same simulated
+//! web. Each user is owned by shard `user % N`: their writes apply there
+//! *eagerly* (ingest + demons, exactly like a single Memex) and replicate
+//! to the other shards *lazily* through an ordered write log. A shard
+//! catches up before answering any request, so every answer it produces is
+//! computed over the full community history — required because almost every
+//! query mixes per-user state with community state (BM25 corpus statistics,
+//! community trails behind `whats_new`/`bill`, cross-user theme profiles).
+//!
+//! The payoff is in *how* a shard catches up: pending writes are applied
+//! state-only ([`servlet::apply_write`]) and the demons run **once** per
+//! batch. The demon sweep (fetch/index/trail/classify/refresh) dominates
+//! per-write cost, so on a write-heavy workload each shard performs ~1/N of
+//! the sweeps a single Memex would — that is the write-scaling mechanism
+//! the serving layer (`memex-net`) exploits with one `RwLock` per shard.
+//!
+//! Batching is answer-preserving: demon batch boundaries only influence
+//! *unconfirmed* folder-classifier guesses, and no query answer depends on
+//! those (confirmed assignments are authoritative; `bill` and the topic
+//! filter reclassify on the fly; `ProposeFolders` clusters only unfiled
+//! pages; themes rebuild from bookmarks). `tests/sharded_equivalence.rs`
+//! pins this with a proptest: random multi-user request sequences through
+//! `ShardedMemex{n=4}` and a single `Memex` must yield identical answer
+//! streams.
+//!
+//! Community-scoped requests (`Stats`, `Traces` — [`Request::shard_key`]
+//! returns `None`) are answered from an aggregation tier: merged metric
+//! snapshots / concatenated trace collections across every shard.
+
+use memex_store::error::StoreResult;
+
+use std::collections::VecDeque;
+
+use crate::memex::Memex;
+use crate::servlet::{self, Classified, ReadRequest, Request, Response, WriteRequest};
+
+/// N Memex replicas behind user-keyed routing. See the module docs.
+pub struct ShardedMemex {
+    shards: Vec<Memex>,
+    /// Ordered log of every accepted write (the replication bus). Entries
+    /// below every shard's cursor are compacted away.
+    log: VecDeque<WriteRequest>,
+    /// Absolute index of `log[0]` in the all-time write sequence.
+    log_base: usize,
+    /// Per-shard absolute cursor: how many log entries the shard applied.
+    applied: Vec<usize>,
+}
+
+impl ShardedMemex {
+    /// Wrap `shards` (at least one) behind user-keyed routing. The shards
+    /// must be *identical replicas*: built over the same corpus with the
+    /// same options and the same registered users, with identical event
+    /// histories (freshly built is the common case).
+    pub fn new(shards: Vec<Memex>) -> ShardedMemex {
+        assert!(!shards.is_empty(), "ShardedMemex requires >= 1 shard");
+        let n = shards.len();
+        ShardedMemex {
+            shards,
+            log: VecDeque::new(),
+            log_base: 0,
+            applied: vec![0; n],
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `user`.
+    pub fn shard_of(&self, user: u32) -> usize {
+        (user as usize) % self.shards.len()
+    }
+
+    /// Register `user` on every shard (registration is community-visible
+    /// metadata, like the corpus itself).
+    pub fn register_user(&mut self, user: u32, name: &str) -> StoreResult<()> {
+        for shard in &mut self.shards {
+            shard.register_user(user, name)?;
+        }
+        Ok(())
+    }
+
+    /// Classify and route one request, exactly like [`servlet::dispatch`]
+    /// against a single Memex.
+    pub fn dispatch(&mut self, request: Request) -> Response {
+        match request.classify() {
+            Classified::Read(r) => self.dispatch_read(r),
+            Classified::Write(w) => self.dispatch_write(w),
+        }
+    }
+
+    /// Answer a query. User-scoped reads route to the owning shard (after
+    /// it catches up on the write log); community-scoped reads aggregate
+    /// across all shards. Takes `&mut self` because catch-up mutates the
+    /// routed shard — the concurrent serving layer in `memex-net` holds
+    /// per-shard locks instead.
+    pub fn dispatch_read(&mut self, request: ReadRequest) -> Response {
+        match request.shard_key() {
+            Some(user) => {
+                let s = self.shard_of(user);
+                if let Err(e) = self.catch_up(s) {
+                    return Response::Error(e.to_string());
+                }
+                servlet::dispatch_read(&self.shards[s], request)
+            }
+            None => self.dispatch_community(request),
+        }
+    }
+
+    /// Apply a mutation on the owning shard (eagerly, demons included) and
+    /// append it to the replication log for the others.
+    pub fn dispatch_write(&mut self, request: WriteRequest) -> Response {
+        let s = self.shard_of(request.shard_key());
+        // Older writes from other users first: every shard applies the log
+        // in one global order.
+        if let Err(e) = self.catch_up(s) {
+            return Response::Error(e.to_string());
+        }
+        let verdict = servlet::dispatch_write(&mut self.shards[s], request.clone());
+        self.log.push_back(request);
+        self.applied[s] = self.log_base + self.log.len();
+        self.compact();
+        verdict
+    }
+
+    /// Bring shard `s` up to date: apply every pending write state-only,
+    /// then run the demons once for the whole batch.
+    fn catch_up(&mut self, s: usize) -> StoreResult<()> {
+        let end = self.log_base + self.log.len();
+        let from = self.applied[s];
+        if from == end {
+            return Ok(());
+        }
+        for i in (from - self.log_base)..self.log.len() {
+            let w = self.log[i].clone();
+            let _ = servlet::apply_write(&mut self.shards[s], &w);
+        }
+        self.shards[s].run_demons()?;
+        self.applied[s] = end;
+        self.compact();
+        Ok(())
+    }
+
+    /// Drop log entries every shard has applied.
+    fn compact(&mut self) {
+        let min = self.applied.iter().copied().min().unwrap_or(self.log_base);
+        while self.log_base < min && !self.log.is_empty() {
+            self.log.pop_front();
+            self.log_base += 1;
+        }
+    }
+
+    /// Community-scoped requests: the aggregation tier.
+    fn dispatch_community(&mut self, request: ReadRequest) -> Response {
+        let request = request.into_request();
+        let _span = self.shards[0]
+            .registry()
+            .histogram(request.latency_metric())
+            .start_span();
+        let _trace = memex_obs::trace::span(request.name());
+        match request {
+            Request::Stats => {
+                let mut snap = self.shards[0].registry().snapshot();
+                for shard in &self.shards[1..] {
+                    snap.absorb(shard.registry().snapshot());
+                }
+                snap.absorb(memex_obs::global().snapshot());
+                Response::Stats(snap)
+            }
+            Request::Traces { slow_only, limit } => {
+                let mut traces = Vec::new();
+                for shard in &self.shards {
+                    traces.extend(shard.tracer().collect(slow_only, limit));
+                }
+                traces.truncate(limit);
+                Response::Traces(traces)
+            }
+            other => {
+                // `shard_key() == None` only holds for Stats/Traces today;
+                // a future community query added without aggregation
+                // support degrades to a typed error, not a panic.
+                Response::Error(format!(
+                    "internal: community aggregation not implemented for {}",
+                    other.name()
+                ))
+            }
+        }
+    }
+
+    /// Catch every shard up on the write log (e.g. before tearing down).
+    pub fn quiesce(&mut self) -> StoreResult<()> {
+        for s in 0..self.shards.len() {
+            self.catch_up(s)?;
+        }
+        Ok(())
+    }
+
+    /// Quiesce and unwrap the replicas.
+    pub fn into_shards(mut self) -> StoreResult<Vec<Memex>> {
+        self.quiesce()?;
+        Ok(self.shards)
+    }
+
+    /// Borrow shard `i` (for assertions in tests and benches).
+    pub fn shard(&self, i: usize) -> &Memex {
+        &self.shards[i]
+    }
+}

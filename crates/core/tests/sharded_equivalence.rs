@@ -1,0 +1,285 @@
+//! Sharding must be answer-invisible: a `ShardedMemex{n=4}` and a single
+//! `Memex` fed the same random multi-user request sequence must yield
+//! identical answer streams (mirrors `dispatch_split.rs`, which pinned the
+//! read/write split the router is built on). This is the contract that
+//! lets the serving layer shard by `user % N` without clients noticing —
+//! in particular it exercises the lazy-replication catch-up path: a
+//! request for user B right after a write by user A forces B's shard to
+//! absorb A's write (batched, one demon sweep) before answering.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use memex_core::memex::{Memex, MemexOptions};
+use memex_core::servlet::{dispatch, Request, Response};
+use memex_core::sharded::ShardedMemex;
+use memex_server::events::{ClientEvent, VisitEvent};
+use memex_web::corpus::{Corpus, CorpusConfig};
+
+const PAGES_PER_TOPIC: u32 = 20;
+const SHARDS: usize = 4;
+
+fn corpus() -> Arc<Corpus> {
+    Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 2,
+        pages_per_topic: PAGES_PER_TOPIC as usize,
+        ..CorpusConfig::default()
+    }))
+}
+
+fn fresh_memex(corpus: &Arc<Corpus>) -> Memex {
+    let mut memex = Memex::new(corpus.clone(), MemexOptions::default()).expect("build memex");
+    for user in 0..4u32 {
+        memex
+            .register_user(user, &format!("user{user}"))
+            .expect("register");
+    }
+    memex
+}
+
+fn fresh_sharded(corpus: &Arc<Corpus>) -> ShardedMemex {
+    ShardedMemex::new((0..SHARDS).map(|_| fresh_memex(corpus)).collect())
+}
+
+fn visit(corpus: &Arc<Corpus>, user: u32, page: u32, time: u64) -> Request {
+    Request::Event(ClientEvent::Visit(VisitEvent {
+        user,
+        session: user,
+        page,
+        url: corpus.pages[page as usize].url.clone(),
+        time,
+        referrer: None,
+    }))
+}
+
+/// Same request-template vocabulary as `dispatch_split.rs`: every
+/// user-scoped variant, users spread across all four shards.
+#[derive(Debug, Clone)]
+enum Op {
+    Visit { user: u32, page: u32 },
+    Bookmark { user: u32, page: u32, folder: u8 },
+    Import { user: u32, valid: bool },
+    Recall { user: u32, query_word: u8, k: usize },
+    TrailReplay { user: u32, folder: u32 },
+    WhatsNew { user: u32, folder: u32, k: usize },
+    Bill { user: u32, since: u64 },
+    SimilarSurfers { user: u32, k: usize },
+    Recommend { user: u32, k: usize },
+    Export { user: u32 },
+    Propose { user: u32, k: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let total_pages = 2 * PAGES_PER_TOPIC;
+    prop_oneof![
+        3 => (0u32..4, 0..total_pages).prop_map(|(user, page)| Op::Visit { user, page }),
+        2 => (0u32..4, 0..total_pages, 0u8..3)
+            .prop_map(|(user, page, folder)| Op::Bookmark { user, page, folder }),
+        1 => (0u32..4, any::<bool>()).prop_map(|(user, valid)| Op::Import { user, valid }),
+        2 => (0u32..4, 0u8..4, 0usize..6)
+            .prop_map(|(user, query_word, k)| Op::Recall { user, query_word, k }),
+        1 => (0u32..4, 0u32..4).prop_map(|(user, folder)| Op::TrailReplay { user, folder }),
+        1 => (0u32..4, 0u32..4, 0usize..5)
+            .prop_map(|(user, folder, k)| Op::WhatsNew { user, folder, k }),
+        2 => (0u32..4, 0u64..50).prop_map(|(user, since)| Op::Bill { user, since }),
+        1 => (0u32..4, 0usize..5).prop_map(|(user, k)| Op::SimilarSurfers { user, k }),
+        1 => (0u32..4, 0usize..5).prop_map(|(user, k)| Op::Recommend { user, k }),
+        1 => (0u32..4).prop_map(|user| Op::Export { user }),
+        1 => (0u32..4, 0usize..4).prop_map(|(user, k)| Op::Propose { user, k }),
+    ]
+}
+
+fn materialise(op: &Op, corpus: &Arc<Corpus>, time: u64) -> Request {
+    match *op {
+        Op::Visit { user, page } => visit(corpus, user, page, time),
+        Op::Bookmark { user, page, folder } => Request::Event(ClientEvent::Bookmark {
+            user,
+            page,
+            url: corpus.pages[page as usize].url.clone(),
+            folder: format!("/folder{folder}"),
+            time,
+        }),
+        Op::Import { user, valid } => {
+            let html = if valid {
+                format!(
+                    "<!DOCTYPE NETSCAPE-Bookmark-file-1>\n<DL><p>\n\
+                     <DT><A HREF=\"{}\">imported</A>\n</DL><p>\n",
+                    corpus.pages[0].url
+                )
+            } else {
+                "<DT><A HREF=\"http://nowhere.invalid/x\">gone</A>".to_string()
+            };
+            Request::ImportBookmarks { user, html, time }
+        }
+        Op::Recall {
+            user,
+            query_word,
+            k,
+        } => Request::Recall {
+            user,
+            query: format!("topic word{query_word}"),
+            since: 0,
+            until: u64::MAX,
+            k,
+        },
+        Op::TrailReplay { user, folder } => Request::TrailReplay {
+            user,
+            folder,
+            since: 0,
+            max_pages: 10,
+        },
+        Op::WhatsNew { user, folder, k } => Request::WhatsNew {
+            user,
+            folder,
+            since: 0,
+            k,
+        },
+        Op::Bill { user, since } => Request::Bill {
+            user,
+            since,
+            until: u64::MAX,
+        },
+        Op::SimilarSurfers { user, k } => Request::SimilarSurfers { user, k },
+        Op::Recommend { user, k } => Request::Recommend { user, k },
+        Op::Export { user } => Request::ExportBookmarks { user },
+        Op::Propose { user, k } => Request::ProposeFolders { user, k },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The dispatch-equivalence spine: random sequences through the
+    /// 4-shard router and a single Memex answer identically, request by
+    /// request. Users 0..4 map to four distinct shards, so writes and the
+    /// reads observing them almost always cross shard boundaries.
+    #[test]
+    fn sharded_dispatch_equals_single_memex(ops in proptest::collection::vec(op_strategy(), 1..12)) {
+        let corpus = corpus();
+        let mut single = fresh_memex(&corpus);
+        let mut sharded = fresh_sharded(&corpus);
+        for (i, op) in ops.iter().enumerate() {
+            let request = materialise(op, &corpus, 1 + i as u64);
+            let a = dispatch(&mut single, request.clone());
+            let b = sharded.dispatch(request);
+            prop_assert_eq!(a, b, "request #{} diverged between single and sharded", i);
+        }
+        // After the stream, force full convergence and re-check one
+        // answer per user from whatever shard owns them.
+        sharded.quiesce().expect("quiesce");
+        for user in 0..4u32 {
+            let bill = Request::Bill { user, since: 0, until: u64::MAX };
+            let a = dispatch(&mut single, bill.clone());
+            let b = sharded.dispatch(bill);
+            prop_assert_eq!(a, b, "post-quiesce bill diverged for user {}", user);
+        }
+    }
+}
+
+/// The shard-key table is the routing contract: every user-scoped variant
+/// yields `Some(user)`, exactly `Stats`/`Traces` are community-scoped.
+#[test]
+fn shard_key_table_matches_request_surface() {
+    let corpus = corpus();
+    let user_scoped = [
+        visit(&corpus, 7, 0, 1),
+        Request::Recall {
+            user: 7,
+            query: "q".into(),
+            since: 0,
+            until: 1,
+            k: 1,
+        },
+        Request::TrailReplay {
+            user: 7,
+            folder: 0,
+            since: 0,
+            max_pages: 1,
+        },
+        Request::WhatsNew {
+            user: 7,
+            folder: 0,
+            since: 0,
+            k: 1,
+        },
+        Request::Bill {
+            user: 7,
+            since: 0,
+            until: 1,
+        },
+        Request::SimilarSurfers { user: 7, k: 1 },
+        Request::Recommend { user: 7, k: 1 },
+        Request::ImportBookmarks {
+            user: 7,
+            html: String::new(),
+            time: 1,
+        },
+        Request::ExportBookmarks { user: 7 },
+        Request::ProposeFolders { user: 7, k: 1 },
+    ];
+    for r in &user_scoped {
+        assert_eq!(r.shard_key(), Some(7), "{} must route by user", r.name());
+    }
+    let community = [
+        Request::Stats,
+        Request::Traces {
+            slow_only: false,
+            limit: 1,
+        },
+    ];
+    for r in &community {
+        assert_eq!(r.shard_key(), None, "{} must aggregate", r.name());
+    }
+}
+
+/// A write by user 0 (shard 0) must be visible to a community-flavoured
+/// query by user 1 (shard 1) — the catch-up path, deterministically.
+#[test]
+fn cross_shard_write_visibility() {
+    let corpus = corpus();
+    let mut single = fresh_memex(&corpus);
+    let mut sharded = fresh_sharded(&corpus);
+    let page = corpus.pages_of_topic(0)[0];
+    let w = visit(&corpus, 0, page, 1);
+    assert_eq!(
+        dispatch(&mut single, w.clone()),
+        sharded.dispatch(w),
+        "write ack diverged"
+    );
+    // user 1's what's-new is computed over *community* trails, so it sees
+    // user 0's visit only if shard 1 caught up.
+    let q = Request::WhatsNew {
+        user: 1,
+        folder: 0,
+        since: 0,
+        k: 5,
+    };
+    assert_eq!(
+        dispatch(&mut single, q.clone()),
+        sharded.dispatch(q),
+        "cross-shard read diverged"
+    );
+}
+
+/// Stats aggregation folds every shard's registry: after traffic on two
+/// shards, the merged snapshot must count both shards' dispatches.
+#[test]
+fn stats_aggregate_across_shards() {
+    let corpus = corpus();
+    let mut sharded = fresh_sharded(&corpus);
+    let page = corpus.pages_of_topic(0)[0];
+    sharded.dispatch(visit(&corpus, 0, page, 1));
+    sharded.dispatch(visit(&corpus, 1, page, 2));
+    let resp = sharded.dispatch(Request::Stats);
+    let Response::Stats(snap) = resp else {
+        panic!("expected stats");
+    };
+    // Each eager owner-shard dispatch records one servlet.event.latency
+    // sample on its own registry; the aggregate must see both.
+    assert!(
+        snap.histogram("servlet.event.latency")
+            .is_some_and(|h| h.count >= 2),
+        "aggregated snapshot missing per-shard servlet samples"
+    );
+}

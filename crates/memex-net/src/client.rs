@@ -13,12 +13,16 @@
 //! not idempotent, so the client never guesses). Timeouts are *not*
 //! retried for anything: the request may have dispatched.
 //!
-//! **Trace propagation:** a client speaking wire v3 (the default) stamps
-//! every request frame with a fresh 64-bit trace id from a seedable
-//! SplitMix64 sequence ([`ClientConfig::trace_seed`]); the server adopts
-//! it as the root span's trace id and echoes it on the response, so a
-//! slow answer can be correlated with its server-side span tree
-//! ([`MemexClient::last_trace_id`]). Setting
+//! **Trace propagation:** a client speaking wire v3+ (the default is v4)
+//! stamps every request frame with a fresh 64-bit trace id from a
+//! seedable SplitMix64 sequence ([`ClientConfig::trace_seed`]); the
+//! server adopts it as the root span's trace id and echoes it on the
+//! response, so a slow answer can be correlated with its server-side span
+//! tree ([`MemexClient::last_trace_id`]). Every *attempt* gets its own
+//! id — a retried read re-sent on a fresh connection must not alias the
+//! dead attempt's span tree — and v4 frames carry the previous attempt's
+//! id (`retry_of`), which the server records as a root-span annotation so
+//! the attempts of one logical request can be stitched together. Setting
 //! [`ClientConfig::wire_version`] to 2 reproduces a pre-trace client
 //! byte-for-byte — the compatibility mode the loopback suite exercises.
 
@@ -187,14 +191,24 @@ impl MemexClient {
     /// connection mid-write yields [`NetError::WriteInterrupted`].
     pub fn request(&mut self, request: &Request) -> Result<Response, NetError> {
         let payload = wire::encode_request(request);
-        // One id per logical request: a retried read keeps its id, so its
-        // server-side trace attempts share a correlation key.
-        let trace_ctx = (self.config.wire_version >= 3).then(|| TraceContext {
-            trace_id: self.trace_ids.next(),
-        });
-        self.last_trace_id = trace_ctx.map(|t| t.trace_id);
         let mut attempts_left = self.config.reconnect_attempts;
+        // Each *attempt* gets a fresh trace id, so two attempts of one
+        // logical request never alias span trees in the flight recorder;
+        // v4 frames link an attempt to its predecessor via `retry_of`
+        // (the server annotates the root span with it).
+        let mut prev_attempt: Option<u64> = None;
         loop {
+            let trace_ctx = (self.config.wire_version >= 3).then(|| TraceContext {
+                trace_id: self.trace_ids.next(),
+                retry_of: if self.config.wire_version >= 4 {
+                    prev_attempt
+                } else {
+                    None
+                },
+            });
+            // Reflect the attempt actually on the wire, so after a retry
+            // this is the id of the attempt that answered (or failed last).
+            self.last_trace_id = trace_ctx.map(|t| t.trace_id);
             if self.stream.is_none() {
                 self.stream = Some(self.dial()?);
             }
@@ -221,6 +235,7 @@ impl MemexClient {
                         }
                         if attempts_left > 0 {
                             attempts_left -= 1;
+                            prev_attempt = trace_ctx.map(|t| t.trace_id);
                             continue;
                         }
                     }

@@ -11,15 +11,21 @@
 //!   magic      1 B      1 B      4 B         v3 only    ≤ 16 MiB         FNV-1a
 //! ```
 //!
-//! Version 3 frames carry an **extension block** between the header and
+//! Version 3+ frames carry an **extension block** between the header and
 //! the payload: one `flags` byte, followed by a `u64 LE` trace id when
-//! bit 0 ([`EXT_FLAG_TRACE`]) is set. Unknown flag bits are rejected —
-//! an extension a decoder cannot parse would desynchronize the stream,
-//! so there is nothing safe to skip. Version 2 frames have no extension
-//! block and remain byte-identical to what PR 5 shipped; decoders accept
-//! both ([`MIN_WIRE_VERSION`]), which is how a v2 client keeps working
-//! against a v3 server (the server mirrors the client's version in its
-//! responses).
+//! bit 0 ([`EXT_FLAG_TRACE`]) is set. Version 4 adds bit 1
+//! ([`EXT_FLAG_RETRY`]): a second `u64 LE` — the trace id of the
+//! *previous attempt* of the same logical request — follows the trace id,
+//! so a server can annotate a retried read's root span with `retry_of`
+//! and operators can stitch the attempts together. Flag bits a version
+//! does not define are rejected (`EXT_FLAG_RETRY` in a v3 frame is an
+//! error, as is `EXT_FLAG_RETRY` without `EXT_FLAG_TRACE`) — an extension
+//! a decoder cannot parse would desynchronize the stream, so there is
+//! nothing safe to skip. Version 2 frames have no extension block and
+//! remain byte-identical to what PR 5 shipped; decoders accept everything
+//! from [`MIN_WIRE_VERSION`] up, which is how a v2 or v3 client keeps
+//! working against a v4 server (the server mirrors the client's version
+//! in its responses).
 //!
 //! The CRC is FNV-1a over `version ‖ kind ‖ ext ‖ payload`, so a single
 //! flipped bit anywhere after the magic is detected. `len` counts the
@@ -50,8 +56,9 @@ use memex_obs::{Event, HistogramSnapshot, Snapshot, NUM_BUCKETS};
 use memex_server::events::{ArchiveMode, ClientEvent, VisitEvent};
 
 /// Current wire version (see the module docs for the bump rule).
-/// v3 added the optional trace-context extension block.
-pub const WIRE_VERSION: u8 = 3;
+/// v3 added the optional trace-context extension block; v4 added the
+/// optional retry-of id within it.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Oldest wire version this decoder still accepts. v2 frames (no
 /// extension block) decode exactly as they did before the v3 bump.
@@ -59,6 +66,10 @@ pub const MIN_WIRE_VERSION: u8 = 2;
 
 /// Extension flag bit: an 8-byte trace id follows the flags byte.
 pub const EXT_FLAG_TRACE: u8 = 0b0000_0001;
+
+/// Extension flag bit (v4+): an 8-byte "previous attempt" trace id
+/// follows the trace id. Only valid together with [`EXT_FLAG_TRACE`].
+pub const EXT_FLAG_RETRY: u8 = 0b0000_0010;
 
 /// Hard cap on a frame's payload. Anything larger is rejected before
 /// allocation with [`WireError::Oversized`].
@@ -182,11 +193,18 @@ fn fnv1a(parts: &[&[u8]]) -> u32 {
 // Frame IO
 // ---------------------------------------------------------------------------
 
-/// Trace context carried in a v3 frame's extension block: the 64-bit id
-/// the client stamped on the request, echoed back on the response.
+/// Trace context carried in a v3+ frame's extension block: the 64-bit id
+/// the client stamped on the request, echoed back on the response, plus
+/// (v4, retried reads only) the id of the previous attempt so the
+/// server-side span trees of one logical request can be stitched
+/// together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceContext {
     pub trace_id: u64,
+    /// Trace id of the previous attempt of this logical request, when
+    /// this frame is a client retry (v4 frames only; v3 encoders must
+    /// pass `None`).
+    pub retry_of: Option<u64>,
 }
 
 /// A fully decoded frame envelope: which version the peer spoke, what the
@@ -235,12 +253,26 @@ pub fn frame_bytes_versioned(
         version >= 3 || trace.is_none(),
         "v2 frames cannot carry a trace context"
     );
-    let mut ext: Vec<u8> = Vec::with_capacity(9);
+    debug_assert!(
+        version >= 4 || trace.is_none_or(|t| t.retry_of.is_none()),
+        "v3 frames cannot carry a retry-of id"
+    );
+    let mut ext: Vec<u8> = Vec::with_capacity(17);
     if version >= 3 {
         match trace {
             Some(t) => {
-                ext.push(EXT_FLAG_TRACE);
+                // A v3 encoder has no bit for retry_of; drop it rather
+                // than emit a frame the peer must reject.
+                let retry = if version >= 4 { t.retry_of } else { None };
+                let mut flags = EXT_FLAG_TRACE;
+                if retry.is_some() {
+                    flags |= EXT_FLAG_RETRY;
+                }
+                ext.push(flags);
                 ext.extend_from_slice(&t.trace_id.to_le_bytes());
+                if let Some(prev) = retry {
+                    ext.extend_from_slice(&prev.to_le_bytes());
+                }
             }
             None => ext.push(0),
         }
@@ -278,10 +310,18 @@ pub fn write_frame_versioned(
     Ok(())
 }
 
-/// Reject extension-flag bits this decoder does not understand. An
-/// unknown extension changes the framing, so skipping is never safe.
-fn validate_ext_flags(flags: u8) -> Result<(), WireError> {
-    if flags & !EXT_FLAG_TRACE != 0 {
+/// Reject extension-flag bits the *sender's* version does not define. An
+/// unknown extension changes the framing, so skipping is never safe; a
+/// v3 frame claiming the v4-only retry bit is equally malformed, as is a
+/// retry-of id with no trace id for it to qualify.
+fn validate_ext_flags(flags: u8, version: u8) -> Result<(), WireError> {
+    let known = if version >= 4 {
+        EXT_FLAG_TRACE | EXT_FLAG_RETRY
+    } else {
+        EXT_FLAG_TRACE
+    };
+    let orphan_retry = flags & EXT_FLAG_RETRY != 0 && flags & EXT_FLAG_TRACE == 0;
+    if flags & !known != 0 || orphan_retry {
         return Err(WireError::BadTag {
             what: "frame extension flags",
             tag: flags,
@@ -326,21 +366,29 @@ pub fn read_frame_meta(r: &mut impl Read) -> Result<FrameMeta, WireError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     let (version, kind, len) = parse_header(&header)?;
-    let mut ext: Vec<u8> = Vec::with_capacity(9);
+    let mut ext: Vec<u8> = Vec::with_capacity(17);
     let mut trace = None;
     if version >= 3 {
         let mut flags = [0u8; 1];
         r.read_exact(&mut flags)?;
         let [flag_byte] = flags;
-        validate_ext_flags(flag_byte)?;
+        validate_ext_flags(flag_byte, version)?;
         ext.push(flag_byte);
         if flag_byte & EXT_FLAG_TRACE != 0 {
             let mut id = [0u8; 8];
             r.read_exact(&mut id)?;
+            ext.extend_from_slice(&id);
+            let mut retry_of = None;
+            if flag_byte & EXT_FLAG_RETRY != 0 {
+                let mut prev = [0u8; 8];
+                r.read_exact(&mut prev)?;
+                retry_of = Some(u64::from_le_bytes(prev));
+                ext.extend_from_slice(&prev);
+            }
             trace = Some(TraceContext {
                 trace_id: u64::from_le_bytes(id),
+                retry_of,
             });
-            ext.extend_from_slice(&id);
         }
     }
     let mut payload = vec![0u8; len];
@@ -383,14 +431,21 @@ pub fn decode_frame_meta(buf: &[u8]) -> Result<FrameView<'_>, WireError> {
             needed: HEADER_LEN + 1,
             available: buf.len(),
         })?;
-        validate_ext_flags(flags)?;
+        validate_ext_flags(flags, version)?;
         ext_len = 1;
         if flags & EXT_FLAG_TRACE != 0 {
             let id = arr8(buf.get(HEADER_LEN + 1..).unwrap_or(&[]))?;
+            ext_len = 9;
+            let mut retry_of = None;
+            if flags & EXT_FLAG_RETRY != 0 {
+                let prev = arr8(buf.get(HEADER_LEN + 9..).unwrap_or(&[]))?;
+                retry_of = Some(u64::from_le_bytes(prev));
+                ext_len = 17;
+            }
             trace = Some(TraceContext {
                 trace_id: u64::from_le_bytes(id),
+                retry_of,
             });
-            ext_len = 9;
         }
     }
     let total = HEADER_LEN + ext_len + len + TRAILER_LEN;
@@ -1265,10 +1320,11 @@ mod tests {
         let payload = encode_request(&Request::Stats);
         let ctx = TraceContext {
             trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            retry_of: None,
         };
-        let frame = frame_bytes_versioned(WIRE_VERSION, FrameKind::Request, &payload, Some(ctx));
+        let frame = frame_bytes_versioned(3, FrameKind::Request, &payload, Some(ctx));
         let view = decode_frame_meta(&frame).expect("decode");
-        assert_eq!(view.version, WIRE_VERSION);
+        assert_eq!(view.version, 3);
         assert_eq!(view.trace, Some(ctx));
         assert_eq!(view.payload, &payload[..]);
         // Stream path agrees.
@@ -1276,6 +1332,77 @@ mod tests {
         let meta = read_frame_meta(&mut cursor).expect("read");
         assert_eq!(meta.trace, Some(ctx));
         assert_eq!(meta.payload, payload);
+    }
+
+    #[test]
+    fn retry_of_roundtrips_in_v4_frames() {
+        let payload = encode_request(&Request::Stats);
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            retry_of: Some(0x0123_4567_89AB_CDEF),
+        };
+        let frame = frame_bytes_versioned(WIRE_VERSION, FrameKind::Request, &payload, Some(ctx));
+        let view = decode_frame_meta(&frame).expect("decode");
+        assert_eq!(view.version, WIRE_VERSION);
+        assert_eq!(view.trace, Some(ctx));
+        assert_eq!(view.payload, &payload[..]);
+        let mut cursor = std::io::Cursor::new(frame);
+        let meta = read_frame_meta(&mut cursor).expect("read");
+        assert_eq!(meta.trace, Some(ctx));
+        assert_eq!(meta.payload, payload);
+    }
+
+    #[test]
+    fn retry_flag_rejected_in_v3_frames_and_without_trace() {
+        let payload = encode_request(&Request::Stats);
+        // A v3 frame claiming the v4-only retry bit is malformed (the CRC
+        // must be recomputed so the flag byte, not the checksum, trips).
+        let ctx = TraceContext {
+            trace_id: 7,
+            retry_of: None,
+        };
+        let mut frame = frame_bytes_versioned(3, FrameKind::Request, &payload, Some(ctx));
+        frame[HEADER_LEN] |= EXT_FLAG_RETRY;
+        let crc_start = frame.len() - TRAILER_LEN;
+        let crc = fnv1a(&[&frame[2..crc_start]]).to_le_bytes();
+        frame[crc_start..].copy_from_slice(&crc);
+        assert!(matches!(
+            decode_frame_meta(&frame),
+            Err(WireError::BadTag {
+                what: "frame extension flags",
+                ..
+            })
+        ));
+        // And a retry-of id with no trace id to qualify is malformed in
+        // any version.
+        let mut frame = frame_bytes_versioned(WIRE_VERSION, FrameKind::Request, &payload, None);
+        frame[HEADER_LEN] = EXT_FLAG_RETRY;
+        let crc_start = frame.len() - TRAILER_LEN;
+        let crc = fnv1a(&[&frame[2..crc_start]]).to_le_bytes();
+        frame[crc_start..].copy_from_slice(&crc);
+        assert!(matches!(
+            decode_frame_meta(&frame),
+            Err(WireError::BadTag {
+                what: "frame extension flags",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn v3_ext_block_layout_is_unchanged_by_the_v4_bump() {
+        let payload = encode_request(&Request::Stats);
+        let ctx = TraceContext {
+            trace_id: 11,
+            retry_of: None,
+        };
+        let frame = frame_bytes_versioned(3, FrameKind::Request, &payload, Some(ctx));
+        // v3 ext block: flags byte + 8-byte trace id, nothing more.
+        assert_eq!(
+            frame.len(),
+            HEADER_LEN + 9 + payload.len() + TRAILER_LEN,
+            "v3 frame must not grow a retry-of field"
+        );
     }
 
     #[test]

@@ -374,12 +374,13 @@ proptest! {
     }
 
     #[test]
-    fn traced_frame_roundtrips(req in arb_request(), trace_id in any::<u64>()) {
-        // A v3 frame carrying a trace context decodes back to the same
-        // payload and the same trace id; a v2 frame of the same payload
-        // decodes with no trace attached.
+    fn traced_frame_roundtrips(req in arb_request(), trace_id in any::<u64>(), retry_of in prop_oneof![Just(None), any::<u64>().prop_map(Some)]) {
+        // A current-version frame carrying a trace context (optionally a
+        // retry-of id) decodes back to the same payload and the same
+        // context; a v2 frame of the same payload decodes with no trace
+        // attached.
         let payload = wire::encode_request(&req);
-        let ctx = wire::TraceContext { trace_id };
+        let ctx = wire::TraceContext { trace_id, retry_of };
         let v3 = wire::frame_bytes_versioned(
             wire::WIRE_VERSION,
             wire::FrameKind::Request,

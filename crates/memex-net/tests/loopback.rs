@@ -175,22 +175,49 @@ fn zero_capacity_sheds_every_request_explicitly() {
     let memex = community_world();
     let config = NetServerConfig {
         max_in_flight: 0,
+        trace: memex_obs::TraceConfig {
+            enabled: true,
+            ..memex_obs::TraceConfig::default()
+        },
         ..NetServerConfig::default()
     };
     let server = NetServer::start(memex, "127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr();
 
     let mut client = MemexClient::connect(addr, ClientConfig::default()).expect("connect");
+    let mut shed_ids = Vec::new();
     for _ in 0..5 {
         match client.request(&Request::Stats).expect("request") {
             Response::Overloaded { limit, .. } => assert_eq!(limit, 0),
             other => panic!("expected Overloaded, got {other:?}"),
         }
+        shed_ids.push(client.last_trace_id().expect("v4 client stamps ids"));
     }
     let memex = server.shutdown();
     let snap = memex.registry().snapshot();
     assert_eq!(snap.counter("net.shed"), 5);
     assert_eq!(snap.counter("net.req.ok"), 0);
+    // A shed reply is still a served request: it must appear in the
+    // `net.req.*` accounting (the blind spot this PR closes) …
+    assert_eq!(snap.counter("net.req.shed"), 5);
+    let lat = snap
+        .histogram("net.req.latency")
+        .expect("shed requests must record their latency");
+    assert_eq!(lat.count, 5, "every shed reply records a latency sample");
+    // … and leave a (short) complete trace, flagged as shed.
+    let traces = memex.tracer().collect(false, 100);
+    for id in shed_ids {
+        let t = traces
+            .iter()
+            .find(|t| t.trace_id == id)
+            .unwrap_or_else(|| panic!("shed request {id:#x} left no trace"));
+        assert!(t.is_complete(), "shed trace incomplete: {t:?}");
+        assert_eq!(
+            t.root().expect("root").annotation("shed"),
+            Some("true"),
+            "shed verdict not annotated: {t:?}"
+        );
+    }
 }
 
 #[test]

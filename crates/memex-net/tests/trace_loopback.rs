@@ -299,6 +299,7 @@ fn wire_v2_peers_are_served_and_v3_echoes_the_trace_context() {
     // response envelope and records the trace under that id.
     let ctx = TraceContext {
         trace_id: 0xDEAD_BEEF_CAFE_F00D,
+        retry_of: None,
     };
     let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
     raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
@@ -323,6 +324,77 @@ fn wire_v2_peers_are_served_and_v3_echoes_the_trace_context() {
     // The v2 requests were traced too — under server-generated ids.
     assert!(traces.len() >= 3, "v2 requests must still be traced");
     assert!(traces.iter().all(|t| t.is_complete()));
+}
+
+/// A retried read must be a *new* trace, linked to the dead attempt — not
+/// an alias of it. The client mints a fresh id per attempt and stamps the
+/// dead attempt's id as `retry_of` (wire v4); the server annotates the
+/// answering root span with it.
+#[test]
+fn retried_read_gets_fresh_trace_id_linked_to_dead_attempt() {
+    let (_corpus, memex) = small_world();
+    let config = NetServerConfig {
+        // Close idle connections quickly so the test can kill the client's
+        // connection under it by just sleeping.
+        read_timeout: Duration::from_millis(100),
+        ..traced_server_config()
+    };
+    let server = NetServer::start(memex, "127.0.0.1:0", config).expect("bind");
+    let seed = 0x5EED_5EED_5EED_5EED;
+    let mut client = MemexClient::connect(
+        server.local_addr(),
+        ClientConfig {
+            trace_seed: seed,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+
+    // The client's id sequence is deterministic: request 1 burns id_first;
+    // request 2's dead attempt burns id_dead; its retry answers as
+    // id_retry with retry_of = id_dead.
+    let expected_ids = memex_obs::trace::TraceIdGen::seeded(seed);
+    let id_first = expected_ids.next();
+    let id_dead = expected_ids.next();
+    let id_retry = expected_ids.next();
+
+    let bill = Request::Bill {
+        user: 1,
+        since: 0,
+        until: u64::MAX,
+    };
+    client.request(&bill).expect("first request");
+    assert_eq!(client.last_trace_id(), Some(id_first));
+
+    // Outlive the server's idle timeout: the connection dies underneath
+    // the client, so the next read request is transparently retried on a
+    // fresh connection.
+    std::thread::sleep(Duration::from_millis(400));
+    client.request(&bill).expect("retried request");
+    assert_eq!(
+        client.last_trace_id(),
+        Some(id_retry),
+        "the answering attempt must carry a fresh id, not re-use {id_dead:#x}"
+    );
+
+    let memex = server.shutdown();
+    let traces = memex.tracer().collect(false, 100);
+    // No span tree aliases the dead attempt's id, and the answering
+    // attempt's tree links back to it.
+    assert!(
+        !traces.iter().any(|t| t.trace_id == id_dead),
+        "dead attempt's id must not own a recorded tree"
+    );
+    let retry = find_trace(&traces, id_retry);
+    assert!(retry.is_complete());
+    assert_eq!(
+        retry.root().expect("root").annotation("retry_of"),
+        Some(id_dead.to_string().as_str()),
+        "retry not linked to its dead attempt: {retry:?}"
+    );
+    // The first request was an ordinary, unlinked trace.
+    let first = find_trace(&traces, id_first);
+    assert_eq!(first.root().expect("root").annotation("retry_of"), None);
 }
 
 /// Tracing disabled must stay cheap. A hard <5% bound is too flaky for

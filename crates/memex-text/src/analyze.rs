@@ -79,8 +79,17 @@ impl Analyzer {
     /// Intern counts into `vocab` (creating ids as needed) and record the
     /// document for df statistics. Returns raw term-frequency pairs.
     pub fn intern_counts(&self, vocab: &mut Vocabulary, counts: &TermCounts) -> Vec<(TermId, u32)> {
-        let mut pairs: Vec<(TermId, u32)> =
-            counts.iter().map(|(t, &c)| (vocab.intern(t), c)).collect();
+        // Intern in lexicographic term order, not `HashMap` iteration
+        // order: id assignment must be a pure function of the documents
+        // fed in, so two archives ingesting the same stream (e.g. shard
+        // replicas) number their vocabularies identically and stay
+        // float-for-float comparable.
+        let mut items: Vec<(&str, u32)> = counts.iter().map(|(t, &c)| (t.as_str(), c)).collect();
+        items.sort_unstable_by_key(|&(t, _)| t);
+        let mut pairs: Vec<(TermId, u32)> = items
+            .into_iter()
+            .map(|(t, c)| (vocab.intern(t), c))
+            .collect();
         pairs.sort_unstable_by_key(|&(id, _)| id);
         vocab.observe_doc(pairs.iter().map(|&(id, _)| id));
         pairs
