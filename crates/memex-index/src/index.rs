@@ -19,8 +19,8 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use memex_obs::{Counter, Histogram, MetricsRegistry};
 use memex_store::codec::{get_uvarint, put_uvarint};
+use memex_store::engine::{self, Engine, EngineKind, SnapshotView};
 use memex_store::error::StoreResult;
-use memex_store::kv::{KvStore, KvStoreOptions};
 use memex_text::vocab::TermId;
 
 use crate::postings::{PositionalList, PostingList};
@@ -30,12 +30,17 @@ use crate::postings::{PositionalList, PostingList};
 pub struct IndexOptions {
     /// Auto-commit the buffer after this many documents.
     pub auto_commit_docs: usize,
+    /// Which storage engine backs the postings store. The default honours
+    /// `MEMEX_ENGINE=btree|lsm`, so a whole deployment flips engines from
+    /// the environment without touching per-layer config.
+    pub engine: EngineKind,
 }
 
 impl Default for IndexOptions {
     fn default() -> Self {
         IndexOptions {
             auto_commit_docs: 512,
+            engine: EngineKind::from_env().unwrap_or_default(),
         }
     }
 }
@@ -67,13 +72,19 @@ pub(crate) struct IndexMetrics {
 /// A segmented inverted index over term ids.
 ///
 /// Queries ([`InvertedIndex::postings`], [`InvertedIndex::positions`],
-/// [`InvertedIndex::df`]) take `&self`: the KV store sits behind a
-/// `Mutex` because its reads are `&mut` (pager cache), while the
-/// in-memory buffers and stats are read lock-free. Mutating methods keep
-/// `&mut self` and reach the store through `Mutex::get_mut`, which is not
-/// a lock acquisition — the write path is exactly as before.
+/// [`InvertedIndex::df`]) take `&self`: the storage engine sits behind a
+/// `Mutex` because its reads are `&mut` (pager cache / LSM metrics),
+/// while the in-memory buffers and stats are read lock-free. Mutating
+/// methods keep `&mut self` and reach the store through `Mutex::get_mut`,
+/// which is not a lock acquisition — the write path is exactly as before.
+///
+/// For reads that must not contend with ingest at all, take a
+/// [`read_snapshot`](InvertedIndex::read_snapshot): it pins the engine's
+/// point-in-time view (cheap epoch pin on the LSM engine) plus the
+/// in-memory buffer, and every query on it runs without touching the
+/// store lock again.
 pub struct InvertedIndex {
-    kv: Mutex<KvStore>,
+    kv: Mutex<Box<dyn Engine>>,
     opts: IndexOptions,
     /// term -> buffered postings (sorted by insertion; docs increase).
     buffer: HashMap<TermId, Vec<(u32, u32)>>,
@@ -92,18 +103,16 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// In-memory index (still runs the full segment machinery).
     pub fn open_memory(opts: IndexOptions) -> StoreResult<InvertedIndex> {
-        Self::build(KvStore::open_memory()?, opts)
+        Self::build(engine::open_memory(opts.engine)?, opts)
     }
 
-    /// Durable index at `dir/index.db` (+ WAL).
+    /// Durable index under `dir` (`index.db` + WAL for the B+Tree engine,
+    /// an `index/` run directory for the LSM engine).
     pub fn open_dir<P: AsRef<Path>>(dir: P, opts: IndexOptions) -> StoreResult<InvertedIndex> {
-        Self::build(
-            KvStore::open_dir(dir, "index", KvStoreOptions::default())?,
-            opts,
-        )
+        Self::build(engine::open_dir(opts.engine, dir.as_ref(), "index")?, opts)
     }
 
-    fn build(mut kv: KvStore, opts: IndexOptions) -> StoreResult<InvertedIndex> {
+    fn build(mut kv: Box<dyn Engine>, opts: IndexOptions) -> StoreResult<InvertedIndex> {
         // Restore doc lengths and segment counter.
         let mut doc_len = HashMap::new();
         let mut total_tokens = 0u64;
@@ -140,17 +149,22 @@ impl InvertedIndex {
         })
     }
 
-    /// Shared read access to the KV store. Lock poisoning cannot corrupt
-    /// the store (a reader panicking mid-scan leaves it intact), so a
-    /// poisoned guard is recovered rather than propagated.
-    fn kv(&self) -> MutexGuard<'_, KvStore> {
+    /// Shared read access to the storage engine. Lock poisoning cannot
+    /// corrupt the store (a reader panicking mid-scan leaves it intact),
+    /// so a poisoned guard is recovered rather than propagated.
+    fn kv(&self) -> MutexGuard<'_, Box<dyn Engine>> {
         self.kv.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Exclusive access for the write path — `get_mut` borrows through
     /// `&mut self` without acquiring the lock.
-    fn kv_mut(&mut self) -> &mut KvStore {
+    fn kv_mut(&mut self) -> &mut Box<dyn Engine> {
         self.kv.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Which engine backs this index.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.opts.engine
     }
 
     /// Register this index and its backing store with `registry`
@@ -363,6 +377,24 @@ impl InvertedIndex {
         self.kv_mut().checkpoint()
     }
 
+    /// Pin a point-in-time read view: an engine snapshot (a cheap run-set
+    /// epoch pin on the LSM engine, a materialized copy on the B+Tree
+    /// engine) plus the in-memory buffers as of now. Queries on the
+    /// returned [`IndexSnapshot`] never touch the store lock again, so
+    /// mining demons read a stable view while ingest — and LSM
+    /// compaction — continue underneath.
+    pub fn read_snapshot(&self) -> StoreResult<IndexSnapshot> {
+        let view = self.kv().snapshot()?;
+        Ok(IndexSnapshot {
+            view,
+            buffer: self.buffer.clone(),
+            pos_buffer: self.pos_buffer.clone(),
+            doc_len: self.doc_len.clone(),
+            num_docs: self.stats.num_docs,
+            total_tokens: self.total_tokens,
+        })
+    }
+
     pub fn num_docs(&self) -> u64 {
         self.stats.num_docs
     }
@@ -462,6 +494,78 @@ impl InvertedIndex {
     }
 }
 
+/// A pinned point-in-time view of the index: segments come from an engine
+/// [`SnapshotView`], buffered (uncommitted) postings from a clone taken at
+/// snapshot time. Every query here is lock-free — ingest proceeding on the
+/// live [`InvertedIndex`] is invisible to this view.
+pub struct IndexSnapshot {
+    view: Box<dyn SnapshotView>,
+    buffer: HashMap<TermId, Vec<(u32, u32)>>,
+    pos_buffer: HashMap<TermId, Vec<(u32, Vec<u32>)>>,
+    doc_len: HashMap<u32, u32>,
+    num_docs: u64,
+    total_tokens: u64,
+}
+
+impl IndexSnapshot {
+    /// The engine epoch this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// All postings for `term` as of snapshot time.
+    pub fn postings(&self, term: TermId) -> StoreResult<PostingList> {
+        let mut merged = PostingList::new();
+        for (_k, v) in self.view.scan_prefix(&InvertedIndex::term_prefix(term)) {
+            merged = merged.merge(&PostingList::decode(&v)?);
+        }
+        if let Some(pairs) = self.buffer.get(&term) {
+            merged = merged.merge(&PostingList::from_pairs(pairs.clone()));
+        }
+        Ok(merged)
+    }
+
+    /// All positional postings for `term` as of snapshot time.
+    pub fn positions(&self, term: TermId) -> StoreResult<PositionalList> {
+        let mut merged = PositionalList::new();
+        for (_k, v) in self.view.scan_prefix(&InvertedIndex::pos_prefix(term)) {
+            merged = merged.merge(&PositionalList::decode(&v)?);
+        }
+        if let Some(entries) = self.pos_buffer.get(&term) {
+            let mut sorted = entries.clone();
+            sorted.sort_by_key(|&(d, _)| d);
+            let mut buf = PositionalList::new();
+            for (d, p) in sorted {
+                let _ = buf.push(d, p); // duplicate doc ids: keep first
+            }
+            merged = merged.merge(&buf);
+        }
+        Ok(merged)
+    }
+
+    /// Document frequency of a term as of snapshot time.
+    pub fn df(&self, term: TermId) -> StoreResult<u32> {
+        Ok(self.postings(term)?.len() as u32)
+    }
+
+    pub fn num_docs(&self) -> u64 {
+        self.num_docs
+    }
+
+    /// Mean document length (tokens) as of snapshot time.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.num_docs == 0 {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.num_docs as f64
+        }
+    }
+
+    pub fn doc_len(&self, doc: u32) -> u32 {
+        self.doc_len.get(&doc).copied().unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +573,7 @@ mod tests {
     fn idx() -> InvertedIndex {
         InvertedIndex::open_memory(IndexOptions {
             auto_commit_docs: 4,
+            ..Default::default()
         })
         .unwrap()
     }
@@ -553,6 +658,7 @@ mod tests {
         // chunked across keys and reassembled on read.
         let mut ix = InvertedIndex::open_memory(IndexOptions {
             auto_commit_docs: 4096,
+            ..Default::default()
         })
         .unwrap();
         let common = 7u32;
@@ -571,6 +677,34 @@ mod tests {
         let list = ix.positions(common).unwrap();
         assert_eq!(list.len(), 400);
         assert_eq!(ix.postings(common).unwrap().len(), 400);
+    }
+
+    #[test]
+    fn snapshot_pins_postings_while_ingest_continues() {
+        for engine in [EngineKind::BTree, EngineKind::Lsm] {
+            let mut ix = InvertedIndex::open_memory(IndexOptions {
+                auto_commit_docs: 2,
+                engine,
+            })
+            .unwrap();
+            assert_eq!(ix.engine_kind(), engine);
+            for d in 0..5u32 {
+                ix.add_document(d, &[(7, 1)]).unwrap();
+            }
+            let snap = ix.read_snapshot().unwrap();
+            for d in 5..40u32 {
+                ix.add_document(d, &[(7, 2)]).unwrap();
+            }
+            ix.merge_segments().unwrap();
+            // The live index sees everything; the snapshot sees exactly
+            // the pre-burst state — committed segments and the buffer.
+            assert_eq!(ix.postings(7).unwrap().len(), 40, "{engine:?}");
+            assert_eq!(snap.postings(7).unwrap().len(), 5, "{engine:?}");
+            assert_eq!(snap.num_docs(), 5);
+            assert_eq!(snap.doc_len(3), 1);
+            assert_eq!(snap.df(7).unwrap(), 5);
+            assert_eq!(snap.df(999).unwrap(), 0);
+        }
     }
 
     #[test]

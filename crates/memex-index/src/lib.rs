@@ -15,5 +15,5 @@ pub mod postings;
 pub mod query;
 pub mod search;
 
-pub use index::{IndexOptions, InvertedIndex};
+pub use index::{IndexOptions, IndexSnapshot, InvertedIndex};
 pub use search::{BoolExpr, SearchHit};

@@ -325,3 +325,62 @@ fn poisoned_memex_mutex_answers_typed_error_not_hung_connection() {
     assert_eq!(snap.counter("net.req.poisoned"), 3);
     assert_eq!(snap.counter("net.req.ok"), 1);
 }
+
+#[test]
+fn lsm_engine_memex_serves_identically_and_reports_lsm_metrics() {
+    // The whole stack — Memex, servlets, wire — on the LSM engine. The
+    // engine choice flows through the options chain (MemexOptions →
+    // ServerOptions → IndexOptions), queries must answer exactly as they
+    // do in-process, and the wire Stats snapshot must surface the
+    // `store.lsm.*` family the engine registers.
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        num_topics: 2,
+        pages_per_topic: 15,
+        ..CorpusConfig::default()
+    }));
+    let mut opts = MemexOptions::default();
+    opts.server.index.engine = memex_store::EngineKind::Lsm;
+    let mut memex = Memex::new(corpus.clone(), opts).expect("build LSM memex");
+    memex.register_user(1, "user1").expect("register");
+    for (time, &page) in (1u64..).zip(corpus.pages_of_topic(0).iter().take(8)) {
+        memex.submit(ClientEvent::Visit(VisitEvent {
+            user: 1,
+            session: 1,
+            page,
+            url: corpus.pages[page as usize].url.clone(),
+            time,
+            referrer: None,
+        }));
+    }
+    memex.run_demons().expect("demons");
+
+    let recall = Request::Recall {
+        user: 1,
+        query: "page".into(),
+        since: 0,
+        until: u64::MAX,
+        k: 5,
+    };
+    let expected = dispatch(&mut memex, recall.clone());
+
+    let server = NetServer::start(memex, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let mut client = MemexClient::connect(addr, ClientConfig::default()).expect("connect");
+    assert_eq!(
+        client.request(&recall).expect("recall over wire"),
+        expected,
+        "LSM-backed recall diverged over the wire"
+    );
+    let Response::Stats(snap) = client.request(&Request::Stats).expect("stats") else {
+        panic!("Stats request answered with a non-Stats response");
+    };
+    assert!(
+        snap.counter("store.lsm.puts") > 0,
+        "LSM engine served the index but registered no store.lsm.puts"
+    );
+    assert!(
+        snap.gauge("store.lsm.memtable.bytes") > 0,
+        "indexed postings should be buffered in the LSM memtable"
+    );
+    server.shutdown();
+}

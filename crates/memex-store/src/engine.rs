@@ -1,0 +1,356 @@
+//! The shared [`Engine`] trait: one keyed-store interface, two engines.
+//!
+//! [`KvStore`] (in-place B+Tree pages) and [`LsmStore`](crate::lsm::LsmStore)
+//! (log-structured runs + MVCC snapshots) both implement it, so the
+//! index, server and bench layers pick an engine per store — by config
+//! ([`EngineKind`]) or environment (`MEMEX_ENGINE=btree|lsm`) — without
+//! caring which one is underneath.
+//!
+//! The trait is deliberately narrower than `KvStore`'s inherent API:
+//! `put`/`delete` return no old value (an LSM write must not read), and
+//! there is no `len` (an LSM engine would have to merge to count). The
+//! one capability the trait *adds* is [`Engine::snapshot`]: a pinned
+//! point-in-time [`SnapshotView`] whose reads proceed while ingest
+//! continues. The LSM engine pins a run-set epoch for free; the B+Tree
+//! engine materializes a copy — correct, but O(n), which is exactly the
+//! asymmetry the `ingest-while-scan` bench rows measure.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::Path;
+
+use memex_obs::MetricsRegistry;
+
+use crate::error::StoreResult;
+use crate::kv::{KvStore, KvStoreOptions};
+use crate::lsm::{LsmOptions, LsmStore};
+
+/// Which storage engine backs a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// In-place B+Tree pages ([`KvStore`]).
+    #[default]
+    BTree,
+    /// Log-structured runs with MVCC snapshots
+    /// ([`LsmStore`](crate::lsm::LsmStore)).
+    Lsm,
+}
+
+impl EngineKind {
+    /// Parse a config/env spelling; `None` for anything unrecognized.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "btree" | "b+tree" | "bt" => Some(EngineKind::BTree),
+            "lsm" | "log" => Some(EngineKind::Lsm),
+            _ => None,
+        }
+    }
+
+    /// Read `MEMEX_ENGINE` from the environment (unset or unparseable →
+    /// `None`; callers fall back to their configured default).
+    pub fn from_env() -> Option<EngineKind> {
+        std::env::var("MEMEX_ENGINE")
+            .ok()
+            .and_then(|v| EngineKind::parse(&v))
+    }
+
+    /// Stable lowercase name (used in bench artifact rows and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::BTree => "btree",
+            EngineKind::Lsm => "lsm",
+        }
+    }
+}
+
+/// A pinned point-in-time read view. All methods are infallible: the
+/// view owns (or pins via `Arc`) everything it reads, so no I/O and no
+/// lock is involved after creation.
+pub trait SnapshotView: Send {
+    /// The engine epoch this view pinned (monotonic per store).
+    fn epoch(&self) -> u64;
+
+    /// Point lookup in the pinned state.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Merged range iteration; `f` returning `false` stops early.
+    fn for_each_range(
+        &self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    );
+
+    /// Collect every `(key, value)` whose key starts with `prefix`.
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.for_each_range(Bound::Included(prefix), Bound::Unbounded, &mut |k, v| {
+            if !k.starts_with(prefix) {
+                return false;
+            }
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        });
+        out
+    }
+
+    /// Collect a bounded range.
+    fn scan(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.for_each_range(start, end, &mut |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        });
+        out
+    }
+}
+
+/// The engine-neutral keyed-store interface.
+pub trait Engine: Send {
+    /// Which engine this is (for logs, stats wiring and bench rows).
+    fn kind(&self) -> EngineKind;
+
+    /// Upsert.
+    fn put(&mut self, key: &[u8], value: &[u8]) -> StoreResult<()>;
+
+    /// Delete (absent keys are fine).
+    fn delete(&mut self, key: &[u8]) -> StoreResult<()>;
+
+    /// Point lookup.
+    fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>>;
+
+    /// Collect a bounded range.
+    fn scan(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>>;
+
+    /// Collect every `(key, value)` whose key starts with `prefix`.
+    fn scan_prefix(&mut self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>>;
+
+    /// Range iteration; `f` returning `false` stops early.
+    fn for_each_range(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> StoreResult<()>;
+
+    /// Make every acked write durable (WAL fsync).
+    fn sync(&mut self) -> StoreResult<()>;
+
+    /// Durability barrier + log truncation: B+Tree flushes pages, LSM
+    /// seals the memtable into a run. Both truncate the WAL after.
+    fn checkpoint(&mut self) -> StoreResult<()>;
+
+    /// Open a pinned point-in-time view (see [`SnapshotView`]).
+    fn snapshot(&mut self) -> StoreResult<Box<dyn SnapshotView>>;
+
+    /// Register the engine's instruments with `registry`.
+    fn attach_registry(&mut self, registry: &MetricsRegistry);
+
+    /// Verify internal invariants (tests / debugging).
+    fn check(&mut self) -> StoreResult<()>;
+}
+
+/// Open an in-memory engine of the given kind with default options.
+pub fn open_memory(kind: EngineKind) -> StoreResult<Box<dyn Engine>> {
+    match kind {
+        EngineKind::BTree => Ok(Box::new(BTreeEngine::new(KvStore::open_memory()?))),
+        EngineKind::Lsm => Ok(Box::new(LsmStore::open_memory()?)),
+    }
+}
+
+/// Open (or create) an on-disk engine of the given kind under `dir`.
+pub fn open_dir(kind: EngineKind, dir: &Path, name: &str) -> StoreResult<Box<dyn Engine>> {
+    match kind {
+        EngineKind::BTree => Ok(Box::new(BTreeEngine::new(KvStore::open_dir(
+            dir,
+            name,
+            KvStoreOptions::default(),
+        )?))),
+        EngineKind::Lsm => Ok(Box::new(LsmStore::open_dir(
+            dir.join(name),
+            LsmOptions::default(),
+        )?)),
+    }
+}
+
+/// [`KvStore`] behind the [`Engine`] interface. Snapshots materialize a
+/// full copy of the tree (the B+Tree mutates pages in place, so there is
+/// nothing immutable to pin) — correct MVCC semantics at O(n) cost.
+pub struct BTreeEngine {
+    kv: KvStore,
+    snapshots_taken: u64,
+}
+
+impl BTreeEngine {
+    pub fn new(kv: KvStore) -> BTreeEngine {
+        BTreeEngine {
+            kv,
+            snapshots_taken: 0,
+        }
+    }
+
+    /// The underlying store (escape hatch for harnesses that need
+    /// `wal_mut` or `stats`).
+    pub fn kv(&mut self) -> &mut KvStore {
+        &mut self.kv
+    }
+}
+
+impl Engine for BTreeEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::BTree
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> StoreResult<()> {
+        self.kv.put(key, value)?;
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> StoreResult<()> {
+        self.kv.delete(key)?;
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        self.kv.get(key)
+    }
+
+    fn scan(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.kv.scan(start, end)
+    }
+
+    fn scan_prefix(&mut self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.kv.scan_prefix(prefix)
+    }
+
+    fn for_each_range(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> StoreResult<()> {
+        self.kv.for_each_range(start, end, |k, v| f(k, v))
+    }
+
+    fn sync(&mut self) -> StoreResult<()> {
+        self.kv.wal_mut().sync()
+    }
+
+    fn checkpoint(&mut self) -> StoreResult<()> {
+        self.kv.checkpoint()
+    }
+
+    fn snapshot(&mut self) -> StoreResult<Box<dyn SnapshotView>> {
+        let mut entries = BTreeMap::new();
+        self.kv
+            .for_each_range(Bound::Unbounded, Bound::Unbounded, |k, v| {
+                entries.insert(k.to_vec(), v.to_vec());
+                true
+            })?;
+        self.snapshots_taken += 1;
+        Ok(Box::new(MaterializedSnapshot {
+            epoch: self.snapshots_taken,
+            entries,
+        }))
+    }
+
+    fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.kv.attach_registry(registry);
+    }
+
+    fn check(&mut self) -> StoreResult<()> {
+        self.kv.check()
+    }
+}
+
+/// A fully-copied snapshot (the B+Tree fallback).
+pub struct MaterializedSnapshot {
+    epoch: u64,
+    entries: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl SnapshotView for MaterializedSnapshot {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.entries.get(key).cloned()
+    }
+
+    fn for_each_range(
+        &self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) {
+        match (start, end) {
+            (Bound::Included(s) | Bound::Excluded(s), Bound::Included(e) | Bound::Excluded(e))
+                if s > e =>
+            {
+                return
+            }
+            (Bound::Excluded(s), Bound::Excluded(e)) if s == e => return,
+            _ => {}
+        }
+        for (k, v) in self.entries.range::<[u8], _>((start, end)) {
+            if !f(k, v) {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!(EngineKind::parse("btree"), Some(EngineKind::BTree));
+        assert_eq!(EngineKind::parse(" LSM "), Some(EngineKind::Lsm));
+        assert_eq!(EngineKind::parse("paper"), None);
+        assert_eq!(EngineKind::BTree.name(), "btree");
+        assert_eq!(EngineKind::Lsm.name(), "lsm");
+    }
+
+    fn exercise(mut engine: Box<dyn Engine>) {
+        engine.put(b"a", b"1").unwrap();
+        engine.put(b"b", b"2").unwrap();
+        engine.delete(b"a").unwrap();
+        assert_eq!(engine.get(b"a").unwrap(), None);
+        assert_eq!(engine.get(b"b").unwrap(), Some(b"2".to_vec()));
+        let snap = engine.snapshot().unwrap();
+        engine.put(b"b", b"changed").unwrap();
+        engine.put(b"c", b"3").unwrap();
+        engine.checkpoint().unwrap();
+        assert_eq!(snap.get(b"b"), Some(b"2".to_vec()), "snapshot is pinned");
+        assert_eq!(snap.get(b"c"), None);
+        assert_eq!(
+            snap.scan(Bound::Unbounded, Bound::Unbounded),
+            vec![(b"b".to_vec(), b"2".to_vec())]
+        );
+        assert_eq!(
+            engine.scan_prefix(b"b").unwrap(),
+            vec![(b"b".to_vec(), b"changed".to_vec())]
+        );
+        engine.check().unwrap();
+    }
+
+    #[test]
+    fn both_engines_satisfy_the_trait_contract() {
+        for kind in [EngineKind::BTree, EngineKind::Lsm] {
+            let engine = open_memory(kind).unwrap();
+            assert_eq!(engine.kind(), kind);
+            exercise(engine);
+        }
+    }
+}

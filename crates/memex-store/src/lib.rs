@@ -24,8 +24,10 @@
 
 pub mod btree;
 pub mod codec;
+pub mod engine;
 pub mod error;
 pub mod kv;
+pub mod lsm;
 pub mod page;
 pub mod pager;
 pub mod rel;
@@ -33,9 +35,12 @@ pub mod version;
 pub mod vfs;
 pub mod wal;
 
+pub use engine::{BTreeEngine, Engine, EngineKind, SnapshotView};
 pub use error::{StoreError, StoreResult};
 pub use kv::{KvStore, KvStoreOptions};
+pub use lsm::{LsmOptions, LsmSnapshot, LsmStore};
 pub use version::{Consumer, Epoch, VersionedLog};
 pub use vfs::{
-    FaultConfig, FaultControl, FaultyStorage, FileStorage, MemHandle, MemStorage, Storage,
+    FaultConfig, FaultControl, FaultyDir, FaultyStorage, FileDir, FileStorage, MemDir,
+    MemDirHandle, MemHandle, MemStorage, Storage, StorageDir,
 };

@@ -1,0 +1,1249 @@
+//! # memex-store::lsm — log-structured MVCC engine
+//!
+//! The B+Tree engine ([`KvStore`](crate::kv::KvStore)) mutates pages in
+//! place, so every reader shares a lock with the writer and a long scan
+//! fights ingest. The archive workload the paper describes is the
+//! opposite shape: browsers stream events in *continuously* while mining
+//! demons read long-lived views. This module is the engine built for
+//! that shape:
+//!
+//! * **Writes** land in a sorted in-memory memtable, logged through the
+//!   same [`Wal`] the B+Tree uses (crash recovery replays it back).
+//! * **Seal**: when the memtable outgrows its budget (or on an explicit
+//!   checkpoint) it is written as one immutable sorted [`Run`] file on a
+//!   [`StorageDir`], the [`Manifest`] records the new run set, and the
+//!   WAL is truncated.
+//! * **Compaction**: a background demon merges the run set into one run
+//!   off-lock and swaps the new set in with a brief write-lock — readers
+//!   and the writer never wait for the merge itself.
+//! * **MVCC snapshots**: [`LsmSnapshot`] clones the (bounded) memtable
+//!   and grabs `Arc`s on the immutable runs under one brief read lock;
+//!   every read after that touches no lock at all, so a mining demon can
+//!   scan a pinned epoch while ingest and compaction continue.
+//!
+//! ## Durability protocol (the order is the contract)
+//!
+//! Seal: `wal.sync` → write+sync run file → manifest append+sync →
+//! install in memory → WAL truncate+checkpoint. A crash between any two
+//! steps recovers to a state in the `[synced, acked]` prefix window:
+//! before the manifest append the full WAL replays; after it the run
+//! holds the same data and WAL replay over it is idempotent (the leading
+//! `wal.sync` is what makes it idempotent — without it a durable *prefix*
+//! of the WAL could replay stale values over a newer run). Run files a
+//! crash leaves un-referenced are deleted by the orphan scan at open and
+//! counted in `store.recovery.orphan_runs`.
+//!
+//! Lock order (declared in LINT.toml): `store.lsm.wake` →
+//! `store.lsm.manifest` → `store.lsm.state` → `store.lsm.metrics`. The
+//! manifest mutex also serializes run-set transitions (seal vs. compact),
+//! so the run list read under it cannot change until it is released.
+
+mod manifest;
+mod run;
+
+pub use run::Run;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::iter::Peekable;
+use std::ops::Bound;
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use memex_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+use crate::engine::{Engine, EngineKind, SnapshotView};
+use crate::error::StoreResult;
+use crate::vfs::{FileDir, MemDir, StorageDir};
+use crate::wal::{Wal, WalRecord};
+
+use manifest::Manifest;
+
+const MANIFEST_FILE: &str = "manifest";
+const WAL_FILE: &str = "wal";
+
+/// Tuning knobs for an [`LsmStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct LsmOptions {
+    /// Seal the memtable into a run once its tracked bytes exceed this.
+    pub memtable_bytes: u64,
+    /// Compact once the live run count reaches this.
+    pub compact_min_runs: usize,
+    /// Run the compaction demon on a background thread. Tests that need
+    /// deterministic schedules turn this off and call
+    /// [`LsmStore::compact_now`].
+    pub background_compaction: bool,
+    /// Call `fsync` after every WAL append (durability vs. throughput).
+    pub sync_every_append: bool,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        // `MEMEX_LSM_MEMTABLE_BYTES` tunes the seal budget without an API
+        // change, mirroring how `MEMEX_ENGINE` picks the engine — stores
+        // opened through the engine-neutral path get it for free.
+        let memtable_bytes = std::env::var("MEMEX_LSM_MEMTABLE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(1 << 20);
+        LsmOptions {
+            memtable_bytes,
+            compact_min_runs: 4,
+            background_compaction: true,
+            sync_every_append: false,
+        }
+    }
+}
+
+/// Diagnostic counters (mirrors [`KvStats`](crate::kv::KvStats)).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LsmStats {
+    pub puts: u64,
+    pub deletes: u64,
+    pub gets: u64,
+    pub seals: u64,
+    /// Budget-triggered seals that failed and were deferred (the writes
+    /// they covered stay acked in the WAL + memtable; see [`LsmStore::put`]).
+    pub seal_errors: u64,
+    pub compactions: u64,
+    /// Records recovered from the WAL at open time.
+    pub recovered_records: u64,
+    /// True if recovery found (and dropped) a torn WAL or manifest tail.
+    pub recovered_torn_tail: bool,
+    /// Bytes trimmed repairing torn tails at open time.
+    pub recovered_repaired_bytes: u64,
+    /// Partially-written run files deleted by the orphan scan at open.
+    pub recovered_orphan_runs: u64,
+}
+
+/// Obs handles (inert until [`LsmStore::attach_registry`]).
+struct LsmMetrics {
+    puts: Counter,
+    gets: Counter,
+    deletes: Counter,
+    memtable_bytes: Gauge,
+    seals: Counter,
+    seal_errors: Counter,
+    seal_latency: Histogram,
+    runs: Gauge,
+    compactions: Counter,
+    compact_bytes: Counter,
+    compact_latency: Histogram,
+    compact_errors: Counter,
+    read_amp: Histogram,
+    snapshots: Counter,
+}
+
+impl LsmMetrics {
+    fn new(registry: &MetricsRegistry) -> LsmMetrics {
+        LsmMetrics {
+            puts: registry.counter("store.lsm.puts"),
+            gets: registry.counter("store.lsm.gets"),
+            deletes: registry.counter("store.lsm.deletes"),
+            memtable_bytes: registry.gauge("store.lsm.memtable.bytes"),
+            seals: registry.counter("store.lsm.seals"),
+            seal_errors: registry.counter("store.lsm.seal.errors"),
+            seal_latency: registry.histogram("store.lsm.seal.latency"),
+            runs: registry.gauge("store.lsm.runs"),
+            compactions: registry.counter("store.lsm.compactions"),
+            compact_bytes: registry.counter("store.lsm.compact.bytes"),
+            compact_latency: registry.histogram("store.lsm.compact.latency"),
+            compact_errors: registry.counter("store.lsm.compact.errors"),
+            read_amp: registry.histogram("store.lsm.read.amplification"),
+            snapshots: registry.counter("store.lsm.snapshots"),
+        }
+    }
+}
+
+impl Default for LsmMetrics {
+    fn default() -> Self {
+        LsmMetrics::new(&MetricsRegistry::disabled())
+    }
+}
+
+/// Mutable engine state behind the RwLock: what a point-in-time view is
+/// made of.
+struct LsmState {
+    /// Sorted write buffer; `None` = tombstone.
+    memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Tracked memtable footprint in bytes (keys + values + overhead).
+    memtable_bytes: u64,
+    /// Immutable runs, newest first.
+    runs: Vec<Arc<Run>>,
+    /// Bumped on every run-set transition (seal or compaction).
+    epoch: u64,
+}
+
+/// Per-entry bookkeeping cost used for the memtable budget.
+fn entry_cost(key_len: usize, value_len: usize) -> u64 {
+    (key_len + value_len + 32) as u64
+}
+
+impl LsmState {
+    fn memtable_insert(&mut self, key: &[u8], value: Option<Vec<u8>>) {
+        let add = entry_cost(key.len(), value.as_ref().map_or(0, |v| v.len()));
+        if let Some(old) = self.memtable.insert(key.to_vec(), value) {
+            let sub = entry_cost(key.len(), old.as_ref().map_or(0, |v| v.len()));
+            self.memtable_bytes = self.memtable_bytes.saturating_sub(sub);
+        }
+        self.memtable_bytes += add;
+    }
+}
+
+/// Compactor wake-up channel.
+#[derive(Default)]
+struct WakeFlag {
+    work: bool,
+    shutdown: bool,
+}
+
+struct Wake {
+    flag: Mutex<WakeFlag>,
+    cond: Condvar,
+}
+
+/// State shared between the writer, readers (snapshots) and the
+/// compaction demon.
+struct LsmShared {
+    state: RwLock<LsmState>,
+    manifest: Mutex<Manifest>,
+    metrics: Mutex<LsmMetrics>,
+    wake: Wake,
+    dir: Arc<dyn StorageDir>,
+}
+
+/// The log-structured engine. Writer-owned (`&mut` API like
+/// [`KvStore`](crate::kv::KvStore)); concurrency happens through
+/// [`LsmStore::snapshot`] handles and the background compactor.
+pub struct LsmStore {
+    shared: Arc<LsmShared>,
+    wal: Wal,
+    opts: LsmOptions,
+    stats: LsmStats,
+    compactor: Option<JoinHandle<()>>,
+}
+
+impl LsmStore {
+    /// Fully in-memory store (still exercises WAL + run + manifest code).
+    pub fn open_memory() -> StoreResult<LsmStore> {
+        LsmStore::open_memory_opts(LsmOptions::default())
+    }
+
+    pub fn open_memory_opts(opts: LsmOptions) -> StoreResult<LsmStore> {
+        LsmStore::open_with_dir(Arc::new(MemDir::new()), opts)
+    }
+
+    /// Open (or create) a store under `dir` on the real filesystem.
+    pub fn open_dir<P: AsRef<Path>>(dir: P, opts: LsmOptions) -> StoreResult<LsmStore> {
+        LsmStore::open_with_dir(Arc::new(FileDir::open(dir)?), opts)
+    }
+
+    /// Open over an arbitrary [`StorageDir`] — the fault-injection entry
+    /// point: wrap a [`MemDir`] in a
+    /// [`FaultyDir`](crate::vfs::FaultyDir) to script I/O failures and
+    /// crashes against every file the engine touches.
+    pub fn open_with_dir(dir: Arc<dyn StorageDir>, opts: LsmOptions) -> StoreResult<LsmStore> {
+        // 1. Manifest: adopt the last intact run-set record.
+        let manifest = Manifest::open(dir.open(MANIFEST_FILE)?)?;
+
+        // 2. Load every referenced run. These were synced before the
+        //    manifest record naming them, so failures here are real
+        //    corruption, not crash debris.
+        let mut runs = Vec::with_capacity(manifest.runs.len());
+        for id in &manifest.runs {
+            let mut storage = dir.open(&Run::file_name(*id))?;
+            runs.push(Arc::new(Run::load(*id, storage.as_mut())?));
+        }
+
+        // 3. Orphan scan — the recovery blind spot the fault harness
+        //    exposes: a crash mid-seal or mid-compaction leaves run files
+        //    the manifest never committed. They must be deleted (never
+        //    resurrected), and their ids must never be re-allocated.
+        let live: BTreeSet<u64> = manifest.runs.iter().copied().collect();
+        let mut next_run_id = manifest.next_run_id;
+        let mut orphans = 0u64;
+        for name in dir.list()? {
+            if let Some(id) = Run::parse_file_name(&name) {
+                if id >= next_run_id {
+                    next_run_id = id + 1;
+                }
+                if !live.contains(&id) {
+                    dir.remove(&name)?;
+                    orphans += 1;
+                }
+            }
+        }
+
+        // 4. WAL replay into a fresh memtable (repairs torn tails).
+        let mut wal = Wal::with_storage(dir.open(WAL_FILE)?)?;
+        let replay = wal.replay()?;
+        let mut state = LsmState {
+            memtable: BTreeMap::new(),
+            memtable_bytes: 0,
+            runs,
+            epoch: manifest.epoch,
+        };
+        for (_lsn, rec) in &replay.records {
+            match rec {
+                WalRecord::Put { key, value } => {
+                    state.memtable_insert(key, Some(value.clone()));
+                }
+                WalRecord::Delete { key } => state.memtable_insert(key, None),
+                WalRecord::Checkpoint => {}
+            }
+        }
+
+        let stats = LsmStats {
+            recovered_records: replay.records.len() as u64,
+            recovered_torn_tail: replay.torn_tail || manifest.torn_tail,
+            recovered_repaired_bytes: replay.repaired_bytes + manifest.repaired_bytes,
+            recovered_orphan_runs: orphans,
+            ..LsmStats::default()
+        };
+        let mut manifest = manifest;
+        manifest.next_run_id = next_run_id;
+        let shared = Arc::new(LsmShared {
+            state: RwLock::new(state),
+            manifest: Mutex::new(manifest),
+            metrics: Mutex::new(LsmMetrics::default()),
+            wake: Wake {
+                flag: Mutex::new(WakeFlag::default()),
+                cond: Condvar::new(),
+            },
+            dir,
+        });
+        let compactor = if opts.background_compaction {
+            let thread_shared = Arc::clone(&shared);
+            let min_runs = opts.compact_min_runs;
+            Some(std::thread::spawn(move || {
+                compactor_loop(&thread_shared, min_runs);
+            }))
+        } else {
+            None
+        };
+        Ok(LsmStore {
+            shared,
+            wal,
+            opts,
+            stats,
+            compactor,
+        })
+    }
+
+    /// Register this store with `registry` (`store.lsm.*`, `store.wal.*`,
+    /// recovery counters under `store.recovery.*`).
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.wal.attach_registry(registry);
+        let (runs, memtable_bytes) = {
+            let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+            (state.runs.len() as i64, state.memtable_bytes as i64)
+        };
+        {
+            let mut m = self
+                .shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *m = LsmMetrics::new(registry);
+            m.runs.set(runs);
+            m.memtable_bytes.set(memtable_bytes);
+        }
+        registry
+            .counter("store.recovery.replayed_records")
+            .add(self.stats.recovered_records);
+        if self.stats.recovered_torn_tail {
+            registry.counter("store.recovery.torn_tails").inc();
+        }
+        registry
+            .counter("store.recovery.repaired_bytes")
+            .add(self.stats.recovered_repaired_bytes);
+        registry
+            .counter("store.recovery.orphan_runs")
+            .add(self.stats.recovered_orphan_runs);
+    }
+
+    fn append_wal(&mut self, record: &WalRecord) -> StoreResult<()> {
+        self.wal.append(record)?;
+        if self.opts.sync_every_append {
+            self.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Upsert. Once the WAL append returns, the write is acked: a
+    /// budget-triggered seal that fails afterwards must not retract the
+    /// ack, so its error is deferred — counted in `store.lsm.seal.errors`
+    /// and retried on the next trigger or explicit [`LsmStore::seal`].
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> StoreResult<()> {
+        self.append_wal(&WalRecord::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })?;
+        let bytes = {
+            let mut state = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
+            state.memtable_insert(key, Some(value.to_vec()));
+            state.memtable_bytes
+        };
+        self.stats.puts += 1;
+        {
+            let m = self
+                .shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            m.puts.inc();
+            m.memtable_bytes.set(bytes as i64);
+        }
+        if bytes > self.opts.memtable_bytes {
+            self.seal_deferred();
+        }
+        Ok(())
+    }
+
+    /// Delete (writes a tombstone; absent keys are fine). Seal-error
+    /// deferral works exactly as in [`LsmStore::put`].
+    pub fn delete(&mut self, key: &[u8]) -> StoreResult<()> {
+        self.append_wal(&WalRecord::Delete { key: key.to_vec() })?;
+        let bytes = {
+            let mut state = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
+            state.memtable_insert(key, None);
+            state.memtable_bytes
+        };
+        self.stats.deletes += 1;
+        {
+            let m = self
+                .shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            m.deletes.inc();
+            m.memtable_bytes.set(bytes as i64);
+        }
+        if bytes > self.opts.memtable_bytes {
+            self.seal_deferred();
+        }
+        Ok(())
+    }
+
+    /// Budget-triggered seal: the covered writes are already acked (WAL +
+    /// memtable), so a failure here only defers the seal — the memtable
+    /// keeps growing past its budget until a later seal succeeds.
+    fn seal_deferred(&mut self) {
+        if self.seal().is_err() {
+            self.stats.seal_errors += 1;
+            let m = self
+                .shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            m.seal_errors.inc();
+        }
+    }
+
+    /// Point lookup: memtable first, then runs newest-to-oldest. The
+    /// number of runs consulted is the read amplification recorded in
+    /// `store.lsm.read.amplification`.
+    pub fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        let _trace = memex_obs::trace::span("store.lsm.get");
+        self.stats.gets += 1;
+        let (result, consulted) = {
+            let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+            lookup(&state.memtable, &state.runs, key)
+        };
+        {
+            let m = self
+                .shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            m.gets.inc();
+            m.read_amp.record(consulted);
+        }
+        Ok(result)
+    }
+
+    /// Merged range iteration over the live state (memtable shadows
+    /// runs; newest run shadows older).
+    pub fn for_each_range(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> StoreResult<()> {
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        merged_for_each(&state.memtable, &state.runs, start, end, f);
+        Ok(())
+    }
+
+    /// Collect every `(key, value)` whose key starts with `prefix`.
+    pub fn scan_prefix(&mut self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.for_each_range(Bound::Included(prefix), Bound::Unbounded, &mut |k, v| {
+            if !k.starts_with(prefix) {
+                return false;
+            }
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Collect a bounded range.
+    pub fn scan(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.for_each_range(start, end, &mut |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Make every acked record durable (WAL fsync).
+    pub fn sync(&mut self) -> StoreResult<()> {
+        self.wal.sync()
+    }
+
+    /// Open an MVCC snapshot: one brief read lock to clone the (bounded)
+    /// memtable and pin the immutable run set, then every read on the
+    /// returned handle is lock-free. Ingest, seals and compactions after
+    /// this point are invisible to the snapshot.
+    pub fn snapshot(&self) -> LsmSnapshot {
+        let (memtable, runs, epoch) = {
+            let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+            (state.memtable.clone(), state.runs.clone(), state.epoch)
+        };
+        {
+            let m = self
+                .shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            m.snapshots.inc();
+        }
+        LsmSnapshot {
+            memtable,
+            runs,
+            epoch,
+        }
+    }
+
+    /// The run-set epoch readers would pin right now.
+    pub fn epoch(&self) -> u64 {
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        state.epoch
+    }
+
+    /// Live run count.
+    pub fn run_count(&self) -> usize {
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        state.runs.len()
+    }
+
+    /// Seal the memtable into an immutable run and truncate the WAL. See
+    /// the module docs for why each step orders before the next. An empty
+    /// memtable still checkpoints the WAL (everything acked is already in
+    /// runs, so dropping the log is safe).
+    pub fn seal(&mut self) -> StoreResult<()> {
+        let _trace = memex_obs::trace::span("store.lsm.seal");
+        let started = Instant::now();
+        // Make the whole log durable before anything derived from it is:
+        // the run must never get ahead of the durable WAL, or a crash
+        // could replay a stale prefix over newer run data.
+        self.wal.sync()?;
+        let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = {
+            let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+            state
+                .memtable
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        if entries.is_empty() {
+            return self.checkpoint_wal();
+        }
+        let run_count = {
+            // The manifest mutex serializes run-set transitions against
+            // the compactor; the run list cannot change until released.
+            let mut manifest = self
+                .shared
+                .manifest
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let id = manifest.next_run_id;
+            let name = Run::file_name(id);
+            let run = {
+                let mut storage = self.shared.dir.open(&name)?;
+                match Run::write(id, entries, storage.as_mut()) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        // A partial file may remain: delete it if we can;
+                        // otherwise the orphan scan reaps it at next open.
+                        let _ = self.shared.dir.remove(&name);
+                        return Err(e);
+                    }
+                }
+            };
+            let (epoch, ids) = {
+                let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+                let ids: Vec<u64> = std::iter::once(id)
+                    .chain(state.runs.iter().map(|r| r.id))
+                    .collect();
+                (state.epoch + 1, ids)
+            };
+            // On failure, keep the run file: the append may have staged
+            // its record before the failure, and a crash can still land
+            // those bytes durably. If the record lands, the (fully
+            // synced) run is live and must exist; if it does not, the
+            // orphan scan reaps the file at the next open. Removing it
+            // here would let a landed record point at nothing.
+            manifest.append(epoch, id + 1, &ids)?;
+            // Committed: install in memory. From here on failure may only
+            // leave the WAL un-truncated, which replays idempotently.
+            let mut state = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
+            state.runs.insert(0, Arc::new(run));
+            state.memtable.clear();
+            state.memtable_bytes = 0;
+            state.epoch = epoch;
+            state.runs.len()
+        };
+        self.stats.seals += 1;
+        {
+            let m = self
+                .shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            m.seals.inc();
+            m.memtable_bytes.set(0);
+            m.runs.set(run_count as i64);
+            m.seal_latency.record(elapsed_ns(started));
+        }
+        if run_count >= self.opts.compact_min_runs {
+            self.wake_compactor();
+        }
+        self.checkpoint_wal()
+    }
+
+    /// Truncate the WAL and mark the checkpoint (the sealed runs now
+    /// carry everything the log carried).
+    fn checkpoint_wal(&mut self) -> StoreResult<()> {
+        self.wal.truncate()?;
+        self.wal.append(&WalRecord::Checkpoint)?;
+        self.wal.sync()
+    }
+
+    /// Run one compaction pass inline (deterministic alternative to the
+    /// background demon; used by crash tests). Returns whether a merge
+    /// happened.
+    pub fn compact_now(&mut self) -> StoreResult<bool> {
+        compact_once(&self.shared, 2)
+    }
+
+    fn wake_compactor(&self) {
+        if self.compactor.is_none() {
+            return;
+        }
+        {
+            let mut flag = self
+                .shared
+                .wake
+                .flag
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            flag.work = true;
+        }
+        self.shared.wake.cond.notify_all();
+    }
+
+    /// Diagnostic counters.
+    pub fn stats(&self) -> LsmStats {
+        self.stats
+    }
+
+    /// Expose the WAL for fault-injection in recovery experiments.
+    #[doc(hidden)]
+    pub fn wal_mut(&mut self) -> &mut Wal {
+        &mut self.wal
+    }
+}
+
+impl Drop for LsmStore {
+    fn drop(&mut self) {
+        if let Some(handle) = self.compactor.take() {
+            {
+                let mut flag = self
+                    .shared
+                    .wake
+                    .flag
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                flag.shutdown = true;
+            }
+            self.shared.wake.cond.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Background compactor: waits for a wake, then merges until there is
+/// nothing left to merge. Errors are counted and retried at the next
+/// wake — the demon itself never dies and never panics.
+fn compactor_loop(shared: &Arc<LsmShared>, min_runs: usize) {
+    loop {
+        {
+            let mut flag = shared.wake.flag.lock().unwrap_or_else(|e| e.into_inner());
+            while !flag.work && !flag.shutdown {
+                flag = shared
+                    .wake
+                    .cond
+                    .wait(flag)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            if flag.shutdown {
+                return;
+            }
+            flag.work = false;
+        }
+        loop {
+            match compact_once(shared, min_runs) {
+                Ok(true) => continue,
+                Ok(false) => break,
+                Err(_) => {
+                    let m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    m.compact_errors.inc();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Merge the whole run set into one run. The merge itself happens on
+/// `Arc` clones with no lock held (readers and the writer proceed);
+/// the manifest mutex only serializes the run-set *transition*, and the
+/// state write lock is held just long enough to swap the list. Snapshots
+/// holding the old runs keep them alive; their files are deleted once
+/// the manifest stops referencing them (failed deletions become orphans
+/// for the next open).
+fn compact_once(shared: &Arc<LsmShared>, min_runs: usize) -> StoreResult<bool> {
+    let _trace = memex_obs::trace::span("store.lsm.compact");
+    let started = Instant::now();
+    let mut manifest = shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
+    let (victims, old_epoch) = {
+        let state = shared.state.read().unwrap_or_else(|e| e.into_inner());
+        if state.runs.len() < min_runs.max(2) {
+            return Ok(false);
+        }
+        (state.runs.clone(), state.epoch)
+    };
+    // Oldest first so newer entries overwrite; drop tombstones — there
+    // is nothing older below a full merge for them to shadow.
+    let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+    for run in victims.iter().rev() {
+        for (k, v) in &run.entries {
+            merged.insert(k.clone(), v.clone());
+        }
+    }
+    let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+        merged.into_iter().filter(|(_, v)| v.is_some()).collect();
+    let input_bytes: u64 = victims.iter().map(|r| r.bytes).sum();
+    let id = manifest.next_run_id;
+    let name = Run::file_name(id);
+    let run = {
+        let mut storage = shared.dir.open(&name)?;
+        match Run::write(id, entries, storage.as_mut()) {
+            Ok(run) => run,
+            Err(e) => {
+                let _ = shared.dir.remove(&name);
+                return Err(e);
+            }
+        }
+    };
+    let epoch = old_epoch + 1;
+    // On failure, keep the merged run file — same reasoning as in `seal`:
+    // the staged manifest record may still land at a crash. Either the
+    // record lands (run live, victims become orphans) or it does not
+    // (this file becomes the orphan) — recovery reconciles both.
+    manifest.append(epoch, id + 1, &[id])?;
+    {
+        let mut state = shared.state.write().unwrap_or_else(|e| e.into_inner());
+        state.runs = vec![Arc::new(run)];
+        state.epoch = epoch;
+    }
+    drop(manifest);
+    for victim in &victims {
+        let _ = shared.dir.remove(&Run::file_name(victim.id));
+    }
+    {
+        let m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        m.compactions.inc();
+        m.compact_bytes.add(input_bytes);
+        m.compact_latency.record(elapsed_ns(started));
+        m.runs.set(1);
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Merged reads
+// ---------------------------------------------------------------------------
+
+/// Point lookup over a memtable + run stack; returns the value (if any)
+/// and the number of runs consulted (read amplification).
+fn lookup(
+    memtable: &BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    runs: &[Arc<Run>],
+    key: &[u8],
+) -> (Option<Vec<u8>>, u64) {
+    if let Some(v) = memtable.get(key) {
+        return (v.clone(), 0);
+    }
+    let mut consulted = 0u64;
+    for run in runs {
+        consulted += 1;
+        if let Some(v) = run.get(key) {
+            return (v.clone(), consulted);
+        }
+    }
+    (None, consulted)
+}
+
+/// True when the range can contain nothing (guards the `BTreeMap::range`
+/// panic conditions as well).
+fn empty_range(start: &Bound<&[u8]>, end: &Bound<&[u8]>) -> bool {
+    match (start, end) {
+        (Bound::Included(s), Bound::Included(e)) => s > e,
+        (Bound::Included(s), Bound::Excluded(e))
+        | (Bound::Excluded(s), Bound::Included(e))
+        | (Bound::Excluded(s), Bound::Excluded(e)) => s >= e,
+        _ => false,
+    }
+}
+
+fn within_end(key: &[u8], end: &Bound<&[u8]>) -> bool {
+    match end {
+        Bound::Included(e) => key <= *e,
+        Bound::Excluded(e) => key < *e,
+        Bound::Unbounded => true,
+    }
+}
+
+type MergeIter<'a> = Box<dyn Iterator<Item = (&'a [u8], &'a Option<Vec<u8>>)> + 'a>;
+type MergeSource<'a> = Peekable<MergeIter<'a>>;
+
+/// K-way merge over the memtable and runs, youngest source wins per key,
+/// tombstones suppressed. `f` returning `false` stops the iteration.
+fn merged_for_each(
+    memtable: &BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    runs: &[Arc<Run>],
+    start: Bound<&[u8]>,
+    end: Bound<&[u8]>,
+    f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+) {
+    if empty_range(&start, &end) {
+        return;
+    }
+    // Sources ordered youngest-first: memtable, then runs newest-first.
+    let mut sources: Vec<MergeSource<'_>> = Vec::with_capacity(runs.len() + 1);
+    let mem_iter: MergeIter<'_> = Box::new(
+        memtable
+            .range::<[u8], _>((start, end))
+            .map(|(k, v)| (k.as_slice(), v)),
+    );
+    sources.push(mem_iter.peekable());
+    for run in runs {
+        let lo = match start {
+            Bound::Included(k) => run.lower_bound(k),
+            Bound::Excluded(k) => run.entries.partition_point(|(key, _)| key.as_slice() <= k),
+            Bound::Unbounded => 0,
+        };
+        let it: MergeIter<'_> = Box::new(
+            run.entries
+                .get(lo..)
+                .into_iter()
+                .flatten()
+                .map(|(k, v)| (k.as_slice(), v))
+                .take_while(move |(k, _)| within_end(k, &end)),
+        );
+        sources.push(it.peekable());
+    }
+    loop {
+        // Find the smallest key any source is looking at.
+        let mut min_key: Option<Vec<u8>> = None;
+        for source in sources.iter_mut() {
+            if let Some((k, _)) = source.peek() {
+                match &min_key {
+                    Some(m) if *k >= m.as_slice() => {}
+                    _ => min_key = Some(k.to_vec()),
+                }
+            }
+        }
+        let Some(key) = min_key else {
+            return;
+        };
+        // Pop every source at that key; the youngest (first) wins.
+        let mut chosen: Option<Option<Vec<u8>>> = None;
+        for source in sources.iter_mut() {
+            if let Some((k, v)) = source.peek() {
+                if *k == key.as_slice() {
+                    if chosen.is_none() {
+                        chosen = Some((*v).clone());
+                    }
+                    source.next();
+                }
+            }
+        }
+        if let Some(Some(value)) = chosen {
+            if !f(&key, &value) {
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A pinned point-in-time view: the memtable as of the snapshot plus
+/// `Arc`s on the then-live immutable runs. Reads take no lock at all.
+pub struct LsmSnapshot {
+    memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    runs: Vec<Arc<Run>>,
+    epoch: u64,
+}
+
+impl LsmSnapshot {
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        lookup(&self.memtable, &self.runs, key).0
+    }
+
+    pub fn for_each_range(
+        &self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) {
+        merged_for_each(&self.memtable, &self.runs, start, end, f);
+    }
+}
+
+impl SnapshotView for LsmSnapshot {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        LsmSnapshot::get(self, key)
+    }
+
+    fn for_each_range(
+        &self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) {
+        LsmSnapshot::for_each_range(self, start, end, f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine impl
+// ---------------------------------------------------------------------------
+
+impl Engine for LsmStore {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Lsm
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> StoreResult<()> {
+        LsmStore::put(self, key, value)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> StoreResult<()> {
+        LsmStore::delete(self, key)
+    }
+
+    fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        LsmStore::get(self, key)
+    }
+
+    fn scan(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        LsmStore::scan(self, start, end)
+    }
+
+    fn scan_prefix(&mut self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        LsmStore::scan_prefix(self, prefix)
+    }
+
+    fn for_each_range(
+        &mut self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> StoreResult<()> {
+        LsmStore::for_each_range(self, start, end, f)
+    }
+
+    fn sync(&mut self) -> StoreResult<()> {
+        LsmStore::sync(self)
+    }
+
+    fn checkpoint(&mut self) -> StoreResult<()> {
+        self.seal()
+    }
+
+    fn snapshot(&mut self) -> StoreResult<Box<dyn SnapshotView>> {
+        Ok(Box::new(LsmStore::snapshot(self)))
+    }
+
+    fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        LsmStore::attach_registry(self, registry);
+    }
+
+    fn check(&mut self) -> StoreResult<()> {
+        // Run files verify their checksum and ordering at load; the live
+        // invariant to check is that run ids are unique and newest-first.
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        let mut prev: Option<u64> = None;
+        for run in &state.runs {
+            if let Some(p) = prev {
+                if run.id >= p {
+                    return Err(crate::error::StoreError::Corrupt(format!(
+                        "run order violated: {} after {}",
+                        run.id, p
+                    )));
+                }
+            }
+            prev = Some(run.id);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> LsmOptions {
+        LsmOptions {
+            memtable_bytes: 1 << 30, // never auto-seal
+            compact_min_runs: 64,    // never auto-compact
+            background_compaction: false,
+            sync_every_append: false,
+        }
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let mut s = LsmStore::open_memory_opts(tiny_opts()).unwrap();
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Some(b"1".to_vec()));
+        s.delete(b"a").unwrap();
+        assert_eq!(s.get(b"a").unwrap(), None);
+        assert_eq!(s.get(b"b").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn seal_moves_memtable_into_a_run_and_reads_merge() {
+        let mut s = LsmStore::open_memory_opts(tiny_opts()).unwrap();
+        s.put(b"a", b"old").unwrap();
+        s.put(b"b", b"2").unwrap();
+        s.seal().unwrap();
+        assert_eq!(s.run_count(), 1);
+        s.put(b"a", b"new").unwrap();
+        s.delete(b"b").unwrap();
+        assert_eq!(
+            s.get(b"a").unwrap(),
+            Some(b"new".to_vec()),
+            "memtable shadows run"
+        );
+        assert_eq!(s.get(b"b").unwrap(), None, "tombstone shadows run");
+        let all = s.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
+        assert_eq!(all, vec![(b"a".to_vec(), b"new".to_vec())]);
+    }
+
+    #[test]
+    fn compaction_merges_runs_and_drops_tombstones() {
+        let mut s = LsmStore::open_memory_opts(tiny_opts()).unwrap();
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+        s.seal().unwrap();
+        s.delete(b"a").unwrap();
+        s.put(b"c", b"3").unwrap();
+        s.seal().unwrap();
+        assert_eq!(s.run_count(), 2);
+        assert!(s.compact_now().unwrap());
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.get(b"a").unwrap(), None);
+        assert_eq!(s.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(s.get(b"c").unwrap(), Some(b"3".to_vec()));
+        let state = s.shared.state.read().unwrap();
+        let merged = state.runs.first().unwrap();
+        assert_eq!(merged.entries.len(), 2, "tombstone dropped by full merge");
+    }
+
+    #[test]
+    fn snapshot_pins_pre_burst_state_across_seal_and_compaction() {
+        let mut s = LsmStore::open_memory_opts(tiny_opts()).unwrap();
+        s.put(b"k1", b"v1").unwrap();
+        s.put(b"k2", b"v2").unwrap();
+        let snap = s.snapshot();
+        let epoch = SnapshotView::epoch(&snap);
+        // Burst: overwrite, delete, seal twice, compact.
+        s.put(b"k1", b"changed").unwrap();
+        s.delete(b"k2").unwrap();
+        s.seal().unwrap();
+        s.put(b"k3", b"v3").unwrap();
+        s.seal().unwrap();
+        s.compact_now().unwrap();
+        // The snapshot still reads the exact pre-burst state.
+        assert_eq!(snap.get(b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(snap.get(b"k2"), Some(b"v2".to_vec()));
+        assert_eq!(snap.get(b"k3"), None);
+        let mut seen = Vec::new();
+        snap.for_each_range(Bound::Unbounded, Bound::Unbounded, &mut |k, v| {
+            seen.push((k.to_vec(), v.to_vec()));
+            true
+        });
+        assert_eq!(
+            seen,
+            vec![
+                (b"k1".to_vec(), b"v1".to_vec()),
+                (b"k2".to_vec(), b"v2".to_vec())
+            ]
+        );
+        assert!(s.epoch() > epoch, "live epoch moved on");
+    }
+
+    #[test]
+    fn reopen_recovers_runs_and_wal() {
+        let dir: Arc<MemDir> = Arc::new(MemDir::new());
+        {
+            let mut s = LsmStore::open_with_dir(dir.clone(), tiny_opts()).unwrap();
+            s.put(b"sealed", b"1").unwrap();
+            s.seal().unwrap();
+            s.put(b"walled", b"2").unwrap();
+            s.sync().unwrap();
+        }
+        let mut s = LsmStore::open_with_dir(dir, tiny_opts()).unwrap();
+        assert_eq!(s.get(b"sealed").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"walled").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(
+            s.stats().recovered_records,
+            1,
+            "only the unsealed op replays"
+        );
+    }
+
+    #[test]
+    fn orphan_runs_are_deleted_and_counted_never_resurrected() {
+        let dir: Arc<MemDir> = Arc::new(MemDir::new());
+        {
+            let mut s = LsmStore::open_with_dir(dir.clone(), tiny_opts()).unwrap();
+            s.put(b"a", b"1").unwrap();
+            s.seal().unwrap();
+        }
+        // Fake a crash mid-seal: a run file the manifest never committed.
+        {
+            let mut orphan = dir.open(&Run::file_name(99)).unwrap();
+            let entries = vec![(b"ghost".to_vec(), Some(b"boo".to_vec()))];
+            Run::write(99, entries, orphan.as_mut()).unwrap();
+        }
+        let mut s = LsmStore::open_with_dir(dir.clone(), tiny_opts()).unwrap();
+        assert_eq!(s.stats().recovered_orphan_runs, 1);
+        assert_eq!(
+            s.get(b"ghost").unwrap(),
+            None,
+            "orphan data must not resurrect"
+        );
+        assert!(
+            !dir.exists(&Run::file_name(99)).unwrap(),
+            "orphan file deleted"
+        );
+        // Ids never reused: the next seal allocates past the orphan.
+        s.put(b"b", b"2").unwrap();
+        s.seal().unwrap();
+        assert!(dir.exists(&Run::file_name(100)).unwrap());
+    }
+
+    #[test]
+    fn background_compactor_kicks_in() {
+        let opts = LsmOptions {
+            memtable_bytes: 64,
+            compact_min_runs: 2,
+            background_compaction: true,
+            sync_every_append: false,
+        };
+        let mut s = LsmStore::open_memory_opts(opts).unwrap();
+        for i in 0..64u32 {
+            let k = format!("key-{i:04}");
+            s.put(k.as_bytes(), &[0u8; 40]).unwrap();
+        }
+        // Wait (bounded) for the demon to merge down to one run.
+        for _ in 0..200 {
+            if s.run_count() <= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(s.run_count() <= 2, "compactor should have merged runs");
+        for i in 0..64u32 {
+            let k = format!("key-{i:04}");
+            assert_eq!(s.get(k.as_bytes()).unwrap(), Some(vec![0u8; 40]));
+        }
+    }
+
+    #[test]
+    fn scan_prefix_and_ranges_merge_correctly() {
+        let mut s = LsmStore::open_memory_opts(tiny_opts()).unwrap();
+        s.put(b"p/a", b"1").unwrap();
+        s.put(b"p/b", b"2").unwrap();
+        s.put(b"q/x", b"3").unwrap();
+        s.seal().unwrap();
+        s.put(b"p/b", b"2b").unwrap();
+        s.put(b"p/c", b"4").unwrap();
+        let got = s.scan_prefix(b"p/").unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (b"p/a".to_vec(), b"1".to_vec()),
+                (b"p/b".to_vec(), b"2b".to_vec()),
+                (b"p/c".to_vec(), b"4".to_vec()),
+            ]
+        );
+        let bounded = s
+            .scan(
+                Bound::Excluded(b"p/a".as_slice()),
+                Bound::Included(b"p/c".as_slice()),
+            )
+            .unwrap();
+        assert_eq!(bounded.len(), 2);
+        assert!(s
+            .scan(
+                Bound::Included(b"z".as_slice()),
+                Bound::Excluded(b"a".as_slice())
+            )
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Immutable sorted runs: the on-disk unit of the LSM engine.
+//!
+//! A run is a sealed memtable (or a compaction merge): a sorted list of
+//! `(key, value-or-tombstone)` entries written as one buffer, synced, and
+//! never modified again. Immutability is what makes MVCC cheap — a
+//! snapshot pins a run *set* by holding `Arc<Run>`s, and compaction can
+//! replace the set without touching the bytes a reader is using.
+//!
+//! File format (all little-endian via [`codec`](crate::codec)):
+//!
+//! ```text
+//! [magic u32][version u32][count u32]
+//! count * ( [flag uvarint: 0=tombstone 1=value] [key bytes] [value bytes]? )
+//! [crc32 u32 over everything before it]
+//! ```
+//!
+//! A run referenced by the manifest was synced before the manifest record
+//! that names it, so a decode failure there is [`StoreError::Corrupt`] —
+//! never silently skipped. Partially-written files a crash leaves behind
+//! are *not* referenced and are deleted by recovery (the orphan scan).
+
+use crate::codec::{crc32, get_bytes, get_u32, get_uvarint, put_bytes, put_u32, put_uvarint};
+use crate::error::{StoreError, StoreResult};
+use crate::vfs::Storage;
+
+const MAGIC: u32 = 0x4D58_524E; // "MXRN"
+const VERSION: u32 = 1;
+
+/// One sealed run: `id` names the file, `entries` are sorted by key with
+/// `None` marking a tombstone, `bytes` is the encoded size.
+pub struct Run {
+    pub id: u64,
+    pub entries: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    pub bytes: u64,
+}
+
+impl Run {
+    /// File name for run `id` (zero-padded so directory listings sort in
+    /// id order).
+    pub fn file_name(id: u64) -> String {
+        format!("run-{id:08}")
+    }
+
+    /// Parse a run file name back to its id; `None` for non-run files.
+    pub fn parse_file_name(name: &str) -> Option<u64> {
+        name.strip_prefix("run-")?.parse().ok()
+    }
+
+    /// Point lookup inside this run. `Some(None)` is a tombstone hit —
+    /// the key is deleted and older runs must not be consulted.
+    pub fn get(&self, key: &[u8]) -> Option<&Option<Vec<u8>>> {
+        let idx = self
+            .entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()?;
+        self.entries.get(idx).map(|(_, v)| v)
+    }
+
+    /// Index of the first entry with key >= `key`.
+    pub fn lower_bound(&self, key: &[u8]) -> usize {
+        self.entries.partition_point(|(k, _)| k.as_slice() < key)
+    }
+
+    /// Encode, write at offset 0, and sync `storage`. Entries must be
+    /// sorted by strictly ascending key.
+    pub fn write(
+        id: u64,
+        entries: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+        storage: &mut dyn Storage,
+    ) -> StoreResult<Run> {
+        let mut out = Vec::new();
+        put_u32(&mut out, MAGIC);
+        put_u32(&mut out, VERSION);
+        let count = u32::try_from(entries.len()).map_err(|_| StoreError::TooLarge {
+            what: "run entry count",
+            len: entries.len(),
+            max: u32::MAX as usize,
+        })?;
+        put_u32(&mut out, count);
+        for (key, value) in &entries {
+            match value {
+                Some(v) => {
+                    put_uvarint(&mut out, 1);
+                    put_bytes(&mut out, key);
+                    put_bytes(&mut out, v);
+                }
+                None => {
+                    put_uvarint(&mut out, 0);
+                    put_bytes(&mut out, key);
+                }
+            }
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        storage.set_len(0)?;
+        storage.write_all_at(0, &out)?;
+        storage.sync()?;
+        Ok(Run {
+            id,
+            entries,
+            bytes: out.len() as u64,
+        })
+    }
+
+    /// Load and verify a run from `storage`. Any framing, checksum, or
+    /// ordering problem is `Corrupt` — callers decide whether that means
+    /// a fatal manifest inconsistency or a deletable orphan.
+    pub fn load(id: u64, storage: &mut dyn Storage) -> StoreResult<Run> {
+        let len = storage.len()?;
+        let len_usize = usize::try_from(len)
+            .map_err(|_| StoreError::Corrupt(format!("oversized frame: {len} bytes")))?;
+        if len_usize < 16 {
+            return Err(StoreError::Corrupt(format!(
+                "run {id}: file too short ({len_usize} bytes)"
+            )));
+        }
+        let mut buf = vec![0u8; len_usize];
+        storage.read_exact_at(0, &mut buf)?;
+        let body_len = len_usize - 4;
+        let mut tail_pos = body_len;
+        let stored_crc = get_u32(&buf, &mut tail_pos)?;
+        let body = buf
+            .get(..body_len)
+            .ok_or_else(|| StoreError::Corrupt(format!("run {id}: truncated body")))?;
+        if crc32(body) != stored_crc {
+            return Err(StoreError::Corrupt(format!("run {id}: checksum mismatch")));
+        }
+        let mut pos = 0usize;
+        let magic = get_u32(body, &mut pos)?;
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt(format!("run {id}: bad magic")));
+        }
+        let version = get_u32(body, &mut pos)?;
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "run {id}: unsupported version {version}"
+            )));
+        }
+        let count = get_u32(body, &mut pos)? as usize;
+        let mut entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let flag = get_uvarint(body, &mut pos)?;
+            let key = get_bytes(body, &mut pos)?.to_vec();
+            let value = match flag {
+                0 => None,
+                1 => Some(get_bytes(body, &mut pos)?.to_vec()),
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "run {id}: bad entry flag {other}"
+                    )))
+                }
+            };
+            if let Some((prev, _)) = entries.last() {
+                if prev.as_slice() >= key.as_slice() {
+                    return Err(StoreError::Corrupt(format!("run {id}: keys out of order")));
+                }
+            }
+            entries.push((key, value));
+        }
+        if pos != body_len {
+            return Err(StoreError::Corrupt(format!(
+                "run {id}: {} trailing bytes",
+                body_len - pos
+            )));
+        }
+        Ok(Run {
+            id,
+            entries,
+            bytes: len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemStorage;
+
+    fn sample() -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        vec![
+            (b"alpha".to_vec(), Some(b"1".to_vec())),
+            (b"beta".to_vec(), None),
+            (b"gamma".to_vec(), Some(b"33".to_vec())),
+        ]
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let mut s = MemStorage::new();
+        let written = Run::write(7, sample(), &mut s).unwrap();
+        let loaded = Run::load(7, &mut s).unwrap();
+        assert_eq!(loaded.entries, sample());
+        assert_eq!(loaded.bytes, written.bytes);
+        assert_eq!(loaded.get(b"alpha"), Some(&Some(b"1".to_vec())));
+        assert_eq!(loaded.get(b"beta"), Some(&None), "tombstone visible");
+        assert_eq!(loaded.get(b"delta"), None);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut s = MemStorage::new();
+        let h = s.handle();
+        Run::write(1, sample(), &mut s).unwrap();
+        h.corrupt(14, 0xFF);
+        assert!(matches!(Run::load(1, &mut s), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt() {
+        let mut s = MemStorage::new();
+        Run::write(1, sample(), &mut s).unwrap();
+        let len = s.len().unwrap();
+        s.set_len(len - 3).unwrap();
+        assert!(matches!(Run::load(1, &mut s), Err(StoreError::Corrupt(_))));
+        s.set_len(4).unwrap();
+        assert!(matches!(Run::load(1, &mut s), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unsorted_entries_rejected_at_load() {
+        let mut s = MemStorage::new();
+        let entries = vec![
+            (b"b".to_vec(), Some(b"1".to_vec())),
+            (b"a".to_vec(), Some(b"2".to_vec())),
+        ];
+        Run::write(1, entries, &mut s).unwrap();
+        assert!(matches!(Run::load(1, &mut s), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_names_sort_by_id() {
+        assert_eq!(Run::file_name(3), "run-00000003");
+        assert_eq!(Run::parse_file_name("run-00000003"), Some(3));
+        assert_eq!(Run::parse_file_name("manifest"), None);
+        assert!(Run::file_name(9) < Run::file_name(10));
+    }
+}

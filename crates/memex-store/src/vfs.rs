@@ -21,9 +21,10 @@
 //! Everything is deterministic given a seed, so any failing recovery run
 //! is reproducible from the seed in the log.
 
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use memex_obs::{Counter, MetricsRegistry};
@@ -59,6 +60,30 @@ pub trait Storage: Send + Sync {
     /// True when `len() == 0` (convenience; mirrors `is_empty` idiom).
     fn is_empty(&self) -> io::Result<bool> {
         Ok(self.len()? == 0)
+    }
+}
+
+/// Boxed storages forward, so decorators like [`FaultyStorage`] can wrap
+/// whatever a [`StorageDir`] hands out without knowing the concrete type.
+impl<S: Storage + ?Sized> Storage for Box<S> {
+    fn len(&self) -> io::Result<u64> {
+        (**self).len()
+    }
+
+    fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_exact_at(offset, buf)
+    }
+
+    fn write_all_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        (**self).write_all_at(offset, data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        (**self).set_len(len)
     }
 }
 
@@ -183,6 +208,12 @@ impl MemStorage {
         MemHandle {
             inner: Arc::clone(&self.inner),
         }
+    }
+
+    /// A storage view over an existing byte store (shared with any other
+    /// views of the same file) — how [`MemDir`] re-opens a named file.
+    fn from_inner(inner: Arc<Mutex<MemInner>>) -> MemStorage {
+        MemStorage { inner }
     }
 }
 
@@ -330,6 +361,10 @@ pub struct FaultConfig {
 struct FaultScript {
     fail_next_writes: u32,
     fail_next_syncs: u32,
+    /// Syncs to let through before `fail_next_syncs` starts biting —
+    /// lets a schedule target the K-th sync barrier inside a compound
+    /// operation (checkpoint, seal, compaction).
+    skip_syncs: u32,
     fail_next_set_lens: u32,
     /// Tear the next write after this many bytes (one-shot).
     tear_next_write_at: Option<usize>,
@@ -360,6 +395,14 @@ impl FaultControl {
     /// Fail the next `n` syncs.
     pub fn fail_next_syncs(&self, n: u32) {
         self.script.lock().unwrap().fail_next_syncs = n;
+    }
+
+    /// Let `skip` syncs through, then fail the following `n` — targets
+    /// the (skip+1)-th sync barrier of a compound operation.
+    pub fn fail_syncs_after(&self, skip: u32, n: u32) {
+        let mut s = self.script.lock().unwrap_or_else(|e| e.into_inner());
+        s.skip_syncs = skip;
+        s.fail_next_syncs = n;
     }
 
     /// Fail the next `n` `set_len` calls.
@@ -414,11 +457,18 @@ pub struct FaultyStorage<S> {
 
 impl<S: Storage> FaultyStorage<S> {
     pub fn new(inner: S, cfg: FaultConfig) -> FaultyStorage<S> {
+        FaultyStorage::with_control(inner, cfg, FaultControl::default())
+    }
+
+    /// Like [`FaultyStorage::new`] but sharing an existing control handle,
+    /// so every file a [`FaultyDir`] opens answers to one script and one
+    /// set of injection counters.
+    pub fn with_control(inner: S, cfg: FaultConfig, control: FaultControl) -> FaultyStorage<S> {
         FaultyStorage {
             inner,
             rng: SplitMix64::new(cfg.seed),
             cfg,
-            control: FaultControl::default(),
+            control,
         }
     }
 
@@ -489,7 +539,10 @@ impl<S: Storage> Storage for FaultyStorage<S> {
     fn sync(&mut self) -> io::Result<()> {
         let scripted = {
             let mut s = self.control.script.lock().unwrap();
-            if s.fail_next_syncs > 0 {
+            if s.skip_syncs > 0 {
+                s.skip_syncs -= 1;
+                false
+            } else if s.fail_next_syncs > 0 {
                 s.fail_next_syncs -= 1;
                 true
             } else {
@@ -522,6 +575,246 @@ impl<S: Storage> Storage for FaultyStorage<S> {
             return Err(injected_err("set_len"));
         }
         self.inner.set_len(len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directory storage
+// ---------------------------------------------------------------------------
+
+/// A flat namespace of named [`Storage`] files — what the LSM engine
+/// stores its runs and manifest in. Three implementations mirror the
+/// single-file story: [`FileDir`] (a real directory), [`MemDir`]
+/// (in-memory, per-file crash semantics), and [`FaultyDir`] (injects
+/// faults into every file it opens from one shared schedule/script).
+pub trait StorageDir: Send + Sync {
+    /// Open (or create) the named file.
+    fn open(&self, name: &str) -> io::Result<Box<dyn Storage>>;
+
+    /// Does the named file exist?
+    fn exists(&self, name: &str) -> io::Result<bool>;
+
+    /// Delete the named file. Deleting a missing file is an error, so
+    /// recovery can distinguish "cleaned up" from "never existed".
+    fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// Names of every file in the directory, sorted.
+    fn list(&self) -> io::Result<Vec<String>>;
+}
+
+/// FNV-1a, used to derive stable per-file seeds from a directory seed so
+/// fault schedules and crash outcomes are reproducible per file name.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Production directory: real files under a root path.
+pub struct FileDir {
+    root: PathBuf,
+}
+
+impl FileDir {
+    /// Open `root`, creating the directory if needed.
+    pub fn open<P: AsRef<Path>>(root: P) -> io::Result<FileDir> {
+        std::fs::create_dir_all(&root)?;
+        Ok(FileDir {
+            root: root.as_ref().to_path_buf(),
+        })
+    }
+}
+
+impl StorageDir for FileDir {
+    fn open(&self, name: &str) -> io::Result<Box<dyn Storage>> {
+        Ok(Box::new(FileStorage::open(self.root.join(name))?))
+    }
+
+    fn exists(&self, name: &str) -> io::Result<bool> {
+        Ok(self.root.join(name).exists())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.root.join(name))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+type MemFiles = Arc<Mutex<BTreeMap<String, Arc<Mutex<MemInner>>>>>;
+
+/// In-memory [`StorageDir`] whose files are [`MemStorage`]s — each file
+/// keeps the page-cache crash model, and [`MemDirHandle::crash`] crashes
+/// them all at once with per-file seeded outcomes. Clones share the same
+/// files, so a harness can reopen a store over the directory it crashed.
+#[derive(Clone)]
+pub struct MemDir {
+    files: MemFiles,
+}
+
+/// Harness-side handle onto a [`MemDir`]: crash the whole directory, or
+/// reach into a single file's bytes.
+#[derive(Clone)]
+pub struct MemDirHandle {
+    files: MemFiles,
+}
+
+impl MemDir {
+    pub fn new() -> MemDir {
+        MemDir {
+            files: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    pub fn handle(&self) -> MemDirHandle {
+        MemDirHandle {
+            files: Arc::clone(&self.files),
+        }
+    }
+}
+
+impl Default for MemDir {
+    fn default() -> Self {
+        MemDir::new()
+    }
+}
+
+impl StorageDir for MemDir {
+    fn open(&self, name: &str) -> io::Result<Box<dyn Storage>> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = files.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Mutex::new(MemInner {
+                current: Vec::new(),
+                durable: Vec::new(),
+                pending: Vec::new(),
+            }))
+        });
+        Ok(Box::new(MemStorage::from_inner(Arc::clone(inner))))
+    }
+
+    fn exists(&self, name: &str) -> io::Result<bool> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(files.contains_key(name))
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        match files.remove(name) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such mem file: {name}"),
+            )),
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(files.keys().cloned().collect())
+    }
+}
+
+impl MemDirHandle {
+    /// Simulate a whole-machine crash: every file independently keeps its
+    /// durable state plus a seeded prefix of its pending writes (the last
+    /// surviving write possibly torn), exactly as [`MemHandle::crash`]
+    /// does for one file. Per-file outcomes derive from `seed ^
+    /// fnv64(name)`, so a run is reproducible from the directory seed.
+    ///
+    /// Independence across files is the right adversary here: the store's
+    /// durability protocol may only rely on explicit sync barriers, never
+    /// on cross-file write ordering.
+    pub fn crash(&self, seed: u64) {
+        let entries: Vec<(String, Arc<Mutex<MemInner>>)> = {
+            let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+            files
+                .iter()
+                .map(|(name, inner)| (name.clone(), Arc::clone(inner)))
+                .collect()
+        };
+        for (name, inner) in entries {
+            let handle = MemHandle { inner };
+            handle.crash(seed ^ fnv64(name.as_bytes()));
+        }
+    }
+
+    /// A byte-level handle onto one file, if it exists.
+    pub fn file(&self, name: &str) -> Option<MemHandle> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.get(name).map(|inner| MemHandle {
+            inner: Arc::clone(inner),
+        })
+    }
+
+    /// Current file names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let files = self.files.lock().unwrap_or_else(|e| e.into_inner());
+        files.keys().cloned().collect()
+    }
+}
+
+/// Decorator that wraps every file another [`StorageDir`] opens in a
+/// [`FaultyStorage`] sharing one [`FaultControl`] and one seeded
+/// schedule (per-file seeds derive from the file name, so outcomes are
+/// stable across runs regardless of open order).
+pub struct FaultyDir<D> {
+    inner: D,
+    cfg: FaultConfig,
+    control: FaultControl,
+}
+
+impl<D: StorageDir> FaultyDir<D> {
+    pub fn new(inner: D, cfg: FaultConfig) -> FaultyDir<D> {
+        FaultyDir {
+            inner,
+            cfg,
+            control: FaultControl::default(),
+        }
+    }
+
+    /// The shared control handle (clone it before boxing the dir).
+    pub fn control(&self) -> FaultControl {
+        self.control.clone()
+    }
+}
+
+impl<D: StorageDir> StorageDir for FaultyDir<D> {
+    fn open(&self, name: &str) -> io::Result<Box<dyn Storage>> {
+        let storage = self.inner.open(name)?;
+        let cfg = FaultConfig {
+            seed: self.cfg.seed ^ fnv64(name.as_bytes()),
+            ..self.cfg
+        };
+        Ok(Box::new(FaultyStorage::with_control(
+            storage,
+            cfg,
+            self.control.clone(),
+        )))
+    }
+
+    fn exists(&self, name: &str) -> io::Result<bool> {
+        self.inner.exists(name)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.inner.remove(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
     }
 }
 
@@ -656,6 +949,93 @@ mod tests {
         let (_, injected) = run(7);
         assert!(injected > 0, "schedule at 20%+ must fire over 200 ops");
         assert_ne!(run(7).0, run(8).0, "different seeds, different schedule");
+    }
+
+    #[test]
+    fn mem_dir_round_trip_and_remove() {
+        let dir = MemDir::new();
+        {
+            let mut f = dir.open("a").unwrap();
+            f.write_all_at(0, b"alpha").unwrap();
+            f.sync().unwrap();
+        }
+        {
+            let mut f = dir.open("b").unwrap();
+            f.write_all_at(0, b"beta").unwrap();
+        }
+        assert_eq!(dir.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        assert!(dir.exists("a").unwrap());
+        // Re-opening sees the same bytes.
+        let mut f = dir.open("a").unwrap();
+        let mut buf = [0u8; 5];
+        f.read_exact_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"alpha");
+        dir.remove("b").unwrap();
+        assert!(!dir.exists("b").unwrap());
+        assert!(dir.remove("b").is_err(), "double remove is an error");
+    }
+
+    #[test]
+    fn mem_dir_crash_keeps_synced_files_and_is_deterministic() {
+        let stage = || {
+            let dir = MemDir::new();
+            let h = dir.handle();
+            let mut a = dir.open("a").unwrap();
+            a.write_all_at(0, b"durable").unwrap();
+            a.sync().unwrap();
+            let mut b = dir.open("b").unwrap();
+            b.write_all_at(0, b"pending-bytes").unwrap();
+            h
+        };
+        let h1 = stage();
+        h1.crash(42);
+        assert_eq!(
+            h1.file("a").unwrap().current_bytes(),
+            b"durable".to_vec(),
+            "synced file survives whole"
+        );
+        let b1 = h1.file("b").unwrap().current_bytes();
+        assert!(
+            b1.len() <= 13,
+            "unsynced file keeps at most what was written"
+        );
+        let h2 = stage();
+        h2.crash(42);
+        assert_eq!(
+            b1,
+            h2.file("b").unwrap().current_bytes(),
+            "same seed, same outcome"
+        );
+    }
+
+    #[test]
+    fn faulty_dir_scripts_apply_across_files() {
+        let dir = FaultyDir::new(MemDir::new(), FaultConfig::default());
+        let ctl = dir.control();
+        let mut a = dir.open("a").unwrap();
+        let mut b = dir.open("b").unwrap();
+        ctl.fail_next_writes(1);
+        assert!(a.write_all_at(0, b"x").is_err(), "script hits first writer");
+        assert!(b.write_all_at(0, b"y").is_ok(), "one-shot script is spent");
+        assert_eq!(ctl.injected(), (0, 1, 0, 0));
+    }
+
+    #[test]
+    fn file_dir_round_trip() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memex-dir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        let dir = FileDir::open(&p).unwrap();
+        {
+            let mut f = dir.open("run-1").unwrap();
+            f.write_all_at(0, b"contents").unwrap();
+            f.sync().unwrap();
+        }
+        assert_eq!(dir.list().unwrap(), vec!["run-1".to_string()]);
+        assert!(dir.exists("run-1").unwrap());
+        dir.remove("run-1").unwrap();
+        assert!(dir.list().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&p);
     }
 
     #[test]

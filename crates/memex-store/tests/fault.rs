@@ -6,23 +6,35 @@
 //! injects I/O errors from a seeded schedule or a scripted `FaultControl`.
 //!
 //! The central property is **prefix consistency**: after running an
-//! arbitrary operation sequence against `KvStore`, crashing at an
+//! arbitrary operation sequence against a storage engine, crashing at an
 //! arbitrary point, and reopening, the recovered state must equal the
 //! model state after some prefix `p` of the acknowledged operations with
 //! `synced ≤ p ≤ acked` — every operation covered by a sync survives, and
 //! nothing that was never acknowledged is ever resurrected.
+//!
+//! The harness is **engine-parametric**: one test body runs against both
+//! the B+Tree `KvStore` and the LSM engine through the shared [`Engine`]
+//! trait (the [`Rig`] below knows how to crash and reopen each). Engine
+//! internals — checkpoint windows for the B+Tree, seal/compaction
+//! barriers for the LSM — get their own scripted schedules on top.
 //!
 //! Run a specific schedule with `PROPTEST_SEED=<n> cargo test -p
 //! memex-store --test fault` (this is what CI's fault-matrix job does).
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use memex_obs::MetricsRegistry;
+use memex_store::engine::{BTreeEngine, Engine, EngineKind};
 use memex_store::kv::{KvStore, KvStoreOptions};
-use memex_store::vfs::{FaultConfig, FaultyStorage, MemHandle, MemStorage, Storage};
+use memex_store::lsm::{LsmOptions, LsmStore};
+use memex_store::vfs::{
+    FaultConfig, FaultControl, FaultyDir, FaultyStorage, MemDir, MemDirHandle, MemHandle,
+    MemStorage, Storage,
+};
 use memex_store::wal::{Wal, WalRecord};
 
 // ---------------------------------------------------------------------------
@@ -99,6 +111,150 @@ fn contents(kv: &mut KvStore) -> Vec<(Vec<u8>, Vec<u8>)> {
 }
 
 // ---------------------------------------------------------------------------
+// Engine-parametric rig
+// ---------------------------------------------------------------------------
+
+fn small_lsm_opts() -> LsmOptions {
+    LsmOptions {
+        // Tiny budget so random schedules seal mid-stream (the
+        // interesting case: crashes land between WAL and run state).
+        memtable_bytes: 512,
+        compact_min_runs: 3,
+        // The harness drives compaction explicitly and deterministically.
+        background_compaction: false,
+        sync_every_append: false,
+    }
+}
+
+/// Where a crash lands for each engine: handles on the raw in-memory
+/// devices, so the harness can cut power (`crash`) and reopen over the
+/// surviving bytes.
+enum CrashSite {
+    BTree { wal: MemHandle, db: MemHandle },
+    Lsm { dir: MemDir, handle: MemDirHandle },
+}
+
+impl CrashSite {
+    /// Power cut: each device keeps its durable bytes plus a
+    /// seeded-random prefix of the unsynced writes (final write possibly
+    /// torn).
+    fn crash(&self, seed: u64) {
+        match self {
+            CrashSite::BTree { wal, db } => {
+                wal.crash(seed);
+                db.crash(seed ^ 0x9E37_79B9_7F4A_7C15);
+            }
+            CrashSite::Lsm { handle, .. } => handle.crash(seed),
+        }
+    }
+
+    /// Reopen the engine over whatever the crash left behind.
+    fn reopen(&self) -> Box<dyn Engine> {
+        match self {
+            CrashSite::BTree { wal, db } => {
+                Box::new(BTreeEngine::new(reopen(wal, db, small_opts())))
+            }
+            CrashSite::Lsm { dir, .. } => Box::new(
+                LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts())
+                    .expect("reopen after crash must succeed"),
+            ),
+        }
+    }
+}
+
+/// One engine under test plus the crash controls for its storage.
+struct Rig {
+    engine: Box<dyn Engine>,
+    site: CrashSite,
+}
+
+fn open_rig(kind: EngineKind) -> Rig {
+    match kind {
+        EngineKind::BTree => {
+            let wal_storage = MemStorage::new();
+            let wal = wal_storage.handle();
+            let db_storage = MemStorage::new();
+            let db = db_storage.handle();
+            let kv = KvStore::open_with_storage(
+                Box::new(wal_storage),
+                Box::new(db_storage),
+                small_opts(),
+            )
+            .unwrap();
+            Rig {
+                engine: Box::new(BTreeEngine::new(kv)),
+                site: CrashSite::BTree { wal, db },
+            }
+        }
+        EngineKind::Lsm => {
+            let dir = MemDir::new();
+            let handle = dir.handle();
+            let store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts()).unwrap();
+            Rig {
+                engine: Box::new(store),
+                site: CrashSite::Lsm { dir, handle },
+            }
+        }
+    }
+}
+
+/// Like [`open_rig`], but the engine's storage sits behind a
+/// [`FaultControl`] script (the B+Tree faults its WAL device; the LSM
+/// faults the whole directory — WAL, runs and manifest alike). Reopening
+/// via [`CrashSite::reopen`] always goes through the unfaulted devices.
+fn open_faulty_rig(kind: EngineKind, cfg: FaultConfig) -> (Rig, FaultControl) {
+    match kind {
+        EngineKind::BTree => {
+            let wal_inner = MemStorage::new();
+            let wal = wal_inner.handle();
+            let wal_storage = FaultyStorage::new(wal_inner, cfg);
+            let ctl = wal_storage.control();
+            let db_storage = MemStorage::new();
+            let db = db_storage.handle();
+            let kv = KvStore::open_with_storage(
+                Box::new(wal_storage),
+                Box::new(db_storage),
+                small_opts(),
+            )
+            .unwrap();
+            (
+                Rig {
+                    engine: Box::new(BTreeEngine::new(kv)),
+                    site: CrashSite::BTree { wal, db },
+                },
+                ctl,
+            )
+        }
+        EngineKind::Lsm => {
+            let dir = MemDir::new();
+            let handle = dir.handle();
+            let faulty = FaultyDir::new(dir.clone(), cfg);
+            let ctl = faulty.control();
+            let store = LsmStore::open_with_dir(Arc::new(faulty), small_lsm_opts()).unwrap();
+            (
+                Rig {
+                    engine: Box::new(store),
+                    site: CrashSite::Lsm { dir, handle },
+                },
+                ctl,
+            )
+        }
+    }
+}
+
+/// Does `recovered` equal `model_at(ops, p)` for some `synced <= p <=
+/// ops.len()`? Returns the matching prefix length.
+fn matching_prefix(recovered: &[(Vec<u8>, Vec<u8>)], ops: &[Op], synced: usize) -> Option<usize> {
+    (synced..=ops.len()).find(|&p| {
+        let m = model_at(ops, p);
+        recovered.len() == m.len()
+            && recovered
+                .iter()
+                .all(|(k, v)| m.get(k).map(|mv| mv == v).unwrap_or(false))
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Crash-recovery property
 // ---------------------------------------------------------------------------
 
@@ -108,72 +264,58 @@ proptest! {
     /// Run a random op sequence, crash at an arbitrary (seeded) point in
     /// the unsynced write stream, reopen, and check prefix consistency:
     /// the recovered state is `model(p)` for some `synced <= p <= acked`.
+    /// One body, both engines — the LSM's tiny memtable budget forces
+    /// mid-stream auto-seals, so crashes land between WAL, run files and
+    /// manifest records, not just inside the log.
     #[test]
     fn crash_recovery_is_prefix_consistent(
         ops in proptest::collection::vec(op_strategy(), 1..80),
         crash_seed in any::<u64>(),
     ) {
-        let wal_storage = MemStorage::new();
-        let wal_handle = wal_storage.handle();
-        let db_storage = MemStorage::new();
-        let db_handle = db_storage.handle();
-        let mut kv = KvStore::open_with_storage(
-            Box::new(wal_storage),
-            Box::new(db_storage),
-            small_opts(),
-        )
-        .unwrap();
+        for kind in [EngineKind::BTree, EngineKind::Lsm] {
+            let Rig { mut engine, site } = open_rig(kind);
 
-        let mut synced = 0usize;
-        for (i, op) in ops.iter().enumerate() {
-            match op {
-                Op::Put(k, v) => {
-                    kv.put(k, v).unwrap();
-                }
-                Op::Delete(k) => {
-                    kv.delete(k).unwrap();
-                }
-                Op::Sync => {
-                    kv.wal_mut().sync().unwrap();
-                    synced = i + 1;
-                }
-                Op::Checkpoint => {
-                    kv.checkpoint().unwrap();
-                    synced = i + 1;
+            let mut synced = 0usize;
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Put(k, v) => {
+                        engine.put(k, v).unwrap();
+                    }
+                    Op::Delete(k) => {
+                        engine.delete(k).unwrap();
+                    }
+                    Op::Sync => {
+                        engine.sync().unwrap();
+                        synced = i + 1;
+                    }
+                    Op::Checkpoint => {
+                        engine.checkpoint().unwrap();
+                        synced = i + 1;
+                    }
                 }
             }
+            let acked = ops.len();
+            drop(engine);
+
+            site.crash(crash_seed);
+
+            let mut engine = site.reopen();
+            engine.check().unwrap();
+            let recovered = engine.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
+
+            prop_assert!(
+                matching_prefix(&recovered, &ops, synced).is_some(),
+                "{}: recovered state is not a prefix of acked ops \
+                 (synced={synced}, acked={acked}, crash_seed={crash_seed}, \
+                  recovered {} entries)",
+                kind.name(),
+                recovered.len(),
+            );
+
+            // And the reopened store keeps working.
+            engine.put(b"post-crash", b"ok").unwrap();
+            prop_assert_eq!(engine.get(b"post-crash").unwrap().unwrap(), b"ok".to_vec());
         }
-        let acked = ops.len();
-        drop(kv);
-
-        // Power cut: each device keeps its durable bytes plus a
-        // seeded-random prefix of the unsynced writes (final write
-        // possibly torn).
-        wal_handle.crash(crash_seed);
-        db_handle.crash(crash_seed ^ 0x9E37_79B9_7F4A_7C15);
-
-        let mut kv = reopen(&wal_handle, &db_handle, small_opts());
-        kv.check().unwrap();
-        let recovered = contents(&mut kv);
-
-        let matched = (synced..=acked).any(|p| {
-            let m = model_at(&ops, p);
-            recovered.len() == m.len()
-                && recovered
-                    .iter()
-                    .all(|(k, v)| m.get(k).map(|mv| mv == v).unwrap_or(false))
-        });
-        prop_assert!(
-            matched,
-            "recovered state is not a prefix of acked ops \
-             (synced={synced}, acked={acked}, crash_seed={crash_seed}, \
-              recovered {} entries)",
-            recovered.len(),
-        );
-
-        // And the reopened store keeps working.
-        kv.put(b"post-crash", b"ok").unwrap();
-        prop_assert_eq!(kv.get(b"post-crash").unwrap().unwrap(), b"ok".to_vec());
     }
 
     /// Cut the WAL at *every* byte offset: replay must never fail, must
@@ -513,89 +655,360 @@ fn failed_append_is_not_acked_and_store_survives() {
 }
 
 // ---------------------------------------------------------------------------
+// Scripted engine-internal barriers (seal, compaction)
+// ---------------------------------------------------------------------------
+
+/// March a single injected sync failure across every durability barrier
+/// of each engine's checkpoint (B+Tree: leading log sync, truncation
+/// sync; LSM: leading WAL sync, run-file sync, manifest sync, WAL
+/// truncation sync — i.e. a crash mid-seal at each step), then cut power
+/// and reopen. Whichever barrier failed, the recovered state must be a
+/// model prefix no older than the last explicit sync.
+#[test]
+fn scripted_sync_barrier_faults_stay_prefix_consistent() {
+    for kind in [EngineKind::BTree, EngineKind::Lsm] {
+        let mut checkpoint_errors = 0u32;
+        for barrier in 0..5u32 {
+            for crash_seed in [3u64, 0xB44D_F00D] {
+                let (mut rig, ctl) = open_faulty_rig(kind, FaultConfig::default());
+
+                let mut acked: Vec<Op> = Vec::new();
+                for i in 0..30u32 {
+                    let k = format!("k{:02}", i % 6).into_bytes();
+                    let v = format!("v{i}").into_bytes();
+                    rig.engine.put(&k, &v).unwrap();
+                    acked.push(Op::Put(k, v));
+                }
+                rig.engine.sync().unwrap();
+                let mut synced = acked.len();
+                for i in 0..4u32 {
+                    let k = format!("x{i}").into_bytes();
+                    rig.engine.put(&k, b"u").unwrap();
+                    acked.push(Op::Put(k, b"u".to_vec()));
+                }
+
+                // Fail the (barrier+1)-th sync the checkpoint issues;
+                // barriers past the checkpoint's sync count simply pass.
+                ctl.fail_syncs_after(barrier, 1);
+                if rig.engine.checkpoint().is_ok() {
+                    synced = acked.len();
+                } else {
+                    checkpoint_errors += 1;
+                }
+
+                let Rig { engine, site } = rig;
+                drop(engine);
+                site.crash(crash_seed);
+
+                let mut engine = site.reopen();
+                engine.check().unwrap();
+                let recovered = engine.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
+                assert!(
+                    matching_prefix(&recovered, &acked, synced).is_some(),
+                    "{} barrier {barrier} seed {crash_seed}: \
+                     recovery lost acked state (synced={synced})",
+                    kind.name(),
+                );
+                engine.put(b"post-crash", b"ok").unwrap();
+            }
+        }
+        assert!(
+            checkpoint_errors > 0,
+            "{}: no barrier ever failed — the sweep is vacuous",
+            kind.name(),
+        );
+    }
+}
+
+/// Crash mid-seal between the (fully synced) run file and the manifest
+/// record that would commit it. The staged manifest record may or may
+/// not land at the crash, so recovery must *reconcile*: adopt the run if
+/// its record became durable, delete it as an orphan otherwise — counted
+/// in `store.recovery.orphan_runs` and never resurrected, its id never
+/// re-allocated.
+#[test]
+fn crash_mid_seal_reconciles_manifest_against_partial_runs() {
+    let mut saw_orphan = false;
+    let mut saw_adopted = false;
+    for crash_seed in [0u64, 1, 7, 42, 0x2000_0101] {
+        let dir = MemDir::new();
+        let handle = dir.handle();
+        let faulty = FaultyDir::new(dir.clone(), FaultConfig::default());
+        let ctl = faulty.control();
+        let mut store = LsmStore::open_with_dir(Arc::new(faulty), small_lsm_opts()).unwrap();
+
+        for i in 0..4u8 {
+            store.put(&[b'k', i], &[i]).unwrap();
+        }
+        // Seal syncs: #1 leading WAL, #2 run file, #3 manifest. Fail #3:
+        // the run file is durable, its manifest record staged but not.
+        ctl.fail_syncs_after(2, 1);
+        assert!(store.seal().is_err(), "manifest sync failure must surface");
+        let orphan_name = handle
+            .names()
+            .into_iter()
+            .find(|n| n.starts_with("run-"))
+            .expect("the synced run file must remain for recovery to reconcile");
+        drop(store);
+
+        handle.crash(crash_seed);
+
+        let mut store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts())
+            .expect("recovery must reconcile the manifest against partial runs");
+        let registry = MetricsRegistry::new();
+        store.attach_registry(&registry);
+        let orphans = registry.snapshot().counter("store.recovery.orphan_runs");
+        assert_eq!(orphans, store.stats().recovered_orphan_runs);
+        // Every acked op was WAL-durable (the seal's leading log sync),
+        // so the full state survives whether or not the record landed.
+        for i in 0..4u8 {
+            assert_eq!(
+                store.get(&[b'k', i]).unwrap().unwrap(),
+                vec![i],
+                "seed {crash_seed}: acked op lost in the seal window"
+            );
+        }
+        if orphans > 0 {
+            saw_orphan = true;
+            assert!(
+                !handle.names().contains(&orphan_name),
+                "seed {crash_seed}: orphan run deleted but still listed"
+            );
+        } else {
+            saw_adopted = true;
+        }
+
+        // The orphan's id is burned: the recovered store allocates past
+        // it, so the deleted file's name is never rewritten while a copy
+        // of its manifest record could still be in flight.
+        store.put(b"fresh", b"1").unwrap();
+        store.seal().unwrap();
+        if orphans > 0 {
+            assert!(
+                handle.names().iter().all(|n| n != &orphan_name),
+                "seed {crash_seed}: orphan run id was re-allocated"
+            );
+        }
+        drop(store);
+
+        // Reopen again without a crash: the orphan must not come back,
+        // and the sealed state reads back whole.
+        let mut store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts()).unwrap();
+        assert_eq!(
+            store.stats().recovered_orphan_runs,
+            0,
+            "seed {crash_seed}: orphan resurrected on the second open"
+        );
+        for i in 0..4u8 {
+            assert_eq!(store.get(&[b'k', i]).unwrap().unwrap(), vec![i]);
+        }
+        assert_eq!(store.get(b"fresh").unwrap().unwrap(), b"1");
+    }
+    // The seed set must exercise both reconciliation outcomes, or the
+    // test silently stops covering one of them.
+    assert!(
+        saw_orphan,
+        "no seed left the staged manifest record undurable"
+    );
+    assert!(saw_adopted, "no seed landed the staged manifest record");
+}
+
+/// Crash mid-compaction at each of its durability barriers (merged-run
+/// sync, manifest sync). Compaction is pure reorganization — every input
+/// is already sealed and durable — so recovery must land on exactly the
+/// pre-crash logical state, and a retried compaction must converge.
+#[test]
+fn crash_mid_compaction_preserves_sealed_state() {
+    for barrier in 0..2u32 {
+        for crash_seed in [5u64, 0xFACE_F00D] {
+            let dir = MemDir::new();
+            let handle = dir.handle();
+            let faulty = FaultyDir::new(dir.clone(), FaultConfig::default());
+            let ctl = faulty.control();
+            let mut store = LsmStore::open_with_dir(Arc::new(faulty), small_lsm_opts()).unwrap();
+
+            // Three overlapping runs with updates and a tombstone.
+            for (round, base) in [(0u8, 0u8), (1, 2), (2, 4)] {
+                for i in base..base + 4 {
+                    store.put(&[b'k', i], &[round, i]).unwrap();
+                }
+                if round == 2 {
+                    store.delete(&[b'k', 0]).unwrap();
+                }
+                store.seal().unwrap();
+            }
+            assert!(store.run_count() >= 3);
+            let expected = store.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
+
+            // Compaction syncs: #1 merged-run file, #2 manifest record.
+            ctl.fail_syncs_after(barrier, 1);
+            assert!(
+                store.compact_now().is_err(),
+                "barrier {barrier}: compaction sync failure must surface"
+            );
+            drop(store);
+
+            handle.crash(crash_seed);
+
+            let mut store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts())
+                .expect("recovery after a mid-compaction crash");
+            Engine::check(&mut store).unwrap();
+            assert_eq!(
+                store.scan(Bound::Unbounded, Bound::Unbounded).unwrap(),
+                expected,
+                "barrier {barrier} seed {crash_seed}: sealed state changed"
+            );
+            // Retry converges: one run, same contents. (If the staged
+            // manifest record landed, the merge is already installed and
+            // the retry is a no-op.)
+            let _ = store.compact_now().unwrap();
+            assert_eq!(store.run_count(), 1);
+            assert_eq!(
+                store.scan(Bound::Unbounded, Bound::Unbounded).unwrap(),
+                expected
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Seeded chaos schedule
 // ---------------------------------------------------------------------------
 
-/// Run a fixed op stream against a WAL behind a seeded fault schedule
+/// Run a fixed op stream against storage behind a seeded fault schedule
 /// (write errors, torn writes, sync failures), then crash and reopen.
 /// Failed operations are simply not acked; the recovered state must be a
 /// model prefix of the *acked* sequence — injected faults never corrupt,
-/// they only shorten.
+/// they only shorten. Both engines, one body: the B+Tree faults its WAL
+/// device, the LSM faults the whole directory, so the schedule also
+/// lands inside budget-triggered auto-seals (whose failures are
+/// deferred, never retracting an acked op).
 #[test]
 fn seeded_fault_schedule_preserves_prefix_consistency() {
+    for kind in [EngineKind::BTree, EngineKind::Lsm] {
+        for seed in [1u64, 7, 42, 0x2000_0101] {
+            let cfg = FaultConfig {
+                seed,
+                read_err_per_10k: 0, // reads must stay reliable for replay
+                write_err_per_10k: 800,
+                short_write_per_10k: 600,
+                sync_err_per_10k: 500,
+            };
+            let (mut rig, ctl) = open_faulty_rig(kind, cfg);
+            let registry = MetricsRegistry::new();
+            ctl.attach_registry(&registry);
+
+            // Acked operations in order; failures are dropped (not acked).
+            let mut acked: Vec<Op> = Vec::new();
+            for i in 0..240u32 {
+                let k = format!("k{:02}", i % 24).into_bytes();
+                if i % 5 == 4 {
+                    let _ = rig.engine.sync(); // may fail: no watermark credit
+                } else if i % 7 == 6 {
+                    if rig.engine.delete(&k).is_ok() {
+                        acked.push(Op::Delete(k));
+                    }
+                } else {
+                    let v = format!("v{i}").into_bytes();
+                    if rig.engine.put(&k, &v).is_ok() {
+                        acked.push(Op::Put(k, v));
+                    }
+                }
+            }
+            assert!(
+                ctl.injected_total() > 0,
+                "{} seed {seed}: schedule never fired — test is vacuous",
+                kind.name(),
+            );
+            let snap = registry.snapshot();
+            assert_eq!(
+                snap.counter("fault.injected.write_errors")
+                    + snap.counter("fault.injected.short_writes")
+                    + snap.counter("fault.injected.sync_errors"),
+                ctl.injected_total(),
+                "obs mirror must agree with the control handle"
+            );
+
+            let Rig { engine, site } = rig;
+            drop(engine);
+            site.crash(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+
+            let mut engine = site.reopen();
+            engine.check().unwrap();
+            let recovered = engine.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
+            assert!(
+                matching_prefix(&recovered, &acked, 0).is_some(),
+                "{} seed {seed}: recovered state is not a prefix of the acked ops",
+                kind.name(),
+            );
+        }
+    }
+}
+
+/// LSM compaction chaos: seal/compact cycles under a seeded fault
+/// schedule. Reorganization failures only defer the merge — the live
+/// view always equals the acked model, a crash recovers a prefix, and a
+/// clean retry converges to a single run with nothing lost.
+#[test]
+fn seeded_compaction_chaos_never_corrupts() {
     for seed in [1u64, 7, 42, 0x2000_0101] {
         let cfg = FaultConfig {
             seed,
-            read_err_per_10k: 0, // reads must stay reliable for replay
-            write_err_per_10k: 800,
-            short_write_per_10k: 600,
-            sync_err_per_10k: 500,
+            read_err_per_10k: 0,
+            write_err_per_10k: 400,
+            short_write_per_10k: 300,
+            sync_err_per_10k: 400,
         };
-        let wal_inner = MemStorage::new();
-        let wal_handle = wal_inner.handle();
-        let wal_storage = FaultyStorage::new(wal_inner, cfg);
-        let ctl = wal_storage.control();
-        let registry = MetricsRegistry::new();
-        ctl.attach_registry(&registry);
-        let db_storage = MemStorage::new();
-        let db_handle = db_storage.handle();
+        let dir = MemDir::new();
+        let handle = dir.handle();
+        let faulty = FaultyDir::new(dir.clone(), cfg);
+        let ctl = faulty.control();
+        let mut store = LsmStore::open_with_dir(Arc::new(faulty), small_lsm_opts()).unwrap();
 
-        let opts = KvStoreOptions {
-            pool_capacity: 256, // large: keep mid-run flushes out of the way
-            checkpoint_bytes: u64::MAX,
-            sync_every_append: false,
-        };
-        let mut kv =
-            KvStore::open_with_storage(Box::new(wal_storage), Box::new(db_storage), opts.clone())
-                .unwrap();
-
-        // Acked operations in order; failures are dropped (not acked).
         let mut acked: Vec<Op> = Vec::new();
-        for i in 0..240u32 {
-            let k = format!("k{:02}", i % 24).into_bytes();
-            if i % 5 == 4 {
-                let _ = kv.wal_mut().sync(); // may fail: no watermark credit
-            } else if i % 7 == 6 {
-                if kv.delete(&k).is_ok() {
-                    acked.push(Op::Delete(k));
-                }
-            } else {
-                let v = format!("v{i}").into_bytes();
-                if kv.put(&k, &v).is_ok() {
+        for round in 0..8u32 {
+            for i in 0..12u32 {
+                let k = format!("k{:02}", (round * 5 + i) % 16).into_bytes();
+                let v = format!("v{round}.{i}").into_bytes();
+                if store.put(&k, &v).is_ok() {
                     acked.push(Op::Put(k, v));
                 }
             }
+            // Reorganization under chaos: either may fail, neither may
+            // lose or invent data.
+            let _ = store.seal();
+            let _ = store.compact_now();
         }
         assert!(
             ctl.injected_total() > 0,
             "seed {seed}: schedule never fired — test is vacuous"
         );
-        let snap = registry.snapshot();
-        assert_eq!(
-            snap.counter("fault.injected.write_errors")
-                + snap.counter("fault.injected.short_writes")
-                + snap.counter("fault.injected.sync_errors"),
-            ctl.injected_total(),
-            "obs mirror must agree with the control handle"
-        );
-        drop(kv);
-
-        wal_handle.crash(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
-        db_handle.crash(seed);
-
-        let mut kv = reopen(&wal_handle, &db_handle, opts);
-        kv.check().unwrap();
-        let recovered = contents(&mut kv);
-        let matched = (0..=acked.len()).any(|p| {
-            let m = model_at(&acked, p);
-            recovered.len() == m.len()
-                && recovered
-                    .iter()
-                    .all(|(k, v)| m.get(k).map(|mv| mv == v).unwrap_or(false))
-        });
+        // The live view equals the acked model exactly.
+        let live = store.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
         assert!(
-            matched,
+            matching_prefix(&live, &acked, acked.len()).is_some(),
+            "seed {seed}: live view diverged from the acked model"
+        );
+        drop(store);
+
+        handle.crash(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        let mut store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts())
+            .expect("recovery after compaction chaos");
+        Engine::check(&mut store).unwrap();
+        let recovered = store.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
+        assert!(
+            matching_prefix(&recovered, &acked, 0).is_some(),
             "seed {seed}: recovered state is not a prefix of the acked ops"
+        );
+        // A clean retry converges without changing the logical state.
+        store.seal().unwrap();
+        let _ = store.compact_now().unwrap();
+        assert!(store.run_count() <= 1);
+        assert_eq!(
+            store.scan(Bound::Unbounded, Bound::Unbounded).unwrap(),
+            recovered,
+            "seed {seed}: retried compaction changed the logical state"
         );
     }
 }
