@@ -193,7 +193,11 @@ impl Memex {
         let users: Vec<u32> = self.folder_spaces.keys().copied().collect();
         for user in users {
             let pages = self.server.trails.user_pages(user, 0);
-            let fs = self.folder_spaces.get_mut(&user).expect("listed above");
+            // `users` was listed from this map moments ago; skip rather
+            // than panic the serving thread if it ever disagrees.
+            let Some(fs) = self.folder_spaces.get_mut(&user) else {
+                continue;
+            };
             for page in pages {
                 if fs.assignment(page).is_none() {
                     if let Some(tf) = self.server.tf(page) {

@@ -39,7 +39,11 @@ pub fn expand(
         }
     }
     while let Some(u) = queue.pop_front() {
-        let d = dist[u as usize].expect("queued nodes have distances");
+        // Queued nodes always have a distance; skip defensively instead
+        // of panicking on the read path if that invariant ever breaks.
+        let Some(d) = dist.get(u as usize).copied().flatten() else {
+            continue;
+        };
         if d >= radius {
             continue;
         }

@@ -1,0 +1,549 @@
+//! Intra-workspace call graph over the token-level structure model.
+//!
+//! Nodes are every `fn` item the [`crate::parse`] pass found (methods
+//! carry the self type of their `impl` block). Edges are call sites
+//! resolved with deliberately bounded cleverness:
+//!
+//! - **Free calls** `helper(…)` resolve within the same file first, then
+//!   the same crate, then workspace-wide when the name is unique.
+//! - **Qualified calls** `Type::method(…)` (and `Self::method`) resolve
+//!   by qualified name, preferring the caller's crate.
+//! - **Method calls** `recv.method(…)` type the receiver through a local
+//!   alias table — `self`, `let x = Type::new(…)`, `let x: Type`,
+//!   `x: &Type` parameters, struct literals — then fold the remaining
+//!   path segments through struct field types collected workspace-wide
+//!   (`self.wal.sync()` → `Wal::sync` because `LsmStore { wal: Wal }`).
+//! - **Trait-method fallback**: when the receiver cannot be typed, a
+//!   method name implemented by exactly one function in the workspace
+//!   resolves to it — unless the name is a common std method (`push`,
+//!   `len`, `clone`, …), where a unique workspace homonym would create
+//!   false edges to std calls.
+//!
+//! `#[cfg(test)]` functions are excluded both as callees (they are never
+//! indexed) and as propagation sources, so interprocedural rules reason
+//! only about non-test call chains. Vendored code never reaches this
+//! module: the file walker skips `vendor/` entirely.
+//!
+//! Unresolved calls are dropped, which under-approximates the graph —
+//! the safe direction for reachability-style rules is handled per rule
+//! (panic-reachability accepts missing edges; the lock rules only ever
+//! act on *resolved* effects).
+
+use std::collections::HashMap;
+
+use crate::lexer::Tok;
+use crate::parse::FileModel;
+use crate::rules::locks::receiver_path;
+
+/// Index into [`CallGraph::nodes`].
+pub type FnId = usize;
+
+/// One source file, pre-lexed and modeled, with its workspace identity.
+pub struct FileUnit {
+    /// Repo-relative path (`crates/memex-net/src/server.rs`).
+    pub path: String,
+    /// Owning crate directory name (`memex-net`), `<root>` for `src/`.
+    pub crate_name: String,
+    pub model: FileModel,
+}
+
+/// One function item in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index into the `FileUnit` slice the graph was built from.
+    pub file_idx: usize,
+    /// Index into that file's `model.functions`.
+    pub fn_idx: usize,
+    pub file: String,
+    pub crate_name: String,
+    pub name: String,
+    pub self_ty: Option<String>,
+    pub line: usize,
+    pub in_test: bool,
+}
+
+impl FnNode {
+    /// `Type::name` for methods, bare `name` for free fns.
+    pub fn qname(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A resolved call site inside a caller's body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub callee: FnId,
+    /// Token index of the callee-name token in the caller's file.
+    pub token: usize,
+    pub line: usize,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    /// Per caller (indexed by `FnId`): resolved call sites in token order.
+    pub calls: Vec<Vec<Call>>,
+    /// (file_idx, fn_idx) → FnId.
+    index: HashMap<(usize, usize), FnId>,
+}
+
+/// Method names so common in std that an accidental unique workspace
+/// homonym would wire `v.push(x)` to some unrelated `Foo::push`. The
+/// unique-name fallback refuses these; receiver-typed resolution still
+/// handles them precisely.
+const COMMON_STD_METHODS: [&str; 42] = [
+    "new",
+    "default",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "clear",
+    "clone",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "contains",
+    "contains_key",
+    "drain",
+    "extend",
+    "join",
+    "split",
+    "find",
+    "map",
+    "filter",
+    "collect",
+    "take",
+    "min",
+    "max",
+    "read",
+    "write",
+    "lock",
+    "unwrap",
+    "expect",
+    "send",
+    "recv",
+    "drop",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "to_string",
+];
+
+/// Keywords that can precede `(` without being a call.
+const NON_CALL_IDENTS: [&str; 16] = [
+    "if", "while", "for", "match", "return", "loop", "in", "fn", "let", "as", "move", "else",
+    "use", "where", "impl", "dyn",
+];
+
+fn punct_at(model: &FileModel, i: usize, c: char) -> bool {
+    matches!(model.tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn ident_at(model: &FileModel, i: usize) -> Option<&str> {
+    match model.tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// Wrapper types whose single generic argument is the type we actually
+/// care about when typing a receiver (`Arc<LsmShared>` → `LsmShared`).
+const TRANSPARENT_WRAPPERS: [&str; 6] = ["Arc", "Rc", "Box", "Mutex", "RwLock", "RefCell"];
+
+/// Extract the core type name from a type-position token run starting at
+/// `i`: skips `&`, `mut`, lifetimes and `dyn`, unwraps transparent
+/// wrappers, and follows path segments to the last one. Returns the type
+/// ident and the index one past the tokens consumed.
+fn core_type(model: &FileModel, mut i: usize, end: usize) -> Option<String> {
+    let mut guard = 0usize;
+    while i < end && guard < 64 {
+        guard += 1;
+        match &model.tokens[i].tok {
+            Tok::Punct('&') | Tok::Punct('*') => i += 1,
+            Tok::Lifetime => i += 1,
+            Tok::Ident(s) if s == "mut" || s == "dyn" || s == "impl" => i += 1,
+            Tok::Ident(s) => {
+                // Path: follow `a::b::C` to the last segment.
+                let mut name = s.clone();
+                let mut j = i + 1;
+                while punct_at(model, j, ':') && punct_at(model, j + 1, ':') {
+                    match ident_at(model, j + 2) {
+                        Some(seg) => {
+                            name = seg.to_string();
+                            j += 3;
+                        }
+                        None => break,
+                    }
+                }
+                if TRANSPARENT_WRAPPERS.contains(&name.as_str()) && punct_at(model, j, '<') {
+                    // Descend into the wrapper's first generic argument.
+                    i = j + 1;
+                    continue;
+                }
+                return Some(name);
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Per-function local variable → type-name table, built from the fn
+/// signature (typed parameters) and `let` bindings in the body.
+fn alias_table(model: &FileModel, fn_idx: usize) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let f = &model.functions[fn_idx];
+
+    // --- Parameters: walk back from the body `{` to the `fn` keyword,
+    // then forward through the parameter parens.
+    let mut fn_kw = f.body_start;
+    let lo = f.body_start.saturating_sub(256);
+    while fn_kw > lo {
+        fn_kw -= 1;
+        if matches!(&model.tokens[fn_kw].tok, Tok::Ident(s) if s == "fn") {
+            break;
+        }
+        if matches!(
+            &model.tokens[fn_kw].tok,
+            Tok::Punct('{') | Tok::Punct('}') | Tok::Punct(';')
+        ) {
+            fn_kw = f.body_start; // gave up: malformed or truncated
+            break;
+        }
+    }
+    let mut i = fn_kw;
+    // Find the opening paren of the parameter list.
+    while i < f.body_start && !punct_at(model, i, '(') {
+        i += 1;
+    }
+    let mut paren = 0i32;
+    while i < f.body_start {
+        match &model.tokens[i].tok {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => {
+                paren -= 1;
+                if paren == 0 {
+                    break;
+                }
+            }
+            // `name : Type` at top level of the parameter list (a `::`
+            // path segment would have a second colon on either side).
+            Tok::Ident(name)
+                if paren == 1
+                    && punct_at(model, i + 1, ':')
+                    && !punct_at(model, i + 2, ':')
+                    && !punct_at(model, i - 1, ':') =>
+            {
+                if let Some(ty) = core_type(model, i + 2, f.body_start) {
+                    out.insert(name.clone(), ty);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // --- Let bindings inside the body.
+    let mut i = f.body_start + 1;
+    while i + 2 < f.body_end {
+        if !matches!(&model.tokens[i].tok, Tok::Ident(s) if s == "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if matches!(ident_at(model, j), Some("mut")) {
+            j += 1;
+        }
+        let Some(name) = ident_at(model, j).map(|s| s.to_string()) else {
+            i += 1;
+            continue;
+        };
+        // `let x: Type = …`
+        if punct_at(model, j + 1, ':') && !punct_at(model, j + 2, ':') {
+            if let Some(ty) = core_type(model, j + 2, f.body_end) {
+                out.insert(name, ty);
+            }
+        } else if punct_at(model, j + 1, '=') {
+            // `let x = Type::ctor(…)` or `let x = Type { … }`
+            if let Some(first) = ident_at(model, j + 2) {
+                let first = first.to_string();
+                if punct_at(model, j + 3, '{') {
+                    out.insert(name, first);
+                } else if punct_at(model, j + 3, ':') && punct_at(model, j + 4, ':') {
+                    // Follow the path; the segment before the final call
+                    // is the type (ctor call assumed to return Self).
+                    let mut ty = first;
+                    let mut k = j + 2;
+                    while punct_at(model, k + 1, ':') && punct_at(model, k + 2, ':') {
+                        match ident_at(model, k + 3) {
+                            Some(seg) if punct_at(model, k + 4, '(') => {
+                                let ctor = seg;
+                                if matches!(
+                                    ctor,
+                                    "new"
+                                        | "default"
+                                        | "open"
+                                        | "create"
+                                        | "with_capacity"
+                                        | "from"
+                                        | "build"
+                                ) {
+                                    out.insert(name.clone(), ty.clone());
+                                }
+                                break;
+                            }
+                            Some(seg) => {
+                                ty = seg.to_string();
+                                k += 3;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Struct field types, collected per file: `(owner, field)` → core type.
+fn field_types(model: &FileModel, out: &mut HashMap<(String, String), String>) {
+    let toks = &model.tokens;
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if !matches!(&toks[i].tok, Tok::Ident(s) if s == "struct") {
+            i += 1;
+            continue;
+        }
+        let Some(owner) = ident_at(model, i + 1).map(|s| s.to_string()) else {
+            i += 1;
+            continue;
+        };
+        // Find the body `{` (skip generics), bail at `;` (tuple/unit) or
+        // `(` (tuple struct).
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let open = loop {
+            match toks.get(j).map(|t| &t.tok) {
+                Some(Tok::Punct('<')) => angle += 1,
+                Some(Tok::Punct('>')) => angle -= 1,
+                Some(Tok::Punct('{')) if angle <= 0 => break Some(j),
+                Some(Tok::Punct(';')) | Some(Tok::Punct('(')) | None => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let body_depth = model.depth[open] + 1;
+        let mut k = open + 1;
+        while k < toks.len() && model.depth[k] >= body_depth {
+            if model.depth[k] == body_depth {
+                if let Some(field) = ident_at(model, k) {
+                    if punct_at(model, k + 1, ':')
+                        && !punct_at(model, k + 2, ':')
+                        && !punct_at(model, k - 1, ':')
+                    {
+                        if let Some(ty) = core_type(model, k + 2, toks.len()) {
+                            out.insert((owner.clone(), field.to_string()), ty);
+                        }
+                    }
+                }
+            }
+            k += 1;
+        }
+        i = open + 1;
+    }
+}
+
+impl CallGraph {
+    /// Build the workspace graph from pre-modeled files.
+    pub fn build(files: &[FileUnit]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut index = HashMap::new();
+        for (file_idx, unit) in files.iter().enumerate() {
+            for (fn_idx, f) in unit.model.functions.iter().enumerate() {
+                let id = nodes.len();
+                index.insert((file_idx, fn_idx), id);
+                nodes.push(FnNode {
+                    file_idx,
+                    fn_idx,
+                    file: unit.path.clone(),
+                    crate_name: unit.crate_name.clone(),
+                    name: f.name.clone(),
+                    self_ty: f.self_ty.clone(),
+                    line: f.line,
+                    in_test: f.in_test,
+                });
+            }
+        }
+
+        // Name indexes over non-test nodes only: test helpers are never
+        // legitimate callees of shipped code.
+        let mut by_name: HashMap<&str, Vec<FnId>> = HashMap::new();
+        let mut by_qname: HashMap<String, Vec<FnId>> = HashMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            if n.in_test {
+                continue;
+            }
+            by_name.entry(n.name.as_str()).or_default().push(id);
+            by_qname.entry(n.qname()).or_default().push(id);
+        }
+
+        let mut fields: HashMap<(String, String), String> = HashMap::new();
+        for unit in files {
+            field_types(&unit.model, &mut fields);
+        }
+
+        let mut calls: Vec<Vec<Call>> = vec![Vec::new(); nodes.len()];
+        for (id, node) in nodes.iter().enumerate() {
+            let unit = &files[node.file_idx];
+            let model = &unit.model;
+            let f = &model.functions[node.fn_idx];
+            let aliases = alias_table(model, node.fn_idx);
+            let resolve_in_scope = |candidates: &[FnId]| -> Option<FnId> {
+                // Same file → same crate → workspace-unique.
+                let same_file: Vec<FnId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| nodes[c].file_idx == node.file_idx)
+                    .collect();
+                if same_file.len() == 1 {
+                    return Some(same_file[0]);
+                }
+                let same_crate: Vec<FnId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| nodes[c].crate_name == node.crate_name)
+                    .collect();
+                if same_crate.len() == 1 {
+                    return Some(same_crate[0]);
+                }
+                if candidates.len() == 1 {
+                    return Some(candidates[0]);
+                }
+                None
+            };
+            // Type a receiver path (`self.shared.dir`) through the alias
+            // table and struct field types.
+            let type_receiver = |path: &str| -> Option<String> {
+                let mut segs = path.split('.');
+                let first = segs.next()?;
+                let mut ty = if first == "self" {
+                    node.self_ty.clone()?
+                } else {
+                    aliases.get(first)?.clone()
+                };
+                for seg in segs {
+                    ty = fields.get(&(ty, seg.to_string()))?.clone();
+                }
+                Some(ty)
+            };
+
+            for i in f.body_start + 1..f.body_end.saturating_sub(1).min(model.tokens.len()) {
+                if model.fn_of[i] != Some(node.fn_idx) || model.in_test[i] {
+                    continue;
+                }
+                let Some(name) = ident_at(model, i) else {
+                    continue;
+                };
+                if !punct_at(model, i + 1, '(') || NON_CALL_IDENTS.contains(&name) {
+                    continue;
+                }
+                // `fn name(` is a nested definition, not a call.
+                if matches!(ident_at(model, i.wrapping_sub(1)), Some("fn")) {
+                    continue;
+                }
+                let target: Option<FnId> = if i > 0 && punct_at(model, i - 1, '.') {
+                    // Method call through a receiver.
+                    let recv = receiver_path(model, i - 1);
+                    let typed = if recv.is_empty() {
+                        None
+                    } else {
+                        type_receiver(&recv)
+                    };
+                    match typed {
+                        Some(ty) => by_qname
+                            .get(&format!("{ty}::{name}"))
+                            .and_then(|c| resolve_in_scope(c)),
+                        None if !COMMON_STD_METHODS.contains(&name) => {
+                            // Trait-method fallback: unique implementor.
+                            match by_name.get(name) {
+                                Some(c) if c.len() == 1 => Some(c[0]),
+                                _ => None,
+                            }
+                        }
+                        None => None,
+                    }
+                } else if i >= 2 && punct_at(model, i - 1, ':') && punct_at(model, i - 2, ':') {
+                    // Qualified call `Type::name(` (or `Self::name(`).
+                    match ident_at(model, i.wrapping_sub(3)) {
+                        Some(ty) => {
+                            let ty = if ty == "Self" {
+                                node.self_ty.clone().unwrap_or_else(|| ty.to_string())
+                            } else {
+                                ty.to_string()
+                            };
+                            by_qname
+                                .get(&format!("{ty}::{name}"))
+                                .and_then(|c| resolve_in_scope(c))
+                        }
+                        None => None,
+                    }
+                } else {
+                    // Free call.
+                    by_name.get(name).and_then(|candidates| {
+                        let free: Vec<FnId> = candidates
+                            .iter()
+                            .copied()
+                            .filter(|&c| nodes[c].self_ty.is_none())
+                            .collect();
+                        resolve_in_scope(&free)
+                    })
+                };
+                if let Some(callee) = target {
+                    calls[id].push(Call {
+                        callee,
+                        token: i,
+                        line: model.tokens[i].line,
+                    });
+                }
+            }
+        }
+
+        CallGraph {
+            nodes,
+            calls,
+            index,
+        }
+    }
+
+    /// FnId for a (file_idx, fn_idx) pair.
+    pub fn node_of(&self, file_idx: usize, fn_idx: usize) -> Option<FnId> {
+        self.index.get(&(file_idx, fn_idx)).copied()
+    }
+
+    /// Resolve a configured function name (`seal`, `LsmStore::seal`) to
+    /// every matching non-test node.
+    pub fn resolve_name(&self, name: &str) -> Vec<FnId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.in_test && (n.qname() == name || n.name == name))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}

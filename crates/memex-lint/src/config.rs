@@ -17,6 +17,14 @@ pub enum Rule {
     Locks,
     Metrics,
     Codec,
+    /// Blocking operation while a declared lock guard is live.
+    Blocking,
+    /// Cross-function lock order / recursion through the call graph.
+    CrossLocks,
+    /// WAL truncate without a preceding sync in a configured fn chain.
+    Durability,
+    /// Panic site reachable from a serving-crate dispatch root.
+    PanicReach,
 }
 
 impl Rule {
@@ -26,6 +34,10 @@ impl Rule {
             Rule::Locks => "locks",
             Rule::Metrics => "metrics",
             Rule::Codec => "codec",
+            Rule::Blocking => "blocking",
+            Rule::CrossLocks => "locks-cross",
+            Rule::Durability => "durability",
+            Rule::PanicReach => "panic-reach",
         }
     }
 
@@ -35,6 +47,10 @@ impl Rule {
             "locks" => Some(Rule::Locks),
             "metrics" => Some(Rule::Metrics),
             "codec" => Some(Rule::Codec),
+            "blocking" => Some(Rule::Blocking),
+            "locks-cross" => Some(Rule::CrossLocks),
+            "durability" => Some(Rule::Durability),
+            "panic-reach" => Some(Rule::PanicReach),
             _ => None,
         }
     }
@@ -58,6 +74,25 @@ pub struct Config {
     pub lock_aliases: BTreeMap<String, String>,
     /// Baseline: (rule, file) → tolerated finding count.
     pub baseline: BTreeMap<(Rule, String), usize>,
+    /// Method names the blocking rule treats as blocking operations.
+    pub blocking_methods: Vec<String>,
+    /// `(lock name, function name-or-qname)` pairs exempted from the
+    /// blocking rule — deliberate blocking-under-lock (e.g. a
+    /// mutex-wrapped channel receiver).
+    pub blocking_allow: Vec<(String, String)>,
+    /// Function names (bare or `Type::name`) the durability rule roots
+    /// its chain analysis at.
+    pub durability_functions: Vec<String>,
+    /// Method names counting as a durability `sync` event.
+    pub durability_sync: Vec<String>,
+    /// Method names counting as a durability `truncate` event.
+    pub durability_truncate: Vec<String>,
+    /// Receiver paths (or dotted suffixes) tagged as WAL storage.
+    pub durability_wal_paths: Vec<String>,
+    /// Dispatch roots (bare or `Type::name`) for panic-reachability.
+    pub reach_roots: Vec<String>,
+    /// Interprocedural propagation depth; 0 means "default" (4).
+    pub max_call_depth: usize,
 }
 
 const BASELINE_BEGIN: &str = "# --- BEGIN BASELINE";
@@ -102,6 +137,9 @@ impl Config {
         let mut allow_rule: Option<Rule> = None;
         let mut allow_file: Option<String> = None;
         let mut allow_count: Option<usize> = None;
+        // Pending [[blocking.allow]] entry fields.
+        let mut ba_lock: Option<String> = None;
+        let mut ba_func: Option<String> = None;
         // Multi-line array accumulation: (key, partial body).
         let mut open_array: Option<(String, String)> = None;
 
@@ -114,6 +152,13 @@ impl Config {
                     baseline.insert((r, f), c);
                 }
             };
+        let flush_block = |lock: &mut Option<String>,
+                           func: &mut Option<String>,
+                           allow: &mut Vec<(String, String)>| {
+            if let (Some(l), Some(f)) = (lock.take(), func.take()) {
+                allow.push((l, f));
+            }
+        };
 
         for (ln, raw) in text.lines().enumerate() {
             let line = strip_comment(raw).trim();
@@ -138,6 +183,7 @@ impl Config {
                     &mut allow_count,
                     &mut cfg.baseline,
                 );
+                flush_block(&mut ba_lock, &mut ba_func, &mut cfg.blocking_allow);
                 section = line[2..line.len() - 2].trim().to_string();
                 continue;
             }
@@ -148,6 +194,7 @@ impl Config {
                     &mut allow_count,
                     &mut cfg.baseline,
                 );
+                flush_block(&mut ba_lock, &mut ba_func, &mut cfg.blocking_allow);
                 section = line[1..line.len() - 1].trim().to_string();
                 continue;
             }
@@ -181,6 +228,16 @@ impl Config {
                 ("locks.aliases", _) => {
                     cfg.lock_aliases.insert(key, unquote(value));
                 }
+                ("blocking.allow", "lock") => ba_lock = Some(unquote(value)),
+                ("blocking.allow", "function") => ba_func = Some(unquote(value)),
+                ("interproc", "max_call_depth") => {
+                    cfg.max_call_depth = value.parse().map_err(|_| {
+                        format!(
+                            "LINT.toml line {}: max_call_depth must be an integer",
+                            ln + 1
+                        )
+                    })?
+                }
                 _ => {} // unknown key: ignore
             }
         }
@@ -190,6 +247,7 @@ impl Config {
             &mut allow_count,
             &mut cfg.baseline,
         );
+        flush_block(&mut ba_lock, &mut ba_func, &mut cfg.blocking_allow);
         if cfg.metrics_catalog.is_empty() {
             cfg.metrics_catalog = "docs/METRICS.md".to_string();
         }
@@ -202,6 +260,12 @@ impl Config {
             ("lint", "codec_files") => self.codec_files = items,
             ("lint", "codec_functions") => self.codec_functions = items,
             ("locks", "order") => self.lock_order = items,
+            ("blocking", "methods") => self.blocking_methods = items,
+            ("durability", "functions") => self.durability_functions = items,
+            ("durability", "sync_methods") => self.durability_sync = items,
+            ("durability", "truncate_methods") => self.durability_truncate = items,
+            ("durability", "wal_paths") => self.durability_wal_paths = items,
+            ("reachability", "roots") => self.reach_roots = items,
             _ => {}
         }
     }
@@ -209,6 +273,23 @@ impl Config {
     /// Index of a lock name in the declared order, if declared.
     pub fn lock_rank(&self, name: &str) -> Option<usize> {
         self.lock_order.iter().position(|n| n == name)
+    }
+
+    /// Effective interprocedural propagation depth (default 4).
+    pub fn call_depth(&self) -> usize {
+        if self.max_call_depth == 0 {
+            4
+        } else {
+            self.max_call_depth
+        }
+    }
+
+    /// Is `(lock, function)` exempted from the blocking rule? Function
+    /// matches on the bare name or the `Type::name` qname.
+    pub fn blocking_allowed(&self, lock: &str, name: &str, qname: &str) -> bool {
+        self.blocking_allow
+            .iter()
+            .any(|(l, f)| l == lock && (f == name || f == qname))
     }
 
     /// Resolve a receiver path (e.g. `shared.memex`) in `file` (repo-
@@ -353,6 +434,60 @@ count = 12
         // Splicing twice is stable.
         let again = splice_baseline(&spliced, &baseline);
         assert_eq!(spliced, again);
+    }
+
+    #[test]
+    fn interproc_sections_parse() {
+        let text = r#"
+[interproc]
+max_call_depth = 3
+
+[blocking]
+methods = ["sync", "sleep", "recv"]
+
+[[blocking.allow]]
+lock = "net.accept_rx"
+function = "worker_loop"
+reason = "mutex-wrapped channel receiver: recv under the lock is the design"
+
+[durability]
+functions = ["LsmStore::seal", "KvStore::checkpoint"]
+sync_methods = ["sync", "sync_all"]
+truncate_methods = ["truncate", "set_len"]
+wal_paths = ["wal"]
+
+[reachability]
+roots = ["accept_loop", "worker_loop"]
+"#;
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(cfg.max_call_depth, 3);
+        assert_eq!(cfg.call_depth(), 3);
+        assert_eq!(Config::default().call_depth(), 4);
+        assert_eq!(cfg.blocking_methods, vec!["sync", "sleep", "recv"]);
+        assert_eq!(
+            cfg.blocking_allow,
+            vec![("net.accept_rx".to_string(), "worker_loop".to_string())]
+        );
+        assert!(cfg.blocking_allowed("net.accept_rx", "worker_loop", "worker_loop"));
+        assert!(!cfg.blocking_allowed("net.memex", "worker_loop", "worker_loop"));
+        assert_eq!(
+            cfg.durability_functions,
+            vec!["LsmStore::seal", "KvStore::checkpoint"]
+        );
+        assert_eq!(cfg.durability_wal_paths, vec!["wal"]);
+        assert_eq!(cfg.reach_roots, vec!["accept_loop", "worker_loop"]);
+    }
+
+    #[test]
+    fn new_rule_names_round_trip() {
+        for r in [
+            Rule::Blocking,
+            Rule::CrossLocks,
+            Rule::Durability,
+            Rule::PanicReach,
+        ] {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! Guard/effect dataflow over the call graph.
+//!
+//! Two layers:
+//!
+//! 1. **Direct facts** per function, from the token stream: lock
+//!    acquisitions with their held region (reusing the lock rule's guard
+//!    lifetime model), blocking operations (`[blocking] methods` from
+//!    `LINT.toml`), and panic sites.
+//! 2. **Transitive summaries**: what locks a call to `f` may acquire and
+//!    what blocking ops it may perform, computed by bounded fixed-point
+//!    iteration over the call graph (`[interproc] max_call_depth` rounds
+//!    of callee-summary folding — depth-k chains converge after k
+//!    rounds, and the insert-only merge guarantees termination even on
+//!    recursive cycles).
+//!
+//! Each transitive effect keeps the shortest call chain that produced it
+//! (`hops`, rendered as `Type::fn (file:line)` steps) so a cross-function
+//! finding can show the path instead of just the endpoints.
+
+use std::collections::HashMap;
+
+use crate::callgraph::{CallGraph, FileUnit, FnId};
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::parse::FileModel;
+use crate::rules::locks::{acquisitions, held_until};
+
+/// A lock acquisition with its resolved name and held region, attributed
+/// to one graph node.
+#[derive(Debug, Clone)]
+pub struct HeldLock {
+    /// Resolved lock name (`store.lsm.manifest`), or `None` when no
+    /// alias matched — undeclared from the config's point of view.
+    pub name: Option<String>,
+    /// Receiver path as written.
+    pub path: String,
+    pub line: usize,
+    /// Token range `[token, until)` over which the guard is considered
+    /// live in the owning file.
+    pub token: usize,
+    pub until: usize,
+}
+
+/// A direct blocking operation site.
+#[derive(Debug, Clone)]
+pub struct BlockingOp {
+    pub method: String,
+    pub line: usize,
+    pub token: usize,
+}
+
+/// What kind of transitive effect a summary entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EffectKind {
+    /// Acquires the named lock (resolved name).
+    Lock,
+    /// Acquires a lock whose receiver path did not resolve; the name is
+    /// the raw path.
+    UndeclaredLock,
+    /// Performs the named blocking operation.
+    Blocking,
+}
+
+/// One transitive effect reachable from calling a function.
+#[derive(Debug, Clone)]
+pub struct Effect {
+    pub kind: EffectKind,
+    /// Lock name, raw receiver path, or blocking method name.
+    pub name: String,
+    /// Where the effect ultimately happens.
+    pub file: String,
+    pub line: usize,
+    /// Call chain from the summarized function down to the effect site,
+    /// rendered `Type::fn (file:line)` per hop. Empty for direct effects.
+    pub hops: Vec<String>,
+}
+
+/// Direct facts for one function.
+#[derive(Debug, Default, Clone)]
+pub struct DirectFacts {
+    pub locks: Vec<HeldLock>,
+    pub blocking: Vec<BlockingOp>,
+}
+
+/// The computed dataflow: direct facts plus transitive summaries, both
+/// indexed by `FnId`.
+pub struct Dataflow {
+    pub direct: Vec<DirectFacts>,
+    /// Everything a call to this function may do, including through its
+    /// callees up to the configured depth.
+    pub summary: Vec<Vec<Effect>>,
+}
+
+fn punct_at(model: &FileModel, i: usize, c: char) -> bool {
+    matches!(model.tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Direct blocking operations in a function body: `ident(` where the
+/// ident is a configured blocking method and the token is not a fn
+/// definition. Method position (`.recv(`) and free position (`sleep(`)
+/// both match — `thread::sleep` lexes as `thread : : sleep (`.
+fn blocking_ops(model: &FileModel, fn_idx: usize, cfg: &Config) -> Vec<BlockingOp> {
+    let f = &model.functions[fn_idx];
+    let mut out = Vec::new();
+    for i in f.body_start + 1..f.body_end.saturating_sub(1).min(model.tokens.len()) {
+        if model.fn_of[i] != Some(fn_idx) || model.in_test[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &model.tokens[i].tok else {
+            continue;
+        };
+        if !cfg.blocking_methods.iter().any(|m| m == name) {
+            continue;
+        }
+        if !punct_at(model, i + 1, '(') {
+            continue;
+        }
+        if i > 0 && matches!(&model.tokens[i - 1].tok, Tok::Ident(k) if k == "fn") {
+            continue;
+        }
+        out.push(BlockingOp {
+            method: name.clone(),
+            line: model.tokens[i].line,
+            token: i,
+        });
+    }
+    out
+}
+
+/// Direct lock facts for every function of one file, resolved through
+/// the config aliases.
+fn lock_facts(model: &FileModel, file: &str, cfg: &Config) -> HashMap<usize, Vec<HeldLock>> {
+    let mut out: HashMap<usize, Vec<HeldLock>> = HashMap::new();
+    for acq in acquisitions(model) {
+        let until = held_until(model, &acq);
+        let name = cfg.resolve_lock(file, &acq.path).map(|s| s.to_string());
+        out.entry(acq.fn_id).or_default().push(HeldLock {
+            name,
+            path: acq.path,
+            line: acq.line,
+            token: acq.token,
+            until,
+        });
+    }
+    out
+}
+
+impl Dataflow {
+    /// Compute direct facts and transitive summaries for the workspace.
+    pub fn build(files: &[FileUnit], graph: &CallGraph, cfg: &Config) -> Dataflow {
+        let n = graph.nodes.len();
+        let mut direct = vec![DirectFacts::default(); n];
+
+        for (file_idx, unit) in files.iter().enumerate() {
+            let mut per_fn = lock_facts(&unit.model, &unit.path, cfg);
+            for (fn_idx, _) in unit.model.functions.iter().enumerate() {
+                let Some(id) = graph.node_of(file_idx, fn_idx) else {
+                    continue;
+                };
+                if graph.nodes[id].in_test {
+                    continue;
+                }
+                direct[id] = DirectFacts {
+                    locks: per_fn.remove(&fn_idx).unwrap_or_default(),
+                    blocking: blocking_ops(&unit.model, fn_idx, cfg),
+                };
+            }
+        }
+
+        // Seed summaries with each function's own effects (no hops).
+        let seed: Vec<Vec<Effect>> = (0..n)
+            .map(|id| {
+                let mut s = Vec::new();
+                for l in &direct[id].locks {
+                    let (kind, name) = match &l.name {
+                        Some(name) => (EffectKind::Lock, name.clone()),
+                        None => (EffectKind::UndeclaredLock, l.path.clone()),
+                    };
+                    s.push(Effect {
+                        kind,
+                        name,
+                        file: graph.nodes[id].file.clone(),
+                        line: l.line,
+                        hops: Vec::new(),
+                    });
+                }
+                for b in &direct[id].blocking {
+                    s.push(Effect {
+                        kind: EffectKind::Blocking,
+                        name: b.method.clone(),
+                        file: graph.nodes[id].file.clone(),
+                        line: b.line,
+                        hops: Vec::new(),
+                    });
+                }
+                s
+            })
+            .collect();
+
+        // Bounded fixed point: each round folds direct callee summaries
+        // once, so after k rounds effects have propagated up chains of
+        // length k. Keyed insert-if-absent keeps the first (shortest)
+        // chain per (kind, name) and terminates on recursion.
+        let mut summary = seed.clone();
+        for _ in 0..cfg.call_depth() {
+            let prev = summary.clone();
+            let mut next = seed.clone();
+            for (id, acc) in next.iter_mut().enumerate() {
+                let mut have: std::collections::HashSet<(EffectKind, String)> =
+                    acc.iter().map(|e| (e.kind, e.name.clone())).collect();
+                for call in &graph.calls[id] {
+                    let callee = &graph.nodes[call.callee];
+                    if callee.in_test {
+                        continue;
+                    }
+                    let hop = format!("{} ({}:{})", callee.qname(), callee.file, call.line);
+                    for e in &prev[call.callee] {
+                        let key = (e.kind, e.name.clone());
+                        if have.contains(&key) {
+                            continue;
+                        }
+                        have.insert(key);
+                        let mut hops = Vec::with_capacity(e.hops.len() + 1);
+                        hops.push(hop.clone());
+                        hops.extend(e.hops.iter().cloned());
+                        acc.push(Effect {
+                            kind: e.kind,
+                            name: e.name.clone(),
+                            file: e.file.clone(),
+                            line: e.line,
+                            hops,
+                        });
+                    }
+                }
+            }
+            summary = next;
+        }
+
+        Dataflow { direct, summary }
+    }
+
+    /// Transitive effects of calling `callee`, chain-prefixed with the
+    /// call hop itself — ready to embed in a finding message.
+    pub fn effects_of_call(
+        &self,
+        graph: &CallGraph,
+        callee: FnId,
+        call_line: usize,
+    ) -> Vec<Effect> {
+        let node = &graph.nodes[callee];
+        let hop = format!("{} ({}:{})", node.qname(), node.file, call_line);
+        self.summary[callee]
+            .iter()
+            .map(|e| {
+                let mut hops = Vec::with_capacity(e.hops.len() + 1);
+                hops.push(hop.clone());
+                hops.extend(e.hops.iter().cloned());
+                Effect {
+                    kind: e.kind,
+                    name: e.name.clone(),
+                    file: e.file.clone(),
+                    line: e.line,
+                    hops,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Render an effect's call chain for a finding message:
+/// `via Store::seal (crates/…/lsm.rs:552) → Wal::sync (crates/…/wal.rs:193)`.
+pub fn render_chain(hops: &[String]) -> String {
+    if hops.is_empty() {
+        String::new()
+    } else {
+        format!(" via {}", hops.join(" → "))
+    }
+}
+
+/// An ordered durability event inside a configured function chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurEvent {
+    /// A `sync`-class call on a WAL-tagged receiver.
+    Sync { line: usize },
+    /// A `truncate`-class call on a WAL-tagged receiver.
+    Truncate {
+        line: usize,
+        file: String,
+        function: String,
+        method: String,
+        /// Call chain from the configured root down to this site.
+        hops: Vec<String>,
+    },
+}
+
+/// Does `path` denote one of the configured WAL receivers? Matches the
+/// whole path or a dotted suffix (`wal` matches both `wal` and
+/// `self.wal`).
+fn is_wal_path(cfg: &Config, path: &str) -> bool {
+    cfg.durability_wal_paths
+        .iter()
+        .any(|w| path == w || path.ends_with(&format!(".{w}")))
+}
+
+/// Flatten the token-order durability events of `id`'s body, recursing
+/// into resolved non-test callees (bounded by remaining `depth`, with a
+/// visited stack as the cycle guard). A call site that is itself a
+/// sync/truncate event does not recurse.
+pub fn durability_events(
+    files: &[FileUnit],
+    graph: &CallGraph,
+    cfg: &Config,
+    id: FnId,
+    depth: usize,
+    stack: &mut Vec<FnId>,
+    out: &mut Vec<DurEvent>,
+) {
+    if stack.contains(&id) {
+        return;
+    }
+    stack.push(id);
+    let node = &graph.nodes[id];
+    let unit = &files[node.file_idx];
+    let model = &unit.model;
+    let f = &model.functions[node.fn_idx];
+
+    // Calls from this body, by token index, for in-order interleaving.
+    let calls: HashMap<usize, FnId> = graph.calls[id]
+        .iter()
+        .map(|c| (c.token, c.callee))
+        .collect();
+
+    for i in f.body_start + 1..f.body_end.saturating_sub(1).min(model.tokens.len()) {
+        if model.fn_of[i] != Some(node.fn_idx) || model.in_test[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &model.tokens[i].tok else {
+            continue;
+        };
+        if !punct_at(model, i + 1, '(') {
+            continue;
+        }
+        let is_sync = cfg.durability_sync.iter().any(|m| m == name);
+        let is_trunc = cfg.durability_truncate.iter().any(|m| m == name);
+        if (is_sync || is_trunc) && i > 0 && punct_at(model, i - 1, '.') {
+            let recv = crate::rules::locks::receiver_path(model, i - 1);
+            if is_wal_path(cfg, &recv) {
+                let line = model.tokens[i].line;
+                if is_sync {
+                    out.push(DurEvent::Sync { line });
+                } else {
+                    out.push(DurEvent::Truncate {
+                        line,
+                        file: unit.path.clone(),
+                        function: model.fn_name(i).to_string(),
+                        method: name.clone(),
+                        hops: stack.iter().map(|&s| graph.nodes[s].qname()).collect(),
+                    });
+                }
+                continue;
+            }
+        }
+        if depth > 0 {
+            if let Some(&callee) = calls.get(&i) {
+                if !graph.nodes[callee].in_test {
+                    durability_events(files, graph, cfg, callee, depth - 1, stack, out);
+                }
+            }
+        }
+    }
+    stack.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::lexer::lex;
+    use crate::parse::model;
+
+    fn unit(path: &str, src: &str) -> FileUnit {
+        FileUnit {
+            path: path.to_string(),
+            crate_name: "t".to_string(),
+            model: model(lex(src)),
+        }
+    }
+
+    fn cfg() -> Config {
+        let mut c = Config {
+            lock_order: vec!["l.a".into(), "l.b".into()],
+            blocking_methods: vec!["sleep".into(), "sync".into(), "recv".into()],
+            ..Config::default()
+        };
+        c.lock_aliases.insert("a".into(), "l.a".into());
+        c.lock_aliases.insert("b".into(), "l.b".into());
+        c
+    }
+
+    #[test]
+    fn transitive_lock_and_blocking_effects_propagate_with_chains() {
+        let src = r#"
+            fn leaf(b: M, f: F) {
+                let g = b.lock();
+                f.sync();
+            }
+            fn mid(b: M, f: F) { leaf(b, f); }
+            fn top(b: M, f: F) { mid(b, f); }
+        "#;
+        let files = vec![unit("x.rs", src)];
+        let graph = CallGraph::build(&files);
+        let mut c = cfg();
+        c.max_call_depth = 4;
+        let flow = Dataflow::build(&files, &graph, &c);
+        let top = graph.resolve_name("top")[0];
+        let locks: Vec<_> = flow.summary[top]
+            .iter()
+            .filter(|e| e.kind == EffectKind::Lock)
+            .collect();
+        assert_eq!(locks.len(), 1);
+        assert_eq!(locks[0].name, "l.b");
+        assert_eq!(locks[0].hops.len(), 2, "{:?}", locks[0].hops);
+        assert!(locks[0].hops[0].starts_with("mid "));
+        assert!(locks[0].hops[1].starts_with("leaf "));
+        assert!(flow.summary[top]
+            .iter()
+            .any(|e| e.kind == EffectKind::Blocking && e.name == "sync"));
+    }
+
+    #[test]
+    fn depth_bound_cuts_off_deep_chains() {
+        let src = r#"
+            fn leaf(b: M) { let g = b.lock(); }
+            fn mid(b: M) { leaf(b); }
+            fn top(b: M) { mid(b); }
+        "#;
+        let files = vec![unit("x.rs", src)];
+        let graph = CallGraph::build(&files);
+        let mut c = cfg();
+        c.max_call_depth = 1;
+        let flow = Dataflow::build(&files, &graph, &c);
+        let top = graph.resolve_name("top")[0];
+        assert!(
+            !flow.summary[top].iter().any(|e| e.kind == EffectKind::Lock),
+            "depth 1 must not see a 2-hop acquisition"
+        );
+        let mid = graph.resolve_name("mid")[0];
+        assert!(flow.summary[mid].iter().any(|e| e.kind == EffectKind::Lock));
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let src = r#"
+            fn ping(b: M) { let g = b.lock(); pong(b); }
+            fn pong(b: M) { ping(b); }
+        "#;
+        let files = vec![unit("x.rs", src)];
+        let graph = CallGraph::build(&files);
+        let flow = Dataflow::build(&files, &graph, &cfg());
+        let pong = graph.resolve_name("pong")[0];
+        assert!(flow.summary[pong]
+            .iter()
+            .any(|e| e.kind == EffectKind::Lock && e.name == "l.b"));
+    }
+
+    #[test]
+    fn durability_events_flatten_through_calls_in_order() {
+        let src = r#"
+            struct S { wal: W }
+            impl S {
+                fn flush_wal(&self) { self.wal.sync(); }
+                fn seal(&self) {
+                    self.flush_wal();
+                    self.wal.truncate();
+                }
+                fn broken(&self) {
+                    self.wal.truncate();
+                    self.flush_wal();
+                }
+            }
+        "#;
+        let files = vec![unit("s.rs", src)];
+        let graph = CallGraph::build(&files);
+        let mut c = cfg();
+        c.durability_sync = vec!["sync".into()];
+        c.durability_truncate = vec!["truncate".into()];
+        c.durability_wal_paths = vec!["wal".into()];
+        let seal = graph.resolve_name("S::seal")[0];
+        let mut events = Vec::new();
+        durability_events(&files, &graph, &c, seal, 4, &mut Vec::new(), &mut events);
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert!(matches!(events[0], DurEvent::Sync { .. }));
+        assert!(matches!(events[1], DurEvent::Truncate { .. }));
+
+        let broken = graph.resolve_name("S::broken")[0];
+        let mut events = Vec::new();
+        durability_events(&files, &graph, &c, broken, 4, &mut Vec::new(), &mut events);
+        assert!(matches!(events[0], DurEvent::Truncate { .. }));
+        assert!(matches!(events[1], DurEvent::Sync { .. }));
+    }
+}

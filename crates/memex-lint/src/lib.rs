@@ -1,6 +1,6 @@
 //! memex-lint: workspace-native static analysis for the memex codebase.
 //!
-//! Four rule families over a hand-rolled token stream (no external
+//! Eight rule families over a hand-rolled token stream (no external
 //! dependencies, no rustc internals):
 //!
 //! 1. **panic** — no `unwrap`/`expect`/panic-macros/indexing in non-test
@@ -12,11 +12,28 @@
 //! 4. **codec** — no wildcard `_ =>` arms in the wire codec
 //!    ([`rules::codec`]).
 //!
+//! Plus four interprocedural families over a workspace [`callgraph`] and
+//! guard [`dataflow`] pass:
+//!
+//! 5. **blocking** — no blocking operation while a declared lock guard is
+//!    live, through calls ([`rules::blocking`]).
+//! 6. **locks-cross** — lock order across function boundaries
+//!    ([`rules::locks::check_cross`]).
+//! 7. **durability** — sync-before-truncate on WAL storage along
+//!    configured chains ([`rules::durability`]).
+//! 8. **panic-reach** — panic sites reachable from dispatch roots
+//!    ([`rules::reach`]).
+//!
 //! Pre-existing violations live in a checked-in baseline inside
 //! `LINT.toml` (a per-file ratchet, regenerated with `--fix-baseline`);
-//! anything beyond the baseline fails the run.
+//! anything beyond the baseline fails the run. **Hard findings** —
+//! durability-order violations and undeclared nested acquisitions — have
+//! no baseline escape hatch: they fail the run regardless, and
+//! `--fix-baseline` never writes entries for them.
 
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
 pub mod parse;
 pub mod rules;
@@ -120,6 +137,7 @@ pub fn scan(root: &Path, cfg: &Config) -> io::Result<Scan> {
     let mut findings: Vec<Finding> = Vec::new();
     let mut lock_analysis = LockAnalysis::default();
     let mut metric_uses: Vec<MetricUse> = Vec::new();
+    let mut units: Vec<callgraph::FileUnit> = Vec::new();
 
     for path in &files {
         let rel_path = rel(root, path);
@@ -134,7 +152,21 @@ pub fn scan(root: &Path, cfg: &Config) -> io::Result<Scan> {
         if cfg.codec_files.iter().any(|f| f == &rel_path) {
             findings.extend(rules::codec::check(&model, &rel_path, cfg));
         }
+        units.push(callgraph::FileUnit {
+            crate_name: crate_of(&rel_path).to_string(),
+            path: rel_path,
+            model,
+        });
     }
+
+    // Interprocedural pass: call graph + guard dataflow, then the four
+    // cross-function families.
+    let graph = callgraph::CallGraph::build(&units);
+    let flow = dataflow::Dataflow::build(&units, &graph, cfg);
+    findings.extend(rules::blocking::check(&units, &graph, &flow, cfg));
+    rules::locks::check_cross(&units, &graph, &flow, cfg, &mut lock_analysis);
+    findings.extend(rules::durability::check(&units, &graph, cfg));
+    findings.extend(rules::reach::check(&units, &graph, cfg));
 
     findings.extend(lock_analysis.findings);
     findings.extend(rules::locks::cycle_findings(&lock_analysis.edges));
@@ -153,10 +185,24 @@ pub fn scan(root: &Path, cfg: &Config) -> io::Result<Scan> {
     })
 }
 
-/// Raw per-(rule, file) counts — the shape the baseline stores.
+/// Hard findings bypass the baseline entirely: durability-order
+/// violations and undeclared nested lock acquisitions (intra- or
+/// cross-function) always fail the run, and `--fix-baseline` never
+/// writes allowances for them.
+pub fn is_hard(f: &Finding) -> bool {
+    f.rule == Rule::Durability
+        || ((f.rule == Rule::Locks || f.rule == Rule::CrossLocks)
+            && f.message.contains("undeclared"))
+}
+
+/// Raw per-(rule, file) counts — the shape the baseline stores. Hard
+/// findings are excluded (they can never be baselined).
 pub fn counts(findings: &[Finding]) -> BTreeMap<(Rule, String), usize> {
     let mut out: BTreeMap<(Rule, String), usize> = BTreeMap::new();
     for f in findings {
+        if is_hard(f) {
+            continue;
+        }
         *out.entry((f.rule, f.file.clone())).or_default() += 1;
     }
     out
@@ -165,7 +211,12 @@ pub fn counts(findings: &[Finding]) -> BTreeMap<(Rule, String), usize> {
 /// Apply the baseline ratchet to a scan.
 pub fn apply_baseline(scan: Scan, cfg: &Config) -> Report {
     let actual = counts(&scan.findings);
-    let mut failures = Vec::new();
+    let mut failures: Vec<Finding> = scan
+        .findings
+        .iter()
+        .filter(|f| is_hard(f))
+        .cloned()
+        .collect();
     let mut exceeded = Vec::new();
     for (key, &count) in &actual {
         let allowed = cfg.baseline.get(key).copied().unwrap_or(0);
@@ -174,7 +225,7 @@ pub fn apply_baseline(scan: Scan, cfg: &Config) -> Report {
             failures.extend(
                 scan.findings
                     .iter()
-                    .filter(|f| f.rule == key.0 && f.file == key.1)
+                    .filter(|f| f.rule == key.0 && f.file == key.1 && !is_hard(f))
                     .cloned(),
             );
         }
@@ -292,6 +343,34 @@ mod tests {
         );
         assert_eq!(report.stale.len(), 1);
         assert!(report.stale[0].contains("gone.rs"));
+    }
+
+    #[test]
+    fn hard_findings_bypass_the_baseline() {
+        let mut cfg = Config::default();
+        // A generous baseline that would absorb these if they were soft.
+        cfg.baseline
+            .insert((Rule::Durability, "a.rs".to_string()), 10);
+        cfg.baseline.insert((Rule::Locks, "a.rs".to_string()), 10);
+        let hard_dur = finding(Rule::Durability, "a.rs");
+        let hard_lock = Finding {
+            message: "undeclared nested acquisition: x inside y".to_string(),
+            ..finding(Rule::Locks, "a.rs")
+        };
+        let soft_lock = finding(Rule::Locks, "a.rs");
+        assert!(is_hard(&hard_dur));
+        assert!(is_hard(&hard_lock));
+        assert!(!is_hard(&soft_lock));
+        let scan = Scan {
+            findings: vec![hard_dur, hard_lock, soft_lock],
+            files_scanned: 1,
+        };
+        let report = apply_baseline(scan, &cfg);
+        assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+        assert!(report.failures.iter().all(is_hard));
+        // counts() never offers hard findings to --fix-baseline.
+        let c = counts(&report.failures);
+        assert!(c.is_empty(), "{c:?}");
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p memex-lint                 # human-readable report
-//! cargo run -p memex-lint -- --json       # machine-readable (CI)
+//! cargo run -p memex-lint -- --json       # machine-readable (CI artifact)
+//! cargo run -p memex-lint -- --format github  # ::error annotations (CI)
 //! cargo run -p memex-lint -- --fix-baseline   # regenerate the ratchet
 //! ```
 //!
@@ -13,7 +14,47 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use memex_lint::config::Config;
-use memex_lint::{apply_baseline, counts, render_json, scan};
+use memex_lint::{apply_baseline, counts, render_json, scan, Report};
+
+/// Escape a value for a GitHub workflow-command *message* position.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\n', "%0A")
+        .replace('\r', "%0D")
+}
+
+/// Escape a value for a workflow-command *property* position, where `,`
+/// and `:` are also structural.
+fn gh_escape_prop(s: &str) -> String {
+    gh_escape(s).replace(',', "%2C").replace(':', "%3A")
+}
+
+/// Render the report as GitHub Actions workflow commands: one
+/// `::error file=…,line=…` per failure (annotated inline on the PR) and
+/// `::notice` lines for stale baseline entries.
+fn render_github(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.failures {
+        out.push_str(&format!(
+            "::error file={},line={},title=memex-lint[{}]::{} (in {})\n",
+            gh_escape_prop(&f.file),
+            f.line,
+            gh_escape_prop(f.rule.name()),
+            gh_escape(&f.message),
+            gh_escape(&f.function),
+        ));
+    }
+    for s in &report.stale {
+        out.push_str(&format!("::notice title=memex-lint::{}\n", gh_escape(s)));
+    }
+    out.push_str(&format!(
+        "memex-lint: {} files scanned, {} findings ({} beyond baseline)\n",
+        report.files_scanned,
+        report.total_findings,
+        report.failures.len(),
+    ));
+    out
+}
 
 /// Walk up from the current directory to the first `LINT.toml`.
 fn find_root() -> Option<PathBuf> {
@@ -35,16 +76,33 @@ fn fail(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut github = false;
     let mut fix_baseline = false;
+    let mut want_format = false;
     for arg in std::env::args().skip(1) {
+        if want_format {
+            want_format = false;
+            match arg.as_str() {
+                "github" => github = true,
+                "json" => json = true,
+                "text" => {}
+                other => return fail(&format!("unknown format {other:?} (github|json|text)")),
+            }
+            continue;
+        }
         match arg.as_str() {
             "--json" => json = true,
+            "--format" => want_format = true,
             "--fix-baseline" => fix_baseline = true,
             "--help" | "-h" => {
                 println!(
                     "memex-lint: workspace static analysis (panic-freedom, lock \
-                     discipline,\nmetric catalog, codec coverage)\n\n\
-                     usage: memex-lint [--json] [--fix-baseline]\n\n\
+                     discipline,\nmetric catalog, codec coverage, and the \
+                     interprocedural families:\nblocking-under-lock, \
+                     cross-function lock order, durability order,\n\
+                     panic-reachability)\n\n\
+                     usage: memex-lint [--json] [--format github|json|text] \
+                     [--fix-baseline]\n\n\
                      Configuration and baseline live in LINT.toml at the \
                      workspace root."
                 );
@@ -52,6 +110,9 @@ fn main() -> ExitCode {
             }
             other => return fail(&format!("unknown argument {other:?} (try --help)")),
         }
+    }
+    if want_format {
+        return fail("--format requires a value (github|json|text)");
     }
 
     let Some(root) = find_root() else {
@@ -88,7 +149,9 @@ fn main() -> ExitCode {
     }
 
     let report = apply_baseline(scanned, &cfg);
-    if json {
+    if github {
+        print!("{}", render_github(&report));
+    } else if json {
         print!("{}", render_json(&report));
     } else {
         for f in &report.failures {

@@ -34,18 +34,18 @@ use crate::rules::Finding;
 
 /// One lock acquisition site.
 #[derive(Debug, Clone)]
-struct Acq {
+pub(crate) struct Acq {
     /// Receiver path as written, e.g. `shared.memex`.
-    path: String,
+    pub(crate) path: String,
     /// Resolved lock name, if an alias matched.
-    name: Option<String>,
-    line: usize,
-    token: usize,
-    depth: usize,
+    pub(crate) name: Option<String>,
+    pub(crate) line: usize,
+    pub(crate) token: usize,
+    pub(crate) depth: usize,
     /// True when the guard is let-bound (scope lifetime); false for a
     /// temporary (statement lifetime).
-    let_bound: bool,
-    fn_id: usize,
+    pub(crate) let_bound: bool,
+    pub(crate) fn_id: usize,
 }
 
 /// A nested acquisition `outer → inner` observed somewhere.
@@ -78,7 +78,7 @@ fn punct_at(model: &FileModel, i: usize, c: char) -> bool {
 }
 
 /// Walk back from the `.` before the method to collect the receiver path.
-fn receiver_path(model: &FileModel, dot: usize) -> String {
+pub(crate) fn receiver_path(model: &FileModel, dot: usize) -> String {
     let mut parts: Vec<&str> = Vec::new();
     let mut i = dot; // index of the `.` token
     loop {
@@ -118,7 +118,7 @@ fn statement_has_let(model: &FileModel, i: usize) -> bool {
 }
 
 /// Collect every acquisition in non-test functions of this file.
-fn acquisitions(model: &FileModel) -> Vec<Acq> {
+pub(crate) fn acquisitions(model: &FileModel) -> Vec<Acq> {
     let mut out = Vec::new();
     for i in 0..model.tokens.len() {
         if model.in_test[i] {
@@ -159,7 +159,7 @@ fn acquisitions(model: &FileModel) -> Vec<Acq> {
 /// over-approximation described in the module docs). Body tokens and
 /// the closing `}` of a scope share the same depth, so the brace that
 /// ends the acquiring scope is the first `}` at `depth <= acq.depth`.
-fn held_until(model: &FileModel, acq: &Acq) -> usize {
+pub(crate) fn held_until(model: &FileModel, acq: &Acq) -> usize {
     let n = model.tokens.len();
     for j in acq.token + 1..n {
         match &model.tokens[j].tok {
@@ -234,6 +234,107 @@ pub fn check(model: &FileModel, file: &str, cfg: &Config, analysis: &mut LockAna
                          [locks] order",
                         b.path, a.path
                     ));
+                }
+            }
+        }
+    }
+}
+
+/// Cross-function lock discipline: for every acquisition of `A` whose
+/// guard region contains a call, the callee's transitive lock summary
+/// (bounded depth, via [`crate::dataflow`]) is checked against `A` —
+/// recursion, order violations, and undeclared acquisitions are all
+/// flagged with the call chain that reaches the inner lock. This is the
+/// interprocedural twin of [`check`]: neither nesting is visible in one
+/// body, but `f { lock A; g() }` + `g { lock B }` is still `A → B`.
+///
+/// Same-body pairs are [`check`]'s business and are not re-reported
+/// here. Declared-but-unordered pairs feed the same cycle detector.
+pub fn check_cross(
+    files: &[crate::callgraph::FileUnit],
+    graph: &crate::callgraph::CallGraph,
+    flow: &crate::dataflow::Dataflow,
+    cfg: &Config,
+    analysis: &mut LockAnalysis,
+) {
+    use crate::dataflow::{render_chain, EffectKind};
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if node.in_test {
+            continue;
+        }
+        let model = &files[node.file_idx].model;
+        for held in &flow.direct[id].locks {
+            for call in &graph.calls[id] {
+                if call.token <= held.token || call.token >= held.until {
+                    continue;
+                }
+                let function = model.fn_name(call.token).to_string();
+                for e in flow.effects_of_call(graph, call.callee, call.line) {
+                    let chain = render_chain(&e.hops);
+                    let mut fail = |message: String| {
+                        analysis.findings.push(Finding {
+                            rule: Rule::CrossLocks,
+                            file: node.file.clone(),
+                            line: call.line,
+                            function: function.clone(),
+                            message,
+                        });
+                    };
+                    match (e.kind, held.name.as_deref()) {
+                        (EffectKind::UndeclaredLock, _) => {
+                            fail(format!(
+                                "undeclared nested acquisition across calls: `{}` \
+                                 ({}:{}) acquired while `{}` (line {}) is held{chain} — \
+                                 give `{}` a name in [locks.aliases] and a rank in \
+                                 [locks] order",
+                                e.name, e.file, e.line, held.path, held.line, e.name
+                            ));
+                        }
+                        (EffectKind::Lock, Some(outer)) if e.name == outer => {
+                            fail(format!(
+                                "recursive acquisition of `{outer}` across calls \
+                                 (outer at line {}, inner at {}:{}){chain}: \
+                                 std::sync primitives self-deadlock",
+                                held.line, e.file, e.line
+                            ));
+                        }
+                        (EffectKind::Lock, Some(outer)) => {
+                            match (cfg.lock_rank(outer), cfg.lock_rank(&e.name)) {
+                                (Some(ra), Some(rb)) if ra >= rb => {
+                                    fail(format!(
+                                        "cross-function lock order violation: `{}` \
+                                         (rank {rb}, at {}:{}) acquired while `{outer}` \
+                                         (rank {ra}, outer at line {}) is held{chain} — \
+                                         declared order requires `{}` before `{outer}`",
+                                        e.name, e.file, e.line, held.line, e.name
+                                    ));
+                                }
+                                (Some(_), Some(_)) => {}
+                                _ => {
+                                    analysis.edges.push(Edge {
+                                        outer: outer.to_string(),
+                                        inner: e.name.clone(),
+                                        file: node.file.clone(),
+                                        line: call.line,
+                                        function: function.clone(),
+                                    });
+                                }
+                            }
+                        }
+                        // Outer lock undeclared: the intra-function rule
+                        // already flags the acquisition site's nesting;
+                        // here we only care once the callee side names a
+                        // lock, handled above.
+                        (EffectKind::Lock, None) => {
+                            fail(format!(
+                                "undeclared nested acquisition across calls: `{}` \
+                                 ({}:{}) acquired while undeclared `{}` (line {}) is \
+                                 held{chain} — give `{}` a name in [locks.aliases]",
+                                e.name, e.file, e.line, held.path, held.line, held.path
+                            ));
+                        }
+                        (EffectKind::Blocking, _) => {}
+                    }
                 }
             }
         }
@@ -442,6 +543,89 @@ mod tests {
         let got = run(src, &c);
         assert!(got.findings.is_empty());
         assert!(cycle_findings(&got.edges).is_empty());
+    }
+
+    fn run_cross(src: &str, c: &Config) -> LockAnalysis {
+        let files = vec![crate::callgraph::FileUnit {
+            path: "x.rs".into(),
+            crate_name: "t".into(),
+            model: model(lex(src)),
+        }];
+        let graph = crate::callgraph::CallGraph::build(&files);
+        let flow = crate::dataflow::Dataflow::build(&files, &graph, c);
+        let mut analysis = LockAnalysis::default();
+        check_cross(&files, &graph, &flow, c, &mut analysis);
+        analysis
+    }
+
+    #[test]
+    fn cross_function_order_violation_is_flagged_with_chain() {
+        let c = cfg(
+            &["outer.lock", "inner.lock"],
+            &[("a", "outer.lock"), ("b", "inner.lock")],
+        );
+        // Correct nesting across calls passes…
+        let good = r#"
+            fn helper(b: M) { let g = b.lock(); }
+            fn f(a: M, b: M) {
+                let ga = a.lock();
+                helper(b);
+            }
+        "#;
+        assert!(run_cross(good, &c).findings.is_empty());
+        // …reversed nesting across calls fails, naming the chain.
+        let bad = r#"
+            fn helper(a: M) { let g = a.lock(); }
+            fn f(a: M, b: M) {
+                let gb = b.lock();
+                helper(a);
+            }
+        "#;
+        let got = run_cross(bad, &c);
+        assert_eq!(got.findings.len(), 1, "{:?}", got.findings);
+        assert_eq!(got.findings[0].rule, Rule::CrossLocks);
+        assert!(got.findings[0].message.contains("via helper"));
+    }
+
+    #[test]
+    fn cross_function_recursion_and_undeclared_are_flagged() {
+        let c = cfg(&["m.lock"], &[("m", "m.lock")]);
+        let rec = r#"
+            fn helper(m: M) { let g = m.lock(); }
+            fn f(m: M) {
+                let g = m.lock();
+                helper(m);
+            }
+        "#;
+        let got = run_cross(rec, &c);
+        assert_eq!(got.findings.len(), 1, "{:?}", got.findings);
+        assert!(got.findings[0].message.contains("recursive"));
+
+        let undecl = r#"
+            fn helper(mystery: M) { let g = mystery.lock(); }
+            fn f(m: M) {
+                let g = m.lock();
+                helper(m);
+            }
+        "#;
+        let got = run_cross(undecl, &c);
+        assert_eq!(got.findings.len(), 1, "{:?}", got.findings);
+        assert!(got.findings[0].message.contains("undeclared"));
+    }
+
+    #[test]
+    fn call_after_guard_release_passes() {
+        let c = cfg(&["m.lock"], &[("m", "m.lock")]);
+        let src = r#"
+            fn helper(m: M) { let g = m.lock(); }
+            fn f(m: M) {
+                {
+                    let g = m.lock();
+                }
+                helper(m);
+            }
+        "#;
+        assert!(run_cross(src, &c).findings.is_empty());
     }
 
     #[test]

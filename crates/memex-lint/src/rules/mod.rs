@@ -1,11 +1,19 @@
-//! The four rule families. Each rule consumes a [`FileModel`] (plus the
-//! repo-relative path) and yields [`Finding`]s; the driver in `lib.rs`
-//! applies the baseline and decides the exit code.
+//! The rule families. The intra-function rules (panic, locks, metrics,
+//! codec) consume a [`FileModel`](crate::parse::FileModel) plus the
+//! repo-relative path; the interprocedural rules (blocking, locks-cross,
+//! durability, panic-reach) additionally consume the workspace
+//! [`CallGraph`](crate::callgraph::CallGraph) and
+//! [`Dataflow`](crate::dataflow::Dataflow). Every rule yields
+//! [`Finding`]s; the driver in `lib.rs` applies the baseline and decides
+//! the exit code.
 
+pub mod blocking;
 pub mod codec;
+pub mod durability;
 pub mod locks;
 pub mod metrics;
 pub mod panic_rule;
+pub mod reach;
 
 use crate::config::Rule;
 

@@ -28,8 +28,21 @@ fn punct_at(m: &FileModel, i: usize, c: char) -> bool {
     matches!(m.tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
 }
 
-/// Scan one file of a panic-checked crate.
-pub fn check(model: &FileModel, file: &str) -> Vec<Finding> {
+/// One panic-shaped construct in non-test code.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// Token index of the construct.
+    pub token: usize,
+    pub line: usize,
+    pub message: String,
+}
+
+/// Collect panic-shaped constructs in non-test code. `include_indexing`
+/// controls whether slice/array index expressions count — the in-crate
+/// panic rule includes them; panic-reachability deliberately does not
+/// (indexing is pervasive in non-panic crates and would drown the
+/// signal; see docs/LINT.md).
+pub fn sites(model: &FileModel, include_indexing: bool) -> Vec<PanicSite> {
     let mut out = Vec::new();
     for i in 0..model.tokens.len() {
         if model.in_test[i] {
@@ -37,11 +50,9 @@ pub fn check(model: &FileModel, file: &str) -> Vec<Finding> {
         }
         let line = model.tokens[i].line;
         let mut push = |message: String| {
-            out.push(Finding {
-                rule: Rule::Panic,
-                file: file.to_string(),
+            out.push(PanicSite {
+                token: i,
                 line,
-                function: model.fn_name(i).to_string(),
                 message,
             });
         };
@@ -61,7 +72,7 @@ pub fn check(model: &FileModel, file: &str) -> Vec<Finding> {
             {
                 push(format!("`{id}!` on the non-test path"));
             }
-            Tok::Punct('[') if i > 0 => {
+            Tok::Punct('[') if include_indexing && i > 0 => {
                 // Index expression: `expr[…]` where expr ends in an
                 // identifier, `)`, or `]`. Array literals/types follow
                 // punctuation or keywords instead.
@@ -78,6 +89,20 @@ pub fn check(model: &FileModel, file: &str) -> Vec<Finding> {
         }
     }
     out
+}
+
+/// Scan one file of a panic-checked crate.
+pub fn check(model: &FileModel, file: &str) -> Vec<Finding> {
+    sites(model, true)
+        .into_iter()
+        .map(|s| Finding {
+            rule: Rule::Panic,
+            file: file.to_string(),
+            line: s.line,
+            function: model.fn_name(s.token).to_string(),
+            message: s.message,
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,222 @@
+//! Rule family 8: **panic-reachability** — panics reachable from the
+//! serving dispatch roots.
+//!
+//! The in-crate panic rule (`[lint] panic_crates`) draws the line at
+//! crate boundaries: memex-core helpers can `unwrap()` freely because
+//! they are "library code". But a helper is on the serving path the
+//! moment a dispatch root reaches it — `worker_loop → dispatch →
+//! InvertedIndex::query → unwrap()` takes a worker down just as surely
+//! as an unwrap in the server itself. This rule walks the call graph
+//! from `[reachability] roots` over non-test edges (BFS, recording the
+//! shortest chain) and flags `unwrap`/`expect`/panic-macro sites in any
+//! reached function *outside* the panic crates (inside them, the
+//! per-crate rule already owns the site; double-reporting would double
+//! the baseline bookkeeping for the same fix).
+//!
+//! Indexing sites are deliberately excluded here — they are pervasive in
+//! the non-panic crates, and the per-crate rule is the ratchet for them.
+//! Findings baseline per (rule, file) like the panic rule, so the
+//! existing ratchet covers reachable-panic burn-down too.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::callgraph::{CallGraph, FileUnit, FnId};
+use crate::config::{Config, Rule};
+use crate::rules::panic_rule;
+use crate::rules::Finding;
+
+/// Check the workspace. `crate_of` maps a node's crate name, used to
+/// skip sites the per-crate panic rule already reports.
+pub fn check(files: &[FileUnit], graph: &CallGraph, cfg: &Config) -> Vec<Finding> {
+    // BFS from every root over non-test edges, keeping parent pointers
+    // for the shortest chain.
+    let mut parent: HashMap<FnId, Option<FnId>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut out = Vec::new();
+    for root in &cfg.reach_roots {
+        let ids = graph.resolve_name(root);
+        if ids.is_empty() {
+            // An unresolvable root silently shrinks the reachable set —
+            // surface it as a finding so a rename cannot blind the rule.
+            out.push(Finding {
+                rule: Rule::PanicReach,
+                file: "LINT.toml".to_string(),
+                line: 0,
+                function: "<config>".to_string(),
+                message: format!(
+                    "[reachability] roots entry `{root}` matches no function in \
+                     the workspace — fix the name or remove the entry"
+                ),
+            });
+            continue;
+        }
+        for id in ids {
+            if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(id) {
+                e.insert(None);
+                queue.push_back(id);
+            }
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for call in &graph.calls[id] {
+            let callee = call.callee;
+            if graph.nodes[callee].in_test || parent.contains_key(&callee) {
+                continue;
+            }
+            parent.insert(callee, Some(id));
+            queue.push_back(callee);
+        }
+    }
+
+    let chain = |mut id: FnId| -> String {
+        let mut names = vec![graph.nodes[id].qname()];
+        while let Some(Some(p)) = parent.get(&id) {
+            names.push(graph.nodes[*p].qname());
+            id = *p;
+        }
+        names.reverse();
+        names.join(" → ")
+    };
+
+    for (&id, _) in parent.iter() {
+        let node = &graph.nodes[id];
+        if cfg.panic_crates.iter().any(|c| c == &node.crate_name) {
+            continue; // the per-crate panic rule owns these sites
+        }
+        let unit = &files[node.file_idx];
+        let f = &unit.model.functions[node.fn_idx];
+        for site in panic_rule::sites(&unit.model, false) {
+            if site.token <= f.body_start || site.token >= f.body_end {
+                continue;
+            }
+            if unit.model.fn_of[site.token] != Some(node.fn_idx) {
+                continue;
+            }
+            out.push(Finding {
+                rule: Rule::PanicReach,
+                file: node.file.clone(),
+                line: site.line,
+                function: node.name.clone(),
+                message: format!(
+                    "{} — reachable from a dispatch root: {}",
+                    site.message,
+                    chain(id)
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::model;
+
+    fn run(units: &[(&str, &str, &str)], roots: &[&str], panic_crates: &[&str]) -> Vec<Finding> {
+        let cfg = Config {
+            reach_roots: roots.iter().map(|s| s.to_string()).collect(),
+            panic_crates: panic_crates.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        };
+        let files: Vec<FileUnit> = units
+            .iter()
+            .map(|(path, krate, src)| FileUnit {
+                path: path.to_string(),
+                crate_name: krate.to_string(),
+                model: model(lex(src)),
+            })
+            .collect();
+        let graph = CallGraph::build(&files);
+        check(&files, &graph, &cfg)
+    }
+
+    #[test]
+    fn reachable_unwrap_in_helper_crate_is_flagged_with_chain() {
+        let server = r#"
+            fn worker_loop() { dispatch(); }
+            fn dispatch() { lookup(); }
+        "#;
+        let core = r#"
+            pub fn lookup() -> u32 { compute().unwrap() }
+            fn compute() -> Option<u32> { Some(1) }
+        "#;
+        let got = run(
+            &[
+                ("crates/srv/src/server.rs", "srv", server),
+                ("crates/core/src/lib.rs", "core", core),
+            ],
+            &["worker_loop"],
+            &["srv"],
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, Rule::PanicReach);
+        assert!(
+            got[0].message.contains("worker_loop → dispatch → lookup"),
+            "{}",
+            got[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_unwrap_passes() {
+        let core = r#"
+            pub fn lookup() -> u32 { 1 }
+            pub fn offline_tool() -> u32 { maybe().unwrap() }
+            fn maybe() -> Option<u32> { Some(1) }
+        "#;
+        let server = "fn worker_loop() { lookup(); }";
+        let got = run(
+            &[
+                ("crates/srv/src/server.rs", "srv", server),
+                ("crates/core/src/lib.rs", "core", core),
+            ],
+            &["worker_loop"],
+            &["srv"],
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn panic_crate_sites_are_left_to_the_per_crate_rule() {
+        let server = r#"
+            fn worker_loop() { helper(); }
+            fn helper() { danger().unwrap(); }
+            fn danger() -> Option<u32> { None }
+        "#;
+        let got = run(
+            &[("crates/srv/src/server.rs", "srv", server)],
+            &["worker_loop"],
+            &["srv"],
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn test_only_chains_do_not_reach() {
+        let server = r#"
+            fn worker_loop() { serve(); }
+            fn serve() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { super::serve(); helper_for_tests(); }
+            }
+        "#;
+        let core = r#"
+            pub fn helper_for_tests() -> u32 { maybe().unwrap() }
+            fn maybe() -> Option<u32> { Some(1) }
+        "#;
+        let got = run(
+            &[
+                ("crates/srv/src/server.rs", "srv", server),
+                ("crates/core/src/lib.rs", "core", core),
+            ],
+            &["worker_loop"],
+            &["srv"],
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

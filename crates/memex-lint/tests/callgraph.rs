@@ -1,0 +1,187 @@
+//! Call-graph construction unit suite: method resolution through receiver
+//! aliases, qualified and free calls, the unique-name trait-method
+//! fallback (and its std-homonym refusal), and `#[cfg(test)]` exclusion.
+
+use memex_lint::callgraph::{CallGraph, FileUnit};
+use memex_lint::{lexer, parse};
+
+fn unit(path: &str, crate_name: &str, src: &str) -> FileUnit {
+    FileUnit {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        model: parse::model(lexer::lex(src)),
+    }
+}
+
+/// Qualified names of everything `caller` calls, in token order.
+fn callees_of(graph: &CallGraph, caller: &str) -> Vec<String> {
+    let ids = graph.resolve_name(caller);
+    assert_eq!(ids.len(), 1, "caller {caller} must be unique");
+    graph.calls[ids[0]]
+        .iter()
+        .map(|c| graph.nodes[c.callee].qname())
+        .collect()
+}
+
+#[test]
+fn let_binding_alias_resolves_method_to_impl() {
+    let src = r#"
+        struct Store { root: u64 }
+        impl Store {
+            fn new() -> Store { Store { root: 0 } }
+            fn seal(&self) {}
+        }
+        fn run() {
+            let s = Store::new();
+            s.seal();
+        }
+    "#;
+    let graph = CallGraph::build(&[unit("crates/a/src/lib.rs", "a", src)]);
+    assert_eq!(
+        callees_of(&graph, "run"),
+        vec!["Store::new", "Store::seal"],
+        "`let s = Store::new()` must type `s` for the later method call"
+    );
+}
+
+#[test]
+fn typed_param_and_field_aliases_resolve() {
+    let src = r#"
+        struct Wal { fd: u64 }
+        impl Wal {
+            fn sync_now(&self) {}
+        }
+        struct Store { wal: Wal }
+        impl Store {
+            fn seal(&self) {
+                self.wal.sync_now();
+            }
+        }
+        fn flush(w: &Wal) {
+            w.sync_now();
+        }
+    "#;
+    let graph = CallGraph::build(&[unit("crates/a/src/lib.rs", "a", src)]);
+    assert_eq!(
+        callees_of(&graph, "flush"),
+        vec!["Wal::sync_now"],
+        "typed parameters type the receiver"
+    );
+    assert_eq!(
+        callees_of(&graph, "seal"),
+        vec!["Wal::sync_now"],
+        "`self.field` resolves through the workspace struct map"
+    );
+}
+
+#[test]
+fn qualified_and_cross_crate_free_calls_resolve() {
+    let a = r#"
+        pub fn lookup() -> u32 { 1 }
+    "#;
+    let b = r#"
+        struct S;
+        impl S {
+            fn helper(&self) {}
+            fn run(&self) {
+                Self::helper(self);
+                lookup();
+            }
+        }
+    "#;
+    let graph = CallGraph::build(&[
+        unit("crates/a/src/lib.rs", "a", a),
+        unit("crates/b/src/lib.rs", "b", b),
+    ]);
+    assert_eq!(
+        callees_of(&graph, "run"),
+        vec!["S::helper", "lookup"],
+        "`Self::` resolves to the impl type; unique free fns resolve across crates"
+    );
+}
+
+#[test]
+fn unique_method_name_falls_back_without_receiver_type() {
+    // `conn` is never typed, but exactly one non-test `absorb_frame`
+    // exists in the workspace: the trait-method fallback wires it up.
+    let src = r#"
+        struct Conn;
+        impl Conn {
+            fn absorb_frame(&self) {}
+        }
+        fn serve() {
+            let conn = make_conn();
+            conn.absorb_frame();
+        }
+    "#;
+    let graph = CallGraph::build(&[unit("crates/a/src/lib.rs", "a", src)]);
+    assert_eq!(callees_of(&graph, "serve"), vec!["Conn::absorb_frame"]);
+}
+
+#[test]
+fn std_homonyms_are_refused_by_the_fallback() {
+    // A workspace type happens to define `push`; an untyped receiver's
+    // `.push()` must NOT be wired to it — that is almost always Vec.
+    let src = r#"
+        struct Stack;
+        impl Stack {
+            fn push(&mut self) {}
+        }
+        fn collect_all(items: u32) {
+            let mut v = Vec::new();
+            v.push(items);
+        }
+    "#;
+    let graph = CallGraph::build(&[unit("crates/a/src/lib.rs", "a", src)]);
+    assert!(
+        callees_of(&graph, "collect_all").is_empty(),
+        "`push` is a std homonym; the unique-name fallback must refuse it"
+    );
+}
+
+#[test]
+fn cfg_test_functions_are_marked_and_not_fallback_targets() {
+    let src = r#"
+        fn serve(x: &T) {
+            x.special_only_in_tests();
+        }
+
+        #[cfg(test)]
+        mod tests {
+            struct Fake;
+            impl Fake {
+                fn special_only_in_tests(&self) {}
+            }
+            #[test]
+            fn t() {
+                Fake.special_only_in_tests();
+            }
+        }
+    "#;
+    let graph = CallGraph::build(&[unit("crates/a/src/lib.rs", "a", src)]);
+    assert!(
+        callees_of(&graph, "serve").is_empty(),
+        "test-only definitions must not capture production call sites"
+    );
+    for node in &graph.nodes {
+        if node.name == "special_only_in_tests" || node.name == "t" {
+            assert!(node.in_test, "{} must be marked in_test", node.qname());
+        }
+    }
+}
+
+#[test]
+fn resolve_name_skips_test_twins() {
+    let src = r#"
+        fn target() {}
+
+        #[cfg(test)]
+        mod tests {
+            fn target() {}
+        }
+    "#;
+    let graph = CallGraph::build(&[unit("crates/a/src/lib.rs", "a", src)]);
+    let ids = graph.resolve_name("target");
+    assert_eq!(ids.len(), 1);
+    assert!(!graph.nodes[ids[0]].in_test);
+}

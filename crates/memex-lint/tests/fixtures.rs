@@ -199,6 +199,205 @@ fn codec_wildcard_fixture() {
 }
 
 // ---------------------------------------------------------------------------
+// Families 5-8 (interprocedural): each gets an on-disk mini-workspace with
+// one seeded violation (exactly one finding) and a clean twin (zero).
+// ---------------------------------------------------------------------------
+
+/// Shared base for the interprocedural fixtures: ranked locks + aliases,
+/// no other families enabled unless a test's config adds their section.
+const INTERPROC_BASE: &str = r#"
+[lint]
+panic_crates = ["srv"]
+
+[locks]
+order = ["lock.outer", "lock.inner"]
+
+[locks.aliases]
+"outer" = "lock.outer"
+"inner" = "lock.inner"
+"#;
+
+fn scan_tree(tree: &TempTree, config: &str) -> Vec<memex_lint::rules::Finding> {
+    let cfg = Config::parse(config).unwrap();
+    scan(&tree.0, &cfg).unwrap().findings
+}
+
+fn only_rule(findings: &[memex_lint::rules::Finding], rule: Rule) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn blocking_family_on_disk_fixture() {
+    let config = format!("{INTERPROC_BASE}\n[blocking]\nmethods = [\"flush\"]\n");
+
+    let seeded = TempTree::new("blocking-bad");
+    seeded.write(
+        "crates/srv/src/main.rs",
+        r#"
+            fn hold_and_flush(outer: M, sink: F) {
+                let g = outer.lock();
+                sink.flush();
+                drop(g);
+            }
+        "#,
+    );
+    let findings = scan_tree(&seeded, &config);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(only_rule(&findings, Rule::Blocking), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("flush"),
+        "{}",
+        findings[0].message
+    );
+
+    let clean = TempTree::new("blocking-good");
+    clean.write(
+        "crates/srv/src/main.rs",
+        r#"
+            fn scoped_then_flush(outer: M, sink: F) {
+                {
+                    let g = outer.lock();
+                    let _ = &g;
+                }
+                sink.flush();
+            }
+        "#,
+    );
+    let findings = scan_tree(&clean, &config);
+    assert!(findings.is_empty(), "flush after release: {findings:?}");
+}
+
+#[test]
+fn cross_function_lock_family_on_disk_fixture() {
+    let seeded = TempTree::new("crosslock-bad");
+    seeded.write(
+        "crates/srv/src/main.rs",
+        r#"
+            fn top(inner: M, outer: M) {
+                let gi = inner.lock();
+                grab_outer(outer);
+            }
+            fn grab_outer(outer: M) {
+                let go = outer.lock();
+            }
+        "#,
+    );
+    let findings = scan_tree(&seeded, INTERPROC_BASE);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(only_rule(&findings, Rule::CrossLocks), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("grab_outer"),
+        "finding must carry the call chain: {}",
+        findings[0].message
+    );
+
+    // Same shape, locks taken in the declared order: clean.
+    let clean = TempTree::new("crosslock-good");
+    clean.write(
+        "crates/srv/src/main.rs",
+        r#"
+            fn top(outer: M, inner: M) {
+                let go = outer.lock();
+                grab_inner(inner);
+            }
+            fn grab_inner(inner: M) {
+                let gi = inner.lock();
+            }
+        "#,
+    );
+    let findings = scan_tree(&clean, INTERPROC_BASE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn durability_family_on_disk_fixture() {
+    let config = format!(
+        "{INTERPROC_BASE}\n\
+         [durability]\n\
+         functions = [\"S::seal\"]\n\
+         sync_methods = [\"sync\"]\n\
+         truncate_methods = [\"set_len\"]\n\
+         wal_paths = [\"wal\"]\n"
+    );
+
+    let seeded = TempTree::new("durability-bad");
+    seeded.write(
+        "crates/store/src/wal.rs",
+        r#"
+            struct S { wal: W }
+            impl S {
+                fn seal(&self) {
+                    self.wal.set_len(0);
+                    self.wal.sync();
+                }
+            }
+        "#,
+    );
+    let findings = scan_tree(&seeded, &config);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(only_rule(&findings, Rule::Durability), 1, "{findings:?}");
+
+    let clean = TempTree::new("durability-good");
+    clean.write(
+        "crates/store/src/wal.rs",
+        r#"
+            struct S { wal: W }
+            impl S {
+                fn seal(&self) {
+                    self.wal.sync();
+                    self.wal.set_len(0);
+                }
+            }
+        "#,
+    );
+    let findings = scan_tree(&clean, &config);
+    assert!(
+        findings.is_empty(),
+        "sync-then-truncate is the law: {findings:?}"
+    );
+}
+
+#[test]
+fn panic_reach_family_on_disk_fixture() {
+    let config = format!("{INTERPROC_BASE}\n[reachability]\nroots = [\"accept_loop\"]\n");
+
+    let seeded = TempTree::new("reach-bad");
+    seeded.write("crates/srv/src/main.rs", "fn accept_loop() { lookup(); }");
+    seeded.write(
+        "crates/helper/src/lib.rs",
+        r#"
+            pub fn lookup() -> u32 { maybe().unwrap() }
+            fn maybe() -> Option<u32> { Some(1) }
+        "#,
+    );
+    let findings = scan_tree(&seeded, &config);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(only_rule(&findings, Rule::PanicReach), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("accept_loop → lookup"),
+        "{}",
+        findings[0].message
+    );
+
+    // The unwrap moves to a function no root reaches: clean.
+    let clean = TempTree::new("reach-good");
+    clean.write("crates/srv/src/main.rs", "fn accept_loop() { lookup(); }");
+    clean.write(
+        "crates/helper/src/lib.rs",
+        r#"
+            pub fn lookup() -> u32 { maybe().unwrap_or(0) }
+            pub fn offline_tool() -> u32 { maybe().unwrap() }
+            fn maybe() -> Option<u32> { Some(1) }
+        "#,
+    );
+    let findings = scan_tree(&clean, &config);
+    assert!(
+        findings.is_empty(),
+        "unreached panics are out of scope: {findings:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: on-disk mini-workspace + allowlist round-trip
 // ---------------------------------------------------------------------------
 

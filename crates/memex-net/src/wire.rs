@@ -414,15 +414,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(FrameKind, &[u8]), WireError> {
 
 /// [`decode_frame`] exposing the full envelope.
 pub fn decode_frame_meta(buf: &[u8]) -> Result<FrameView<'_>, WireError> {
-    let header = match *buf {
-        [a, b, c, d, e, f, g, h, ..] => [a, b, c, d, e, f, g, h],
-        _ => {
-            return Err(WireError::Truncated {
-                needed: HEADER_LEN,
-                available: buf.len(),
-            })
-        }
-    };
+    let header = arr8(buf)?;
     let (version, kind, len) = parse_header(&header)?;
     let mut ext_len = 0usize;
     let mut trace = None;

@@ -88,7 +88,9 @@ impl MetricsRegistry {
 
     /// Get or register the counter `name` (convention: `subsystem.verb`).
     /// Registering the same name twice returns a handle to the same slot;
-    /// a name already registered as a different kind panics.
+    /// a name already registered as a different kind returns a disabled
+    /// handle (observability must never take down serving) and notes the
+    /// mismatch in the `metrics` event ring.
     pub fn counter(&self, name: &str) -> Counter {
         if !self.inner.enabled {
             return Counter { core: None };
@@ -96,7 +98,8 @@ impl MetricsRegistry {
         if let Slot::Counter(c) = self.slot(name, || Slot::Counter(Arc::default())) {
             Counter { core: Some(c) }
         } else {
-            panic!("metric {name:?} already registered as a non-counter")
+            self.note_kind_mismatch(name, "counter");
+            Counter { core: None }
         }
     }
 
@@ -107,7 +110,8 @@ impl MetricsRegistry {
         if let Slot::Gauge(g) = self.slot(name, || Slot::Gauge(Arc::default())) {
             Gauge { core: Some(g) }
         } else {
-            panic!("metric {name:?} already registered as a non-gauge")
+            self.note_kind_mismatch(name, "gauge");
+            Gauge { core: None }
         }
     }
 
@@ -118,18 +122,29 @@ impl MetricsRegistry {
         if let Slot::Histogram(h) = self.slot(name, || Slot::Histogram(Arc::default())) {
             Histogram { core: Some(h) }
         } else {
-            panic!("metric {name:?} already registered as a non-histogram")
+            self.note_kind_mismatch(name, "histogram");
+            Histogram { core: None }
         }
+    }
+
+    /// Record a registration-kind mismatch where an operator will see it.
+    fn note_kind_mismatch(&self, name: &str, wanted: &str) {
+        self.event(
+            "metrics",
+            format!("metric {name:?} already registered as a non-{wanted}; handle disabled"),
+        );
     }
 
     fn slot(&self, name: &str, make: impl FnOnce() -> Slot) -> Slot {
         {
-            let slots = self.inner.slots.read().expect("slots lock");
+            // Recover from poison: a panicking thread elsewhere must not
+            // cascade into every metric touch.
+            let slots = self.inner.slots.read().unwrap_or_else(|e| e.into_inner());
             if let Some(s) = slots.get(name) {
                 return s.shallow_clone();
             }
         }
-        let mut slots = self.inner.slots.write().expect("slots lock");
+        let mut slots = self.inner.slots.write().unwrap_or_else(|e| e.into_inner());
         slots
             .entry(name.to_string())
             .or_insert_with(make)
@@ -157,7 +172,7 @@ impl MetricsRegistry {
             return;
         }
         let seq = self.inner.event_seq.fetch_add(1, Ordering::Relaxed);
-        let mut events = self.inner.events.lock().expect("events lock");
+        let mut events = self.inner.events.lock().unwrap_or_else(|e| e.into_inner());
         let ring = events.entry(subsystem.to_string()).or_default();
         if ring.len() >= EVENT_RING_CAPACITY {
             ring.remove(0);
@@ -172,7 +187,7 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
         {
-            let slots = self.inner.slots.read().expect("slots lock");
+            let slots = self.inner.slots.read().unwrap_or_else(|e| e.into_inner());
             for (name, slot) in slots.iter() {
                 match slot {
                     Slot::Counter(c) => {
@@ -190,7 +205,7 @@ impl MetricsRegistry {
             }
         }
         {
-            let events = self.inner.events.lock().expect("events lock");
+            let events = self.inner.events.lock().unwrap_or_else(|e| e.into_inner());
             for (subsystem, ring) in events.iter() {
                 snap.events.push((subsystem.clone(), ring.clone()));
             }
@@ -377,10 +392,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already registered")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_degrades_to_a_disabled_handle() {
         let reg = MetricsRegistry::new();
-        let _c = reg.counter("t.x");
-        let _g = reg.gauge("t.x");
+        let c = reg.counter("t.x");
+        c.inc();
+        // Wrong kind: no panic, a disabled handle, and an operator-visible
+        // event — the counter keeps its slot.
+        let g = reg.gauge("t.x");
+        g.set(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("t.x"), 1);
+        assert!(snap.gauges.iter().all(|(n, _)| n != "t.x"));
+        let (sub, ring) = &snap.events[0];
+        assert_eq!(sub, "metrics");
+        assert!(ring[0].message.contains("already registered"));
     }
 }

@@ -198,10 +198,11 @@ impl BTree {
                     return Ok(entries
                         .binary_search_by(|(k, _)| k.as_slice().cmp(key))
                         .ok()
-                        .map(|i| entries[i].1.clone()));
+                        .and_then(|i| entries.get(i))
+                        .map(|(_, v)| v.clone()));
                 }
                 Node::Internal { keys, children } => {
-                    page_id = children[child_index(&keys, key)];
+                    page_id = child_page(&keys, &children, key)?;
                 }
             }
         }
@@ -254,7 +255,7 @@ impl BTree {
         loop {
             match read_node(pager, self.root)? {
                 Node::Internal { children, .. } if children.len() == 1 => {
-                    let only = children[0];
+                    let Some(&only) = children.first() else { break };
                     pager.free(self.root);
                     self.root = only;
                     pager.set_root(only);
@@ -284,7 +285,7 @@ impl BTree {
         };
         let mut page_id = self.root;
         while let Node::Internal { keys, children } = read_node(pager, page_id)? {
-            page_id = children[child_index(&keys, start_key)];
+            page_id = child_page(&keys, &children, start_key)?;
         }
         let mut current = page_id;
         loop {
@@ -361,7 +362,8 @@ impl BTree {
             match read_node(pager, page)? {
                 Node::Leaf { entries, .. } => {
                     for w in entries.windows(2) {
-                        if w[0].0 >= w[1].0 {
+                        let [a, b] = w else { continue };
+                        if a.0 >= b.0 {
                             return Err(StoreError::Corrupt("leaf keys out of order".into()));
                         }
                     }
@@ -384,7 +386,8 @@ impl BTree {
                         return Err(StoreError::Corrupt("internal fan-out mismatch".into()));
                     }
                     for w in keys.windows(2) {
-                        if w[0] >= w[1] {
+                        let [a, b] = w else { continue };
+                        if a >= b {
                             return Err(StoreError::Corrupt("separators out of order".into()));
                         }
                     }
@@ -393,12 +396,12 @@ impl BTree {
                         let lo_i = if i == 0 {
                             lo
                         } else {
-                            Some(keys[i - 1].as_slice())
+                            keys.get(i - 1).map(|k| k.as_slice())
                         };
                         let hi_i = if i == keys.len() {
                             hi
                         } else {
-                            Some(keys[i].as_slice())
+                            keys.get(i).map(|k| k.as_slice())
                         };
                         let d = rec(pager, child, lo_i, hi_i)?;
                         match depth {
@@ -427,7 +430,9 @@ impl BTree {
         match node {
             Node::Leaf { mut entries, next } => {
                 let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
-                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, value.to_vec())),
+                    Ok(i) => entries
+                        .get_mut(i)
+                        .map(|e| std::mem::replace(&mut e.1, value.to_vec())),
                     Err(i) => {
                         entries.insert(i, (key.to_vec(), value.to_vec()));
                         None
@@ -439,14 +444,21 @@ impl BTree {
                     return Ok((old, None));
                 }
                 // Split the leaf near the byte-size midpoint.
-                let (entries, next) = match node {
+                let (mut entries, next) = match node {
                     Node::Leaf { entries, next } => (entries, next),
-                    _ => unreachable!(),
+                    Node::Internal { .. } => {
+                        return Err(StoreError::Corrupt("leaf changed kind during split".into()))
+                    }
                 };
                 let split_at = size_midpoint(entries.iter().map(|(k, v)| k.len() + v.len() + 10));
-                let right_entries = entries[split_at..].to_vec();
-                let left_entries = entries[..split_at].to_vec();
-                let sep_key = right_entries[0].0.clone();
+                let right_entries = entries.split_off(split_at.min(entries.len()));
+                let left_entries = entries;
+                let Some(first) = right_entries.first() else {
+                    return Err(StoreError::Corrupt(
+                        "leaf split produced an empty right".into(),
+                    ));
+                };
+                let sep_key = first.0.clone();
                 let right_page = pager.allocate()?;
                 write_node(
                     pager,
@@ -478,7 +490,8 @@ impl BTree {
                 mut children,
             } => {
                 let idx = child_index(&keys, key);
-                let (old, split) = self.insert_rec(pager, children[idx], key, value)?;
+                let child = child_page(&keys, &children, key)?;
+                let (old, split) = self.insert_rec(pager, child, key, value)?;
                 if let Some(split) = split {
                     keys.insert(idx, split.sep_key);
                     children.insert(idx + 1, split.right);
@@ -488,17 +501,26 @@ impl BTree {
                     write_node(pager, page, &node)?;
                     return Ok((old, None));
                 }
-                let (keys, children) = match node {
+                let (mut keys, mut children) = match node {
                     Node::Internal { keys, children } => (keys, children),
-                    _ => unreachable!(),
+                    Node::Leaf { .. } => {
+                        return Err(StoreError::Corrupt(
+                            "internal changed kind during split".into(),
+                        ))
+                    }
                 };
                 // Split: promote the median separator.
                 let mid = keys.len() / 2;
-                let sep_key = keys[mid].clone();
-                let right_keys = keys[mid + 1..].to_vec();
-                let left_keys = keys[..mid].to_vec();
-                let right_children = children[mid + 1..].to_vec();
-                let left_children = children[..=mid].to_vec();
+                let mut right_keys = keys.split_off(mid.min(keys.len()));
+                if right_keys.is_empty() {
+                    return Err(StoreError::Corrupt(
+                        "internal split with no separator".into(),
+                    ));
+                }
+                let sep_key = right_keys.remove(0);
+                let left_keys = keys;
+                let right_children = children.split_off((mid + 1).min(children.len()));
+                let left_children = children;
                 let right_page = pager.allocate()?;
                 write_node(
                     pager,
@@ -546,11 +568,20 @@ impl BTree {
                 }
             }
             Node::Internal { keys, children } => {
-                let idx = child_index(&keys, key);
-                self.delete_rec(pager, children[idx], key)
+                let child = child_page(&keys, &children, key)?;
+                self.delete_rec(pager, child, key)
             }
         }
     }
+}
+
+/// Child page that can contain `key`, as a typed error on corrupt fan-out
+/// (`children.len()` must be `keys.len() + 1`) instead of a panic.
+fn child_page(keys: &[Vec<u8>], children: &[PageId], key: &[u8]) -> StoreResult<PageId> {
+    children
+        .get(child_index(keys, key))
+        .copied()
+        .ok_or_else(|| StoreError::Corrupt("internal node fan-out too small for key".into()))
 }
 
 /// Index of the child subtree that can contain `key`.

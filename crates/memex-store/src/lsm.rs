@@ -730,24 +730,36 @@ fn compactor_loop(shared: &Arc<LsmShared>, min_runs: usize) {
 
 /// Merge the whole run set into one run. The merge itself happens on
 /// `Arc` clones with no lock held (readers and the writer proceed);
-/// the manifest mutex only serializes the run-set *transition*, and the
-/// state write lock is held just long enough to swap the list. Snapshots
-/// holding the old runs keep them alive; their files are deleted once
-/// the manifest stops referencing them (failed deletions become orphans
-/// for the next open).
+/// the manifest mutex is taken twice, briefly: once to snapshot the
+/// victim set and reserve a run id, and once to commit the transition
+/// (the state write lock is held just long enough to swap the list).
+/// If the epoch moved between the two — a seal or another compaction
+/// landed — the merged output is stale: the orphan file is removed and
+/// the caller retries against the new run set. Snapshots holding the
+/// old runs keep them alive; their files are deleted once the manifest
+/// stops referencing them (failed deletions become orphans for the next
+/// open).
 fn compact_once(shared: &Arc<LsmShared>, min_runs: usize) -> StoreResult<bool> {
     let _trace = memex_obs::trace::span("store.lsm.compact");
     let started = Instant::now();
-    let mut manifest = shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
-    let (victims, old_epoch) = {
+    let (victims, old_epoch, id) = {
+        let mut manifest = shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
         let state = shared.state.read().unwrap_or_else(|e| e.into_inner());
         if state.runs.len() < min_runs.max(2) {
             return Ok(false);
         }
-        (state.runs.clone(), state.epoch)
+        // Reserve the run id in memory only: a concurrent seal allocates
+        // past it, and the commit append persists the high-water mark.
+        // A reservation abandoned by abort or crash is never densely
+        // required — the orphan scan owns unreferenced files.
+        let id = manifest.next_run_id;
+        manifest.next_run_id = id + 1;
+        (state.runs.clone(), state.epoch, id)
     };
     // Oldest first so newer entries overwrite; drop tombstones — there
-    // is nothing older below a full merge for them to shadow.
+    // is nothing older below a full merge for them to shadow. No lock is
+    // held for the merge or the run write: this is the bulk of the work,
+    // and sealers must not stall behind it.
     let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
     for run in victims.iter().rev() {
         for (k, v) in &run.entries {
@@ -757,7 +769,6 @@ fn compact_once(shared: &Arc<LsmShared>, min_runs: usize) -> StoreResult<bool> {
     let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
         merged.into_iter().filter(|(_, v)| v.is_some()).collect();
     let input_bytes: u64 = victims.iter().map(|r| r.bytes).sum();
-    let id = manifest.next_run_id;
     let name = Run::file_name(id);
     let run = {
         let mut storage = shared.dir.open(&name)?;
@@ -769,12 +780,30 @@ fn compact_once(shared: &Arc<LsmShared>, min_runs: usize) -> StoreResult<bool> {
             }
         }
     };
+    let mut manifest = shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
+    {
+        let state = shared.state.read().unwrap_or_else(|e| e.into_inner());
+        if state.epoch != old_epoch {
+            // The run set changed under us (seal or concurrent compact):
+            // the merge no longer covers every live run, and installing
+            // it would drop the newcomers. Abandon this output and ask
+            // the caller to retry against the new set. Never reached
+            // single-threaded (compact_now in crash tests).
+            drop(state);
+            drop(manifest);
+            let _ = shared.dir.remove(&name);
+            return Ok(true);
+        }
+    }
     let epoch = old_epoch + 1;
     // On failure, keep the merged run file — same reasoning as in `seal`:
     // the staged manifest record may still land at a crash. Either the
     // record lands (run live, victims become orphans) or it does not
-    // (this file becomes the orphan) — recovery reconciles both.
-    manifest.append(epoch, id + 1, &[id])?;
+    // (this file becomes the orphan) — recovery reconciles both. The
+    // persisted next_run_id must cover ids a concurrent seal may have
+    // taken after our reservation.
+    let next_id = manifest.next_run_id.max(id + 1);
+    manifest.append(epoch, next_id, &[id])?;
     {
         let mut state = shared.state.write().unwrap_or_else(|e| e.into_inner());
         state.runs = vec![Arc::new(run)];

@@ -114,7 +114,7 @@ impl<T> VersionedLog<T> {
     /// the producer watermark, retained batch count, and one staleness
     /// gauge per consumer.
     pub fn attach_registry(&self, registry: &MetricsRegistry) {
-        let mut s = self.state.write().unwrap();
+        let mut s = self.state.write().unwrap_or_else(|e| e.into_inner());
         s.metrics = LogMetrics {
             registry: Some(registry.clone()),
             published: registry.gauge("store.version.published"),
@@ -124,7 +124,7 @@ impl<T> VersionedLog<T> {
         };
         let names: Vec<String> = s.consumers.keys().cloned().collect();
         for name in names {
-            let applied = s.consumers[&name];
+            let applied = s.consumers.get(&name).copied().unwrap_or(0);
             let published = s.published;
             let gauge = s.metrics.consumer_gauge(&name);
             gauge.set(published.saturating_sub(applied) as i64);
@@ -133,7 +133,7 @@ impl<T> VersionedLog<T> {
 
     /// Producer: stage a batch; returns its epoch. Not yet visible.
     pub fn append(&self, batch: Vec<T>) -> Epoch {
-        let mut s = self.state.write().unwrap();
+        let mut s = self.state.write().unwrap_or_else(|e| e.into_inner());
         s.appended += 1;
         let epoch = s.appended;
         s.batches.push((epoch, Arc::new(batch)));
@@ -144,7 +144,7 @@ impl<T> VersionedLog<T> {
     /// Producer: make everything appended so far visible. Returns the new
     /// watermark.
     pub fn publish(&self) -> Epoch {
-        let mut s = self.state.write().unwrap();
+        let mut s = self.state.write().unwrap_or_else(|e| e.into_inner());
         s.published = s.appended;
         let published = s.published;
         s.metrics.published.set(published as i64);
@@ -160,15 +160,18 @@ impl<T> VersionedLog<T> {
 
     /// Current visible watermark.
     pub fn published(&self) -> Epoch {
-        self.state.read().unwrap().published
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .published
     }
 
     /// Register a consumer starting from epoch 0 (sees all history that is
     /// still retained).
     pub fn register(&self, name: &str) -> Consumer<T> {
-        let mut s = self.state.write().unwrap();
+        let mut s = self.state.write().unwrap_or_else(|e| e.into_inner());
         s.consumers.entry(name.to_string()).or_insert(0);
-        let applied = s.consumers[name];
+        let applied = s.consumers.get(name).copied().unwrap_or(0);
         let published = s.published;
         let gauge = s.metrics.consumer_gauge(name);
         gauge.set(published.saturating_sub(applied) as i64);
@@ -181,7 +184,7 @@ impl<T> VersionedLog<T> {
 
     /// Staleness of every registered consumer.
     pub fn staleness(&self) -> Vec<StalenessReport> {
-        let s = self.state.read().unwrap();
+        let s = self.state.read().unwrap_or_else(|e| e.into_inner());
         let mut out: Vec<StalenessReport> = s
             .consumers
             .iter()
@@ -200,7 +203,7 @@ impl<T> VersionedLog<T> {
     /// Drop batches already applied by every consumer. Returns how many
     /// batches were discarded.
     pub fn trim(&self) -> usize {
-        let mut s = self.state.write().unwrap();
+        let mut s = self.state.write().unwrap_or_else(|e| e.into_inner());
         let min_applied = s.consumers.values().copied().min().unwrap_or(0);
         let before = s.batches.len();
         s.batches.retain(|(e, _)| *e > min_applied);
@@ -210,7 +213,11 @@ impl<T> VersionedLog<T> {
 
     /// Number of retained batches (diagnostic).
     pub fn retained(&self) -> usize {
-        self.state.read().unwrap().batches.len()
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .batches
+            .len()
     }
 }
 
@@ -239,7 +246,7 @@ impl<T> Consumer<T> {
     /// [`VersionedLog::staleness`] and the `store.version.skipped`
     /// counter — instead of being silently folded into `applied`.
     pub fn poll_up_to(&self, max_batches: usize) -> Vec<(Epoch, Arc<Vec<T>>)> {
-        let mut s = self.log.state.write().unwrap();
+        let mut s = self.log.state.write().unwrap_or_else(|e| e.into_inner());
         let applied = *s.consumers.get(&self.name).unwrap_or(&0);
         let published = s.published;
         if applied >= published || max_batches == 0 {
@@ -282,7 +289,7 @@ impl<T> Consumer<T> {
             .log
             .state
             .read()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .consumers
             .get(&self.name)
             .unwrap_or(&0)
@@ -290,7 +297,7 @@ impl<T> Consumer<T> {
 
     /// How far behind the producer this consumer currently is.
     pub fn staleness(&self) -> u64 {
-        let s = self.log.state.read().unwrap();
+        let s = self.log.state.read().unwrap_or_else(|e| e.into_inner());
         s.published
             .saturating_sub(*s.consumers.get(&self.name).unwrap_or(&0))
     }
@@ -298,7 +305,7 @@ impl<T> Consumer<T> {
     /// Epochs this consumer could never apply because trim discarded them
     /// first (register-after-trim). Zero in steady state.
     pub fn skipped(&self) -> u64 {
-        let s = self.log.state.read().unwrap();
+        let s = self.log.state.read().unwrap_or_else(|e| e.into_inner());
         s.skipped.get(&self.name).copied().unwrap_or(0)
     }
 

@@ -433,12 +433,18 @@ impl FaultControl {
     }
 
     /// Mirror injection counts into `registry` (`fault.injected.*`).
+    /// Counter registration takes the registry's slot lock, so it happens
+    /// before the script lock — never nested inside it.
     pub fn attach_registry(&self, registry: &MetricsRegistry) {
+        let c_read = registry.counter("fault.injected.read_errors");
+        let c_write = registry.counter("fault.injected.write_errors");
+        let c_short = registry.counter("fault.injected.short_writes");
+        let c_sync = registry.counter("fault.injected.sync_errors");
         let mut s = self.script.lock().unwrap();
-        s.c_read = registry.counter("fault.injected.read_errors");
-        s.c_write = registry.counter("fault.injected.write_errors");
-        s.c_short = registry.counter("fault.injected.short_writes");
-        s.c_sync = registry.counter("fault.injected.sync_errors");
+        s.c_read = c_read;
+        s.c_write = c_write;
+        s.c_short = c_short;
+        s.c_sync = c_sync;
     }
 }
 

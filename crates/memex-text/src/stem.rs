@@ -20,7 +20,10 @@ pub fn stem(word: &str) -> String {
     step4(&mut w);
     step5a(&mut w);
     step5b(&mut w);
-    String::from_utf8(w).expect("ascii transformations preserve utf-8")
+    // The transformations are ASCII-only so the bytes stay valid UTF-8;
+    // degrade lossily rather than panic on the serving path if that
+    // invariant is ever broken.
+    String::from_utf8(w).unwrap_or_else(|e| String::from_utf8_lossy(&e.into_bytes()).into_owned())
 }
 
 /// Is `w[i]` a consonant (in the Porter sense)?

@@ -92,8 +92,11 @@ pub fn strip_html(input: &str) -> String {
                 }
             }
         } else {
-            // Copy one full character.
-            let ch = input[i..].chars().next().expect("i is on a char boundary");
+            // Copy one full character. `i` is always on a char boundary,
+            // so `None` means the end of input.
+            let Some(ch) = input[i..].chars().next() else {
+                break;
+            };
             out.push(ch);
             i += ch.len_utf8();
         }
