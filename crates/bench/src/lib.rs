@@ -13,6 +13,7 @@ pub mod f2_trail;
 pub mod f3_pipeline;
 pub mod f4_themes;
 pub mod n1_net;
+pub mod n2_lsm;
 pub mod t1_classify;
 pub mod t2_search;
 pub mod t3_cluster;
@@ -101,6 +102,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "N1",
             "memex-net: concurrent TCP serving with admission control",
             n1_net::run,
+        ),
+        (
+            "N2",
+            "LSM tiered compaction: read flatness + write amplification",
+            n2_lsm::run,
         ),
     ]
 }

@@ -337,17 +337,18 @@ fn scenario_sharded(
 }
 
 /// One `ingest-while-scan/{engine}` row: sustained write throughput with
-/// a concurrent long snapshot scan, per storage engine.
-struct IngestScanStats {
-    engine: &'static str,
-    write_clients: usize,
-    writes_ok: u64,
-    write_reqs_per_sec: f64,
-    scans_ok: u64,
-    scan_latency_us: Option<(f64, f64, f64)>,
-    wall_ms: f64,
-    lsm_seals: u64,
-    lsm_compactions: u64,
+/// a concurrent long snapshot scan, per storage engine. Shared with the
+/// N2 bench, which reruns the scenario at 10x the ingest volume.
+pub(crate) struct IngestScanStats {
+    pub(crate) engine: &'static str,
+    pub(crate) write_clients: usize,
+    pub(crate) writes_ok: u64,
+    pub(crate) write_reqs_per_sec: f64,
+    pub(crate) scans_ok: u64,
+    pub(crate) scan_latency_us: Option<(f64, f64, f64)>,
+    pub(crate) wall_ms: f64,
+    pub(crate) lsm_seals: u64,
+    pub(crate) lsm_compactions: u64,
 }
 
 /// PR 8 scenario: writers ingest fresh visits while one reader loops
@@ -358,7 +359,7 @@ struct IngestScanStats {
 /// snapshot claim rests on: scans must not stall while the memtable
 /// seals and the compactor churns underneath them.
 #[allow(clippy::too_many_arguments)]
-fn ingest_while_scan(
+pub(crate) fn ingest_while_scan(
     table: &mut Table,
     rows: &mut Vec<IngestScanStats>,
     engine: memex_store::EngineKind,

@@ -15,7 +15,6 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use memex_obs::{Counter, Histogram, MetricsRegistry};
 use memex_store::codec::{get_uvarint, put_uvarint};
@@ -72,19 +71,17 @@ pub(crate) struct IndexMetrics {
 /// A segmented inverted index over term ids.
 ///
 /// Queries ([`InvertedIndex::postings`], [`InvertedIndex::positions`],
-/// [`InvertedIndex::df`]) take `&self`: the storage engine sits behind a
-/// `Mutex` because its reads are `&mut` (pager cache / LSM metrics),
-/// while the in-memory buffers and stats are read lock-free. Mutating
-/// methods keep `&mut self` and reach the store through `Mutex::get_mut`,
-/// which is not a lock acquisition — the write path is exactly as before.
+/// [`InvertedIndex::df`]) take `&self` and reach the storage engine
+/// through the [`Engine`] trait's own `&self` reads — no index-level
+/// lock. (The B+Tree engine still serializes its page reads internally;
+/// the LSM engine serves them from shared state.)
 ///
 /// For reads that must not contend with ingest at all, take a
 /// [`read_snapshot`](InvertedIndex::read_snapshot): it pins the engine's
 /// point-in-time view (cheap epoch pin on the LSM engine) plus the
-/// in-memory buffer, and every query on it runs without touching the
-/// store lock again.
+/// in-memory buffer, and every query on it reads the pinned state only.
 pub struct InvertedIndex {
-    kv: Mutex<Box<dyn Engine>>,
+    kv: Box<dyn Engine>,
     opts: IndexOptions,
     /// term -> buffered postings (sorted by insertion; docs increase).
     buffer: HashMap<TermId, Vec<(u32, u32)>>,
@@ -112,7 +109,7 @@ impl InvertedIndex {
         Self::build(engine::open_dir(opts.engine, dir.as_ref(), "index")?, opts)
     }
 
-    fn build(mut kv: Box<dyn Engine>, opts: IndexOptions) -> StoreResult<InvertedIndex> {
+    fn build(kv: Box<dyn Engine>, opts: IndexOptions) -> StoreResult<InvertedIndex> {
         // Restore doc lengths and segment counter.
         let mut doc_len = HashMap::new();
         let mut total_tokens = 0u64;
@@ -131,7 +128,7 @@ impl InvertedIndex {
         };
         let num_docs = doc_len.len() as u64;
         Ok(InvertedIndex {
-            kv: Mutex::new(kv),
+            kv,
             opts,
             buffer: HashMap::new(),
             pos_buffer: HashMap::new(),
@@ -149,22 +146,26 @@ impl InvertedIndex {
         })
     }
 
-    /// Shared read access to the storage engine. Lock poisoning cannot
-    /// corrupt the store (a reader panicking mid-scan leaves it intact),
-    /// so a poisoned guard is recovered rather than propagated.
-    fn kv(&self) -> MutexGuard<'_, Box<dyn Engine>> {
-        self.kv.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Shared read access to the storage engine.
+    fn kv(&self) -> &dyn Engine {
+        self.kv.as_ref()
     }
 
-    /// Exclusive access for the write path — `get_mut` borrows through
-    /// `&mut self` without acquiring the lock.
-    fn kv_mut(&mut self) -> &mut Box<dyn Engine> {
-        self.kv.get_mut().unwrap_or_else(PoisonError::into_inner)
+    /// Exclusive access for the write path.
+    fn kv_mut(&mut self) -> &mut dyn Engine {
+        self.kv.as_mut()
     }
 
     /// Which engine backs this index.
     pub fn engine_kind(&self) -> EngineKind {
         self.opts.engine
+    }
+
+    /// The engine epoch a snapshot taken right now would pin. Comparing
+    /// this against a held [`IndexSnapshot::epoch`] measures how stale
+    /// that snapshot has become (state transitions, not wall time).
+    pub fn engine_epoch(&self) -> u64 {
+        self.kv.epoch()
     }
 
     /// Register this index and its backing store with `registry`

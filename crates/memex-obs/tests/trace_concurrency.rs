@@ -74,9 +74,13 @@ fn concurrent_completion_and_collection_yield_only_complete_trees() {
         w.join().expect("writer thread");
     }
     stop.store(true, Ordering::Relaxed);
-    for r in readers {
-        assert!(r.join().expect("reader thread") > 0, "readers saw nothing");
-    }
+    // The readers race each other for the same ring: one of them seeing
+    // nothing is a legal schedule, both seeing nothing is a bug.
+    let seen: usize = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader thread"))
+        .sum();
+    assert!(seen > 0, "readers saw nothing");
 
     // Every completion was counted; the bounded ring holds the newest
     // (distinct, complete) traces up to capacity.

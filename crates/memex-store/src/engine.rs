@@ -14,10 +14,19 @@
 //! continues. The LSM engine pins a run-set epoch for free; the B+Tree
 //! engine materializes a copy — correct, but O(n), which is exactly the
 //! asymmetry the `ingest-while-scan` bench rows measure.
+//!
+//! Reads (`get`, scans, `snapshot`) take `&self`: neither engine needs
+//! exclusive access to serve a read, and forcing `&mut` on the trait was
+//! forcing exclusive access onto callers that only read (the inverted
+//! index serialized every query behind a store-wide mutex because of
+//! it). Writes, durability barriers and wiring stay `&mut` — stores are
+//! still writer-owned.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use memex_obs::MetricsRegistry;
 
@@ -66,7 +75,7 @@ impl EngineKind {
 /// A pinned point-in-time read view. All methods are infallible: the
 /// view owns (or pins via `Arc`) everything it reads, so no I/O and no
 /// lock is involved after creation.
-pub trait SnapshotView: Send {
+pub trait SnapshotView: Send + Sync {
     /// The engine epoch this view pinned (monotonic per store).
     fn epoch(&self) -> u64;
 
@@ -106,7 +115,7 @@ pub trait SnapshotView: Send {
 }
 
 /// The engine-neutral keyed-store interface.
-pub trait Engine: Send {
+pub trait Engine: Send + Sync {
     /// Which engine this is (for logs, stats wiring and bench rows).
     fn kind(&self) -> EngineKind;
 
@@ -117,21 +126,17 @@ pub trait Engine: Send {
     fn delete(&mut self, key: &[u8]) -> StoreResult<()>;
 
     /// Point lookup.
-    fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>>;
+    fn get(&self, key: &[u8]) -> StoreResult<Option<Vec<u8>>>;
 
     /// Collect a bounded range.
-    fn scan(
-        &mut self,
-        start: Bound<&[u8]>,
-        end: Bound<&[u8]>,
-    ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>>;
+    fn scan(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>>;
 
     /// Collect every `(key, value)` whose key starts with `prefix`.
-    fn scan_prefix(&mut self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>>;
+    fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>>;
 
     /// Range iteration; `f` returning `false` stops early.
     fn for_each_range(
-        &mut self,
+        &self,
         start: Bound<&[u8]>,
         end: Bound<&[u8]>,
         f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
@@ -145,7 +150,12 @@ pub trait Engine: Send {
     fn checkpoint(&mut self) -> StoreResult<()>;
 
     /// Open a pinned point-in-time view (see [`SnapshotView`]).
-    fn snapshot(&mut self) -> StoreResult<Box<dyn SnapshotView>>;
+    fn snapshot(&self) -> StoreResult<Box<dyn SnapshotView>>;
+
+    /// The epoch a snapshot taken right now would pin (monotonic; bumps
+    /// on state transitions). Comparing a held snapshot's
+    /// [`SnapshotView::epoch`] against this measures its staleness.
+    fn epoch(&self) -> u64;
 
     /// Register the engine's instruments with `registry`.
     fn attach_registry(&mut self, registry: &MetricsRegistry);
@@ -177,26 +187,36 @@ pub fn open_dir(kind: EngineKind, dir: &Path, name: &str) -> StoreResult<Box<dyn
     }
 }
 
-/// [`KvStore`] behind the [`Engine`] interface. Snapshots materialize a
-/// full copy of the tree (the B+Tree mutates pages in place, so there is
-/// nothing immutable to pin) — correct MVCC semantics at O(n) cost.
+/// [`KvStore`] behind the [`Engine`] interface. The B+Tree mutates pages
+/// in place and its inherent reads take `&mut` (page-cache bookkeeping),
+/// so the store sits behind a mutex to serve the trait's `&self` reads —
+/// the same exclusion the old `&mut` trait forced on every caller, now
+/// an implementation detail of the one engine that needs it. Snapshots
+/// materialize a full copy of the tree (there is nothing immutable to
+/// pin) — correct MVCC semantics at O(n) cost.
 pub struct BTreeEngine {
-    kv: KvStore,
-    snapshots_taken: u64,
+    kv: Mutex<KvStore>,
+    /// Bumped on every write; what [`Engine::epoch`] and snapshot epochs
+    /// report. (The B+Tree has no run-set epoch of its own.)
+    version: AtomicU64,
 }
 
 impl BTreeEngine {
     pub fn new(kv: KvStore) -> BTreeEngine {
         BTreeEngine {
-            kv,
-            snapshots_taken: 0,
+            kv: Mutex::new(kv),
+            version: AtomicU64::new(0),
         }
     }
 
     /// The underlying store (escape hatch for harnesses that need
     /// `wal_mut` or `stats`).
     pub fn kv(&mut self) -> &mut KvStore {
-        &mut self.kv
+        self.kv.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn kv_locked(&self) -> std::sync::MutexGuard<'_, KvStore> {
+        self.kv.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -206,68 +226,85 @@ impl Engine for BTreeEngine {
     }
 
     fn put(&mut self, key: &[u8], value: &[u8]) -> StoreResult<()> {
-        self.kv.put(key, value)?;
+        self.kv
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .put(key, value)?;
+        self.version.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn delete(&mut self, key: &[u8]) -> StoreResult<()> {
-        self.kv.delete(key)?;
+        self.kv
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .delete(key)?;
+        self.version.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
-        self.kv.get(key)
+    fn get(&self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+        self.kv_locked().get(key)
     }
 
-    fn scan(
-        &mut self,
-        start: Bound<&[u8]>,
-        end: Bound<&[u8]>,
-    ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.kv.scan(start, end)
+    fn scan(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.kv_locked().scan(start, end)
     }
 
-    fn scan_prefix(&mut self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.kv.scan_prefix(prefix)
+    fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.kv_locked().scan_prefix(prefix)
     }
 
     fn for_each_range(
-        &mut self,
+        &self,
         start: Bound<&[u8]>,
         end: Bound<&[u8]>,
         f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
     ) -> StoreResult<()> {
-        self.kv.for_each_range(start, end, |k, v| f(k, v))
+        self.kv_locked().for_each_range(start, end, |k, v| f(k, v))
     }
 
     fn sync(&mut self) -> StoreResult<()> {
-        self.kv.wal_mut().sync()
+        self.kv
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .wal_mut()
+            .sync()
     }
 
     fn checkpoint(&mut self) -> StoreResult<()> {
-        self.kv.checkpoint()
+        self.kv
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .checkpoint()
     }
 
-    fn snapshot(&mut self) -> StoreResult<Box<dyn SnapshotView>> {
+    fn snapshot(&self) -> StoreResult<Box<dyn SnapshotView>> {
         let mut entries = BTreeMap::new();
-        self.kv
+        self.kv_locked()
             .for_each_range(Bound::Unbounded, Bound::Unbounded, |k, v| {
                 entries.insert(k.to_vec(), v.to_vec());
                 true
             })?;
-        self.snapshots_taken += 1;
         Ok(Box::new(MaterializedSnapshot {
-            epoch: self.snapshots_taken,
+            epoch: self.version.load(Ordering::Relaxed),
             entries,
         }))
     }
 
+    fn epoch(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
     fn attach_registry(&mut self, registry: &MetricsRegistry) {
-        self.kv.attach_registry(registry);
+        self.kv
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .attach_registry(registry);
     }
 
     fn check(&mut self) -> StoreResult<()> {
-        self.kv.check()
+        self.kv.get_mut().unwrap_or_else(|e| e.into_inner()).check()
     }
 }
 
@@ -342,6 +379,10 @@ mod tests {
             engine.scan_prefix(b"b").unwrap(),
             vec![(b"b".to_vec(), b"changed".to_vec())]
         );
+        assert!(
+            engine.epoch() >= snap.epoch(),
+            "live epoch is never behind a held snapshot"
+        );
         engine.check().unwrap();
     }
 
@@ -352,5 +393,16 @@ mod tests {
             assert_eq!(engine.kind(), kind);
             exercise(engine);
         }
+    }
+
+    #[test]
+    fn reads_through_shared_references_work() {
+        let mut engine = open_memory(EngineKind::Lsm).unwrap();
+        engine.put(b"k", b"v").unwrap();
+        let shared: &dyn Engine = engine.as_ref();
+        assert_eq!(shared.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(shared.scan_prefix(b"k").unwrap().len(), 1);
+        let snap = shared.snapshot().unwrap();
+        assert_eq!(snap.get(b"k"), Some(b"v".to_vec()));
     }
 }

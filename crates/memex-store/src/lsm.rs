@@ -13,9 +13,20 @@
 //!   checkpoint) it is written as one immutable sorted [`Run`] file on a
 //!   [`StorageDir`], the [`Manifest`] records the new run set, and the
 //!   WAL is truncated.
-//! * **Compaction**: a background demon merges the run set into one run
-//!   off-lock and swaps the new set in with a brief write-lock — readers
-//!   and the writer never wait for the merge itself.
+//! * **Tiered compaction**: runs carry a **level** (0 = freshly sealed).
+//!   The background demon merges one tier — a maximal contiguous span of
+//!   same-level runs — when it reaches `compact_min_runs`, producing one
+//!   run a level deeper. Each record is therefore rewritten O(levels)
+//!   times instead of O(total-data/seal) times, which is the whole point:
+//!   the archive only grows, and full merges grow with it. Tombstones are
+//!   dropped only when the merge reaches the **bottom** of the stack —
+//!   anywhere else a dropped tombstone would resurrect a deleted key
+//!   still shadowed in an older run.
+//! * **Bloom + sparse index**: every run carries a bloom filter and a
+//!   sparse block index (run format v2), so a point lookup consults only
+//!   runs whose bloom admits the key and decodes one small block there —
+//!   `get()` stays flat as runs accumulate. `store.lsm.bloom.{hit,skip,fp}`
+//!   classify every probe.
 //! * **MVCC snapshots**: [`LsmSnapshot`] clones the (bounded) memtable
 //!   and grabs `Arc`s on the immutable runs under one brief read lock;
 //!   every read after that touches no lock at all, so a mining demon can
@@ -31,22 +42,29 @@
 //! `wal.sync` is what makes it idempotent — without it a durable *prefix*
 //! of the WAL could replay stale values over a newer run). Run files a
 //! crash leaves un-referenced are deleted by the orphan scan at open and
-//! counted in `store.recovery.orphan_runs`.
+//! counted in `store.recovery.orphan_runs`. Tier compaction follows the
+//! same shape: write+sync merged run → manifest append+sync → swap; a
+//! crash between the two leaves either the old state (new file is an
+//! orphan) or the new one (victims are orphans).
 //!
 //! Lock order (declared in LINT.toml): `store.lsm.wake` →
 //! `store.lsm.manifest` → `store.lsm.state` → `store.lsm.metrics`. The
 //! manifest mutex also serializes run-set transitions (seal vs. compact),
 //! so the run list read under it cannot change until it is released.
+//! Reads (`get`/scans/`snapshot`) take `&self`: their shared counters are
+//! atomics and the metrics handles sit behind an `RwLock` only so
+//! `attach_registry` can swap them.
 
 mod manifest;
 mod run;
 
-pub use run::Run;
+pub use run::{Probe, Run};
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::iter::Peekable;
 use std::ops::Bound;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -68,7 +86,7 @@ const WAL_FILE: &str = "wal";
 pub struct LsmOptions {
     /// Seal the memtable into a run once its tracked bytes exceed this.
     pub memtable_bytes: u64,
-    /// Compact once the live run count reaches this.
+    /// Compact a tier once its run count reaches this.
     pub compact_min_runs: usize,
     /// Run the compaction demon on a background thread. Tests that need
     /// deterministic schedules turn this off and call
@@ -118,6 +136,17 @@ pub struct LsmStats {
     pub recovered_orphan_runs: u64,
 }
 
+/// Live operation counters. Reads go through `&self`, so these are
+/// atomics; [`LsmStore::stats`] assembles the `Copy` [`LsmStats`] view.
+#[derive(Default)]
+struct StatCells {
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    gets: AtomicU64,
+    seals: AtomicU64,
+    seal_errors: AtomicU64,
+}
+
 /// Obs handles (inert until [`LsmStore::attach_registry`]).
 struct LsmMetrics {
     puts: Counter,
@@ -128,11 +157,15 @@ struct LsmMetrics {
     seal_errors: Counter,
     seal_latency: Histogram,
     runs: Gauge,
+    levels: Gauge,
     compactions: Counter,
     compact_bytes: Counter,
     compact_latency: Histogram,
     compact_errors: Counter,
     read_amp: Histogram,
+    bloom_hit: Counter,
+    bloom_skip: Counter,
+    bloom_fp: Counter,
     snapshots: Counter,
 }
 
@@ -147,11 +180,15 @@ impl LsmMetrics {
             seal_errors: registry.counter("store.lsm.seal.errors"),
             seal_latency: registry.histogram("store.lsm.seal.latency"),
             runs: registry.gauge("store.lsm.runs"),
+            levels: registry.gauge("store.lsm.levels"),
             compactions: registry.counter("store.lsm.compactions"),
             compact_bytes: registry.counter("store.lsm.compact.bytes"),
             compact_latency: registry.histogram("store.lsm.compact.latency"),
             compact_errors: registry.counter("store.lsm.compact.errors"),
             read_amp: registry.histogram("store.lsm.read.amplification"),
+            bloom_hit: registry.counter("store.lsm.bloom.hit"),
+            bloom_skip: registry.counter("store.lsm.bloom.skip"),
+            bloom_fp: registry.counter("store.lsm.bloom.fp"),
             snapshots: registry.counter("store.lsm.snapshots"),
         }
     }
@@ -163,6 +200,14 @@ impl Default for LsmMetrics {
     }
 }
 
+/// One live run plus its tier level. Level 0 is freshly sealed; a tier
+/// merge outputs one level deeper than its inputs.
+#[derive(Clone)]
+struct LeveledRun {
+    run: Arc<Run>,
+    level: u32,
+}
+
 /// Mutable engine state behind the RwLock: what a point-in-time view is
 /// made of.
 struct LsmState {
@@ -170,8 +215,9 @@ struct LsmState {
     memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
     /// Tracked memtable footprint in bytes (keys + values + overhead).
     memtable_bytes: u64,
-    /// Immutable runs, newest first.
-    runs: Vec<Arc<Run>>,
+    /// Immutable runs, newest first; levels are non-decreasing front to
+    /// back (level 0 youngest, deepest tier oldest).
+    runs: Vec<LeveledRun>,
     /// Bumped on every run-set transition (seal or compaction).
     epoch: u64,
 }
@@ -192,6 +238,20 @@ impl LsmState {
     }
 }
 
+/// Number of distinct levels in a run list.
+fn level_count(runs: &[LeveledRun]) -> usize {
+    runs.iter()
+        .map(|r| r.level)
+        .collect::<BTreeSet<u32>>()
+        .len()
+}
+
+/// True when some tier (contiguous same-level span) holds at least
+/// `min_runs` runs — i.e. a compaction pass would find work.
+fn tier_ready(runs: &[LeveledRun], min_runs: usize) -> bool {
+    select_tier(runs, min_runs).is_some()
+}
+
 /// Compactor wake-up channel.
 #[derive(Default)]
 struct WakeFlag {
@@ -209,19 +269,25 @@ struct Wake {
 struct LsmShared {
     state: RwLock<LsmState>,
     manifest: Mutex<Manifest>,
-    metrics: Mutex<LsmMetrics>,
+    metrics: RwLock<LsmMetrics>,
+    /// Total compaction merges (shared so the demon's count in
+    /// [`LsmStats::compactions`] too).
+    compactions: AtomicU64,
     wake: Wake,
     dir: Arc<dyn StorageDir>,
 }
 
-/// The log-structured engine. Writer-owned (`&mut` API like
-/// [`KvStore`](crate::kv::KvStore)); concurrency happens through
-/// [`LsmStore::snapshot`] handles and the background compactor.
+/// The log-structured engine. Writes are writer-owned (`&mut` API like
+/// [`KvStore`](crate::kv::KvStore)); reads take `&self` and concurrency
+/// happens through [`LsmStore::snapshot`] handles and the background
+/// compactor.
 pub struct LsmStore {
     shared: Arc<LsmShared>,
     wal: Wal,
     opts: LsmOptions,
-    stats: LsmStats,
+    stats: StatCells,
+    /// Recovery facts from open time (`recovered_*` in [`LsmStats`]).
+    recovered: LsmStats,
     compactor: Option<JoinHandle<()>>,
 }
 
@@ -245,23 +311,30 @@ impl LsmStore {
     /// [`FaultyDir`](crate::vfs::FaultyDir) to script I/O failures and
     /// crashes against every file the engine touches.
     pub fn open_with_dir(dir: Arc<dyn StorageDir>, opts: LsmOptions) -> StoreResult<LsmStore> {
-        // 1. Manifest: adopt the last intact run-set record.
+        // 1. Manifest: adopt the last intact run-set record. Legacy
+        //    (pre-tiering) records come back with every run at level 0;
+        //    the next compaction re-tiers them.
         let manifest = Manifest::open(dir.open(MANIFEST_FILE)?)?;
 
         // 2. Load every referenced run. These were synced before the
         //    manifest record naming them, so failures here are real
-        //    corruption, not crash debris.
+        //    corruption, not crash debris. v1 run files load fine (their
+        //    bloom + sparse index are rebuilt in memory) and get rewritten
+        //    as v2 by the next compaction that consumes them.
         let mut runs = Vec::with_capacity(manifest.runs.len());
-        for id in &manifest.runs {
+        for (id, level) in &manifest.runs {
             let mut storage = dir.open(&Run::file_name(*id))?;
-            runs.push(Arc::new(Run::load(*id, storage.as_mut())?));
+            runs.push(LeveledRun {
+                run: Arc::new(Run::load(*id, storage.as_mut())?),
+                level: *level,
+            });
         }
 
         // 3. Orphan scan — the recovery blind spot the fault harness
         //    exposes: a crash mid-seal or mid-compaction leaves run files
         //    the manifest never committed. They must be deleted (never
         //    resurrected), and their ids must never be re-allocated.
-        let live: BTreeSet<u64> = manifest.runs.iter().copied().collect();
+        let live: BTreeSet<u64> = manifest.runs.iter().map(|(id, _)| *id).collect();
         let mut next_run_id = manifest.next_run_id;
         let mut orphans = 0u64;
         for name in dir.list()? {
@@ -295,7 +368,7 @@ impl LsmStore {
             }
         }
 
-        let stats = LsmStats {
+        let recovered = LsmStats {
             recovered_records: replay.records.len() as u64,
             recovered_torn_tail: replay.torn_tail || manifest.torn_tail,
             recovered_repaired_bytes: replay.repaired_bytes + manifest.repaired_bytes,
@@ -307,7 +380,8 @@ impl LsmStore {
         let shared = Arc::new(LsmShared {
             state: RwLock::new(state),
             manifest: Mutex::new(manifest),
-            metrics: Mutex::new(LsmMetrics::default()),
+            metrics: RwLock::new(LsmMetrics::default()),
+            compactions: AtomicU64::new(0),
             wake: Wake {
                 flag: Mutex::new(WakeFlag::default()),
                 cond: Condvar::new(),
@@ -327,7 +401,8 @@ impl LsmStore {
             shared,
             wal,
             opts,
-            stats,
+            stats: StatCells::default(),
+            recovered,
             compactor,
         })
     }
@@ -336,32 +411,37 @@ impl LsmStore {
     /// recovery counters under `store.recovery.*`).
     pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
         self.wal.attach_registry(registry);
-        let (runs, memtable_bytes) = {
+        let (runs, levels, memtable_bytes) = {
             let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
-            (state.runs.len() as i64, state.memtable_bytes as i64)
+            (
+                state.runs.len() as i64,
+                level_count(&state.runs) as i64,
+                state.memtable_bytes as i64,
+            )
         };
         {
             let mut m = self
                 .shared
                 .metrics
-                .lock()
+                .write()
                 .unwrap_or_else(|e| e.into_inner());
             *m = LsmMetrics::new(registry);
             m.runs.set(runs);
+            m.levels.set(levels);
             m.memtable_bytes.set(memtable_bytes);
         }
         registry
             .counter("store.recovery.replayed_records")
-            .add(self.stats.recovered_records);
-        if self.stats.recovered_torn_tail {
+            .add(self.recovered.recovered_records);
+        if self.recovered.recovered_torn_tail {
             registry.counter("store.recovery.torn_tails").inc();
         }
         registry
             .counter("store.recovery.repaired_bytes")
-            .add(self.stats.recovered_repaired_bytes);
+            .add(self.recovered.recovered_repaired_bytes);
         registry
             .counter("store.recovery.orphan_runs")
-            .add(self.stats.recovered_orphan_runs);
+            .add(self.recovered.recovered_orphan_runs);
     }
 
     fn append_wal(&mut self, record: &WalRecord) -> StoreResult<()> {
@@ -386,12 +466,12 @@ impl LsmStore {
             state.memtable_insert(key, Some(value.to_vec()));
             state.memtable_bytes
         };
-        self.stats.puts += 1;
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
         {
             let m = self
                 .shared
                 .metrics
-                .lock()
+                .read()
                 .unwrap_or_else(|e| e.into_inner());
             m.puts.inc();
             m.memtable_bytes.set(bytes as i64);
@@ -411,12 +491,12 @@ impl LsmStore {
             state.memtable_insert(key, None);
             state.memtable_bytes
         };
-        self.stats.deletes += 1;
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
         {
             let m = self
                 .shared
                 .metrics
-                .lock()
+                .read()
                 .unwrap_or_else(|e| e.into_inner());
             m.deletes.inc();
             m.memtable_bytes.set(bytes as i64);
@@ -432,23 +512,25 @@ impl LsmStore {
     /// keeps growing past its budget until a later seal succeeds.
     fn seal_deferred(&mut self) {
         if self.seal().is_err() {
-            self.stats.seal_errors += 1;
+            self.stats.seal_errors.fetch_add(1, Ordering::Relaxed);
             let m = self
                 .shared
                 .metrics
-                .lock()
+                .read()
                 .unwrap_or_else(|e| e.into_inner());
             m.seal_errors.inc();
         }
     }
 
-    /// Point lookup: memtable first, then runs newest-to-oldest. The
-    /// number of runs consulted is the read amplification recorded in
+    /// Point lookup: memtable first, then runs newest-to-oldest — but
+    /// only runs whose key-range bounds and bloom filter both admit the
+    /// key are consulted, and a consulted run decodes one sparse-index
+    /// block. The consulted count is the read amplification recorded in
     /// `store.lsm.read.amplification`.
-    pub fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+    pub fn get(&self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
         let _trace = memex_obs::trace::span("store.lsm.get");
-        self.stats.gets += 1;
-        let (result, consulted) = {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let out = {
             let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
             lookup(&state.memtable, &state.runs, key)
         };
@@ -456,18 +538,21 @@ impl LsmStore {
             let m = self
                 .shared
                 .metrics
-                .lock()
+                .read()
                 .unwrap_or_else(|e| e.into_inner());
             m.gets.inc();
-            m.read_amp.record(consulted);
+            m.read_amp.record(out.consulted);
+            m.bloom_hit.add(out.bloom_hit);
+            m.bloom_skip.add(out.bloom_skip);
+            m.bloom_fp.add(out.bloom_fp);
         }
-        Ok(result)
+        Ok(out.value)
     }
 
     /// Merged range iteration over the live state (memtable shadows
     /// runs; newest run shadows older).
     pub fn for_each_range(
-        &mut self,
+        &self,
         start: Bound<&[u8]>,
         end: Bound<&[u8]>,
         f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
@@ -478,7 +563,7 @@ impl LsmStore {
     }
 
     /// Collect every `(key, value)` whose key starts with `prefix`.
-    pub fn scan_prefix(&mut self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut out = Vec::new();
         self.for_each_range(Bound::Included(prefix), Bound::Unbounded, &mut |k, v| {
             if !k.starts_with(prefix) {
@@ -492,7 +577,7 @@ impl LsmStore {
 
     /// Collect a bounded range.
     pub fn scan(
-        &mut self,
+        &self,
         start: Bound<&[u8]>,
         end: Bound<&[u8]>,
     ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
@@ -522,7 +607,7 @@ impl LsmStore {
             let m = self
                 .shared
                 .metrics
-                .lock()
+                .read()
                 .unwrap_or_else(|e| e.into_inner());
             m.snapshots.inc();
         }
@@ -543,6 +628,21 @@ impl LsmStore {
     pub fn run_count(&self) -> usize {
         let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
         state.runs.len()
+    }
+
+    /// Live `(run id, level)` pairs, newest first (test observability).
+    #[doc(hidden)]
+    pub fn run_levels(&self) -> Vec<(u64, u32)> {
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        state.runs.iter().map(|r| (r.run.id, r.level)).collect()
+    }
+
+    /// On-disk format version of each live run, newest first (tests the
+    /// v1→v2 upgrade path).
+    #[doc(hidden)]
+    pub fn run_formats(&self) -> Vec<u32> {
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        state.runs.iter().map(|r| r.run.format()).collect()
     }
 
     /// Seal the memtable into an immutable run and truncate the WAL. See
@@ -567,7 +667,7 @@ impl LsmStore {
         if entries.is_empty() {
             return self.checkpoint_wal();
         }
-        let run_count = {
+        let (run_count, levels, ready) = {
             // The manifest mutex serializes run-set transitions against
             // the compactor; the run list cannot change until released.
             let mut manifest = self
@@ -589,12 +689,12 @@ impl LsmStore {
                     }
                 }
             };
-            let (epoch, ids) = {
+            let (epoch, list) = {
                 let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
-                let ids: Vec<u64> = std::iter::once(id)
-                    .chain(state.runs.iter().map(|r| r.id))
+                let list: Vec<(u64, u32)> = std::iter::once((id, 0))
+                    .chain(state.runs.iter().map(|r| (r.run.id, r.level)))
                     .collect();
-                (state.epoch + 1, ids)
+                (state.epoch + 1, list)
             };
             // On failure, keep the run file: the append may have staged
             // its record before the failure, and a crash can still land
@@ -602,29 +702,40 @@ impl LsmStore {
             // synced) run is live and must exist; if it does not, the
             // orphan scan reaps the file at the next open. Removing it
             // here would let a landed record point at nothing.
-            manifest.append(epoch, id + 1, &ids)?;
+            manifest.append(epoch, id + 1, &list)?;
             // Committed: install in memory. From here on failure may only
             // leave the WAL un-truncated, which replays idempotently.
             let mut state = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
-            state.runs.insert(0, Arc::new(run));
+            state.runs.insert(
+                0,
+                LeveledRun {
+                    run: Arc::new(run),
+                    level: 0,
+                },
+            );
             state.memtable.clear();
             state.memtable_bytes = 0;
             state.epoch = epoch;
-            state.runs.len()
+            (
+                state.runs.len(),
+                level_count(&state.runs),
+                tier_ready(&state.runs, self.opts.compact_min_runs),
+            )
         };
-        self.stats.seals += 1;
+        self.stats.seals.fetch_add(1, Ordering::Relaxed);
         {
             let m = self
                 .shared
                 .metrics
-                .lock()
+                .read()
                 .unwrap_or_else(|e| e.into_inner());
             m.seals.inc();
             m.memtable_bytes.set(0);
             m.runs.set(run_count as i64);
+            m.levels.set(levels as i64);
             m.seal_latency.record(elapsed_ns(started));
         }
-        if run_count >= self.opts.compact_min_runs {
+        if ready {
             self.wake_compactor();
         }
         self.checkpoint_wal()
@@ -638,11 +749,76 @@ impl LsmStore {
         self.wal.sync()
     }
 
-    /// Run one compaction pass inline (deterministic alternative to the
-    /// background demon; used by crash tests). Returns whether a merge
+    /// Compact inline until nothing is left to merge, finishing with a
+    /// bottom merge of the whole stack (deterministic alternative to the
+    /// background demon; used by crash tests). Returns whether any merge
     /// happened.
     pub fn compact_now(&mut self) -> StoreResult<bool> {
-        compact_once(&self.shared, 2)
+        let mut any = false;
+        while compact_once(&self.shared, 2, false)? {
+            any = true;
+        }
+        if compact_once(&self.shared, 2, true)? {
+            any = true;
+        }
+        Ok(any)
+    }
+
+    /// Run exactly one tier-compaction pass (no full merge): the
+    /// fine-grained hook the tiering tests schedule crashes around.
+    #[doc(hidden)]
+    pub fn compact_tier_now(&mut self) -> StoreResult<bool> {
+        compact_once(&self.shared, 2, false)
+    }
+
+    /// Seal `entries` directly as a **v1-format** level-0 run, bypassing
+    /// the memtable. Test-only: seeds stores with legacy run files so the
+    /// crash harness can prove the v1→v2 upgrade path.
+    #[doc(hidden)]
+    pub fn install_v1_run(&mut self, entries: &[(Vec<u8>, Option<Vec<u8>>)]) -> StoreResult<u64> {
+        let id = {
+            let mut manifest = self
+                .shared
+                .manifest
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let id = manifest.next_run_id;
+            manifest.next_run_id = id + 1;
+            id
+        };
+        let name = Run::file_name(id);
+        {
+            let mut storage = self.shared.dir.open(&name)?;
+            Run::write_v1(id, entries, storage.as_mut())?;
+        }
+        let run = {
+            let mut storage = self.shared.dir.open(&name)?;
+            Run::load(id, storage.as_mut())?
+        };
+        let mut manifest = self
+            .shared
+            .manifest
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let (epoch, list) = {
+            let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+            let list: Vec<(u64, u32)> = std::iter::once((id, 0))
+                .chain(state.runs.iter().map(|r| (r.run.id, r.level)))
+                .collect();
+            (state.epoch + 1, list)
+        };
+        let next_id = manifest.next_run_id.max(id + 1);
+        manifest.append(epoch, next_id, &list)?;
+        let mut state = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
+        state.runs.insert(
+            0,
+            LeveledRun {
+                run: Arc::new(run),
+                level: 0,
+            },
+        );
+        state.epoch = epoch;
+        Ok(id)
     }
 
     fn wake_compactor(&self) {
@@ -663,7 +839,15 @@ impl LsmStore {
 
     /// Diagnostic counters.
     pub fn stats(&self) -> LsmStats {
-        self.stats
+        LsmStats {
+            puts: self.stats.puts.load(Ordering::Relaxed),
+            deletes: self.stats.deletes.load(Ordering::Relaxed),
+            gets: self.stats.gets.load(Ordering::Relaxed),
+            seals: self.stats.seals.load(Ordering::Relaxed),
+            seal_errors: self.stats.seal_errors.load(Ordering::Relaxed),
+            compactions: self.shared.compactions.load(Ordering::Relaxed),
+            ..self.recovered
+        }
     }
 
     /// Expose the WAL for fault-injection in recovery experiments.
@@ -695,9 +879,9 @@ fn elapsed_ns(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// Background compactor: waits for a wake, then merges until there is
-/// nothing left to merge. Errors are counted and retried at the next
-/// wake — the demon itself never dies and never panics.
+/// Background compactor: waits for a wake, then runs tier merges until no
+/// tier qualifies. Errors are counted and retried at the next wake — the
+/// demon itself never dies and never panics.
 fn compactor_loop(shared: &Arc<LsmShared>, min_runs: usize) {
     loop {
         {
@@ -715,11 +899,11 @@ fn compactor_loop(shared: &Arc<LsmShared>, min_runs: usize) {
             flag.work = false;
         }
         loop {
-            match compact_once(shared, min_runs) {
+            match compact_once(shared, min_runs, false) {
                 Ok(true) => continue,
                 Ok(false) => break,
                 Err(_) => {
-                    let m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    let m = shared.metrics.read().unwrap_or_else(|e| e.into_inner());
                     m.compact_errors.inc();
                     break;
                 }
@@ -728,51 +912,130 @@ fn compactor_loop(shared: &Arc<LsmShared>, min_runs: usize) {
     }
 }
 
-/// Merge the whole run set into one run. The merge itself happens on
-/// `Arc` clones with no lock held (readers and the writer proceed);
-/// the manifest mutex is taken twice, briefly: once to snapshot the
-/// victim set and reserve a run id, and once to commit the transition
-/// (the state write lock is held just long enough to swap the list).
-/// If the epoch moved between the two — a seal or another compaction
-/// landed — the merged output is stale: the orphan file is removed and
-/// the caller retries against the new run set. Snapshots holding the
-/// old runs keep them alive; their files are deleted once the manifest
-/// stops referencing them (failed deletions become orphans for the next
-/// open).
-fn compact_once(shared: &Arc<LsmShared>, min_runs: usize) -> StoreResult<bool> {
+/// A compaction decision: merge `runs[start..end)` (a contiguous span)
+/// into one run at `out_level`.
+struct CompactPlan {
+    victims: Vec<LeveledRun>,
+    start: usize,
+    end: usize,
+    out_level: u32,
+    /// The merge reaches the oldest run: nothing below can shadow, so
+    /// tombstones may be dropped.
+    bottom: bool,
+    old_epoch: u64,
+    id: u64,
+}
+
+/// Pick the first (youngest) tier — maximal contiguous same-level span —
+/// holding at least `min_runs.max(2)` runs. Returns `(start, end,
+/// out_level)`; the output lands one level deeper than its inputs.
+fn select_tier(runs: &[LeveledRun], min_runs: usize) -> Option<(usize, usize, u32)> {
+    let threshold = min_runs.max(2);
+    let mut span_start = 0usize;
+    let mut span_level: Option<u32> = None;
+    for (i, r) in runs.iter().enumerate() {
+        match span_level {
+            Some(level) if level == r.level => {}
+            _ => {
+                if let Some(level) = span_level {
+                    if i - span_start >= threshold {
+                        return Some((span_start, i, level + 1));
+                    }
+                }
+                span_level = Some(r.level);
+                span_start = i;
+            }
+        }
+    }
+    if let Some(level) = span_level {
+        if runs.len() - span_start >= threshold {
+            return Some((span_start, runs.len(), level + 1));
+        }
+    }
+    None
+}
+
+/// Pick the whole stack (a full merge), regardless of levels. The output
+/// lands at the deepest input level (at least 1, so it never masquerades
+/// as a fresh seal).
+fn select_all(runs: &[LeveledRun]) -> Option<(usize, usize, u32)> {
+    if runs.len() < 2 {
+        return None;
+    }
+    let out_level = runs.iter().map(|r| r.level).max().unwrap_or(0).max(1);
+    Some((0, runs.len(), out_level))
+}
+
+/// Merge one tier (or, with `full`, the whole stack) into one run a level
+/// deeper. The merge itself happens on `Arc` clones with no lock held
+/// (readers and the writer proceed); the manifest mutex is taken twice,
+/// briefly: once to pick the victim span and reserve a run id, and once
+/// to commit the transition (the state write lock is held just long
+/// enough to splice the list). If the epoch moved between the two — a
+/// seal or another compaction landed — the merged output is stale: the
+/// orphan file is removed and the caller retries against the new run set.
+/// Tombstones are dropped **only** when the span reaches the bottom of
+/// the stack; anywhere else they must survive to keep shadowing deleted
+/// keys in older runs. Snapshots holding the old runs keep them alive;
+/// their files are deleted once the manifest stops referencing them
+/// (failed deletions become orphans for the next open).
+fn compact_once(shared: &Arc<LsmShared>, min_runs: usize, full: bool) -> StoreResult<bool> {
     let _trace = memex_obs::trace::span("store.lsm.compact");
     let started = Instant::now();
-    let (victims, old_epoch, id) = {
+    let plan = {
         let mut manifest = shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
         let state = shared.state.read().unwrap_or_else(|e| e.into_inner());
-        if state.runs.len() < min_runs.max(2) {
+        let selected = if full {
+            select_all(&state.runs)
+        } else {
+            select_tier(&state.runs, min_runs)
+        };
+        let Some((start, end, out_level)) = selected else {
             return Ok(false);
-        }
+        };
         // Reserve the run id in memory only: a concurrent seal allocates
         // past it, and the commit append persists the high-water mark.
         // A reservation abandoned by abort or crash is never densely
         // required — the orphan scan owns unreferenced files.
         let id = manifest.next_run_id;
         manifest.next_run_id = id + 1;
-        (state.runs.clone(), state.epoch, id)
+        CompactPlan {
+            victims: state
+                .runs
+                .get(start..end)
+                .into_iter()
+                .flatten()
+                .cloned()
+                .collect(),
+            start,
+            end,
+            out_level,
+            bottom: end == state.runs.len(),
+            old_epoch: state.epoch,
+            id,
+        }
     };
-    // Oldest first so newer entries overwrite; drop tombstones — there
-    // is nothing older below a full merge for them to shadow. No lock is
-    // held for the merge or the run write: this is the bulk of the work,
-    // and sealers must not stall behind it.
+    // Oldest victim first so newer entries overwrite. No lock is held for
+    // the merge or the run write: this is the bulk of the work, and
+    // sealers must not stall behind it.
     let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
-    for run in victims.iter().rev() {
-        for (k, v) in &run.entries {
-            merged.insert(k.clone(), v.clone());
+    for victim in plan.victims.iter().rev() {
+        for (k, v) in victim.run.iter() {
+            merged.insert(k.to_vec(), v.map(|x| x.to_vec()));
         }
     }
-    let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> =
-        merged.into_iter().filter(|(_, v)| v.is_some()).collect();
-    let input_bytes: u64 = victims.iter().map(|r| r.bytes).sum();
-    let name = Run::file_name(id);
+    // Tombstones shadow matching keys in runs *below* the merged span;
+    // only a merge that reaches the bottom of the stack may drop them.
+    let entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = if plan.bottom {
+        merged.into_iter().filter(|(_, v)| v.is_some()).collect()
+    } else {
+        merged.into_iter().collect()
+    };
+    let input_bytes: u64 = plan.victims.iter().map(|r| r.run.bytes).sum();
+    let name = Run::file_name(plan.id);
     let run = {
         let mut storage = shared.dir.open(&name)?;
-        match Run::write(id, entries, storage.as_mut()) {
+        match Run::write(plan.id, entries, storage.as_mut()) {
             Ok(run) => run,
             Err(e) => {
                 let _ = shared.dir.remove(&name);
@@ -781,44 +1044,57 @@ fn compact_once(shared: &Arc<LsmShared>, min_runs: usize) -> StoreResult<bool> {
         }
     };
     let mut manifest = shared.manifest.lock().unwrap_or_else(|e| e.into_inner());
-    {
+    let new_runs: Vec<LeveledRun> = {
         let state = shared.state.read().unwrap_or_else(|e| e.into_inner());
-        if state.epoch != old_epoch {
+        if state.epoch != plan.old_epoch {
             // The run set changed under us (seal or concurrent compact):
-            // the merge no longer covers every live run, and installing
-            // it would drop the newcomers. Abandon this output and ask
-            // the caller to retry against the new set. Never reached
+            // the span indices no longer describe it, and installing the
+            // merge could drop newcomers. Abandon this output and ask the
+            // caller to retry against the new set. Never reached
             // single-threaded (compact_now in crash tests).
             drop(state);
             drop(manifest);
             let _ = shared.dir.remove(&name);
             return Ok(true);
         }
-    }
-    let epoch = old_epoch + 1;
+        // Epoch unchanged ⇒ the list is exactly the one the plan indexed.
+        let mut list = Vec::with_capacity(state.runs.len() + 1 - plan.victims.len());
+        list.extend(state.runs.get(..plan.start).into_iter().flatten().cloned());
+        list.push(LeveledRun {
+            run: Arc::new(run),
+            level: plan.out_level,
+        });
+        list.extend(state.runs.get(plan.end..).into_iter().flatten().cloned());
+        list
+    };
+    let epoch = plan.old_epoch + 1;
     // On failure, keep the merged run file — same reasoning as in `seal`:
     // the staged manifest record may still land at a crash. Either the
     // record lands (run live, victims become orphans) or it does not
     // (this file becomes the orphan) — recovery reconciles both. The
     // persisted next_run_id must cover ids a concurrent seal may have
     // taken after our reservation.
-    let next_id = manifest.next_run_id.max(id + 1);
-    manifest.append(epoch, next_id, &[id])?;
-    {
+    let next_id = manifest.next_run_id.max(plan.id + 1);
+    let record: Vec<(u64, u32)> = new_runs.iter().map(|r| (r.run.id, r.level)).collect();
+    manifest.append(epoch, next_id, &record)?;
+    let (run_count, levels) = {
         let mut state = shared.state.write().unwrap_or_else(|e| e.into_inner());
-        state.runs = vec![Arc::new(run)];
+        state.runs = new_runs;
         state.epoch = epoch;
-    }
+        (state.runs.len(), level_count(&state.runs))
+    };
     drop(manifest);
-    for victim in &victims {
-        let _ = shared.dir.remove(&Run::file_name(victim.id));
+    for victim in &plan.victims {
+        let _ = shared.dir.remove(&Run::file_name(victim.run.id));
     }
+    shared.compactions.fetch_add(1, Ordering::Relaxed);
     {
-        let m = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let m = shared.metrics.read().unwrap_or_else(|e| e.into_inner());
         m.compactions.inc();
         m.compact_bytes.add(input_bytes);
         m.compact_latency.record(elapsed_ns(started));
-        m.runs.set(1);
+        m.runs.set(run_count as i64);
+        m.levels.set(levels as i64);
     }
     Ok(true)
 }
@@ -827,24 +1103,54 @@ fn compact_once(shared: &Arc<LsmShared>, min_runs: usize) -> StoreResult<bool> {
 // Merged reads
 // ---------------------------------------------------------------------------
 
-/// Point lookup over a memtable + run stack; returns the value (if any)
-/// and the number of runs consulted (read amplification).
+/// What one point lookup did: the value (if any), how many runs it
+/// consulted (read amplification) and how each run's bloom classified it.
+struct LookupOutcome {
+    value: Option<Vec<u8>>,
+    consulted: u64,
+    bloom_hit: u64,
+    bloom_skip: u64,
+    bloom_fp: u64,
+}
+
+/// Point lookup over a memtable + run stack. Runs whose bloom rejects the
+/// key are skipped outright; consulted runs resolve through their sparse
+/// index. A tombstone hit stops the walk — older runs must not be asked.
 fn lookup(
     memtable: &BTreeMap<Vec<u8>, Option<Vec<u8>>>,
-    runs: &[Arc<Run>],
+    runs: &[LeveledRun],
     key: &[u8],
-) -> (Option<Vec<u8>>, u64) {
+) -> LookupOutcome {
+    let mut out = LookupOutcome {
+        value: None,
+        consulted: 0,
+        bloom_hit: 0,
+        bloom_skip: 0,
+        bloom_fp: 0,
+    };
     if let Some(v) = memtable.get(key) {
-        return (v.clone(), 0);
+        out.value = v.clone();
+        return out;
     }
-    let mut consulted = 0u64;
-    for run in runs {
-        consulted += 1;
-        if let Some(v) = run.get(key) {
-            return (v.clone(), consulted);
+    // One key hash for the whole stack; each run's bloom mixes its own
+    // seed into it.
+    let hash = run::key_hash(key);
+    for entry in runs {
+        match entry.run.probe_hashed(key, hash) {
+            Probe::Skip => out.bloom_skip += 1,
+            Probe::Miss => {
+                out.consulted += 1;
+                out.bloom_fp += 1;
+            }
+            Probe::Hit(v) => {
+                out.consulted += 1;
+                out.bloom_hit += 1;
+                out.value = v.map(|x| x.to_vec());
+                return out;
+            }
         }
     }
-    (None, consulted)
+    out
 }
 
 /// True when the range can contain nothing (guards the `BTreeMap::range`
@@ -867,14 +1173,15 @@ fn within_end(key: &[u8], end: &Bound<&[u8]>) -> bool {
     }
 }
 
-type MergeIter<'a> = Box<dyn Iterator<Item = (&'a [u8], &'a Option<Vec<u8>>)> + 'a>;
+type MergeIter<'a> = Box<dyn Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a>;
 type MergeSource<'a> = Peekable<MergeIter<'a>>;
 
 /// K-way merge over the memtable and runs, youngest source wins per key,
 /// tombstones suppressed. `f` returning `false` stops the iteration.
+/// Run entries stream straight out of their resident encoded blocks.
 fn merged_for_each(
     memtable: &BTreeMap<Vec<u8>, Option<Vec<u8>>>,
-    runs: &[Arc<Run>],
+    runs: &[LeveledRun],
     start: Bound<&[u8]>,
     end: Bound<&[u8]>,
     f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
@@ -887,23 +1194,31 @@ fn merged_for_each(
     let mem_iter: MergeIter<'_> = Box::new(
         memtable
             .range::<[u8], _>((start, end))
-            .map(|(k, v)| (k.as_slice(), v)),
+            .map(|(k, v)| (k.as_slice(), v.as_deref())),
     );
     sources.push(mem_iter.peekable());
-    for run in runs {
-        let lo = match start {
-            Bound::Included(k) => run.lower_bound(k),
-            Bound::Excluded(k) => run.entries.partition_point(|(key, _)| key.as_slice() <= k),
-            Bound::Unbounded => 0,
+    for entry in runs {
+        let it: MergeIter<'_> = match start {
+            Bound::Included(k) => Box::new(
+                entry
+                    .run
+                    .iter_from(k)
+                    .take_while(move |(key, _)| within_end(key, &end)),
+            ),
+            Bound::Excluded(k) => Box::new(
+                entry
+                    .run
+                    .iter_from(k)
+                    .skip_while(move |(key, _)| *key == k)
+                    .take_while(move |(key, _)| within_end(key, &end)),
+            ),
+            Bound::Unbounded => Box::new(
+                entry
+                    .run
+                    .iter()
+                    .take_while(move |(key, _)| within_end(key, &end)),
+            ),
         };
-        let it: MergeIter<'_> = Box::new(
-            run.entries
-                .get(lo..)
-                .into_iter()
-                .flatten()
-                .map(|(k, v)| (k.as_slice(), v))
-                .take_while(move |(k, _)| within_end(k, &end)),
-        );
         sources.push(it.peekable());
     }
     loop {
@@ -926,7 +1241,7 @@ fn merged_for_each(
             if let Some((k, v)) = source.peek() {
                 if *k == key.as_slice() {
                     if chosen.is_none() {
-                        chosen = Some((*v).clone());
+                        chosen = Some(v.map(|x| x.to_vec()));
                     }
                     source.next();
                 }
@@ -948,7 +1263,7 @@ fn merged_for_each(
 /// `Arc`s on the then-live immutable runs. Reads take no lock at all.
 pub struct LsmSnapshot {
     memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
-    runs: Vec<Arc<Run>>,
+    runs: Vec<LeveledRun>,
     epoch: u64,
 }
 
@@ -958,7 +1273,7 @@ impl LsmSnapshot {
     }
 
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        lookup(&self.memtable, &self.runs, key).0
+        lookup(&self.memtable, &self.runs, key).value
     }
 
     pub fn for_each_range(
@@ -1007,24 +1322,20 @@ impl Engine for LsmStore {
         LsmStore::delete(self, key)
     }
 
-    fn get(&mut self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
+    fn get(&self, key: &[u8]) -> StoreResult<Option<Vec<u8>>> {
         LsmStore::get(self, key)
     }
 
-    fn scan(
-        &mut self,
-        start: Bound<&[u8]>,
-        end: Bound<&[u8]>,
-    ) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn scan(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
         LsmStore::scan(self, start, end)
     }
 
-    fn scan_prefix(&mut self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn scan_prefix(&self, prefix: &[u8]) -> StoreResult<Vec<(Vec<u8>, Vec<u8>)>> {
         LsmStore::scan_prefix(self, prefix)
     }
 
     fn for_each_range(
-        &mut self,
+        &self,
         start: Bound<&[u8]>,
         end: Bound<&[u8]>,
         f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
@@ -1040,8 +1351,12 @@ impl Engine for LsmStore {
         self.seal()
     }
 
-    fn snapshot(&mut self) -> StoreResult<Box<dyn SnapshotView>> {
+    fn snapshot(&self) -> StoreResult<Box<dyn SnapshotView>> {
         Ok(Box::new(LsmStore::snapshot(self)))
+    }
+
+    fn epoch(&self) -> u64 {
+        LsmStore::epoch(self)
     }
 
     fn attach_registry(&mut self, registry: &MetricsRegistry) {
@@ -1050,19 +1365,41 @@ impl Engine for LsmStore {
 
     fn check(&mut self) -> StoreResult<()> {
         // Run files verify their checksum and ordering at load; the live
-        // invariant to check is that run ids are unique and newest-first.
+        // invariants to check are the tier shape: levels non-decreasing
+        // newest-to-oldest, run ids globally unique, and ids strictly
+        // descending within each level (newer runs allocate higher ids).
         let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
-        let mut prev: Option<u64> = None;
-        for run in &state.runs {
-            if let Some(p) = prev {
-                if run.id >= p {
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut prev_level: Option<u32> = None;
+        let mut prev_id_in_level: Option<u64> = None;
+        for entry in &state.runs {
+            if let Some(level) = prev_level {
+                if entry.level < level {
                     return Err(crate::error::StoreError::Corrupt(format!(
-                        "run order violated: {} after {}",
-                        run.id, p
+                        "level order violated: level {} after level {}",
+                        entry.level, level
+                    )));
+                }
+                if entry.level > level {
+                    prev_id_in_level = None;
+                }
+            }
+            if !seen.insert(entry.run.id) {
+                return Err(crate::error::StoreError::Corrupt(format!(
+                    "duplicate run id {}",
+                    entry.run.id
+                )));
+            }
+            if let Some(p) = prev_id_in_level {
+                if entry.run.id >= p {
+                    return Err(crate::error::StoreError::Corrupt(format!(
+                        "run order violated: {} after {} in level {}",
+                        entry.run.id, p, entry.level
                     )));
                 }
             }
-            prev = Some(run.id);
+            prev_level = Some(entry.level);
+            prev_id_in_level = Some(entry.run.id);
         }
         Ok(())
     }
@@ -1128,7 +1465,130 @@ mod tests {
         assert_eq!(s.get(b"c").unwrap(), Some(b"3".to_vec()));
         let state = s.shared.state.read().unwrap();
         let merged = state.runs.first().unwrap();
-        assert_eq!(merged.entries.len(), 2, "tombstone dropped by full merge");
+        assert_eq!(
+            merged.run.entry_count(),
+            2,
+            "tombstone dropped by bottom merge"
+        );
+        assert_eq!(s.stats().compactions, 1, "compaction counted");
+    }
+
+    #[test]
+    fn tier_compaction_keeps_tombstones_above_older_runs() {
+        // The tombstone-resurrection regression: delete a key whose live
+        // value sits in an older (deeper) run, compact only the young
+        // tier, and the key must stay deleted. The unguarded full-merge
+        // logic dropped the tombstone here and resurrected `k`.
+        let mut s = LsmStore::open_memory_opts(tiny_opts()).unwrap();
+        s.put(b"k", b"live").unwrap();
+        s.put(b"f1", b"x").unwrap();
+        s.seal().unwrap();
+        s.put(b"f2", b"x").unwrap();
+        s.seal().unwrap();
+        // Bottom merge: `k` now lives in a level-1 run.
+        assert!(s.compact_tier_now().unwrap());
+        assert_eq!(
+            s.run_levels().iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![1]
+        );
+        s.delete(b"k").unwrap();
+        s.put(b"f3", b"x").unwrap();
+        s.seal().unwrap();
+        s.put(b"f4", b"x").unwrap();
+        s.seal().unwrap();
+        // Merge ONLY the two young level-0 runs: not a bottom merge, so
+        // the tombstone must survive into the merged run.
+        assert!(s.compact_tier_now().unwrap());
+        let levels: Vec<u32> = s.run_levels().iter().map(|(_, l)| *l).collect();
+        assert_eq!(levels, vec![1, 1], "young tier merged above the old run");
+        assert_eq!(
+            s.get(b"k").unwrap(),
+            None,
+            "tier merge must not resurrect a deleted key"
+        );
+        Engine::check(&mut s).unwrap();
+        // The final bottom merge may (and does) drop the tombstone.
+        assert!(s.compact_now().unwrap());
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn tiers_deepen_and_invariants_hold() {
+        let mut s = LsmStore::open_memory_opts(tiny_opts()).unwrap();
+        for round in 0..4u32 {
+            s.put(format!("key-{round}").as_bytes(), b"v").unwrap();
+            s.seal().unwrap();
+        }
+        assert_eq!(
+            s.run_levels().iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![0, 0, 0, 0]
+        );
+        // One tier pass merges the whole level-0 span (bottom ⇒ level 1).
+        assert!(s.compact_tier_now().unwrap());
+        assert_eq!(
+            s.run_levels().iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![1]
+        );
+        for round in 4..6u32 {
+            s.put(format!("key-{round}").as_bytes(), b"v").unwrap();
+            s.seal().unwrap();
+        }
+        // The two fresh seals tier-merge in front of the old level-1 run.
+        assert!(s.compact_tier_now().unwrap());
+        assert_eq!(
+            s.run_levels().iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![1, 1]
+        );
+        Engine::check(&mut s).unwrap();
+        // Now the level-1 tier qualifies; merging it reaches the bottom.
+        assert!(s.compact_tier_now().unwrap());
+        assert_eq!(
+            s.run_levels().iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![2]
+        );
+        Engine::check(&mut s).unwrap();
+        for round in 0..6u32 {
+            let k = format!("key-{round}");
+            assert_eq!(s.get(k.as_bytes()).unwrap(), Some(b"v".to_vec()));
+        }
+    }
+
+    #[test]
+    fn bloom_counters_classify_lookups() {
+        let registry = MetricsRegistry::new();
+        let mut s = LsmStore::open_memory_opts(tiny_opts()).unwrap();
+        s.attach_registry(&registry);
+        for i in 0..100u32 {
+            s.put(format!("key-{i:03}").as_bytes(), b"v").unwrap();
+        }
+        s.seal().unwrap();
+        for i in 0..100u32 {
+            assert_eq!(
+                s.get(format!("key-{i:03}").as_bytes()).unwrap(),
+                Some(b"v".to_vec())
+            );
+        }
+        for i in 0..100u32 {
+            assert_eq!(s.get(format!("absent-{i:03}").as_bytes()).unwrap(), None);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("store.lsm.bloom.hit"),
+            100,
+            "every present key hits"
+        );
+        assert!(
+            snap.counter("store.lsm.bloom.skip") > 80,
+            "most absent keys are bloom-skipped (got {})",
+            snap.counter("store.lsm.bloom.skip")
+        );
+        assert_eq!(
+            snap.counter("store.lsm.bloom.skip") + snap.counter("store.lsm.bloom.fp"),
+            100,
+            "absent keys either skip or false-positive"
+        );
+        assert_eq!(snap.gauge("store.lsm.levels"), 1);
     }
 
     #[test]
@@ -1174,7 +1634,7 @@ mod tests {
             s.put(b"walled", b"2").unwrap();
             s.sync().unwrap();
         }
-        let mut s = LsmStore::open_with_dir(dir, tiny_opts()).unwrap();
+        let s = LsmStore::open_with_dir(dir, tiny_opts()).unwrap();
         assert_eq!(s.get(b"sealed").unwrap(), Some(b"1".to_vec()));
         assert_eq!(s.get(b"walled").unwrap(), Some(b"2".to_vec()));
         assert_eq!(
@@ -1182,6 +1642,32 @@ mod tests {
             1,
             "only the unsealed op replays"
         );
+    }
+
+    #[test]
+    fn reopen_preserves_levels_and_v1_runs_upgrade_on_compaction() {
+        let dir: Arc<MemDir> = Arc::new(MemDir::new());
+        {
+            let mut s = LsmStore::open_with_dir(dir.clone(), tiny_opts()).unwrap();
+            s.install_v1_run(&[(b"legacy".to_vec(), Some(b"1".to_vec()))])
+                .unwrap();
+            s.put(b"fresh", b"2").unwrap();
+            s.seal().unwrap();
+            assert_eq!(s.run_formats(), vec![2, 1]);
+        }
+        let mut s = LsmStore::open_with_dir(dir.clone(), tiny_opts()).unwrap();
+        assert_eq!(s.run_formats(), vec![2, 1], "v1 run survives reopen");
+        assert_eq!(s.get(b"legacy").unwrap(), Some(b"1".to_vec()));
+        let levels = s.run_levels();
+        assert_eq!(
+            levels.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![0, 0]
+        );
+        // The compaction that consumes the v1 run rewrites it as v2.
+        assert!(s.compact_now().unwrap());
+        assert_eq!(s.run_formats(), vec![2]);
+        assert_eq!(s.get(b"legacy").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"fresh").unwrap(), Some(b"2".to_vec()));
     }
 
     #[test]
@@ -1228,18 +1714,22 @@ mod tests {
             let k = format!("key-{i:04}");
             s.put(k.as_bytes(), &[0u8; 40]).unwrap();
         }
-        // Wait (bounded) for the demon to merge down to one run.
+        // Wait (bounded) for the demon to merge every ready tier.
         for _ in 0..200 {
-            if s.run_count() <= 1 {
+            if s.run_count() <= 2 && !tier_ready(&s.shared.state.read().unwrap().runs, 2) {
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
-        assert!(s.run_count() <= 2, "compactor should have merged runs");
+        assert!(
+            !tier_ready(&s.shared.state.read().unwrap().runs, 2),
+            "no tier should remain compactable"
+        );
         for i in 0..64u32 {
             let k = format!("key-{i:04}");
             assert_eq!(s.get(k.as_bytes()).unwrap(), Some(vec![0u8; 40]));
         }
+        Engine::check(&mut s).unwrap();
     }
 
     #[test]

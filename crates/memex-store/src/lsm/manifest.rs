@@ -1,7 +1,7 @@
 //! The manifest: an append-only log of full run-set states.
 //!
 //! Every seal or compaction appends one complete record — `(epoch,
-//! next_run_id, live run ids newest-first)` — and the last intact record
+//! next_run_id, live runs newest-first)` — and the last intact record
 //! wins at open. Full-state records (rather than deltas) keep recovery
 //! trivially idempotent: there is nothing to replay, only a latest state
 //! to adopt. A torn tail (crash mid-append) is trimmed exactly like a
@@ -10,7 +10,19 @@
 //! the recovery scan to delete.
 //!
 //! Frame format: `[len u32][crc32 u32][payload]`, crc over the payload.
-//! Payload: `[epoch u64][next_run_id u64][count u32][run id u64]*`.
+//! Since tiered compaction each live run carries a **level tag**, so two
+//! payload layouts exist:
+//!
+//! ```text
+//! v1: [epoch u64][next_run_id u64][count u32][run id u64]*
+//! v2: [epoch u64][next_run_id u64][count u32]([run id u64][level u32])*
+//! ```
+//!
+//! A v2 frame sets the high bit of `len` ([`FLAG_LEVELED`]) — payload
+//! lengths never approach 2 GiB, so the bit is free. The flag (not
+//! payload-length arithmetic) disambiguates the layouts: `20 + 8n` and
+//! `20 + 12m` collide for plenty of `(n, m)` pairs. Old v1 records parse
+//! with every run at level 0; the first append rewrites state as v2.
 //!
 //! The durability contract mirrors the WAL's: a record is only trusted
 //! after [`Manifest::append`] returns, which syncs. Callers must sync the
@@ -19,6 +31,10 @@
 use crate::codec::{crc32, get_u32, get_u64, put_u32, put_u64};
 use crate::error::{StoreError, StoreResult};
 use crate::vfs::Storage;
+
+/// High bit of the frame `len` field: set on records whose runs carry
+/// level tags (payload v2).
+const FLAG_LEVELED: u32 = 0x8000_0000;
 
 /// Live manifest state plus the append cursor.
 pub struct Manifest {
@@ -29,8 +45,9 @@ pub struct Manifest {
     pub epoch: u64,
     /// Next run id to allocate (ids are never reused).
     pub next_run_id: u64,
-    /// Live run ids, newest first.
-    pub runs: Vec<u64>,
+    /// Live runs as `(id, level)`, newest first. Level 0 is freshly
+    /// sealed; compaction outputs land one level below their inputs.
+    pub runs: Vec<(u64, u32)>,
     /// True when open found (and trimmed) a torn tail.
     pub torn_tail: bool,
     /// Bytes trimmed while repairing the tail.
@@ -45,7 +62,7 @@ impl Manifest {
         let mut pos = 0u64;
         let mut epoch = 0u64;
         let mut next_run_id = 0u64;
-        let mut runs: Vec<u64> = Vec::new();
+        let mut runs: Vec<(u64, u32)> = Vec::new();
         loop {
             let mut header = [0u8; 8];
             if pos + 8 > file_len {
@@ -53,8 +70,10 @@ impl Manifest {
             }
             storage.read_exact_at(pos, &mut header)?;
             let mut hpos = 0usize;
-            let len = u64::from(get_u32(&header, &mut hpos)?);
+            let len_raw = get_u32(&header, &mut hpos)?;
             let stored_crc = get_u32(&header, &mut hpos)?;
+            let leveled = len_raw & FLAG_LEVELED != 0;
+            let len = u64::from(len_raw & !FLAG_LEVELED);
             if len == 0 || pos + 8 + len > file_len {
                 break; // torn or garbage tail
             }
@@ -66,14 +85,36 @@ impl Manifest {
                 break; // torn mid-payload
             }
             let mut p = 0usize;
-            let rec_epoch = get_u64(&payload, &mut p)?;
-            let rec_next = get_u64(&payload, &mut p)?;
-            let count = get_u32(&payload, &mut p)? as usize;
-            let mut rec_runs = Vec::with_capacity(count);
+            let Ok(rec_epoch) = get_u64(&payload, &mut p) else {
+                break;
+            };
+            let Ok(rec_next) = get_u64(&payload, &mut p) else {
+                break;
+            };
+            let Ok(count) = get_u32(&payload, &mut p) else {
+                break;
+            };
+            let mut rec_runs = Vec::with_capacity(count as usize);
+            let mut malformed = false;
             for _ in 0..count {
-                rec_runs.push(get_u64(&payload, &mut p)?);
+                let Ok(id) = get_u64(&payload, &mut p) else {
+                    malformed = true;
+                    break;
+                };
+                let level = if leveled {
+                    match get_u32(&payload, &mut p) {
+                        Ok(l) => l,
+                        Err(_) => {
+                            malformed = true;
+                            break;
+                        }
+                    }
+                } else {
+                    0
+                };
+                rec_runs.push((id, level));
             }
-            if p != payload_len {
+            if malformed || p != payload_len {
                 break; // malformed record: treat as tail damage
             }
             epoch = rec_epoch;
@@ -101,7 +142,7 @@ impl Manifest {
     /// Append a new full state and sync. On success the in-memory fields
     /// reflect the record; on failure they are unchanged (the bytes that
     /// may have landed are a torn tail the next open will trim).
-    pub fn append(&mut self, epoch: u64, next_run_id: u64, runs: &[u64]) -> StoreResult<()> {
+    pub fn append(&mut self, epoch: u64, next_run_id: u64, runs: &[(u64, u32)]) -> StoreResult<()> {
         let mut payload = Vec::new();
         put_u64(&mut payload, epoch);
         put_u64(&mut payload, next_run_id);
@@ -111,16 +152,20 @@ impl Manifest {
             max: u32::MAX as usize,
         })?;
         put_u32(&mut payload, count);
-        for id in runs {
+        for (id, level) in runs {
             put_u64(&mut payload, *id);
+            put_u32(&mut payload, *level);
         }
         let mut frame = Vec::new();
-        let len = u32::try_from(payload.len()).map_err(|_| StoreError::TooLarge {
-            what: "manifest record",
-            len: payload.len(),
-            max: u32::MAX as usize,
-        })?;
-        put_u32(&mut frame, len);
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|l| l & FLAG_LEVELED == 0)
+            .ok_or(StoreError::TooLarge {
+                what: "manifest record",
+                len: payload.len(),
+                max: (FLAG_LEVELED - 1) as usize,
+            })?;
+        put_u32(&mut frame, len | FLAG_LEVELED);
         put_u32(&mut frame, crc32(&payload));
         frame.extend_from_slice(&payload);
         self.storage.write_all_at(self.end, &frame)?;
@@ -129,6 +174,31 @@ impl Manifest {
         self.epoch = epoch;
         self.next_run_id = next_run_id;
         self.runs = runs.to_vec();
+        Ok(())
+    }
+
+    /// Append a legacy v1 record (no level tags). Test-only: lets the
+    /// crash harness seed stores whose manifests predate tiering.
+    #[doc(hidden)]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn append_v1(&mut self, epoch: u64, next_run_id: u64, runs: &[u64]) -> StoreResult<()> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, epoch);
+        put_u64(&mut payload, next_run_id);
+        put_u32(&mut payload, runs.len() as u32);
+        for id in runs {
+            put_u64(&mut payload, *id);
+        }
+        let mut frame = Vec::new();
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        self.storage.write_all_at(self.end, &frame)?;
+        self.storage.sync()?;
+        self.end += frame.len() as u64;
+        self.epoch = epoch;
+        self.next_run_id = next_run_id;
+        self.runs = runs.iter().map(|id| (*id, 0)).collect();
         Ok(())
     }
 }
@@ -144,13 +214,40 @@ mod tests {
         let h = s.handle();
         let mut m = Manifest::open(Box::new(s)).unwrap();
         assert_eq!(m.epoch, 0);
-        m.append(1, 2, &[1, 0]).unwrap();
-        m.append(2, 3, &[2]).unwrap();
+        m.append(1, 2, &[(1, 0), (0, 0)]).unwrap();
+        m.append(2, 3, &[(2, 1)]).unwrap();
         let reopened = Manifest::open(Box::new(MemStorage::from_bytes(h.current_bytes()))).unwrap();
         assert_eq!(reopened.epoch, 2);
         assert_eq!(reopened.next_run_id, 3);
-        assert_eq!(reopened.runs, vec![2]);
+        assert_eq!(reopened.runs, vec![(2, 1)]);
         assert!(!reopened.torn_tail);
+    }
+
+    #[test]
+    fn v1_records_parse_at_level_zero() {
+        let s = MemStorage::new();
+        let h = s.handle();
+        let mut m = Manifest::open(Box::new(s)).unwrap();
+        m.append_v1(1, 3, &[2, 1]).unwrap();
+        let reopened = Manifest::open(Box::new(MemStorage::from_bytes(h.current_bytes()))).unwrap();
+        assert_eq!(reopened.epoch, 1);
+        assert_eq!(reopened.runs, vec![(2, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn v1_then_v2_records_interleave() {
+        // The upgrade path in miniature: legacy records followed by
+        // leveled ones in the same file, last record wins.
+        let s = MemStorage::new();
+        let h = s.handle();
+        let mut m = Manifest::open(Box::new(s)).unwrap();
+        m.append_v1(1, 2, &[1]).unwrap();
+        m.append(2, 4, &[(3, 0), (1, 0)]).unwrap();
+        m.append(3, 5, &[(4, 1)]).unwrap();
+        let reopened = Manifest::open(Box::new(MemStorage::from_bytes(h.current_bytes()))).unwrap();
+        assert_eq!(reopened.epoch, 3);
+        assert_eq!(reopened.next_run_id, 5);
+        assert_eq!(reopened.runs, vec![(4, 1)]);
     }
 
     #[test]
@@ -158,14 +255,14 @@ mod tests {
         let s = MemStorage::new();
         let h = s.handle();
         let mut m = Manifest::open(Box::new(s)).unwrap();
-        m.append(1, 2, &[1]).unwrap();
-        m.append(2, 5, &[4, 3]).unwrap();
+        m.append(1, 2, &[(1, 0)]).unwrap();
+        m.append(2, 5, &[(4, 0), (3, 0)]).unwrap();
         let full = h.current_bytes();
         // Cut the second record at every byte offset: state must be
         // either record 2 (intact) or record 1 (torn) — never garbage.
         // Frame = 8-byte header + payload (epoch + next_run_id + count +
-        // one run id) = 8 + 28.
-        let first_record_end = 36;
+        // one (run id, level) pair) = 8 + 32.
+        let first_record_end = 40;
         for cut in 0..full.len() {
             let mut bytes = full.clone();
             bytes.truncate(cut);
@@ -175,7 +272,7 @@ mod tests {
                 assert!(m.runs.is_empty());
             } else if cut < full.len() {
                 assert_eq!(m.epoch, 1, "cut at {cut}");
-                assert_eq!(m.runs, vec![1]);
+                assert_eq!(m.runs, vec![(1, 0)]);
                 assert!(m.torn_tail || cut == first_record_end);
             }
         }
@@ -186,17 +283,17 @@ mod tests {
         let s = MemStorage::new();
         let h = s.handle();
         let mut m = Manifest::open(Box::new(s)).unwrap();
-        m.append(1, 2, &[1]).unwrap();
+        m.append(1, 2, &[(1, 0)]).unwrap();
         // Simulate an append failure by corrupting afterwards: the open
         // path must fall back to record 1.
-        m.append(2, 3, &[2, 1]).unwrap();
+        m.append(2, 3, &[(2, 0), (1, 0)]).unwrap();
         let mut bytes = h.current_bytes();
         if let Some(last) = bytes.last_mut() {
             *last ^= 0xFF;
         }
         let reopened = Manifest::open(Box::new(MemStorage::from_bytes(bytes))).unwrap();
         assert_eq!(reopened.epoch, 1);
-        assert_eq!(reopened.runs, vec![1]);
+        assert_eq!(reopened.runs, vec![(1, 0)]);
         assert!(reopened.torn_tail);
     }
 
@@ -206,7 +303,7 @@ mod tests {
         let h = s.handle();
         {
             let mut m = Manifest::open(Box::new(s)).unwrap();
-            m.append(1, 2, &[1]).unwrap();
+            m.append(1, 2, &[(1, 0)]).unwrap();
         }
         let mut bytes = h.current_bytes();
         bytes.extend_from_slice(&[1, 2, 3]); // garbage tail

@@ -793,7 +793,7 @@ fn crash_mid_seal_reconciles_manifest_against_partial_runs() {
 
         // Reopen again without a crash: the orphan must not come back,
         // and the sealed state reads back whole.
-        let mut store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts()).unwrap();
+        let store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts()).unwrap();
         assert_eq!(
             store.stats().recovered_orphan_runs,
             0,
@@ -868,6 +868,246 @@ fn crash_mid_compaction_preserves_sealed_state() {
                 expected
             );
         }
+    }
+}
+
+/// Crash mid-**tier**-compaction at each durability barrier (merged-run
+/// sync, manifest sync), with a tombstone riding in the merged tier whose
+/// live value sits in a deeper run. Beyond what the full-merge crash test
+/// covers, recovery must also preserve the tier structure (levels stay
+/// non-decreasing, `check` passes) and must never resurrect the deleted
+/// key — the merged young tier keeps its tombstone because it is not a
+/// bottom merge.
+#[test]
+fn crash_mid_tier_compaction_preserves_state_and_levels() {
+    for barrier in 0..2u32 {
+        for crash_seed in [9u64, 0xC0FF_EE42] {
+            let dir = MemDir::new();
+            let handle = dir.handle();
+            let faulty = FaultyDir::new(dir.clone(), FaultConfig::default());
+            let ctl = faulty.control();
+            let mut store = LsmStore::open_with_dir(Arc::new(faulty), small_lsm_opts()).unwrap();
+
+            // A deep (level-1) run holding a key the young tier deletes.
+            store.put(b"old", b"live").unwrap();
+            store.put(b"base", b"1").unwrap();
+            store.seal().unwrap();
+            store.put(b"base2", b"2").unwrap();
+            store.seal().unwrap();
+            assert!(store.compact_tier_now().unwrap());
+            assert_eq!(
+                store
+                    .run_levels()
+                    .iter()
+                    .map(|&(_, l)| l)
+                    .collect::<Vec<_>>(),
+                vec![1]
+            );
+            store.delete(b"old").unwrap();
+            store.put(b"y1", b"3").unwrap();
+            store.seal().unwrap();
+            store.put(b"y2", b"4").unwrap();
+            store.seal().unwrap();
+            let expected = store.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
+            assert!(expected.iter().all(|(k, _)| k != b"old"));
+
+            // Tier-merge syncs: #1 merged-run file, #2 manifest record.
+            ctl.fail_syncs_after(barrier, 1);
+            assert!(
+                store.compact_tier_now().is_err(),
+                "barrier {barrier}: tier-compaction sync failure must surface"
+            );
+            drop(store);
+
+            handle.crash(crash_seed);
+
+            let mut store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts())
+                .expect("recovery after a mid-tier-compaction crash");
+            Engine::check(&mut store).unwrap();
+            assert_eq!(
+                store.scan(Bound::Unbounded, Bound::Unbounded).unwrap(),
+                expected,
+                "barrier {barrier} seed {crash_seed}: sealed state changed"
+            );
+            assert_eq!(
+                store.get(b"old").unwrap(),
+                None,
+                "barrier {barrier} seed {crash_seed}: tier crash resurrected a deleted key"
+            );
+            // Retried tier merges converge without changing the state.
+            while store.compact_tier_now().unwrap() {}
+            Engine::check(&mut store).unwrap();
+            assert_eq!(
+                store.scan(Bound::Unbounded, Bound::Unbounded).unwrap(),
+                expected
+            );
+            assert_eq!(store.get(b"old").unwrap(), None);
+            // And the full merge still collapses everything to one run.
+            let _ = store.compact_now().unwrap();
+            assert_eq!(store.run_count(), 1);
+            assert_eq!(
+                store.scan(Bound::Unbounded, Bound::Unbounded).unwrap(),
+                expected
+            );
+        }
+    }
+}
+
+/// A store seeded with a legacy v1-format run must upgrade to v2 through
+/// compaction even when a crash interrupts the upgrade: whichever side of
+/// the crash the manifest record lands on, the v1 data stays readable,
+/// and a clean retry leaves every live run in v2 format.
+#[test]
+fn v1_runs_upgrade_to_v2_across_a_crash() {
+    for crash_seed in [0u64, 11, 0xBEEF] {
+        let dir = MemDir::new();
+        let handle = dir.handle();
+        let faulty = FaultyDir::new(dir.clone(), FaultConfig::default());
+        let ctl = faulty.control();
+        let mut store = LsmStore::open_with_dir(Arc::new(faulty), small_lsm_opts()).unwrap();
+
+        store
+            .install_v1_run(&[
+                (b"legacy-a".to_vec(), Some(b"1".to_vec())),
+                (b"legacy-b".to_vec(), Some(b"2".to_vec())),
+            ])
+            .unwrap();
+        store.put(b"fresh", b"3").unwrap();
+        store.seal().unwrap();
+        assert!(
+            store.run_formats().contains(&1),
+            "setup must leave a live v1 run"
+        );
+        let expected = store.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
+
+        // Fail the compaction's manifest sync (#2): the merged v2 run is
+        // durable, the record committing it is staged but not.
+        ctl.fail_syncs_after(1, 1);
+        assert!(store.compact_now().is_err());
+        drop(store);
+
+        handle.crash(crash_seed);
+
+        let mut store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts())
+            .expect("recovery must load v1 and v2 runs alike");
+        Engine::check(&mut store).unwrap();
+        assert_eq!(
+            store.scan(Bound::Unbounded, Bound::Unbounded).unwrap(),
+            expected,
+            "seed {crash_seed}: upgrade crash changed the logical state"
+        );
+        assert_eq!(store.get(b"legacy-a").unwrap().unwrap(), b"1");
+        // A clean compaction finishes the upgrade: v2 everywhere.
+        let _ = store.compact_now().unwrap();
+        assert!(
+            store.run_formats().iter().all(|&f| f == 2),
+            "seed {crash_seed}: v1 run survived the upgrade compaction"
+        );
+        assert_eq!(
+            store.scan(Bound::Unbounded, Bound::Unbounded).unwrap(),
+            expected
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiered compaction vs. flat model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TierOp {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Seal,
+    /// One tier merge ([`LsmStore::compact_tier_now`]).
+    CompactTier,
+    /// Tier merges to fixpoint plus the bottom merge
+    /// ([`LsmStore::compact_now`]).
+    CompactFull,
+    /// Sync, power-cut with this seed, reopen.
+    Crash(u64),
+}
+
+fn tier_op_strategy() -> impl Strategy<Value = TierOp> {
+    prop_oneof![
+        5 => (key_strategy(), proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(k, v)| TierOp::Put(k, v)),
+        2 => key_strategy().prop_map(TierOp::Delete),
+        2 => Just(TierOp::Seal),
+        2 => Just(TierOp::CompactTier),
+        1 => Just(TierOp::CompactFull),
+        1 => any::<u64>().prop_map(TierOp::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of writes, seals, per-tier merges, full merges
+    /// and (synced) crashes leaves the tiered store read-equivalent to
+    /// the flat `BTreeMap` model — point reads, bloom filters and sparse
+    /// indexes included — both with and without a legacy v1-format run
+    /// at the bottom of the stack.
+    #[test]
+    fn tiered_compaction_is_read_equivalent_to_flat_model(
+        seed_v1 in any::<bool>(),
+        ops in proptest::collection::vec(tier_op_strategy(), 1..48),
+    ) {
+        let dir = MemDir::new();
+        let handle = dir.handle();
+        let mut store =
+            LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts()).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        if seed_v1 {
+            let legacy = [
+                (b"a".to_vec(), Some(b"v1".to_vec())),
+                (b"b".to_vec(), Some(b"v1".to_vec())),
+            ];
+            store.install_v1_run(&legacy).unwrap();
+            for (k, v) in &legacy {
+                model.insert(k.clone(), v.clone().unwrap());
+            }
+            prop_assert!(store.run_formats().contains(&1));
+        }
+        for op in &ops {
+            match op {
+                TierOp::Put(k, v) => {
+                    store.put(k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                TierOp::Delete(k) => {
+                    store.delete(k).unwrap();
+                    model.remove(k);
+                }
+                TierOp::Seal => store.seal().unwrap(),
+                TierOp::CompactTier => {
+                    let _ = store.compact_tier_now().unwrap();
+                }
+                TierOp::CompactFull => {
+                    let _ = store.compact_now().unwrap();
+                }
+                TierOp::Crash(seed) => {
+                    store.sync().unwrap();
+                    drop(store);
+                    handle.crash(*seed);
+                    store = LsmStore::open_with_dir(Arc::new(dir.clone()), small_lsm_opts())
+                        .expect("reopen after synced crash");
+                }
+            }
+            let live = store.scan(Bound::Unbounded, Bound::Unbounded).unwrap();
+            let want: Vec<(Vec<u8>, Vec<u8>)> =
+                model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(&live, &want, "scan diverged after {:?}", op);
+            for (k, v) in &want {
+                prop_assert_eq!(
+                    store.get(k).unwrap().as_ref(),
+                    Some(v),
+                    "point read diverged after {:?}",
+                    op
+                );
+            }
+        }
+        Engine::check(&mut store).unwrap();
     }
 }
 
